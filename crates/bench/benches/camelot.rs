@@ -1,0 +1,40 @@
+//! E12 — Camelot transaction commit wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::camelot::encode_balance;
+use machpagers::{CamelotClient, CamelotServer};
+use machstorage::BlockDevice;
+use std::sync::Arc;
+
+fn bench_commit(c: &mut Criterion) {
+    let k = Kernel::boot(KernelConfig::default());
+    let dev = Arc::new(BlockDevice::new(k.machine(), 1024));
+    let server = CamelotServer::format_and_start(k.machine(), dev, 16 * 4096);
+    let task = Task::create(&k, "bank");
+    let client = CamelotClient::attach(&task, server.port()).unwrap();
+    let mut g = c.benchmark_group("camelot");
+    g.sample_size(10);
+    g.bench_function("logged_write_and_commit", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            let tx = client.begin().unwrap();
+            client.write(tx, 0, &encode_balance(v)).unwrap();
+            client.commit(tx).unwrap();
+        })
+    });
+    g.bench_function("unlogged_mapped_write", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            // Direct write to the mapped recoverable segment (no log).
+            client.read(0, &mut [0u8; 8]).unwrap();
+        })
+    });
+    g.finish();
+    std::mem::forget((k, server, task, client));
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

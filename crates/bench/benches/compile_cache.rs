@@ -1,0 +1,54 @@
+//! E7/E8 — warm compilation builds, Mach vs buffer-cache baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::{FileServer, FsClient};
+use machsim::Machine;
+use machstorage::{BlockDevice, FlatFs};
+use machunix::{BaselineUnix, CompileWorkload, MachUnix};
+use std::sync::Arc;
+
+fn small_workload() -> CompileWorkload {
+    CompileWorkload {
+        source_files: 8,
+        headers: 4,
+        ..CompileWorkload::default()
+    }
+}
+
+fn bench_warm_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warm_build");
+    g.sample_size(10);
+    let w = small_workload();
+
+    g.bench_function("baseline_10pct_cache", |b| {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 4096));
+        let fs = Arc::new(FlatFs::format(dev, 0));
+        let unix = BaselineUnix::new(&m, fs, 4 << 20, 10);
+        w.populate(&unix).unwrap();
+        w.build(&unix, &m).unwrap(); // Warm the cache.
+        b.iter(|| w.build(&unix, &m).unwrap());
+    });
+
+    g.bench_function("mach_mapped_files", |b| {
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 4 << 20,
+            ..KernelConfig::default()
+        });
+        let dev = Arc::new(BlockDevice::new(k.machine(), 4096));
+        let fs = Arc::new(FlatFs::format(dev, 0));
+        let server = FileServer::start(k.machine(), fs);
+        let task = Task::create(&k, "cc");
+        let unix = MachUnix::new(&task, FsClient::new(server.port().clone()));
+        w.populate(&unix).unwrap();
+        let machine = k.machine().clone();
+        w.build(&unix, &machine).unwrap(); // Warm the cache.
+        b.iter(|| w.build(&unix, &machine).unwrap());
+        std::mem::forget((k, server, task, unix));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_warm_builds);
+criterion_main!(benches);

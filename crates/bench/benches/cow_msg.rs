@@ -1,0 +1,53 @@
+//! E15 — inline copy vs copy-on-write region transfer, wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machcore::{msg, Kernel, KernelConfig, Task};
+use machipc::ReceiveRight;
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_transfer");
+    g.sample_size(20);
+    for size in [4096u64, 65536, 1 << 20] {
+        g.throughput(Throughput::Bytes(size));
+        g.bench_with_input(BenchmarkId::new("inline_copy", size), &size, |b, &size| {
+            let k = Kernel::boot(KernelConfig {
+                memory_bytes: 256 << 20,
+                ..KernelConfig::default()
+            });
+            let sender = Task::create(&k, "s");
+            let receiver = Task::create(&k, "r");
+            let addr = sender.vm_allocate(size).unwrap();
+            sender.write_memory(addr, &[1]).unwrap();
+            let (rx, tx) = ReceiveRight::allocate(k.machine());
+            rx.set_backlog(64);
+            b.iter(|| {
+                msg::send_bytes_inline(&sender, &tx, 1, addr, size, None).unwrap();
+                let m = rx.receive(None).unwrap();
+                let (raddr, rsize) = msg::copy_in_inline(&receiver, &m).unwrap();
+                receiver.vm_deallocate(raddr, rsize).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("cow_region", size), &size, |b, &size| {
+            let k = Kernel::boot(KernelConfig {
+                memory_bytes: 256 << 20,
+                ..KernelConfig::default()
+            });
+            let sender = Task::create(&k, "s");
+            let receiver = Task::create(&k, "r");
+            let addr = sender.vm_allocate(size).unwrap();
+            sender.write_memory(addr, &[1]).unwrap();
+            let (rx, tx) = ReceiveRight::allocate(k.machine());
+            rx.set_backlog(64);
+            b.iter(|| {
+                msg::send_region(&sender, &tx, 1, addr, size, None).unwrap();
+                let mut m = rx.receive(None).unwrap();
+                let raddr = msg::map_received_region(&receiver, &mut m).unwrap();
+                receiver.vm_deallocate(raddr, size).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

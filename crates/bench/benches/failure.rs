@@ -1,0 +1,54 @@
+//! E13 — cost of the failure defenses themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{spawn_manager, Kernel, KernelConfig, Task};
+use machpagers::hostile::SilentPager;
+use machvm::FaultPolicy;
+use std::time::Duration;
+
+fn bench_timeout_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_handling");
+    g.sample_size(10);
+    g.bench_function("fault_timeout_10ms_abort", |b| {
+        let k = Kernel::boot(KernelConfig::default());
+        let t = Task::create(&k, "victim");
+        t.map()
+            .set_fault_policy(FaultPolicy::abort_after(Duration::from_millis(10)));
+        let mgr = spawn_manager(k.machine(), "silent", SilentPager::default());
+        let pages = 1 << 12;
+        let addr = t
+            .vm_allocate_with_pager(None, pages * 4096, mgr.port(), 0)
+            .unwrap();
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut buf = [0u8; 1];
+            let r = t.read_memory(addr + next * 4096, &mut buf);
+            next = (next + 1) % pages;
+            assert!(r.is_err());
+        })
+    });
+    g.bench_function("fault_timeout_10ms_zero_fill", |b| {
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 64 << 20,
+            ..KernelConfig::default()
+        });
+        let t = Task::create(&k, "victim");
+        t.map()
+            .set_fault_policy(FaultPolicy::zero_fill_after(Duration::from_millis(10)));
+        let mgr = spawn_manager(k.machine(), "silent", SilentPager::default());
+        let pages = 1 << 12;
+        let addr = t
+            .vm_allocate_with_pager(None, pages * 4096, mgr.port(), 0)
+            .unwrap();
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut buf = [0u8; 1];
+            t.read_memory(addr + next * 4096, &mut buf).unwrap();
+            next = (next + 1) % pages;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_timeout_paths);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E1/E2 — wall-clock costs of the Table 3-1/3-2 primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machipc::{IpcContext, Message, MsgItem, OolBuffer, PortSpace, ReceiveRight};
+
+fn bench_send_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_send_receive");
+    g.sample_size(20);
+    for size in [64usize, 4096, 65536, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("inline", size), &size, |b, &size| {
+            let ctx = IpcContext::default_machine();
+            let (rx, tx) = ReceiveRight::allocate(&ctx);
+            rx.set_backlog(64);
+            let payload = vec![0u8; size];
+            b.iter(|| {
+                tx.send(Message::new(1).with(MsgItem::bytes(payload.clone())), None)
+                    .unwrap();
+                rx.receive(None).unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("out_of_line", size), &size, |b, &size| {
+            let ctx = IpcContext::default_machine();
+            let (rx, tx) = ReceiveRight::allocate(&ctx);
+            rx.set_backlog(64);
+            let payload = OolBuffer::from_vec(vec![0u8; size]);
+            b.iter(|| {
+                tx.send(Message::new(1).with(MsgItem::OutOfLine(payload.clone())), None)
+                    .unwrap();
+                rx.receive(None).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let ctx = IpcContext::default_machine();
+    let (rx, tx) = ReceiveRight::allocate(&ctx);
+    let server = std::thread::spawn(move || {
+        while let Ok(m) = rx.receive(None) {
+            if m.id == 0 {
+                break;
+            }
+            if let Some(r) = &m.reply {
+                let _ = r.send(Message::new(m.id + 1), None);
+            }
+        }
+    });
+    c.bench_function("msg_rpc_round_trip", |b| {
+        b.iter(|| tx.rpc(Message::new(7), None, None).unwrap())
+    });
+    tx.send(Message::new(0), None).unwrap();
+    server.join().unwrap();
+}
+
+fn bench_port_ops(c: &mut Criterion) {
+    c.bench_function("port_allocate_deallocate", |b| {
+        let ctx = IpcContext::default_machine();
+        let space = PortSpace::new(&ctx);
+        b.iter(|| {
+            let p = space.port_allocate();
+            space.port_deallocate(p).unwrap();
+        })
+    });
+    c.bench_function("port_status", |b| {
+        let ctx = IpcContext::default_machine();
+        let space = PortSpace::new(&ctx);
+        let p = space.port_allocate();
+        b.iter(|| space.port_status(p).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_send_receive, bench_rpc, bench_port_ops);
+criterion_main!(benches);

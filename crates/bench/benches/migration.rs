@@ -1,0 +1,35 @@
+//! E11 — migration wall-clock: time-to-resume for each strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machbench::migration::measure;
+use machpagers::MigrationStrategy;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration_64_pages");
+    g.sample_size(10);
+    g.bench_function("eager", |b| {
+        b.iter(|| measure(MigrationStrategy::Eager, 64, 10))
+    });
+    g.bench_function("copy_on_reference", |b| {
+        b.iter(|| {
+            measure(
+                MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+                64,
+                10,
+            )
+        })
+    });
+    g.bench_function("cor_prefetch_7", |b| {
+        b.iter(|| {
+            measure(
+                MigrationStrategy::CopyOnReference { prefetch_pages: 7 },
+                64,
+                10,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E6 — network shared memory coherence round, wall clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+use machnet::Fabric;
+use machpagers::SharedMemoryServer;
+use std::time::Duration;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let fabric = Fabric::new();
+    let hs = fabric.add_host("server");
+    let ha = fabric.add_host("alpha");
+    let hb = fabric.add_host("beta");
+    let ka = Kernel::boot_on(ha.machine().clone(), KernelConfig::default());
+    let kb = Kernel::boot_on(hb.machine().clone(), KernelConfig::default());
+    let ta = Task::create(&ka, "a");
+    let tb = Task::create(&kb, "b");
+    let server = SharedMemoryServer::start(&fabric, &hs, 4 * 4096);
+    let aa = server.attach(&ta, &ha).unwrap();
+    let ab = server.attach(&tb, &hb).unwrap();
+    let mut round = 0u8;
+    let mut g = c.benchmark_group("netshm");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    g.bench_function("contended_write_read_round", |b| {
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            ta.write_memory(aa, &[round]).unwrap();
+            // Spin until coherence delivers the value to B.
+            let mut buf = [0u8; 1];
+            loop {
+                tb.read_memory(ab, &mut buf).unwrap();
+                if buf[0] == round {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        })
+    });
+    g.bench_function("uncontended_private_pages", |b| {
+        b.iter(|| {
+            ta.write_memory(aa + 4096, &[1]).unwrap();
+            let mut buf = [0u8; 1];
+            tb.read_memory(ab + 2 * 4096, &mut buf).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ping_pong);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E14 — replacement pressure: scans under and over memory capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+
+fn scan(t: &Task, addr: u64, pages: u64) {
+    let mut b = [0u8; 1];
+    for i in 0..pages {
+        t.read_memory(addr + i * 4096, &mut b).unwrap();
+    }
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("working_set_scan");
+    g.sample_size(10);
+    g.bench_function("resident_48_pages", |b| {
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 128 * 4096,
+            ..KernelConfig::default()
+        });
+        let t = Task::create(&k, "scan");
+        let addr = t.vm_allocate(48 * 4096).unwrap();
+        scan(&t, addr, 48);
+        b.iter(|| scan(&t, addr, 48));
+    });
+    g.bench_function("thrashing_48_pages_in_16_frames", |b| {
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 16 * 4096,
+            reserve_pages: 4,
+            ..KernelConfig::default()
+        });
+        let t = Task::create(&k, "scan");
+        let addr = t.vm_allocate(48 * 4096).unwrap();
+        scan(&t, addr, 48);
+        b.iter(|| scan(&t, addr, 48));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

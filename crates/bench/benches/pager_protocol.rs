@@ -1,0 +1,56 @@
+//! E4/E5 — the external pager protocol over real IPC, wall clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{spawn_manager, DataManager, Kernel, KernelConfig, KernelConn, Task};
+use machipc::OolBuffer;
+use machvm::VmProt;
+
+struct InstantPager;
+
+impl DataManager for InstantPager {
+    fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+        k.data_provided(
+            object,
+            offset,
+            OolBuffer::from_vec(vec![0x42; length as usize]),
+            VmProt::NONE,
+        );
+    }
+}
+
+fn bench_cold_fault(c: &mut Criterion) {
+    let k = Kernel::boot(KernelConfig {
+        memory_bytes: 256 << 20,
+        ..KernelConfig::default()
+    });
+    let t = Task::create(&k, "fault");
+    let mgr = spawn_manager(k.machine(), "instant", InstantPager);
+    // A huge object provides a stream of never-before-touched pages.
+    let pages = 1 << 16;
+    let addr = t
+        .vm_allocate_with_pager(None, pages * 4096, mgr.port(), 0)
+        .unwrap();
+    let mut next = 0u64;
+    c.bench_function("cold_fault_full_protocol", |b| {
+        let mut buf = [0u8; 1];
+        b.iter(|| {
+            t.read_memory(addr + next * 4096, &mut buf).unwrap();
+            next = (next + 1) % pages;
+        })
+    });
+}
+
+fn bench_warm_hit(c: &mut Criterion) {
+    let k = Kernel::boot(KernelConfig::default());
+    let t = Task::create(&k, "warm");
+    let mgr = spawn_manager(k.machine(), "instant", InstantPager);
+    let addr = t.vm_allocate_with_pager(None, 4096, mgr.port(), 0).unwrap();
+    let mut buf = [0u8; 1];
+    t.read_memory(addr, &mut buf).unwrap();
+    c.bench_function("warm_hit_after_fill", |b| {
+        b.iter(|| t.read_memory(addr, &mut buf).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_cold_fault, bench_warm_hit);
+criterion_main!(benches);

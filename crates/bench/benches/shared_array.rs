@@ -1,0 +1,34 @@
+//! E9 — shared-array attach costs: first client vs later clients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::ArrayService;
+
+fn bench_attach(c: &mut Criterion) {
+    let k = Kernel::boot(KernelConfig {
+        memory_bytes: 64 << 20,
+        ..KernelConfig::default()
+    });
+    let service = ArrayService::start(k.machine(), 32 * 4096, |i| i as u8);
+    // Warm the cache with one full scan.
+    let warmup = Task::create(&k, "warmup");
+    let (addr, size) = ArrayService::attach(&warmup, service.port()).unwrap();
+    let mut buf = vec![0u8; size as usize];
+    warmup.read_memory(addr, &mut buf).unwrap();
+
+    let mut g = c.benchmark_group("shared_array");
+    g.sample_size(10);
+    g.bench_function("attach_and_scan_warm_cache", |b| {
+        b.iter(|| {
+            let t = Task::create(&k, "client");
+            let (addr, size) = ArrayService::attach(&t, service.port()).unwrap();
+            let mut buf = vec![0u8; size as usize];
+            t.read_memory(addr, &mut buf).unwrap();
+            buf[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attach);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E10 — memory-access cost model per topology (and simulated access
+//! through a VM map on each machine class).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+use machsim::{CostModel, Topology};
+
+fn bench_access_by_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_access");
+    g.sample_size(20);
+    for topo in Topology::ALL {
+        g.bench_with_input(BenchmarkId::new("warm_read", topo), &topo, |b, &topo| {
+            let k = Kernel::boot(KernelConfig {
+                cost: CostModel::for_topology(topo),
+                ..KernelConfig::default()
+            });
+            let t = Task::create(&k, "t");
+            let addr = t.vm_allocate(4096).unwrap();
+            t.write_memory(addr, &[1]).unwrap();
+            let mut buf = [0u8; 64];
+            b.iter(|| t.read_memory(addr, &mut buf).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_by_topology);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E3 — wall-clock costs of the Table 3-3 operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machcore::{Kernel, KernelConfig, Task};
+
+fn big_kernel() -> std::sync::Arc<Kernel> {
+    Kernel::boot(KernelConfig {
+        memory_bytes: 256 << 20,
+        ..KernelConfig::default()
+    })
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let k = big_kernel();
+    let t = Task::create(&k, "bench");
+    c.bench_function("vm_allocate_deallocate_64_pages", |b| {
+        b.iter(|| {
+            let addr = t.vm_allocate(64 * 4096).unwrap();
+            t.vm_deallocate(addr, 64 * 4096).unwrap();
+        })
+    });
+}
+
+fn bench_fault_paths(c: &mut Criterion) {
+    let k = big_kernel();
+    let t = Task::create(&k, "bench");
+    c.bench_function("zero_fill_fault", |b| {
+        b.iter_batched(
+            || t.vm_allocate(4096).unwrap(),
+            |addr| {
+                t.write_memory(addr, &[1]).unwrap();
+                t.vm_deallocate(addr, 4096).unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let addr = t.vm_allocate(4096).unwrap();
+    t.write_memory(addr, &[1]).unwrap();
+    c.bench_function("warm_access_pmap_hit", |b| {
+        let mut buf = [0u8; 8];
+        b.iter(|| t.read_memory(addr, &mut buf).unwrap())
+    });
+}
+
+fn bench_copy_paths(c: &mut Criterion) {
+    let k = big_kernel();
+    let t = Task::create(&k, "bench");
+    let addr = t.vm_allocate(64 * 4096).unwrap();
+    t.vm_write(addr, &vec![7u8; 64 * 4096]).unwrap();
+    c.bench_function("vm_read_64_pages", |b| {
+        b.iter(|| t.vm_read(addr, 64 * 4096).unwrap())
+    });
+    c.bench_function("fork_with_cow_regions", |b| {
+        b.iter(|| t.fork("child"))
+    });
+}
+
+criterion_group!(benches, bench_allocate, bench_fault_paths, bench_copy_paths);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates every experiment table from DESIGN.md in one run.
+//!
+//! ```text
+//! cargo run -p machbench --bin report [--quick]
+//! ```
+//!
+//! `--quick` skips the slowest sweeps (compilation, migration) for smoke
+//! testing; the full run backs EXPERIMENTS.md.
+
+use machbench::{
+    ablation, camelot_bench, compile, cow_msg, failure, ipc_bench, migration, netshm_bench,
+    pageout, pager_rt, remote_cow, shared_array, topology_bench,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Mach duality reproduction — experiment report");
+    println!("(simulated 1987 machine; see DESIGN.md for the experiment index)\n");
+
+    println!("{}", ipc_bench::table(&ipc_bench::run_default()).render());
+    println!("{}", ipc_bench::port_table().render());
+    println!("{}", pager_rt::vm_table(&pager_rt::vm_ops()).render());
+    println!("{}", pager_rt::pager_table(&pager_rt::pager_round_trip()).render());
+    println!("{}", topology_bench::table(&topology_bench::run_default()).render());
+    println!("{}", cow_msg::table(&cow_msg::run_default()).render());
+    println!("{}", remote_cow::table(&remote_cow::run_default()).render());
+    println!("{}", shared_array::table(&shared_array::run_default()).render());
+    println!("{}", pageout::table(&pageout::run_default()).render());
+    println!("{}", failure::table(&failure::run_default()).render());
+    println!("{}", netshm_bench::table(&netshm_bench::run_default()).render());
+    println!("{}", camelot_bench::table(&camelot_bench::run_default()).render());
+    println!("{}", ablation::table().render());
+
+    if quick {
+        println!("(--quick: skipping compilation and migration sweeps)");
+        return;
+    }
+    println!("{}", migration::table(&migration::run_default()).render());
+    let outcomes = compile::run_default();
+    println!("{}", compile::table(&outcomes).render());
+    for o in &outcomes {
+        println!(
+            "{}: warm speedup {:.2}x (paper: ~2x), warm I/O ratio {:.1}x, total I/O ratio {:.1}x (paper: ~10x)",
+            o.label,
+            o.warm_speedup(),
+            o.warm_io_ratio(),
+            o.total_io_ratio()
+        );
+    }
+}

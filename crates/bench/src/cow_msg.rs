@@ -1,0 +1,149 @@
+//! E15 — copy-on-write message transfer vs physical copy.
+//!
+//! "Mach uses memory-mapping techniques to make the passing of large
+//! messages on a tightly coupled multiprocessor or uniprocessor more
+//! efficient." This experiment sweeps the message size and the fraction of
+//! the transferred data the receiver actually writes, measuring simulated
+//! time for (a) inline physical copy and (b) out-of-line COW transfer. The
+//! crossover should sit near one page (the cost model's analytic
+//! prediction), and the COW advantage should shrink as the receiver
+//! dirties more of the data.
+
+use crate::table::{fmt_ns, Table};
+use machcore::{msg, Kernel, KernelConfig, Task};
+use machipc::ReceiveRight;
+use std::sync::Arc;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct CowPoint {
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Fraction (percent) of pages the receiver writes afterwards.
+    pub write_percent: u64,
+    /// Simulated ns for the inline (copy) path, including receiver writes.
+    pub inline_ns: u64,
+    /// Simulated ns for the out-of-line (COW) path, ditto.
+    pub cow_ns: u64,
+}
+
+fn kernel() -> Arc<Kernel> {
+    Kernel::boot(KernelConfig {
+        memory_bytes: 64 << 20,
+        ..KernelConfig::default()
+    })
+}
+
+/// Measures one (size, write%) point.
+pub fn measure(size: u64, write_percent: u64) -> CowPoint {
+    let k = kernel();
+    let sender = Task::create(&k, "sender");
+    let receiver = Task::create(&k, "receiver");
+    let page = k.page_size();
+    let pages = size.div_ceil(page);
+    let writes = pages * write_percent / 100;
+
+    // Inline path.
+    let addr = sender.vm_allocate(size).unwrap();
+    sender.write_memory(addr, &[1]).unwrap();
+    let (rx, tx) = ReceiveRight::allocate(k.machine());
+    let t0 = k.machine().clock.now_ns();
+    msg::send_bytes_inline(&sender, &tx, 1, addr, size, None).unwrap();
+    let m = rx.receive(None).unwrap();
+    let (raddr, _) = msg::copy_in_inline(&receiver, &m).unwrap();
+    for p in 0..writes {
+        receiver.write_memory(raddr + p * page, &[2]).unwrap();
+    }
+    let inline_ns = k.machine().clock.now_ns() - t0;
+
+    // COW path (fresh region so the first path's faults do not pollute).
+    let addr2 = sender.vm_allocate(size).unwrap();
+    sender.write_memory(addr2, &[1]).unwrap();
+    let (rx2, tx2) = ReceiveRight::allocate(k.machine());
+    let t1 = k.machine().clock.now_ns();
+    msg::send_region(&sender, &tx2, 1, addr2, size, None).unwrap();
+    let mut m2 = rx2.receive(None).unwrap();
+    let raddr2 = msg::map_received_region(&receiver, &mut m2).unwrap();
+    for p in 0..writes {
+        receiver.write_memory(raddr2 + p * page, &[2]).unwrap();
+    }
+    let cow_ns = k.machine().clock.now_ns() - t1;
+
+    CowPoint {
+        size,
+        write_percent,
+        inline_ns,
+        cow_ns,
+    }
+}
+
+/// The standard sweep: sizes at 0% writes, then write fractions at 1 MB.
+pub fn run_default() -> Vec<CowPoint> {
+    let mut points = Vec::new();
+    for size in [1024u64, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20] {
+        points.push(measure(size, 0));
+    }
+    for wp in [25u64, 50, 100] {
+        points.push(measure(1 << 20, wp));
+    }
+    points
+}
+
+/// Renders the E15 table.
+pub fn table(points: &[CowPoint]) -> Table {
+    let mut t = Table::new(
+        "E15 — message transfer: inline copy vs copy-on-write mapping",
+        &["size", "recv writes", "inline (sim)", "COW (sim)", "winner"],
+    );
+    for p in points {
+        let winner = if p.cow_ns < p.inline_ns { "COW" } else { "copy" };
+        t.row(&[
+            format!("{}K", p.size / 1024),
+            format!("{}%", p.write_percent),
+            fmt_ns(p.inline_ns),
+            fmt_ns(p.cow_ns),
+            winner.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cow_wins_for_large_untouched_transfers() {
+        let p = measure(1 << 20, 0);
+        assert!(
+            p.cow_ns * 2 < p.inline_ns,
+            "COW {} vs inline {}",
+            p.cow_ns,
+            p.inline_ns
+        );
+    }
+
+    #[test]
+    fn advantage_shrinks_with_write_fraction() {
+        let p0 = measure(1 << 20, 0);
+        let p100 = measure(1 << 20, 100);
+        let adv0 = p0.inline_ns as f64 / p0.cow_ns as f64;
+        let adv100 = p100.inline_ns as f64 / p100.cow_ns as f64;
+        assert!(
+            adv0 > adv100,
+            "advantage must shrink: {adv0:.2} -> {adv100:.2}"
+        );
+    }
+
+    #[test]
+    fn sub_page_messages_do_not_favor_cow_much() {
+        // Below one page the mapping constant dominates; inline should be
+        // at least competitive (within 3x either way).
+        let p = measure(1024, 0);
+        let ratio = p.inline_ns as f64 / p.cow_ns as f64;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "tiny messages should be comparable, got {ratio:.2}"
+        );
+    }
+}

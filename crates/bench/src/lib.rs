@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness: one runner per experiment in DESIGN.md.
+//!
+//! Each module builds the workload for one table/figure-equivalent of the
+//! paper and returns printable rows, so the same code backs three surfaces:
+//! the `report` binary (regenerates every table for EXPERIMENTS.md), the
+//! criterion benches (wall-clock micro/macro benchmarks), and integration
+//! tests asserting the *shape* of each result (who wins, by roughly what
+//! factor).
+
+pub mod ablation;
+pub mod camelot_bench;
+pub mod compile;
+pub mod cow_msg;
+pub mod failure;
+pub mod ipc_bench;
+pub mod migration;
+pub mod netshm_bench;
+pub mod pageout;
+pub mod pager_rt;
+pub mod remote_cow;
+pub mod shared_array;
+pub mod table;
+pub mod topology_bench;
+
+pub use table::Table;

@@ -1,0 +1,155 @@
+//! E11 — copy-on-reference task migration (Section 8.2).
+//!
+//! Sweeps the fraction of the migrated address space the task touches
+//! after resuming, for eager copy, pure copy-on-reference, and
+//! copy-on-reference with pre-paging. Copy-on-reference should win
+//! resume latency by orders of magnitude and total bytes whenever the
+//! task touches a fraction of its memory; eager only catches up when
+//! everything is touched.
+
+use crate::table::{fmt_ns, Table};
+use machcore::{Kernel, KernelConfig, Task};
+use machnet::Fabric;
+use machpagers::{MigrationManager, MigrationStrategy};
+use machsim::stats::keys;
+
+const PAGE: u64 = 4096;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct MigrationPoint {
+    /// Strategy label.
+    pub strategy: String,
+    /// Percent of pages touched after resume.
+    pub touched_percent: u64,
+    /// Simulated ns before the task could run on the new host.
+    pub resume_ns: u64,
+    /// Network bytes moved before resume.
+    pub bytes_before_resume: u64,
+    /// Total network bytes after the touch phase.
+    pub total_bytes: u64,
+    /// Demand fills after resume.
+    pub fills: u64,
+}
+
+/// Measures one (strategy, touched%) point over a region of `pages`.
+pub fn measure(strategy: MigrationStrategy, pages: u64, touched_percent: u64) -> MigrationPoint {
+    let fabric = Fabric::new();
+    let ha = fabric.add_host("origin");
+    let hb = fabric.add_host("destination");
+    let ka = Kernel::boot_on(ha.machine().clone(), KernelConfig::default());
+    let kb = Kernel::boot_on(hb.machine().clone(), KernelConfig {
+        memory_bytes: 16 << 20,
+        ..KernelConfig::default()
+    });
+    let src = Task::create(&ka, "src");
+    let addr = src.vm_allocate(pages * PAGE).unwrap();
+    for i in 0..pages {
+        src.write_memory(addr + i * PAGE, &[i as u8]).unwrap();
+    }
+    let mm = MigrationManager::new(&fabric);
+    let migrated = mm
+        .migrate_region(&src, &ha, addr, pages * PAGE, &kb, &hb, strategy)
+        .unwrap();
+    let fills0 = hb.machine().stats.get(keys::VM_PAGER_FILLS);
+    let touched = pages * touched_percent / 100;
+    for i in 0..touched {
+        let mut b = [0u8; 1];
+        migrated
+            .task
+            .read_memory(migrated.report.address + i * PAGE, &mut b)
+            .unwrap();
+    }
+    let label = match strategy {
+        MigrationStrategy::Eager => "eager".to_string(),
+        MigrationStrategy::CopyOnReference { prefetch_pages: 0 } => "copy-on-ref".to_string(),
+        MigrationStrategy::CopyOnReference { prefetch_pages } => {
+            format!("cor+prefetch{prefetch_pages}")
+        }
+    };
+    MigrationPoint {
+        strategy: label,
+        touched_percent,
+        resume_ns: migrated.report.resume_latency_ns,
+        bytes_before_resume: migrated.report.bytes_before_resume,
+        total_bytes: hb.machine().stats.get(keys::NET_BYTES),
+        fills: hb.machine().stats.get(keys::VM_PAGER_FILLS) - fills0,
+    }
+}
+
+/// The standard sweep: 256-page (1 MB) task image.
+pub fn run_default() -> Vec<MigrationPoint> {
+    let mut points = Vec::new();
+    for touched in [1u64, 10, 50, 100] {
+        points.push(measure(MigrationStrategy::Eager, 256, touched));
+        points.push(measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+            256,
+            touched,
+        ));
+        points.push(measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 7 },
+            256,
+            touched,
+        ));
+    }
+    points
+}
+
+/// Renders the E11 table.
+pub fn table(points: &[MigrationPoint]) -> Table {
+    let mut t = Table::new(
+        "E11 — task migration: eager vs copy-on-reference (Section 8.2, 1 MB image)",
+        &[
+            "strategy",
+            "touched",
+            "resume latency",
+            "bytes before resume",
+            "total net bytes",
+            "demand fills",
+        ],
+    );
+    for p in points {
+        t.row(&[
+            p.strategy.clone(),
+            format!("{}%", p.touched_percent),
+            fmt_ns(p.resume_ns),
+            p.bytes_before_resume.to_string(),
+            p.total_bytes.to_string(),
+            p.fills.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cor_resumes_much_faster() {
+        let eager = measure(MigrationStrategy::Eager, 64, 10);
+        let cor = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 10);
+        assert!(cor.resume_ns * 10 < eager.resume_ns);
+        assert!(cor.bytes_before_resume < PAGE);
+    }
+
+    #[test]
+    fn sparse_touch_moves_fewer_bytes_total() {
+        let eager = measure(MigrationStrategy::Eager, 64, 10);
+        let cor = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 10);
+        assert!(
+            cor.total_bytes < eager.total_bytes / 2,
+            "cor {} vs eager {}",
+            cor.total_bytes,
+            eager.total_bytes
+        );
+    }
+
+    #[test]
+    fn prefetch_cuts_fills() {
+        let plain = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 100);
+        let pre = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 7 }, 64, 100);
+        assert!(pre.fills * 2 < plain.fills, "{} vs {}", pre.fills, plain.fills);
+    }
+}

@@ -1,0 +1,140 @@
+//! E6 — consistent network shared memory and read/write locality.
+//!
+//! "The efficiency of algorithms that use this form of network shared
+//! memory depends on the extent to which they exhibit read/write locality
+//! in their page references. Kai Li showed that multiple processors which
+//! seldom read and write the same data at the same time can conveniently
+//! use this approach."
+//!
+//! The sweep varies the fraction of writes that land on a page the *other*
+//! client is also using; coherence traffic (invalidations, writer
+//! demotions, network messages) should grow with the sharing fraction.
+
+use crate::table::Table;
+use machcore::{Kernel, KernelConfig, Task};
+use machnet::Fabric;
+use machpagers::SharedMemoryServer;
+use machsim::stats::keys;
+use std::time::Duration;
+
+const PAGE: u64 = 4096;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct ShmPoint {
+    /// Percent of operations directed at the contended page.
+    pub share_percent: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Invalidation messages (flush requests) the server sent.
+    pub invalidations: u64,
+    /// Writer-to-reader demotions.
+    pub demotions: u64,
+    /// Total network messages across all hosts.
+    pub net_messages: u64,
+}
+
+/// Runs `rounds` of alternating writes/reads where `share_percent` of the
+/// traffic hits a page both clients use.
+pub fn measure(share_percent: u64, rounds: u64) -> ShmPoint {
+    let fabric = Fabric::new();
+    let hs = fabric.add_host("server");
+    let ha = fabric.add_host("alpha");
+    let hb = fabric.add_host("beta");
+    let ka = Kernel::boot_on(ha.machine().clone(), KernelConfig::default());
+    let kb = Kernel::boot_on(hb.machine().clone(), KernelConfig::default());
+    let ta = Task::create(&ka, "a");
+    let tb = Task::create(&kb, "b");
+    let server = SharedMemoryServer::start(&fabric, &hs, 8 * PAGE);
+    let aa = server.attach(&ta, &ha).unwrap();
+    let ab = server.attach(&tb, &hb).unwrap();
+    // Page 0 is contended; pages 1 and 2 are private to A and B.
+    let mut rng = machsim::SplitMix64::new(42);
+    for round in 0..rounds {
+        let shared = rng.chance(share_percent, 100);
+        let (a_page, b_page) = if shared { (0, 0) } else { (1, 2) };
+        ta.write_memory(aa + a_page * PAGE, &[round as u8]).unwrap();
+        // Wait (bounded) for the value when contended, so each round pays
+        // its coherence cost before the next starts.
+        let mut buf = [0u8; 1];
+        if shared {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                tb.read_memory(ab + b_page * PAGE, &mut buf).unwrap();
+                if buf[0] == round as u8 || std::time::Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        } else {
+            tb.read_memory(ab + b_page * PAGE, &mut buf).unwrap();
+        }
+    }
+    let (invalidations, demotions) = server.coherence_counters();
+    let net_messages = ha.machine().stats.get(keys::NET_MESSAGES)
+        + hb.machine().stats.get(keys::NET_MESSAGES);
+    ShmPoint {
+        share_percent,
+        rounds,
+        invalidations,
+        demotions,
+        net_messages,
+    }
+}
+
+/// The standard locality sweep.
+pub fn run_default() -> Vec<ShmPoint> {
+    [0u64, 25, 50, 100]
+        .iter()
+        .map(|&s| measure(s, 24))
+        .collect()
+}
+
+/// Renders the E6 table.
+pub fn table(points: &[ShmPoint]) -> Table {
+    let mut t = Table::new(
+        "E6 — network shared memory: coherence traffic vs write sharing (Section 4.2)",
+        &["shared writes", "rounds", "invalidations", "demotions", "net messages"],
+    );
+    for p in points {
+        t.row(&[
+            format!("{}%", p.share_percent),
+            p.rounds.to_string(),
+            p.invalidations.to_string(),
+            p.demotions.to_string(),
+            p.net_messages.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_working_sets_cause_no_invalidations() {
+        let p = measure(0, 12);
+        assert_eq!(p.invalidations, 0);
+        assert_eq!(p.demotions, 0);
+    }
+
+    #[test]
+    fn full_contention_causes_per_round_traffic() {
+        let p = measure(100, 12);
+        assert!(
+            p.invalidations >= p.rounds / 2,
+            "invalidations {} for {} rounds",
+            p.invalidations,
+            p.rounds
+        );
+        assert!(p.demotions >= 1);
+    }
+
+    #[test]
+    fn traffic_grows_with_sharing() {
+        let lo = measure(0, 16);
+        let hi = measure(100, 16);
+        assert!(hi.invalidations > lo.invalidations);
+    }
+}

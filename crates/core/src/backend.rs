@@ -1,0 +1,306 @@
+//! The kernel's outbound half of the pager protocol: [`IpcPagerBackend`].
+//!
+//! This is where `machvm`'s abstract [`PagerBackend`] trait meets real
+//! ports: every trait method becomes an asynchronous message on the memory
+//! object port ("the calls do not have explicit return arguments and the
+//! kernel does not wait for acknowledgement"), sent with the backlog-exempt
+//! notification path so the kernel can never be blocked by a slow manager.
+//!
+//! The backend also implements the starvation protection of Section 6.2.2:
+//! dirty data handed to a manager with `pager_data_write` is *laundry* the
+//! manager owes a release for. When a manager's outstanding laundry exceeds
+//! a threshold, further pageouts divert to the default pager — "In this
+//! way, the kernel is protected from starvation by errant data managers."
+
+use crate::proto;
+use machipc::{Message, MsgItem, OolBuffer, SendRight};
+use machsim::Machine;
+use machvm::{ObjectId, PagerBackend, VmProt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, Weak};
+
+/// Default number of outstanding laundered bytes a manager may hold before
+/// pageouts divert to the default pager.
+pub const DEFAULT_LAUNDRY_LIMIT: u64 = 64 * 4096;
+
+/// Per-manager laundry accounting.
+#[derive(Debug, Default)]
+pub struct LaundryState {
+    outstanding: AtomicU64,
+}
+
+impl LaundryState {
+    /// Bytes written to the manager and not yet released.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Records `bytes` of data handed to the manager.
+    pub fn charge(&self, bytes: u64) {
+        self.outstanding.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records that the manager released `bytes` (its `vm_deallocate`).
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.outstanding.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.outstanding.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Kernel-side connection to one data manager's memory object port.
+pub struct IpcPagerBackend {
+    machine: Machine,
+    /// The memory object port (manager receives on it).
+    manager: SendRight,
+    /// Send right to the kernel's pager request port, included in calls
+    /// that expect a response ("specifying the pager request port to which
+    /// the data should be returned").
+    request: SendRight,
+    /// Laundry accounting for starvation protection.
+    laundry: Arc<LaundryState>,
+    /// Maximum outstanding laundry before diversion to the default pager.
+    laundry_limit: AtomicU64,
+    /// Where diverted pageouts go (`None` for the default pager itself).
+    fallback: RwLock<Weak<dyn PagerBackend>>,
+    /// Kernel cleanup to run at object termination (deallocates the
+    /// request and name ports, notifying the manager via port death).
+    on_terminate: parking_lot::Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Shared per-object termination hook (used by the default pager
+    /// backend, which serves many objects through one port).
+    on_terminate_object: parking_lot::Mutex<Option<Box<dyn Fn(ObjectId) + Send>>>,
+    /// Label for diagnostics.
+    label: String,
+}
+
+impl IpcPagerBackend {
+    /// Creates a backend speaking to `manager`, returning data via
+    /// `request`.
+    pub fn new(
+        machine: &Machine,
+        manager: SendRight,
+        request: SendRight,
+        label: impl Into<String>,
+    ) -> Arc<Self> {
+        Arc::new(IpcPagerBackend {
+            machine: machine.clone(),
+            manager,
+            request,
+            laundry: Arc::new(LaundryState::default()),
+            laundry_limit: AtomicU64::new(DEFAULT_LAUNDRY_LIMIT),
+            fallback: RwLock::new(Weak::<IpcPagerBackend>::new()),
+            on_terminate: parking_lot::Mutex::new(None),
+            on_terminate_object: parking_lot::Mutex::new(None),
+            label: label.into(),
+        })
+    }
+
+    /// Sets the default-pager fallback for laundry overflow.
+    pub fn set_fallback(&self, fallback: &Arc<dyn PagerBackend>) {
+        *self.fallback.write().expect("lock poisoned") = Arc::downgrade(fallback);
+    }
+
+    /// Installs the cleanup run when the object is terminated.
+    pub fn set_terminate_hook(&self, hook: impl FnOnce() + Send + 'static) {
+        *self.on_terminate.lock() = Some(Box::new(hook));
+    }
+
+    /// Adjusts the laundry limit (ablation experiments).
+    pub fn set_laundry_limit(&self, bytes: u64) {
+        self.laundry_limit.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Installs a hook run for every terminated object (default pager).
+    pub fn set_object_terminate_hook(&self, hook: impl Fn(ObjectId) + Send + 'static) {
+        *self.on_terminate_object.lock() = Some(Box::new(hook));
+    }
+
+    /// This manager's laundry account (shared with the kernel service loop,
+    /// which credits releases).
+    pub fn laundry(&self) -> Arc<LaundryState> {
+        self.laundry.clone()
+    }
+
+    /// The memory object port this backend drives.
+    pub fn manager_port(&self) -> &SendRight {
+        &self.manager
+    }
+
+    fn ids(&self, values: &[u64]) -> MsgItem {
+        MsgItem::u64s(values)
+    }
+}
+
+impl PagerBackend for IpcPagerBackend {
+    fn data_request(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt) {
+        self.manager.send_notification(
+            Message::new(proto::PAGER_DATA_REQUEST)
+                .with(self.ids(&[object.0, offset, length, desired_access.0 as u64]))
+                .with(MsgItem::SendRights(vec![self.request.clone()])),
+        );
+    }
+
+    fn data_write(&self, object: ObjectId, offset: u64, data: OolBuffer) {
+        let bytes = data.len() as u64;
+        if self.laundry.outstanding() + bytes > self.laundry_limit.load(Ordering::Relaxed) {
+            // Starvation protection: the manager is sitting on too much
+            // unreleased laundry; page to the default pager instead.
+            if let Some(fallback) = self.fallback.read().expect("lock poisoned").upgrade() {
+                self.machine.stats.incr("vm.default_pager_takeovers");
+                fallback.data_write(object, offset, data);
+                return;
+            }
+        }
+        self.laundry.charge(bytes);
+        self.manager.send_notification(
+            Message::new(proto::PAGER_DATA_WRITE)
+                .with(self.ids(&[object.0, offset]))
+                .with(MsgItem::OutOfLine(data))
+                .with(MsgItem::SendRights(vec![self.request.clone()])),
+        );
+    }
+
+    fn data_unlock(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt) {
+        self.manager.send_notification(
+            Message::new(proto::PAGER_DATA_UNLOCK)
+                .with(self.ids(&[object.0, offset, length, desired_access.0 as u64]))
+                .with(MsgItem::SendRights(vec![self.request.clone()])),
+        );
+    }
+
+    fn terminate(&self, object: ObjectId) {
+        // Termination is signaled by request/name port death (the FnOnce
+        // hook drops the kernel's receive rights) plus an explicit
+        // PAGER_TERMINATE message so multi-object managers — the default
+        // pager above all — can free that object's backing storage.
+        self.machine.stats.incr("emm.objects_terminated");
+        self.manager.send_notification(
+            Message::new(proto::PAGER_TERMINATE).with(self.ids(&[object.0])),
+        );
+        if let Some(hook) = self.on_terminate.lock().take() {
+            hook();
+        }
+        if let Some(hook) = self.on_terminate_object.lock().as_ref() {
+            hook(object);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machipc::ReceiveRight;
+    use parking_lot::Mutex;
+
+    fn setup() -> (Machine, ReceiveRight, ReceiveRight, Arc<IpcPagerBackend>) {
+        let m = Machine::default_machine();
+        let (mgr_rx, mgr_tx) = ReceiveRight::allocate(&m);
+        let (req_rx, req_tx) = ReceiveRight::allocate(&m);
+        let b = IpcPagerBackend::new(&m, mgr_tx, req_tx, "test");
+        (m, mgr_rx, req_rx, b)
+    }
+
+    #[test]
+    fn data_request_message_layout() {
+        let (_m, mgr_rx, _req_rx, b) = setup();
+        b.data_request(ObjectId(7), 4096, 4096, VmProt::READ);
+        let msg = mgr_rx.receive(None).unwrap();
+        assert_eq!(msg.id, proto::PAGER_DATA_REQUEST);
+        assert_eq!(
+            msg.body[0].as_u64s().unwrap(),
+            vec![7, 4096, 4096, VmProt::READ.0 as u64]
+        );
+        let MsgItem::SendRights(rights) = &msg.body[1] else {
+            panic!("request port expected");
+        };
+        assert_eq!(rights.len(), 1);
+    }
+
+    #[test]
+    fn data_write_carries_ool_and_charges_laundry() {
+        let (_m, mgr_rx, _req_rx, b) = setup();
+        b.data_write(ObjectId(3), 0, OolBuffer::from_vec(vec![1u8; 4096]));
+        assert_eq!(b.laundry().outstanding(), 4096);
+        let msg = mgr_rx.receive(None).unwrap();
+        assert_eq!(msg.id, proto::PAGER_DATA_WRITE);
+        assert_eq!(msg.body[1].as_ool().unwrap().len(), 4096);
+        b.laundry().release(4096);
+        assert_eq!(b.laundry().outstanding(), 0);
+    }
+
+    #[test]
+    fn laundry_release_saturates() {
+        let l = LaundryState::default();
+        l.charge(10);
+        l.release(100);
+        assert_eq!(l.outstanding(), 0);
+    }
+
+    #[test]
+    fn laundry_overflow_diverts_to_fallback() {
+        struct Sink(Mutex<Vec<(ObjectId, u64)>>);
+        impl PagerBackend for Sink {
+            fn data_request(&self, _o: ObjectId, _off: u64, _l: u64, _a: VmProt) {}
+            fn data_write(&self, o: ObjectId, off: u64, _d: OolBuffer) {
+                self.0.lock().push((o, off));
+            }
+            fn data_unlock(&self, _o: ObjectId, _off: u64, _l: u64, _a: VmProt) {}
+        }
+        let (m, mgr_rx, _req_rx, b) = setup();
+        let sink = Arc::new(Sink(Mutex::new(Vec::new())));
+        let sink_dyn: Arc<dyn PagerBackend> = sink.clone();
+        b.set_fallback(&sink_dyn);
+        // Fill the laundry limit without any releases.
+        let pages = DEFAULT_LAUNDRY_LIMIT / 4096;
+        for i in 0..pages {
+            b.data_write(ObjectId(1), i * 4096, OolBuffer::from_vec(vec![0; 4096]));
+        }
+        assert!(sink.0.lock().is_empty());
+        // The next write diverts.
+        b.data_write(ObjectId(1), pages * 4096, OolBuffer::from_vec(vec![0; 4096]));
+        assert_eq!(sink.0.lock().len(), 1);
+        assert_eq!(m.stats.get("vm.default_pager_takeovers"), 1);
+        // The manager got exactly `pages` messages, not pages + 1.
+        let mut received = 0;
+        while mgr_rx.try_receive().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, pages);
+    }
+
+    #[test]
+    fn unlock_message_layout() {
+        let (_m, mgr_rx, _req_rx, b) = setup();
+        b.data_unlock(ObjectId(2), 8192, 4096, VmProt::WRITE);
+        let msg = mgr_rx.receive(None).unwrap();
+        assert_eq!(msg.id, proto::PAGER_DATA_UNLOCK);
+        assert_eq!(
+            msg.body[0].as_u64s().unwrap(),
+            vec![2, 8192, 4096, VmProt::WRITE.0 as u64]
+        );
+    }
+
+    #[test]
+    fn sends_never_block_on_full_queue() {
+        let (_m, mgr_rx, _req_rx, b) = setup();
+        // Default backlog is 5; kernel notifications are exempt.
+        for i in 0..50u64 {
+            b.data_request(ObjectId(1), i * 4096, 4096, VmProt::READ);
+        }
+        assert_eq!(mgr_rx.status().num_msgs, 50);
+    }
+}

@@ -1,0 +1,709 @@
+//! The Mach kernel of one host: physical memory, the external memory
+//! management service, and the default pager.
+//!
+//! "The Mach kernel can itself be considered a task with multiple threads
+//! of control. The kernel task acts as a server which in turn implements
+//! tasks and threads." Here the kernel's visible thread is the EMM service
+//! loop: it holds the receive rights of every pager request port and name
+//! port, and turns the data-manager → kernel protocol messages (Table 3-6)
+//! into operations on the resident page cache.
+
+use crate::backend::IpcPagerBackend;
+use crate::default_pager::DefaultPager;
+use crate::manager::{spawn_manager, ManagerHandle};
+use crate::proto;
+use machipc::{Message, MsgItem, PortId, PortSpace, SendRight};
+use machsim::{CostModel, Machine};
+use machstorage::{BlockDevice, BLOCK_SIZE};
+use machvm::{FaultPolicy, ObjectId, PagerBackend, PhysicalMemory, VmObject, VmProt};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Boot-time kernel parameters.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Physical memory size in bytes.
+    pub memory_bytes: usize,
+    /// System page size ("a boot time parameter").
+    pub page_size: usize,
+    /// Frames reserved for the pageout path (Section 6.2.3).
+    pub reserve_pages: usize,
+    /// Size of the default pager's paging partition, in blocks.
+    pub paging_blocks: usize,
+    /// Machine cost model.
+    pub cost: CostModel,
+    /// Default fault policy for new tasks.
+    pub fault_policy: FaultPolicy,
+    /// Outstanding-laundry bytes a data manager may hold before pageouts
+    /// divert to the default pager (Section 6.2.2 starvation protection).
+    pub laundry_limit: u64,
+    /// Whether to run the background pageout daemon that keeps the free
+    /// queue primed (Section 5.4's queue maintenance).
+    pub pageout_daemon: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            memory_bytes: 4 << 20,
+            page_size: BLOCK_SIZE,
+            reserve_pages: 16,
+            paging_blocks: 4096,
+            cost: CostModel::default(),
+            fault_policy: FaultPolicy::trusting(),
+            laundry_limit: crate::backend::DEFAULT_LAUNDRY_LIMIT,
+            pageout_daemon: true,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A small-memory kernel, convenient for replacement experiments.
+    pub fn with_memory(memory_bytes: usize) -> Self {
+        Self {
+            memory_bytes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Kernel-side record of one external memory object.
+struct EmmRecord {
+    object: Arc<VmObject>,
+    backend: Arc<IpcPagerBackend>,
+}
+
+/// Object registry shared between API paths and the service loop.
+#[derive(Default)]
+struct Registry {
+    /// By kernel-internal object id (routing for manager → kernel calls).
+    by_id: HashMap<u64, EmmRecord>,
+    /// By memory object port ("has this port been mapped before?").
+    by_port: HashMap<PortId, Arc<VmObject>>,
+}
+
+/// One host's Mach kernel.
+pub struct Kernel {
+    machine: Machine,
+    phys: Arc<PhysicalMemory>,
+    registry: Arc<Mutex<Registry>>,
+    service_space: Arc<PortSpace>,
+    control: SendRight,
+    default_backend: Arc<IpcPagerBackend>,
+    default_pager_handle: Mutex<Option<ManagerHandle>>,
+    service: Mutex<Option<JoinHandle<()>>>,
+    daemon: Mutex<Option<JoinHandle<()>>>,
+    daemon_stop: Arc<std::sync::atomic::AtomicBool>,
+    fault_policy: FaultPolicy,
+    laundry_limit: u64,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Kernel(mem={} pages, {} objects)",
+            self.phys.total_frames(),
+            self.registry.lock().by_id.len()
+        )
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel: physical memory, default pager, EMM service loop.
+    pub fn boot(config: KernelConfig) -> Arc<Kernel> {
+        Self::boot_on(Machine::new(config.cost.clone()), config)
+    }
+
+    /// Boots a kernel on an existing machine context (e.g. a fabric host).
+    pub fn boot_on(machine: Machine, config: KernelConfig) -> Arc<Kernel> {
+        let phys = PhysicalMemory::new(
+            &machine,
+            config.memory_bytes,
+            config.page_size,
+            config.reserve_pages,
+        );
+        let registry: Arc<Mutex<Registry>> = Arc::new(Mutex::new(Registry::default()));
+        let service_space = Arc::new(PortSpace::new(&machine));
+
+        // Control port for service-loop shutdown.
+        let control_name = service_space.port_allocate();
+        service_space
+            .port_enable(control_name)
+            .expect("control port enable");
+        let control = service_space
+            .send_right(control_name)
+            .expect("control port right");
+
+        // The default pager: an ordinary external data manager over a
+        // dedicated paging partition.
+        let paging_dev = Arc::new(BlockDevice::new(&machine, config.paging_blocks));
+        let dp = DefaultPager::new(paging_dev, config.page_size);
+        let dp_handle = spawn_manager(&machine, "default", dp);
+        let (_dp_request_name, dp_request) = Self::register_request_port(&service_space, &machine);
+        let default_backend = IpcPagerBackend::new(
+            &machine,
+            dp_handle.port().clone(),
+            dp_request,
+            "default-pager",
+        );
+        phys.set_default_pager(default_backend.clone());
+        // Terminated kernel-created objects leave the routing registry and
+        // the default pager frees their paging storage.
+        {
+            let registry = registry.clone();
+            default_backend.set_object_terminate_hook(move |object| {
+                registry.lock().by_id.remove(&object.0);
+            });
+        }
+
+        // pager_create: when a temporary object is first paged out, tell
+        // the default pager and register the object for supply routing.
+        {
+            let registry = registry.clone();
+            let dp_port = dp_handle.port().clone();
+            let backend = default_backend.clone();
+            phys.set_adoption_hook(move |object: &Arc<VmObject>| {
+                registry.lock().by_id.insert(
+                    object.id().0,
+                    EmmRecord {
+                        object: object.clone(),
+                        backend: backend.clone(),
+                    },
+                );
+                dp_port.send_notification(
+                    Message::new(proto::PAGER_CREATE)
+                        .with(MsgItem::u64s(&[object.id().0])),
+                );
+            });
+        }
+
+        let kernel = Arc::new(Kernel {
+            machine: machine.clone(),
+            phys: phys.clone(),
+            registry: registry.clone(),
+            service_space: service_space.clone(),
+            control,
+            default_backend,
+            default_pager_handle: Mutex::new(Some(dp_handle)),
+            service: Mutex::new(None),
+            daemon: Mutex::new(None),
+            daemon_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            fault_policy: config.fault_policy,
+            laundry_limit: config.laundry_limit,
+        });
+
+        // The EMM service loop.
+        let thread = {
+            let space = service_space;
+            let registry = registry;
+            let phys = phys;
+            std::thread::Builder::new()
+                .name("kernel-emm".into())
+                .spawn(move || Self::service_loop(space, registry, phys))
+                .expect("spawn kernel service loop")
+        };
+        *kernel.service.lock() = Some(thread);
+        // The pageout daemon: keeps the free queue above a low watermark
+        // and the inactive queue primed, so faults rarely reclaim inline.
+        if config.pageout_daemon {
+            let phys = kernel.phys.clone();
+            let stop = kernel.daemon_stop.clone();
+            let machine = kernel.machine.clone();
+            let total = phys.total_frames();
+            let low_water = (total / 8).max(config.reserve_pages + 4);
+            let high_water = (low_water * 3 / 2).min(total.saturating_sub(1));
+            let daemon = std::thread::Builder::new()
+                .name("pageout-daemon".into())
+                .spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        if phys.free_frames() < low_water {
+                            phys.balance_queues(high_water);
+                            let want = high_water.saturating_sub(phys.free_frames());
+                            let freed = phys.reclaim_pages(want);
+                            machine.stats.add("vm.daemon_reclaims", freed as u64);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                })
+                .expect("spawn pageout daemon");
+            *kernel.daemon.lock() = Some(daemon);
+        }
+        kernel
+    }
+
+    /// Creates a request (or name) port whose receive right lives in the
+    /// kernel service space, enabled for the service loop.
+    fn register_request_port(
+        space: &Arc<PortSpace>,
+        machine: &Machine,
+    ) -> (machipc::PortName, SendRight) {
+        let (rx, tx) = machipc::ReceiveRight::allocate(machine);
+        rx.set_backlog(65536);
+        let name = space.insert_receive(rx);
+        space.port_enable(name).expect("enable request port");
+        let _ = tx;
+        let right = space.send_right(name).expect("request port right");
+        (name, right)
+    }
+
+    fn service_loop(
+        space: Arc<PortSpace>,
+        registry: Arc<Mutex<Registry>>,
+        phys: Arc<PhysicalMemory>,
+    ) {
+        loop {
+            let Ok((_from, msg)) = space.receive_default(None) else {
+                break;
+            };
+            let ids: Vec<u64> = msg
+                .body
+                .iter()
+                .find_map(|i| i.as_u64s())
+                .unwrap_or_default();
+            let object_of = |id: u64| -> Option<Arc<VmObject>> {
+                registry.lock().by_id.get(&id).map(|r| r.object.clone())
+            };
+            match msg.id {
+                proto::PAGER_DATA_PROVIDED => {
+                    if let (Some(obj), Some(data)) = (
+                        object_of(ids[0]),
+                        msg.body.iter().find_map(|i| i.as_ool()),
+                    ) {
+                        let lock = VmProt(ids[2] as u8);
+                        let _ = phys.supply_page(&obj, ids[1], data.as_slice(), lock);
+                    }
+                }
+                proto::PAGER_DATA_UNAVAILABLE => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        let ps = phys.page_size() as u64;
+                        let mut page = ids[1];
+                        while page < ids[1] + ids[2] {
+                            let _ = phys.data_unavailable(&obj, page);
+                            page += ps;
+                        }
+                    }
+                }
+                proto::PAGER_DATA_LOCK => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        phys.lock_range(&obj, ids[1], ids[2], VmProt(ids[3] as u8));
+                    }
+                }
+                proto::PAGER_FLUSH_REQUEST => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        phys.flush_range(&obj, ids[1], ids[2]);
+                    }
+                }
+                proto::PAGER_CLEAN_REQUEST => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        phys.clean_range(&obj, ids[1], ids[2]);
+                    }
+                }
+                proto::PAGER_CACHE => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        obj.set_can_persist(ids[1] != 0);
+                    }
+                }
+                proto::PAGER_RELEASE_LAUNDRY => {
+                    let backend = registry
+                        .lock()
+                        .by_id
+                        .get(&ids[0])
+                        .map(|r| r.backend.clone());
+                    if let Some(b) = backend {
+                        b.laundry().release(ids[1]);
+                    }
+                }
+                proto::KERNEL_SHUTDOWN => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// The machine this kernel runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The kernel's physical memory.
+    pub fn phys(&self) -> &Arc<PhysicalMemory> {
+        &self.phys
+    }
+
+    /// System page size.
+    pub fn page_size(&self) -> u64 {
+        self.phys.page_size() as u64
+    }
+
+    /// Default fault policy applied to new tasks.
+    pub fn default_fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// The default pager backend (for laundry-overflow fallbacks).
+    pub fn default_backend(&self) -> Arc<dyn PagerBackend> {
+        self.default_backend.clone()
+    }
+
+    /// Looks up a registered memory object by kernel id.
+    pub fn object_by_id(&self, id: ObjectId) -> Option<Arc<VmObject>> {
+        self.registry.lock().by_id.get(&id.0).map(|r| r.object.clone())
+    }
+
+    /// Resolves (or creates) the internal memory object for a memory
+    /// object port — the kernel half of `vm_allocate_with_pager`.
+    ///
+    /// "the Mach kernel looks up the given memory object port, attempting
+    /// to find an associated internal memory object structure; if none
+    /// exists, a new internal structure is created, and the pager_init call
+    /// performed."
+    pub fn object_for_port(&self, memory_object: &SendRight, size: u64) -> Arc<VmObject> {
+        if let Some(obj) = self.registry.lock().by_port.get(&memory_object.id()) {
+            return obj.clone();
+        }
+        // Request and name ports: the kernel holds receive rights on both.
+        let (request_name, request) = Self::register_request_port(&self.service_space, &self.machine);
+        let name_port_name = self.service_space.port_allocate();
+        let name_send = self
+            .service_space
+            .send_right(name_port_name)
+            .expect("name port right");
+        let backend = IpcPagerBackend::new(
+            &self.machine,
+            memory_object.clone(),
+            request.clone(),
+            format!("pager-{}", memory_object.id()),
+        );
+        let fallback: Arc<dyn PagerBackend> = self.default_backend.clone();
+        backend.set_fallback(&fallback);
+        backend.set_laundry_limit(self.laundry_limit);
+        let object = VmObject::new_with_pager(size, backend.clone());
+        // Termination: forget the object and kill the kernel-held ports so
+        // the manager sees port death.
+        {
+            let registry = self.registry.clone();
+            let port_id = memory_object.id();
+            let object_id = object.id().0;
+            let space = self.service_space.clone();
+            backend.set_terminate_hook(move || {
+                let mut reg = registry.lock();
+                reg.by_id.remove(&object_id);
+                reg.by_port.remove(&port_id);
+                drop(reg);
+                // Dropping the kernel's receive rights destroys both ports;
+                // the manager is notified through port death (Section 3.4.1:
+                // "The data manager receives notification of the destruction
+                // of the request and name ports").
+                let _ = space.port_deallocate(request_name);
+                let _ = space.port_deallocate(name_port_name);
+            });
+        }
+        let mut reg = self.registry.lock();
+        reg.by_id.insert(
+            object.id().0,
+            EmmRecord {
+                object: object.clone(),
+                backend,
+            },
+        );
+        reg.by_port.insert(memory_object.id(), object.clone());
+        drop(reg);
+        // pager_init, performed before vm_allocate_with_pager completes.
+        memory_object.send_notification(
+            Message::new(proto::PAGER_INIT)
+                .with(MsgItem::u64s(&[object.id().0]))
+                .with(MsgItem::SendRights(vec![request, name_send])),
+        );
+        object
+    }
+
+    /// Number of external memory objects currently known.
+    pub fn object_count(&self) -> usize {
+        self.registry.lock().by_id.len()
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        self.daemon_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = self.daemon.lock().take() {
+            let _ = t.join();
+        }
+        self.control
+            .send_notification(Message::new(proto::KERNEL_SHUTDOWN));
+        if let Some(t) = self.service.lock().take() {
+            let _ = t.join();
+        }
+        // Shut the default pager down after the service loop.
+        self.default_pager_handle.lock().take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{DataManager, KernelConn};
+    use machipc::OolBuffer;
+    use machvm::VmMap;
+    use std::time::Duration;
+
+    struct FillPager(u8);
+
+    impl DataManager for FillPager {
+        fn data_request(
+            &mut self,
+            kernel: &KernelConn,
+            object: u64,
+            offset: u64,
+            length: u64,
+            _access: VmProt,
+        ) {
+            kernel.data_provided(
+                object,
+                offset,
+                OolBuffer::from_vec(vec![self.0; length as usize]),
+                VmProt::NONE,
+            );
+        }
+    }
+
+    #[test]
+    fn boot_and_shutdown() {
+        let k = Kernel::boot(KernelConfig::default());
+        assert_eq!(k.page_size(), 4096);
+        drop(k); // Must not hang.
+    }
+
+    #[test]
+    fn external_pager_round_trip_through_real_ipc() {
+        let k = Kernel::boot(KernelConfig::default());
+        let mgr = spawn_manager(k.machine(), "fill", FillPager(0x5A));
+        let object = k.object_for_port(mgr.port(), 1 << 20);
+        let map = VmMap::new(k.phys());
+        let addr = map
+            .allocate_with_object(None, 1 << 20, object, 0, false)
+            .unwrap();
+        let mut buf = [0u8; 64];
+        map.access_read(addr + 8192, &mut buf).unwrap();
+        assert_eq!(buf, [0x5A; 64]);
+    }
+
+    #[test]
+    fn mapping_same_port_twice_reuses_object() {
+        let k = Kernel::boot(KernelConfig::default());
+        let mgr = spawn_manager(k.machine(), "fill", FillPager(1));
+        let a = k.object_for_port(mgr.port(), 4096);
+        let b = k.object_for_port(mgr.port(), 4096);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(k.object_count(), 1);
+    }
+
+    #[test]
+    fn pager_init_is_sent_on_first_map() {
+        struct InitWatch(Arc<Mutex<Vec<u64>>>);
+        impl DataManager for InitWatch {
+            fn init(&mut self, _k: &KernelConn, object: u64) {
+                self.0.lock().push(object);
+            }
+            fn data_request(&mut self, _k: &KernelConn, _o: u64, _off: u64, _l: u64, _a: VmProt) {}
+        }
+        let k = Kernel::boot(KernelConfig::default());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mgr = spawn_manager(k.machine(), "watch", InitWatch(seen.clone()));
+        let object = k.object_for_port(mgr.port(), 4096);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(seen.lock().as_slice(), &[object.id().0]);
+    }
+
+    #[test]
+    fn unmap_terminates_object_and_notifies_manager() {
+        struct DetachWatch(Arc<Mutex<u32>>);
+        impl DataManager for DetachWatch {
+            fn data_request(&mut self, _k: &KernelConn, _o: u64, _off: u64, _l: u64, _a: VmProt) {}
+            fn kernel_detached(&mut self, _p: u64) {
+                *self.0.lock() += 1;
+            }
+        }
+        let k = Kernel::boot(KernelConfig::default());
+        let detached = Arc::new(Mutex::new(0));
+        let mgr = spawn_manager(k.machine(), "detach", DetachWatch(detached.clone()));
+        let object = k.object_for_port(mgr.port(), 4096);
+        let map = VmMap::new(k.phys());
+        let addr = map
+            .allocate_with_object(None, 4096, object, 0, false)
+            .unwrap();
+        assert_eq!(k.object_count(), 1);
+        map.deallocate(addr, 4096).unwrap();
+        assert_eq!(k.object_count(), 0);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(*detached.lock() >= 1, "manager saw request port death");
+    }
+
+    #[test]
+    fn anonymous_memory_survives_eviction_via_default_pager() {
+        // Small memory so writes force pageout through the default pager,
+        // then read everything back — the full §6.2.2 loop over real IPC.
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 16 * 4096,
+            reserve_pages: 4,
+            ..KernelConfig::default()
+        });
+        let map = VmMap::new(k.phys());
+        let pages = 32u64;
+        let addr = map.allocate(None, pages * 4096).unwrap();
+        for i in 0..pages {
+            map.access_write(addr + i * 4096, &[i as u8 + 1]).unwrap();
+        }
+        // Everything cannot be resident; re-read and verify contents.
+        for i in 0..pages {
+            let mut b = [0u8; 1];
+            map.access_read(addr + i * 4096, &mut b).unwrap();
+            assert_eq!(b[0], i as u8 + 1, "page {i} round-tripped");
+        }
+        assert!(k.machine().stats.get(machsim::stats::keys::VM_PAGEOUTS) > 0);
+        assert!(k.machine().stats.get(machsim::stats::keys::DISK_WRITES) > 0);
+    }
+
+    #[test]
+    fn pageout_daemon_keeps_the_free_queue_primed() {
+        // Fill memory with resident pages and stop touching them: the
+        // daemon must bring the free queue back above its low watermark
+        // without any allocation forcing inline reclaim.
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 64 * 4096, // low watermark = 8 frames
+            reserve_pages: 4,
+            ..KernelConfig::default()
+        });
+        let map = VmMap::new(k.phys());
+        let pages = 58u64;
+        let addr = map.allocate(None, pages * 4096).unwrap();
+        for i in 0..pages {
+            map.access_write(addr + i * 4096, &[1]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while k.phys().free_frames() < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never refilled the free queue: {} free",
+                k.phys().free_frames()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(k.machine().stats.get("vm.daemon_reclaims") > 0);
+    }
+
+    #[test]
+    fn paging_storage_is_reclaimed_after_object_termination() {
+        // A tiny paging partition (32 blocks) must survive many cycles of
+        // allocate / dirty / evict / deallocate, because termination frees
+        // the default pager's storage. Without PAGER_TERMINATE handling
+        // this would exhaust the partition and count partition_full events.
+        let k = Kernel::boot(KernelConfig {
+            memory_bytes: 12 * 4096,
+            reserve_pages: 4,
+            paging_blocks: 32,
+            ..KernelConfig::default()
+        });
+        let map = VmMap::new(k.phys());
+        for cycle in 0..8 {
+            let pages = 24u64; // More than fits in memory: forces pageout.
+            let addr = map.allocate(None, pages * 4096).unwrap();
+            for i in 0..pages {
+                map.access_write(addr + i * 4096, &[cycle as u8]).unwrap();
+            }
+            map.deallocate(addr, pages * 4096).unwrap();
+            // Let the termination message drain before the next cycle.
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        assert!(
+            k.machine().stats.get(machsim::stats::keys::VM_PAGEOUTS) > 0,
+            "pressure produced pageouts"
+        );
+        assert_eq!(
+            k.machine().stats.get("default_pager.partition_full"),
+            0,
+            "paging storage was recycled across cycles"
+        );
+    }
+
+    #[test]
+    fn boot_with_eight_kilobyte_pages() {
+        // "The system page size is a boot time parameter and can be any
+        // multiple of the hardware page size."
+        let k = Kernel::boot(KernelConfig {
+            page_size: 8192,
+            memory_bytes: 32 * 8192,
+            reserve_pages: 4,
+            ..KernelConfig::default()
+        });
+        assert_eq!(k.page_size(), 8192);
+        let map = VmMap::new(k.phys());
+        // Anonymous memory works with pageout through the default pager.
+        let pages = 64u64;
+        let addr = map.allocate(None, pages * 8192).unwrap();
+        for i in 0..pages {
+            map.access_write(addr + i * 8192, &[i as u8]).unwrap();
+        }
+        for i in 0..pages {
+            let mut b = [0u8; 1];
+            map.access_read(addr + i * 8192, &mut b).unwrap();
+            assert_eq!(b[0], i as u8);
+        }
+        // An external pager also sees 8K requests.
+        let mgr = spawn_manager(k.machine(), "fill8k", FillPager(0x8F));
+        let object = k.object_for_port(mgr.port(), 8 * 8192);
+        let addr2 = map
+            .allocate_with_object(None, 8 * 8192, object, 0, false)
+            .unwrap();
+        let mut b = [0u8; 1];
+        map.access_read(addr2 + 8192, &mut b).unwrap();
+        assert_eq!(b[0], 0x8F);
+    }
+
+    #[test]
+    fn flush_request_from_manager_invalidates_cache() {
+        struct FlushPager {
+            conn: Arc<Mutex<Option<(KernelConn, u64)>>>,
+        }
+        impl DataManager for FlushPager {
+            fn init(&mut self, kernel: &KernelConn, object: u64) {
+                *self.conn.lock() = Some((kernel.clone(), object));
+            }
+            fn data_request(
+                &mut self,
+                kernel: &KernelConn,
+                object: u64,
+                offset: u64,
+                length: u64,
+                _a: VmProt,
+            ) {
+                kernel.data_provided(
+                    object,
+                    offset,
+                    OolBuffer::from_vec(vec![1; length as usize]),
+                    VmProt::NONE,
+                );
+            }
+        }
+        let k = Kernel::boot(KernelConfig::default());
+        let conn = Arc::new(Mutex::new(None));
+        let mgr = spawn_manager(k.machine(), "flush", FlushPager { conn: conn.clone() });
+        let object = k.object_for_port(mgr.port(), 1 << 20);
+        let map = VmMap::new(k.phys());
+        let addr = map
+            .allocate_with_object(None, 1 << 20, object.clone(), 0, false)
+            .unwrap();
+        let mut b = [0u8; 1];
+        map.access_read(addr, &mut b).unwrap();
+        assert_eq!(k.phys().resident_pages_of(object.id()), 1);
+        // The manager flushes its object through the kernel service loop.
+        let (kc, oid) = conn.lock().clone().expect("init ran");
+        kc.flush_request(oid, 0, 4096);
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(k.phys().resident_pages_of(object.id()), 0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The Mach kernel: tasks, threads, and external memory management.
+//!
+//! This crate assembles the substrates into the system the paper describes:
+//!
+//! * [`kernel::Kernel`] — one host's kernel: physical memory, the EMM
+//!   service loop, and the default pager (itself an ordinary external data
+//!   manager, per Section 6.2.2).
+//! * [`task::Task`] — tasks ("the basic unit of resource allocation": a
+//!   paged address space plus a port name space) and threads ("the basic
+//!   unit of computation").
+//! * [`manager`] — the data-manager runtime: implement [`DataManager`] and
+//!   the kernel's Table 3-5 calls arrive as trait callbacks, with the
+//!   Table 3-6 replies available on a [`KernelConn`].
+//! * [`backend`] — the kernel's outbound half of the protocol, including
+//!   laundry accounting and default-pager takeover (starvation protection).
+//! * [`msg`] — out-of-line message transfer by copy-on-write mapping: the
+//!   communication half of the duality.
+//! * [`proto`] — the message ids and layouts of Tables 3-4/3-5/3-6.
+
+pub mod backend;
+pub mod default_pager;
+pub mod kernel;
+pub mod manager;
+pub mod msg;
+pub mod objport;
+pub mod proto;
+pub mod task;
+
+pub use backend::IpcPagerBackend;
+pub use default_pager::DefaultPager;
+pub use kernel::{Kernel, KernelConfig};
+pub use manager::{spawn_manager, DataManager, KernelConn, ManagerHandle};
+pub use msg::RegionDescriptor;
+pub use objport::{RemoteTask, TaskPort};
+pub use task::Task;

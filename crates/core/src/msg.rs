@@ -1,0 +1,267 @@
+//! Out-of-line message transfer by copy-on-write mapping.
+//!
+//! "Mach uses memory-mapping techniques to make the passing of large
+//! messages on a tightly coupled multiprocessor or uniprocessor more
+//! efficient." A large message body does not move as bytes: the sender's
+//! region is write-protected and described by a list of memory-object
+//! references (a [`RegionDescriptor`]); the receiver maps those objects
+//! copy-on-write into its own address space. Bytes are copied only when —
+//! and where — someone writes.
+//!
+//! The physical-copy alternative ([`send_bytes_inline`]) is kept alongside
+//! so Experiment E15 can measure the crossover between the two, and
+//! because inline copying is what actually happens on a NORMA network,
+//! where pages cannot be shared.
+
+use crate::proto::OPAQUE_REGION;
+use crate::task::Task;
+use machipc::{IpcError, Message, MsgItem, SendRight};
+use machvm::{VmError, VmObject};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The in-kernel representation of an out-of-line region in transit:
+/// `(object, offset, size)` segments, each holding a map reference.
+#[derive(Debug)]
+pub struct RegionDescriptor {
+    segments: Vec<(Arc<VmObject>, u64, u64)>,
+    /// Total size in bytes.
+    pub size: u64,
+}
+
+/// Errors from region transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgVmError {
+    /// The underlying IPC operation failed.
+    Ipc(IpcError),
+    /// The underlying VM operation failed.
+    Vm(VmError),
+    /// The message carried no region descriptor.
+    NoRegion,
+}
+
+impl std::fmt::Display for MsgVmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgVmError::Ipc(e) => write!(f, "ipc: {e}"),
+            MsgVmError::Vm(e) => write!(f, "vm: {e}"),
+            MsgVmError::NoRegion => f.write_str("message carries no region"),
+        }
+    }
+}
+
+impl std::error::Error for MsgVmError {}
+
+impl From<IpcError> for MsgVmError {
+    fn from(e: IpcError) -> Self {
+        MsgVmError::Ipc(e)
+    }
+}
+
+impl From<VmError> for MsgVmError {
+    fn from(e: VmError) -> Self {
+        MsgVmError::Vm(e)
+    }
+}
+
+/// Builds a message item describing `[address, address+size)` of `task`'s
+/// memory, transferred copy-on-write ("A single message may transfer up to
+/// the entire address space of a task").
+pub fn region_item(task: &Task, address: u64, size: u64) -> Result<MsgItem, VmError> {
+    let segments = task.map().copy_region_descriptor(address, size)?;
+    Ok(MsgItem::Opaque {
+        tag: OPAQUE_REGION,
+        handle: Arc::new(RegionDescriptor { segments, size }),
+    })
+}
+
+/// Sends `[address, address+size)` of `task` to `dest` as an out-of-line
+/// region (COW transfer). Message id is `id`.
+pub fn send_region(
+    task: &Task,
+    dest: &SendRight,
+    id: u32,
+    address: u64,
+    size: u64,
+    timeout: Option<Duration>,
+) -> Result<(), MsgVmError> {
+    let item = region_item(task, address, size)?;
+    dest.send(Message::new(id).with(item), timeout)?;
+    Ok(())
+}
+
+/// Sends the same range as inline bytes — a physical copy at both ends.
+///
+/// This is the traditional message-passing cost model the duality avoids.
+pub fn send_bytes_inline(
+    task: &Task,
+    dest: &SendRight,
+    id: u32,
+    address: u64,
+    size: u64,
+    timeout: Option<Duration>,
+) -> Result<(), MsgVmError> {
+    let data = task.map().read(address, size)?;
+    dest.send(Message::new(id).with(MsgItem::bytes(data)), timeout)?;
+    Ok(())
+}
+
+/// Extracts the first region descriptor from a received message and maps
+/// it copy-on-write into `task`'s address space. Returns the address.
+pub fn map_received_region(task: &Task, msg: &mut Message) -> Result<u64, MsgVmError> {
+    let descriptor = msg
+        .body
+        .iter()
+        .find_map(|item| match item {
+            MsgItem::Opaque { tag, handle } if *tag == OPAQUE_REGION => {
+                handle.clone().downcast::<RegionDescriptor>().ok()
+            }
+            _ => None,
+        })
+        .ok_or(MsgVmError::NoRegion)?;
+    let map = task.map();
+    let mut base: Option<u64> = None;
+    let mut cursor = 0u64;
+    for (object, offset, seg_size) in descriptor.segments.iter() {
+        let addr = match base {
+            None => {
+                let a = map.allocate_with_object(None, *seg_size, object.clone(), *offset, true)?;
+                base = Some(a);
+                a
+            }
+            Some(b) => map.allocate_with_object(
+                Some(b + cursor),
+                *seg_size,
+                object.clone(),
+                *offset,
+                true,
+            )?,
+        };
+        let _ = addr;
+        cursor += seg_size;
+        // Transfer the descriptor's reference to the new mapping.
+        object.drop_map_ref();
+    }
+    base.ok_or(MsgVmError::NoRegion)
+}
+
+/// Receives inline bytes into freshly allocated task memory (the physical
+/// copy path). Returns `(address, size)`.
+pub fn copy_in_inline(task: &Task, msg: &Message) -> Result<(u64, u64), MsgVmError> {
+    let data = msg
+        .body
+        .iter()
+        .find_map(|i| i.as_bytes())
+        .ok_or(MsgVmError::NoRegion)?;
+    let addr = task.map().allocate(None, data.len() as u64)?;
+    task.map().write(addr, data)?;
+    Ok((addr, data.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelConfig};
+    use machipc::ReceiveRight;
+    use machsim::stats::keys;
+
+    fn setup() -> (Arc<Kernel>, Arc<Task>, Arc<Task>) {
+        let k = Kernel::boot(KernelConfig::default());
+        let a = Task::create(&k, "sender");
+        let b = Task::create(&k, "receiver");
+        (k, a, b)
+    }
+
+    #[test]
+    fn region_transfer_moves_no_bytes_up_front() {
+        let (k, sender, receiver) = setup();
+        let size = 16 * 4096u64;
+        let addr = sender.vm_allocate(size).unwrap();
+        sender.write_memory(addr, b"front").unwrap();
+        sender.write_memory(addr + size - 5, b"back!").unwrap();
+        let copies_before = k.machine().stats.get(keys::BYTES_COPIED);
+        let (rx, tx) = ReceiveRight::allocate(k.machine());
+        send_region(&sender, &tx, 7, addr, size, None).unwrap();
+        let mut msg = rx.receive(None).unwrap();
+        let raddr = map_received_region(&receiver, &mut msg).unwrap();
+        // No page-sized copies yet: transfer was by mapping.
+        let copied_during_transfer = k.machine().stats.get(keys::BYTES_COPIED) - copies_before;
+        assert!(
+            copied_during_transfer < 4096,
+            "transfer copied {copied_during_transfer} bytes"
+        );
+        // The receiver reads the sender's data.
+        let mut b = [0u8; 5];
+        receiver.read_memory(raddr, &mut b).unwrap();
+        assert_eq!(&b, b"front");
+        receiver.read_memory(raddr + size - 5, &mut b).unwrap();
+        assert_eq!(&b, b"back!");
+    }
+
+    #[test]
+    fn writes_after_transfer_are_isolated() {
+        let (k, sender, receiver) = setup();
+        let addr = sender.vm_allocate(4096).unwrap();
+        sender.write_memory(addr, &[1]).unwrap();
+        let (rx, tx) = ReceiveRight::allocate(k.machine());
+        send_region(&sender, &tx, 1, addr, 4096, None).unwrap();
+        let mut msg = rx.receive(None).unwrap();
+        let raddr = map_received_region(&receiver, &mut msg).unwrap();
+        // Sender writes after the send: receiver must not see them.
+        sender.write_memory(addr, &[2]).unwrap();
+        let mut b = [0u8; 1];
+        receiver.read_memory(raddr, &mut b).unwrap();
+        assert_eq!(b[0], 1);
+        // Receiver writes: sender must not see them.
+        receiver.write_memory(raddr, &[3]).unwrap();
+        sender.read_memory(addr, &mut b).unwrap();
+        assert_eq!(b[0], 2);
+        assert!(k.machine().stats.get(keys::VM_COW_COPIES) >= 1);
+    }
+
+    #[test]
+    fn inline_path_copies_all_bytes() {
+        let (k, sender, receiver) = setup();
+        let size = 8 * 4096u64;
+        let addr = sender.vm_allocate(size).unwrap();
+        sender.write_memory(addr, &[5]).unwrap();
+        let before = k.machine().stats.get(keys::BYTES_COPIED);
+        let (rx, tx) = ReceiveRight::allocate(k.machine());
+        send_bytes_inline(&sender, &tx, 1, addr, size, None).unwrap();
+        let msg = rx.receive(None).unwrap();
+        let (raddr, rsize) = copy_in_inline(&receiver, &msg).unwrap();
+        assert_eq!(rsize, size);
+        let copied = k.machine().stats.get(keys::BYTES_COPIED) - before;
+        // vm_read + message enqueue copy + vm_write: at least 3x the size.
+        assert!(copied >= 3 * size, "only {copied} bytes copied");
+        let mut b = [0u8; 1];
+        receiver.read_memory(raddr, &mut b).unwrap();
+        assert_eq!(b[0], 5);
+    }
+
+    #[test]
+    fn message_without_region_is_rejected() {
+        let (k, _s, receiver) = setup();
+        let (rx, tx) = ReceiveRight::allocate(k.machine());
+        tx.send(Message::new(1), None).unwrap();
+        let mut msg = rx.receive(None).unwrap();
+        assert_eq!(
+            map_received_region(&receiver, &mut msg).unwrap_err(),
+            MsgVmError::NoRegion
+        );
+    }
+
+    #[test]
+    fn cow_transfer_charges_remap_not_copy_cost() {
+        let (k, sender, _r) = setup();
+        let size = 64 * 4096u64;
+        let addr = sender.vm_allocate(size).unwrap();
+        sender.write_memory(addr, &[1]).unwrap();
+        let remaps_before = k.machine().stats.get(keys::PAGES_REMAPPED);
+        let _ = region_item(&sender, addr, size).unwrap();
+        assert_eq!(
+            k.machine().stats.get(keys::PAGES_REMAPPED) - remaps_before,
+            64
+        );
+    }
+}

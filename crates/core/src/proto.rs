@@ -1,0 +1,99 @@
+//! Wire protocol of the external memory management interface.
+//!
+//! Every call in Tables 3-4, 3-5 and 3-6 is "implemented using IPC; the
+//! first argument to each call is the port to which the request is sent".
+//! This module pins down the message ids and body layouts. All kernel ↔
+//! data-manager messages carry the kernel-internal object id as their first
+//! `u64` so one port can serve many objects (the default pager does; user
+//! managers usually allocate one port per object and may ignore it).
+//!
+//! Kernel → data manager (sent to the *memory object port*, Table 3-5):
+//!
+//! | id | call | body |
+//! |----|------|------|
+//! | [`PAGER_INIT`] | `pager_init` | u64s `[object]`; send rights `[request, name]` |
+//! | [`PAGER_DATA_REQUEST`] | `pager_data_request` | u64s `[object, offset, length, access]`; rights `[request]` |
+//! | [`PAGER_DATA_WRITE`] | `pager_data_write` | u64s `[object, offset]`; OOL data |
+//! | [`PAGER_DATA_UNLOCK`] | `pager_data_unlock` | u64s `[object, offset, length, access]`; rights `[request]` |
+//! | [`PAGER_CREATE`] | `pager_create` | u64s `[object]`; rights `[request, name]` |
+//!
+//! Data manager → kernel (sent to the *pager request port*, Table 3-6):
+//!
+//! | id | call | body |
+//! |----|------|------|
+//! | [`PAGER_DATA_PROVIDED`] | `pager_data_provided` | u64s `[object, offset, lock]`; OOL data |
+//! | [`PAGER_DATA_LOCK`] | `pager_data_lock` | u64s `[object, offset, length, lock]` |
+//! | [`PAGER_FLUSH_REQUEST`] | `pager_flush_request` | u64s `[object, offset, length]` |
+//! | [`PAGER_CLEAN_REQUEST`] | `pager_clean_request` | u64s `[object, offset, length]` |
+//! | [`PAGER_CACHE`] | `pager_cache` | u64s `[object, may_cache]` |
+//! | [`PAGER_DATA_UNAVAILABLE`] | `pager_data_unavailable` | u64s `[object, offset, size]` |
+//! | [`PAGER_RELEASE_LAUNDRY`] | (vm_deallocate of written data) | u64s `[object, bytes]` |
+
+/// Kernel → manager: initialize a memory object (Table 3-5).
+pub const PAGER_INIT: u32 = 0x2200;
+/// Kernel → manager: request data (Table 3-5).
+pub const PAGER_DATA_REQUEST: u32 = 0x2201;
+/// Kernel → manager: write back dirty data (Table 3-5).
+pub const PAGER_DATA_WRITE: u32 = 0x2202;
+/// Kernel → manager: ask for a lock to be relaxed (Table 3-5).
+pub const PAGER_DATA_UNLOCK: u32 = 0x2203;
+/// Kernel → default pager: adopt a kernel-created object (Table 3-5).
+pub const PAGER_CREATE: u32 = 0x2204;
+/// Kernel → manager: the object is terminated; release its backing
+/// storage. (Real Mach signals this via request/name port death; the
+/// explicit message is needed here because one port may serve many
+/// objects.)
+pub const PAGER_TERMINATE: u32 = 0x2205;
+
+/// Manager → kernel: supply object data (Table 3-6).
+pub const PAGER_DATA_PROVIDED: u32 = 0x2300;
+/// Manager → kernel: restrict access to cached data (Table 3-6).
+pub const PAGER_DATA_LOCK: u32 = 0x2301;
+/// Manager → kernel: invalidate cached data (Table 3-6).
+pub const PAGER_FLUSH_REQUEST: u32 = 0x2302;
+/// Manager → kernel: write back cached data (Table 3-6).
+pub const PAGER_CLEAN_REQUEST: u32 = 0x2303;
+/// Manager → kernel: set persistence advice (Table 3-6).
+pub const PAGER_CACHE: u32 = 0x2304;
+/// Manager → kernel: no data exists for the region (Table 3-6).
+pub const PAGER_DATA_UNAVAILABLE: u32 = 0x2305;
+/// Manager → kernel: the manager has secured written-back data and the
+/// kernel may retire the corresponding laundry debt (the `vm_deallocate`
+/// the paper expects after `pager_data_write`).
+pub const PAGER_RELEASE_LAUNDRY: u32 = 0x2306;
+
+/// Kernel service loop control: shut down.
+pub const KERNEL_SHUTDOWN: u32 = 0x2FFF;
+
+/// Opaque-handle tag for in-kernel memory region descriptors carried in
+/// out-of-line message transfer (see `machcore::msg`).
+pub const OPAQUE_REGION: u32 = 0x5E61;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct() {
+        let ids = [
+            PAGER_INIT,
+            PAGER_DATA_REQUEST,
+            PAGER_DATA_WRITE,
+            PAGER_DATA_UNLOCK,
+            PAGER_CREATE,
+            PAGER_TERMINATE,
+            PAGER_DATA_PROVIDED,
+            PAGER_DATA_LOCK,
+            PAGER_FLUSH_REQUEST,
+            PAGER_CLEAN_REQUEST,
+            PAGER_CACHE,
+            PAGER_DATA_UNAVAILABLE,
+            PAGER_RELEASE_LAUNDRY,
+            KERNEL_SHUTDOWN,
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! IPC error codes.
+//!
+//! The paper leans on the fact that communication failures have a small,
+//! well-understood set of outcomes (timeout, destroyed destination,
+//! interrupted wait) and then maps *memory* failures onto the same set
+//! (Section 6.2.1). Keeping the error enum small and explicit here lets
+//! `machcore::failure` reuse it almost verbatim for memory faults.
+
+use std::fmt;
+
+/// Result of a failed IPC operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IpcError {
+    /// The operation did not complete within the caller's timeout.
+    Timeout,
+    /// The destination port's receive right has been destroyed.
+    PortDied,
+    /// The caller does not hold the right required for the operation.
+    InvalidRight,
+    /// The name does not denote a right in this port space.
+    InvalidName,
+    /// A `msg_rpc` was attempted without a reply port in the header.
+    NoReplyPort,
+    /// The queue is full and the caller asked not to block.
+    WouldBlock,
+    /// The received message exceeds the caller's maximum size.
+    MsgTooLarge,
+    /// No ports are enabled for a default-group receive.
+    NothingEnabled,
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IpcError::Timeout => "operation timed out",
+            IpcError::PortDied => "destination port destroyed",
+            IpcError::InvalidRight => "caller lacks required port right",
+            IpcError::InvalidName => "no such port name in this space",
+            IpcError::NoReplyPort => "msg_rpc requires a reply port",
+            IpcError::WouldBlock => "queue full and SEND_NOTIFY not requested",
+            IpcError::MsgTooLarge => "message larger than receive buffer",
+            IpcError::NothingEnabled => "no ports enabled for default receive",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(IpcError::Timeout.to_string(), "operation timed out");
+        assert!(IpcError::PortDied.to_string().contains("destroyed"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(IpcError::Timeout, IpcError::Timeout);
+        assert_ne!(IpcError::Timeout, IpcError::PortDied);
+    }
+}

@@ -1,0 +1,331 @@
+//! Messages: a fixed header plus typed data items.
+//!
+//! "A message consists of a fixed length header and a variable-size
+//! collection of typed data objects. Messages may contain port capabilities
+//! or imbedded pointers as long as they are properly typed. A single
+//! message may transfer up to the entire address space of a task."
+//!
+//! Two transfer disciplines exist, and the difference between them *is* the
+//! duality the paper is about:
+//!
+//! * [`MsgItem::Inline`] data is physically copied into the queue — cheap
+//!   for small amounts, linear in size.
+//! * [`MsgItem::OutOfLine`] data is transferred as a logical copy of a
+//!   region: the kernel maps the pages copy-on-write into the receiver
+//!   instead of copying bytes. Here that is modeled by an immutable
+//!   shared snapshot ([`OolBuffer`]) whose transfer cost is per-page map
+//!   cost, not per-byte copy cost. The receiver obtains a private view; a
+//!   physical copy happens only if somebody writes (handled by the VM layer
+//!   when such a buffer is mapped into an address space).
+
+use crate::port::{ReceiveRight, SendRight};
+use std::fmt;
+use std::sync::Arc;
+
+/// Message id carried by kernel-generated port death notifications.
+pub const MSG_ID_PORT_DEATH: u32 = 0xDEAD;
+
+/// Type tag for inline data items, as in Mach's typed message format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TypeTag {
+    /// Untyped bytes.
+    Byte,
+    /// 8-bit characters.
+    Char,
+    /// 32-bit integers.
+    Int32,
+    /// 64-bit integers (addresses, offsets, sizes).
+    Int64,
+    /// Booleans.
+    Bool,
+}
+
+/// An out-of-line region: a logical copy transferred by mapping.
+///
+/// Cloning an `OolBuffer` is O(1) and shares the underlying bytes — the
+/// analogue of mapping the same physical pages copy-on-write into another
+/// address space. [`OolBuffer::to_mut_vec`] performs the deferred physical
+/// copy (the "write fault").
+#[derive(Clone)]
+pub struct OolBuffer {
+    bytes: Arc<[u8]>,
+}
+
+impl OolBuffer {
+    /// Snapshots a byte slice into an out-of-line buffer (one-time copy at
+    /// the sender, standing in for the sender's pages being write-protected).
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        Self {
+            bytes: Arc::from(bytes),
+        }
+    }
+
+    /// Wraps an owned vector without copying.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Self {
+            bytes: Arc::from(bytes.into_boxed_slice()),
+        }
+    }
+
+    /// Read access to the shared bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of `page_size` pages this region occupies (rounded up).
+    pub fn page_count(&self, page_size: usize) -> usize {
+        self.bytes.len().div_ceil(page_size.max(1))
+    }
+
+    /// Materializes a private mutable copy — the deferred "copy" of
+    /// copy-on-write, paid only by writers.
+    pub fn to_mut_vec(&self) -> Vec<u8> {
+        self.bytes.to_vec()
+    }
+
+    /// Whether two buffers share physical storage (for tests asserting that
+    /// no physical copy has happened).
+    pub fn shares_storage_with(&self, other: &OolBuffer) -> bool {
+        Arc::ptr_eq(&self.bytes, &other.bytes)
+    }
+}
+
+impl fmt::Debug for OolBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OolBuffer({} bytes)", self.bytes.len())
+    }
+}
+
+/// One typed item in a message body.
+pub enum MsgItem {
+    /// Physically copied inline data.
+    Inline {
+        /// Element type of the data.
+        tag: TypeTag,
+        /// Raw bytes of the item.
+        data: Vec<u8>,
+    },
+    /// A logically copied out-of-line region (COW transfer).
+    OutOfLine(OolBuffer),
+    /// Send rights in transit.
+    SendRights(Vec<SendRight>),
+    /// A receive right in transit (migrates the port's receivership).
+    ReceiveRight(ReceiveRight),
+    /// An opaque kernel handle (e.g. a memory-object region descriptor for
+    /// zero-copy out-of-line transfer within one host). The `tag`
+    /// discriminates handle types; the payload is downcast by the consumer.
+    Opaque {
+        /// Handle type discriminator.
+        tag: u32,
+        /// The kernel data structure in transit.
+        handle: std::sync::Arc<dyn std::any::Any + Send + Sync>,
+    },
+}
+
+impl fmt::Debug for MsgItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgItem::Inline { tag, data } => {
+                write!(f, "Inline({tag:?}, {} bytes)", data.len())
+            }
+            MsgItem::OutOfLine(b) => write!(f, "OutOfLine({} bytes)", b.len()),
+            MsgItem::SendRights(r) => write!(f, "SendRights(x{})", r.len()),
+            MsgItem::ReceiveRight(r) => write!(f, "ReceiveRight({r:?})"),
+            MsgItem::Opaque { tag, .. } => write!(f, "Opaque(tag={tag})"),
+        }
+    }
+}
+
+impl MsgItem {
+    /// Inline bytes helper.
+    pub fn bytes(data: impl Into<Vec<u8>>) -> Self {
+        MsgItem::Inline {
+            tag: TypeTag::Byte,
+            data: data.into(),
+        }
+    }
+
+    /// Inline u64 helper (little endian), for offsets/sizes in protocols.
+    pub fn u64s(values: &[u64]) -> Self {
+        let mut data = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        MsgItem::Inline {
+            tag: TypeTag::Int64,
+            data,
+        }
+    }
+
+    /// Decodes an `Int64` inline item back into u64 values.
+    pub fn as_u64s(&self) -> Option<Vec<u64>> {
+        match self {
+            MsgItem::Inline {
+                tag: TypeTag::Int64,
+                data,
+            } if data.len() % 8 == 0 => Some(
+                data.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Returns the inline payload if this item is typed as bytes or chars.
+    ///
+    /// Typed messages exist precisely so receivers cannot confuse an
+    /// integer array with a byte string; this accessor honors the tag.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            MsgItem::Inline {
+                tag: TypeTag::Byte | TypeTag::Char,
+                data,
+            } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Returns the raw inline payload regardless of its type tag.
+    pub fn as_raw_inline(&self) -> Option<&[u8]> {
+        match self {
+            MsgItem::Inline { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Returns the out-of-line buffer if this is an OOL item.
+    pub fn as_ool(&self) -> Option<&OolBuffer> {
+        match self {
+            MsgItem::OutOfLine(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Bytes that must be *physically* copied to enqueue this item.
+    pub fn inline_len(&self) -> usize {
+        match self {
+            MsgItem::Inline { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved logically (by mapping) rather than copied.
+    pub fn ool_len(&self) -> usize {
+        match self {
+            MsgItem::OutOfLine(b) => b.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A Mach message: header plus typed body.
+#[derive(Debug, Default)]
+pub struct Message {
+    /// Operation identifier, by convention the RPC selector.
+    pub id: u32,
+    /// Reply port for RPC-style interactions (`msg_rpc`).
+    pub reply: Option<SendRight>,
+    /// Typed data items.
+    pub body: Vec<MsgItem>,
+}
+
+impl Message {
+    /// Creates an empty message with the given id.
+    pub fn new(id: u32) -> Self {
+        Self {
+            id,
+            reply: None,
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: appends an item.
+    pub fn with(mut self, item: MsgItem) -> Self {
+        self.body.push(item);
+        self
+    }
+
+    /// Builder: sets the reply port.
+    pub fn with_reply(mut self, reply: SendRight) -> Self {
+        self.reply = Some(reply);
+        self
+    }
+
+    /// Total inline (physically copied) payload bytes.
+    pub fn inline_len(&self) -> usize {
+        self.body.iter().map(MsgItem::inline_len).sum()
+    }
+
+    /// Total out-of-line (logically moved) payload bytes.
+    pub fn ool_len(&self) -> usize {
+        self.body.iter().map(MsgItem::ool_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ool_clone_shares_storage() {
+        let a = OolBuffer::from_slice(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ool_mut_copy_is_private() {
+        let a = OolBuffer::from_slice(b"hello");
+        let mut v = a.to_mut_vec();
+        v[0] = b'H';
+        assert_eq!(a.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn ool_page_count_rounds_up() {
+        let b = OolBuffer::from_vec(vec![0; 4097]);
+        assert_eq!(b.page_count(4096), 2);
+        assert_eq!(OolBuffer::from_vec(vec![]).page_count(4096), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let item = MsgItem::u64s(&[7, 0xDEAD_BEEF, u64::MAX]);
+        assert_eq!(item.as_u64s().unwrap(), vec![7, 0xDEAD_BEEF, u64::MAX]);
+    }
+
+    #[test]
+    fn u64_decode_rejects_wrong_tag() {
+        let item = MsgItem::bytes(vec![0; 8]);
+        assert!(item.as_u64s().is_none());
+    }
+
+    #[test]
+    fn message_length_accounting() {
+        let m = Message::new(1)
+            .with(MsgItem::bytes(vec![0; 10]))
+            .with(MsgItem::OutOfLine(OolBuffer::from_vec(vec![0; 5000])));
+        assert_eq!(m.inline_len(), 10);
+        assert_eq!(m.ool_len(), 5000);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let m = Message::new(42);
+        assert_eq!(m.id, 42);
+        assert!(m.reply.is_none());
+        assert!(m.body.is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! Per-task port name spaces and the default port group (Table 3-2).
+//!
+//! Tasks do not hold kernel port objects directly; they hold task-local
+//! *names* that the kernel translates to rights. A [`PortSpace`] is that
+//! translation table plus the *default group of ports*: the set of enabled
+//! ports that a bare `msg_receive` listens on, managed with `port_enable`
+//! and `port_disable`, and interrogated with `port_messages`.
+
+use crate::error::IpcError;
+use crate::message::Message;
+use crate::port::{PortStatus, ReceiveRight, SendRight, SetWaker};
+use crate::IpcContext;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A task-local port name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortName(pub u32);
+
+impl fmt::Display for PortName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "name#{}", self.0)
+    }
+}
+
+/// One name-table entry: the rights this task holds under the name.
+struct Entry {
+    receive: Option<ReceiveRight>,
+    send: Option<SendRight>,
+    enabled: bool,
+}
+
+struct SpaceInner {
+    next_name: u32,
+    entries: BTreeMap<PortName, Entry>,
+}
+
+/// A task's port right name space.
+pub struct PortSpace {
+    ctx: IpcContext,
+    waker: Arc<SetWaker>,
+    inner: Mutex<SpaceInner>,
+}
+
+impl fmt::Debug for PortSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortSpace({} names)", self.inner.lock().entries.len())
+    }
+}
+
+impl PortSpace {
+    /// Creates an empty space.
+    pub fn new(ctx: &IpcContext) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            waker: Arc::new(SetWaker::default()),
+            inner: Mutex::new(SpaceInner {
+                next_name: 1,
+                entries: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn fresh_name(inner: &mut SpaceInner) -> PortName {
+        let name = PortName(inner.next_name);
+        inner.next_name += 1;
+        name
+    }
+
+    /// `port_allocate`: creates a new port; this task holds both rights.
+    pub fn port_allocate(&self) -> PortName {
+        let (rx, tx) = ReceiveRight::allocate(&self.ctx);
+        let mut inner = self.inner.lock();
+        let name = Self::fresh_name(&mut inner);
+        inner.entries.insert(
+            name,
+            Entry {
+                receive: Some(rx),
+                send: Some(tx),
+                enabled: false,
+            },
+        );
+        name
+    }
+
+    /// `port_deallocate`: drops this task's rights under `name`.
+    ///
+    /// If the receive right lived here, the port is destroyed and senders
+    /// are notified — "When the receive rights to a port are destroyed,
+    /// that port is destroyed and tasks holding send rights are notified."
+    pub fn port_deallocate(&self, name: PortName) -> Result<(), IpcError> {
+        let entry = self.inner.lock().entries.remove(&name);
+        match entry {
+            // Dropping the entry (outside the lock) releases the rights.
+            Some(_) => Ok(()),
+            None => Err(IpcError::InvalidName),
+        }
+    }
+
+    /// `port_enable`: adds the port to the default group for `msg_receive`.
+    pub fn port_enable(&self, name: PortName) -> Result<(), IpcError> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entries.get_mut(&name).ok_or(IpcError::InvalidName)?;
+        let rx = entry.receive.as_ref().ok_or(IpcError::InvalidRight)?;
+        if !entry.enabled {
+            rx.register_waker(&self.waker);
+            entry.enabled = true;
+        }
+        Ok(())
+    }
+
+    /// `port_disable`: removes the port from the default group.
+    pub fn port_disable(&self, name: PortName) -> Result<(), IpcError> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entries.get_mut(&name).ok_or(IpcError::InvalidName)?;
+        let rx = entry.receive.as_ref().ok_or(IpcError::InvalidRight)?;
+        if entry.enabled {
+            rx.unregister_waker(&self.waker);
+            entry.enabled = false;
+        }
+        Ok(())
+    }
+
+    /// `port_messages`: names of enabled ports with queued messages.
+    pub fn port_messages(&self) -> Vec<PortName> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.enabled)
+            .filter(|(_, e)| e.receive.as_ref().is_some_and(|r| r.queued() > 0))
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// `port_status`: queue depth, backlog, receiver and sender counts.
+    pub fn port_status(&self, name: PortName) -> Result<PortStatus, IpcError> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(&name).ok_or(IpcError::InvalidName)?;
+        if let Some(rx) = &entry.receive {
+            Ok(rx.status())
+        } else if let Some(tx) = &entry.send {
+            Ok(tx.status())
+        } else {
+            Err(IpcError::InvalidRight)
+        }
+    }
+
+    /// `port_set_backlog`: limits messages waiting on this port.
+    pub fn port_set_backlog(&self, name: PortName, backlog: usize) -> Result<(), IpcError> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(&name).ok_or(IpcError::InvalidName)?;
+        let rx = entry.receive.as_ref().ok_or(IpcError::InvalidRight)?;
+        rx.set_backlog(backlog);
+        Ok(())
+    }
+
+    /// `msg_send` by name.
+    pub fn send(
+        &self,
+        name: PortName,
+        msg: Message,
+        timeout: Option<Duration>,
+    ) -> Result<(), IpcError> {
+        let tx = self.send_right(name)?;
+        tx.send(msg, timeout)
+    }
+
+    /// `msg_receive` from a specific named port.
+    pub fn receive(&self, name: PortName, timeout: Option<Duration>) -> Result<Message, IpcError> {
+        // Clone the right out so the space lock is not held while blocking.
+        let rx_probe = {
+            let inner = self.inner.lock();
+            let entry = inner.entries.get(&name).ok_or(IpcError::InvalidName)?;
+            entry.receive.is_some()
+        };
+        if !rx_probe {
+            return Err(IpcError::InvalidRight);
+        }
+        // Receive rights are unique, so re-resolve per wait iteration using
+        // try_receive plus the waker, mirroring receive_default.
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let seen = {
+                let inner = self.inner.lock();
+                let entry = inner.entries.get(&name).ok_or(IpcError::InvalidName)?;
+                let rx = entry.receive.as_ref().ok_or(IpcError::InvalidRight)?;
+                if let Some(msg) = rx.try_receive() {
+                    return Ok(msg);
+                }
+                // Ensure the waker sees this port even if not enabled.
+                rx.register_waker(&self.waker);
+                let seen = self.waker.generation();
+                // Re-check after registration to close the race.
+                if let Some(msg) = rx.try_receive() {
+                    rx.unregister_waker(&self.waker);
+                    return Ok(msg);
+                }
+                seen
+            };
+            let remaining = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.unregister_probe(name);
+                        return Err(IpcError::Timeout);
+                    }
+                    Some(d - now)
+                }
+                None => None,
+            };
+            self.waker.wait(seen, remaining);
+            self.unregister_probe(name);
+        }
+    }
+
+    fn unregister_probe(&self, name: PortName) {
+        let inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get(&name) {
+            if let Some(rx) = &entry.receive {
+                rx.unregister_waker(&self.waker);
+            }
+        }
+    }
+
+    /// `msg_receive` from the default group of enabled ports.
+    ///
+    /// Returns the name of the port the message arrived on.
+    pub fn receive_default(
+        &self,
+        timeout: Option<Duration>,
+    ) -> Result<(PortName, Message), IpcError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let seen = self.waker.generation();
+            {
+                let inner = self.inner.lock();
+                let mut any_enabled = false;
+                for (name, entry) in inner.entries.iter() {
+                    if !entry.enabled {
+                        continue;
+                    }
+                    any_enabled = true;
+                    if let Some(rx) = &entry.receive {
+                        if let Some(msg) = rx.try_receive() {
+                            return Ok((*name, msg));
+                        }
+                    }
+                }
+                if !any_enabled {
+                    return Err(IpcError::NothingEnabled);
+                }
+            }
+            let remaining = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(IpcError::Timeout);
+                    }
+                    Some(d - now)
+                }
+                None => None,
+            };
+            self.waker.wait(seen, remaining);
+        }
+    }
+
+    /// Installs a send right received in a message under a fresh name.
+    pub fn insert_send(&self, right: SendRight) -> PortName {
+        let mut inner = self.inner.lock();
+        let name = Self::fresh_name(&mut inner);
+        inner.entries.insert(
+            name,
+            Entry {
+                receive: None,
+                send: Some(right),
+                enabled: false,
+            },
+        );
+        name
+    }
+
+    /// Installs a receive right received in a message under a fresh name.
+    pub fn insert_receive(&self, right: ReceiveRight) -> PortName {
+        let mut inner = self.inner.lock();
+        let name = Self::fresh_name(&mut inner);
+        let send = Some(right.make_send());
+        inner.entries.insert(
+            name,
+            Entry {
+                receive: Some(right),
+                send,
+                enabled: false,
+            },
+        );
+        name
+    }
+
+    /// Clones out a send right for `name` (e.g. to put in a message).
+    pub fn send_right(&self, name: PortName) -> Result<SendRight, IpcError> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(&name).ok_or(IpcError::InvalidName)?;
+        entry.send.clone().ok_or(IpcError::InvalidRight)
+    }
+
+    /// Extracts the receive right for `name`, leaving only send rights.
+    ///
+    /// Used to move receivership to another task in a message.
+    pub fn extract_receive(&self, name: PortName) -> Result<ReceiveRight, IpcError> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entries.get_mut(&name).ok_or(IpcError::InvalidName)?;
+        entry.receive.take().ok_or(IpcError::InvalidRight)
+    }
+
+    /// Number of names in the table.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgItem;
+    use std::thread;
+
+    fn space() -> PortSpace {
+        PortSpace::new(&IpcContext::default_machine())
+    }
+
+    #[test]
+    fn allocate_send_receive() {
+        let s = space();
+        let p = s.port_allocate();
+        s.send(p, Message::new(3), None).unwrap();
+        assert_eq!(s.receive(p, None).unwrap().id, 3);
+    }
+
+    #[test]
+    fn deallocate_kills_port() {
+        let s = space();
+        let p = s.port_allocate();
+        let tx = s.send_right(p).unwrap();
+        s.port_deallocate(p).unwrap();
+        assert!(!tx.is_alive());
+        assert_eq!(s.send(p, Message::new(0), None).unwrap_err(), IpcError::InvalidName);
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let s = space();
+        assert_eq!(
+            s.port_status(PortName(999)).unwrap_err(),
+            IpcError::InvalidName
+        );
+        assert_eq!(s.port_deallocate(PortName(999)).unwrap_err(), IpcError::InvalidName);
+    }
+
+    #[test]
+    fn default_group_requires_enable() {
+        let s = space();
+        let _p = s.port_allocate();
+        assert_eq!(
+            s.receive_default(Some(Duration::from_millis(5))).unwrap_err(),
+            IpcError::NothingEnabled
+        );
+    }
+
+    #[test]
+    fn default_group_receives_from_any_enabled() {
+        let s = space();
+        let a = s.port_allocate();
+        let b = s.port_allocate();
+        s.port_enable(a).unwrap();
+        s.port_enable(b).unwrap();
+        s.send(b, Message::new(20), None).unwrap();
+        let (from, msg) = s.receive_default(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(from, b);
+        assert_eq!(msg.id, 20);
+    }
+
+    #[test]
+    fn default_group_wakes_blocked_receiver() {
+        let s = Arc::new(space());
+        let a = s.port_allocate();
+        s.port_enable(a).unwrap();
+        let tx = s.send_right(a).unwrap();
+        let s2 = s.clone();
+        let h = thread::spawn(move || s2.receive_default(Some(Duration::from_secs(5))));
+        thread::sleep(Duration::from_millis(30));
+        tx.send(Message::new(8), None).unwrap();
+        let (from, msg) = h.join().unwrap().unwrap();
+        assert_eq!(from, a);
+        assert_eq!(msg.id, 8);
+    }
+
+    #[test]
+    fn disable_removes_from_group() {
+        let s = space();
+        let a = s.port_allocate();
+        s.port_enable(a).unwrap();
+        s.port_disable(a).unwrap();
+        s.send(a, Message::new(1), None).unwrap();
+        assert_eq!(
+            s.receive_default(Some(Duration::from_millis(5))).unwrap_err(),
+            IpcError::NothingEnabled
+        );
+        // The message is still there for a directed receive.
+        assert_eq!(s.receive(a, None).unwrap().id, 1);
+    }
+
+    #[test]
+    fn port_messages_lists_ready_ports() {
+        let s = space();
+        let a = s.port_allocate();
+        let b = s.port_allocate();
+        s.port_enable(a).unwrap();
+        s.port_enable(b).unwrap();
+        s.send(b, Message::new(0), None).unwrap();
+        assert_eq!(s.port_messages(), vec![b]);
+        s.send(a, Message::new(0), None).unwrap();
+        assert_eq!(s.port_messages(), vec![a, b]);
+    }
+
+    #[test]
+    fn status_and_backlog_by_name() {
+        let s = space();
+        let a = s.port_allocate();
+        s.port_set_backlog(a, 2).unwrap();
+        s.send(a, Message::new(0), None).unwrap();
+        let st = s.port_status(a).unwrap();
+        assert_eq!(st.num_msgs, 1);
+        assert_eq!(st.backlog, 2);
+    }
+
+    #[test]
+    fn rights_move_between_spaces() {
+        let ctx = IpcContext::default_machine();
+        let alice = PortSpace::new(&ctx);
+        let bob = PortSpace::new(&ctx);
+        let ap = alice.port_allocate();
+        // Alice sends Bob a send right to her port via a carrier port.
+        let carrier = bob.port_allocate();
+        let carrier_tx = bob.send_right(carrier).unwrap();
+        let right_for_bob = alice.send_right(ap).unwrap();
+        carrier_tx
+            .send(
+                Message::new(1).with(MsgItem::SendRights(vec![right_for_bob])),
+                None,
+            )
+            .unwrap();
+        let m = bob.receive(carrier, None).unwrap();
+        let MsgItem::SendRights(mut rights) = m.body.into_iter().next().unwrap() else {
+            panic!("expected rights");
+        };
+        let name_in_bob = bob.insert_send(rights.pop().unwrap());
+        bob.send(name_in_bob, Message::new(99), None).unwrap();
+        assert_eq!(alice.receive(ap, None).unwrap().id, 99);
+    }
+
+    #[test]
+    fn receivership_migrates() {
+        let ctx = IpcContext::default_machine();
+        let alice = PortSpace::new(&ctx);
+        let bob = PortSpace::new(&ctx);
+        let ap = alice.port_allocate();
+        alice.send(ap, Message::new(7), None).unwrap();
+        let rx = alice.extract_receive(ap).unwrap();
+        let name_in_bob = bob.insert_receive(rx);
+        assert_eq!(bob.receive(name_in_bob, None).unwrap().id, 7);
+        // Alice can still send (she kept a send right under the old name).
+        alice.send(ap, Message::new(8), None).unwrap();
+        assert_eq!(bob.receive(name_in_bob, None).unwrap().id, 8);
+    }
+
+    #[test]
+    fn directed_receive_timeout() {
+        let s = space();
+        let a = s.port_allocate();
+        assert_eq!(
+            s.receive(a, Some(Duration::from_millis(10))).unwrap_err(),
+            IpcError::Timeout
+        );
+    }
+
+    #[test]
+    fn len_tracks_names() {
+        let s = space();
+        assert!(s.is_empty());
+        let a = s.port_allocate();
+        let _b = s.port_allocate();
+        assert_eq!(s.len(), 2);
+        s.port_deallocate(a).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! An Agora-style blackboard (Section 8.4).
+//!
+//! "Both communication and memory sharing are used to implement a shared
+//! blackboard structure in which hypotheses are placed and evaluated by
+//! multiple cooperating agents. The blackboard physically resides on a
+//! multiprocessor host. All accesses to the blackboard are through a
+//! procedural interface that determines if shared memory or communication
+//! must be used. Agents use shared memory to directly modify the
+//! blackboard. Message passing is used between loosely coupled components."
+//!
+//! The blackboard is a memory object on its home host. *Local* agents
+//! (tasks on that host's kernel) map it and post hypotheses with ordinary
+//! stores. *Remote* agents hold only a service port — possibly proxied
+//! over the fabric — and post by message. The [`Agent`] handle is the
+//! procedural interface hiding the difference.
+
+use crate::array::ArrayService;
+use machcore::{Kernel, Task};
+use machipc::{IpcError, Message, MsgItem, ReceiveRight, SendRight};
+use machnet::{Fabric, Host, ProxyHandle};
+use machvm::VmError;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bytes per hypothesis slot.
+pub const SLOT_SIZE: u64 = 64;
+/// Payload bytes per hypothesis.
+pub const PAYLOAD_SIZE: usize = 48;
+
+/// Slot states.
+pub const STATE_EMPTY: u8 = 0;
+/// A hypothesis has been posted.
+pub const STATE_POSTED: u8 = 1;
+/// A hypothesis has been evaluated (score valid).
+pub const STATE_EVALUATED: u8 = 2;
+
+/// RPC: post a hypothesis (slot, payload); used by remote agents.
+pub const BB_POST: u32 = 0x4901;
+/// RPC: read a slot; reply carries (state, score) and the payload.
+pub const BB_READ: u32 = 0x4902;
+/// RPC: record an evaluation (slot, score).
+pub const BB_EVALUATE: u32 = 0x4903;
+/// Success reply.
+pub const BB_OK: u32 = 0x4980;
+/// Failure reply.
+pub const BB_ERR: u32 = 0x4981;
+const BB_SHUTDOWN: u32 = 0x49FF;
+
+/// One decoded hypothesis slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypothesis {
+    /// Slot state.
+    pub state: u8,
+    /// Evaluation score (valid when state is `STATE_EVALUATED`).
+    pub score: u64,
+    /// Hypothesis payload.
+    pub payload: Vec<u8>,
+}
+
+/// The blackboard service on its home host.
+pub struct Blackboard {
+    /// Service port for message-based (remote) access.
+    service: SendRight,
+    /// Memory object port for direct mapping by local agents.
+    array: Arc<ArrayService>,
+    slots: u64,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Blackboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blackboard({} slots)", self.slots)
+    }
+}
+
+fn slot_offset(slot: u64) -> u64 {
+    slot * SLOT_SIZE
+}
+
+impl Blackboard {
+    /// Starts a blackboard with `slots` hypothesis slots on `kernel`.
+    ///
+    /// The server itself is a local agent: it maps the blackboard region
+    /// and serves remote messages by reading and writing that mapping.
+    pub fn start(kernel: &Arc<Kernel>, slots: u64) -> Arc<Blackboard> {
+        let size = slots * SLOT_SIZE;
+        let array = ArrayService::start(kernel.machine(), size, |_| 0);
+        let server_task = Task::create(kernel, "blackboard-server");
+        let (addr, _) =
+            ArrayService::attach(&server_task, array.port()).expect("server maps blackboard");
+        let (rx, tx) = ReceiveRight::allocate(kernel.machine());
+        rx.set_backlog(1024);
+        let thread = std::thread::Builder::new()
+            .name("blackboard".into())
+            .spawn(move || loop {
+                let Ok(msg) = rx.receive(None) else { break };
+                let reply = |m: Message| {
+                    if let Some(r) = &msg.reply {
+                        let _ = r.send(m, Some(Duration::from_secs(5)));
+                    }
+                };
+                let args: Vec<u64> = msg
+                    .body
+                    .iter()
+                    .find_map(|i| i.as_u64s())
+                    .unwrap_or_default();
+                match msg.id {
+                    BB_POST => {
+                        let payload = msg.body.iter().find_map(|i| i.as_bytes());
+                        match (args.first(), payload) {
+                            (Some(&slot), Some(p)) if slot < slots => {
+                                let off = slot_offset(slot);
+                                let mut data = vec![0u8; PAYLOAD_SIZE];
+                                data[..p.len().min(PAYLOAD_SIZE)]
+                                    .copy_from_slice(&p[..p.len().min(PAYLOAD_SIZE)]);
+                                server_task.write_memory(addr + off + 16, &data).unwrap();
+                                server_task
+                                    .write_memory(addr + off, &[STATE_POSTED])
+                                    .unwrap();
+                                reply(Message::new(BB_OK));
+                            }
+                            _ => reply(Message::new(BB_ERR)),
+                        }
+                    }
+                    BB_EVALUATE => {
+                        if args.len() >= 2 && args[0] < slots {
+                            let off = slot_offset(args[0]);
+                            server_task
+                                .write_memory(addr + off + 8, &args[1].to_le_bytes())
+                                .unwrap();
+                            server_task
+                                .write_memory(addr + off, &[STATE_EVALUATED])
+                                .unwrap();
+                            reply(Message::new(BB_OK));
+                        } else {
+                            reply(Message::new(BB_ERR));
+                        }
+                    }
+                    BB_READ => match args.first() {
+                        Some(&slot) if slot < slots => {
+                            let off = slot_offset(slot);
+                            let mut raw = vec![0u8; SLOT_SIZE as usize];
+                            server_task.read_memory(addr + off, &mut raw).unwrap();
+                            let score = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+                            reply(
+                                Message::new(BB_OK)
+                                    .with(MsgItem::u64s(&[raw[0] as u64, score]))
+                                    .with(MsgItem::bytes(raw[16..16 + PAYLOAD_SIZE].to_vec())),
+                            );
+                        }
+                        _ => reply(Message::new(BB_ERR)),
+                    },
+                    BB_SHUTDOWN => break,
+                    _ => reply(Message::new(BB_ERR)),
+                }
+            })
+            .expect("spawn blackboard server");
+        Arc::new(Blackboard {
+            service: tx,
+            array,
+            slots,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// The message-interface port (give remote agents this, or a proxy).
+    pub fn service_port(&self) -> &SendRight {
+        &self.service
+    }
+
+    /// Creates a *local* agent: a task on the blackboard's own kernel
+    /// using direct shared memory.
+    pub fn local_agent(&self, kernel: &Arc<Kernel>, name: &str) -> Result<Agent, VmError> {
+        let task = Task::create(kernel, name);
+        let (addr, _) = ArrayService::attach(&task, self.array.port())?;
+        Ok(Agent::Local {
+            task,
+            addr,
+            slots: self.slots,
+        })
+    }
+
+    /// Creates a *remote* agent on another fabric host, reaching the
+    /// blackboard purely by message passing.
+    pub fn remote_agent(
+        &self,
+        fabric: &Arc<Fabric>,
+        home: &Arc<Host>,
+        agent_host: &Arc<Host>,
+    ) -> Agent {
+        let proxy = fabric.proxy(agent_host, home, self.service.clone());
+        Agent::Remote {
+            port: proxy.port().clone(),
+            _proxy: Some(Arc::new(proxy)),
+        }
+    }
+}
+
+impl Drop for Blackboard {
+    fn drop(&mut self) {
+        self.service.send_notification(Message::new(BB_SHUTDOWN));
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Agent errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgentError {
+    /// A message-based access failed.
+    Ipc(IpcError),
+    /// The server rejected the operation.
+    Rejected,
+    /// A memory-based access failed.
+    Vm(VmError),
+    /// Slot out of range.
+    BadSlot,
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Ipc(e) => write!(f, "message access failed: {e}"),
+            AgentError::Rejected => f.write_str("server rejected"),
+            AgentError::Vm(e) => write!(f, "memory access failed: {e}"),
+            AgentError::BadSlot => f.write_str("slot out of range"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<IpcError> for AgentError {
+    fn from(e: IpcError) -> Self {
+        AgentError::Ipc(e)
+    }
+}
+
+impl From<VmError> for AgentError {
+    fn from(e: VmError) -> Self {
+        AgentError::Vm(e)
+    }
+}
+
+/// The procedural interface "that determines if shared memory or
+/// communication must be used".
+pub enum Agent {
+    /// A tightly coupled agent: direct stores into the mapped blackboard.
+    Local {
+        /// The agent's task.
+        task: Arc<Task>,
+        /// Base address of the mapped blackboard.
+        addr: u64,
+        /// Slot count.
+        slots: u64,
+    },
+    /// A loosely coupled agent: RPCs on the (possibly proxied) port.
+    Remote {
+        /// The service port.
+        port: SendRight,
+        /// Keeps a network proxy alive for the agent's lifetime.
+        _proxy: Option<Arc<ProxyHandle>>,
+    },
+}
+
+impl fmt::Debug for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Local { .. } => f.write_str("Agent::Local(shared memory)"),
+            Agent::Remote { .. } => f.write_str("Agent::Remote(messages)"),
+        }
+    }
+}
+
+impl Agent {
+    fn rpc(port: &SendRight, msg: Message) -> Result<Message, AgentError> {
+        let reply = port.rpc(
+            msg,
+            Some(Duration::from_secs(10)),
+            Some(Duration::from_secs(10)),
+        )?;
+        if reply.id == BB_OK {
+            Ok(reply)
+        } else {
+            Err(AgentError::Rejected)
+        }
+    }
+
+    /// Posts a hypothesis into `slot`.
+    pub fn post(&self, slot: u64, payload: &[u8]) -> Result<(), AgentError> {
+        match self {
+            Agent::Local { task, addr, slots } => {
+                if slot >= *slots {
+                    return Err(AgentError::BadSlot);
+                }
+                let off = slot_offset(slot);
+                let mut data = vec![0u8; PAYLOAD_SIZE];
+                data[..payload.len().min(PAYLOAD_SIZE)]
+                    .copy_from_slice(&payload[..payload.len().min(PAYLOAD_SIZE)]);
+                task.write_memory(addr + off + 16, &data)?;
+                task.write_memory(addr + off, &[STATE_POSTED])?;
+                Ok(())
+            }
+            Agent::Remote { port, .. } => {
+                Self::rpc(
+                    port,
+                    Message::new(BB_POST)
+                        .with(MsgItem::u64s(&[slot]))
+                        .with(MsgItem::bytes(payload.to_vec())),
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Records an evaluation score for `slot`.
+    pub fn evaluate(&self, slot: u64, score: u64) -> Result<(), AgentError> {
+        match self {
+            Agent::Local { task, addr, slots } => {
+                if slot >= *slots {
+                    return Err(AgentError::BadSlot);
+                }
+                let off = slot_offset(slot);
+                task.write_memory(addr + off + 8, &score.to_le_bytes())?;
+                task.write_memory(addr + off, &[STATE_EVALUATED])?;
+                Ok(())
+            }
+            Agent::Remote { port, .. } => {
+                Self::rpc(port, Message::new(BB_EVALUATE).with(MsgItem::u64s(&[slot, score])))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a slot.
+    pub fn read(&self, slot: u64) -> Result<Hypothesis, AgentError> {
+        match self {
+            Agent::Local { task, addr, slots } => {
+                if slot >= *slots {
+                    return Err(AgentError::BadSlot);
+                }
+                let off = slot_offset(slot);
+                let mut raw = vec![0u8; SLOT_SIZE as usize];
+                task.read_memory(addr + off, &mut raw)?;
+                Ok(Hypothesis {
+                    state: raw[0],
+                    score: u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
+                    payload: raw[16..16 + PAYLOAD_SIZE].to_vec(),
+                })
+            }
+            Agent::Remote { port, .. } => {
+                let reply = Self::rpc(port, Message::new(BB_READ).with(MsgItem::u64s(&[slot])))?;
+                let nums = reply.body[0].as_u64s().ok_or(AgentError::Rejected)?;
+                let payload = reply.body[1]
+                    .as_bytes()
+                    .ok_or(AgentError::Rejected)?
+                    .to_vec();
+                Ok(Hypothesis {
+                    state: nums[0] as u8,
+                    score: nums[1],
+                    payload,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machcore::KernelConfig;
+    use machsim::stats::keys;
+
+    fn pad(p: &[u8]) -> Vec<u8> {
+        let mut v = vec![0u8; PAYLOAD_SIZE];
+        v[..p.len()].copy_from_slice(p);
+        v
+    }
+
+    #[test]
+    fn local_agents_share_memory_directly() {
+        let k = Kernel::boot(KernelConfig::default());
+        let bb = Blackboard::start(&k, 16);
+        let a = bb.local_agent(&k, "speech").unwrap();
+        let b = bb.local_agent(&k, "parser").unwrap();
+        // Warm the page (the first touch faults through the pager).
+        let _ = a.read(3).unwrap();
+        let _ = b.read(3).unwrap();
+        let msgs0 = k.machine().stats.get(keys::MSG_SENT);
+        a.post(3, b"phoneme: /k/").unwrap();
+        let h = b.read(3).unwrap();
+        assert_eq!(h.state, STATE_POSTED);
+        assert_eq!(h.payload, pad(b"phoneme: /k/"));
+        // Direct shared memory: no messages once the page is resident.
+        assert_eq!(k.machine().stats.get(keys::MSG_SENT), msgs0);
+    }
+
+    #[test]
+    fn remote_agent_uses_messages() {
+        let fabric = Fabric::new();
+        let home = fabric.add_host("multiprocessor");
+        let away = fabric.add_host("workstation");
+        let k = Kernel::boot_on(home.machine().clone(), KernelConfig::default());
+        let bb = Blackboard::start(&k, 8);
+        let local = bb.local_agent(&k, "evaluator").unwrap();
+        let remote = bb.remote_agent(&fabric, &home, &away);
+        let net0 = away.machine().stats.get(keys::NET_MESSAGES);
+        remote.post(1, b"signal segment").unwrap();
+        assert!(
+            away.machine().stats.get(keys::NET_MESSAGES) > net0,
+            "remote post crossed the network"
+        );
+        // The local agent sees the remote post through shared memory.
+        let h = local.read(1).unwrap();
+        assert_eq!(h.state, STATE_POSTED);
+        assert_eq!(h.payload, pad(b"signal segment"));
+        // Local evaluation is visible to the remote reader.
+        local.evaluate(1, 875).unwrap();
+        let h = remote.read(1).unwrap();
+        assert_eq!(h.state, STATE_EVALUATED);
+        assert_eq!(h.score, 875);
+    }
+
+    #[test]
+    fn many_agents_fill_the_board() {
+        let k = Kernel::boot(KernelConfig::default());
+        let bb = Blackboard::start(&k, 32);
+        let agents: Vec<Agent> = (0..4)
+            .map(|i| bb.local_agent(&k, &format!("agent{i}")).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for (i, agent) in agents.iter().enumerate() {
+                s.spawn(move || {
+                    for slot in (i as u64..32).step_by(4) {
+                        agent.post(slot, format!("hyp-{slot}").as_bytes()).unwrap();
+                        agent.evaluate(slot, slot * 10).unwrap();
+                    }
+                });
+            }
+        });
+        let reader = bb.local_agent(&k, "reader").unwrap();
+        for slot in 0..32u64 {
+            let h = reader.read(slot).unwrap();
+            assert_eq!(h.state, STATE_EVALUATED, "slot {slot}");
+            assert_eq!(h.score, slot * 10);
+        }
+    }
+
+    #[test]
+    fn bad_slots_are_rejected() {
+        let k = Kernel::boot(KernelConfig::default());
+        let bb = Blackboard::start(&k, 4);
+        let local = bb.local_agent(&k, "a").unwrap();
+        assert_eq!(local.post(4, b"x").unwrap_err(), AgentError::BadSlot);
+        assert_eq!(local.read(99).unwrap_err(), AgentError::BadSlot);
+    }
+}

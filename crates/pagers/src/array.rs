@@ -1,0 +1,195 @@
+//! A shared-array service: the Section 9 motivating scenario.
+//!
+//! "A user program can, for example, create a memory object which is used
+//! to represent a data array and provide access to that array to many
+//! other programs through a server message interface. The clients of such
+//! a service would only have to exchange a single message with the server
+//! to get access to the array and, if other clients had already referenced
+//! the data of the array, the physical memory cache of the array would be
+//! directly accessible to the client with no further message traffic."
+//!
+//! Experiment E9 measures exactly that: messages and pager fills per
+//! client, as a function of client arrival order.
+
+use machcore::{spawn_manager, DataManager, KernelConn, ManagerHandle, Task};
+use machipc::{Message, MsgItem, OolBuffer, ReceiveRight, SendRight};
+use machsim::Machine;
+use machvm::{VmError, VmProt};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// RPC id: request access to the array; the reply carries the memory
+/// object port and the array size.
+pub const ARRAY_ATTACH: u32 = 0x4601;
+/// Reply id.
+pub const ARRAY_OK: u32 = 0x4680;
+/// Shutdown.
+const ARRAY_SHUTDOWN: u32 = 0x46FF;
+
+/// The pager behind the array: computes each page's contents on demand,
+/// and keeps modified pages written back by the kernel so evicted writes
+/// survive refaults.
+struct ArrayPager {
+    generator: Arc<dyn Fn(u64) -> u8 + Send + Sync>,
+    /// Pages modified by clients and paged out, keyed by offset.
+    written: std::collections::HashMap<u64, Vec<u8>>,
+}
+
+impl DataManager for ArrayPager {
+    fn init(&mut self, kernel: &KernelConn, object: u64) {
+        // The array must stay cached between clients — the whole point of
+        // the Section 9 scenario.
+        kernel.cache(object, true);
+    }
+
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _access: VmProt,
+    ) {
+        let data: Vec<u8> = match self.written.get(&offset) {
+            Some(page) if page.len() as u64 == length => page.clone(),
+            _ => (offset..offset + length).map(|i| (self.generator)(i)).collect(),
+        };
+        kernel.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
+    }
+
+    fn data_write(&mut self, kernel: &KernelConn, object: u64, offset: u64, data: OolBuffer) {
+        let bytes = data.len() as u64;
+        self.written.insert(offset, data.to_mut_vec());
+        kernel.release_laundry(object, bytes);
+    }
+}
+
+/// A server exporting one array as a memory object.
+pub struct ArrayService {
+    service_port: SendRight,
+    _pager: ManagerHandle,
+    size: u64,
+    server_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for ArrayService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArrayService({} bytes)", self.size)
+    }
+}
+
+impl ArrayService {
+    /// Starts an array service; `generator` defines element `i`'s value.
+    pub fn start(
+        machine: &Machine,
+        size: u64,
+        generator: impl Fn(u64) -> u8 + Send + Sync + 'static,
+    ) -> Arc<ArrayService> {
+        let pager = spawn_manager(
+            machine,
+            "array",
+            ArrayPager {
+                generator: Arc::new(generator),
+                written: std::collections::HashMap::new(),
+            },
+        );
+        let object_port = pager.port().clone();
+        let (rx, tx) = ReceiveRight::allocate(machine);
+        rx.set_backlog(1024);
+        let thread = std::thread::Builder::new()
+            .name("array-server".into())
+            .spawn(move || loop {
+                let Ok(msg) = rx.receive(None) else { break };
+                match msg.id {
+                    ARRAY_ATTACH => {
+                        if let Some(reply) = &msg.reply {
+                            let _ = reply.send(
+                                Message::new(ARRAY_OK)
+                                    .with(MsgItem::u64s(&[size]))
+                                    .with(MsgItem::SendRights(vec![object_port.clone()])),
+                                Some(Duration::from_secs(5)),
+                            );
+                        }
+                    }
+                    ARRAY_SHUTDOWN => break,
+                    _ => {}
+                }
+            })
+            .expect("spawn array server");
+        Arc::new(ArrayService {
+            service_port: tx,
+            _pager: pager,
+            size,
+            server_thread: parking_lot::Mutex::new(Some(thread)),
+        })
+    }
+
+    /// The service's RPC port.
+    pub fn port(&self) -> &SendRight {
+        &self.service_port
+    }
+
+    /// Client side: one RPC, then map the array. Returns `(addr, size)`.
+    pub fn attach(task: &Task, service: &SendRight) -> Result<(u64, u64), VmError> {
+        let reply = service
+            .rpc(
+                Message::new(ARRAY_ATTACH),
+                Some(Duration::from_secs(10)),
+                Some(Duration::from_secs(10)),
+            )
+            .map_err(|_| VmError::ObjectDestroyed)?;
+        let size = reply.body[0].as_u64s().expect("size")[0];
+        let MsgItem::SendRights(rights) = &reply.body[1] else {
+            return Err(VmError::ObjectDestroyed);
+        };
+        let addr = task.vm_allocate_with_pager(None, size, &rights[0], 0)?;
+        Ok((addr, size))
+    }
+}
+
+impl Drop for ArrayService {
+    fn drop(&mut self) {
+        self.service_port
+            .send_notification(Message::new(ARRAY_SHUTDOWN));
+        if let Some(t) = self.server_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machcore::{Kernel, KernelConfig};
+    use machsim::stats::keys;
+
+    #[test]
+    fn single_message_then_cached_access() {
+        let k = Kernel::boot(KernelConfig::default());
+        let service = ArrayService::start(k.machine(), 16 * 4096, |i| (i % 251) as u8);
+        // First client: pays one RPC plus pager fills.
+        let t1 = Task::create(&k, "c1");
+        let (a1, size) = ArrayService::attach(&t1, service.port()).unwrap();
+        let mut buf = vec![0u8; size as usize];
+        t1.read_memory(a1, &mut buf).unwrap();
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(b, (i % 251) as u8);
+        }
+        let fills_after_first = k.machine().stats.get(keys::VM_PAGER_FILLS);
+        assert!(fills_after_first >= 16);
+        // Second client: one message, zero pager fills.
+        let msgs_before = k.machine().stats.get(keys::MSG_SENT);
+        let t2 = Task::create(&k, "c2");
+        let (a2, _) = ArrayService::attach(&t2, service.port()).unwrap();
+        t2.read_memory(a2, &mut buf).unwrap();
+        assert_eq!(buf[5], 5);
+        assert_eq!(
+            k.machine().stats.get(keys::VM_PAGER_FILLS),
+            fills_after_first,
+            "second client caused no pager traffic"
+        );
+        // The attach RPC is 2 messages (request + reply).
+        assert!(k.machine().stats.get(keys::MSG_SENT) - msgs_before <= 3);
+    }
+}

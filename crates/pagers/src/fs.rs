@@ -1,0 +1,509 @@
+//! The minimal filesystem data manager of Section 4.1.
+//!
+//! "An example of a service which minimally uses the Mach external
+//! interface is a filesystem server which provides read-whole-file /
+//! write-whole-file functionality." A client's `fs_read_file` returns *new
+//! virtual memory*: the server creates a memory object for the file and
+//! the client maps it copy-on-write, so "other applications will
+//! consistently see the original file contents while the random changes
+//! are being made."
+//!
+//! Beyond the paper's minimal example, the server also supports shared
+//! read/write mappings (`open_mapped`) and sync — the building blocks the
+//! Section 8.1 UNIX emulation needs — and advises `pager_cache` so file
+//! pages stay in the VM cache between opens. That advice is the entire
+//! mechanism behind Section 9's performance claims.
+
+use machcore::{spawn_manager, DataManager, KernelConn, ManagerHandle, Task};
+use machipc::{IpcError, Message, MsgItem, OolBuffer, ReceiveRight, SendRight};
+use machsim::Machine;
+use machstorage::FlatFs;
+use machvm::{VmError, VmProt};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `fs_read_file`: request a copy-on-write mapping of a whole file.
+pub const FS_READ_FILE: u32 = 0x4101;
+/// `fs_write_file`: replace (a prefix of) a file's contents.
+pub const FS_WRITE_FILE: u32 = 0x4102;
+/// Create an empty file.
+pub const FS_CREATE: u32 = 0x4103;
+/// Open a file for shared mapped access; returns the memory object.
+pub const FS_OPEN_MAPPED: u32 = 0x4104;
+/// Force cached modifications of a file back to the server.
+pub const FS_SYNC: u32 = 0x4105;
+/// Query a file's size.
+pub const FS_STAT: u32 = 0x4106;
+/// Shut the server down.
+pub const FS_SHUTDOWN: u32 = 0x41FF;
+/// Generic success reply.
+pub const FS_OK: u32 = 0x4180;
+/// Generic failure reply.
+pub const FS_ERR: u32 = 0x4181;
+
+/// Shared per-file state between the server loop and the file's pager.
+struct FileState {
+    /// Kernel connections that mapped this file, with the object id each
+    /// kernel assigned.
+    conns: Vec<(KernelConn, u64)>,
+    /// File size when the memory object was created.
+    size: u64,
+}
+
+/// The pager serving one file's memory object.
+struct FilePager {
+    fs: Arc<FlatFs>,
+    name: String,
+    state: Arc<Mutex<FileState>>,
+}
+
+impl DataManager for FilePager {
+    fn init(&mut self, kernel: &KernelConn, object: u64) {
+        // Keep file pages cached after the last unmap: this is the "bulk
+        // of physical memory as a cache of secondary storage" behaviour.
+        kernel.cache(object, true);
+        self.state.lock().conns.push((kernel.clone(), object));
+    }
+
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _access: VmProt,
+    ) {
+        let size = self.fs.size(&self.name).unwrap_or(0) as u64;
+        if offset >= size {
+            // Beyond EOF: zero-filled.
+            kernel.data_unavailable(object, offset, length);
+            return;
+        }
+        // Read whole pages; the tail past EOF is zero-padded.
+        let mut data = vec![0u8; length as usize];
+        let n = ((size - offset) as usize).min(length as usize);
+        if self.fs.read(&self.name, offset as usize, &mut data[..n]).is_err() {
+            kernel.data_unavailable(object, offset, length);
+            return;
+        }
+        kernel.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
+    }
+
+    fn data_write(&mut self, kernel: &KernelConn, object: u64, offset: u64, data: OolBuffer) {
+        // Writes from shared mappings come home here; clamp to file size
+        // so the zero tail of the last page does not extend the file.
+        let size = self.fs.size(&self.name).unwrap_or(0);
+        let end = (offset as usize + data.len()).min(size.max(offset as usize + data.len()));
+        let n = end - offset as usize;
+        let _ = self
+            .fs
+            .write(&self.name, offset as usize, &data.as_slice()[..n]);
+        kernel.release_laundry(object, data.len() as u64);
+    }
+
+    fn kernel_detached(&mut self, _port: u64) {
+        // §4.1 port_death: release per-kernel resources.
+        self.state.lock().conns.clear();
+    }
+}
+
+/// The filesystem server task.
+pub struct FileServer {
+    machine: Machine,
+    fs: Arc<FlatFs>,
+    port: SendRight,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for FileServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FileServer({:?})", self.fs)
+    }
+}
+
+struct ServerState {
+    fs: Arc<FlatFs>,
+    machine: Machine,
+    /// Memory object (pager) per open file.
+    pagers: HashMap<String, (ManagerHandle, Arc<Mutex<FileState>>)>,
+}
+
+impl ServerState {
+    fn pager_for(&mut self, name: &str) -> Result<(SendRight, u64), String> {
+        let size = self
+            .fs
+            .size(name)
+            .map_err(|e| e.to_string())? as u64;
+        if let Some((handle, state)) = self.pagers.get(name) {
+            return Ok((handle.port().clone(), state.lock().size.max(size)));
+        }
+        let state = Arc::new(Mutex::new(FileState {
+            conns: Vec::new(),
+            size,
+        }));
+        let pager = FilePager {
+            fs: self.fs.clone(),
+            name: name.to_string(),
+            state: state.clone(),
+        };
+        let handle = spawn_manager(&self.machine, &format!("fs-{name}"), pager);
+        let port = handle.port().clone();
+        self.pagers.insert(name.to_string(), (handle, state));
+        Ok((port, size))
+    }
+}
+
+fn name_of(msg: &Message) -> Option<String> {
+    msg.body
+        .iter()
+        .find_map(|i| i.as_bytes())
+        .map(|b| String::from_utf8_lossy(b).to_string())
+}
+
+fn reply_to(msg: &Message, reply: Message) {
+    if let Some(r) = &msg.reply {
+        let _ = r.send(reply, Some(Duration::from_secs(5)));
+    }
+}
+
+impl FileServer {
+    /// Starts a filesystem server over `fs`.
+    pub fn start(machine: &Machine, fs: Arc<FlatFs>) -> Arc<FileServer> {
+        let (rx, tx) = ReceiveRight::allocate(machine);
+        rx.set_backlog(1024);
+        let mut state = ServerState {
+            fs: fs.clone(),
+            machine: machine.clone(),
+            pagers: HashMap::new(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("file-server".into())
+            .spawn(move || loop {
+                let Ok(msg) = rx.receive(None) else { break };
+                match msg.id {
+                    FS_CREATE => {
+                        let ok = name_of(&msg)
+                            .map(|n| state.fs.create(&n).is_ok())
+                            .unwrap_or(false);
+                        reply_to(&msg, Message::new(if ok { FS_OK } else { FS_ERR }));
+                    }
+                    FS_READ_FILE | FS_OPEN_MAPPED => {
+                        let result = name_of(&msg)
+                            .ok_or_else(|| "bad name".to_string())
+                            .and_then(|n| state.pager_for(&n));
+                        match result {
+                            Ok((port, size)) => reply_to(
+                                &msg,
+                                Message::new(FS_OK)
+                                    .with(MsgItem::u64s(&[size]))
+                                    .with(MsgItem::SendRights(vec![port])),
+                            ),
+                            Err(_) => reply_to(&msg, Message::new(FS_ERR)),
+                        }
+                    }
+                    FS_WRITE_FILE => {
+                        let ok = match (name_of(&msg), msg.body.iter().find_map(|i| i.as_ool())) {
+                            (Some(n), Some(data)) => {
+                                state.fs.exists(&n)
+                                    && state.fs.write(&n, 0, data.as_slice()).is_ok()
+                            }
+                            _ => false,
+                        };
+                        reply_to(&msg, Message::new(if ok { FS_OK } else { FS_ERR }));
+                    }
+                    FS_SYNC => {
+                        if let Some(n) = name_of(&msg) {
+                            if let Some((_, fstate)) = state.pagers.get(&n) {
+                                let fstate = fstate.lock();
+                                for (conn, object) in fstate.conns.iter() {
+                                    conn.clean_request(*object, 0, u64::MAX / 2);
+                                }
+                            }
+                        }
+                        reply_to(&msg, Message::new(FS_OK));
+                    }
+                    FS_STAT => {
+                        match name_of(&msg).and_then(|n| state.fs.size(&n).ok()) {
+                            Some(size) => reply_to(
+                                &msg,
+                                Message::new(FS_OK).with(MsgItem::u64s(&[size as u64])),
+                            ),
+                            None => reply_to(&msg, Message::new(FS_ERR)),
+                        }
+                    }
+                    FS_SHUTDOWN => break,
+                    _ => reply_to(&msg, Message::new(FS_ERR)),
+                }
+            })
+            .expect("spawn file server");
+        Arc::new(FileServer {
+            machine: machine.clone(),
+            fs,
+            port: tx,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// The server's request port.
+    pub fn port(&self) -> &SendRight {
+        &self.port
+    }
+
+    /// The backing filesystem (for tests and tooling).
+    pub fn fs(&self) -> &Arc<FlatFs> {
+        &self.fs
+    }
+
+    /// The machine the server runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl Drop for FileServer {
+    fn drop(&mut self) {
+        self.port.send_notification(Message::new(FS_SHUTDOWN));
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Client-side errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsClientError {
+    /// The RPC failed.
+    Ipc(IpcError),
+    /// The server reported failure.
+    Server,
+    /// Mapping the returned object failed.
+    Vm(VmError),
+}
+
+impl fmt::Display for FsClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsClientError::Ipc(e) => write!(f, "rpc failed: {e}"),
+            FsClientError::Server => f.write_str("server error"),
+            FsClientError::Vm(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsClientError {}
+
+impl From<IpcError> for FsClientError {
+    fn from(e: IpcError) -> Self {
+        FsClientError::Ipc(e)
+    }
+}
+
+impl From<VmError> for FsClientError {
+    fn from(e: VmError) -> Self {
+        FsClientError::Vm(e)
+    }
+}
+
+/// Client library for the filesystem server (the `fs_read_file` /
+/// `fs_write_file` calls of Section 4.1).
+pub struct FsClient {
+    server: SendRight,
+}
+
+impl FsClient {
+    /// Binds a client to a server port.
+    pub fn new(server: SendRight) -> Self {
+        Self { server }
+    }
+
+    fn rpc(&self, msg: Message) -> Result<Message, FsClientError> {
+        let reply = self
+            .server
+            .rpc(msg, Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))?;
+        if reply.id == FS_OK {
+            Ok(reply)
+        } else {
+            Err(FsClientError::Server)
+        }
+    }
+
+    /// Creates an empty file.
+    pub fn create(&self, name: &str) -> Result<(), FsClientError> {
+        self.rpc(Message::new(FS_CREATE).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        Ok(())
+    }
+
+    /// `fs_read_file`: maps the file copy-on-write into `task`; returns
+    /// `(address, size)`. "This memory is copy-on-write in the
+    /// application's address space."
+    pub fn read_file(&self, task: &Task, name: &str) -> Result<(u64, u64), FsClientError> {
+        let reply =
+            self.rpc(Message::new(FS_READ_FILE).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        let size = reply.body[0].as_u64s().ok_or(FsClientError::Server)?[0];
+        let MsgItem::SendRights(rights) = &reply.body[1] else {
+            return Err(FsClientError::Server);
+        };
+        let map_size = size.max(1);
+        let addr = task.map_object_copy(None, map_size, &rights[0], 0)?;
+        Ok((addr, size))
+    }
+
+    /// Maps the file shared read/write into `task` (writes flow back to
+    /// the file via `pager_data_write`); returns `(address, size)`.
+    pub fn open_mapped(&self, task: &Task, name: &str) -> Result<(u64, u64), FsClientError> {
+        let reply = self
+            .rpc(Message::new(FS_OPEN_MAPPED).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        let size = reply.body[0].as_u64s().ok_or(FsClientError::Server)?[0];
+        let MsgItem::SendRights(rights) = &reply.body[1] else {
+            return Err(FsClientError::Server);
+        };
+        let map_size = size.max(1);
+        let addr = task.vm_allocate_with_pager(None, map_size, &rights[0], 0)?;
+        Ok((addr, size))
+    }
+
+    /// `fs_write_file`: replaces the file's prefix with `data`.
+    pub fn write_file(&self, name: &str, data: &[u8]) -> Result<(), FsClientError> {
+        self.rpc(
+            Message::new(FS_WRITE_FILE)
+                .with(MsgItem::bytes(name.as_bytes().to_vec()))
+                .with(MsgItem::OutOfLine(OolBuffer::from_slice(data))),
+        )?;
+        Ok(())
+    }
+
+    /// Flushes cached modifications of the file back to the server.
+    pub fn sync(&self, name: &str) -> Result<(), FsClientError> {
+        self.rpc(Message::new(FS_SYNC).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        Ok(())
+    }
+
+    /// Returns the file's current size.
+    pub fn stat(&self, name: &str) -> Result<u64, FsClientError> {
+        let reply = self.rpc(Message::new(FS_STAT).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        Ok(reply.body[0].as_u64s().ok_or(FsClientError::Server)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machcore::{Kernel, KernelConfig};
+    use machstorage::BlockDevice;
+
+    fn setup() -> (Arc<Kernel>, Arc<FileServer>, FsClient) {
+        let k = Kernel::boot(KernelConfig::default());
+        let dev = Arc::new(BlockDevice::new(k.machine(), 256));
+        let fs = Arc::new(FlatFs::format(dev, 0));
+        let server = FileServer::start(k.machine(), fs);
+        let client = FsClient::new(server.port().clone());
+        (k, server, client)
+    }
+
+    #[test]
+    fn read_whole_file_through_mapping() {
+        let (k, server, client) = setup();
+        server.fs().create("hello.txt").unwrap();
+        server.fs().write("hello.txt", 0, b"hello mapped world").unwrap();
+        let task = Task::create(&k, "app");
+        let (addr, size) = client.read_file(&task, "hello.txt").unwrap();
+        assert_eq!(size, 18);
+        let mut buf = vec![0u8; size as usize];
+        task.read_memory(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello mapped world");
+    }
+
+    #[test]
+    fn cow_read_gives_consistent_view_to_others() {
+        // The §4.1 scenario: one client randomly mutates its copy while
+        // another consistently sees the original contents.
+        let (k, server, client) = setup();
+        server.fs().create("f").unwrap();
+        server.fs().write("f", 0, &vec![7u8; 8192]).unwrap();
+        let mutator = Task::create(&k, "mutator");
+        let reader = Task::create(&k, "reader");
+        let (maddr, _) = client.read_file(&mutator, "f").unwrap();
+        mutator.write_memory(maddr + 100, &[0xFF; 32]).unwrap();
+        let (raddr, _) = client.read_file(&reader, "f").unwrap();
+        let mut b = [0u8; 32];
+        reader.read_memory(raddr + 100, &mut b).unwrap();
+        assert_eq!(b, [7u8; 32], "reader sees original file contents");
+        // And the file itself is untouched.
+        assert_eq!(server.fs().read_all("f").unwrap(), vec![7u8; 8192]);
+    }
+
+    #[test]
+    fn explicit_write_back() {
+        let (k, server, client) = setup();
+        client.create("out").unwrap();
+        client.write_file("out", b"stored via message").unwrap();
+        assert_eq!(server.fs().read_all("out").unwrap(), b"stored via message");
+        // Round-trip through a fresh mapping.
+        let task = Task::create(&k, "t");
+        let (addr, size) = client.read_file(&task, "out").unwrap();
+        let mut buf = vec![0u8; size as usize];
+        task.read_memory(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"stored via message");
+    }
+
+    #[test]
+    fn second_open_hits_vm_cache() {
+        let (k, server, client) = setup();
+        server.fs().create("hot").unwrap();
+        server.fs().write("hot", 0, &vec![1u8; 16384]).unwrap();
+        let t1 = Task::create(&k, "t1");
+        let (a1, s1) = client.read_file(&t1, "hot").unwrap();
+        let mut buf = vec![0u8; s1 as usize];
+        t1.read_memory(a1, &mut buf).unwrap();
+        let disk_reads_after_first = k.machine().stats.get(machsim::stats::keys::DISK_READS);
+        t1.vm_deallocate(a1, s1).unwrap();
+        // A different task re-reads: all pages must come from the cache.
+        let t2 = Task::create(&k, "t2");
+        let (a2, s2) = client.read_file(&t2, "hot").unwrap();
+        t2.read_memory(a2, &mut buf).unwrap();
+        assert_eq!(s2, s1);
+        assert!(buf.iter().all(|&b| b == 1));
+        assert_eq!(
+            k.machine().stats.get(machsim::stats::keys::DISK_READS),
+            disk_reads_after_first,
+            "no disk I/O on the warm open"
+        );
+    }
+
+    #[test]
+    fn shared_mapping_writes_reach_the_file_on_sync() {
+        let (k, server, client) = setup();
+        server.fs().create("db").unwrap();
+        server.fs().write("db", 0, &vec![0u8; 4096]).unwrap();
+        let task = Task::create(&k, "writer");
+        let (addr, _) = client.open_mapped(&task, "db").unwrap();
+        task.write_memory(addr, b"dirty page").unwrap();
+        client.sync("db").unwrap();
+        // The sync triggers a clean_request -> pager_data_write chain.
+        std::thread::sleep(Duration::from_millis(200));
+        let contents = server.fs().read_all("db").unwrap();
+        assert_eq!(&contents[..10], b"dirty page");
+    }
+
+    #[test]
+    fn missing_file_reports_server_error() {
+        let (k, _server, client) = setup();
+        let task = Task::create(&k, "t");
+        assert_eq!(
+            client.read_file(&task, "nope").unwrap_err(),
+            FsClientError::Server
+        );
+        assert_eq!(client.stat("nope").unwrap_err(), FsClientError::Server);
+    }
+
+    #[test]
+    fn stat_matches_size() {
+        let (_k, server, client) = setup();
+        server.fs().create("s").unwrap();
+        server.fs().write("s", 0, &vec![0u8; 1234]).unwrap();
+        assert_eq!(client.stat("s").unwrap(), 1234);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! External data managers: the applications of Sections 4, 6 and 8.
+//!
+//! Every module here is an ordinary user-level task speaking the external
+//! memory management protocol to one or more kernels:
+//!
+//! * [`fs`] — the minimal read/copy-on-write filesystem server (§4.1);
+//! * [`netshm`] — the consistent network shared memory service (§4.2),
+//!   single-writer/multiple-reader coherence in the style of Li–Hudak;
+//! * [`camelot`] — a Camelot-style recoverable-object disk manager with
+//!   write-ahead logging (§8.3);
+//! * [`migrate`] — copy-on-reference task migration (§8.2);
+//! * [`mod@array`] — a shared-array service demonstrating the §9 claim that
+//!   clients get cached data with a single message;
+//! * [`agora`] — a hybrid blackboard (§8.4): tightly coupled agents use
+//!   shared memory, loosely coupled ones use messages;
+//! * [`remote_region`] — copy-on-reference out-of-line message data across
+//!   the network (§7);
+//! * [`hostile`] — deliberately broken managers reproducing the failure
+//!   modes of §6.1 for the failure-handling experiments.
+
+pub mod agora;
+pub mod array;
+pub mod camelot;
+pub mod fs;
+pub mod hostile;
+pub mod migrate;
+pub mod netshm;
+pub mod remote_region;
+
+pub use agora::{Agent, Blackboard};
+pub use array::ArrayService;
+pub use camelot::{CamelotClient, CamelotServer};
+pub use fs::{FileServer, FsClient, FsClientError};
+pub use migrate::{MigrationManager, MigrationStrategy};
+pub use netshm::{GrantPolicy, SharedMemoryServer, ShmDirectory};

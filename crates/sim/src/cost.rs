@@ -1,0 +1,182 @@
+//! Cost model for the simulated 1987 machine.
+//!
+//! All latency constants live here so that every experiment draws from one
+//! consistent machine description. The anchors:
+//!
+//! * CPU work is charged per simulated instruction at ~1 MIPS (a VAX 11/780
+//!   is the original "1 MIPS" machine).
+//! * Copying memory costs per-byte bus time; mapping a page (copy-on-write)
+//!   costs a small constant, which is the whole point of the duality: for
+//!   large transfers, remapping beats copying.
+//! * A disk operation costs ~20 ms access plus transfer at ~1 MB/s — the
+//!   ratio between a cache hit and a disk access is what drives Section 9's
+//!   compilation results.
+//! * Network messages cost per the NORMA numbers in Section 7.
+
+use crate::topology::{MemoryKind, Topology};
+
+/// Latency parameters of the simulated machine.
+///
+/// The defaults describe a 1987 VAX-class workstation; constructors exist
+/// for each multiprocessor topology of Section 7.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Machine class, which sets memory access asymmetry.
+    pub topology: Topology,
+    /// Nanoseconds per simulated CPU instruction (1 MIPS => 1000).
+    pub instruction_ns: u64,
+    /// Nanoseconds to copy one byte memory-to-memory.
+    pub copy_byte_ns: u64,
+    /// Fixed cost of entering the kernel (trap + dispatch).
+    pub syscall_ns: u64,
+    /// Fixed cost of a page-table/pmap update for one page.
+    pub map_page_ns: u64,
+    /// Fixed cost of handling a page fault in the machine-independent layer
+    /// (map lookup, object lookup, queue moves), excluding data transfer.
+    pub fault_overhead_ns: u64,
+    /// Fixed per-message IPC cost (header processing, queueing, wakeup).
+    pub message_ns: u64,
+    /// Disk positioning cost per operation (seek + rotation).
+    pub disk_access_ns: u64,
+    /// Disk transfer cost per byte (~1 MB/s).
+    pub disk_byte_ns: u64,
+    /// Network per-message latency between hosts.
+    pub net_message_ns: u64,
+    /// Network per-byte transfer cost (10 Mbit Ethernet ~= 800 ns/byte).
+    pub net_byte_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::uma()
+    }
+}
+
+impl CostModel {
+    /// A tightly coupled shared-bus multiprocessor (MultiMax class).
+    pub fn uma() -> Self {
+        Self::for_topology(Topology::Uma)
+    }
+
+    /// A switch-connected NUMA machine (Butterfly class).
+    pub fn numa() -> Self {
+        Self::for_topology(Topology::Numa)
+    }
+
+    /// A message-only NORMA machine (HyperCube / Ethernet class).
+    pub fn norma() -> Self {
+        Self::for_topology(Topology::Norma)
+    }
+
+    /// Builds the model for a given topology with 1987-era constants.
+    pub fn for_topology(topology: Topology) -> Self {
+        Self {
+            topology,
+            instruction_ns: 1_000,
+            copy_byte_ns: 100,
+            syscall_ns: 20_000,
+            map_page_ns: 10_000,
+            fault_overhead_ns: 50_000,
+            message_ns: 100_000,
+            disk_access_ns: 20_000_000,
+            disk_byte_ns: 1_000,
+            net_message_ns: Topology::Norma.word_access_ns(MemoryKind::Remote),
+            net_byte_ns: 800,
+        }
+    }
+
+    /// Cost of copying `bytes` bytes memory-to-memory.
+    pub fn copy_cost_ns(&self, bytes: u64) -> u64 {
+        bytes.saturating_mul(self.copy_byte_ns)
+    }
+
+    /// Cost of transferring `pages` pages by remapping (the COW path).
+    pub fn remap_cost_ns(&self, pages: u64) -> u64 {
+        pages.saturating_mul(self.map_page_ns)
+    }
+
+    /// Cost of one disk operation transferring `bytes` bytes.
+    pub fn disk_op_ns(&self, bytes: u64) -> u64 {
+        self.disk_access_ns + bytes.saturating_mul(self.disk_byte_ns)
+    }
+
+    /// Cost of one network message carrying `bytes` bytes.
+    pub fn net_op_ns(&self, bytes: u64) -> u64 {
+        self.net_message_ns + bytes.saturating_mul(self.net_byte_ns)
+    }
+
+    /// Cost of a single word access of the given kind on this machine.
+    pub fn word_access_ns(&self, kind: MemoryKind) -> u64 {
+        self.topology.word_access_ns(kind)
+    }
+
+    /// The message size (bytes) above which remapping a region beats
+    /// copying it, for transfers of whole `page_size` pages.
+    ///
+    /// This is the crossover experiment E15 probes empirically.
+    pub fn analytic_cow_crossover_bytes(&self, page_size: u64) -> u64 {
+        // Copy cost: copy_byte_ns * n. Remap cost: map_page_ns * ceil(n / page).
+        // Equal when n = map_page_ns * n / (page * copy_byte_ns) ... solve per page:
+        // copy of one page = page * copy_byte_ns vs map_page_ns.
+        if page_size.saturating_mul(self.copy_byte_ns) >= self.map_page_ns {
+            // Remapping wins from the first whole page.
+            page_size
+        } else {
+            // Remapping never wins per page; crossover effectively infinite.
+            u64::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_uma() {
+        assert_eq!(CostModel::default().topology, Topology::Uma);
+    }
+
+    #[test]
+    fn disk_dwarfs_memory() {
+        let m = CostModel::default();
+        // A 4K disk read must cost orders of magnitude more than a 4K copy;
+        // this gap is what the Mach file cache exploits (Section 9).
+        assert!(m.disk_op_ns(4096) > 20 * m.copy_cost_ns(4096));
+    }
+
+    #[test]
+    fn remap_beats_copy_for_pages() {
+        let m = CostModel::default();
+        // One 4K page: copy = 409_600 ns, remap = 10_000 ns.
+        assert!(m.remap_cost_ns(1) < m.copy_cost_ns(4096));
+        assert_eq!(m.analytic_cow_crossover_bytes(4096), 4096);
+    }
+
+    #[test]
+    fn copy_cost_is_linear() {
+        let m = CostModel::default();
+        assert_eq!(m.copy_cost_ns(10) * 10, m.copy_cost_ns(100));
+    }
+
+    #[test]
+    fn net_op_includes_fixed_latency() {
+        let m = CostModel::norma();
+        assert!(m.net_op_ns(0) >= 100_000);
+        assert_eq!(m.net_op_ns(100) - m.net_op_ns(0), 100 * m.net_byte_ns);
+    }
+
+    #[test]
+    fn topology_models_differ_in_remote_access() {
+        let uma = CostModel::uma();
+        let numa = CostModel::numa();
+        assert!(numa.word_access_ns(MemoryKind::Remote) > uma.word_access_ns(MemoryKind::Remote));
+    }
+
+    #[test]
+    fn crossover_infinite_when_mapping_expensive() {
+        let mut m = CostModel::default();
+        m.map_page_ns = u64::MAX / 2;
+        assert_eq!(m.analytic_cow_crossover_bytes(4096), u64::MAX);
+    }
+}

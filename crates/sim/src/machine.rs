@@ -1,0 +1,73 @@
+//! The shared context of one simulated machine (host).
+//!
+//! Every subsystem of one host — IPC, VM, disks, network interface —
+//! charges the same clock and counter registry, so an experiment can ask
+//! "how much total work did this host do" and "how many I/O operations
+//! happened" exactly as the paper does in Section 9.
+
+use crate::clock::SimClock;
+use crate::cost::CostModel;
+use crate::stats::StatsRegistry;
+use crate::topology::Topology;
+use std::sync::Arc;
+
+/// Clock, statistics and cost model of one simulated host.
+///
+/// Cloning shares the underlying clock and counters.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Virtual clock charged by every component of this host.
+    pub clock: SimClock,
+    /// Event counters for this host.
+    pub stats: StatsRegistry,
+    /// Latency model.
+    pub cost: Arc<CostModel>,
+}
+
+impl Machine {
+    /// Creates a machine with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Self {
+            clock: SimClock::new(),
+            stats: StatsRegistry::new(),
+            cost: Arc::new(cost),
+        }
+    }
+
+    /// A default UMA workstation.
+    pub fn default_machine() -> Self {
+        Self::new(CostModel::default())
+    }
+
+    /// A machine of the given multiprocessor class (Section 7).
+    pub fn with_topology(topology: Topology) -> Self {
+        Self::new(CostModel::for_topology(topology))
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::default_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_clock_and_stats() {
+        let m = Machine::default_machine();
+        let n = m.clone();
+        m.clock.charge(5);
+        m.stats.incr("x");
+        assert_eq!(n.clock.now_ns(), 5);
+        assert_eq!(n.stats.get("x"), 1);
+    }
+
+    #[test]
+    fn topology_constructor_sets_cost_model() {
+        let m = Machine::with_topology(Topology::Norma);
+        assert_eq!(m.cost.topology, Topology::Norma);
+    }
+}

@@ -1,0 +1,260 @@
+//! Event counters for the quantities the paper reports.
+//!
+//! Section 9's claims are stated in *counts* ("the total number of I/O
+//! operations can be reduced by a factor of 10") as much as in time. Every
+//! subsystem therefore increments named counters in a shared registry, and
+//! experiments snapshot/diff the registry around a workload.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single named monotone counter.
+///
+/// Cheap to clone; clones share the same underlying value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Well-known counter names used across the workspace.
+///
+/// Centralizing the names keeps experiment report columns stable.
+pub mod keys {
+    /// Disk read operations issued to any block device.
+    pub const DISK_READS: &str = "disk.reads";
+    /// Disk write operations issued to any block device.
+    pub const DISK_WRITES: &str = "disk.writes";
+    /// Bytes moved to/from disk.
+    pub const DISK_BYTES: &str = "disk.bytes";
+    /// IPC messages sent (local).
+    pub const MSG_SENT: &str = "ipc.messages_sent";
+    /// IPC messages received.
+    pub const MSG_RECEIVED: &str = "ipc.messages_received";
+    /// Network messages between hosts.
+    pub const NET_MESSAGES: &str = "net.messages";
+    /// Bytes carried over the network fabric.
+    pub const NET_BYTES: &str = "net.bytes";
+    /// Page faults resolved (all kinds).
+    pub const VM_FAULTS: &str = "vm.faults";
+    /// Page faults satisfied from the resident cache.
+    pub const VM_CACHE_HITS: &str = "vm.cache_hits";
+    /// Page faults that required a pager_data_request.
+    pub const VM_PAGER_FILLS: &str = "vm.pager_fills";
+    /// Copy-on-write page copies performed.
+    pub const VM_COW_COPIES: &str = "vm.cow_copies";
+    /// Pages written back through pager_data_write.
+    pub const VM_PAGEOUTS: &str = "vm.pageouts";
+    /// Zero-fill pages created.
+    pub const VM_ZERO_FILLS: &str = "vm.zero_fills";
+    /// Bytes copied by memcpy-style data movement.
+    pub const BYTES_COPIED: &str = "mem.bytes_copied";
+    /// Pages moved by remapping instead of copying.
+    pub const PAGES_REMAPPED: &str = "mem.pages_remapped";
+    /// Buffer cache hits (baseline UNIX path).
+    pub const BCACHE_HITS: &str = "bcache.hits";
+    /// Buffer cache misses (baseline UNIX path).
+    pub const BCACHE_MISSES: &str = "bcache.misses";
+}
+
+/// A registry of named counters shared by one simulated machine.
+#[derive(Clone, Debug, Default)]
+pub struct StatsRegistry {
+    counters: Arc<RwLock<BTreeMap<String, Counter>>>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter with the given name, creating it if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        let mut w = self.counters.write();
+        w.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Adds one to the named counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the named counter's current value (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(Counter::get)
+            .unwrap_or(0)
+    }
+
+    /// Captures the current value of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let values = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        StatsSnapshot { values }
+    }
+}
+
+/// An immutable point-in-time copy of a registry's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl StatsSnapshot {
+    /// Returns the value of `name` at snapshot time (zero if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference `later - self`, for counters in either.
+    pub fn delta(&self, later: &StatsSnapshot) -> StatsSnapshot {
+        let mut values = BTreeMap::new();
+        for (k, v) in &later.values {
+            values.insert(k.clone(), v.saturating_sub(self.get(k)));
+        }
+        // Counters present only in the earlier snapshot delta to zero.
+        for k in self.values.keys() {
+            values.entry(k.clone()).or_insert(0);
+        }
+        StatsSnapshot { values }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of counters captured.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_clones_share_value() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.incr();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn registry_returns_same_counter() {
+        let r = StatsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        assert_eq!(b.get(), 2);
+        assert_eq!(r.get("x"), 2);
+    }
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        assert_eq!(StatsRegistry::new().get("nope"), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let r = StatsRegistry::new();
+        r.add("a", 3);
+        let s1 = r.snapshot();
+        r.add("a", 4);
+        r.add("b", 1);
+        let s2 = r.snapshot();
+        let d = s1.delta(&s2);
+        assert_eq!(d.get("a"), 4);
+        assert_eq!(d.get("b"), 1);
+    }
+
+    #[test]
+    fn delta_includes_stale_counters_as_zero() {
+        let r = StatsRegistry::new();
+        r.add("only_before", 2);
+        let s1 = r.snapshot();
+        let r2 = StatsRegistry::new();
+        let s2 = r2.snapshot();
+        let d = s1.delta(&s2);
+        assert_eq!(d.get("only_before"), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = StatsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        r.incr("hot");
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get("hot"), 4_000);
+    }
+
+    #[test]
+    fn snapshot_iterates_sorted() {
+        let r = StatsRegistry::new();
+        r.incr("b");
+        r.incr("a");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

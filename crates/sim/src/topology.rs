@@ -1,0 +1,157 @@
+//! The multiprocessor taxonomy of Section 7: UMA, NUMA and NORMA machines.
+//!
+//! The paper gives concrete access-time anchors for each class:
+//!
+//! * **UMA** (Encore MultiMax, Sequent Balance, VAX 8300/8800): "considerably
+//!   less than one microsecond (on average)" for any memory access.
+//! * **NUMA** (BBN Butterfly, IBM RP3, C.mmp, CM*): "remote access times are
+//!   roughly 10 times greater than local access times"; ~5 microseconds for
+//!   a Butterfly remote reference.
+//! * **NORMA** (Intel HyperCube, Ethernet workstation farms): no hardware
+//!   remote access at all; "remote communication times are measured in the
+//!   hundreds of microseconds".
+//!
+//! Experiment E10 (`bench/topology`) regenerates that table from this
+//! module's cost parameters.
+
+use std::fmt;
+
+/// Whether an access touches memory local to the issuing CPU or remote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// Memory attached to (or equally distant from) the issuing CPU.
+    Local,
+    /// Memory attached to another node of the machine.
+    Remote,
+}
+
+/// One of the paper's three MIMD multiprocessor classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Uniform memory access: fully shared memory over a snooping bus.
+    Uma,
+    /// Non-uniform memory access: per-CPU local memory plus a switch.
+    Numa,
+    /// No remote memory access: message-only interconnect.
+    Norma,
+}
+
+impl Topology {
+    /// All three classes, in the order the paper introduces them.
+    pub const ALL: [Topology; 3] = [Topology::Uma, Topology::Numa, Topology::Norma];
+
+    /// Nanoseconds for a single word access of the given kind.
+    ///
+    /// `Remote` on a NORMA machine returns the cost of the software message
+    /// round that substitutes for the missing hardware path, since NORMAs
+    /// "provide no hardware supplied mechanism for remote memory access".
+    pub fn word_access_ns(self, kind: MemoryKind) -> u64 {
+        match (self, kind) {
+            // Sub-microsecond for every access on a MultiMax-class bus.
+            (Topology::Uma, _) => 400,
+            (Topology::Numa, MemoryKind::Local) => 500,
+            // Butterfly: remote roughly 10x local, ~5 microseconds.
+            (Topology::Numa, MemoryKind::Remote) => 5_000,
+            (Topology::Norma, MemoryKind::Local) => 400,
+            // HyperCube: hundreds of microseconds per remote interaction.
+            (Topology::Norma, MemoryKind::Remote) => 300_000,
+        }
+    }
+
+    /// Ratio of remote to local access time, rounded to the nearest integer.
+    pub fn remote_to_local_ratio(self) -> u64 {
+        let local = self.word_access_ns(MemoryKind::Local).max(1);
+        let remote = self.word_access_ns(MemoryKind::Remote);
+        (remote + local / 2) / local
+    }
+
+    /// Whether the hardware itself can satisfy a remote memory reference.
+    ///
+    /// On a NORMA machine shared memory must be synthesized in software (the
+    /// network shared memory server of Section 4.2); on UMA and NUMA machines
+    /// the hardware does it.
+    pub fn hardware_remote_access(self) -> bool {
+        !matches!(self, Topology::Norma)
+    }
+
+    /// A representative 1987 machine for the class, for report labels.
+    pub fn exemplar(self) -> &'static str {
+        match self {
+            Topology::Uma => "Encore MultiMax",
+            Topology::Numa => "BBN Butterfly",
+            Topology::Norma => "Intel HyperCube",
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Topology::Uma => "UMA",
+            Topology::Numa => "NUMA",
+            Topology::Norma => "NORMA",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uma_is_uniform() {
+        assert_eq!(
+            Topology::Uma.word_access_ns(MemoryKind::Local),
+            Topology::Uma.word_access_ns(MemoryKind::Remote)
+        );
+        assert_eq!(Topology::Uma.remote_to_local_ratio(), 1);
+    }
+
+    #[test]
+    fn uma_is_submicrosecond() {
+        // "considerably less than one microsecond (on average) for a MultiMax".
+        assert!(Topology::Uma.word_access_ns(MemoryKind::Remote) < 1_000);
+    }
+
+    #[test]
+    fn numa_remote_is_roughly_ten_x() {
+        let r = Topology::Numa.remote_to_local_ratio();
+        assert!((8..=12).contains(&r), "NUMA ratio {r} not ~10x");
+    }
+
+    #[test]
+    fn numa_remote_is_butterfly_scale() {
+        // "five microseconds for a Butterfly".
+        assert_eq!(Topology::Numa.word_access_ns(MemoryKind::Remote), 5_000);
+    }
+
+    #[test]
+    fn norma_remote_is_hundreds_of_microseconds() {
+        let ns = Topology::Norma.word_access_ns(MemoryKind::Remote);
+        assert!((100_000..1_000_000).contains(&ns));
+    }
+
+    #[test]
+    fn only_norma_lacks_hardware_remote_access() {
+        assert!(Topology::Uma.hardware_remote_access());
+        assert!(Topology::Numa.hardware_remote_access());
+        assert!(!Topology::Norma.hardware_remote_access());
+    }
+
+    #[test]
+    fn ratios_are_ordered_uma_numa_norma() {
+        let r: Vec<u64> = Topology::ALL
+            .iter()
+            .map(|t| t.remote_to_local_ratio())
+            .collect();
+        assert!(r[0] < r[1] && r[1] < r[2], "ratios {r:?} not increasing");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Topology::Uma.to_string(), "UMA");
+        assert_eq!(Topology::Numa.to_string(), "NUMA");
+        assert_eq!(Topology::Norma.to_string(), "NORMA");
+    }
+}

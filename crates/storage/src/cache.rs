@@ -1,0 +1,331 @@
+//! A classic fixed-size UNIX buffer cache.
+//!
+//! "Traditional UNIX implementations manage a cache of recently accessed
+//! file data blocks. This cache, which is normally 10% of physical memory
+//! in a Berkeley UNIX system, is accessed by user programs through read and
+//! write kernel-to-user and user-to-kernel copy operations." (Section 9.)
+//!
+//! This module is that comparator. It implements `bread`/`bwrite`-style
+//! access with LRU replacement over a *fixed* number of buffers, delayed
+//! writes (`bdwrite`) flushed by [`BufferCache::sync`], and hit/miss
+//! metering. The Mach side of the comparison uses the whole of physical
+//! memory through the VM cache instead; Experiment E7/E8 measures the gap.
+
+use crate::blockdev::{BlockDevice, DevError, BLOCK_SIZE};
+use machsim::stats::keys;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached block buffer.
+struct Buf {
+    bno: usize,
+    data: Box<[u8]>,
+    dirty: bool,
+    /// LRU timestamp (logical).
+    last_use: u64,
+}
+
+struct CacheInner {
+    bufs: Vec<Buf>,
+    /// Maps block number to index in `bufs`.
+    index: HashMap<usize, usize>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// A fixed-capacity write-back buffer cache over one block device.
+pub struct BufferCache {
+    dev: Arc<BlockDevice>,
+    inner: Mutex<CacheInner>,
+}
+
+impl BufferCache {
+    /// Creates a cache holding at most `capacity_blocks` buffers.
+    pub fn new(dev: Arc<BlockDevice>, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache needs at least one buffer");
+        Self {
+            dev,
+            inner: Mutex::new(CacheInner {
+                bufs: Vec::new(),
+                index: HashMap::new(),
+                tick: 0,
+                capacity: capacity_blocks,
+            }),
+        }
+    }
+
+    /// Creates a cache sized at `percent`% of `memory_bytes`, the
+    /// Berkeley-UNIX sizing rule the paper cites (normally 10%).
+    pub fn sized_for_memory(dev: Arc<BlockDevice>, memory_bytes: usize, percent: usize) -> Self {
+        let blocks = (memory_bytes * percent / 100 / BLOCK_SIZE).max(1);
+        Self::new(dev, blocks)
+    }
+
+    /// Number of buffers the cache may hold.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    fn machine(&self) -> &machsim::Machine {
+        self.dev.machine()
+    }
+
+    /// Evicts the LRU buffer (writing it back if dirty). Caller holds lock.
+    fn evict_one(&self, inner: &mut CacheInner) -> Result<(), DevError> {
+        let (victim_idx, _) = inner
+            .bufs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| b.last_use)
+            .expect("evict_one called on non-empty cache");
+        let victim = inner.bufs.swap_remove(victim_idx);
+        inner.index.remove(&victim.bno);
+        // The swap_remove moved the last element into victim_idx; fix index.
+        if victim_idx < inner.bufs.len() {
+            let moved_bno = inner.bufs[victim_idx].bno;
+            inner.index.insert(moved_bno, victim_idx);
+        }
+        if victim.dirty {
+            self.dev.write_block(victim.bno, &victim.data)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up or loads block `bno`; runs `f` on the buffer.
+    fn with_buf<R>(
+        &self,
+        bno: usize,
+        fill_from_disk: bool,
+        f: impl FnOnce(&mut Buf) -> R,
+    ) -> Result<R, DevError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(&idx) = inner.index.get(&bno) {
+            self.machine().stats.incr(keys::BCACHE_HITS);
+            let buf = &mut inner.bufs[idx];
+            buf.last_use = tick;
+            return Ok(f(buf));
+        }
+        self.machine().stats.incr(keys::BCACHE_MISSES);
+        while inner.bufs.len() >= inner.capacity {
+            self.evict_one(&mut inner)?;
+        }
+        let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        if fill_from_disk {
+            self.dev.read_block(bno, &mut data)?;
+        }
+        let idx = inner.bufs.len();
+        inner.bufs.push(Buf {
+            bno,
+            data,
+            dirty: false,
+            last_use: tick,
+        });
+        inner.index.insert(bno, idx);
+        Ok(f(&mut inner.bufs[idx]))
+    }
+
+    /// `bread`: reads `len` bytes at `offset` within block `bno` into `out`.
+    ///
+    /// Charges the user/kernel copy cost the paper contrasts with mapped
+    /// access.
+    pub fn read(&self, bno: usize, offset: usize, out: &mut [u8]) -> Result<(), DevError> {
+        assert!(offset + out.len() <= BLOCK_SIZE, "read crosses block boundary");
+        self.with_buf(bno, true, |buf| {
+            out.copy_from_slice(&buf.data[offset..offset + out.len()]);
+        })?;
+        // Kernel-to-user copy.
+        let m = self.machine();
+        m.clock.charge(m.cost.copy_cost_ns(out.len() as u64));
+        m.stats.add(keys::BYTES_COPIED, out.len() as u64);
+        Ok(())
+    }
+
+    /// `bdwrite`: delayed write of `data` at `offset` within block `bno`.
+    ///
+    /// If the write covers a whole block the old contents are not read.
+    pub fn write(&self, bno: usize, offset: usize, data: &[u8]) -> Result<(), DevError> {
+        assert!(offset + data.len() <= BLOCK_SIZE, "write crosses block boundary");
+        let whole = offset == 0 && data.len() == BLOCK_SIZE;
+        self.with_buf(bno, !whole, |buf| {
+            buf.data[offset..offset + data.len()].copy_from_slice(data);
+            buf.dirty = true;
+        })?;
+        // User-to-kernel copy.
+        let m = self.machine();
+        m.clock.charge(m.cost.copy_cost_ns(data.len() as u64));
+        m.stats.add(keys::BYTES_COPIED, data.len() as u64);
+        Ok(())
+    }
+
+    /// Writes all dirty buffers back to the device (`sync`).
+    pub fn sync(&self) -> Result<(), DevError> {
+        let mut inner = self.inner.lock();
+        // Collect dirty blocks first to avoid holding borrow issues.
+        let dirty: Vec<(usize, Box<[u8]>)> = inner
+            .bufs
+            .iter_mut()
+            .filter(|b| b.dirty)
+            .map(|b| {
+                b.dirty = false;
+                (b.bno, b.data.clone())
+            })
+            .collect();
+        drop(inner);
+        for (bno, data) in dirty {
+            self.dev.write_block(bno, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Discards all buffers without writing them back (simulated crash).
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.bufs.clear();
+        inner.index.clear();
+    }
+
+    /// Number of buffers currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().bufs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machsim::Machine;
+
+    fn setup(cap: usize) -> (Machine, Arc<BlockDevice>, BufferCache) {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 64));
+        let cache = BufferCache::new(dev.clone(), cap);
+        (m, dev, cache)
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let (m, dev, cache) = setup(4);
+        dev.write_block(0, &vec![5u8; BLOCK_SIZE]).unwrap();
+        let base_reads = m.stats.get(keys::DISK_READS);
+        let mut buf = [0u8; 16];
+        cache.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 16]);
+        cache.read(0, 100, &mut buf).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_READS), base_reads + 1);
+        assert_eq!(m.stats.get(keys::BCACHE_HITS), 1);
+        assert_eq!(m.stats.get(keys::BCACHE_MISSES), 1);
+    }
+
+    #[test]
+    fn delayed_write_hits_disk_only_on_sync() {
+        let (m, _dev, cache) = setup(4);
+        cache.write(2, 0, &vec![9u8; BLOCK_SIZE]).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_WRITES), 0);
+        cache.sync().unwrap();
+        assert_eq!(m.stats.get(keys::DISK_WRITES), 1);
+        // Second sync writes nothing.
+        cache.sync().unwrap();
+        assert_eq!(m.stats.get(keys::DISK_WRITES), 1);
+    }
+
+    #[test]
+    fn whole_block_write_skips_read() {
+        let (m, _dev, cache) = setup(4);
+        cache.write(1, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_READS), 0);
+    }
+
+    #[test]
+    fn partial_block_write_reads_old_contents() {
+        let (m, dev, cache) = setup(4);
+        dev.write_block(1, &vec![8u8; BLOCK_SIZE]).unwrap();
+        cache.write(1, 10, &[1, 2, 3]).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_READS), 1);
+        let mut b = [0u8; 1];
+        cache.read(1, 9, &mut b).unwrap();
+        assert_eq!(b[0], 8);
+        cache.read(1, 10, &mut b).unwrap();
+        assert_eq!(b[0], 1);
+    }
+
+    #[test]
+    fn lru_eviction_writes_dirty_victim() {
+        let (m, dev, cache) = setup(2);
+        cache.write(0, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        cache.write(1, 0, &vec![2u8; BLOCK_SIZE]).unwrap();
+        // Touch 0 so 1 becomes LRU.
+        let mut b = [0u8; 1];
+        cache.read(0, 0, &mut b).unwrap();
+        cache.write(2, 0, &vec![3u8; BLOCK_SIZE]).unwrap(); // Evicts 1.
+        assert_eq!(m.stats.get(keys::DISK_WRITES), 1);
+        assert_eq!(dev.read_block_vec(1).unwrap(), vec![2u8; BLOCK_SIZE]);
+        assert_eq!(cache.resident(), 2);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_writes() {
+        let (_m, dev, cache) = setup(4);
+        cache.write(3, 0, &vec![7u8; BLOCK_SIZE]).unwrap();
+        cache.crash();
+        assert_eq!(dev.read_block_vec(3).unwrap(), vec![0u8; BLOCK_SIZE]);
+        assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn sized_for_memory_is_ten_percent() {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 8));
+        // 4 MB of "physical memory" at 10% = ~102 blocks.
+        let c = BufferCache::sized_for_memory(dev, 4 << 20, 10);
+        assert_eq!(c.capacity(), (4 << 20) / 10 / BLOCK_SIZE);
+    }
+
+    #[test]
+    fn copies_are_metered() {
+        let (m, _dev, cache) = setup(4);
+        cache.write(0, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        let mut out = vec![0u8; 128];
+        cache.read(0, 0, &mut out).unwrap();
+        assert_eq!(
+            m.stats.get(keys::BYTES_COPIED),
+            BLOCK_SIZE as u64 + 128
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        // Each thread owns a disjoint set of blocks; reads must always see
+        // that thread's latest write even under eviction pressure.
+        let (_m, _dev, cache) = setup(4); // Tiny cache: constant eviction.
+        let cache = std::sync::Arc::new(cache);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for round in 0..50u8 {
+                        for b in 0..4usize {
+                            let bno = t * 4 + b;
+                            let val = vec![round ^ t as u8; BLOCK_SIZE];
+                            cache.write(bno, 0, &val).unwrap();
+                            let mut back = vec![0u8; BLOCK_SIZE];
+                            cache.read(bno, 0, &mut back).unwrap();
+                            assert_eq!(back[0], round ^ t as u8);
+                        }
+                    }
+                });
+            }
+        });
+        cache.sync().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cache needs at least one buffer")]
+    fn zero_capacity_panics() {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 1));
+        BufferCache::new(dev, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! A small flat-namespace inode filesystem over a block device.
+//!
+//! This is the on-disk substrate behind the Section 4.1 filesystem data
+//! manager and the synthetic compilation workload of Section 9. It is
+//! deliberately minimal — a flat name table, per-file block lists, byte
+//! range read/write — because the paper's point is not filesystem design
+//! but *where the cache lives*: either in a fixed buffer pool (baseline) or
+//! in the machine's whole physical memory via memory objects (Mach).
+//!
+//! All data access goes through the underlying [`BlockDevice`] so that
+//! every real disk operation is metered.
+
+use crate::blockdev::{BlockDevice, BLOCK_SIZE};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from filesystem operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with that name exists.
+    NotFound(String),
+    /// A file with that name already exists.
+    Exists(String),
+    /// The device has no free blocks left.
+    NoSpace,
+    /// Read or write beyond end of file.
+    OutOfRange,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(n) => write!(f, "file not found: {n}"),
+            FsError::Exists(n) => write!(f, "file exists: {n}"),
+            FsError::NoSpace => f.write_str("no space left on device"),
+            FsError::OutOfRange => f.write_str("access beyond end of file"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Per-file metadata.
+#[derive(Clone, Debug, Default)]
+struct Inode {
+    blocks: Vec<usize>,
+    size: usize,
+}
+
+struct FsInner {
+    files: BTreeMap<String, Inode>,
+    free: Vec<usize>,
+}
+
+/// A flat filesystem: a name table mapping to per-file block lists.
+pub struct FlatFs {
+    dev: Arc<BlockDevice>,
+    inner: Mutex<FsInner>,
+}
+
+impl fmt::Debug for FlatFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlatFs({} files)", self.inner.lock().files.len())
+    }
+}
+
+impl FlatFs {
+    /// Formats a filesystem using blocks `[first_block, dev.num_blocks())`.
+    ///
+    /// Reserving a prefix lets a write-ahead log share the same device.
+    pub fn format(dev: Arc<BlockDevice>, first_block: usize) -> Self {
+        let free = (first_block..dev.num_blocks()).rev().collect();
+        Self {
+            dev,
+            inner: Mutex::new(FsInner {
+                files: BTreeMap::new(),
+                free,
+            }),
+        }
+    }
+
+    /// The device this filesystem lives on.
+    pub fn device(&self) -> &Arc<BlockDevice> {
+        &self.dev
+    }
+
+    /// Creates an empty file.
+    pub fn create(&self, name: &str) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(name) {
+            return Err(FsError::Exists(name.to_string()));
+        }
+        inner.files.insert(name.to_string(), Inode::default());
+        Ok(())
+    }
+
+    /// Deletes a file, freeing its blocks.
+    pub fn delete(&self, name: &str) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        let inode = inner
+            .files
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        inner.free.extend(inode.blocks);
+        Ok(())
+    }
+
+    /// Returns the file's size in bytes.
+    pub fn size(&self, name: &str) -> Result<usize, FsError> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(name)
+            .map(|i| i.size)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.lock().files.contains_key(name)
+    }
+
+    /// Lists file names in lexical order.
+    pub fn list(&self) -> Vec<String> {
+        self.inner.lock().files.keys().cloned().collect()
+    }
+
+    /// Device block number backing file block `idx` of `name`, if mapped.
+    ///
+    /// The baseline UNIX emulation uses this to address its buffer cache by
+    /// device block, exactly as a real buffer pool is keyed.
+    pub fn block_of(&self, name: &str, idx: usize) -> Result<Option<usize>, FsError> {
+        let inner = self.inner.lock();
+        let inode = inner
+            .files
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        Ok(inode.blocks.get(idx).copied())
+    }
+
+    /// Grows `name` to at least `size` bytes, allocating zeroed blocks.
+    pub fn truncate(&self, name: &str, size: usize) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        let needed = size.div_ceil(BLOCK_SIZE);
+        let inode = inner
+            .files
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let have = inode.blocks.len();
+        if needed > have {
+            let mut fresh = Vec::with_capacity(needed - have);
+            for _ in have..needed {
+                match inner.free.pop() {
+                    Some(b) => fresh.push(b),
+                    None => {
+                        // Roll back: nothing was recorded in the inode yet.
+                        inner.free.extend(fresh);
+                        return Err(FsError::NoSpace);
+                    }
+                }
+            }
+            let inode = inner.files.get_mut(name).expect("checked above");
+            inode.blocks.extend(fresh);
+        }
+        let inode = inner.files.get_mut(name).expect("checked above");
+        if size > inode.size {
+            inode.size = size;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at byte `offset`, growing the file as needed.
+    pub fn write(&self, name: &str, offset: usize, data: &[u8]) -> Result<(), FsError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.truncate(name, offset + data.len())?;
+        let blocks: Vec<usize> = {
+            let inner = self.inner.lock();
+            inner.files.get(name).expect("truncate ensured").blocks.clone()
+        };
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos;
+            let bidx = abs / BLOCK_SIZE;
+            let boff = abs % BLOCK_SIZE;
+            let n = (BLOCK_SIZE - boff).min(data.len() - pos);
+            self.dev
+                .write_partial(blocks[bidx], boff, &data[pos..pos + n])
+                .expect("fs block within device");
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Reads `out.len()` bytes at byte `offset`.
+    pub fn read(&self, name: &str, offset: usize, out: &mut [u8]) -> Result<(), FsError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let (blocks, size) = {
+            let inner = self.inner.lock();
+            let inode = inner
+                .files
+                .get(name)
+                .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+            (inode.blocks.clone(), inode.size)
+        };
+        if offset + out.len() > size {
+            return Err(FsError::OutOfRange);
+        }
+        let mut pos = 0usize;
+        let mut block_buf = vec![0u8; BLOCK_SIZE];
+        while pos < out.len() {
+            let abs = offset + pos;
+            let bidx = abs / BLOCK_SIZE;
+            let boff = abs % BLOCK_SIZE;
+            let n = (BLOCK_SIZE - boff).min(out.len() - pos);
+            self.dev
+                .read_block(blocks[bidx], &mut block_buf)
+                .expect("fs block within device");
+            out[pos..pos + n].copy_from_slice(&block_buf[boff..boff + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Reads the whole file into a fresh vector.
+    pub fn read_all(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        let size = self.size(name)?;
+        let mut out = vec![0u8; size];
+        self.read(name, 0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machsim::stats::keys;
+    use machsim::Machine;
+
+    fn fs(blocks: usize) -> (Machine, FlatFs) {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, blocks));
+        (m.clone(), FlatFs::format(dev, 0))
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (_m, fs) = fs(32);
+        fs.create("a.c").unwrap();
+        fs.write("a.c", 0, b"int main() {}").unwrap();
+        assert_eq!(fs.read_all("a.c").unwrap(), b"int main() {}");
+        assert_eq!(fs.size("a.c").unwrap(), 13);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let (_m, fs) = fs(8);
+        fs.create("x").unwrap();
+        assert_eq!(fs.create("x").unwrap_err(), FsError::Exists("x".into()));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let (_m, fs) = fs(8);
+        assert!(matches!(fs.read_all("nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.size("nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn cross_block_write_and_read() {
+        let (_m, fs) = fs(32);
+        fs.create("big").unwrap();
+        let data: Vec<u8> = (0..3 * BLOCK_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        fs.write("big", 0, &data).unwrap();
+        assert_eq!(fs.read_all("big").unwrap(), data);
+    }
+
+    #[test]
+    fn sparse_offset_write() {
+        let (_m, fs) = fs(32);
+        fs.create("s").unwrap();
+        fs.write("s", 5000, b"tail").unwrap();
+        assert_eq!(fs.size("s").unwrap(), 5004);
+        let all = fs.read_all("s").unwrap();
+        assert_eq!(&all[5000..], b"tail");
+        assert!(all[..5000].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let (_m, fs) = fs(8);
+        fs.create("f").unwrap();
+        fs.write("f", 0, b"abc").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read("f", 0, &mut buf).unwrap_err(), FsError::OutOfRange);
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let (_m, fs) = fs(8);
+        let before = fs.free_blocks();
+        fs.create("f").unwrap();
+        fs.write("f", 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        assert_eq!(fs.free_blocks(), before - 2);
+        fs.delete("f").unwrap();
+        assert_eq!(fs.free_blocks(), before);
+        assert!(!fs.exists("f"));
+    }
+
+    #[test]
+    fn no_space_is_reported_and_rolled_back() {
+        let (_m, fs) = fs(2);
+        fs.create("f").unwrap();
+        let err = fs.write("f", 0, &vec![0u8; 3 * BLOCK_SIZE]).unwrap_err();
+        assert_eq!(err, FsError::NoSpace);
+        // The two free blocks must still be available afterwards.
+        assert_eq!(fs.free_blocks(), 2);
+        fs.write("f", 0, &vec![0u8; 2 * BLOCK_SIZE]).unwrap();
+    }
+
+    #[test]
+    fn io_is_metered_through_device() {
+        let (m, fs) = fs(32);
+        fs.create("f").unwrap();
+        fs.write("f", 0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        let w = m.stats.get(keys::DISK_WRITES);
+        assert!(w >= 1);
+        fs.read_all("f").unwrap();
+        assert!(m.stats.get(keys::DISK_READS) >= 1);
+    }
+
+    #[test]
+    fn block_of_exposes_mapping() {
+        let (_m, fs) = fs(32);
+        fs.create("f").unwrap();
+        fs.write("f", 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        let b0 = fs.block_of("f", 0).unwrap().unwrap();
+        let b1 = fs.block_of("f", 1).unwrap().unwrap();
+        assert_ne!(b0, b1);
+        assert!(fs.block_of("f", 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let (_m, fs) = fs(8);
+        fs.create("b").unwrap();
+        fs.create("a").unwrap();
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_files_do_not_interfere() {
+        let (_m, fs) = fs(256);
+        let fs = Arc::new(fs);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    let name = format!("file{t}");
+                    fs.create(&name).unwrap();
+                    for round in 0..20 {
+                        let data = vec![(t * 50 + round) as u8; 6000];
+                        fs.write(&name, 0, &data).unwrap();
+                        let back = fs.read_all(&name).unwrap();
+                        assert_eq!(back, data, "thread {t} round {round}");
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.list().len(), 4);
+    }
+
+    #[test]
+    fn format_reserves_prefix() {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 10));
+        let fs = FlatFs::format(dev, 4);
+        assert_eq!(fs.free_blocks(), 6);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Secondary storage substrate.
+//!
+//! The paper's data managers ultimately keep bytes somewhere durable: the
+//! default pager "uses Unix inodes and the Unix buffer pool" (Section 10),
+//! the minimal filesystem of Section 4.1 reads disk blocks in its
+//! `pager_data_request` handler, and Camelot's disk manager (Section 8.3)
+//! writes a log before data pages. This crate provides those substrates:
+//!
+//! * [`BlockDevice`] — a simulated disk with 1987-era latency, metering
+//!   every operation (the I/O counts of claim P2 come from here);
+//! * [`BufferCache`] — a classic fixed-size UNIX buffer cache with LRU
+//!   replacement and delayed writes, used by the *baseline* UNIX emulation
+//!   that Section 9 compares against;
+//! * [`FlatFs`] — a small inode filesystem (flat namespace) layered on a
+//!   block device, used by the filesystem data manager and the synthetic
+//!   compilation workload;
+//! * [`WriteAheadLog`] — an append-only force-able log with recovery scan,
+//!   used by the Camelot-style recoverable pager.
+
+pub mod blockdev;
+pub mod cache;
+pub mod fs;
+pub mod wal;
+
+pub use blockdev::{BlockDevice, BLOCK_SIZE};
+pub use cache::BufferCache;
+pub use fs::{FlatFs, FsError};
+pub use wal::{LogRecord, WalError, WriteAheadLog};

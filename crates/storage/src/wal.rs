@@ -1,0 +1,464 @@
+//! A write-ahead log with force and recovery.
+//!
+//! "Camelot uses the write-ahead logging technique to implement permanent,
+//! failure-atomic transactions. When the disk manager receives a
+//! `pager_flush_request` from the kernel, it verifies that the proper log
+//! records have been written before writing the specified pages to disk."
+//! (Section 8.3.)
+//!
+//! The log occupies a reserved prefix of a block device. Records accumulate
+//! in a volatile tail buffer and reach the device only on [`WriteAheadLog::force`];
+//! a simulated crash ([`WriteAheadLog::crash`]) discards the tail, and
+//! [`WriteAheadLog::recover`] replays the durable prefix — the exact
+//! discipline the Camelot pager depends on.
+
+use crate::blockdev::{BlockDevice, BLOCK_SIZE};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from log operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// The reserved log region is full.
+    LogFull,
+    /// The durable log contains bytes that do not parse as records.
+    Corrupt,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::LogFull => f.write_str("log region full"),
+            WalError::Corrupt => f.write_str("log corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A physical update to a page of a recoverable object.
+    Update {
+        /// Transaction id.
+        txid: u64,
+        /// Recoverable object id.
+        object: u64,
+        /// Byte offset of the update within the object.
+        offset: u64,
+        /// Pre-image (for undo).
+        before: Vec<u8>,
+        /// Post-image (for redo).
+        after: Vec<u8>,
+    },
+    /// Transaction commit.
+    Commit {
+        /// Transaction id.
+        txid: u64,
+    },
+    /// Transaction abort.
+    Abort {
+        /// Transaction id.
+        txid: u64,
+    },
+}
+
+impl LogRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::Update {
+                txid,
+                object,
+                offset,
+                before,
+                after,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.extend_from_slice(&object.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&(before.len() as u32).to_le_bytes());
+                out.extend_from_slice(before);
+                out.extend_from_slice(&(after.len() as u32).to_le_bytes());
+                out.extend_from_slice(after);
+            }
+            LogRecord::Commit { txid } => {
+                out.push(2);
+                out.extend_from_slice(&txid.to_le_bytes());
+            }
+            LogRecord::Abort { txid } => {
+                out.push(3);
+                out.extend_from_slice(&txid.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(LogRecord, usize), WalError> {
+        let tag = *buf.first().ok_or(WalError::Corrupt)?;
+        let u64_at = |p: usize| -> Result<u64, WalError> {
+            buf.get(p..p + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or(WalError::Corrupt)
+        };
+        let u32_at = |p: usize| -> Result<u32, WalError> {
+            buf.get(p..p + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or(WalError::Corrupt)
+        };
+        match tag {
+            1 => {
+                let txid = u64_at(1)?;
+                let object = u64_at(9)?;
+                let offset = u64_at(17)?;
+                let blen = u32_at(25)? as usize;
+                let before = buf
+                    .get(29..29 + blen)
+                    .ok_or(WalError::Corrupt)?
+                    .to_vec();
+                let alen_pos = 29 + blen;
+                let alen = u32_at(alen_pos)? as usize;
+                let after = buf
+                    .get(alen_pos + 4..alen_pos + 4 + alen)
+                    .ok_or(WalError::Corrupt)?
+                    .to_vec();
+                Ok((
+                    LogRecord::Update {
+                        txid,
+                        object,
+                        offset,
+                        before,
+                        after,
+                    },
+                    alen_pos + 4 + alen,
+                ))
+            }
+            2 => Ok((LogRecord::Commit { txid: u64_at(1)? }, 9)),
+            3 => Ok((LogRecord::Abort { txid: u64_at(1)? }, 9)),
+            _ => Err(WalError::Corrupt),
+        }
+    }
+}
+
+struct WalInner {
+    /// Bytes durably on the device, starting at the data region.
+    durable_len: usize,
+    /// Records appended but not yet forced.
+    pending: Vec<u8>,
+    /// Cached copy of the durable region, to avoid re-reading on force.
+    durable: Vec<u8>,
+}
+
+/// A write-ahead log in blocks `[first_block, first_block + num_blocks)`.
+///
+/// Block `first_block` is the log superblock holding the durable length;
+/// the remaining blocks hold packed records.
+pub struct WriteAheadLog {
+    dev: Arc<BlockDevice>,
+    first_block: usize,
+    data_blocks: usize,
+    inner: Mutex<WalInner>,
+}
+
+impl fmt::Debug for WriteAheadLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WriteAheadLog({} data blocks)", self.data_blocks)
+    }
+}
+
+impl WriteAheadLog {
+    /// Creates a fresh (empty) log in the given region.
+    pub fn format(dev: Arc<BlockDevice>, first_block: usize, num_blocks: usize) -> Self {
+        assert!(num_blocks >= 2, "log needs a superblock and a data block");
+        let wal = Self {
+            dev,
+            first_block,
+            data_blocks: num_blocks - 1,
+            inner: Mutex::new(WalInner {
+                durable_len: 0,
+                pending: Vec::new(),
+                durable: Vec::new(),
+            }),
+        };
+        wal.write_superblock(0);
+        wal
+    }
+
+    /// Reopens an existing log region, reading durable state from disk.
+    pub fn open(dev: Arc<BlockDevice>, first_block: usize, num_blocks: usize) -> Result<Self, WalError> {
+        assert!(num_blocks >= 2, "log needs a superblock and a data block");
+        let sb = dev
+            .read_block_vec(first_block)
+            .map_err(|_| WalError::Corrupt)?;
+        let durable_len =
+            u64::from_le_bytes(sb[0..8].try_into().expect("8 bytes")) as usize;
+        let data_blocks = num_blocks - 1;
+        if durable_len > data_blocks * BLOCK_SIZE {
+            return Err(WalError::Corrupt);
+        }
+        let mut durable = vec![0u8; durable_len];
+        let mut pos = 0;
+        let mut block_buf = vec![0u8; BLOCK_SIZE];
+        while pos < durable_len {
+            let bidx = pos / BLOCK_SIZE;
+            dev.read_block(first_block + 1 + bidx, &mut block_buf)
+                .map_err(|_| WalError::Corrupt)?;
+            let n = (BLOCK_SIZE - pos % BLOCK_SIZE).min(durable_len - pos);
+            durable[pos..pos + n]
+                .copy_from_slice(&block_buf[pos % BLOCK_SIZE..pos % BLOCK_SIZE + n]);
+            pos += n;
+        }
+        Ok(Self {
+            dev,
+            first_block,
+            data_blocks,
+            inner: Mutex::new(WalInner {
+                durable_len,
+                pending: Vec::new(),
+                durable,
+            }),
+        })
+    }
+
+    fn write_superblock(&self, durable_len: usize) {
+        let mut sb = vec![0u8; BLOCK_SIZE];
+        sb[0..8].copy_from_slice(&(durable_len as u64).to_le_bytes());
+        self.dev
+            .write_block(self.first_block, &sb)
+            .expect("superblock within device");
+    }
+
+    /// Appends a record to the volatile tail. Not durable until `force`.
+    pub fn append(&self, rec: &LogRecord) -> Result<(), WalError> {
+        let mut inner = self.inner.lock();
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        if inner.durable_len + inner.pending.len() + buf.len() > self.data_blocks * BLOCK_SIZE {
+            return Err(WalError::LogFull);
+        }
+        inner.pending.extend_from_slice(&buf);
+        Ok(())
+    }
+
+    /// Forces all appended records to the device, then updates the
+    /// superblock — the "log before data" ordering point.
+    pub fn force(&self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock();
+        if inner.pending.is_empty() {
+            return Ok(());
+        }
+        let start = inner.durable_len;
+        let pending = std::mem::take(&mut inner.pending);
+        // Write the affected block range.
+        let end = start + pending.len();
+        let first_dirty = start / BLOCK_SIZE;
+        let last_dirty = (end - 1) / BLOCK_SIZE;
+        inner.durable.extend_from_slice(&pending);
+        for bidx in first_dirty..=last_dirty {
+            let lo = bidx * BLOCK_SIZE;
+            let hi = (lo + BLOCK_SIZE).min(inner.durable.len());
+            let mut block = vec![0u8; BLOCK_SIZE];
+            block[..hi - lo].copy_from_slice(&inner.durable[lo..hi]);
+            self.dev
+                .write_block(self.first_block + 1 + bidx, &block)
+                .map_err(|_| WalError::LogFull)?;
+        }
+        inner.durable_len = end;
+        self.write_superblock(end);
+        Ok(())
+    }
+
+    /// Discards unforced records (simulated crash of the data manager).
+    pub fn crash(&self) {
+        self.inner.lock().pending.clear();
+    }
+
+    /// Checkpoint truncation: discards every record (durable and pending)
+    /// and zeroes the superblock. Callers must first make the logged
+    /// effects durable elsewhere (apply committed redo to the database).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.durable_len = 0;
+        inner.durable.clear();
+        inner.pending.clear();
+        drop(inner);
+        self.write_superblock(0);
+    }
+
+    /// Total capacity of the data region in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data_blocks * BLOCK_SIZE
+    }
+
+    /// Replays the durable log, returning all records in append order.
+    pub fn recover(&self) -> Result<Vec<LogRecord>, WalError> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < inner.durable_len {
+            let (rec, n) = LogRecord::decode(&inner.durable[pos..])?;
+            out.push(rec);
+            pos += n;
+        }
+        Ok(out)
+    }
+
+    /// Bytes of log durably written.
+    pub fn durable_len(&self) -> usize {
+        self.inner.lock().durable_len
+    }
+
+    /// Bytes appended but not yet forced.
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machsim::Machine;
+
+    fn wal(blocks: usize) -> (Arc<BlockDevice>, WriteAheadLog) {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, blocks + 1));
+        let w = WriteAheadLog::format(dev.clone(), 0, blocks + 1);
+        (dev, w)
+    }
+
+    fn upd(txid: u64, object: u64, offset: u64) -> LogRecord {
+        LogRecord::Update {
+            txid,
+            object,
+            offset,
+            before: vec![0; 4],
+            after: vec![1; 4],
+        }
+    }
+
+    #[test]
+    fn append_force_recover_roundtrip() {
+        let (_d, w) = wal(4);
+        w.append(&upd(1, 10, 0)).unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.force().unwrap();
+        let recs = w.recover().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], upd(1, 10, 0));
+        assert_eq!(recs[1], LogRecord::Commit { txid: 1 });
+    }
+
+    #[test]
+    fn crash_discards_unforced_records() {
+        let (_d, w) = wal(4);
+        w.append(&upd(1, 10, 0)).unwrap();
+        w.force().unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.crash();
+        let recs = w.recover().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(w.pending_len(), 0);
+    }
+
+    #[test]
+    fn reopen_after_crash_sees_forced_prefix() {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 8));
+        let w = WriteAheadLog::format(dev.clone(), 0, 8);
+        w.append(&upd(7, 3, 4096)).unwrap();
+        w.force().unwrap();
+        w.append(&LogRecord::Commit { txid: 7 }).unwrap();
+        // Crash: reopen from the device without forcing.
+        drop(w);
+        let w2 = WriteAheadLog::open(dev, 0, 8).unwrap();
+        let recs = w2.recover().unwrap();
+        assert_eq!(recs, vec![upd(7, 3, 4096)]);
+    }
+
+    #[test]
+    fn records_span_block_boundaries() {
+        let (_d, w) = wal(4);
+        let big = LogRecord::Update {
+            txid: 1,
+            object: 2,
+            offset: 0,
+            before: vec![3; 3000],
+            after: vec![4; 3000],
+        };
+        w.append(&big).unwrap();
+        w.append(&big).unwrap();
+        w.force().unwrap();
+        let recs = w.recover().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], big);
+    }
+
+    #[test]
+    fn log_full_is_detected() {
+        let (_d, w) = wal(2);
+        let big = LogRecord::Update {
+            txid: 1,
+            object: 2,
+            offset: 0,
+            before: vec![0; 4100],
+            after: vec![0; 4100],
+        };
+        assert_eq!(w.append(&big).unwrap_err(), WalError::LogFull);
+    }
+
+    #[test]
+    fn incremental_forces_accumulate() {
+        let (_d, w) = wal(4);
+        for i in 0..5 {
+            w.append(&LogRecord::Commit { txid: i }).unwrap();
+            w.force().unwrap();
+        }
+        let recs = w.recover().unwrap();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(*r, LogRecord::Commit { txid: i as u64 });
+        }
+    }
+
+    #[test]
+    fn reset_truncates_everything() {
+        let (d, w) = wal(4);
+        w.append(&upd(1, 2, 0)).unwrap();
+        w.force().unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.reset();
+        assert_eq!(w.durable_len(), 0);
+        assert_eq!(w.pending_len(), 0);
+        assert!(w.recover().unwrap().is_empty());
+        // A reopen agrees.
+        let w2 = WriteAheadLog::open(d, 0, 5).unwrap();
+        assert!(w2.recover().unwrap().is_empty());
+        assert!(w.capacity() > 0);
+    }
+
+    #[test]
+    fn force_without_pending_is_noop() {
+        let (d, w) = wal(4);
+        let writes_before = d.machine().stats.get(machsim::stats::keys::DISK_WRITES);
+        w.force().unwrap();
+        assert_eq!(
+            d.machine().stats.get(machsim::stats::keys::DISK_WRITES),
+            writes_before
+        );
+    }
+
+    #[test]
+    fn shares_device_with_filesystem() {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 16));
+        let w = WriteAheadLog::format(dev.clone(), 0, 4);
+        let fs = crate::FlatFs::format(dev, 4);
+        fs.create("f").unwrap();
+        fs.write("f", 0, b"data").unwrap();
+        w.append(&LogRecord::Commit { txid: 1 }).unwrap();
+        w.force().unwrap();
+        assert_eq!(fs.read_all("f").unwrap(), b"data");
+        assert_eq!(w.recover().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! The traditional UNIX I/O path: a fixed-size buffer cache plus copies.
+//!
+//! "Traditional UNIX implementations manage a cache of recently accessed
+//! file data blocks. This cache, which is normally 10% of physical memory
+//! in a Berkeley UNIX system, is accessed by user programs through read
+//! and write kernel-to-user and user-to-kernel copy operations."
+//!
+//! This is the SunOS-3.2-shaped comparator for experiments E7/E8: same
+//! filesystem, same disk, but all file data squeezes through a cache that
+//! cannot grow beyond its boot-time size, and every byte read or written
+//! crosses a kernel/user copy.
+
+use crate::{Fd, UnixError, UnixIo};
+use machsim::Machine;
+use machstorage::{BufferCache, FlatFs, BLOCK_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The traditional-UNIX I/O implementation.
+pub struct BaselineUnix {
+    machine: Machine,
+    fs: Arc<FlatFs>,
+    cache: BufferCache,
+    state: Mutex<OpenFiles>,
+}
+
+struct OpenFiles {
+    next_fd: u32,
+    open: HashMap<Fd, String>,
+}
+
+impl BaselineUnix {
+    /// Creates the baseline over `fs`, with a buffer cache sized at
+    /// `cache_percent`% of `memory_bytes` (use 10 for the Berkeley rule).
+    pub fn new(machine: &Machine, fs: Arc<FlatFs>, memory_bytes: usize, cache_percent: usize) -> Self {
+        let cache = BufferCache::sized_for_memory(fs.device().clone(), memory_bytes, cache_percent);
+        Self {
+            machine: machine.clone(),
+            fs,
+            cache,
+            state: Mutex::new(OpenFiles {
+                next_fd: 3,
+                open: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Buffer cache capacity in blocks (for reports).
+    pub fn cache_blocks(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    fn name_of(&self, fd: Fd) -> Result<String, UnixError> {
+        self.state
+            .lock()
+            .open
+            .get(&fd)
+            .cloned()
+            .ok_or(UnixError::BadFd)
+    }
+
+    /// Runs `f` for each (device block, offset-in-block, buf range) chunk.
+    fn for_chunks(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+        mut f: impl FnMut(usize, usize, std::ops::Range<usize>) -> Result<(), UnixError>,
+    ) -> Result<(), UnixError> {
+        let size = self
+            .fs
+            .size(name)
+            .map_err(|e| UnixError::Substrate(e.to_string()))?;
+        if offset + len > size {
+            return Err(UnixError::OutOfRange);
+        }
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos;
+            let bidx = abs / BLOCK_SIZE;
+            let boff = abs % BLOCK_SIZE;
+            let n = (BLOCK_SIZE - boff).min(len - pos);
+            let block = self
+                .fs
+                .block_of(name, bidx)
+                .map_err(|e| UnixError::Substrate(e.to_string()))?
+                .ok_or(UnixError::OutOfRange)?;
+            f(block, boff, pos..pos + n)?;
+            pos += n;
+        }
+        Ok(())
+    }
+}
+
+impl UnixIo for BaselineUnix {
+    fn create(&self, name: &str, size: usize) -> Result<(), UnixError> {
+        self.fs
+            .create(name)
+            .and_then(|_| self.fs.truncate(name, size))
+            .map_err(|e| UnixError::Substrate(e.to_string()))
+    }
+
+    fn open(&self, name: &str) -> Result<Fd, UnixError> {
+        if !self.fs.exists(name) {
+            return Err(UnixError::NotFound(name.to_string()));
+        }
+        // The open itself costs a system call.
+        self.machine.clock.charge(self.machine.cost.syscall_ns);
+        let mut st = self.state.lock();
+        let fd = Fd(st.next_fd);
+        st.next_fd += 1;
+        st.open.insert(fd, name.to_string());
+        Ok(fd)
+    }
+
+    fn read(&self, fd: Fd, offset: usize, buf: &mut [u8]) -> Result<(), UnixError> {
+        let name = self.name_of(fd)?;
+        self.machine.clock.charge(self.machine.cost.syscall_ns);
+        self.for_chunks(&name, offset, buf.len(), |block, boff, range| {
+            self.cache
+                .read(block, boff, &mut buf[range])
+                .map_err(|e| UnixError::Substrate(e.to_string()))
+        })
+    }
+
+    fn write(&self, fd: Fd, offset: usize, data: &[u8]) -> Result<(), UnixError> {
+        let name = self.name_of(fd)?;
+        self.machine.clock.charge(self.machine.cost.syscall_ns);
+        self.for_chunks(&name, offset, data.len(), |block, boff, range| {
+            self.cache
+                .write(block, boff, &data[range])
+                .map_err(|e| UnixError::Substrate(e.to_string()))
+        })
+    }
+
+    fn close(&self, fd: Fd) -> Result<(), UnixError> {
+        self.machine.clock.charge(self.machine.cost.syscall_ns);
+        self.state
+            .lock()
+            .open
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(UnixError::BadFd)
+    }
+
+    fn sync_all(&self) -> Result<(), UnixError> {
+        self.cache
+            .sync()
+            .map_err(|e| UnixError::Substrate(e.to_string()))
+    }
+
+    fn size_of(&self, name: &str) -> Result<usize, UnixError> {
+        self.fs
+            .size(name)
+            .map_err(|e| UnixError::Substrate(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machsim::stats::keys;
+    use machstorage::BlockDevice;
+
+    fn setup(cache_percent: usize) -> (Machine, BaselineUnix) {
+        let m = Machine::default_machine();
+        let dev = Arc::new(BlockDevice::new(&m, 512));
+        let fs = Arc::new(FlatFs::format(dev, 0));
+        let u = BaselineUnix::new(&m, fs, 4 << 20, cache_percent);
+        (m, u)
+    }
+
+    #[test]
+    fn create_write_read() {
+        let (_m, u) = setup(10);
+        u.create("f", 8192).unwrap();
+        let fd = u.open("f").unwrap();
+        u.write(fd, 100, b"hello").unwrap();
+        let mut b = [0u8; 5];
+        u.read(fd, 100, &mut b).unwrap();
+        assert_eq!(&b, b"hello");
+        u.close(fd).unwrap();
+    }
+
+    #[test]
+    fn bad_fd_and_missing_file() {
+        let (_m, u) = setup(10);
+        assert!(matches!(u.open("nope"), Err(UnixError::NotFound(_))));
+        let mut b = [0u8; 1];
+        assert_eq!(u.read(Fd(99), 0, &mut b).unwrap_err(), UnixError::BadFd);
+        assert_eq!(u.close(Fd(99)).unwrap_err(), UnixError::BadFd);
+    }
+
+    #[test]
+    fn read_past_eof() {
+        let (_m, u) = setup(10);
+        u.create("f", 100).unwrap();
+        let fd = u.open("f").unwrap();
+        let mut b = [0u8; 200];
+        assert_eq!(u.read(fd, 0, &mut b).unwrap_err(), UnixError::OutOfRange);
+    }
+
+    #[test]
+    fn rereads_hit_the_buffer_cache_when_small() {
+        let (m, u) = setup(10);
+        u.create("f", BLOCK_SIZE).unwrap();
+        let fd = u.open("f").unwrap();
+        let mut b = vec![0u8; BLOCK_SIZE];
+        u.read(fd, 0, &mut b).unwrap();
+        let reads = m.stats.get(keys::DISK_READS);
+        u.read(fd, 0, &mut b).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_READS), reads, "second read cached");
+        assert!(m.stats.get(keys::BCACHE_HITS) >= 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        // 1% of 4 MB = ~10 blocks of cache; stream 64 blocks twice.
+        let (m, u) = setup(1);
+        assert!(u.cache_blocks() < 16);
+        u.create("big", 64 * BLOCK_SIZE).unwrap();
+        let fd = u.open("big").unwrap();
+        let mut b = vec![0u8; BLOCK_SIZE];
+        for pass in 0..2 {
+            for i in 0..64 {
+                u.read(fd, i * BLOCK_SIZE, &mut b).unwrap();
+            }
+            let _ = pass;
+        }
+        // The second pass re-read from disk: misses on both passes.
+        assert!(
+            m.stats.get(keys::BCACHE_MISSES) >= 128,
+            "cache thrashed: {} misses",
+            m.stats.get(keys::BCACHE_MISSES)
+        );
+    }
+
+    #[test]
+    fn every_byte_crosses_a_copy() {
+        let (m, u) = setup(10);
+        u.create("f", 8192).unwrap();
+        let fd = u.open("f").unwrap();
+        let before = m.stats.get(keys::BYTES_COPIED);
+        let mut b = vec![0u8; 8192];
+        u.read(fd, 0, &mut b).unwrap();
+        assert!(m.stats.get(keys::BYTES_COPIED) - before >= 8192);
+    }
+
+    #[test]
+    fn sync_flushes_writes() {
+        let (m, u) = setup(10);
+        u.create("f", 4096).unwrap();
+        let fd = u.open("f").unwrap();
+        u.write(fd, 0, &vec![9u8; 4096]).unwrap();
+        assert_eq!(m.stats.get(keys::DISK_WRITES), 0);
+        u.sync_all().unwrap();
+        assert!(m.stats.get(keys::DISK_WRITES) >= 1);
+    }
+}

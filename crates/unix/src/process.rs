@@ -1,0 +1,188 @@
+//! UNIX process emulation: fork semantics from inheritance (Section 8.1).
+//!
+//! "Shared process state information can be passed on to child processes
+//! using inherited shared memory." A UNIX process here is a Mach task
+//! whose process state lives in ordinary memory regions with the right
+//! inheritance attributes, so `fork(2)` falls out of `task_create` with
+//! address space inheritance:
+//!
+//! * the *shared state block* (file offsets, umask — the things UNIX keeps
+//!   in system-wide tables shared across fork) is a region inherited
+//!   `Share`;
+//! * the *data segment* is inherited `Copy` — classic fork copy-on-write;
+//! * scratch mappings marked `None` simply vanish in the child.
+
+use machcore::{Kernel, Task};
+use machvm::{Inheritance, VmError};
+use std::sync::Arc;
+
+const PAGE: u64 = 4096;
+/// Offset of the shared file offset within the state block.
+const OFF_FILE_OFFSET: u64 = 0;
+/// Offset of the umask within the state block.
+const OFF_UMASK: u64 = 8;
+
+/// An emulated UNIX process: a task plus inherited state regions.
+pub struct UnixProcess {
+    task: Arc<Task>,
+    /// Shared (fork-inherited read/write) process state block.
+    state_addr: u64,
+    /// Private (fork-copied) data segment.
+    data_addr: u64,
+    data_size: u64,
+}
+
+impl UnixProcess {
+    /// Creates a fresh "init" process with a `data_pages`-page data
+    /// segment.
+    pub fn spawn_init(kernel: &Arc<Kernel>, data_pages: u64) -> Result<UnixProcess, VmError> {
+        let task = Task::create(kernel, "init");
+        let state_addr = task.vm_allocate(PAGE)?;
+        task.vm_inherit(state_addr, PAGE, Inheritance::Share)?;
+        let data_size = data_pages * PAGE;
+        let data_addr = task.vm_allocate(data_size)?;
+        // Copy inheritance is the default; set it explicitly for clarity.
+        task.vm_inherit(data_addr, data_size, Inheritance::Copy)?;
+        Ok(UnixProcess {
+            task,
+            state_addr,
+            data_addr,
+            data_size,
+        })
+    }
+
+    /// `fork(2)`: the child shares the state block and copy-on-writes the
+    /// data segment — no explicit copying anywhere.
+    pub fn fork(&self, name: &str) -> UnixProcess {
+        UnixProcess {
+            task: self.task.fork(name),
+            state_addr: self.state_addr,
+            data_addr: self.data_addr,
+            data_size: self.data_size,
+        }
+    }
+
+    /// The underlying Mach task.
+    pub fn task(&self) -> &Arc<Task> {
+        &self.task
+    }
+
+    fn read_u64(&self, addr: u64) -> Result<u64, VmError> {
+        let mut b = [0u8; 8];
+        self.task.read_memory(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_u64(&self, addr: u64, v: u64) -> Result<(), VmError> {
+        self.task.write_memory(addr, &v.to_le_bytes())
+    }
+
+    /// Reads the shared file offset (lives in the system-wide open file
+    /// table in real UNIX; in the shared state block here).
+    pub fn file_offset(&self) -> Result<u64, VmError> {
+        self.read_u64(self.state_addr + OFF_FILE_OFFSET)
+    }
+
+    /// Advances the shared file offset by `n`, returning the old value —
+    /// what `read(2)` does to a shared open file description.
+    pub fn advance_file_offset(&self, n: u64) -> Result<u64, VmError> {
+        let old = self.file_offset()?;
+        self.write_u64(self.state_addr + OFF_FILE_OFFSET, old + n)?;
+        Ok(old)
+    }
+
+    /// The process umask (shared across fork in this emulation to
+    /// demonstrate shared state; real UNIX copies it — either policy is a
+    /// one-line inheritance choice).
+    pub fn umask(&self) -> Result<u64, VmError> {
+        self.read_u64(self.state_addr + OFF_UMASK)
+    }
+
+    /// Sets the umask.
+    pub fn set_umask(&self, v: u64) -> Result<(), VmError> {
+        self.write_u64(self.state_addr + OFF_UMASK, v)
+    }
+
+    /// Writes into the private data segment.
+    pub fn poke_data(&self, offset: u64, data: &[u8]) -> Result<(), VmError> {
+        assert!(offset + data.len() as u64 <= self.data_size);
+        self.task.write_memory(self.data_addr + offset, data)
+    }
+
+    /// Reads from the private data segment.
+    pub fn peek_data(&self, offset: u64, out: &mut [u8]) -> Result<(), VmError> {
+        self.task.read_memory(self.data_addr + offset, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machcore::KernelConfig;
+    use machsim::stats::keys;
+
+    fn init() -> (Arc<Kernel>, UnixProcess) {
+        let k = Kernel::boot(KernelConfig::default());
+        let p = UnixProcess::spawn_init(&k, 4).unwrap();
+        (k, p)
+    }
+
+    #[test]
+    fn fork_shares_the_state_block() {
+        let (_k, parent) = init();
+        parent.set_umask(0o022).unwrap();
+        parent.advance_file_offset(100).unwrap();
+        let child = parent.fork("child");
+        // The child sees the parent's state and vice versa.
+        assert_eq!(child.umask().unwrap(), 0o022);
+        assert_eq!(child.file_offset().unwrap(), 100);
+        // Child reads advance the shared offset for both.
+        child.advance_file_offset(50).unwrap();
+        assert_eq!(parent.file_offset().unwrap(), 150);
+        parent.advance_file_offset(10).unwrap();
+        assert_eq!(child.file_offset().unwrap(), 160);
+    }
+
+    #[test]
+    fn fork_copies_the_data_segment_lazily() {
+        let (k, parent) = init();
+        parent.poke_data(0, b"heap contents").unwrap();
+        let cow0 = k.machine().stats.get(keys::VM_COW_COPIES);
+        let child = parent.fork("child");
+        let mut b = [0u8; 13];
+        child.peek_data(0, &mut b).unwrap();
+        assert_eq!(&b, b"heap contents");
+        assert_eq!(
+            k.machine().stats.get(keys::VM_COW_COPIES),
+            cow0,
+            "reading copies nothing"
+        );
+        // Divergence on write.
+        child.poke_data(0, b"child's view!").unwrap();
+        parent.peek_data(0, &mut b).unwrap();
+        assert_eq!(&b, b"heap contents");
+        assert!(k.machine().stats.get(keys::VM_COW_COPIES) > cow0);
+    }
+
+    #[test]
+    fn grandchildren_keep_working() {
+        let (_k, gen0) = init();
+        gen0.set_umask(7).unwrap();
+        gen0.poke_data(0, &[1]).unwrap();
+        let gen1 = gen0.fork("g1");
+        gen1.poke_data(0, &[2]).unwrap();
+        let gen2 = gen1.fork("g2");
+        gen2.poke_data(0, &[3]).unwrap();
+        // Shared state reaches every generation.
+        gen2.set_umask(9).unwrap();
+        assert_eq!(gen0.umask().unwrap(), 9);
+        // Private data stays per-generation.
+        let mut b = [0u8; 1];
+        gen0.peek_data(0, &mut b).unwrap();
+        assert_eq!(b[0], 1);
+        gen1.peek_data(0, &mut b).unwrap();
+        assert_eq!(b[0], 2);
+        gen2.peek_data(0, &mut b).unwrap();
+        assert_eq!(b[0], 3);
+    }
+}

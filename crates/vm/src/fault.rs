@@ -1,0 +1,511 @@
+//! The page fault handler — "the hub of the Mach virtual memory system"
+//! (Section 5.5).
+//!
+//! Given the memory object resolved from an address map lookup, this module
+//! performs the machine-independent steps of fault handling:
+//!
+//! * **page lookup** in the virtual-to-physical hash table, walking the
+//!   shadow chain for copy-on-write objects;
+//! * **copy-on-write** resolution: a write fault on a page found in a
+//!   shadowed (ancestor) object copies it into the faulting object; a read
+//!   fault maps the ancestor's page with write permission removed so a
+//!   later write re-faults;
+//! * **pager interaction**: absent pages at the bottom of the chain are
+//!   requested from the data manager with `pager_data_request`, and the
+//!   faulting thread blocks until `pager_data_provided` arrives — or the
+//!   fault *times out*, which Section 6.2.1 handles exactly like a
+//!   communication timeout (fail the request, or substitute default-pager
+//!   zero-filled memory);
+//! * **lock negotiation**: access prohibited by a `pager_data_lock` value
+//!   triggers `pager_data_unlock` and a wait for the manager to relax it.
+//!
+//! The caller (the address map layer) performs the remaining two steps:
+//! validity/protection lookup before, hardware validation (pmap) after.
+
+use crate::object::VmObject;
+use crate::resident::{PageLookup, PhysicalMemory};
+use crate::types::{VmError, VmProt};
+use machsim::stats::keys;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do when a data manager does not respond within the timeout —
+/// the memory analogue of a communication failure (Section 6.2.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Abort the memory request: the fault returns [`VmError::Timeout`]
+    /// ("termination of the waiting thread" is the caller's choice).
+    #[default]
+    Fail,
+    /// Substitute zero-filled memory backed by the default pager.
+    ZeroFill,
+}
+
+/// Fault-time policy: how long to wait for a data manager, and what to do
+/// when it does not answer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPolicy {
+    /// Maximum time to wait for `pager_data_provided` / unlock. `None`
+    /// waits forever (the default, matching trusting 1987 Mach).
+    pub pager_timeout: Option<Duration>,
+    /// Action on timeout.
+    pub on_timeout: TimeoutAction,
+}
+
+impl FaultPolicy {
+    /// A policy that waits forever (fully trusted data managers).
+    pub fn trusting() -> Self {
+        Self::default()
+    }
+
+    /// A policy that aborts the memory request after `t`.
+    pub fn abort_after(t: Duration) -> Self {
+        Self {
+            pager_timeout: Some(t),
+            on_timeout: TimeoutAction::Fail,
+        }
+    }
+
+    /// A policy that substitutes zero-filled memory after `t`.
+    pub fn zero_fill_after(t: Duration) -> Self {
+        Self {
+            pager_timeout: Some(t),
+            on_timeout: TimeoutAction::ZeroFill,
+        }
+    }
+}
+
+/// Outcome of resolving a page fault.
+#[derive(Clone, Debug)]
+pub struct FaultResult {
+    /// The physical frame satisfying the fault.
+    pub frame: usize,
+    /// The object the frame belongs to (the faulting object, or an
+    /// ancestor when a read fault was satisfied from down the chain).
+    pub object: Arc<VmObject>,
+    /// Page-aligned offset of the frame within `object`.
+    pub offset: u64,
+    /// Upper bound on the hardware protection for the new mapping: write
+    /// permission is removed for copy-on-write read mappings, and any
+    /// remaining manager lock is excluded so prohibited accesses re-fault.
+    pub prot_limit: VmProt,
+}
+
+/// Resolves a page fault against `top` at page-aligned `offset`.
+///
+/// `access` is what the faulting thread is trying to do (already validated
+/// against the map entry's protection by the caller).
+pub fn resolve_page(
+    phys: &PhysicalMemory,
+    top: &Arc<VmObject>,
+    offset: u64,
+    access: VmProt,
+    policy: FaultPolicy,
+) -> Result<FaultResult, VmError> {
+    let machine = phys.machine().clone();
+    machine.clock.charge(machine.cost.fault_overhead_ns);
+    machine.stats.incr(keys::VM_FAULTS);
+    // The offset is page-granular relative to the mapping's own alignment;
+    // it need not be page aligned within the object (Section 3.4.1).
+    let page = phys.page_size() as u64;
+
+    let wants_write = access.allows(VmProt::WRITE);
+    let mut object = top.clone();
+    let mut obj_offset = offset;
+    let mut first_probe = true;
+
+    loop {
+        if object.is_terminated() {
+            return Err(VmError::ObjectDestroyed);
+        }
+        match phys.lookup(object.id(), obj_offset) {
+            PageLookup::Resident { frame, lock } => {
+                // Negotiate any manager lock prohibiting this access.
+                let frame = if lock.intersects(access) {
+                    if let Some(pager) = object.pager() {
+                        pager.data_unlock(object.id(), obj_offset, page, access);
+                    }
+                    match phys.await_unlock(object.id(), obj_offset, access, policy.pager_timeout)
+                    {
+                        Ok(f) => f,
+                        // Flushed while waiting: start over.
+                        Err(VmError::ObjectDestroyed) => continue,
+                        Err(VmError::Timeout) => {
+                            return handle_timeout(phys, top, offset, policy)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    frame
+                };
+                if first_probe {
+                    machine.stats.incr(keys::VM_CACHE_HITS);
+                }
+                let residual_lock = phys
+                    .page_lock(object.id(), obj_offset)
+                    .unwrap_or(VmProt::NONE);
+                if Arc::ptr_eq(&object, top) {
+                    if wants_write {
+                        phys.set_modified(frame);
+                    }
+                    return Ok(FaultResult {
+                        frame,
+                        object,
+                        offset: obj_offset,
+                        prot_limit: !residual_lock,
+                    });
+                }
+                // Page found down the shadow chain.
+                if wants_write {
+                    // Copy-on-write: copy the ancestor's page into the
+                    // faulting object ("a new page is created as a copy of
+                    // the original").
+                    let new_frame = phys.copy_page(frame, top, offset)?;
+                    return Ok(FaultResult {
+                        frame: new_frame,
+                        object: top.clone(),
+                        offset,
+                        prot_limit: VmProt::ALL,
+                    });
+                }
+                // Read fault: map the ancestor's page without write
+                // permission so a later write triggers the copy.
+                return Ok(FaultResult {
+                    frame,
+                    object,
+                    offset: obj_offset,
+                    prot_limit: !(VmProt::WRITE | residual_lock),
+                });
+            }
+            PageLookup::Pending => {
+                match phys.await_page(object.id(), obj_offset, policy.pager_timeout) {
+                    // Re-evaluate from the top of this object so lock and
+                    // residency checks run on the fresh page.
+                    Ok(_) => continue,
+                    Err(VmError::Timeout) => return handle_timeout(phys, top, offset, policy),
+                    Err(e) => return Err(e),
+                }
+            }
+            PageLookup::Absent => {
+                first_probe = false;
+                if let Some((below, shadow_off)) = object.shadow() {
+                    obj_offset += shadow_off;
+                    object = below;
+                    continue;
+                }
+                if let Some(pager) = object.pager() {
+                    if phys.begin_fill(object.id(), obj_offset) {
+                        machine.stats.incr(keys::VM_PAGER_FILLS);
+                        pager.data_request(object.id(), obj_offset, page, access);
+                    }
+                    match phys.await_page(object.id(), obj_offset, policy.pager_timeout) {
+                        Ok(_) => continue,
+                        Err(VmError::Timeout) => {
+                            phys.cancel_fill(object.id(), obj_offset);
+                            return handle_timeout(phys, top, offset, policy);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Bottom of the chain with no pager: zero-fill memory. The
+                // page is created in the *faulting* object: it is private
+                // memory that has simply never been touched.
+                let frame = phys.zero_fill(top, offset)?;
+                if wants_write {
+                    phys.set_modified(frame);
+                }
+                return Ok(FaultResult {
+                    frame,
+                    object: top.clone(),
+                    offset,
+                    prot_limit: VmProt::ALL,
+                });
+            }
+        }
+    }
+}
+
+/// Applies the policy's timeout action.
+fn handle_timeout(
+    phys: &PhysicalMemory,
+    top: &Arc<VmObject>,
+    offset: u64,
+    policy: FaultPolicy,
+) -> Result<FaultResult, VmError> {
+    match policy.on_timeout {
+        TimeoutAction::Fail => Err(VmError::Timeout),
+        TimeoutAction::ZeroFill => {
+            phys.machine().stats.incr("vm.timeout_zero_fills");
+            let frame = phys.zero_fill(top, offset)?;
+            Ok(FaultResult {
+                frame,
+                object: top.clone(),
+                offset,
+                prot_limit: VmProt::ALL,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::test_support::RecordingPager;
+    use crate::object::PagerBackend;
+    use machipc::OolBuffer;
+    use machsim::Machine;
+    use parking_lot::Mutex;
+
+    fn setup(frames: usize) -> (Machine, Arc<PhysicalMemory>) {
+        let m = Machine::default_machine();
+        let p = PhysicalMemory::new(&m, frames * 4096, 4096, 2);
+        (m, p)
+    }
+
+    /// A pager that supplies deterministic data from a background thread.
+    struct EchoPager {
+        phys: Arc<PhysicalMemory>,
+        object: Mutex<Option<Arc<VmObject>>>,
+        fill: u8,
+        lock: VmProt,
+    }
+
+    impl EchoPager {
+        fn attach(phys: &Arc<PhysicalMemory>, fill: u8, lock: VmProt) -> Arc<VmObject> {
+            let pager = Arc::new(EchoPager {
+                phys: phys.clone(),
+                object: Mutex::new(None),
+                fill,
+                lock,
+            });
+            let obj = VmObject::new_with_pager(1 << 20, pager.clone());
+            *pager.object.lock() = Some(obj.clone());
+            obj
+        }
+    }
+
+    impl PagerBackend for EchoPager {
+        fn data_request(&self, _object: crate::ObjectId, offset: u64, length: u64, _a: VmProt) {
+            let phys = self.phys.clone();
+            let obj = self.object.lock().clone().unwrap();
+            let fill = self.fill;
+            let lock = self.lock;
+            std::thread::spawn(move || {
+                phys.supply_page(&obj, offset, &vec![fill; length as usize], lock)
+                    .unwrap();
+            });
+        }
+
+        fn data_write(&self, _o: crate::ObjectId, _off: u64, _d: OolBuffer) {}
+
+        fn data_unlock(&self, _object: crate::ObjectId, offset: u64, length: u64, _a: VmProt) {
+            let phys = self.phys.clone();
+            let obj = self.object.lock().clone().unwrap();
+            std::thread::spawn(move || {
+                phys.lock_range(&obj, offset, length, VmProt::NONE);
+            });
+        }
+    }
+
+    #[test]
+    fn zero_fill_fault() {
+        let (m, phys) = setup(8);
+        let obj = VmObject::new_temporary(8192);
+        let r = resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        phys.with_frame(r.frame, |d| assert!(d.iter().all(|&b| b == 0)));
+        assert_eq!(r.prot_limit, VmProt::ALL);
+        assert_eq!(m.stats.get(keys::VM_ZERO_FILLS), 1);
+        assert_eq!(m.stats.get(keys::VM_FAULTS), 1);
+    }
+
+    #[test]
+    fn second_fault_hits_cache() {
+        let (m, phys) = setup(8);
+        let obj = VmObject::new_temporary(8192);
+        resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        assert_eq!(m.stats.get(keys::VM_CACHE_HITS), 1);
+        assert_eq!(m.stats.get(keys::VM_FAULTS), 2);
+    }
+
+    #[test]
+    fn pager_fill_round_trip() {
+        let (m, phys) = setup(8);
+        let obj = EchoPager::attach(&phys, 0xAB, VmProt::NONE);
+        let r = resolve_page(&phys, &obj, 4096, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        phys.with_frame(r.frame, |d| assert!(d.iter().all(|&b| b == 0xAB)));
+        assert_eq!(m.stats.get(keys::VM_PAGER_FILLS), 1);
+    }
+
+    #[test]
+    fn concurrent_faults_issue_one_request() {
+        let (m, phys) = setup(16);
+        let obj = EchoPager::attach(&phys, 1, VmProt::NONE);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let phys = phys.clone();
+                let obj = obj.clone();
+                s.spawn(move || {
+                    resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+                });
+            }
+        });
+        assert_eq!(m.stats.get(keys::VM_PAGER_FILLS), 1);
+    }
+
+    #[test]
+    fn unresponsive_pager_times_out() {
+        let (_m, phys) = setup(8);
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(8192, pager.clone());
+        let err = resolve_page(
+            &phys,
+            &obj,
+            0,
+            VmProt::READ,
+            FaultPolicy::abort_after(Duration::from_millis(20)),
+        )
+        .unwrap_err();
+        assert_eq!(err, VmError::Timeout);
+        assert_eq!(pager.requests.lock().len(), 1);
+    }
+
+    #[test]
+    fn timeout_can_zero_fill_instead() {
+        let (m, phys) = setup(8);
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(8192, pager);
+        let r = resolve_page(
+            &phys,
+            &obj,
+            0,
+            VmProt::READ,
+            FaultPolicy::zero_fill_after(Duration::from_millis(20)),
+        )
+        .unwrap();
+        phys.with_frame(r.frame, |d| assert!(d.iter().all(|&b| b == 0)));
+        assert_eq!(m.stats.get("vm.timeout_zero_fills"), 1);
+    }
+
+    #[test]
+    fn cow_read_maps_ancestor_without_write() {
+        let (_m, phys) = setup(8);
+        let base = VmObject::new_temporary(8192);
+        phys.supply_page(&base, 0, &vec![9u8; 4096], VmProt::NONE)
+            .unwrap();
+        let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
+        let r =
+            resolve_page(&phys, &shadow, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        assert_eq!(r.object.id(), base.id());
+        assert!(!r.prot_limit.allows(VmProt::WRITE));
+        phys.with_frame(r.frame, |d| assert_eq!(d[0], 9));
+        // No copy happened.
+        assert_eq!(phys.resident_pages_of(shadow.id()), 0);
+    }
+
+    #[test]
+    fn cow_write_copies_into_shadow() {
+        let (m, phys) = setup(8);
+        let base = VmObject::new_temporary(8192);
+        phys.supply_page(&base, 0, &vec![9u8; 4096], VmProt::NONE)
+            .unwrap();
+        let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
+        let r =
+            resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        assert_eq!(r.object.id(), shadow.id());
+        assert_eq!(r.prot_limit, VmProt::ALL);
+        phys.with_frame(r.frame, |d| assert_eq!(d[0], 9));
+        assert_eq!(m.stats.get(keys::VM_COW_COPIES), 1);
+        // Base page is untouched and still resident.
+        assert_eq!(phys.resident_pages_of(base.id()), 1);
+        assert_eq!(phys.resident_pages_of(shadow.id()), 1);
+    }
+
+    #[test]
+    fn shadow_chain_walks_multiple_levels() {
+        let (_m, phys) = setup(8);
+        let base = VmObject::new_temporary(8192);
+        phys.supply_page(&base, 4096, &vec![7u8; 4096], VmProt::NONE)
+            .unwrap();
+        let s1 = VmObject::new_shadow(base.clone(), 0, 8192);
+        let s2 = VmObject::new_shadow(s1, 0, 8192);
+        let r = resolve_page(&phys, &s2, 4096, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        assert_eq!(r.object.id(), base.id());
+        phys.with_frame(r.frame, |d| assert_eq!(d[0], 7));
+    }
+
+    #[test]
+    fn shadow_offset_is_applied() {
+        let (_m, phys) = setup(8);
+        let base = VmObject::new_temporary(16384);
+        phys.supply_page(&base, 8192, &vec![3u8; 4096], VmProt::NONE)
+            .unwrap();
+        // Shadow whose page 0 is base's page 2.
+        let shadow = VmObject::new_shadow(base.clone(), 8192, 4096);
+        let r = resolve_page(&phys, &shadow, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        assert_eq!(r.offset, 8192);
+        phys.with_frame(r.frame, |d| assert_eq!(d[0], 3));
+    }
+
+    #[test]
+    fn zero_fill_through_shadow_chain_lands_in_top() {
+        let (_m, phys) = setup(8);
+        let base = VmObject::new_temporary(8192);
+        let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
+        let r =
+            resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        assert_eq!(r.object.id(), shadow.id());
+        assert_eq!(phys.resident_pages_of(base.id()), 0);
+    }
+
+    #[test]
+    fn locked_page_triggers_unlock_negotiation() {
+        let (_m, phys) = setup(8);
+        // EchoPager supplies pages write-locked and unlocks on request.
+        let obj = EchoPager::attach(&phys, 5, VmProt::WRITE);
+        // Read fault succeeds: lock prohibits only write.
+        let r = resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        assert!(!r.prot_limit.allows(VmProt::WRITE));
+        // Write fault negotiates the unlock.
+        let r2 = resolve_page(&phys, &obj, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        assert!(r2.prot_limit.allows(VmProt::WRITE));
+    }
+
+    #[test]
+    fn unlock_negotiation_times_out_against_silent_manager() {
+        let (_m, phys) = setup(8);
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(8192, pager.clone());
+        phys.supply_page(&obj, 0, &vec![1u8; 4096], VmProt::WRITE)
+            .unwrap();
+        let err = resolve_page(
+            &phys,
+            &obj,
+            0,
+            VmProt::WRITE,
+            FaultPolicy::abort_after(Duration::from_millis(20)),
+        )
+        .unwrap_err();
+        assert_eq!(err, VmError::Timeout);
+        assert_eq!(pager.unlocks.lock().len(), 1);
+    }
+
+    #[test]
+    fn terminated_object_faults_fail() {
+        let (_m, phys) = setup(8);
+        let obj = VmObject::new_temporary(4096);
+        obj.mark_terminated();
+        let err =
+            resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap_err();
+        assert_eq!(err, VmError::ObjectDestroyed);
+    }
+
+    #[test]
+    fn write_fault_marks_page_dirty() {
+        let (_m, phys) = setup(8);
+        let obj = VmObject::new_temporary(4096);
+        let r = resolve_page(&phys, &obj, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        let _ = r;
+        assert_eq!(phys.page_dirty(obj.id(), 0), Some(true));
+    }
+}

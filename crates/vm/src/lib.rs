@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Machine-independent Mach virtual memory (Sections 3.3 and 5).
+//!
+//! "Four basic data structures are used within the Mach kernel to implement
+//! the external memory management interface: address maps, memory object
+//! structures, resident page structures, and a set of pageout queues."
+//!
+//! This crate implements those four structures plus the two pieces that
+//! glue them together: the page fault handler of §5.5 and the simulated
+//! hardware pmap that is the only "machine-dependent" component. The
+//! external pager protocol appears as the [`PagerBackend`] trait; the
+//! kernel crate (`machcore`) implements it over real IPC ports while unit
+//! tests plug in-process fakes.
+//!
+//! Layering:
+//!
+//! ```text
+//!   map::VmMap          address maps (two-level, sharing maps, inheritance)
+//!     |
+//!   fault::fault_page   validity/protection, page lookup, copy-on-write
+//!     |                 (machine-independent, §5.5)
+//!   resident::PhysicalMemory   resident pages, V2P hash table, pageout
+//!     |                        queues, reserved pool
+//!   pmap::Pmap          hardware validation (machine-dependent boundary)
+//! ```
+
+pub mod fault;
+pub mod map;
+pub mod object;
+pub mod pmap;
+pub mod resident;
+pub mod types;
+
+pub use fault::{FaultPolicy, FaultResult};
+pub use map::{RegionInfo, VmMap, VmStatistics};
+pub use object::{ObjectId, PagerBackend, VmObject};
+pub use pmap::Pmap;
+pub use resident::{PageLookup, PageQueue, PhysicalMemory};
+pub use types::{round_page, trunc_page, Inheritance, VmError, VmProt};

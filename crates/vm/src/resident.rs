@@ -1,0 +1,1176 @@
+//! Resident memory structures and page replacement queues (§5.3, §5.4).
+//!
+//! "Each resident page structure corresponds to a page of physical memory,
+//! and vice versa. The resident page structure records the memory object
+//! and offset into the object, along with the access permitted to that page
+//! by the data manager. Reference and modification information provided by
+//! the hardware is also saved here. An interface providing fast resident
+//! page lookup by memory object and offset (virtual to physical table) is
+//! implemented as a hash table..."
+//!
+//! "Page replacement uses several pageout queues linked through the
+//! resident page structures. An active queue contains all of the pages
+//! currently in use, in least-recently-used order. An inactive queue is
+//! used to hold pages being prepared for pageout. Pages not caching any
+//! data are kept on a free queue."
+//!
+//! This module also implements the *reserved memory pool* of §6.2.3: a
+//! configurable number of frames only "privileged" allocations (pageout and
+//! default-pager paths) may consume, so the kernel can always make forward
+//! progress cleaning pages even when user allocations have exhausted
+//! memory.
+
+use crate::object::{ObjectId, PagerBackend, VmObject};
+use crate::pmap::Pmap;
+use crate::types::{VmError, VmProt};
+use machipc::OolBuffer;
+use machsim::stats::keys;
+use machsim::Machine;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Which pageout queue a frame is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageQueue {
+    /// Caching data and recently used.
+    Active,
+    /// Caching data, candidate for pageout.
+    Inactive,
+    /// Not caching any data.
+    Free,
+    /// Caching data but wired or busy (on no queue).
+    None,
+}
+
+/// Per-frame resident page structure.
+pub struct PageInfo {
+    /// Owning memory object and page-aligned offset, when caching data.
+    pub owner: Option<(Weak<VmObject>, u64)>,
+    /// A fill or pageout is in transit; the frame must not be disturbed.
+    pub busy: bool,
+    /// Excluded from pageout (kernel-critical data).
+    pub wired: bool,
+    /// Modified since last cleaned ("modification information").
+    pub dirty: bool,
+    /// Referenced since last queue scan ("reference information").
+    pub referenced: bool,
+    /// Access prohibited by the data manager (`pager_data_lock` value).
+    pub lock: VmProt,
+    /// Current queue membership.
+    pub queue: PageQueue,
+    /// Reverse mappings: pmaps (and virtual pages) mapping this frame.
+    pub mappings: Vec<(Weak<Pmap>, u64)>,
+}
+
+impl PageInfo {
+    fn empty() -> Self {
+        PageInfo {
+            owner: None,
+            busy: false,
+            wired: false,
+            dirty: false,
+            referenced: false,
+            lock: VmProt::NONE,
+            queue: PageQueue::Free,
+            mappings: Vec::new(),
+        }
+    }
+}
+
+struct PhysState {
+    free: Vec<usize>,
+    /// The virtual-to-physical hash table: (object, offset) -> frame.
+    resident: HashMap<(ObjectId, u64), usize>,
+    info: Vec<PageInfo>,
+    active: VecDeque<usize>,
+    inactive: VecDeque<usize>,
+    /// Outstanding `pager_data_request`s awaiting `pager_data_provided`.
+    pending: HashSet<(ObjectId, u64)>,
+}
+
+/// Result of a resident-page lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageLookup {
+    /// The page is cached; fields are the frame and the manager's lock.
+    Resident {
+        /// Physical frame index.
+        frame: usize,
+        /// Data manager lock value on the page.
+        lock: VmProt,
+    },
+    /// A fill request is already outstanding.
+    Pending,
+    /// Not cached and not requested.
+    Absent,
+}
+
+/// Simulated physical memory: frames, the resident page table and queues.
+pub struct PhysicalMemory {
+    machine: Machine,
+    page_size: usize,
+    reserve: usize,
+    frames: Vec<RwLock<Box<[u8]>>>,
+    state: Mutex<PhysState>,
+    /// Signaled on page supply, unlock, or free-list growth.
+    event: Condvar,
+    /// Lazy backing store for temporary objects (the default pager).
+    default_pager: RwLock<Option<Arc<dyn PagerBackend>>>,
+    /// Called when a temporary object first adopts the default pager (the
+    /// kernel uses this to register the object for supply routing —
+    /// the `pager_create` handshake).
+    adoption_hook: RwLock<Option<Box<dyn Fn(&Arc<VmObject>) + Send + Sync>>>,
+}
+
+impl fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "PhysicalMemory({} frames, {} free, {} resident)",
+            self.frames.len(),
+            st.free.len(),
+            st.resident.len()
+        )
+    }
+}
+
+impl PhysicalMemory {
+    /// Creates `total_bytes / page_size` frames with `reserve_pages` kept
+    /// for privileged (pageout-path) allocations.
+    pub fn new(machine: &Machine, total_bytes: usize, page_size: usize, reserve_pages: usize) -> Arc<Self> {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        let n = total_bytes / page_size;
+        assert!(n > reserve_pages, "memory must exceed the reserved pool");
+        let frames = (0..n)
+            .map(|_| RwLock::new(vec![0u8; page_size].into_boxed_slice()))
+            .collect();
+        Arc::new(PhysicalMemory {
+            machine: machine.clone(),
+            page_size,
+            reserve: reserve_pages,
+            frames,
+            state: Mutex::new(PhysState {
+                free: (0..n).rev().collect(),
+                resident: HashMap::new(),
+                info: (0..n).map(|_| PageInfo::empty()).collect(),
+                active: VecDeque::new(),
+                inactive: VecDeque::new(),
+                pending: HashSet::new(),
+            }),
+            event: Condvar::new(),
+            default_pager: RwLock::new(None),
+            adoption_hook: RwLock::new(None),
+        })
+    }
+
+    /// System page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frames on the free queue.
+    pub fn free_frames(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    /// Frames caching data (resident pages).
+    pub fn resident_pages(&self) -> usize {
+        self.state.lock().resident.len()
+    }
+
+    /// (active, inactive, free) queue lengths.
+    pub fn queue_lengths(&self) -> (usize, usize, usize) {
+        let st = self.state.lock();
+        (st.active.len(), st.inactive.len(), st.free.len())
+    }
+
+    /// The machine this memory charges.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Registers the default pager used to back temporary objects when
+    /// their dirty pages must be evicted (§6.2.2).
+    pub fn set_default_pager(&self, pager: Arc<dyn PagerBackend>) {
+        *self.default_pager.write() = Some(pager);
+    }
+
+    /// The registered default pager, if any.
+    pub fn default_pager(&self) -> Option<Arc<dyn PagerBackend>> {
+        self.default_pager.read().clone()
+    }
+
+    /// Registers a callback invoked when a temporary object adopts the
+    /// default pager during pageout (`pager_create`).
+    pub fn set_adoption_hook(&self, hook: impl Fn(&Arc<VmObject>) + Send + Sync + 'static) {
+        *self.adoption_hook.write() = Some(Box::new(hook));
+    }
+
+    // ----- queue maintenance (callers hold the state lock) -----
+
+    fn unlink(st: &mut PhysState, frame: usize) {
+        match st.info[frame].queue {
+            PageQueue::Active => {
+                st.active.retain(|&f| f != frame);
+            }
+            PageQueue::Inactive => {
+                st.inactive.retain(|&f| f != frame);
+            }
+            PageQueue::Free | PageQueue::None => {}
+        }
+        st.info[frame].queue = PageQueue::None;
+    }
+
+    fn activate(st: &mut PhysState, frame: usize) {
+        Self::unlink(st, frame);
+        st.active.push_back(frame);
+        st.info[frame].queue = PageQueue::Active;
+        st.info[frame].referenced = true;
+    }
+
+    fn deactivate(st: &mut PhysState, frame: usize) {
+        Self::unlink(st, frame);
+        st.inactive.push_back(frame);
+        st.info[frame].queue = PageQueue::Inactive;
+        st.info[frame].referenced = false;
+    }
+
+    /// Pageout-daemon entry point: moves the oldest unreferenced active
+    /// pages onto the inactive queue until it holds `target_inactive`
+    /// pages, applying the second-chance discipline to reference bits.
+    pub fn balance_queues(&self, target_inactive: usize) {
+        let mut st = self.state.lock();
+        let mut scans = st.active.len();
+        while st.inactive.len() < target_inactive && scans > 0 {
+            scans -= 1;
+            match st.active.pop_front() {
+                Some(f) => {
+                    if st.info[f].referenced {
+                        st.info[f].referenced = false;
+                        st.active.push_back(f);
+                    } else {
+                        st.info[f].queue = PageQueue::None;
+                        Self::deactivate(&mut st, f);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    // ----- lookup -----
+
+    /// Looks up `(object, offset)` in the virtual-to-physical table.
+    ///
+    /// A hit marks the page referenced and re-activates it.
+    pub fn lookup(&self, object: ObjectId, offset: u64) -> PageLookup {
+        let mut st = self.state.lock();
+        if let Some(&frame) = st.resident.get(&(object, offset)) {
+            let lock = st.info[frame].lock;
+            Self::activate(&mut st, frame);
+            return PageLookup::Resident { frame, lock };
+        }
+        if st.pending.contains(&(object, offset)) {
+            return PageLookup::Pending;
+        }
+        PageLookup::Absent
+    }
+
+    /// Claims responsibility for filling `(object, offset)`.
+    ///
+    /// Returns `true` if the caller must issue the `pager_data_request`;
+    /// `false` if the page became resident or another thread already asked.
+    pub fn begin_fill(&self, object: ObjectId, offset: u64) -> bool {
+        let mut st = self.state.lock();
+        if st.resident.contains_key(&(object, offset)) {
+            return false;
+        }
+        st.pending.insert((object, offset))
+    }
+
+    /// Abandons a pending fill (e.g. fault aborted by timeout), so a later
+    /// fault can re-request the data.
+    pub fn cancel_fill(&self, object: ObjectId, offset: u64) {
+        let mut st = self.state.lock();
+        st.pending.remove(&(object, offset));
+        drop(st);
+        self.event.notify_all();
+    }
+
+    /// Waits until `(object, offset)` is resident; returns its frame.
+    pub fn await_page(
+        &self,
+        object: ObjectId,
+        offset: u64,
+        timeout: Option<Duration>,
+    ) -> Result<usize, VmError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(&frame) = st.resident.get(&(object, offset)) {
+                Self::activate(&mut st, frame);
+                return Ok(frame);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(VmError::Timeout);
+                    }
+                    if self.event.wait_for(&mut st, d - now).timed_out() {
+                        return Err(VmError::Timeout);
+                    }
+                }
+                None => self.event.wait(&mut st),
+            }
+        }
+    }
+
+    /// Waits until the manager's lock on the page no longer prohibits
+    /// `want`; returns the frame.
+    pub fn await_unlock(
+        &self,
+        object: ObjectId,
+        offset: u64,
+        want: VmProt,
+        timeout: Option<Duration>,
+    ) -> Result<usize, VmError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            match st.resident.get(&(object, offset)) {
+                Some(&frame) if !st.info[frame].lock.intersects(want) => {
+                    Self::activate(&mut st, frame);
+                    return Ok(frame);
+                }
+                // Flushed while we waited: the caller must re-fault.
+                None if !st.pending.contains(&(object, offset)) => {
+                    return Err(VmError::ObjectDestroyed);
+                }
+                _ => {}
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(VmError::Timeout);
+                    }
+                    if self.event.wait_for(&mut st, d - now).timed_out() {
+                        return Err(VmError::Timeout);
+                    }
+                }
+                None => self.event.wait(&mut st),
+            }
+        }
+    }
+
+    // ----- frame allocation and reclaim -----
+
+    /// Allocates a frame, reclaiming cached pages if necessary.
+    ///
+    /// Unprivileged allocations may not dip into the reserved pool; the
+    /// pageout path and default pager allocate privileged.
+    pub fn allocate_frame(&self, privileged: bool) -> Result<usize, VmError> {
+        let mut failures = 0u32;
+        loop {
+            {
+                let mut st = self.state.lock();
+                let floor = if privileged { 0 } else { self.reserve };
+                if st.free.len() > floor {
+                    let frame = st.free.pop().expect("checked non-empty");
+                    st.info[frame] = PageInfo {
+                        queue: PageQueue::None,
+                        ..PageInfo::empty()
+                    };
+                    return Ok(frame);
+                }
+            }
+            // Out of easy frames: reclaim one page (outside the lock for
+            // any pager I/O), then retry. The first reclaim pass may only
+            // clear reference bits (second chance), so several consecutive
+            // failures are needed before giving up.
+            if self.reclaim_one() {
+                failures = 0;
+                continue;
+            }
+            failures += 1;
+            if failures >= 8 {
+                return Err(VmError::NoMemory);
+            }
+            // Wait briefly for a supply, unlock or free event.
+            let mut st = self.state.lock();
+            let _ = self.event.wait_for(&mut st, Duration::from_millis(5));
+        }
+    }
+
+    /// Reclaims up to `n` pages (the pageout daemon's work loop); returns
+    /// how many frames were actually freed.
+    pub fn reclaim_pages(&self, n: usize) -> usize {
+        let mut freed = 0;
+        for _ in 0..n {
+            if self.reclaim_one() {
+                freed += 1;
+            } else {
+                break;
+            }
+        }
+        freed
+    }
+
+    /// Attempts to evict one page; returns whether a frame was freed.
+    fn reclaim_one(&self) -> bool {
+        // Phase 1: pick a victim under the lock.
+        let (frame, owner, offset, dirty, data_for_pageout) = {
+            let mut st = self.state.lock();
+            // Keep the inactive queue primed: move the oldest unreferenced
+            // active pages across (second-chance on the reference bit).
+            let want_inactive = 4usize;
+            let mut scans = st.active.len();
+            while st.inactive.len() < want_inactive && scans > 0 {
+                scans -= 1;
+                match st.active.pop_front() {
+                    Some(f) => {
+                        if st.info[f].referenced {
+                            st.info[f].referenced = false;
+                            st.active.push_back(f);
+                        } else {
+                            st.info[f].queue = PageQueue::None;
+                            st.inactive.push_back(f);
+                            st.info[f].queue = PageQueue::Inactive;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            // Find an evictable inactive page.
+            let mut victim = None;
+            for _ in 0..st.inactive.len() {
+                let f = match st.inactive.pop_front() {
+                    Some(f) => f,
+                    None => break,
+                };
+                let info = &st.info[f];
+                if info.busy || info.wired {
+                    st.inactive.push_back(f);
+                    continue;
+                }
+                if info.referenced {
+                    // Used since deactivation: give it another chance.
+                    Self::activate(&mut st, f);
+                    continue;
+                }
+                victim = Some(f);
+                break;
+            }
+            let Some(frame) = victim else {
+                return false;
+            };
+            let info = &mut st.info[frame];
+            info.queue = PageQueue::None;
+            let (owner, offset) = match info.owner.clone() {
+                Some((w, off)) => (w.upgrade(), off),
+                None => (None, 0),
+            };
+            let dirty = info.dirty;
+            // Invalidate hardware mappings now so no one writes the frame
+            // while it is being paged out.
+            let mappings = std::mem::take(&mut info.mappings);
+            let vpn_pairs: Vec<(Arc<Pmap>, u64)> = mappings
+                .into_iter()
+                .filter_map(|(w, vpn)| w.upgrade().map(|p| (p, vpn)))
+                .collect();
+            let owner_id = owner.as_ref().map(|o| o.id());
+            if let Some(id) = owner_id {
+                st.resident.remove(&(id, offset));
+            }
+            st.info[frame].owner = None;
+            st.info[frame].dirty = false;
+            // Copy the data out for pageout while still under the lock; the
+            // frame is about to be reused.
+            let data = if dirty && owner.is_some() {
+                Some(self.frames[frame].read().to_vec())
+            } else {
+                None
+            };
+            st.free.push(frame);
+            st.info[frame].queue = PageQueue::Free;
+            drop(st);
+            for (pmap, vpn) in vpn_pairs {
+                pmap.remove(vpn);
+            }
+            self.event.notify_all();
+            (frame, owner, offset, dirty, data)
+        };
+        let _ = frame;
+        // Phase 2: pageout I/O outside the lock.
+        if dirty {
+            if let (Some(object), Some(data)) = (owner, data_for_pageout) {
+                self.pageout_data(&object, offset, data);
+            }
+        }
+        true
+    }
+
+    /// Sends dirty page data to the object's pager (or the default pager,
+    /// adopting the object first, per `pager_create`).
+    fn pageout_data(&self, object: &Arc<VmObject>, offset: u64, data: Vec<u8>) {
+        self.machine.stats.incr(keys::VM_PAGEOUTS);
+        let pager = match object.pager() {
+            Some(p) => p,
+            None => {
+                // A kernel-created object touched by pageout for the first
+                // time: hand it to the default pager (pager_create).
+                match self.default_pager() {
+                    Some(p) => {
+                        object.set_pager(p.clone());
+                        if let Some(hook) = self.adoption_hook.read().as_ref() {
+                            hook(object);
+                        }
+                        p
+                    }
+                    // No default pager registered (unit tests): the data is
+                    // dropped, which models a diskless machine.
+                    None => return,
+                }
+            }
+        };
+        pager.data_write(object.id(), offset, OolBuffer::from_vec(data));
+    }
+
+    // ----- page installation -----
+
+    fn install(
+        &self,
+        object: &Arc<VmObject>,
+        offset: u64,
+        frame: usize,
+        lock: VmProt,
+        dirty: bool,
+    ) -> usize {
+        let mut st = self.state.lock();
+        st.pending.remove(&(object.id(), offset));
+        // If something is already resident (racing installs), free ours and
+        // return the winner.
+        if let Some(&existing) = st.resident.get(&(object.id(), offset)) {
+            st.info[frame] = PageInfo::empty();
+            st.free.push(frame);
+            drop(st);
+            self.event.notify_all();
+            return existing;
+        }
+        st.resident.insert((object.id(), offset), frame);
+        st.info[frame] = PageInfo {
+            owner: Some((Arc::downgrade(object), offset)),
+            busy: false,
+            wired: false,
+            dirty,
+            referenced: true,
+            lock,
+            queue: PageQueue::None,
+            mappings: Vec::new(),
+        };
+        Self::activate(&mut st, frame);
+        drop(st);
+        self.event.notify_all();
+        frame
+    }
+
+    /// `pager_data_provided`: installs data supplied by a data manager.
+    ///
+    /// The data must be an integral number of pages; trailing partial pages
+    /// are discarded, as the paper specifies ("The Mach kernel can only
+    /// handle integral multiples of the system page size in any one call
+    /// and partial pages are discarded"). The offset may be unaligned —
+    /// consistency is then only guaranteed among mappings with the same
+    /// alignment, exactly as in Mach.
+    pub fn supply_page(
+        &self,
+        object: &Arc<VmObject>,
+        offset: u64,
+        data: &[u8],
+        lock: VmProt,
+    ) -> Result<usize, VmError> {
+        let whole_pages = data.len() / self.page_size;
+        if data.len() % self.page_size != 0 {
+            self.machine.stats.incr("vm.partial_supplies_discarded");
+        }
+        let mut installed = 0usize;
+        for i in 0..whole_pages {
+            let page_off = offset + (i * self.page_size) as u64;
+            let frame = self.allocate_frame(true)?;
+            {
+                let mut fd = self.frames[frame].write();
+                fd.copy_from_slice(&data[i * self.page_size..(i + 1) * self.page_size]);
+            }
+            self.machine
+                .clock
+                .charge(self.machine.cost.copy_cost_ns(self.page_size as u64));
+            self.install(object, page_off, frame, lock, false);
+            installed += 1;
+        }
+        if installed == 0 && whole_pages == 0 {
+            return Err(VmError::BadAlignment);
+        }
+        Ok(installed)
+    }
+
+    /// `pager_data_unavailable`: the manager has no data; zero-fill.
+    pub fn data_unavailable(&self, object: &Arc<VmObject>, offset: u64) -> Result<usize, VmError> {
+        let frame = self.allocate_frame(true)?;
+        self.frames[frame].write().fill(0);
+        self.machine.stats.incr(keys::VM_ZERO_FILLS);
+        Ok(self.install(object, offset, frame, VmProt::NONE, false))
+    }
+
+    /// Installs a zero-filled page for an untouched temporary object.
+    pub fn zero_fill(&self, object: &Arc<VmObject>, offset: u64) -> Result<usize, VmError> {
+        let frame = self.allocate_frame(false)?;
+        self.frames[frame].write().fill(0);
+        self.machine.stats.incr(keys::VM_ZERO_FILLS);
+        Ok(self.install(object, offset, frame, VmProt::NONE, false))
+    }
+
+    /// Copies `src_frame` into a fresh page of `(dst_object, dst_offset)` —
+    /// the deferred physical copy of copy-on-write.
+    pub fn copy_page(
+        &self,
+        src_frame: usize,
+        dst_object: &Arc<VmObject>,
+        dst_offset: u64,
+    ) -> Result<usize, VmError> {
+        let frame = self.allocate_frame(false)?;
+        {
+            let src = self.frames[src_frame].read();
+            let mut dst = self.frames[frame].write();
+            dst.copy_from_slice(&src);
+        }
+        self.machine
+            .clock
+            .charge(self.machine.cost.copy_cost_ns(self.page_size as u64));
+        self.machine.stats.incr(keys::VM_COW_COPIES);
+        self.machine
+            .stats
+            .add(keys::BYTES_COPIED, self.page_size as u64);
+        // The copy exists precisely because someone is about to write it.
+        Ok(self.install(dst_object, dst_offset, frame, VmProt::NONE, true))
+    }
+
+    // ----- frame data access -----
+
+    /// Runs `f` over the frame's bytes (read-only).
+    pub fn with_frame<R>(&self, frame: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.frames[frame].read())
+    }
+
+    /// Runs `f` over the frame's bytes (mutable) and marks it modified.
+    pub fn with_frame_mut<R>(&self, frame: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let r = f(&mut self.frames[frame].write());
+        self.state.lock().info[frame].dirty = true;
+        r
+    }
+
+    /// Sets the hardware "modified" bit for the frame.
+    pub fn set_modified(&self, frame: usize) {
+        self.state.lock().info[frame].dirty = true;
+    }
+
+    /// Sets the hardware "referenced" bit for the frame.
+    pub fn set_referenced(&self, frame: usize) {
+        self.state.lock().info[frame].referenced = true;
+    }
+
+    /// Records that `pmap` maps `vpn` to `frame`, for later shootdown.
+    pub fn add_mapping(&self, frame: usize, pmap: &Arc<Pmap>, vpn: u64) {
+        self.state
+            .lock()
+            .info[frame]
+            .mappings
+            .push((Arc::downgrade(pmap), vpn));
+    }
+
+    /// Wires a frame, excluding it from pageout.
+    pub fn wire(&self, frame: usize, wired: bool) {
+        self.state.lock().info[frame].wired = wired;
+    }
+
+    // ----- data manager cache control (Table 3-6 kernel side) -----
+
+    /// `pager_flush_request`: invalidates cached pages in the range,
+    /// writing back modifications first.
+    pub fn flush_range(&self, object: &Arc<VmObject>, offset: u64, length: u64) {
+        self.flush_or_clean(object, offset, length, true)
+    }
+
+    /// `pager_clean_request`: writes back modifications but keeps the
+    /// cached pages.
+    pub fn clean_range(&self, object: &Arc<VmObject>, offset: u64, length: u64) {
+        self.flush_or_clean(object, offset, length, false)
+    }
+
+    fn flush_or_clean(&self, object: &Arc<VmObject>, offset: u64, length: u64, invalidate: bool) {
+        let ps = self.page_size as u64;
+        let first = offset - offset % ps;
+        let end = offset.saturating_add(length);
+        let mut writebacks: Vec<(u64, Vec<u8>)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            // Enumerate the object's resident pages in range rather than
+            // scanning the range page by page: ranges may span the whole
+            // object ("flush everything").
+            let pages: Vec<(u64, usize)> = st
+                .resident
+                .iter()
+                .filter(|((id, off), _)| *id == object.id() && *off >= first && *off < end)
+                .map(|((_, off), &frame)| (*off, frame))
+                .collect();
+            for (page, frame) in pages {
+                if st.info[frame].busy {
+                    continue;
+                }
+                let dirty = st.info[frame].dirty;
+                if dirty {
+                    writebacks.push((page, self.frames[frame].read().to_vec()));
+                    st.info[frame].dirty = false;
+                }
+                if invalidate {
+                    Self::unlink(&mut st, frame);
+                    st.resident.remove(&(object.id(), page));
+                    let mappings = std::mem::take(&mut st.info[frame].mappings);
+                    for (w, vpn) in mappings {
+                        if let Some(p) = w.upgrade() {
+                            p.remove(vpn);
+                        }
+                    }
+                    st.info[frame] = PageInfo::empty();
+                    st.free.push(frame);
+                }
+            }
+        }
+        self.event.notify_all();
+        for (page, data) in writebacks {
+            self.pageout_data(object, page, data);
+        }
+    }
+
+    /// `pager_data_lock`: restricts access to cached data; existing
+    /// hardware mappings are downgraded so prohibited accesses fault.
+    pub fn lock_range(&self, object: &Arc<VmObject>, offset: u64, length: u64, lock: VmProt) {
+        let ps = self.page_size as u64;
+        let first = offset - offset % ps;
+        let end = offset.saturating_add(length);
+        let mut st = self.state.lock();
+        let frames: Vec<usize> = st
+            .resident
+            .iter()
+            .filter(|((id, off), _)| *id == object.id() && *off >= first && *off < end)
+            .map(|(_, &frame)| frame)
+            .collect();
+        for frame in frames {
+            st.info[frame].lock = lock;
+            let keep = !lock;
+            let mappings = st.info[frame].mappings.clone();
+            for (w, vpn) in mappings {
+                if let Some(p) = w.upgrade() {
+                    p.protect(vpn, keep);
+                }
+            }
+        }
+        drop(st);
+        self.event.notify_all();
+    }
+
+    /// Releases every cached page of `object`, optionally writing dirty
+    /// pages back first (object termination).
+    pub fn release_object(&self, object: &Arc<VmObject>, write_back: bool) {
+        let offsets: Vec<u64> = {
+            let st = self.state.lock();
+            st.resident
+                .keys()
+                .filter(|(id, _)| *id == object.id())
+                .map(|(_, off)| *off)
+                .collect()
+        };
+        for off in offsets {
+            if write_back {
+                self.flush_range(object, off, self.page_size as u64);
+            } else {
+                // Invalidate without writeback.
+                let mut st = self.state.lock();
+                if let Some(frame) = st.resident.remove(&(object.id(), off)) {
+                    Self::unlink(&mut st, frame);
+                    let mappings = std::mem::take(&mut st.info[frame].mappings);
+                    for (w, vpn) in mappings {
+                        if let Some(p) = w.upgrade() {
+                            p.remove(vpn);
+                        }
+                    }
+                    st.info[frame] = PageInfo::empty();
+                    st.free.push(frame);
+                }
+            }
+        }
+        self.event.notify_all();
+    }
+
+    /// Offsets of all resident pages belonging to `object`.
+    pub fn object_offsets(&self, object: ObjectId) -> Vec<u64> {
+        let st = self.state.lock();
+        st.resident
+            .keys()
+            .filter(|(id, _)| *id == object)
+            .map(|(_, off)| *off)
+            .collect()
+    }
+
+    /// Moves a resident page from one object to another without copying —
+    /// the mechanics of shadow-chain collapse. Returns `false` when the
+    /// source page is absent or the destination slot is already occupied
+    /// (in which case the source page is left in place).
+    pub fn rekey_page(
+        &self,
+        from: ObjectId,
+        from_offset: u64,
+        to: &Arc<VmObject>,
+        to_offset: u64,
+    ) -> bool {
+        let mut st = self.state.lock();
+        if st.resident.contains_key(&(to.id(), to_offset)) {
+            return false;
+        }
+        let Some(frame) = st.resident.remove(&(from, from_offset)) else {
+            return false;
+        };
+        st.resident.insert((to.id(), to_offset), frame);
+        st.info[frame].owner = Some((Arc::downgrade(to), to_offset));
+        true
+    }
+
+    /// Number of resident pages belonging to `object`.
+    pub fn resident_pages_of(&self, object: ObjectId) -> usize {
+        let st = self.state.lock();
+        st.resident.keys().filter(|(id, _)| *id == object).count()
+    }
+
+    /// The lock value on a resident page, if resident.
+    pub fn page_lock(&self, object: ObjectId, offset: u64) -> Option<VmProt> {
+        let st = self.state.lock();
+        st.resident
+            .get(&(object, offset))
+            .map(|&f| st.info[f].lock)
+    }
+
+    /// Whether the page is dirty, if resident.
+    pub fn page_dirty(&self, object: ObjectId, offset: u64) -> Option<bool> {
+        let st = self.state.lock();
+        st.resident
+            .get(&(object, offset))
+            .map(|&f| st.info[f].dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::test_support::RecordingPager;
+
+    fn phys(frames: usize) -> (Machine, Arc<PhysicalMemory>) {
+        let m = Machine::default_machine();
+        let p = PhysicalMemory::new(&m, frames * 4096, 4096, 2);
+        (m, p)
+    }
+
+    #[test]
+    fn supply_then_lookup() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(8192);
+        phys.supply_page(&obj, 0, &vec![7u8; 4096], VmProt::NONE)
+            .unwrap();
+        match phys.lookup(obj.id(), 0) {
+            PageLookup::Resident { frame, lock } => {
+                assert_eq!(lock, VmProt::NONE);
+                phys.with_frame(frame, |d| assert!(d.iter().all(|&b| b == 7)));
+            }
+            other => panic!("expected resident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_page_supply() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(3 * 4096);
+        let mut data = vec![0u8; 2 * 4096];
+        data[4096] = 9;
+        let n = phys.supply_page(&obj, 4096, &data, VmProt::NONE).unwrap();
+        assert_eq!(n, 2);
+        assert!(matches!(phys.lookup(obj.id(), 4096), PageLookup::Resident { .. }));
+        assert!(matches!(phys.lookup(obj.id(), 8192), PageLookup::Resident { .. }));
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Absent));
+    }
+
+    #[test]
+    fn partial_supply_discarded() {
+        let (m, phys) = phys(8);
+        let obj = VmObject::new_temporary(8192);
+        // Misaligned offsets are allowed; the cache is keyed by the byte
+        // offset, so consistency holds among same-alignment mappings only.
+        phys.supply_page(&obj, 100, &vec![0u8; 4096], VmProt::NONE)
+            .unwrap();
+        assert!(matches!(
+            phys.lookup(obj.id(), 100),
+            PageLookup::Resident { .. }
+        ));
+        // Trailing partial page: whole pages kept, remainder discarded.
+        let n = phys
+            .supply_page(&obj, 0, &vec![0u8; 4096 + 100], VmProt::NONE)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(m.stats.get("vm.partial_supplies_discarded") >= 1);
+    }
+
+    #[test]
+    fn begin_fill_claims_once() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(4096);
+        assert!(phys.begin_fill(obj.id(), 0));
+        assert!(!phys.begin_fill(obj.id(), 0));
+        assert_eq!(phys.lookup(obj.id(), 0), PageLookup::Pending);
+        phys.supply_page(&obj, 0, &vec![0u8; 4096], VmProt::NONE)
+            .unwrap();
+        assert!(!phys.begin_fill(obj.id(), 0));
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+    }
+
+    #[test]
+    fn await_page_times_out() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(4096);
+        let err = phys
+            .await_page(obj.id(), 0, Some(Duration::from_millis(10)))
+            .unwrap_err();
+        assert_eq!(err, VmError::Timeout);
+    }
+
+    #[test]
+    fn await_page_wakes_on_supply() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(4096);
+        let p2 = phys.clone();
+        let o2 = obj.clone();
+        let h = std::thread::spawn(move || p2.await_page(o2.id(), 0, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        phys.supply_page(&obj, 0, &vec![1u8; 4096], VmProt::NONE)
+            .unwrap();
+        let frame = h.join().unwrap().unwrap();
+        phys.with_frame(frame, |d| assert_eq!(d[0], 1));
+    }
+
+    #[test]
+    fn eviction_writes_dirty_to_pager() {
+        let (m, phys) = phys(6); // 6 frames, 2 reserved.
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(1 << 20, pager.clone());
+        // Fill all four unprivileged frames with dirty pages.
+        for i in 0..4u64 {
+            let f = phys
+                .supply_page(&obj, i * 4096, &vec![i as u8; 4096], VmProt::NONE)
+                .unwrap();
+            let _ = f;
+            if let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), i * 4096) {
+                phys.set_modified(frame);
+            }
+        }
+        // Next unprivileged allocation must evict something dirty.
+        let _f = phys.allocate_frame(false).unwrap();
+        assert!(m.stats.get(keys::VM_PAGEOUTS) >= 1);
+        assert!(!pager.writes.lock().is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_lru() {
+        let (_m, phys) = phys(6);
+        let obj = VmObject::new_temporary(1 << 20);
+        for i in 0..4u64 {
+            phys.supply_page(&obj, i * 4096, &vec![0u8; 4096], VmProt::NONE)
+                .unwrap();
+        }
+        // Touch pages 1..4 so page 0 is the coldest. The reference bits of
+        // the touched pages protect them through the second-chance scan.
+        for i in 1..4u64 {
+            phys.lookup(obj.id(), i * 4096);
+        }
+        let _ = phys.allocate_frame(false).unwrap();
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Absent));
+        assert!(matches!(
+            phys.lookup(obj.id(), 4096),
+            PageLookup::Resident { .. }
+        ));
+    }
+
+    #[test]
+    fn reserved_pool_protects_privileged_path() {
+        let (_m, phys) = phys(4); // 4 frames, 2 reserved, 0 cached.
+        let f1 = phys.allocate_frame(false).unwrap();
+        let _f2 = phys.allocate_frame(false).unwrap();
+        // Only two unreserved frames exist and nothing is reclaimable.
+        assert_eq!(phys.allocate_frame(false).unwrap_err(), VmError::NoMemory);
+        // The privileged path can still allocate from the reserve.
+        let f3 = phys.allocate_frame(true).unwrap();
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn temporary_object_adopts_default_pager_on_pageout() {
+        let (_m, phys) = phys(6);
+        let dp = Arc::new(RecordingPager::default());
+        phys.set_default_pager(dp.clone());
+        let obj = VmObject::new_temporary(1 << 20);
+        for i in 0..4u64 {
+            phys.zero_fill(&obj, i * 4096).unwrap();
+            if let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), i * 4096) {
+                phys.set_modified(frame);
+            }
+        }
+        let _ = phys.allocate_frame(false).unwrap();
+        assert!(obj.pager().is_some(), "object adopted the default pager");
+        assert!(!dp.writes.lock().is_empty());
+    }
+
+    #[test]
+    fn flush_range_invalidates_and_writes_back() {
+        let (_m, phys) = phys(8);
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(8192, pager.clone());
+        phys.supply_page(&obj, 0, &vec![3u8; 4096], VmProt::NONE)
+            .unwrap();
+        if let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 0) {
+            phys.with_frame_mut(frame, |d| d[0] = 99);
+        }
+        phys.flush_range(&obj, 0, 4096);
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Absent));
+        let w = pager.writes.lock();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].2[0], 99);
+    }
+
+    #[test]
+    fn clean_range_keeps_page() {
+        let (_m, phys) = phys(8);
+        let pager = Arc::new(RecordingPager::default());
+        let obj = VmObject::new_with_pager(4096, pager.clone());
+        phys.supply_page(&obj, 0, &vec![3u8; 4096], VmProt::NONE)
+            .unwrap();
+        if let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 0) {
+            phys.with_frame_mut(frame, |d| d[0] = 42);
+        }
+        phys.clean_range(&obj, 0, 4096);
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+        assert_eq!(phys.page_dirty(obj.id(), 0), Some(false));
+        assert_eq!(pager.writes.lock().len(), 1);
+    }
+
+    #[test]
+    fn lock_range_sets_lock_and_downgrades_mappings() {
+        let m = Machine::default_machine();
+        let phys = PhysicalMemory::new(&m, 8 * 4096, 4096, 2);
+        let obj = VmObject::new_temporary(4096);
+        phys.supply_page(&obj, 0, &vec![0u8; 4096], VmProt::NONE)
+            .unwrap();
+        let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 0) else {
+            panic!("resident");
+        };
+        let pmap = Arc::new(Pmap::new(&m));
+        pmap.enter(10, frame, VmProt::DEFAULT);
+        phys.add_mapping(frame, &pmap, 10);
+        phys.lock_range(&obj, 0, 4096, VmProt::WRITE);
+        assert_eq!(phys.page_lock(obj.id(), 0), Some(VmProt::WRITE));
+        assert_eq!(pmap.translate(10, VmProt::WRITE), None);
+        assert_eq!(pmap.translate(10, VmProt::READ), Some(frame));
+        // Unlock wakes waiters and restores nothing automatically (the
+        // fault handler re-enters mappings).
+        phys.lock_range(&obj, 0, 4096, VmProt::NONE);
+        assert_eq!(phys.page_lock(obj.id(), 0), Some(VmProt::NONE));
+    }
+
+    #[test]
+    fn await_unlock_waits_for_lock_change() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(4096);
+        phys.supply_page(&obj, 0, &vec![0u8; 4096], VmProt::WRITE)
+            .unwrap();
+        let p2 = phys.clone();
+        let o2 = obj.clone();
+        let h = std::thread::spawn(move || {
+            p2.await_unlock(o2.id(), 0, VmProt::WRITE, Some(Duration::from_secs(5)))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        phys.lock_range(&obj, 0, 4096, VmProt::NONE);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn copy_page_charges_cow() {
+        let (m, phys) = phys(8);
+        let src_obj = VmObject::new_temporary(4096);
+        let dst_obj = VmObject::new_temporary(4096);
+        phys.supply_page(&src_obj, 0, &vec![5u8; 4096], VmProt::NONE)
+            .unwrap();
+        let PageLookup::Resident { frame: src, .. } = phys.lookup(src_obj.id(), 0) else {
+            panic!("resident");
+        };
+        let dst = phys.copy_page(src, &dst_obj, 0).unwrap();
+        phys.with_frame(dst, |d| assert!(d.iter().all(|&b| b == 5)));
+        assert_eq!(m.stats.get(keys::VM_COW_COPIES), 1);
+        assert_eq!(phys.page_dirty(dst_obj.id(), 0), Some(true));
+    }
+
+    #[test]
+    fn release_object_frees_everything() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(16384);
+        for i in 0..3u64 {
+            phys.zero_fill(&obj, i * 4096).unwrap();
+        }
+        assert_eq!(phys.resident_pages_of(obj.id()), 3);
+        let free_before = phys.free_frames();
+        phys.release_object(&obj, false);
+        assert_eq!(phys.resident_pages_of(obj.id()), 0);
+        assert_eq!(phys.free_frames(), free_before + 3);
+    }
+
+    #[test]
+    fn wired_pages_survive_reclaim() {
+        let (_m, phys) = phys(6);
+        let obj = VmObject::new_temporary(1 << 20);
+        phys.zero_fill(&obj, 0).unwrap();
+        let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 0) else {
+            panic!("resident");
+        };
+        phys.wire(frame, true);
+        for i in 1..4u64 {
+            phys.zero_fill(&obj, i * 4096).unwrap();
+        }
+        // Exhaust memory; the wired page must remain.
+        let _ = phys.allocate_frame(false);
+        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+    }
+
+    #[test]
+    fn queue_lengths_reflect_state() {
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(16384);
+        phys.zero_fill(&obj, 0).unwrap();
+        phys.zero_fill(&obj, 4096).unwrap();
+        let (active, inactive, free) = phys.queue_lengths();
+        assert_eq!(active, 2);
+        assert_eq!(inactive, 0);
+        assert_eq!(free, 6);
+    }
+}

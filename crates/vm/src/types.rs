@@ -1,0 +1,185 @@
+//! Fundamental virtual memory types: protections, inheritance, errors.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// Page protection / access set (any combination of read, write, execute).
+///
+/// Also used as a *lock value* in the pager interface, where it names the
+/// kinds of access the data manager has **prohibited** on cached data
+/// ("specifying the types of access ... that must be prevented").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VmProt(pub u8);
+
+impl VmProt {
+    /// No access (as a lock value: nothing prohibited).
+    pub const NONE: VmProt = VmProt(0);
+    /// Read access.
+    pub const READ: VmProt = VmProt(1);
+    /// Write access.
+    pub const WRITE: VmProt = VmProt(2);
+    /// Execute access.
+    pub const EXECUTE: VmProt = VmProt(4);
+    /// Read and write (the default protection of new regions).
+    pub const DEFAULT: VmProt = VmProt(1 | 2);
+    /// All access kinds.
+    pub const ALL: VmProt = VmProt(1 | 2 | 4);
+
+    /// Whether every access in `other` is included in `self`.
+    pub fn allows(self, other: VmProt) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the two sets overlap.
+    pub fn intersects(self, other: VmProt) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for VmProt {
+    type Output = VmProt;
+    fn bitor(self, rhs: VmProt) -> VmProt {
+        VmProt(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for VmProt {
+    type Output = VmProt;
+    fn bitand(self, rhs: VmProt) -> VmProt {
+        VmProt(self.0 & rhs.0)
+    }
+}
+
+impl Not for VmProt {
+    type Output = VmProt;
+    fn not(self) -> VmProt {
+        VmProt(!self.0 & VmProt::ALL.0)
+    }
+}
+
+impl fmt::Display for VmProt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::with_capacity(3);
+        s.push(if self.allows(VmProt::READ) { 'r' } else { '-' });
+        s.push(if self.allows(VmProt::WRITE) { 'w' } else { '-' });
+        s.push(if self.allows(VmProt::EXECUTE) { 'x' } else { '-' });
+        f.write_str(&s)
+    }
+}
+
+/// How a region is passed to child tasks (`vm_inherit`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Inheritance {
+    /// The child does not receive the region.
+    None,
+    /// Parent and child share the region read/write (via a sharing map).
+    Share,
+    /// The child receives a copy-on-write copy (the default).
+    #[default]
+    Copy,
+}
+
+/// Virtual memory errors.
+///
+/// Note the deliberate overlap with communication failures (Section 6.2.1):
+/// a memory request can time out just like a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// No region of the address space covers the address.
+    InvalidAddress,
+    /// The region does not allow the attempted access.
+    ProtectionFailure,
+    /// No free address range of the requested size exists.
+    NoSpace,
+    /// Physical memory is exhausted and nothing could be reclaimed.
+    NoMemory,
+    /// The data manager did not supply data within the fault timeout.
+    Timeout,
+    /// The memory object backing the region was destroyed.
+    ObjectDestroyed,
+    /// Argument not aligned to the system page size.
+    BadAlignment,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmError::InvalidAddress => "invalid address",
+            VmError::ProtectionFailure => "protection failure",
+            VmError::NoSpace => "no usable address range",
+            VmError::NoMemory => "out of physical memory",
+            VmError::Timeout => "memory request timed out",
+            VmError::ObjectDestroyed => "memory object destroyed",
+            VmError::BadAlignment => "bad alignment",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Rounds `v` down to a multiple of `page_size`.
+pub fn trunc_page(v: u64, page_size: u64) -> u64 {
+    v - v % page_size
+}
+
+/// Rounds `v` up to a multiple of `page_size`.
+pub fn round_page(v: u64, page_size: u64) -> u64 {
+    v.div_ceil(page_size) * page_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_allows() {
+        assert!(VmProt::DEFAULT.allows(VmProt::READ));
+        assert!(VmProt::DEFAULT.allows(VmProt::WRITE));
+        assert!(!VmProt::DEFAULT.allows(VmProt::EXECUTE));
+        assert!(VmProt::ALL.allows(VmProt::DEFAULT));
+        assert!(VmProt::NONE.allows(VmProt::NONE));
+        assert!(!VmProt::READ.allows(VmProt::DEFAULT));
+    }
+
+    #[test]
+    fn prot_ops() {
+        assert_eq!(VmProt::READ | VmProt::WRITE, VmProt::DEFAULT);
+        assert_eq!(VmProt::DEFAULT & VmProt::WRITE, VmProt::WRITE);
+        assert_eq!(!VmProt::WRITE, VmProt::READ | VmProt::EXECUTE);
+    }
+
+    #[test]
+    fn prot_display() {
+        assert_eq!(VmProt::DEFAULT.to_string(), "rw-");
+        assert_eq!(VmProt::NONE.to_string(), "---");
+        assert_eq!(VmProt::ALL.to_string(), "rwx");
+    }
+
+    #[test]
+    fn lock_value_semantics() {
+        // A write lock prohibits writing but a read fault does not hit it.
+        let lock = VmProt::WRITE;
+        assert!(lock.intersects(VmProt::WRITE));
+        assert!(!lock.intersects(VmProt::READ));
+    }
+
+    #[test]
+    fn page_rounding() {
+        assert_eq!(trunc_page(4097, 4096), 4096);
+        assert_eq!(trunc_page(4096, 4096), 4096);
+        assert_eq!(round_page(4097, 4096), 8192);
+        assert_eq!(round_page(4096, 4096), 4096);
+        assert_eq!(round_page(0, 4096), 0);
+    }
+
+    #[test]
+    fn default_inheritance_is_copy() {
+        assert_eq!(Inheritance::default(), Inheritance::Copy);
+    }
+}

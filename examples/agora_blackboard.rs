@@ -1,0 +1,78 @@
+//! An Agora-style speech blackboard (Section 8.4).
+//!
+//! "The blackboard physically resides on a multiprocessor host. ... Agents
+//! use shared memory to directly modify the blackboard. Message passing is
+//! used between loosely coupled components of the system that collect
+//! data, perform low level signal processing, and display results."
+//!
+//! A signal-collection agent on a remote workstation posts hypotheses by
+//! message; evaluation agents on the multiprocessor score them through
+//! shared memory; a display agent (remote again) reads results by message.
+//!
+//! ```text
+//! cargo run --example agora_blackboard
+//! ```
+
+use machcore::{Kernel, KernelConfig};
+use machnet::Fabric;
+use machpagers::agora::{Blackboard, STATE_EVALUATED, STATE_POSTED};
+use machsim::stats::keys;
+
+fn main() {
+    // The multiprocessor host (a VAX 8200-class machine in the paper) and
+    // two workstations on the network.
+    let fabric = Fabric::new();
+    let multiprocessor = fabric.add_host("vax8200");
+    let collector_ws = fabric.add_host("microvax-1");
+    let display_ws = fabric.add_host("microvax-2");
+    let kernel = Kernel::boot_on(multiprocessor.machine().clone(), KernelConfig::default());
+
+    let blackboard = Blackboard::start(&kernel, 16);
+    println!("blackboard up: {} hypothesis slots on {}", blackboard.slots(), "vax8200");
+
+    // Loosely coupled: the collector posts raw hypotheses BY MESSAGE.
+    let collector = blackboard.remote_agent(&fabric, &multiprocessor, &collector_ws);
+    for slot in 0..8u64 {
+        collector
+            .post(slot, format!("utterance-{slot}").as_bytes())
+            .unwrap();
+    }
+    println!(
+        "collector posted 8 hypotheses by message ({} network messages so far)",
+        collector_ws.machine().stats.get(keys::NET_MESSAGES)
+    );
+
+    // Tightly coupled: four evaluator agents on the multiprocessor score
+    // hypotheses through SHARED MEMORY, in parallel.
+    let evaluators: Vec<_> = (0..4)
+        .map(|i| blackboard.local_agent(&kernel, &format!("eval{i}")).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for (i, agent) in evaluators.iter().enumerate() {
+            s.spawn(move || {
+                for slot in (i as u64..8).step_by(4) {
+                    let h = agent.read(slot).unwrap();
+                    assert_eq!(h.state, STATE_POSTED);
+                    // "Score" = payload length times slot number.
+                    let score = h.payload.iter().filter(|&&b| b != 0).count() as u64 * (slot + 1);
+                    agent.evaluate(slot, score).unwrap();
+                }
+            });
+        }
+    });
+    println!("4 evaluator agents scored all hypotheses via shared memory");
+
+    // Loosely coupled again: the display agent reads results by message.
+    let display = blackboard.remote_agent(&fabric, &multiprocessor, &display_ws);
+    for slot in 0..8u64 {
+        let h = display.read(slot).unwrap();
+        assert_eq!(h.state, STATE_EVALUATED);
+        let text = String::from_utf8_lossy(&h.payload);
+        println!("  slot {slot}: {:14} score {}", text.trim_end_matches('\0'), h.score);
+    }
+    println!(
+        "display read results by message; total network messages: {}",
+        collector_ws.machine().stats.get(keys::NET_MESSAGES)
+            + display_ws.machine().stats.get(keys::NET_MESSAGES)
+    );
+}

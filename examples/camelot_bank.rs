@@ -1,0 +1,78 @@
+//! Camelot-style transactions over mapped recoverable memory (Section 8.3).
+//!
+//! A bank keeps account balances in a recoverable segment mapped straight
+//! into its address space. Transfers are write-ahead logged and committed;
+//! then the machine "crashes" with one transaction in flight, and recovery
+//! restores a transaction-consistent state.
+//!
+//! ```text
+//! cargo run --example camelot_bank
+//! ```
+
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::camelot::{balance_of, encode_balance};
+use machpagers::{CamelotClient, CamelotServer};
+use machstorage::BlockDevice;
+use std::sync::Arc;
+
+fn main() {
+    let kernel = Kernel::boot(KernelConfig::default());
+    let device = Arc::new(BlockDevice::new(kernel.machine(), 512));
+    let server = CamelotServer::format_and_start(kernel.machine(), device.clone(), 16 * 4096);
+    let task = Task::create(&kernel, "bank");
+    let client = CamelotClient::attach(&task, server.port()).expect("attach");
+    println!("recoverable segment mapped ({} bytes)", client.size());
+
+    // Fund account 0, then run committed transfers 0 -> 1.
+    let tx = client.begin().unwrap();
+    client.write(tx, 0, &encode_balance(500)).unwrap();
+    client.commit(tx).unwrap();
+    for i in 0..5u64 {
+        let tx = client.begin().unwrap();
+        client.write(tx, 0, &encode_balance(500 - 50 * (i + 1))).unwrap();
+        client.write(tx, 8, &encode_balance(50 * (i + 1))).unwrap();
+        client.commit(tx).unwrap();
+    }
+    let mut buf = [0u8; 16];
+    client.read(0, &mut buf).unwrap();
+    println!(
+        "after 5 committed transfers: account0={} account1={}",
+        balance_of(&buf, 0),
+        balance_of(&buf, 1)
+    );
+
+    // One transaction is interrupted by a crash before committing.
+    let doomed = client.begin().unwrap();
+    client.write(doomed, 0, &encode_balance(0)).unwrap();
+    client.write(doomed, 16, &encode_balance(9999)).unwrap();
+    println!("transaction {doomed} updated memory but will never commit...");
+
+    // Crash: drop the client, the task, the server and the kernel. Only
+    // the device survives. Dirty mapped pages are flushed on the way down,
+    // and the disk manager forces the log before each page write.
+    drop(client);
+    drop(task);
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    println!(
+        "WAL forced before data pages: {} times",
+        server.forced_before_data()
+    );
+    drop(server);
+    drop(kernel);
+    println!("-- crash --");
+
+    // Recovery: redo committed transactions, undo the doomed one.
+    let (redone, undone) = CamelotServer::recover(device.clone());
+    let segment = CamelotServer::read_segment_raw(&device, 16 * 4096);
+    println!("recovery: {redone} updates redone, {undone} undone");
+    println!(
+        "after recovery: account0={} account1={} account2={}",
+        balance_of(&segment, 0),
+        balance_of(&segment, 1),
+        balance_of(&segment, 2)
+    );
+    assert_eq!(balance_of(&segment, 0), 250);
+    assert_eq!(balance_of(&segment, 1), 250);
+    assert_eq!(balance_of(&segment, 2), 0, "doomed transaction undone");
+    println!("balances are transaction-consistent. done.");
+}

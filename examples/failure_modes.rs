@@ -1,0 +1,28 @@
+//! A tour of Section 6: every memory failure mode and its defense.
+//!
+//! "The potential problems associated with external data managers are
+//! strongly analogous to communication failure. ... Solutions to
+//! communication failure problems are applicable to external data manager
+//! failure."
+//!
+//! ```text
+//! cargo run --example failure_modes
+//! ```
+
+use machbench::failure;
+
+fn main() {
+    println!("exercising every §6.1 failure mode against its §6.2 defense...\n");
+    let rows = failure::run_default();
+    println!("{}", failure::table(&rows).render());
+    let all_ok = rows.iter().all(|r| r.ok);
+    println!(
+        "{}",
+        if all_ok {
+            "every defense held: the kernel survived all hostile data managers."
+        } else {
+            "A DEFENSE FAILED — see the table above."
+        }
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,77 @@
+//! The Section 4.1 application, line for line.
+//!
+//! The paper's sample client reads a whole file into new virtual memory,
+//! randomly increments bytes of its copy-on-write copy, writes half of it
+//! back, and deallocates — while any other client consistently sees the
+//! original contents. This example is that program.
+//!
+//! ```text
+//! cargo run --example fs_read_file
+//! ```
+
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::{FileServer, FsClient};
+use machsim::SplitMix64;
+use machstorage::{BlockDevice, FlatFs};
+use std::sync::Arc;
+
+fn main() {
+    let kernel = Kernel::boot(KernelConfig::default());
+    let device = Arc::new(BlockDevice::new(kernel.machine(), 256));
+    let disk_fs = Arc::new(FlatFs::format(device, 0));
+    let server = FileServer::start(kernel.machine(), disk_fs);
+    let client = FsClient::new(server.port().clone());
+
+    // Prepare "filename" with known contents.
+    server.fs().create("filename").unwrap();
+    server.fs().write("filename", 0, &vec![100u8; 8192]).unwrap();
+
+    let task = Task::create(&kernel, "app");
+
+    // /* Read the file -- ignore errors */
+    // fs_read_file("filename", &file_data, file_size);
+    let (file_data, file_size) = client.read_file(&task, "filename").unwrap();
+    println!("fs_read_file: {file_size} bytes of new virtual memory at {file_data:#x}");
+
+    // /* Randomly change contents */
+    // for (i = 0; i < file_size; i++)
+    //     file_data[(int)(file_size*rand())]++;
+    let mut rng = SplitMix64::new(1987);
+    for _ in 0..file_size {
+        let i = rng.next_below(file_size);
+        let mut b = [0u8; 1];
+        task.read_memory(file_data + i, &mut b).unwrap();
+        task.write_memory(file_data + i, &[b[0].wrapping_add(1)]).unwrap();
+    }
+    println!("randomly incremented {file_size} bytes of the private copy");
+
+    // A second application reads the same file concurrently and sees the
+    // ORIGINAL contents — the copy-on-write consistency the paper sells.
+    let other = Task::create(&kernel, "observer");
+    let (other_data, _) = client.read_file(&other, "filename").unwrap();
+    let mut sample = vec![0u8; 64];
+    other.read_memory(other_data, &mut sample).unwrap();
+    assert!(sample.iter().all(|&b| b == 100));
+    println!("observer still sees the original file contents (all 100s)");
+
+    // /* Write back some results -- ignore errors */
+    // fs_write_file("filename", file_data, file_size/2);
+    let half = task.vm_read(file_data, file_size / 2).unwrap();
+    client.write_file("filename", &half).unwrap();
+    println!("fs_write_file: stored the first {} bytes back", file_size / 2);
+
+    // /* Throw away working copy */
+    // vm_deallocate(task_self(), file_data, file_size);
+    task.vm_deallocate(file_data, file_size).unwrap();
+    println!("vm_deallocate: working copy gone; pager resources released");
+
+    let changed = server
+        .fs()
+        .read_all("filename")
+        .unwrap()
+        .iter()
+        .take(file_size as usize / 2)
+        .filter(|&&b| b != 100)
+        .count();
+    println!("file now differs from the original in {changed} of the first {} bytes", file_size / 2);
+}

@@ -1,0 +1,79 @@
+//! Copy-on-reference task migration (Section 8.2).
+//!
+//! Migrates a 1 MB task image between two hosts three ways — eager copy,
+//! pure copy-on-reference, and copy-on-reference with pre-paging — and
+//! prints the time-to-resume and network-byte costs of each.
+//!
+//! ```text
+//! cargo run --example migration
+//! ```
+
+use machcore::{Kernel, KernelConfig, Task};
+use machnet::Fabric;
+use machpagers::{MigrationManager, MigrationStrategy};
+use machsim::stats::keys;
+
+const PAGE: u64 = 4096;
+const PAGES: u64 = 256;
+
+fn main() {
+    let fabric = Fabric::new();
+    let origin = fabric.add_host("origin");
+    let destination = fabric.add_host("destination");
+    let k_origin = Kernel::boot_on(origin.machine().clone(), KernelConfig::default());
+    let k_dest = Kernel::boot_on(
+        destination.machine().clone(),
+        KernelConfig {
+            memory_bytes: 16 << 20,
+            ..KernelConfig::default()
+        },
+    );
+    let manager = MigrationManager::new(&fabric);
+
+    for (label, strategy) in [
+        ("eager copy", MigrationStrategy::Eager),
+        (
+            "copy-on-reference",
+            MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+        ),
+        (
+            "copy-on-reference + prefetch 7",
+            MigrationStrategy::CopyOnReference { prefetch_pages: 7 },
+        ),
+    ] {
+        // A task with a 1 MB image where page i holds the byte i+1.
+        let source = Task::create(&k_origin, "worker");
+        let addr = source.vm_allocate(PAGES * PAGE).unwrap();
+        for i in 0..PAGES {
+            source.write_memory(addr + i * PAGE, &[(i % 250) as u8 + 1]).unwrap();
+        }
+        let net0 = destination.machine().stats.get(keys::NET_BYTES);
+        let migrated = manager
+            .migrate_region(
+                &source,
+                &origin,
+                addr,
+                PAGES * PAGE,
+                &k_dest,
+                &destination,
+                strategy,
+            )
+            .expect("migrate");
+        // The migrated task touches 10% of its image (a realistic restart).
+        let mut b = [0u8; 1];
+        for i in 0..PAGES / 10 {
+            migrated
+                .task
+                .read_memory(migrated.report.address + i * PAGE, &mut b)
+                .unwrap();
+            assert_eq!(b[0], (i % 250) as u8 + 1);
+        }
+        let total = destination.machine().stats.get(keys::NET_BYTES) - net0;
+        println!(
+            "{label:32} resume: {:>10}ns sim   before-resume: {:>8}B   total: {:>8}B",
+            migrated.report.resume_latency_ns, migrated.report.bytes_before_resume, total
+        );
+        source.resume();
+    }
+    println!("\ncopy-on-reference resumes orders of magnitude faster and moves\nonly the pages the task actually touches — Section 8.2's claim.");
+}

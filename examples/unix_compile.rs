@@ -1,0 +1,25 @@
+//! The Section 9 comparison: compile a project under mapped-file UNIX
+//! emulation (Mach) and under a traditional 10% buffer cache (the SunOS
+//! 3.2 stand-in), then print the warm-build speedup and I/O-op ratio.
+//!
+//! ```text
+//! cargo run --release --example unix_compile
+//! ```
+
+use machbench::compile;
+
+fn main() {
+    println!("synthetic compilation, 4 MB machine, warm and cold builds\n");
+    let outcomes = compile::run_default();
+    println!("{}", compile::table(&outcomes).render());
+    for o in &outcomes {
+        println!(
+            "{:28}  warm speedup {:4.2}x (paper ~2x)   warm I/O ratio {:6.1}x   total I/O ratio {:5.1}x (paper ~10x)",
+            o.label,
+            o.warm_speedup(),
+            o.warm_io_ratio(),
+            o.total_io_ratio()
+        );
+    }
+    println!("\nthe mechanism: Mach uses the bulk of physical memory as a file cache\n(file pages persist in the VM cache between opens), while the baseline\nsqueezes every byte through a fixed buffer pool plus kernel/user copies.");
+}

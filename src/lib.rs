@@ -1,0 +1,12 @@
+//! Reproduction of "The Duality of Memory and Communication" (Young et al., SOSP 1987).
+//!
+//! This facade re-exports the workspace crates; see README.md for the map.
+pub use machbench;
+pub use machcore;
+pub use machipc;
+pub use machnet;
+pub use machpagers;
+pub use machsim;
+pub use machstorage;
+pub use machunix;
+pub use machvm;

@@ -1,0 +1,174 @@
+//! Integration: both directions of the memory/communication duality.
+//!
+//! Memory implemented with communication: a page fault becomes a message
+//! to a user-level data manager and the data comes back in a message.
+//! Communication implemented with memory: a large message body moves as a
+//! copy-on-write mapping instead of bytes. This test exercises both on one
+//! kernel, across crate boundaries, with real threads on both sides.
+
+use machcore::{msg, spawn_manager, DataManager, Kernel, KernelConfig, KernelConn, Task};
+use machipc::{OolBuffer, ReceiveRight};
+use machsim::stats::keys;
+use machvm::VmProt;
+use std::sync::Arc;
+
+struct OffsetPager;
+
+impl DataManager for OffsetPager {
+    fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+        let data: Vec<u8> = (offset..offset + length).map(|i| (i / 4096) as u8).collect();
+        k.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
+    }
+}
+
+#[test]
+fn memory_is_communication_and_back() {
+    let kernel = Kernel::boot(KernelConfig::default());
+
+    // Direction 1: memory via messages. Map an external object and fault.
+    let consumer = Task::create(&kernel, "consumer");
+    let mgr = spawn_manager(kernel.machine(), "offsets", OffsetPager);
+    let mapped = consumer
+        .vm_allocate_with_pager(None, 8 * 4096, mgr.port(), 0)
+        .unwrap();
+    let msgs_before = kernel.machine().stats.get(keys::MSG_SENT);
+    let mut b = [0u8; 1];
+    consumer.read_memory(mapped + 5 * 4096, &mut b).unwrap();
+    assert_eq!(b[0], 5);
+    assert!(
+        kernel.machine().stats.get(keys::MSG_SENT) > msgs_before,
+        "the fault traveled as messages"
+    );
+
+    // Direction 2: messages via memory. Send the mapped region onward in
+    // a message as an out-of-line COW region.
+    let second = Task::create(&kernel, "second");
+    let (rx, tx) = ReceiveRight::allocate(kernel.machine());
+    let copied_before = kernel.machine().stats.get(keys::BYTES_COPIED);
+    msg::send_region(&consumer, &tx, 42, mapped, 8 * 4096, None).unwrap();
+    let mut m = rx.receive(None).unwrap();
+    let raddr = msg::map_received_region(&second, &mut m).unwrap();
+    let transfer_copied = kernel.machine().stats.get(keys::BYTES_COPIED) - copied_before;
+    assert!(transfer_copied < 4096, "transfer moved pages by mapping");
+    // The receiver's view is correct; untouched pages even fault through
+    // to the original external pager (the chain composes).
+    second.read_memory(raddr + 5 * 4096, &mut b).unwrap();
+    assert_eq!(b[0], 5);
+    second.read_memory(raddr + 7 * 4096, &mut b).unwrap();
+    assert_eq!(b[0], 7, "receiver faulted a page the sender never touched");
+}
+
+#[test]
+fn shared_cache_means_one_message_per_page_total() {
+    // N tasks mapping the same object pay the pager exactly once per page,
+    // no matter how many of them read it.
+    let kernel = Kernel::boot(KernelConfig::default());
+    let mgr = spawn_manager(kernel.machine(), "offsets", OffsetPager);
+    let pages = 8u64;
+    let mut tasks = Vec::new();
+    for i in 0..4 {
+        let t = Task::create(&kernel, &format!("t{i}"));
+        let addr = t
+            .vm_allocate_with_pager(None, pages * 4096, mgr.port(), 0)
+            .unwrap();
+        tasks.push((t, addr));
+    }
+    for (t, addr) in &tasks {
+        for p in 0..pages {
+            let mut b = [0u8; 1];
+            t.read_memory(addr + p * 4096, &mut b).unwrap();
+            assert_eq!(b[0], p as u8);
+        }
+    }
+    assert_eq!(
+        kernel.machine().stats.get(keys::VM_PAGER_FILLS),
+        pages,
+        "one fill per page, shared by all four tasks"
+    );
+}
+
+#[test]
+fn inheritance_and_external_objects_compose() {
+    // Fork a task that has an external mapping with Copy inheritance: the
+    // child gets a COW view backed ultimately by the pager.
+    let kernel = Kernel::boot(KernelConfig::default());
+    let mgr = spawn_manager(kernel.machine(), "offsets", OffsetPager);
+    let parent = Task::create(&kernel, "parent");
+    let addr = parent
+        .vm_allocate_with_pager(None, 4 * 4096, mgr.port(), 0)
+        .unwrap();
+    parent.write_memory(addr, &[0xAA]).unwrap();
+    let child = parent.fork("child");
+    // Child sees the parent's write (snapshot), then diverges.
+    let mut b = [0u8; 1];
+    child.read_memory(addr, &mut b).unwrap();
+    assert_eq!(b[0], 0xAA);
+    child.write_memory(addr, &[0xBB]).unwrap();
+    parent.read_memory(addr, &mut b).unwrap();
+    assert_eq!(b[0], 0xAA);
+    // An untouched page still faults through to the pager for the child.
+    child.read_memory(addr + 3 * 4096, &mut b).unwrap();
+    assert_eq!(b[0], 3);
+}
+
+#[test]
+fn whole_address_space_can_travel_in_one_message() {
+    // "A single message may transfer up to the entire address space of a
+    // task."
+    let kernel = Kernel::boot(KernelConfig {
+        memory_bytes: 32 << 20,
+        ..KernelConfig::default()
+    });
+    let sender = Task::create(&kernel, "sender");
+    let receiver = Task::create(&kernel, "receiver");
+    // Several regions; send them all in one message.
+    let a = sender.vm_allocate(4 * 4096).unwrap();
+    let b_addr = sender.vm_allocate(4 * 4096).unwrap();
+    sender.write_memory(a, b"region A").unwrap();
+    sender.write_memory(b_addr, b"region B").unwrap();
+    let (rx, tx) = ReceiveRight::allocate(kernel.machine());
+    let item_a = msg::region_item(&sender, a, 4 * 4096).unwrap();
+    let item_b = msg::region_item(&sender, b_addr, 4 * 4096).unwrap();
+    tx.send(
+        machipc::Message::new(1).with(item_a).with(item_b),
+        None,
+    )
+    .unwrap();
+    let mut m = rx.receive(None).unwrap();
+    // Map the first region; then remove it from the body and map the next.
+    let ra = msg::map_received_region(&receiver, &mut m).unwrap();
+    m.body.remove(0);
+    let rb = msg::map_received_region(&receiver, &mut m).unwrap();
+    let mut buf = [0u8; 8];
+    receiver.read_memory(ra, &mut buf).unwrap();
+    assert_eq!(&buf, b"region A");
+    receiver.read_memory(rb, &mut buf).unwrap();
+    assert_eq!(&buf, b"region B");
+}
+
+#[test]
+fn eviction_and_refault_through_default_pager_preserves_data() {
+    // Anonymous data squeezed out of a tiny memory and pulled back — the
+    // full default-pager loop under pressure, across all crates.
+    let kernel = Kernel::boot(KernelConfig {
+        memory_bytes: 12 * 4096,
+        reserve_pages: 4,
+        ..KernelConfig::default()
+    });
+    let t = Task::create(&kernel, "squeezed");
+    let pages = 64u64;
+    let addr = t.vm_allocate(pages * 4096).unwrap();
+    for i in 0..pages {
+        t.write_memory(addr + i * 4096, &[(i % 251) as u8]).unwrap();
+    }
+    let mut rng = machsim::SplitMix64::new(7);
+    let mut order: Vec<u64> = (0..pages).collect();
+    rng.shuffle(&mut order);
+    for &i in &order {
+        let mut b = [0u8; 1];
+        t.read_memory(addr + i * 4096, &mut b).unwrap();
+        assert_eq!(b[0], (i % 251) as u8, "page {i} preserved");
+    }
+    assert!(kernel.machine().stats.get(keys::VM_PAGEOUTS) > 0);
+    let _ = Arc::strong_count(&t);
+}
