@@ -25,8 +25,11 @@ fn bench_send_receive(c: &mut Criterion) {
             rx.set_backlog(64);
             let payload = OolBuffer::from_vec(vec![0u8; size]);
             b.iter(|| {
-                tx.send(Message::new(1).with(MsgItem::OutOfLine(payload.clone())), None)
-                    .unwrap();
+                tx.send(
+                    Message::new(1).with(MsgItem::OutOfLine(payload.clone())),
+                    None,
+                )
+                .unwrap();
                 rx.receive(None).unwrap()
             });
         });

@@ -50,9 +50,7 @@ fn bench_copy_paths(c: &mut Criterion) {
     c.bench_function("vm_read_64_pages", |b| {
         b.iter(|| t.vm_read(addr, 64 * 4096).unwrap())
     });
-    c.bench_function("fork_with_cow_regions", |b| {
-        b.iter(|| t.fork("child"))
-    });
+    c.bench_function("fork_with_cow_regions", |b| b.iter(|| t.fork("child")));
 }
 
 criterion_group!(benches, bench_allocate, bench_fault_paths, bench_copy_paths);

@@ -31,7 +31,14 @@ impl DataManager for AdvisoryPager {
         }
     }
 
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
         kernel.data_provided(
             object,
             offset,
@@ -58,7 +65,9 @@ pub fn cache_advice() -> CacheAdviceOutcome {
         let mgr = spawn_manager(
             k.machine(),
             "advisory",
-            AdvisoryPager { advise_cache: advise },
+            AdvisoryPager {
+                advise_cache: advise,
+            },
         );
         let pages = 16u64;
         // First mapping: fill everything, then unmap.
@@ -130,7 +139,10 @@ pub fn laundry_sweep_point(limit_pages: u64) -> LaundryPoint {
 
 /// Runs the A2 sweep.
 pub fn laundry_sweep() -> Vec<LaundryPoint> {
-    [4u64, 16, 64, 1024].iter().map(|&l| laundry_sweep_point(l)).collect()
+    [4u64, 16, 64, 1024]
+        .iter()
+        .map(|&l| laundry_sweep_point(l))
+        .collect()
 }
 
 /// Renders the ablation tables.

@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! cargo run -p machbench --bin report [--quick]
+//! cargo run -p machbench --bin report trace
 //! ```
 //!
 //! `--quick` skips the slowest sweeps (compilation, migration) for smoke
-//! testing; the full run backs EXPERIMENTS.md.
+//! testing; the full run backs EXPERIMENTS.md. `trace` instead prints the
+//! causal per-chain timeline and latency percentiles of an externally
+//! paged fault (the observability layer's debugging surface).
 
 use machbench::{
     ablation, camelot_bench, compile, cow_msg, failure, ipc_bench, migration, netshm_bench,
-    pageout, pager_rt, remote_cow, shared_array, topology_bench,
+    pageout, pager_rt, remote_cow, shared_array, topology_bench, trace_report,
 };
 
 fn main() {
+    if std::env::args().any(|a| a == "trace") {
+        print!("{}", trace_report::run());
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     println!("Mach duality reproduction — experiment report");
     println!("(simulated 1987 machine; see DESIGN.md for the experiment index)\n");
@@ -20,15 +27,30 @@ fn main() {
     println!("{}", ipc_bench::table(&ipc_bench::run_default()).render());
     println!("{}", ipc_bench::port_table().render());
     println!("{}", pager_rt::vm_table(&pager_rt::vm_ops()).render());
-    println!("{}", pager_rt::pager_table(&pager_rt::pager_round_trip()).render());
-    println!("{}", topology_bench::table(&topology_bench::run_default()).render());
+    println!(
+        "{}",
+        pager_rt::pager_table(&pager_rt::pager_round_trip()).render()
+    );
+    println!(
+        "{}",
+        topology_bench::table(&topology_bench::run_default()).render()
+    );
     println!("{}", cow_msg::table(&cow_msg::run_default()).render());
     println!("{}", remote_cow::table(&remote_cow::run_default()).render());
-    println!("{}", shared_array::table(&shared_array::run_default()).render());
+    println!(
+        "{}",
+        shared_array::table(&shared_array::run_default()).render()
+    );
     println!("{}", pageout::table(&pageout::run_default()).render());
     println!("{}", failure::table(&failure::run_default()).render());
-    println!("{}", netshm_bench::table(&netshm_bench::run_default()).render());
-    println!("{}", camelot_bench::table(&camelot_bench::run_default()).render());
+    println!(
+        "{}",
+        netshm_bench::table(&netshm_bench::run_default()).render()
+    );
+    println!(
+        "{}",
+        camelot_bench::table(&camelot_bench::run_default()).render()
+    );
     println!("{}", ablation::table().render());
 
     if quick {

@@ -113,8 +113,14 @@ pub fn table(o: &CamelotOutcome) -> Table {
         &["metric", "value"],
     );
     t.row(&["committed transactions".into(), o.transactions.to_string()]);
-    t.row(&["sim time per commit (log force)".into(), fmt_ns(o.ns_per_commit)]);
-    t.row(&["WAL forced before data pages".into(), o.forced_before_data.to_string()]);
+    t.row(&[
+        "sim time per commit (log force)".into(),
+        fmt_ns(o.ns_per_commit),
+    ]);
+    t.row(&[
+        "WAL forced before data pages".into(),
+        o.forced_before_data.to_string(),
+    ]);
     t.row(&["updates redone in recovery".into(), o.redone.to_string()]);
     t.row(&["updates undone in recovery".into(), o.undone.to_string()]);
     t.row(&[
@@ -136,7 +142,10 @@ mod tests {
     fn full_scenario_is_consistent() {
         let o = run_default();
         assert!(o.recovery_consistent, "{o:?}");
-        assert!(o.redone >= 1 + 2 * o.transactions as usize - 2, "redo count {o:?}");
+        assert!(
+            o.redone >= 1 + 2 * o.transactions as usize - 2,
+            "redo count {o:?}"
+        );
         assert!(o.undone >= 2, "undo count {o:?}");
         assert!(o.ns_per_commit > 0);
     }

@@ -142,7 +142,10 @@ pub fn table(outcomes: &[CompileOutcome]) -> Table {
             let (speedup, ratio) = if build == "warm" && system == "mach" {
                 (
                     fmt_ratio(o.base_warm.elapsed_ns as f64, o.mach_warm.elapsed_ns as f64),
-                    fmt_ratio(o.base_warm.disk_ops as f64, o.mach_warm.disk_ops.max(1) as f64),
+                    fmt_ratio(
+                        o.base_warm.disk_ops as f64,
+                        o.mach_warm.disk_ops.max(1) as f64,
+                    ),
                 )
             } else {
                 ("-".into(), "-".into())
@@ -173,7 +176,11 @@ mod tests {
         let s = o.warm_speedup();
         assert!(s >= 1.5, "speedup {s:.2} below paper's shape");
         // P2 direction: far fewer I/O operations.
-        assert!(o.warm_io_ratio() >= 5.0, "io ratio {:.1}", o.warm_io_ratio());
+        assert!(
+            o.warm_io_ratio() >= 5.0,
+            "io ratio {:.1}",
+            o.warm_io_ratio()
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn table(points: &[CowPoint]) -> Table {
         &["size", "recv writes", "inline (sim)", "COW (sim)", "winner"],
     );
     for p in points {
-        let winner = if p.cow_ns < p.inline_ns { "COW" } else { "copy" };
+        let winner = if p.cow_ns < p.inline_ns {
+            "COW"
+        } else {
+            "copy"
+        };
         t.row(&[
             format!("{}K", p.size / 1024),
             format!("{}%", p.write_percent),

@@ -9,7 +9,7 @@
 use crate::table::Table;
 use machcore::{spawn_manager, Kernel, KernelConfig, Task};
 
-use machpagers::{FsClient, FileServer};
+use machpagers::{FileServer, FsClient};
 use machsim::stats::keys;
 use machvm::{FaultPolicy, VmError};
 use std::sync::atomic::AtomicU64;

@@ -49,8 +49,11 @@ pub fn measure_ool(size: u64) -> MsgCost {
     let iters = 32u64;
     let t0 = ctx.clock.now_ns();
     for _ in 0..iters {
-        tx.send(Message::new(1).with(MsgItem::OutOfLine(payload.clone())), None)
-            .unwrap();
+        tx.send(
+            Message::new(1).with(MsgItem::OutOfLine(payload.clone())),
+            None,
+        )
+        .unwrap();
         rx.receive(None).unwrap();
     }
     MsgCost {
@@ -127,10 +130,7 @@ pub fn port_ops_checklist() -> Vec<(String, bool)> {
     let mut rows = Vec::new();
     let p = space.port_allocate();
     rows.push(("port_allocate".to_string(), true));
-    rows.push((
-        "port_enable".to_string(),
-        space.port_enable(p).is_ok(),
-    ));
+    rows.push(("port_enable".to_string(), space.port_enable(p).is_ok()));
     space.send(p, Message::new(9), None).unwrap();
     rows.push((
         "port_messages".to_string(),
@@ -138,12 +138,18 @@ pub fn port_ops_checklist() -> Vec<(String, bool)> {
     ));
     rows.push((
         "port_status".to_string(),
-        space.port_status(p).map(|s| s.num_msgs == 1).unwrap_or(false),
+        space
+            .port_status(p)
+            .map(|s| s.num_msgs == 1)
+            .unwrap_or(false),
     ));
     rows.push((
         "port_set_backlog".to_string(),
         space.port_set_backlog(p, 2).is_ok()
-            && space.port_status(p).map(|s| s.backlog == 2).unwrap_or(false),
+            && space
+                .port_status(p)
+                .map(|s| s.backlog == 2)
+                .unwrap_or(false),
     ));
     rows.push((
         "msg_receive (default group)".to_string(),

@@ -23,5 +23,6 @@ pub mod remote_cow;
 pub mod shared_array;
 pub mod table;
 pub mod topology_bench;
+pub mod trace_report;
 
 pub use table::Table;

@@ -38,10 +38,13 @@ pub fn measure(strategy: MigrationStrategy, pages: u64, touched_percent: u64) ->
     let ha = fabric.add_host("origin");
     let hb = fabric.add_host("destination");
     let ka = Kernel::boot_on(ha.machine().clone(), KernelConfig::default());
-    let kb = Kernel::boot_on(hb.machine().clone(), KernelConfig {
-        memory_bytes: 16 << 20,
-        ..KernelConfig::default()
-    });
+    let kb = Kernel::boot_on(
+        hb.machine().clone(),
+        KernelConfig {
+            memory_bytes: 16 << 20,
+            ..KernelConfig::default()
+        },
+    );
     let src = Task::create(&ka, "src");
     let addr = src.vm_allocate(pages * PAGE).unwrap();
     for i in 0..pages {
@@ -129,7 +132,11 @@ mod tests {
     #[test]
     fn cor_resumes_much_faster() {
         let eager = measure(MigrationStrategy::Eager, 64, 10);
-        let cor = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 10);
+        let cor = measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+            64,
+            10,
+        );
         assert!(cor.resume_ns * 10 < eager.resume_ns);
         assert!(cor.bytes_before_resume < PAGE);
     }
@@ -137,7 +144,11 @@ mod tests {
     #[test]
     fn sparse_touch_moves_fewer_bytes_total() {
         let eager = measure(MigrationStrategy::Eager, 64, 10);
-        let cor = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 10);
+        let cor = measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+            64,
+            10,
+        );
         assert!(
             cor.total_bytes < eager.total_bytes / 2,
             "cor {} vs eager {}",
@@ -148,8 +159,21 @@ mod tests {
 
     #[test]
     fn prefetch_cuts_fills() {
-        let plain = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 0 }, 64, 100);
-        let pre = measure(MigrationStrategy::CopyOnReference { prefetch_pages: 7 }, 64, 100);
-        assert!(pre.fills * 2 < plain.fills, "{} vs {}", pre.fills, plain.fills);
+        let plain = measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 0 },
+            64,
+            100,
+        );
+        let pre = measure(
+            MigrationStrategy::CopyOnReference { prefetch_pages: 7 },
+            64,
+            100,
+        );
+        assert!(
+            pre.fills * 2 < plain.fills,
+            "{} vs {}",
+            pre.fills,
+            plain.fills
+        );
     }
 }

@@ -71,8 +71,8 @@ pub fn measure(share_percent: u64, rounds: u64) -> ShmPoint {
         }
     }
     let (invalidations, demotions) = server.coherence_counters();
-    let net_messages = ha.machine().stats.get(keys::NET_MESSAGES)
-        + hb.machine().stats.get(keys::NET_MESSAGES);
+    let net_messages =
+        ha.machine().stats.get(keys::NET_MESSAGES) + hb.machine().stats.get(keys::NET_MESSAGES);
     ShmPoint {
         share_percent,
         rounds,
@@ -94,7 +94,13 @@ pub fn run_default() -> Vec<ShmPoint> {
 pub fn table(points: &[ShmPoint]) -> Table {
     let mut t = Table::new(
         "E6 — network shared memory: coherence traffic vs write sharing (Section 4.2)",
-        &["shared writes", "rounds", "invalidations", "demotions", "net messages"],
+        &[
+            "shared writes",
+            "rounds",
+            "invalidations",
+            "demotions",
+            "net messages",
+        ],
     );
     for p in points {
         t.row(&[

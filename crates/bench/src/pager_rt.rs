@@ -13,7 +13,6 @@ use machipc::OolBuffer;
 use machsim::stats::keys;
 use machvm::VmProt;
 
-
 /// One vm-operation cost measurement.
 #[derive(Clone, Debug)]
 pub struct VmOpCost {
@@ -108,7 +107,14 @@ pub struct PagerRoundTrip {
 struct InstantPager;
 
 impl DataManager for InstantPager {
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
         kernel.data_provided(
             object,
             offset,
@@ -151,10 +157,22 @@ pub fn pager_table(rt: &PagerRoundTrip) -> Table {
         "E4 — external pager protocol round trip (Tables 3-4/3-5/3-6)",
         &["metric", "value"],
     );
-    t.row(&["cold fault (request->provide->resume), sim".into(), fmt_ns(rt.cold_fault_ns)]);
-    t.row(&["warm access (cache hit), sim".into(), fmt_ns(rt.warm_access_ns)]);
-    t.row(&["messages per cold fault".into(), rt.cold_messages.to_string()]);
-    t.row(&["cold fault wall clock".into(), format!("{:.1}us", rt.wall_ns as f64 / 1000.0)]);
+    t.row(&[
+        "cold fault (request->provide->resume), sim".into(),
+        fmt_ns(rt.cold_fault_ns),
+    ]);
+    t.row(&[
+        "warm access (cache hit), sim".into(),
+        fmt_ns(rt.warm_access_ns),
+    ]);
+    t.row(&[
+        "messages per cold fault".into(),
+        rt.cold_messages.to_string(),
+    ]);
+    t.row(&[
+        "cold fault wall clock".into(),
+        format!("{:.1}us", rt.wall_ns as f64 / 1000.0),
+    ]);
     t
 }
 
@@ -167,7 +185,10 @@ mod tests {
         let costs = vm_ops();
         assert_eq!(costs.len(), 11);
         // Warm access must be far cheaper than the faulting first touch.
-        let first = costs.iter().find(|c| c.op.starts_with("first touch")).unwrap();
+        let first = costs
+            .iter()
+            .find(|c| c.op.starts_with("first touch"))
+            .unwrap();
         let warm = costs.iter().find(|c| c.op.starts_with("warm")).unwrap();
         assert!(warm.sim_ns * 2 < first.sim_ns);
     }

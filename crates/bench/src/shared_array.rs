@@ -37,7 +37,8 @@ pub fn measure(clients: usize, pages: u64) -> Vec<ClientCost> {
         let (addr, size) = ArrayService::attach(&t, service.port()).unwrap();
         let mut buf = vec![0u8; size as usize];
         t.read_memory(addr, &mut buf).unwrap();
-        assert_eq!(buf[7], 7 % 199);
+        assert_eq!(buf[7], 7); // the generator is i % 199
+
         out.push(ClientCost {
             index,
             messages: k.machine().stats.get(keys::MSG_SENT) - msgs0,

@@ -40,7 +40,14 @@ pub fn run_default() -> Vec<TopologyRow> {
 pub fn table(rows: &[TopologyRow]) -> Table {
     let mut t = Table::new(
         "E10 — multiprocessor classes (Section 7)",
-        &["class", "exemplar", "local", "remote", "ratio", "hw remote access"],
+        &[
+            "class",
+            "exemplar",
+            "local",
+            "remote",
+            "ratio",
+            "hw remote access",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -49,7 +56,12 @@ pub fn table(rows: &[TopologyRow]) -> Table {
             fmt_ns(r.local_ns),
             fmt_ns(r.remote_ns),
             format!("{}x", r.ratio),
-            if r.hardware_remote { "yes" } else { "no (messages)" }.to_string(),
+            if r.hardware_remote {
+                "yes"
+            } else {
+                "no (messages)"
+            }
+            .to_string(),
         ]);
     }
     t

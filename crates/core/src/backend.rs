@@ -58,6 +58,10 @@ impl LaundryState {
     }
 }
 
+/// Shared per-object termination hook (used by the default pager
+/// backend, which serves many objects through one port).
+type TerminateObjectHook = Box<dyn Fn(ObjectId) + Send>;
+
 /// Kernel-side connection to one data manager's memory object port.
 pub struct IpcPagerBackend {
     machine: Machine,
@@ -78,7 +82,7 @@ pub struct IpcPagerBackend {
     on_terminate: parking_lot::Mutex<Option<Box<dyn FnOnce() + Send>>>,
     /// Shared per-object termination hook (used by the default pager
     /// backend, which serves many objects through one port).
-    on_terminate_object: parking_lot::Mutex<Option<Box<dyn Fn(ObjectId) + Send>>>,
+    on_terminate_object: parking_lot::Mutex<Option<TerminateObjectHook>>,
     /// Label for diagnostics.
     label: String,
 }
@@ -184,9 +188,8 @@ impl PagerBackend for IpcPagerBackend {
         // PAGER_TERMINATE message so multi-object managers — the default
         // pager above all — can free that object's backing storage.
         self.machine.stats.incr("emm.objects_terminated");
-        self.manager.send_notification(
-            Message::new(proto::PAGER_TERMINATE).with(self.ids(&[object.0])),
-        );
+        self.manager
+            .send_notification(Message::new(proto::PAGER_TERMINATE).with(self.ids(&[object.0])));
         if let Some(hook) = self.on_terminate.lock().take() {
             hook();
         }
@@ -271,7 +274,11 @@ mod tests {
         }
         assert!(sink.0.lock().is_empty());
         // The next write diverts.
-        b.data_write(ObjectId(1), pages * 4096, OolBuffer::from_vec(vec![0; 4096]));
+        b.data_write(
+            ObjectId(1),
+            pages * 4096,
+            OolBuffer::from_vec(vec![0; 4096]),
+        );
         assert_eq!(sink.0.lock().len(), 1);
         assert_eq!(m.stats.get("vm.default_pager_takeovers"), 1);
         // The manager got exactly `pages` messages, not pages + 1.

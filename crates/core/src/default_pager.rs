@@ -44,7 +44,7 @@ impl DefaultPager {
     /// size.
     pub fn new(dev: Arc<BlockDevice>, page_size: usize) -> Self {
         assert!(
-            page_size % BLOCK_SIZE == 0 && page_size > 0,
+            page_size.is_multiple_of(BLOCK_SIZE) && page_size > 0,
             "system page size must be a positive multiple of the block size"
         );
         let blocks_per_page = page_size / BLOCK_SIZE;
@@ -68,7 +68,10 @@ impl DefaultPager {
         let mut data = vec![0u8; self.page_size];
         for i in 0..self.blocks_per_page {
             self.dev
-                .read_block(first_block + i, &mut data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE])
+                .read_block(
+                    first_block + i,
+                    &mut data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE],
+                )
                 .expect("paging partition read");
         }
         data
@@ -123,10 +126,7 @@ impl DataManager for DefaultPager {
                         // Paging partition full: data is dropped. A real
                         // system would panic or kill tasks; counting lets
                         // experiments observe it.
-                        kernel
-                            .machine()
-                            .stats
-                            .incr("default_pager.partition_full");
+                        kernel.machine().stats.incr("default_pager.partition_full");
                         written += ps;
                         continue;
                     };
@@ -171,7 +171,10 @@ mod tests {
     use std::time::Duration;
 
     fn u64s_of(msg: &Message) -> Vec<u64> {
-        msg.body.iter().find_map(|i| i.as_u64s()).unwrap_or_default()
+        msg.body
+            .iter()
+            .find_map(|i| i.as_u64s())
+            .unwrap_or_default()
     }
 
     #[test]

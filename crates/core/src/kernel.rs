@@ -175,8 +175,7 @@ impl Kernel {
                     },
                 );
                 dp_port.send_notification(
-                    Message::new(proto::PAGER_CREATE)
-                        .with(MsgItem::u64s(&[object.id().0])),
+                    Message::new(proto::PAGER_CREATE).with(MsgItem::u64s(&[object.id().0])),
                 );
             });
         }
@@ -269,10 +268,17 @@ impl Kernel {
             };
             match msg.id {
                 proto::PAGER_DATA_PROVIDED => {
-                    if let (Some(obj), Some(data)) = (
-                        object_of(ids[0]),
-                        msg.body.iter().find_map(|i| i.as_ool()),
-                    ) {
+                    if let (Some(obj), Some(data)) =
+                        (object_of(ids[0]), msg.body.iter().find_map(|i| i.as_ool()))
+                    {
+                        // The dequeue above adopted the message's
+                        // correlation id, so the supply (and the
+                        // `data_provided` event it emits) joins the
+                        // originating fault's chain.
+                        phys.machine().trace_event(
+                            "kernel.service",
+                            machsim::EventKind::Mark("kernel_supply"),
+                        );
                         let lock = VmProt(ids[2] as u8);
                         let _ = phys.supply_page(&obj, ids[1], data.as_slice(), lock);
                     }
@@ -350,7 +356,11 @@ impl Kernel {
 
     /// Looks up a registered memory object by kernel id.
     pub fn object_by_id(&self, id: ObjectId) -> Option<Arc<VmObject>> {
-        self.registry.lock().by_id.get(&id.0).map(|r| r.object.clone())
+        self.registry
+            .lock()
+            .by_id
+            .get(&id.0)
+            .map(|r| r.object.clone())
     }
 
     /// Resolves (or creates) the internal memory object for a memory
@@ -365,7 +375,8 @@ impl Kernel {
             return obj.clone();
         }
         // Request and name ports: the kernel holds receive rights on both.
-        let (request_name, request) = Self::register_request_port(&self.service_space, &self.machine);
+        let (request_name, request) =
+            Self::register_request_port(&self.service_space, &self.machine);
         let name_port_name = self.service_space.port_allocate();
         let name_send = self
             .service_space

@@ -72,25 +72,25 @@ impl KernelConn {
 
     /// `pager_data_lock`: restricts access to cached data.
     pub fn data_lock(&self, object: u64, offset: u64, length: u64, lock: VmProt) {
-        self.send(
-            Message::new(proto::PAGER_DATA_LOCK)
-                .with(MsgItem::u64s(&[object, offset, length, lock.0 as u64])),
-        );
+        self.send(Message::new(proto::PAGER_DATA_LOCK).with(MsgItem::u64s(&[
+            object,
+            offset,
+            length,
+            lock.0 as u64,
+        ])));
     }
 
     /// `pager_flush_request`: invalidates cached data.
     pub fn flush_request(&self, object: u64, offset: u64, length: u64) {
         self.send(
-            Message::new(proto::PAGER_FLUSH_REQUEST)
-                .with(MsgItem::u64s(&[object, offset, length])),
+            Message::new(proto::PAGER_FLUSH_REQUEST).with(MsgItem::u64s(&[object, offset, length])),
         );
     }
 
     /// `pager_clean_request`: forces cached data to be written back.
     pub fn clean_request(&self, object: u64, offset: u64, length: u64) {
         self.send(
-            Message::new(proto::PAGER_CLEAN_REQUEST)
-                .with(MsgItem::u64s(&[object, offset, length])),
+            Message::new(proto::PAGER_CLEAN_REQUEST).with(MsgItem::u64s(&[object, offset, length])),
         );
     }
 
@@ -98,8 +98,7 @@ impl KernelConn {
     /// reference is gone.
     pub fn cache(&self, object: u64, may_cache: bool) {
         self.send(
-            Message::new(proto::PAGER_CACHE)
-                .with(MsgItem::u64s(&[object, may_cache as u64])),
+            Message::new(proto::PAGER_CACHE).with(MsgItem::u64s(&[object, may_cache as u64])),
         );
     }
 
@@ -114,10 +113,7 @@ impl KernelConn {
     /// Tells the kernel the manager has secured written-back data (the
     /// `vm_deallocate` the protocol expects after `pager_data_write`).
     pub fn release_laundry(&self, object: u64, bytes: u64) {
-        self.send(
-            Message::new(proto::PAGER_RELEASE_LAUNDRY)
-                .with(MsgItem::u64s(&[object, bytes])),
-        );
+        self.send(Message::new(proto::PAGER_RELEASE_LAUNDRY).with(MsgItem::u64s(&[object, bytes])));
     }
 
     /// The machine (host) the manager runs on.
@@ -139,7 +135,14 @@ pub trait DataManager: Send + 'static {
     }
 
     /// `pager_data_request`: the kernel needs data.
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, access: VmProt);
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        access: VmProt,
+    );
 
     /// `pager_data_write`: the kernel is cleaning dirty pages.
     ///
@@ -151,7 +154,14 @@ pub trait DataManager: Send + 'static {
     }
 
     /// `pager_data_unlock`: the kernel wants more access to locked data.
-    fn data_unlock(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, access: VmProt) {
+    fn data_unlock(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        access: VmProt,
+    ) {
         let _ = (kernel, object, offset, length, access);
     }
 
@@ -234,6 +244,7 @@ fn u64s_of(msg: &Message) -> Vec<u64> {
 /// Runs one dispatch step; returns `false` on shutdown.
 fn dispatch<M: DataManager>(
     machine: &Machine,
+    label: &str,
     self_port: &SendRight,
     mgr: &mut M,
     mut msg: Message,
@@ -262,6 +273,10 @@ fn dispatch<M: DataManager>(
         proto::PAGER_DATA_REQUEST => {
             let mut rights = rights_of(&mut msg);
             if !rights.is_empty() {
+                // The service thread adopted the fault's correlation id
+                // when it dequeued this message, so the event (and any
+                // disk reads the manager performs) lands in the chain.
+                machine.trace_event(&format!("pager.{label}"), machsim::EventKind::DataRequest);
                 let conn = KernelConn::new(machine, rights.remove(0));
                 mgr.data_request(&conn, ids[0], ids[1], ids[2], VmProt(ids[3] as u8));
             }
@@ -308,7 +323,7 @@ pub fn spawn_manager<M: DataManager>(machine: &Machine, label: &str, mut mgr: M)
         .spawn(move || loop {
             match rx.receive(None) {
                 Ok(msg) => {
-                    if !dispatch(&machine, &self_port, &mut mgr, msg) {
+                    if !dispatch(&machine, &label, &self_port, &mut mgr, msg) {
                         break;
                     }
                 }
@@ -366,7 +381,14 @@ mod tests {
     fn manager_answers_data_requests() {
         let m = Machine::default_machine();
         let log = Arc::new(Mutex::new(Vec::new()));
-        let handle = spawn_manager(&m, "const", ConstPager { fill: 7, log: log.clone() });
+        let handle = spawn_manager(
+            &m,
+            "const",
+            ConstPager {
+                fill: 7,
+                log: log.clone(),
+            },
+        );
         // Fake the kernel side: a request port we receive on.
         let (req_rx, req_tx) = ReceiveRight::allocate(&m);
         handle.port().send_notification(
@@ -393,7 +415,14 @@ mod tests {
     fn manager_observes_kernel_detach() {
         let m = Machine::default_machine();
         let log = Arc::new(Mutex::new(Vec::new()));
-        let handle = spawn_manager(&m, "const", ConstPager { fill: 0, log: log.clone() });
+        let handle = spawn_manager(
+            &m,
+            "const",
+            ConstPager {
+                fill: 0,
+                log: log.clone(),
+            },
+        );
         {
             let (req_rx, req_tx) = ReceiveRight::allocate(&m);
             handle.port().send_notification(

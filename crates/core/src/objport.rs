@@ -79,6 +79,11 @@ impl TaskPort {
             .name(format!("task-port-{}", task.name()))
             .spawn(move || loop {
                 let Ok(msg) = rx.receive(None) else { break };
+                // Annotate the kernel-object hop; the receive adopted the
+                // caller's correlation id, so remote task operations show
+                // up inside the caller's chain.
+                task.machine()
+                    .trace_event("kernel.objport", machsim::EventKind::Mark("task_request"));
                 match msg.id {
                     TASK_SUSPEND => {
                         task.suspend();
@@ -106,17 +111,15 @@ impl TaskPort {
                     TASK_VM_ALLOCATE => {
                         let args = ids(&msg);
                         match args.first().map(|&size| task.vm_allocate(size)) {
-                            Some(Ok(addr)) => reply_to(
-                                &msg,
-                                Message::new(TASK_OK).with(MsgItem::u64s(&[addr])),
-                            ),
+                            Some(Ok(addr)) => {
+                                reply_to(&msg, Message::new(TASK_OK).with(MsgItem::u64s(&[addr])))
+                            }
                             _ => reply_to(&msg, Message::new(TASK_ERR)),
                         }
                     }
                     TASK_VM_DEALLOCATE => {
                         let args = ids(&msg);
-                        let ok = args.len() >= 2
-                            && task.vm_deallocate(args[0], args[1]).is_ok();
+                        let ok = args.len() >= 2 && task.vm_deallocate(args[0], args[1]).is_ok();
                         reply_to(&msg, Message::new(if ok { TASK_OK } else { TASK_ERR }));
                     }
                     TASK_VM_READ => {

@@ -238,6 +238,14 @@ pub struct Message {
     pub reply: Option<SendRight>,
     /// Typed data items.
     pub body: Vec<MsgItem>,
+    /// Causal-chain id this message belongs to (0 = none). Stamped from
+    /// the sending thread's trace context at enqueue time if unset, and
+    /// adopted by the receiving thread at dequeue time, so a correlation
+    /// id allocated at fault time survives every IPC (and network) hop.
+    pub correlation: u64,
+    /// Simulated send timestamp on the sender's clock (0 = unset), used
+    /// to record the `ipc.send_to_receive` latency histogram.
+    pub sent_at_ns: u64,
 }
 
 impl Message {
@@ -247,6 +255,8 @@ impl Message {
             id,
             reply: None,
             body: Vec::new(),
+            correlation: 0,
+            sent_at_ns: 0,
         }
     }
 

@@ -351,7 +351,10 @@ mod tests {
         let tx = s.send_right(p).unwrap();
         s.port_deallocate(p).unwrap();
         assert!(!tx.is_alive());
-        assert_eq!(s.send(p, Message::new(0), None).unwrap_err(), IpcError::InvalidName);
+        assert_eq!(
+            s.send(p, Message::new(0), None).unwrap_err(),
+            IpcError::InvalidName
+        );
     }
 
     #[test]
@@ -361,7 +364,10 @@ mod tests {
             s.port_status(PortName(999)).unwrap_err(),
             IpcError::InvalidName
         );
-        assert_eq!(s.port_deallocate(PortName(999)).unwrap_err(), IpcError::InvalidName);
+        assert_eq!(
+            s.port_deallocate(PortName(999)).unwrap_err(),
+            IpcError::InvalidName
+        );
     }
 
     #[test]
@@ -369,7 +375,8 @@ mod tests {
         let s = space();
         let _p = s.port_allocate();
         assert_eq!(
-            s.receive_default(Some(Duration::from_millis(5))).unwrap_err(),
+            s.receive_default(Some(Duration::from_millis(5)))
+                .unwrap_err(),
             IpcError::NothingEnabled
         );
     }
@@ -410,7 +417,8 @@ mod tests {
         s.port_disable(a).unwrap();
         s.send(a, Message::new(1), None).unwrap();
         assert_eq!(
-            s.receive_default(Some(Duration::from_millis(5))).unwrap_err(),
+            s.receive_default(Some(Duration::from_millis(5)))
+                .unwrap_err(),
             IpcError::NothingEnabled
         );
         // The message is still there for a directed receive.

@@ -195,7 +195,9 @@ impl Fabric {
         let host = Arc::new(Host {
             id: HostId(inner.hosts.len()),
             name: name.to_string(),
-            machine: Machine::new(cost),
+            // Name the machine after the host so trace events say which
+            // side of the fabric they happened on.
+            machine: Machine::named(cost, name),
         });
         inner.hosts.push(host.clone());
         host
@@ -231,12 +233,18 @@ impl Fabric {
         a == b || !self.inner.lock().partitions.contains(&pair(a, b))
     }
 
-    fn charge_transfer(&self, from: &Host, to: &Host, bytes: u64) {
-        for end in [from, to] {
+    fn charge_transfer(&self, from: &Host, to: &Host, bytes: u64, correlation: u64) {
+        let cid = machsim::CorrelationId::from_raw(correlation)
+            .or_else(machsim::trace::current_correlation);
+        for (end, kind) in [
+            (from, machsim::EventKind::NetSend),
+            (to, machsim::EventKind::NetRecv),
+        ] {
             let m = end.machine();
             m.clock.charge(m.cost.net_op_ns(bytes));
             m.stats.incr(keys::NET_MESSAGES);
             m.stats.add(keys::NET_BYTES, bytes);
+            m.trace_event_with("net.fabric", kind, cid);
         }
     }
 
@@ -258,7 +266,7 @@ impl Fabric {
         // Out-of-line data crosses the wire: it is physically transmitted,
         // unlike the local case where it is remapped.
         let bytes = (msg.inline_len() + msg.ool_len()) as u64;
-        self.charge_transfer(from, to, bytes);
+        self.charge_transfer(from, to, bytes, msg.correlation);
         // Rights in the message now live on `to`'s side of the network:
         // rewrite them so replies cross back through the fabric.
         let mut msg = msg;
@@ -281,10 +289,10 @@ impl Fabric {
             return Err(NetError::Partitioned);
         }
         let bytes = (msg.inline_len() + msg.ool_len()) as u64;
-        self.charge_transfer(from, to, bytes);
+        self.charge_transfer(from, to, bytes, msg.correlation);
         let mut reply = port.rpc(msg, timeout, timeout)?;
         let reply_bytes = (reply.inline_len() + reply.ool_len()) as u64;
-        self.charge_transfer(to, from, reply_bytes);
+        self.charge_transfer(to, from, reply_bytes, reply.correlation);
         self.rewrite_rights(from, to, &mut reply);
         Ok(reply)
     }
@@ -396,12 +404,14 @@ impl RemotePort {
 
     /// Sends a one-way message.
     pub fn send(&self, msg: Message, timeout: Option<Duration>) -> Result<(), NetError> {
-        self.fabric.send(&self.from, &self.to, &self.port, msg, timeout)
+        self.fabric
+            .send(&self.from, &self.to, &self.port, msg, timeout)
     }
 
     /// Remote procedure call.
     pub fn rpc(&self, msg: Message, timeout: Option<Duration>) -> Result<Message, NetError> {
-        self.fabric.rpc(&self.from, &self.to, &self.port, msg, timeout)
+        self.fabric
+            .rpc(&self.from, &self.to, &self.port, msg, timeout)
     }
 
     /// The underlying send right.
@@ -441,7 +451,13 @@ mod tests {
         let (fabric, a, b) = two_hosts();
         let (rx, tx) = ReceiveRight::allocate(b.machine());
         fabric
-            .send(&a, &b, &tx, Message::new(1).with(MsgItem::bytes(vec![0; 100])), None)
+            .send(
+                &a,
+                &b,
+                &tx,
+                Message::new(1).with(MsgItem::bytes(vec![0; 100])),
+                None,
+            )
             .unwrap();
         assert_eq!(rx.receive(None).unwrap().id, 1);
         for host in [&a, &b] {
@@ -458,9 +474,7 @@ mod tests {
         let (_rx, tx) = ReceiveRight::allocate(b.machine());
         fabric.set_partitioned(a.id(), b.id(), true);
         assert!(!fabric.connected(a.id(), b.id()));
-        let err = fabric
-            .send(&a, &b, &tx, Message::new(1), None)
-            .unwrap_err();
+        let err = fabric.send(&a, &b, &tx, Message::new(1), None).unwrap_err();
         assert_eq!(err, NetError::Partitioned);
         // Healing restores delivery.
         fabric.set_partitioned(a.id(), b.id(), false);
@@ -550,7 +564,13 @@ mod tests {
         let (_rx, tx) = ReceiveRight::allocate(b.machine());
         let ool = machipc::OolBuffer::from_vec(vec![0u8; 8192]);
         fabric
-            .send(&a, &b, &tx, Message::new(1).with(MsgItem::OutOfLine(ool)), None)
+            .send(
+                &a,
+                &b,
+                &tx,
+                Message::new(1).with(MsgItem::OutOfLine(ool)),
+                None,
+            )
             .unwrap();
         assert_eq!(a.machine().stats.get(keys::NET_BYTES), 8192);
     }

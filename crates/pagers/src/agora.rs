@@ -334,7 +334,10 @@ impl Agent {
                 Ok(())
             }
             Agent::Remote { port, .. } => {
-                Self::rpc(port, Message::new(BB_EVALUATE).with(MsgItem::u64s(&[slot, score])))?;
+                Self::rpc(
+                    port,
+                    Message::new(BB_EVALUATE).with(MsgItem::u64s(&[slot, score])),
+                )?;
                 Ok(())
             }
         }

@@ -53,7 +53,9 @@ impl DataManager for ArrayPager {
     ) {
         let data: Vec<u8> = match self.written.get(&offset) {
             Some(page) if page.len() as u64 == length => page.clone(),
-            _ => (offset..offset + length).map(|i| (self.generator)(i)).collect(),
+            _ => (offset..offset + length)
+                .map(|i| (self.generator)(i))
+                .collect(),
         };
         kernel.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
     }

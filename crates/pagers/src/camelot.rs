@@ -98,7 +98,10 @@ impl DiskManagerState {
             .collect();
         for rec in &records {
             if let LogRecord::Update {
-                txid, offset, after, ..
+                txid,
+                offset,
+                after,
+                ..
             } = rec
             {
                 if committed.contains(txid) {
@@ -555,11 +558,8 @@ mod tests {
         // kernel: here we just touch enough memory to force pageout).
         // Simpler: deallocate the mapping, which cleans dirty pages.
         drop(client);
-        task.vm_deallocate(
-            task.vm_regions()[0].start,
-            task.vm_regions()[0].size,
-        )
-        .unwrap();
+        task.vm_deallocate(task.vm_regions()[0].start, task.vm_regions()[0].size)
+            .unwrap();
         // The pager received the dirty page and forced the log first.
         for _ in 0..100 {
             if server.forced_before_data() > 0 {
@@ -626,11 +626,18 @@ mod tests {
         // Evictions happened on the small kernel; none used its default
         // pager's partition.
         assert!(
-            small_kernel.machine().stats.get(machsim::stats::keys::VM_PAGEOUTS) > 0,
+            small_kernel
+                .machine()
+                .stats
+                .get(machsim::stats::keys::VM_PAGEOUTS)
+                > 0,
             "camelot pages were evicted"
         );
         assert_eq!(
-            small_kernel.machine().stats.get("default_pager.partition_full"),
+            small_kernel
+                .machine()
+                .stats
+                .get("default_pager.partition_full"),
             0
         );
         assert_eq!(

@@ -16,7 +16,7 @@
 
 use machcore::{spawn_manager, DataManager, KernelConn, ManagerHandle, Task};
 use machipc::{IpcError, Message, MsgItem, OolBuffer, ReceiveRight, SendRight};
-use machsim::Machine;
+use machsim::{EventKind, Machine};
 use machstorage::FlatFs;
 use machvm::{VmError, VmProt};
 use parking_lot::Mutex;
@@ -79,13 +79,23 @@ impl DataManager for FilePager {
         let size = self.fs.size(&self.name).unwrap_or(0) as u64;
         if offset >= size {
             // Beyond EOF: zero-filled.
+            kernel
+                .machine()
+                .trace_event("pager.fs", EventKind::Mark("fs_eof_unavailable"));
             kernel.data_unavailable(object, offset, length);
             return;
         }
         // Read whole pages; the tail past EOF is zero-padded.
+        kernel
+            .machine()
+            .trace_event("pager.fs", EventKind::Mark("fs_file_read"));
         let mut data = vec![0u8; length as usize];
         let n = ((size - offset) as usize).min(length as usize);
-        if self.fs.read(&self.name, offset as usize, &mut data[..n]).is_err() {
+        if self
+            .fs
+            .read(&self.name, offset as usize, &mut data[..n])
+            .is_err()
+        {
             kernel.data_unavailable(object, offset, length);
             return;
         }
@@ -133,10 +143,7 @@ struct ServerState {
 
 impl ServerState {
     fn pager_for(&mut self, name: &str) -> Result<(SendRight, u64), String> {
-        let size = self
-            .fs
-            .size(name)
-            .map_err(|e| e.to_string())? as u64;
+        let size = self.fs.size(name).map_err(|e| e.to_string())? as u64;
         if let Some((handle, state)) = self.pagers.get(name) {
             return Ok((handle.port().clone(), state.lock().size.max(size)));
         }
@@ -225,15 +232,13 @@ impl FileServer {
                         }
                         reply_to(&msg, Message::new(FS_OK));
                     }
-                    FS_STAT => {
-                        match name_of(&msg).and_then(|n| state.fs.size(&n).ok()) {
-                            Some(size) => reply_to(
-                                &msg,
-                                Message::new(FS_OK).with(MsgItem::u64s(&[size as u64])),
-                            ),
-                            None => reply_to(&msg, Message::new(FS_ERR)),
-                        }
-                    }
+                    FS_STAT => match name_of(&msg).and_then(|n| state.fs.size(&n).ok()) {
+                        Some(size) => reply_to(
+                            &msg,
+                            Message::new(FS_OK).with(MsgItem::u64s(&[size as u64])),
+                        ),
+                        None => reply_to(&msg, Message::new(FS_ERR)),
+                    },
                     FS_SHUTDOWN => break,
                     _ => reply_to(&msg, Message::new(FS_ERR)),
                 }
@@ -320,9 +325,11 @@ impl FsClient {
     }
 
     fn rpc(&self, msg: Message) -> Result<Message, FsClientError> {
-        let reply = self
-            .server
-            .rpc(msg, Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))?;
+        let reply = self.server.rpc(
+            msg,
+            Some(Duration::from_secs(10)),
+            Some(Duration::from_secs(10)),
+        )?;
         if reply.id == FS_OK {
             Ok(reply)
         } else {
@@ -354,8 +361,8 @@ impl FsClient {
     /// Maps the file shared read/write into `task` (writes flow back to
     /// the file via `pager_data_write`); returns `(address, size)`.
     pub fn open_mapped(&self, task: &Task, name: &str) -> Result<(u64, u64), FsClientError> {
-        let reply = self
-            .rpc(Message::new(FS_OPEN_MAPPED).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        let reply =
+            self.rpc(Message::new(FS_OPEN_MAPPED).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
         let size = reply.body[0].as_u64s().ok_or(FsClientError::Server)?[0];
         let MsgItem::SendRights(rights) = &reply.body[1] else {
             return Err(FsClientError::Server);
@@ -383,7 +390,8 @@ impl FsClient {
 
     /// Returns the file's current size.
     pub fn stat(&self, name: &str) -> Result<u64, FsClientError> {
-        let reply = self.rpc(Message::new(FS_STAT).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
+        let reply =
+            self.rpc(Message::new(FS_STAT).with(MsgItem::bytes(name.as_bytes().to_vec())))?;
         Ok(reply.body[0].as_u64s().ok_or(FsClientError::Server)?[0])
     }
 }
@@ -407,7 +415,10 @@ mod tests {
     fn read_whole_file_through_mapping() {
         let (k, server, client) = setup();
         server.fs().create("hello.txt").unwrap();
-        server.fs().write("hello.txt", 0, b"hello mapped world").unwrap();
+        server
+            .fs()
+            .write("hello.txt", 0, b"hello mapped world")
+            .unwrap();
         let task = Task::create(&k, "app");
         let (addr, size) = client.read_file(&task, "hello.txt").unwrap();
         assert_eq!(size, 18);

@@ -18,6 +18,7 @@
 
 use machcore::{DataManager, KernelConn};
 use machipc::OolBuffer;
+use machsim::EventKind;
 use machvm::VmProt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,7 +32,11 @@ pub struct SilentPager {
 }
 
 impl DataManager for SilentPager {
-    fn data_request(&mut self, _k: &KernelConn, _o: u64, _off: u64, _l: u64, _a: VmProt) {
+    fn data_request(&mut self, k: &KernelConn, _o: u64, _off: u64, _l: u64, _a: VmProt) {
+        // Leave a trace marker so a hung fault chain shows *where* the
+        // request went to die instead of just never resuming.
+        k.machine()
+            .trace_event("pager.hostile", EventKind::Mark("request_swallowed"));
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -49,7 +54,17 @@ pub struct SlowPager {
 }
 
 impl DataManager for SlowPager {
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
+        kernel
+            .machine()
+            .trace_event("pager.hostile", EventKind::Mark("slow_response"));
         std::thread::sleep(self.delay);
         kernel.data_provided(
             object,
@@ -68,7 +83,14 @@ pub struct HoarderPager {
 }
 
 impl DataManager for HoarderPager {
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
         kernel.data_provided(
             object,
             offset,
@@ -93,7 +115,14 @@ pub struct ChangingPager {
 }
 
 impl DataManager for ChangingPager {
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
         self.counter += 1;
         kernel.data_provided(
             object,
@@ -111,7 +140,14 @@ pub struct FloodPager {
 }
 
 impl DataManager for FloodPager {
-    fn data_request(&mut self, kernel: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+    fn data_request(
+        &mut self,
+        kernel: &KernelConn,
+        object: u64,
+        offset: u64,
+        length: u64,
+        _a: VmProt,
+    ) {
         let burst = length * self.burst_pages;
         kernel.data_provided(
             object,
@@ -275,8 +311,7 @@ mod tests {
         // One fault, eight pages resident: detectable cache pressure.
         std::thread::sleep(Duration::from_millis(100));
         assert!(
-            k.machine().stats.get(keys::VM_PAGER_FILLS) == 1
-                && k.phys().resident_pages() >= 8,
+            k.machine().stats.get(keys::VM_PAGER_FILLS) == 1 && k.phys().resident_pages() >= 8,
             "flood visible: {} resident",
             k.phys().resident_pages()
         );

@@ -18,7 +18,7 @@
 //!   manager may provide some data in advance for tasks with predictable
 //!   access patterns".
 
-use machcore::{spawn_manager, DataManager, KernelConn, Kernel, ManagerHandle, Task};
+use machcore::{spawn_manager, DataManager, Kernel, KernelConn, ManagerHandle, Task};
 use machipc::OolBuffer;
 use machnet::{Fabric, Host};
 use machsim::stats::keys;
@@ -196,11 +196,9 @@ mod tests {
     use super::*;
     use machcore::KernelConfig;
 
-    fn setup() -> (
-        Arc<Fabric>,
-        (Arc<Host>, Arc<Kernel>),
-        (Arc<Host>, Arc<Kernel>),
-    ) {
+    type HostKernel = (Arc<Host>, Arc<Kernel>);
+
+    fn setup() -> (Arc<Fabric>, HostKernel, HostKernel) {
         let fabric = Fabric::new();
         let ha = fabric.add_host("origin");
         let hb = fabric.add_host("destination");
@@ -224,7 +222,15 @@ mod tests {
         let (src, addr) = make_source(&ka, 16);
         let mm = MigrationManager::new(&fabric);
         let migrated = mm
-            .migrate_region(&src, &ha, addr, 16 * PAGE, &kb, &hb, MigrationStrategy::Eager)
+            .migrate_region(
+                &src,
+                &ha,
+                addr,
+                16 * PAGE,
+                &kb,
+                &hb,
+                MigrationStrategy::Eager,
+            )
             .unwrap();
         assert_eq!(migrated.report.bytes_before_resume, 16 * PAGE);
         let mut b = [0u8; 1];
@@ -266,7 +272,7 @@ mod tests {
         }
         let moved = hb.machine().stats.get(keys::NET_BYTES) - net0;
         // 3 demand pages (plus protocol crossings via the proxy).
-        assert!(moved >= 3 * PAGE && moved < 6 * PAGE, "moved {moved}");
+        assert!((3 * PAGE..6 * PAGE).contains(&moved), "moved {moved}");
     }
 
     #[test]
@@ -275,7 +281,15 @@ mod tests {
         let (src, addr) = make_source(&ka, 64);
         let mm = MigrationManager::new(&fabric);
         let eager = mm
-            .migrate_region(&src, &ha, addr, 64 * PAGE, &kb, &hb, MigrationStrategy::Eager)
+            .migrate_region(
+                &src,
+                &ha,
+                addr,
+                64 * PAGE,
+                &kb,
+                &hb,
+                MigrationStrategy::Eager,
+            )
             .unwrap();
         src.resume();
         let (src2, addr2) = make_source(&ka, 64);

@@ -189,6 +189,16 @@ impl DataManager for ShmManager {
         else {
             return;
         };
+        // Distinguish ownership grants from plain read service in the
+        // fault chain (coherence bugs look identical without this).
+        kernel.machine().trace_event(
+            "pager.netshm",
+            machsim::EventKind::Mark(if access.allows(VmProt::WRITE) {
+                "shm_grant_write"
+            } else {
+                "shm_serve_read"
+            }),
+        );
         let mut page = offset - offset % PAGE;
         let end = offset + length;
         while page < end {
@@ -328,18 +338,12 @@ impl SharedMemoryServer {
     ///
     /// Remote clients reach the memory object through a network message
     /// server proxy, so all pager traffic is charged as network traffic.
-    pub fn attach(
-        &self,
-        task: &Task,
-        client_host: &Arc<Host>,
-    ) -> Result<u64, VmError> {
+    pub fn attach(&self, task: &Task, client_host: &Arc<Host>) -> Result<u64, VmError> {
         let port = self.handle.port().clone();
         let port = if client_host.id() == self.server_host.id() {
             port
         } else {
-            let proxy = self
-                .fabric
-                .proxy(client_host, &self.server_host, port);
+            let proxy = self.fabric.proxy(client_host, &self.server_host, port);
             let p = proxy.port().clone();
             self.proxies.lock().push(proxy);
             p
@@ -374,7 +378,6 @@ impl SharedMemoryServer {
         st.data[offset as usize..offset as usize + len].to_vec()
     }
 }
-
 
 /// RPC: look up (or create) a shared region by name; the reply carries
 /// the memory object port — "the shared memory server finds the memory
@@ -458,9 +461,9 @@ impl ShmDirectory {
                                     reply(
                                         machipc::Message::new(SHM_OK)
                                             .with(machipc::MsgItem::u64s(&[region.size()]))
-                                            .with(machipc::MsgItem::SendRights(vec![
-                                                region.port().clone(),
-                                            ])),
+                                            .with(machipc::MsgItem::SendRights(vec![region
+                                                .port()
+                                                .clone()])),
                                     );
                                 }
                                 _ => reply(machipc::Message::new(SHM_ERR)),
@@ -550,13 +553,16 @@ mod tests {
     use machsim::stats::keys;
     use std::time::Duration;
 
+    /// One booted client host of the two-host rig.
+    type Client = (Arc<Host>, Arc<Kernel>, Arc<Task>);
+
     /// Two kernels on two fabric hosts sharing one region.
     fn setup(
         size: u64,
     ) -> (
         Arc<Fabric>,
-        (Arc<Host>, Arc<Kernel>, Arc<Task>),
-        (Arc<Host>, Arc<Kernel>, Arc<Task>),
+        Client,
+        Client,
         Arc<SharedMemoryServer>,
         (u64, u64),
     ) {
@@ -648,7 +654,10 @@ mod tests {
         ta.write_memory(aa, &[1]).unwrap();
         tb.write_memory(ab + PAGE, &[2]).unwrap();
         let (inv, _) = server.coherence_counters();
-        assert_eq!(inv, 0, "writes to different pages cause no coherence traffic");
+        assert_eq!(
+            inv, 0,
+            "writes to different pages cause no coherence traffic"
+        );
     }
 
     /// Builds a single-kernel, single-client setup with a given policy.
@@ -702,7 +711,7 @@ mod tests {
         // B shows up: A is revoked (demoted), B sees the data.
         assert!(eventually(|| {
             let mut bb = [0u8; 1];
-            tb.read_memory(ab + 0, &mut bb).is_ok() && bb[0] == 0x77
+            tb.read_memory(ab, &mut bb).is_ok() && bb[0] == 0x77
         }));
         let (_inv, dem) = server.coherence_counters();
         assert!(dem >= 1, "optimistic writer was demoted");
@@ -730,9 +739,7 @@ mod tests {
             .collect();
         // Each client writes in turn; all three must observe each value.
         for (round, writer) in [(1u8, 0usize), (2, 1), (3, 2)] {
-            tasks[writer]
-                .write_memory(addrs[writer], &[round])
-                .unwrap();
+            tasks[writer].write_memory(addrs[writer], &[round]).unwrap();
             for (t, &a) in tasks.iter().zip(addrs.iter()) {
                 assert!(
                     eventually(|| {

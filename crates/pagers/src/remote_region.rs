@@ -61,7 +61,11 @@ pub fn send_copy_on_reference(
     // would write-protect and serve lazily; the cost model is identical
     // because the sender's pages were resident either way).
     let snapshot = Arc::new(task.vm_read(address, size)?);
-    let pager = spawn_manager(from.machine(), "remote-region", SnapshotPager { data: snapshot });
+    let pager = spawn_manager(
+        from.machine(),
+        "remote-region",
+        SnapshotPager { data: snapshot },
+    );
     let msg = Message::new(REMOTE_REGION)
         .with(MsgItem::u64s(&[size]))
         .with(MsgItem::SendRights(vec![pager.port().clone()]));
@@ -118,13 +122,12 @@ pub fn copy_in_eager(task: &Task, msg: &Message) -> Result<(u64, u64), VmError> 
     Ok((addr, size))
 }
 
+/// One booted host of the two-host test rig.
+pub type HostKernel = (Arc<Host>, Arc<Kernel>);
+
 /// Convenience: a two-host test rig.
 #[doc(hidden)]
-pub fn two_hosts() -> (
-    Arc<Fabric>,
-    (Arc<Host>, Arc<Kernel>),
-    (Arc<Host>, Arc<Kernel>),
-) {
+pub fn two_hosts() -> (Arc<Fabric>, HostKernel, HostKernel) {
     let fabric = Fabric::new();
     let ha = fabric.add_host("sender");
     let hb = fabric.add_host("receiver");
@@ -147,12 +150,14 @@ mod tests {
         let pages = 32u64;
         let addr = sender.vm_allocate(pages * PAGE).unwrap();
         for i in 0..pages {
-            sender.write_memory(addr + i * PAGE, &[i as u8 + 1]).unwrap();
+            sender
+                .write_memory(addr + i * PAGE, &[i as u8 + 1])
+                .unwrap();
         }
         let (rx, tx) = ReceiveRight::allocate(hb.machine());
         let net0 = hb.machine().stats.get(keys::NET_BYTES);
-        let _pager = send_copy_on_reference(&fabric, &ha, &hb, &sender, addr, pages * PAGE, &tx)
-            .unwrap();
+        let _pager =
+            send_copy_on_reference(&fabric, &ha, &hb, &sender, addr, pages * PAGE, &tx).unwrap();
         let msg = rx.receive(Some(Duration::from_secs(5))).unwrap();
         let (raddr, rsize) = map_received(&receiver, &msg).unwrap();
         assert_eq!(rsize, pages * PAGE);
@@ -166,7 +171,7 @@ mod tests {
         }
         let total = hb.machine().stats.get(keys::NET_BYTES) - net0;
         assert!(
-            total >= 3 * PAGE && total < 6 * PAGE,
+            (3 * PAGE..6 * PAGE).contains(&total),
             "3 touched pages moved {total} bytes"
         );
     }
@@ -198,8 +203,7 @@ mod tests {
         let addr = sender.vm_allocate(PAGE).unwrap();
         sender.write_memory(addr, &[1]).unwrap();
         let (rx, tx) = ReceiveRight::allocate(hb.machine());
-        let _pager =
-            send_copy_on_reference(&fabric, &ha, &hb, &sender, addr, PAGE, &tx).unwrap();
+        let _pager = send_copy_on_reference(&fabric, &ha, &hb, &sender, addr, PAGE, &tx).unwrap();
         // The sender scribbles after the send; the receiver must still see
         // the send-time contents (copy semantics of message data).
         sender.write_memory(addr, &[2]).unwrap();

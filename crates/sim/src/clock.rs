@@ -42,6 +42,18 @@ impl SimClock {
     }
 
     /// Advances the clock by `ns` nanoseconds and returns the new time.
+    ///
+    /// Charges from concurrent threads all land on the same counter, so a
+    /// shared clock measures the **total work** performed by the machine,
+    /// *not* the critical path: eight actors charging 1 µs each advance
+    /// the clock by 8 µs even if they ran in parallel. That is the right
+    /// semantics for the paper's "how much did this host do" questions,
+    /// and it is why the latency histograms (fault-to-resolution and
+    /// friends in [`crate::trace`]) are taken as *differences* of one
+    /// thread's observations rather than absolute clock readings. For a
+    /// single actor's isolated latency, charge a [`SimClock::fork`]ed
+    /// clock instead — see `fork_measures_per_actor_latency` in this
+    /// module's tests.
     pub fn charge(&self, ns: u64) -> u64 {
         self.ns.fetch_add(ns, Ordering::Relaxed) + ns
     }
@@ -170,6 +182,35 @@ mod tests {
         let w = SimStopwatch::start(&c);
         c.charge(35);
         assert_eq!(w.elapsed_ns(), 35);
+    }
+
+    /// The documented contract of `charge` under concurrency: the shared
+    /// clock sums all actors' work (total work), while a per-actor fork
+    /// sees only its own charges (that actor's latency). Histogram code
+    /// in `trace` relies on exactly this split.
+    #[test]
+    fn fork_measures_per_actor_latency() {
+        let shared = SimClock::new();
+        let actors = 4;
+        let per_actor_work = 1_000u64;
+        let forks: Vec<SimClock> = (0..actors).map(|_| shared.fork()).collect();
+        std::thread::scope(|s| {
+            for mine in &forks {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    for _ in 0..per_actor_work {
+                        shared.charge(1); // the machine did the work...
+                        mine.charge(1); // ...and this actor waited for it
+                    }
+                });
+            }
+        });
+        // Shared clock: total machine work, NOT the parallel critical path.
+        assert_eq!(shared.now_ns(), actors as u64 * per_actor_work);
+        // Each fork: only that actor's own latency.
+        for mine in &forks {
+            assert_eq!(mine.now_ns(), per_actor_work);
+        }
     }
 
     #[test]

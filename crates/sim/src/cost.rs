@@ -175,8 +175,10 @@ mod tests {
 
     #[test]
     fn crossover_infinite_when_mapping_expensive() {
-        let mut m = CostModel::default();
-        m.map_page_ns = u64::MAX / 2;
+        let m = CostModel {
+            map_page_ns: u64::MAX / 2,
+            ..Default::default()
+        };
         assert_eq!(m.analytic_cow_crossover_bytes(4096), u64::MAX);
     }
 }

@@ -22,6 +22,7 @@ pub mod machine;
 pub mod rng;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 
 pub use clock::SimClock;
 pub use cost::CostModel;
@@ -29,3 +30,6 @@ pub use machine::Machine;
 pub use rng::SplitMix64;
 pub use stats::{Counter, StatsRegistry, StatsSnapshot};
 pub use topology::{MemoryKind, Topology};
+pub use trace::{
+    CorrelationId, CorrelationScope, EventKind, Histogram, LatencyRegistry, TraceBuffer, TraceEvent,
+};

@@ -9,11 +9,13 @@ use crate::clock::SimClock;
 use crate::cost::CostModel;
 use crate::stats::StatsRegistry;
 use crate::topology::Topology;
+use crate::trace::{CorrelationId, EventKind, LatencyRegistry, TraceBuffer, TraceEvent};
 use std::sync::Arc;
 
 /// Clock, statistics and cost model of one simulated host.
 ///
-/// Cloning shares the underlying clock and counters.
+/// Cloning shares the underlying clock, counters, trace ring and latency
+/// histograms.
 #[derive(Clone, Debug)]
 pub struct Machine {
     /// Virtual clock charged by every component of this host.
@@ -22,16 +24,54 @@ pub struct Machine {
     pub stats: StatsRegistry,
     /// Latency model.
     pub cost: Arc<CostModel>,
+    /// Causal trace ring of this host.
+    pub trace: Arc<TraceBuffer>,
+    /// Named latency histograms of this host.
+    pub latency: LatencyRegistry,
+    /// Host name shown in trace events ("local" unless on a fabric).
+    host: Arc<str>,
 }
 
 impl Machine {
     /// Creates a machine with the given cost model.
     pub fn new(cost: CostModel) -> Self {
+        Self::named(cost, "local")
+    }
+
+    /// Creates a machine with the given cost model and host name.
+    pub fn named(cost: CostModel, host: &str) -> Self {
         Self {
             clock: SimClock::new(),
             stats: StatsRegistry::new(),
             cost: Arc::new(cost),
+            trace: Arc::new(TraceBuffer::default()),
+            latency: LatencyRegistry::new(),
+            host: Arc::from(host),
         }
+    }
+
+    /// The host name stamped on this machine's trace events.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Records a trace event under the current thread's correlation id.
+    pub fn trace_event(&self, actor: &str, kind: EventKind) {
+        self.trace_event_with(actor, kind, crate::trace::current_correlation());
+    }
+
+    /// Records a trace event under an explicit correlation id.
+    pub fn trace_event_with(&self, actor: &str, kind: EventKind, cid: Option<CorrelationId>) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.record(TraceEvent::new(
+            self.clock.now_ns(),
+            self.host.clone(),
+            actor,
+            kind,
+            cid,
+        ));
     }
 
     /// A default UMA workstation.
@@ -69,5 +109,20 @@ mod tests {
     fn topology_constructor_sets_cost_model() {
         let m = Machine::with_topology(Topology::Norma);
         assert_eq!(m.cost.topology, Topology::Norma);
+    }
+
+    #[test]
+    fn trace_events_stamp_host_and_sim_time() {
+        let m = Machine::named(CostModel::default(), "nodeA");
+        m.clock.charge(42);
+        let cid = CorrelationId::allocate();
+        m.trace_event_with("unit", EventKind::Fault, Some(cid));
+        let snap = m.trace.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(&*snap[0].host, "nodeA");
+        assert_eq!(snap[0].ts_ns, 42);
+        assert_eq!(snap[0].correlation_id, Some(cid));
+        // Clones share the trace ring.
+        assert_eq!(m.clone().trace.len(), 1);
     }
 }

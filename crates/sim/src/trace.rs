@@ -1,0 +1,666 @@
+//! Structured event tracing and latency histograms.
+//!
+//! The paper's evaluation (Section 9) is stated in *causal chains*: a page
+//! fault becomes a `pager_data_request` message, which becomes a disk read,
+//! which becomes a `pager_data_provided` reply. Flat counters cannot show
+//! which hop of that chain went wrong, so this module adds the missing
+//! dimension: every interesting step emits a [`TraceEvent`] into a
+//! lock-cheap per-machine ring buffer, and all events caused by one fault
+//! share one [`CorrelationId`] allocated at fault time.
+//!
+//! The correlation id travels two ways:
+//!
+//! * **within a thread** via an implicit thread-local (see
+//!   [`CorrelationScope`] and [`current_correlation`]), so storage and
+//!   pager code need no extra arguments;
+//! * **across threads** by being stamped into every IPC message at send
+//!   time and re-adopted by the receiving thread at receive time, so the
+//!   chain survives the hop onto a data-manager service thread — or onto
+//!   another host entirely, since the network fabric forwards messages
+//!   verbatim.
+//!
+//! Durations between chain hops are aggregated into log-bucket
+//! [`Histogram`]s keyed by name in a per-machine [`LatencyRegistry`]
+//! (fault-to-resolution, send-to-receive, request-to-fill; see [`keys`]).
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Well-known latency histogram keys recorded by the stack.
+pub mod keys {
+    /// Page fault entry to successful resolution (`resolve_page`).
+    pub const FAULT_TO_RESOLUTION: &str = "vm.fault_to_resolution";
+    /// Message enqueue to dequeue on a port (includes network forwarding
+    /// hops, whose proxies re-send through ordinary ports).
+    pub const SEND_TO_RECEIVE: &str = "ipc.send_to_receive";
+    /// `pager_data_request` issued to the page becoming resident
+    /// (`pager_data_provided` installed).
+    pub const REQUEST_TO_FILL: &str = "vm.request_to_fill";
+}
+
+static NEXT_CORRELATION: AtomicU64 = AtomicU64::new(1);
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Identity of one causal chain (one page fault, one RPC, ...).
+///
+/// Allocated process-wide so chains remain unique across simulated hosts;
+/// the raw value `0` is reserved to mean "no correlation" on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CorrelationId(u64);
+
+impl CorrelationId {
+    /// Allocates a fresh, process-unique correlation id.
+    pub fn allocate() -> Self {
+        CorrelationId(NEXT_CORRELATION.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw wire value (never 0 for a real id).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a wire value; `0` means no correlation.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw != 0).then_some(CorrelationId(raw))
+    }
+}
+
+impl fmt::Display for CorrelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid#{}", self.0)
+    }
+}
+
+std::thread_local! {
+    static CURRENT_CORRELATION: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The correlation id the current thread is working under, if any.
+pub fn current_correlation() -> Option<CorrelationId> {
+    CorrelationId::from_raw(CURRENT_CORRELATION.with(|c| c.get()))
+}
+
+/// Sets (or clears) the current thread's correlation id.
+///
+/// Receive paths call this so a service thread adopts the causal context
+/// of the message it is handling. Prefer [`CorrelationScope`] where the
+/// previous value must be restored.
+pub fn set_current_correlation(cid: Option<CorrelationId>) {
+    CURRENT_CORRELATION.with(|c| c.set(cid.map_or(0, CorrelationId::raw)));
+}
+
+/// RAII guard installing a correlation id on the current thread and
+/// restoring the previous one on drop (fault handlers nest under RPCs).
+pub struct CorrelationScope {
+    previous: u64,
+}
+
+impl CorrelationScope {
+    /// Enters `cid` for the lifetime of the returned guard.
+    pub fn enter(cid: CorrelationId) -> Self {
+        let previous = CURRENT_CORRELATION.with(|c| c.replace(cid.raw()));
+        CorrelationScope { previous }
+    }
+}
+
+impl Drop for CorrelationScope {
+    fn drop(&mut self) {
+        CURRENT_CORRELATION.with(|c| c.set(self.previous));
+    }
+}
+
+/// What kind of step a trace event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A page fault entered `resolve_page`.
+    Fault,
+    /// A page fault resolved and the faulting thread resumes.
+    Resume,
+    /// A message was enqueued on a port.
+    MsgSend,
+    /// A message was dequeued from a port.
+    MsgRecv,
+    /// A data manager began handling `pager_data_request`.
+    DataRequest,
+    /// Supplied data (`pager_data_provided`) was installed in memory.
+    DataProvided,
+    /// A block device read.
+    DiskRead,
+    /// A block device write.
+    DiskWrite,
+    /// A message left a host over the network fabric.
+    NetSend,
+    /// A message arrived at a host over the network fabric.
+    NetRecv,
+    /// A free-form annotation from a component (pager internals etc.).
+    Mark(&'static str),
+}
+
+impl EventKind {
+    /// Whether this kind is one of the six canonical fault-chain
+    /// milestones (`fault → msg_send → data_request → disk_read →
+    /// data_provided → resume`).
+    pub fn is_milestone(self) -> bool {
+        matches!(
+            self,
+            EventKind::Fault
+                | EventKind::MsgSend
+                | EventKind::DataRequest
+                | EventKind::DiskRead
+                | EventKind::DataProvided
+                | EventKind::Resume
+        )
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Fault => "fault",
+            EventKind::Resume => "resume",
+            EventKind::MsgSend => "msg_send",
+            EventKind::MsgRecv => "msg_recv",
+            EventKind::DataRequest => "data_request",
+            EventKind::DataProvided => "data_provided",
+            EventKind::DiskRead => "disk_read",
+            EventKind::DiskWrite => "disk_write",
+            EventKind::NetSend => "net_send",
+            EventKind::NetRecv => "net_recv",
+            EventKind::Mark(s) => s,
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Process-wide sequence number: a total order consistent with
+    /// causality even across hosts whose clocks differ.
+    pub seq: u64,
+    /// Simulated time on the emitting host.
+    pub ts_ns: u64,
+    /// Name of the emitting host.
+    pub host: Arc<str>,
+    /// The component that emitted the event ("vm.fault", "port#3",
+    /// "pager.fs-db", "disk", ...).
+    pub actor: String,
+    /// What happened.
+    pub kind: EventKind,
+    /// The causal chain this event belongs to, if any.
+    pub correlation_id: Option<CorrelationId>,
+}
+
+impl TraceEvent {
+    /// Builds an event stamped with the next global sequence number.
+    pub fn new(
+        ts_ns: u64,
+        host: Arc<str>,
+        actor: impl Into<String>,
+        kind: EventKind,
+        correlation_id: Option<CorrelationId>,
+    ) -> Self {
+        TraceEvent {
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns,
+            host,
+            actor: actor.into(),
+            kind,
+            correlation_id,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10} ns] {:<12} {:<20} {}",
+            self.ts_ns, self.host, self.actor, self.kind
+        )?;
+        if let Some(cid) = self.correlation_id {
+            write!(f, " {cid}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Default ring capacity of a [`TraceBuffer`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of trace events.
+///
+/// Recording is lock-cheap: one relaxed atomic load when tracing is
+/// disabled, one short mutex-protected ring push when enabled. The oldest
+/// events are overwritten when the ring is full ([`TraceBuffer::dropped`]
+/// counts them), so tracing can stay on permanently.
+pub struct TraceBuffer {
+    enabled: AtomicBool,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TraceBuffer({}/{} events)",
+            self.events.lock().len(),
+            self.capacity
+        )
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates an enabled buffer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (off makes [`TraceBuffer::record`] a
+    /// single atomic load).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn record(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut q = self.events.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out every buffered event in sequence order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut v: Vec<TraceEvent> = self.events.lock().iter().cloned().collect();
+        v.sort_by_key(|e| e.seq);
+        v
+    }
+
+    /// All events of one causal chain, in sequence order.
+    pub fn chain(&self, cid: CorrelationId) -> Vec<TraceEvent> {
+        let mut v: Vec<TraceEvent> = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.correlation_id == Some(cid))
+            .cloned()
+            .collect();
+        v.sort_by_key(|e| e.seq);
+        v
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Correlation ids present in the buffer, oldest chain first.
+    pub fn correlations(&self) -> Vec<CorrelationId> {
+        let mut seen = Vec::new();
+        for e in self.snapshot() {
+            if let Some(cid) = e.correlation_id {
+                if !seen.contains(&cid) {
+                    seen.push(cid);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// The causal skeleton of a chain: the first occurrence of each milestone
+/// kind (see [`EventKind::is_milestone`]) in sequence order.
+///
+/// For a fault on an externally paged region this is exactly
+/// `fault → msg_send → data_request → disk_read → data_provided → resume`;
+/// transport repetitions (the `pager_data_provided` reply is itself a
+/// message) and multi-block disk reads collapse onto their first hop.
+pub fn milestones(chain: &[TraceEvent]) -> Vec<EventKind> {
+    let mut out: Vec<EventKind> = Vec::new();
+    for e in chain {
+        if e.kind.is_milestone() && !out.contains(&e.kind) {
+            out.push(e.kind);
+        }
+    }
+    out
+}
+
+/// A log₂-bucket latency histogram over nanosecond durations.
+///
+/// Bucket `i` counts samples whose bit length is `i` (i.e. the range
+/// `[2^(i-1), 2^i)`); bucket 0 counts zeros. Percentile queries return the
+/// inclusive upper bound of the bucket containing the requested rank, so
+/// they overestimate by at most 2x — adequate for order-of-magnitude
+/// latency work and extremely cheap to record.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        (u64::BITS - ns.leading_zeros()) as usize
+    }
+
+    fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile sample
+    /// (`p` in 0..=100; 0 when empty).
+    pub fn percentile_ns(&self, p: u8) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n * u64::from(p.min(100))).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Median (p50) upper bound.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50)
+    }
+
+    /// Tail (p99) upper bound.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99)
+    }
+}
+
+/// A machine's named latency histograms.
+///
+/// Cloning shares the underlying registry, mirroring
+/// [`StatsRegistry`](crate::stats::StatsRegistry).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRegistry {
+    inner: Arc<RwLock<BTreeMap<String, Arc<Histogram>>>>,
+}
+
+impl LatencyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the histogram named `key`.
+    pub fn histogram(&self, key: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.read().get(key) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .entry(key.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Records one sample into the histogram named `key`.
+    pub fn record(&self, key: &str, ns: u64) {
+        self.histogram(key).record(ns);
+    }
+
+    /// The histogram named `key`, if any samples created it.
+    pub fn get(&self, key: &str) -> Option<Arc<Histogram>> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// All histograms, sorted by key.
+    pub fn snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, cid: Option<CorrelationId>) -> TraceEvent {
+        TraceEvent::new(0, Arc::from("host"), "test", kind, cid)
+    }
+
+    #[test]
+    fn correlation_ids_are_unique_and_nonzero() {
+        let a = CorrelationId::allocate();
+        let b = CorrelationId::allocate();
+        assert_ne!(a, b);
+        assert_ne!(a.raw(), 0);
+        assert_eq!(CorrelationId::from_raw(0), None);
+        assert_eq!(CorrelationId::from_raw(a.raw()), Some(a));
+    }
+
+    #[test]
+    fn correlation_scope_nests_and_restores() {
+        assert_eq!(current_correlation(), None);
+        let outer = CorrelationId::allocate();
+        let inner = CorrelationId::allocate();
+        {
+            let _a = CorrelationScope::enter(outer);
+            assert_eq!(current_correlation(), Some(outer));
+            {
+                let _b = CorrelationScope::enter(inner);
+                assert_eq!(current_correlation(), Some(inner));
+            }
+            assert_eq!(current_correlation(), Some(outer));
+        }
+        assert_eq!(current_correlation(), None);
+    }
+
+    #[test]
+    fn set_current_correlation_overwrites() {
+        let cid = CorrelationId::allocate();
+        set_current_correlation(Some(cid));
+        assert_eq!(current_correlation(), Some(cid));
+        set_current_correlation(None);
+        assert_eq!(current_correlation(), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = TraceBuffer::new(3);
+        for _ in 0..5 {
+            t.record(ev(EventKind::Fault, None));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let snap = t.snapshot();
+        // The three newest survive, in order.
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let t = TraceBuffer::new(8);
+        t.set_enabled(false);
+        t.record(ev(EventKind::Fault, None));
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(ev(EventKind::Fault, None));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn chain_filters_by_correlation() {
+        let t = TraceBuffer::new(16);
+        let a = CorrelationId::allocate();
+        let b = CorrelationId::allocate();
+        t.record(ev(EventKind::Fault, Some(a)));
+        t.record(ev(EventKind::Fault, Some(b)));
+        t.record(ev(EventKind::Resume, Some(a)));
+        assert_eq!(t.chain(a).len(), 2);
+        assert_eq!(t.chain(b).len(), 1);
+        assert_eq!(t.correlations(), vec![a, b]);
+    }
+
+    #[test]
+    fn milestones_keep_first_occurrence_in_order() {
+        let cid = CorrelationId::allocate();
+        let chain: Vec<TraceEvent> = [
+            EventKind::Fault,
+            EventKind::MsgSend,
+            EventKind::MsgRecv, // transport detail, not a milestone
+            EventKind::DataRequest,
+            EventKind::DiskRead,
+            EventKind::DiskRead, // multi-block read collapses
+            EventKind::MsgSend,  // reply hop collapses onto first send
+            EventKind::DataProvided,
+            EventKind::Resume,
+        ]
+        .into_iter()
+        .map(|k| ev(k, Some(cid)))
+        .collect();
+        assert_eq!(
+            milestones(&chain),
+            vec![
+                EventKind::Fault,
+                EventKind::MsgSend,
+                EventKind::DataRequest,
+                EventKind::DiskRead,
+                EventKind::DataProvided,
+                EventKind::Resume,
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_samples() {
+        let h = Histogram::new();
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ns(), 100_000);
+        assert_eq!(h.mean_ns(), (100 + 200 + 300 + 400 + 100_000) / 5);
+        // p50 falls in the 256..511 bucket (300's bit length is 9).
+        assert!(h.p50_ns() >= 300 && h.p50_ns() < 512, "p50={}", h.p50_ns());
+        // p99 is the max sample's bucket, clamped to the observed max.
+        assert_eq!(h.p99_ns(), 100_000);
+        assert!(h.percentile_ns(1) >= 100 && h.percentile_ns(1) < 256);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.p50_ns(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn latency_registry_shares_between_clones() {
+        let r = LatencyRegistry::new();
+        let r2 = r.clone();
+        r.record("x", 10);
+        r2.record("x", 20);
+        let h = r.get("x").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(r.snapshot().len(), 1);
+        assert!(r.get("missing").is_none());
+    }
+}

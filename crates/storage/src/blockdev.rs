@@ -76,6 +76,12 @@ impl BlockDevice {
             .charge(self.machine.cost.disk_op_ns(bytes as u64));
         self.machine.stats.incr(counter);
         self.machine.stats.add(keys::DISK_BYTES, bytes as u64);
+        let kind = if counter == keys::DISK_READS {
+            machsim::EventKind::DiskRead
+        } else {
+            machsim::EventKind::DiskWrite
+        };
+        self.machine.trace_event("disk", kind);
     }
 
     /// Reads block `bno` into `buf` (must be `BLOCK_SIZE` bytes).
@@ -110,7 +116,10 @@ impl BlockDevice {
     /// Writes a partial block at `offset` within block `bno`, performing
     /// the read-modify-write a real driver would.
     pub fn write_partial(&self, bno: usize, offset: usize, data: &[u8]) -> Result<(), DevError> {
-        assert!(offset + data.len() <= BLOCK_SIZE, "partial write overflows block");
+        assert!(
+            offset + data.len() <= BLOCK_SIZE,
+            "partial write overflows block"
+        );
         let mut blocks = self.blocks.write();
         let block = blocks.get_mut(bno).ok_or(DevError::OutOfRange)?;
         block[offset..offset + data.len()].copy_from_slice(data);

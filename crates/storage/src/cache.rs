@@ -132,7 +132,10 @@ impl BufferCache {
     /// Charges the user/kernel copy cost the paper contrasts with mapped
     /// access.
     pub fn read(&self, bno: usize, offset: usize, out: &mut [u8]) -> Result<(), DevError> {
-        assert!(offset + out.len() <= BLOCK_SIZE, "read crosses block boundary");
+        assert!(
+            offset + out.len() <= BLOCK_SIZE,
+            "read crosses block boundary"
+        );
         self.with_buf(bno, true, |buf| {
             out.copy_from_slice(&buf.data[offset..offset + out.len()]);
         })?;
@@ -147,7 +150,10 @@ impl BufferCache {
     ///
     /// If the write covers a whole block the old contents are not read.
     pub fn write(&self, bno: usize, offset: usize, data: &[u8]) -> Result<(), DevError> {
-        assert!(offset + data.len() <= BLOCK_SIZE, "write crosses block boundary");
+        assert!(
+            offset + data.len() <= BLOCK_SIZE,
+            "write crosses block boundary"
+        );
         let whole = offset == 0 && data.len() == BLOCK_SIZE;
         self.with_buf(bno, !whole, |buf| {
             buf.data[offset..offset + data.len()].copy_from_slice(data);
@@ -289,10 +295,7 @@ mod tests {
         cache.write(0, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
         let mut out = vec![0u8; 128];
         cache.read(0, 0, &mut out).unwrap();
-        assert_eq!(
-            m.stats.get(keys::BYTES_COPIED),
-            BLOCK_SIZE as u64 + 128
-        );
+        assert_eq!(m.stats.get(keys::BYTES_COPIED), BLOCK_SIZE as u64 + 128);
     }
 
     #[test]

@@ -179,7 +179,12 @@ impl FlatFs {
         self.truncate(name, offset + data.len())?;
         let blocks: Vec<usize> = {
             let inner = self.inner.lock();
-            inner.files.get(name).expect("truncate ensured").blocks.clone()
+            inner
+                .files
+                .get(name)
+                .expect("truncate ensured")
+                .blocks
+                .clone()
         };
         let mut pos = 0usize;
         while pos < data.len() {

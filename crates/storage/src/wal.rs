@@ -113,10 +113,7 @@ impl LogRecord {
                 let object = u64_at(9)?;
                 let offset = u64_at(17)?;
                 let blen = u32_at(25)? as usize;
-                let before = buf
-                    .get(29..29 + blen)
-                    .ok_or(WalError::Corrupt)?
-                    .to_vec();
+                let before = buf.get(29..29 + blen).ok_or(WalError::Corrupt)?.to_vec();
                 let alen_pos = 29 + blen;
                 let alen = u32_at(alen_pos)? as usize;
                 let after = buf
@@ -186,13 +183,16 @@ impl WriteAheadLog {
     }
 
     /// Reopens an existing log region, reading durable state from disk.
-    pub fn open(dev: Arc<BlockDevice>, first_block: usize, num_blocks: usize) -> Result<Self, WalError> {
+    pub fn open(
+        dev: Arc<BlockDevice>,
+        first_block: usize,
+        num_blocks: usize,
+    ) -> Result<Self, WalError> {
         assert!(num_blocks >= 2, "log needs a superblock and a data block");
         let sb = dev
             .read_block_vec(first_block)
             .map_err(|_| WalError::Corrupt)?;
-        let durable_len =
-            u64::from_le_bytes(sb[0..8].try_into().expect("8 bytes")) as usize;
+        let durable_len = u64::from_le_bytes(sb[0..8].try_into().expect("8 bytes")) as usize;
         let data_blocks = num_blocks - 1;
         if durable_len > data_blocks * BLOCK_SIZE {
             return Err(WalError::Corrupt);

@@ -33,7 +33,12 @@ struct OpenFiles {
 impl BaselineUnix {
     /// Creates the baseline over `fs`, with a buffer cache sized at
     /// `cache_percent`% of `memory_bytes` (use 10 for the Berkeley rule).
-    pub fn new(machine: &Machine, fs: Arc<FlatFs>, memory_bytes: usize, cache_percent: usize) -> Self {
+    pub fn new(
+        machine: &Machine,
+        fs: Arc<FlatFs>,
+        memory_bytes: usize,
+        cache_percent: usize,
+    ) -> Self {
         let cache = BufferCache::sized_for_memory(fs.device().clone(), memory_bytes, cache_percent);
         Self {
             machine: machine.clone(),

@@ -127,7 +127,12 @@ impl CompileWorkload {
         Ok(size)
     }
 
-    fn compile_unit(&self, io: &dyn UnixIo, machine: &Machine, unit: usize) -> Result<(), UnixError> {
+    fn compile_unit(
+        &self,
+        io: &dyn UnixIo,
+        machine: &Machine,
+        unit: usize,
+    ) -> Result<(), UnixError> {
         let mut bytes_processed = 0usize;
         // The preprocessor reads every shared header...
         for h in 0..self.headers {

@@ -66,7 +66,9 @@ impl UnixIo for MachUnix {
     fn create(&self, name: &str, size: usize) -> Result<(), UnixError> {
         self.client.create(name).map_err(from_fs)?;
         if size > 0 {
-            self.client.write_file(name, &vec![0u8; size]).map_err(from_fs)?;
+            self.client
+                .write_file(name, &vec![0u8; size])
+                .map_err(from_fs)?;
         }
         Ok(())
     }
@@ -85,7 +87,8 @@ impl UnixIo for MachUnix {
                 // memory."
                 let (addr, size) = self.client.open_mapped(&self.task, name).map_err(from_fs)?;
                 st = self.state.lock();
-                st.cached_maps.insert(name.to_string(), (addr, size as usize));
+                st.cached_maps
+                    .insert(name.to_string(), (addr, size as usize));
                 (addr, size as usize)
             }
         };

@@ -26,6 +26,8 @@ use crate::object::VmObject;
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
 use machsim::stats::keys;
+use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope};
+use machsim::EventKind;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -95,6 +97,12 @@ pub struct FaultResult {
 ///
 /// `access` is what the faulting thread is trying to do (already validated
 /// against the map entry's protection by the caller).
+///
+/// Every fault allocates a fresh [`CorrelationId`] that is installed as
+/// the faulting thread's trace context for the duration of the fault, so
+/// all downstream work — the `pager_data_request` message, the manager's
+/// disk reads, the `pager_data_provided` reply — carries the same id and
+/// forms one inspectable chain in the machine's trace buffer.
 pub fn resolve_page(
     phys: &PhysicalMemory,
     top: &Arc<VmObject>,
@@ -105,6 +113,31 @@ pub fn resolve_page(
     let machine = phys.machine().clone();
     machine.clock.charge(machine.cost.fault_overhead_ns);
     machine.stats.incr(keys::VM_FAULTS);
+    let cid = CorrelationId::allocate();
+    let _scope = CorrelationScope::enter(cid);
+    machine.trace_event("vm.fault", EventKind::Fault);
+    let started_ns = machine.clock.now_ns();
+    let result = resolve_page_inner(phys, top, offset, access, policy);
+    if result.is_ok() {
+        machine.trace_event("vm.fault", EventKind::Resume);
+        machine.latency.record(
+            trace_keys::FAULT_TO_RESOLUTION,
+            machine.clock.now_ns().saturating_sub(started_ns),
+        );
+    }
+    result
+}
+
+/// The fault loop proper, separated so the wrapper above can emit the
+/// `resume` event and fault-to-resolution sample at every success exit.
+fn resolve_page_inner(
+    phys: &PhysicalMemory,
+    top: &Arc<VmObject>,
+    offset: u64,
+    access: VmProt,
+    policy: FaultPolicy,
+) -> Result<FaultResult, VmError> {
+    let machine = phys.machine().clone();
     // The offset is page-granular relative to the mapping's own alignment;
     // it need not be page aligned within the object (Section 3.4.1).
     let page = phys.page_size() as u64;
@@ -125,14 +158,11 @@ pub fn resolve_page(
                     if let Some(pager) = object.pager() {
                         pager.data_unlock(object.id(), obj_offset, page, access);
                     }
-                    match phys.await_unlock(object.id(), obj_offset, access, policy.pager_timeout)
-                    {
+                    match phys.await_unlock(object.id(), obj_offset, access, policy.pager_timeout) {
                         Ok(f) => f,
                         // Flushed while waiting: start over.
                         Err(VmError::ObjectDestroyed) => continue,
-                        Err(VmError::Timeout) => {
-                            return handle_timeout(phys, top, offset, policy)
-                        }
+                        Err(VmError::Timeout) => return handle_timeout(phys, top, offset, policy),
                         Err(e) => return Err(e),
                     }
                 } else {
@@ -394,8 +424,7 @@ mod tests {
         phys.supply_page(&base, 0, &vec![9u8; 4096], VmProt::NONE)
             .unwrap();
         let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
-        let r =
-            resolve_page(&phys, &shadow, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
+        let r = resolve_page(&phys, &shadow, 0, VmProt::READ, FaultPolicy::trusting()).unwrap();
         assert_eq!(r.object.id(), base.id());
         assert!(!r.prot_limit.allows(VmProt::WRITE));
         phys.with_frame(r.frame, |d| assert_eq!(d[0], 9));
@@ -410,8 +439,7 @@ mod tests {
         phys.supply_page(&base, 0, &vec![9u8; 4096], VmProt::NONE)
             .unwrap();
         let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
-        let r =
-            resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        let r = resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
         assert_eq!(r.object.id(), shadow.id());
         assert_eq!(r.prot_limit, VmProt::ALL);
         phys.with_frame(r.frame, |d| assert_eq!(d[0], 9));
@@ -452,8 +480,7 @@ mod tests {
         let (_m, phys) = setup(8);
         let base = VmObject::new_temporary(8192);
         let shadow = VmObject::new_shadow(base.clone(), 0, 8192);
-        let r =
-            resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
+        let r = resolve_page(&phys, &shadow, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
         assert_eq!(r.object.id(), shadow.id());
         assert_eq!(phys.resident_pages_of(base.id()), 0);
     }
@@ -495,8 +522,7 @@ mod tests {
         let (_m, phys) = setup(8);
         let obj = VmObject::new_temporary(4096);
         obj.mark_terminated();
-        let err =
-            resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap_err();
+        let err = resolve_page(&phys, &obj, 0, VmProt::READ, FaultPolicy::trusting()).unwrap_err();
         assert_eq!(err, VmError::ObjectDestroyed);
     }
 

@@ -231,6 +231,7 @@ impl VmMap {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn insert_entry(
         &self,
         address: Option<u64>,
@@ -357,11 +358,7 @@ impl VmMap {
         let mut inner = self.inner.lock();
         Self::clip(&mut inner, start);
         Self::clip(&mut inner, end);
-        let keys: Vec<u64> = inner
-            .entries
-            .range(start..end)
-            .map(|(k, _)| *k)
-            .collect();
+        let keys: Vec<u64> = inner.entries.range(start..end).map(|(k, _)| *k).collect();
         if keys.is_empty() {
             return Err(VmError::InvalidAddress);
         }
@@ -643,7 +640,9 @@ impl VmMap {
             });
             pos += n;
         }
-        self.machine.clock.charge(self.machine.cost.copy_cost_ns(size));
+        self.machine
+            .clock
+            .charge(self.machine.cost.copy_cost_ns(size));
         self.machine.stats.add(keys::BYTES_COPIED, size);
         Ok(out)
     }
@@ -660,12 +659,13 @@ impl VmMap {
             let frame = self.fault_page_kernel(addr, VmProt::WRITE)?;
             let off = (addr % ps) as usize;
             self.phys.with_frame_mut(frame, |d| {
-                d[off..off + n as usize]
-                    .copy_from_slice(&data[pos as usize..(pos + n) as usize]);
+                d[off..off + n as usize].copy_from_slice(&data[pos as usize..(pos + n) as usize]);
             });
             pos += n;
         }
-        self.machine.clock.charge(self.machine.cost.copy_cost_ns(size));
+        self.machine
+            .clock
+            .charge(self.machine.cost.copy_cost_ns(size));
         self.machine.stats.add(keys::BYTES_COPIED, size);
         Ok(())
     }
@@ -684,7 +684,11 @@ impl VmMap {
     /// must be an existing region, and the ranges must not overlap.
     pub fn copy_cow(&self, src: u64, size: u64, dst: u64) -> Result<(), VmError> {
         let ps = self.page_size();
-        if src % ps != 0 || dst % ps != 0 || size % ps != 0 || size == 0 {
+        if !src.is_multiple_of(ps)
+            || !dst.is_multiple_of(ps)
+            || !size.is_multiple_of(ps)
+            || size == 0
+        {
             return Err(VmError::BadAlignment);
         }
         if src < dst + size && dst < src + size {
@@ -718,20 +722,30 @@ impl VmMap {
     /// Reads bytes the way user instructions would: through the pmap,
     /// faulting on misses, charging per-word access time.
     pub fn access_read(&self, address: u64, out: &mut [u8]) -> Result<(), VmError> {
-        self.access(address, out.len() as u64, false, |frame, off, pos, n, phys| {
-            phys.with_frame(frame, |d| {
-                out[pos..pos + n].copy_from_slice(&d[off..off + n]);
-            });
-        })
+        self.access(
+            address,
+            out.len() as u64,
+            false,
+            |frame, off, pos, n, phys| {
+                phys.with_frame(frame, |d| {
+                    out[pos..pos + n].copy_from_slice(&d[off..off + n]);
+                });
+            },
+        )
     }
 
     /// Writes bytes the way user instructions would.
     pub fn access_write(&self, address: u64, data: &[u8]) -> Result<(), VmError> {
-        self.access(address, data.len() as u64, true, |frame, off, pos, n, phys| {
-            phys.with_frame_mut(frame, |d| {
-                d[off..off + n].copy_from_slice(&data[pos..pos + n]);
-            });
-        })
+        self.access(
+            address,
+            data.len() as u64,
+            true,
+            |frame, off, pos, n, phys| {
+                phys.with_frame_mut(frame, |d| {
+                    d[off..off + n].copy_from_slice(&data[pos..pos + n]);
+                });
+            },
+        )
     }
 
     fn access(
@@ -759,17 +773,20 @@ impl VmMap {
                 }
                 None => self.fault(addr, want)?,
             };
-            per_page(frame, (addr % ps) as usize, pos as usize, n as usize, &self.phys);
+            per_page(
+                frame,
+                (addr % ps) as usize,
+                pos as usize,
+                n as usize,
+                &self.phys,
+            );
             pos += n;
         }
         // Word-granular access cost on the local memory of this machine.
         let words = size.div_ceil(8);
-        self.machine.clock.charge(
-            words * self
-                .machine
-                .cost
-                .word_access_ns(machsim::MemoryKind::Local),
-        );
+        self.machine
+            .clock
+            .charge(words * self.machine.cost.word_access_ns(machsim::MemoryKind::Local));
         Ok(())
     }
 
@@ -922,7 +939,10 @@ mod tests {
         let map = VmMap::new(&phys);
         let addr = map.allocate(Some(0x10000), 8192).unwrap();
         assert_eq!(addr, 0x10000);
-        assert_eq!(map.allocate(Some(0x10000), PS).unwrap_err(), VmError::NoSpace);
+        assert_eq!(
+            map.allocate(Some(0x10000), PS).unwrap_err(),
+            VmError::NoSpace
+        );
         assert_eq!(
             map.allocate(Some(0x11000), PS).unwrap_err(),
             VmError::NoSpace

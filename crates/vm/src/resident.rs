@@ -25,12 +25,17 @@ use crate::pmap::Pmap;
 use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
 use machsim::stats::keys;
+use machsim::trace::keys as trace_keys;
 use machsim::Machine;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// Callback invoked when a temporary object first adopts the default
+/// pager (see [`PhysicalMemory::set_adoption_hook`]).
+type AdoptionHook = Box<dyn Fn(&Arc<VmObject>) + Send + Sync>;
 
 /// Which pageout queue a frame is on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,7 +93,9 @@ struct PhysState {
     active: VecDeque<usize>,
     inactive: VecDeque<usize>,
     /// Outstanding `pager_data_request`s awaiting `pager_data_provided`.
-    pending: HashSet<(ObjectId, u64)>,
+    /// In-flight pager fills, keyed to the sim time the
+    /// `pager_data_request` was claimed (for `vm.request_to_fill`).
+    pending: HashMap<(ObjectId, u64), u64>,
 }
 
 /// Result of a resident-page lookup.
@@ -121,7 +128,7 @@ pub struct PhysicalMemory {
     /// Called when a temporary object first adopts the default pager (the
     /// kernel uses this to register the object for supply routing —
     /// the `pager_create` handshake).
-    adoption_hook: RwLock<Option<Box<dyn Fn(&Arc<VmObject>) + Send + Sync>>>,
+    adoption_hook: RwLock<Option<AdoptionHook>>,
 }
 
 impl fmt::Debug for PhysicalMemory {
@@ -140,8 +147,16 @@ impl fmt::Debug for PhysicalMemory {
 impl PhysicalMemory {
     /// Creates `total_bytes / page_size` frames with `reserve_pages` kept
     /// for privileged (pageout-path) allocations.
-    pub fn new(machine: &Machine, total_bytes: usize, page_size: usize, reserve_pages: usize) -> Arc<Self> {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+    pub fn new(
+        machine: &Machine,
+        total_bytes: usize,
+        page_size: usize,
+        reserve_pages: usize,
+    ) -> Arc<Self> {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let n = total_bytes / page_size;
         assert!(n > reserve_pages, "memory must exceed the reserved pool");
         let frames = (0..n)
@@ -158,7 +173,7 @@ impl PhysicalMemory {
                 info: (0..n).map(|_| PageInfo::empty()).collect(),
                 active: VecDeque::new(),
                 inactive: VecDeque::new(),
-                pending: HashSet::new(),
+                pending: HashMap::new(),
             }),
             event: Condvar::new(),
             default_pager: RwLock::new(None),
@@ -278,7 +293,7 @@ impl PhysicalMemory {
             Self::activate(&mut st, frame);
             return PageLookup::Resident { frame, lock };
         }
-        if st.pending.contains(&(object, offset)) {
+        if st.pending.contains_key(&(object, offset)) {
             return PageLookup::Pending;
         }
         PageLookup::Absent
@@ -293,7 +308,8 @@ impl PhysicalMemory {
         if st.resident.contains_key(&(object, offset)) {
             return false;
         }
-        st.pending.insert((object, offset))
+        let now = self.machine.clock.now_ns();
+        st.pending.insert((object, offset), now).is_none()
     }
 
     /// Abandons a pending fill (e.g. fault aborted by timeout), so a later
@@ -352,7 +368,7 @@ impl PhysicalMemory {
                     return Ok(frame);
                 }
                 // Flushed while we waited: the caller must re-fault.
-                None if !st.pending.contains(&(object, offset)) => {
+                None if !st.pending.contains_key(&(object, offset)) => {
                     return Err(VmError::ObjectDestroyed);
                 }
                 _ => {}
@@ -556,7 +572,13 @@ impl PhysicalMemory {
         dirty: bool,
     ) -> usize {
         let mut st = self.state.lock();
-        st.pending.remove(&(object.id(), offset));
+        if let Some(requested_ns) = st.pending.remove(&(object.id(), offset)) {
+            // This install resolves a pager fill claimed by `begin_fill`.
+            self.machine.latency.record(
+                trace_keys::REQUEST_TO_FILL,
+                self.machine.clock.now_ns().saturating_sub(requested_ns),
+            );
+        }
         // If something is already resident (racing installs), free ours and
         // return the winner.
         if let Some(&existing) = st.resident.get(&(object.id(), offset)) {
@@ -599,8 +621,12 @@ impl PhysicalMemory {
         lock: VmProt,
     ) -> Result<usize, VmError> {
         let whole_pages = data.len() / self.page_size;
-        if data.len() % self.page_size != 0 {
+        if !data.len().is_multiple_of(self.page_size) {
             self.machine.stats.incr("vm.partial_supplies_discarded");
+        }
+        if whole_pages > 0 {
+            self.machine
+                .trace_event("vm.supply", machsim::EventKind::DataProvided);
         }
         let mut installed = 0usize;
         for i in 0..whole_pages {
@@ -689,9 +715,7 @@ impl PhysicalMemory {
 
     /// Records that `pmap` maps `vpn` to `frame`, for later shootdown.
     pub fn add_mapping(&self, frame: usize, pmap: &Arc<Pmap>, vpn: u64) {
-        self.state
-            .lock()
-            .info[frame]
+        self.state.lock().info[frame]
             .mappings
             .push((Arc::downgrade(pmap), vpn));
     }
@@ -862,9 +886,7 @@ impl PhysicalMemory {
     /// The lock value on a resident page, if resident.
     pub fn page_lock(&self, object: ObjectId, offset: u64) -> Option<VmProt> {
         let st = self.state.lock();
-        st.resident
-            .get(&(object, offset))
-            .map(|&f| st.info[f].lock)
+        st.resident.get(&(object, offset)).map(|&f| st.info[f].lock)
     }
 
     /// Whether the page is dirty, if resident.
@@ -910,8 +932,14 @@ mod tests {
         data[4096] = 9;
         let n = phys.supply_page(&obj, 4096, &data, VmProt::NONE).unwrap();
         assert_eq!(n, 2);
-        assert!(matches!(phys.lookup(obj.id(), 4096), PageLookup::Resident { .. }));
-        assert!(matches!(phys.lookup(obj.id(), 8192), PageLookup::Resident { .. }));
+        assert!(matches!(
+            phys.lookup(obj.id(), 4096),
+            PageLookup::Resident { .. }
+        ));
+        assert!(matches!(
+            phys.lookup(obj.id(), 8192),
+            PageLookup::Resident { .. }
+        ));
         assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Absent));
     }
 
@@ -945,7 +973,10 @@ mod tests {
         phys.supply_page(&obj, 0, &vec![0u8; 4096], VmProt::NONE)
             .unwrap();
         assert!(!phys.begin_fill(obj.id(), 0));
-        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+        assert!(matches!(
+            phys.lookup(obj.id(), 0),
+            PageLookup::Resident { .. }
+        ));
     }
 
     #[test]
@@ -1071,7 +1102,10 @@ mod tests {
             phys.with_frame_mut(frame, |d| d[0] = 42);
         }
         phys.clean_range(&obj, 0, 4096);
-        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+        assert!(matches!(
+            phys.lookup(obj.id(), 0),
+            PageLookup::Resident { .. }
+        ));
         assert_eq!(phys.page_dirty(obj.id(), 0), Some(false));
         assert_eq!(pager.writes.lock().len(), 1);
     }
@@ -1159,7 +1193,10 @@ mod tests {
         }
         // Exhaust memory; the wired page must remain.
         let _ = phys.allocate_frame(false);
-        assert!(matches!(phys.lookup(obj.id(), 0), PageLookup::Resident { .. }));
+        assert!(matches!(
+            phys.lookup(obj.id(), 0),
+            PageLookup::Resident { .. }
+        ));
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl fmt::Display for VmProt {
         let mut s = String::with_capacity(3);
         s.push(if self.allows(VmProt::READ) { 'r' } else { '-' });
         s.push(if self.allows(VmProt::WRITE) { 'w' } else { '-' });
-        s.push(if self.allows(VmProt::EXECUTE) { 'x' } else { '-' });
+        s.push(if self.allows(VmProt::EXECUTE) {
+            'x'
+        } else {
+            '-'
+        });
         f.write_str(&s)
     }
 }

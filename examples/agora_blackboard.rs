@@ -28,7 +28,10 @@ fn main() {
     let kernel = Kernel::boot_on(multiprocessor.machine().clone(), KernelConfig::default());
 
     let blackboard = Blackboard::start(&kernel, 16);
-    println!("blackboard up: {} hypothesis slots on {}", blackboard.slots(), "vax8200");
+    println!(
+        "blackboard up: {} hypothesis slots on vax8200",
+        blackboard.slots()
+    );
 
     // Loosely coupled: the collector posts raw hypotheses BY MESSAGE.
     let collector = blackboard.remote_agent(&fabric, &multiprocessor, &collector_ws);
@@ -45,7 +48,11 @@ fn main() {
     // Tightly coupled: four evaluator agents on the multiprocessor score
     // hypotheses through SHARED MEMORY, in parallel.
     let evaluators: Vec<_> = (0..4)
-        .map(|i| blackboard.local_agent(&kernel, &format!("eval{i}")).unwrap())
+        .map(|i| {
+            blackboard
+                .local_agent(&kernel, &format!("eval{i}"))
+                .unwrap()
+        })
         .collect();
     std::thread::scope(|s| {
         for (i, agent) in evaluators.iter().enumerate() {
@@ -68,7 +75,11 @@ fn main() {
         let h = display.read(slot).unwrap();
         assert_eq!(h.state, STATE_EVALUATED);
         let text = String::from_utf8_lossy(&h.payload);
-        println!("  slot {slot}: {:14} score {}", text.trim_end_matches('\0'), h.score);
+        println!(
+            "  slot {slot}: {:14} score {}",
+            text.trim_end_matches('\0'),
+            h.score
+        );
     }
     println!(
         "display read results by message; total network messages: {}",

@@ -29,7 +29,9 @@ fn main() {
     client.commit(tx).unwrap();
     for i in 0..5u64 {
         let tx = client.begin().unwrap();
-        client.write(tx, 0, &encode_balance(500 - 50 * (i + 1))).unwrap();
+        client
+            .write(tx, 0, &encode_balance(500 - 50 * (i + 1)))
+            .unwrap();
         client.write(tx, 8, &encode_balance(50 * (i + 1))).unwrap();
         client.commit(tx).unwrap();
     }

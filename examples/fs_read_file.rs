@@ -24,7 +24,10 @@ fn main() {
 
     // Prepare "filename" with known contents.
     server.fs().create("filename").unwrap();
-    server.fs().write("filename", 0, &vec![100u8; 8192]).unwrap();
+    server
+        .fs()
+        .write("filename", 0, &vec![100u8; 8192])
+        .unwrap();
 
     let task = Task::create(&kernel, "app");
 
@@ -41,7 +44,8 @@ fn main() {
         let i = rng.next_below(file_size);
         let mut b = [0u8; 1];
         task.read_memory(file_data + i, &mut b).unwrap();
-        task.write_memory(file_data + i, &[b[0].wrapping_add(1)]).unwrap();
+        task.write_memory(file_data + i, &[b[0].wrapping_add(1)])
+            .unwrap();
     }
     println!("randomly incremented {file_size} bytes of the private copy");
 
@@ -58,7 +62,10 @@ fn main() {
     // fs_write_file("filename", file_data, file_size/2);
     let half = task.vm_read(file_data, file_size / 2).unwrap();
     client.write_file("filename", &half).unwrap();
-    println!("fs_write_file: stored the first {} bytes back", file_size / 2);
+    println!(
+        "fs_write_file: stored the first {} bytes back",
+        file_size / 2
+    );
 
     // /* Throw away working copy */
     // vm_deallocate(task_self(), file_data, file_size);
@@ -73,5 +80,8 @@ fn main() {
         .take(file_size as usize / 2)
         .filter(|&&b| b != 100)
         .count();
-    println!("file now differs from the original in {changed} of the first {} bytes", file_size / 2);
+    println!(
+        "file now differs from the original in {changed} of the first {} bytes",
+        file_size / 2
+    );
 }

@@ -45,7 +45,9 @@ fn main() {
         let source = Task::create(&k_origin, "worker");
         let addr = source.vm_allocate(PAGES * PAGE).unwrap();
         for i in 0..PAGES {
-            source.write_memory(addr + i * PAGE, &[(i % 250) as u8 + 1]).unwrap();
+            source
+                .write_memory(addr + i * PAGE, &[(i % 250) as u8 + 1])
+                .unwrap();
         }
         let net0 = destination.machine().stats.get(keys::NET_BYTES);
         let migrated = manager

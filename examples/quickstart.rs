@@ -32,7 +32,10 @@ impl DataManager for PatternPager {
     }
 
     fn data_write(&mut self, kernel: &KernelConn, object: u64, offset: u64, data: OolBuffer) {
-        println!("  [pager] pager_data_write: offset={offset} ({} bytes)", data.len());
+        println!(
+            "  [pager] pager_data_write: offset={offset} ({} bytes)",
+            data.len()
+        );
         kernel.release_laundry(object, data.len() as u64);
     }
 }

@@ -41,12 +41,16 @@ fn main() {
     task_a.read_memory(addr_a, &mut buf).unwrap();
     task_b.read_memory(addr_b, &mut buf).unwrap();
     let (inv, dem) = server.coherence_counters();
-    println!("frame 2: parallel read faults served write-locked (invalidations={inv}, demotions={dem})");
+    println!(
+        "frame 2: parallel read faults served write-locked (invalidations={inv}, demotions={dem})"
+    );
 
     // Frame 3: client A writes one of the shared pages.
     task_a.write_memory(addr_a, b"A was here").unwrap();
     let (inv, _) = server.coherence_counters();
-    println!("frame 3: A's write triggered unlock negotiation; B invalidated ({inv} invalidations)");
+    println!(
+        "frame 3: A's write triggered unlock negotiation; B invalidated ({inv} invalidations)"
+    );
 
     // B rereads: the server demotes A and serves B the fresh data.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Repo-wide lint gate: clippy with warnings denied, plus rustfmt drift.
+# Run before sending a change; CI runs the same two commands.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "OK: clippy clean, formatting clean."

@@ -16,7 +16,9 @@ struct OffsetPager;
 
 impl DataManager for OffsetPager {
     fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
-        let data: Vec<u8> = (offset..offset + length).map(|i| (i / 4096) as u8).collect();
+        let data: Vec<u8> = (offset..offset + length)
+            .map(|i| (i / 4096) as u8)
+            .collect();
         k.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
     }
 }
@@ -129,11 +131,8 @@ fn whole_address_space_can_travel_in_one_message() {
     let (rx, tx) = ReceiveRight::allocate(kernel.machine());
     let item_a = msg::region_item(&sender, a, 4 * 4096).unwrap();
     let item_b = msg::region_item(&sender, b_addr, 4 * 4096).unwrap();
-    tx.send(
-        machipc::Message::new(1).with(item_a).with(item_b),
-        None,
-    )
-    .unwrap();
+    tx.send(machipc::Message::new(1).with(item_a).with(item_b), None)
+        .unwrap();
     let mut m = rx.receive(None).unwrap();
     // Map the first region; then remove it from the body and map the next.
     let ra = msg::map_received_region(&receiver, &mut m).unwrap();

@@ -113,7 +113,7 @@ fn remote_file_server_works_through_the_network_message_server() {
     // serving clients on another, with the external pager protocol riding
     // the fabric both ways. The client maps the file; every page fault's
     // data_request and data_provided cross the network.
-    use machpagers::{FileServer, FsClient};
+    use machpagers::FileServer;
     use machsim::stats::keys;
     let fabric = Fabric::new();
     let server_host = fabric.add_host("fileserver");
@@ -126,7 +126,10 @@ fn remote_file_server_works_through_the_network_message_server() {
     let fs = Arc::new(machstorage::FlatFs::format(dev, 0));
     let server = FileServer::start(server_host.machine(), fs);
     server.fs().create("shared.doc").unwrap();
-    server.fs().write("shared.doc", 0, &vec![0x42u8; 8192]).unwrap();
+    server
+        .fs()
+        .write("shared.doc", 0, &vec![0x42u8; 8192])
+        .unwrap();
 
     // The client reaches the *service* port through one proxy, and the
     // memory object port from the reply through another, so both the RPC
@@ -137,8 +140,7 @@ fn remote_file_server_works_through_the_network_message_server() {
             &client_host,
             &server_host,
             server.port(),
-            Message::new(machpagers::fs::FS_READ_FILE)
-                .with(MsgItem::bytes(b"shared.doc".to_vec())),
+            Message::new(machpagers::fs::FS_READ_FILE).with(MsgItem::bytes(b"shared.doc".to_vec())),
             Some(Duration::from_secs(10)),
         )
         .unwrap();

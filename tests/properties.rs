@@ -1,59 +1,76 @@
-//! Property-based tests over core data structures and invariants.
+//! Property-style tests over core data structures and invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties are exercised with the workspace's own deterministic
+//! [`SplitMix64`] generator: each property runs a fixed number of seeded
+//! cases, so failures reproduce exactly and the value space covered is
+//! still randomized.
 
 use machcore::{Kernel, KernelConfig, Task};
 use machipc::OolBuffer;
-use machsim::Machine;
+use machsim::{Machine, SplitMix64};
 use machstorage::{BlockDevice, FlatFs, LogRecord, WriteAheadLog};
 use machvm::{PhysicalMemory, VmMap, VmProt};
-use proptest::prelude::*;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    /// FlatFs behaves like a byte vector under arbitrary writes.
-    #[test]
-    fn flatfs_matches_reference_model(
-        ops in prop::collection::vec((0usize..40_000, prop::collection::vec(any::<u8>(), 1..2_000)), 1..12)
-    ) {
+fn bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// FlatFs behaves like a byte vector under arbitrary writes.
+#[test]
+fn flatfs_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF1A7 + case);
         let m = Machine::default_machine();
         let dev = Arc::new(BlockDevice::new(&m, 256));
         let fs = FlatFs::format(dev, 0);
         fs.create("f").unwrap();
         let mut model: Vec<u8> = Vec::new();
-        for (offset, data) in &ops {
-            fs.write("f", *offset, data).unwrap();
+        let nops = 1 + rng.next_below(11) as usize;
+        for _ in 0..nops {
+            let offset = rng.next_below(40_000) as usize;
+            let len = 1 + rng.next_below(1_999) as usize;
+            let data = bytes(&mut rng, len);
+            fs.write("f", offset, &data).unwrap();
             if model.len() < offset + data.len() {
                 model.resize(offset + data.len(), 0);
             }
-            model[*offset..offset + data.len()].copy_from_slice(data);
+            model[offset..offset + data.len()].copy_from_slice(&data);
         }
-        prop_assert_eq!(fs.read_all("f").unwrap(), model);
+        assert_eq!(fs.read_all("f").unwrap(), model, "case {case}");
     }
+}
 
-    /// WAL append/force/recover round-trips arbitrary record sequences.
-    #[test]
-    fn wal_roundtrip(
-        recs in prop::collection::vec(
-            (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..200), 0u8..3),
-            1..20
-        )
-    ) {
+/// WAL append/force/recover round-trips arbitrary record sequences.
+#[test]
+fn wal_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x3A1 + case);
         let m = Machine::default_machine();
         let dev = Arc::new(BlockDevice::new(&m, 64));
         let wal = WriteAheadLog::format(dev.clone(), 0, 64);
-        let records: Vec<LogRecord> = recs
-            .iter()
-            .map(|(txid, offset, data, kind)| match kind {
-                0 => LogRecord::Update {
-                    txid: *txid,
-                    object: 1,
-                    offset: *offset,
-                    before: data.clone(),
-                    after: data.iter().rev().cloned().collect(),
-                },
-                1 => LogRecord::Commit { txid: *txid },
-                _ => LogRecord::Abort { txid: *txid },
+        let nrecs = 1 + rng.next_below(19) as usize;
+        let records: Vec<LogRecord> = (0..nrecs)
+            .map(|_| {
+                let txid = rng.next_u64();
+                match rng.next_below(3) {
+                    0 => {
+                        let len = rng.next_below(200) as usize;
+                        let before = bytes(&mut rng, len);
+                        LogRecord::Update {
+                            txid,
+                            object: 1,
+                            offset: rng.next_u64(),
+                            after: before.iter().rev().cloned().collect(),
+                            before,
+                        }
+                    }
+                    1 => LogRecord::Commit { txid },
+                    _ => LogRecord::Abort { txid },
+                }
             })
             .collect();
         for r in &records {
@@ -62,47 +79,52 @@ proptest! {
         wal.force().unwrap();
         // Recover through a reopen (fresh in-memory state from disk).
         let wal2 = WriteAheadLog::open(dev, 0, 64).unwrap();
-        prop_assert_eq!(wal2.recover().unwrap(), records);
+        assert_eq!(wal2.recover().unwrap(), records, "case {case}");
     }
+}
 
-    /// vm_regions never overlap and vm_read/vm_write round-trip after any
-    /// sequence of allocations and deallocations.
-    #[test]
-    fn address_map_invariants(
-        ops in prop::collection::vec((1u64..8, any::<bool>()), 1..24)
-    ) {
+/// vm_regions never overlap and vm_read/vm_write round-trip after any
+/// sequence of allocations and deallocations.
+#[test]
+fn address_map_invariants() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xADD2 + case);
         let m = Machine::default_machine();
         let phys = PhysicalMemory::new(&m, 128 * 4096, 4096, 2);
         let map = VmMap::new(&phys);
         let mut live: Vec<(u64, u64)> = Vec::new();
-        for (pages, dealloc) in &ops {
-            if *dealloc && !live.is_empty() {
+        let nops = 1 + rng.next_below(23) as usize;
+        for _ in 0..nops {
+            let pages = 1 + rng.next_below(7);
+            let dealloc = rng.chance(1, 2);
+            if dealloc && !live.is_empty() {
                 let (addr, size) = live.remove(0);
                 map.deallocate(addr, size).unwrap();
             } else {
                 let size = pages * 4096;
                 let addr = map.allocate(None, size).unwrap();
-                map.write(addr, &[*pages as u8]).unwrap();
+                map.write(addr, &[pages as u8]).unwrap();
                 live.push((addr, size));
             }
             // Invariant: regions are sorted and disjoint.
             let regions = map.regions();
             for w in regions.windows(2) {
-                prop_assert!(w[0].start + w[0].size <= w[1].start);
+                assert!(w[0].start + w[0].size <= w[1].start, "case {case}");
             }
         }
         // Every live region still holds its marker byte.
         for (addr, size) in &live {
             let data = map.read(*addr, 1).unwrap();
-            prop_assert_eq!(data[0] as u64 * 4096, *size);
+            assert_eq!(data[0] as u64 * 4096, *size, "case {case}");
         }
     }
+}
 
-    /// Copy-on-write isolation survives arbitrary fork/write interleaving.
-    #[test]
-    fn cow_isolation(
-        writes in prop::collection::vec((0u64..4, any::<u8>(), any::<bool>()), 1..16)
-    ) {
+/// Copy-on-write isolation survives arbitrary fork/write interleaving.
+#[test]
+fn cow_isolation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC0 + case);
         let kernel = Kernel::boot(KernelConfig {
             memory_bytes: 64 * 4096,
             ..KernelConfig::default()
@@ -115,44 +137,57 @@ proptest! {
         let child = parent.fork("c");
         let mut parent_model = [0u8; 4];
         let mut child_model = [0u8; 4];
-        for (page, value, to_child) in &writes {
+        let nwrites = 1 + rng.next_below(15) as usize;
+        for _ in 0..nwrites {
+            let page = rng.next_below(4);
+            let value = rng.next_u64() as u8;
             let target = addr + page * 4096;
-            if *to_child {
-                child.write_memory(target, &[*value]).unwrap();
-                child_model[*page as usize] = *value;
+            if rng.chance(1, 2) {
+                child.write_memory(target, &[value]).unwrap();
+                child_model[page as usize] = value;
             } else {
-                parent.write_memory(target, &[*value]).unwrap();
-                parent_model[*page as usize] = *value;
+                parent.write_memory(target, &[value]).unwrap();
+                parent_model[page as usize] = value;
             }
         }
         for p in 0..4u64 {
             let mut b = [0u8; 1];
             parent.read_memory(addr + p * 4096, &mut b).unwrap();
-            prop_assert_eq!(b[0], parent_model[p as usize]);
+            assert_eq!(b[0], parent_model[p as usize], "case {case}");
             child.read_memory(addr + p * 4096, &mut b).unwrap();
-            prop_assert_eq!(b[0], child_model[p as usize]);
+            assert_eq!(b[0], child_model[p as usize], "case {case}");
         }
     }
+}
 
-    /// OolBuffer transfers share storage until written.
-    #[test]
-    fn ool_buffer_sharing(data in prop::collection::vec(any::<u8>(), 1..10_000)) {
+/// OolBuffer transfers share storage until written.
+#[test]
+fn ool_buffer_sharing() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x001 + case);
+        let len = 1 + rng.next_below(9_999) as usize;
+        let data = bytes(&mut rng, len);
         let a = OolBuffer::from_slice(&data);
         let b = a.clone();
-        prop_assert!(a.shares_storage_with(&b));
+        assert!(a.shares_storage_with(&b), "case {case}");
         let mut private = b.to_mut_vec();
         if let Some(first) = private.first_mut() {
             *first = first.wrapping_add(1);
         }
-        prop_assert_eq!(a.as_slice(), &data[..]);
+        assert_eq!(a.as_slice(), &data[..], "case {case}");
     }
+}
 
-    /// Messages from each sender arrive in that sender's send order (FIFO
-    /// per sender), regardless of interleaving.
-    #[test]
-    fn ipc_fifo_per_sender(
-        counts in prop::collection::vec(1usize..20, 2..5)
-    ) {
+/// Messages from each sender arrive in that sender's send order (FIFO
+/// per sender), regardless of interleaving.
+#[test]
+fn ipc_fifo_per_sender() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF1F0 + case);
+        let nsenders = 2 + rng.next_below(3) as usize;
+        let counts: Vec<usize> = (0..nsenders)
+            .map(|_| 1 + rng.next_below(19) as usize)
+            .collect();
         let machine = Machine::default_machine();
         let (rx, tx) = machipc::ReceiveRight::allocate(&machine);
         rx.set_backlog(1024);
@@ -162,11 +197,8 @@ proptest! {
                 let tx = tx.clone();
                 s.spawn(move || {
                     for seq in 0..n {
-                        tx.send(
-                            machipc::Message::new((sender_id * 1000 + seq) as u32),
-                            None,
-                        )
-                        .unwrap();
+                        tx.send(machipc::Message::new((sender_id * 1000 + seq) as u32), None)
+                            .unwrap();
                     }
                 });
             }
@@ -182,16 +214,20 @@ proptest! {
             }
         });
     }
+}
 
-    /// Port name spaces: names stay valid until deallocated, never after.
-    #[test]
-    fn portspace_name_lifecycle(ops in prop::collection::vec(any::<bool>(), 1..40)) {
+/// Port name spaces: names stay valid until deallocated, never after.
+#[test]
+fn portspace_name_lifecycle() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x9A3E + case);
         let machine = Machine::default_machine();
         let space = machipc::PortSpace::new(&machine);
         let mut live: Vec<machipc::PortName> = Vec::new();
         let mut dead: Vec<machipc::PortName> = Vec::new();
-        for op in ops {
-            if op || live.is_empty() {
+        let nops = 1 + rng.next_below(39) as usize;
+        for _ in 0..nops {
+            if rng.chance(1, 2) || live.is_empty() {
                 live.push(space.port_allocate());
             } else {
                 let name = live.remove(0);
@@ -199,35 +235,39 @@ proptest! {
                 dead.push(name);
             }
             for n in &live {
-                prop_assert!(space.port_status(*n).is_ok());
+                assert!(space.port_status(*n).is_ok(), "case {case}");
             }
             for n in &dead {
-                prop_assert!(space.port_status(*n).is_err());
+                assert!(space.port_status(*n).is_err(), "case {case}");
             }
         }
     }
+}
 
-    /// The resident page cache never lies: supply then lookup returns the
-    /// same bytes, and flush forgets them.
-    #[test]
-    fn resident_cache_consistency(
-        pages in prop::collection::vec(prop::collection::vec(any::<u8>(), 4096..=4096), 1..6)
-    ) {
+/// The resident page cache never lies: supply then lookup returns the
+/// same bytes, and flush forgets them.
+#[test]
+fn resident_cache_consistency() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x2E5 + case);
+        let npages = 1 + rng.next_below(5) as usize;
+        let pages: Vec<Vec<u8>> = (0..npages).map(|_| bytes(&mut rng, 4096)).collect();
         let m = Machine::default_machine();
         let phys = PhysicalMemory::new(&m, 32 * 4096, 4096, 2);
         let obj = machvm::VmObject::new_temporary(1 << 20);
         for (i, page) in pages.iter().enumerate() {
-            phys.supply_page(&obj, (i as u64) * 4096, page, VmProt::NONE).unwrap();
+            phys.supply_page(&obj, (i as u64) * 4096, page, VmProt::NONE)
+                .unwrap();
         }
         for (i, page) in pages.iter().enumerate() {
             match phys.lookup(obj.id(), (i as u64) * 4096) {
                 machvm::PageLookup::Resident { frame, .. } => {
                     phys.with_frame(frame, |d| assert_eq!(d, &page[..]));
                 }
-                other => prop_assert!(false, "expected resident, got {:?}", other),
+                other => panic!("case {case}: expected resident, got {other:?}"),
             }
         }
         phys.release_object(&obj, false);
-        prop_assert_eq!(phys.resident_pages_of(obj.id()), 0);
+        assert_eq!(phys.resident_pages_of(obj.id()), 0, "case {case}");
     }
 }

@@ -15,7 +15,9 @@ struct OffsetPager;
 
 impl DataManager for OffsetPager {
     fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
-        let data: Vec<u8> = (offset..offset + length).map(|i| (i / PAGE) as u8).collect();
+        let data: Vec<u8> = (offset..offset + length)
+            .map(|i| (i / PAGE) as u8)
+            .collect();
         k.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
     }
 }
@@ -73,7 +75,9 @@ fn fork_storm_under_memory_pressure() {
     let pages = 16u64;
     let addr = current.vm_allocate(pages * PAGE).unwrap();
     for i in 0..pages {
-        current.write_memory(addr + i * PAGE, &[0, i as u8]).unwrap();
+        current
+            .write_memory(addr + i * PAGE, &[0, i as u8])
+            .unwrap();
     }
     for gen in 1..=12u8 {
         let child = current.fork(&format!("gen{gen}"));
@@ -94,7 +98,11 @@ fn fork_storm_under_memory_pressure() {
         current = child;
     }
     assert!(
-        kernel.machine().stats.get(machsim::stats::keys::VM_PAGEOUTS) > 0,
+        kernel
+            .machine()
+            .stats
+            .get(machsim::stats::keys::VM_PAGEOUTS)
+            > 0,
         "pressure reached the pageout path"
     );
 }

@@ -1,0 +1,138 @@
+//! End-to-end tests for the causal trace layer: one external-object fault
+//! must produce one correlated chain spanning vm → ipc → pager → storage.
+
+use machcore::{Kernel, KernelConfig, Task};
+use machpagers::{FileServer, FsClient};
+use machsim::trace::{keys as lat_keys, milestones};
+use machsim::{EventKind, Machine};
+use machstorage::{BlockDevice, FlatFs};
+use std::sync::Arc;
+
+/// Boots a kernel and file server on one machine with one 8 KiB file.
+fn file_backed_setup() -> (Machine, Arc<Kernel>, Arc<FileServer>) {
+    let machine = Machine::default_machine();
+    let kernel = Kernel::boot_on(machine.clone(), KernelConfig::default());
+    let dev = Arc::new(BlockDevice::new(&machine, 128));
+    let fs = Arc::new(FlatFs::format(dev, 0));
+    let server = FileServer::start(&machine, fs);
+    server.fs().create("data.bin").unwrap();
+    server
+        .fs()
+        .write("data.bin", 0, &vec![0x5Au8; 8192])
+        .unwrap();
+    (machine, kernel, server)
+}
+
+/// The tentpole acceptance test: a single fault on an externally paged
+/// region yields the exact milestone chain
+/// `fault → msg_send → data_request → disk_read → data_provided → resume`
+/// under one shared correlation id.
+#[test]
+fn external_fault_produces_one_correlated_chain() {
+    let (machine, kernel, server) = file_backed_setup();
+    let client = FsClient::new(server.port().clone());
+    let task = Task::create(&kernel, "reader");
+    let (addr, size) = client.read_file(&task, "data.bin").unwrap();
+    assert_eq!(size, 8192);
+
+    // Only the fault below should land in the buffer.
+    machine.trace.clear();
+    let mut byte = [0u8; 1];
+    task.read_memory(addr, &mut byte).unwrap();
+    assert_eq!(byte[0], 0x5A);
+
+    let faults: Vec<_> = machine
+        .trace
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::Fault)
+        .collect();
+    assert_eq!(faults.len(), 1, "one read -> one fault");
+    let cid = faults[0].correlation_id.expect("fault allocates a cid");
+
+    let chain = machine.trace.chain(cid);
+    assert!(
+        chain.iter().all(|e| e.correlation_id == Some(cid)),
+        "every hop shares the fault's correlation id"
+    );
+    // The chain crosses every layer: vm, ipc, the pager, and storage.
+    for prefix in ["vm.", "port#", "pager.", "disk"] {
+        assert!(
+            chain.iter().any(|e| e.actor.starts_with(prefix)),
+            "chain missing a {prefix} hop: {chain:#?}"
+        );
+    }
+    assert_eq!(
+        milestones(&chain),
+        vec![
+            EventKind::Fault,
+            EventKind::MsgSend,
+            EventKind::DataRequest,
+            EventKind::DiskRead,
+            EventKind::DataProvided,
+            EventKind::Resume,
+        ],
+        "full chain was: {chain:#?}"
+    );
+    // Events are causally ordered: sequence numbers strictly increase.
+    assert!(chain.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    // The latency histograms saw the same journey.
+    for key in [
+        lat_keys::FAULT_TO_RESOLUTION,
+        lat_keys::REQUEST_TO_FILL,
+        lat_keys::SEND_TO_RECEIVE,
+    ] {
+        let h = machine
+            .latency
+            .get(key)
+            .unwrap_or_else(|| panic!("histogram {key} missing"));
+        assert!(h.count() > 0, "{key} recorded no samples");
+        assert!(h.p99_ns() >= h.p50_ns());
+    }
+}
+
+/// A second fault on the same page is served from the VM page cache: same
+/// correlation discipline, but the chain never leaves the vm layer.
+#[test]
+fn cached_fault_chain_stays_local() {
+    let (machine, kernel, server) = file_backed_setup();
+    let client = FsClient::new(server.port().clone());
+    let task = Task::create(&kernel, "reader");
+    let (addr, _) = client.read_file(&task, "data.bin").unwrap();
+    let mut byte = [0u8; 1];
+    task.read_memory(addr, &mut byte).unwrap(); // cold: fills the cache
+
+    machine.trace.clear();
+    let task2 = Task::create(&kernel, "rereader");
+    let (addr2, _) = client.read_file(&task2, "data.bin").unwrap();
+    machine.trace.clear();
+    task2.read_memory(addr2, &mut byte).unwrap();
+
+    let events = machine.trace.snapshot();
+    let fault = events
+        .iter()
+        .find(|e| e.kind == EventKind::Fault)
+        .expect("warm read still faults once");
+    let chain = machine.trace.chain(fault.correlation_id.unwrap());
+    assert_eq!(
+        milestones(&chain),
+        vec![EventKind::Fault, EventKind::Resume],
+        "warm fault should resolve without pager traffic: {chain:#?}"
+    );
+}
+
+/// Tracing can be switched off and the stack keeps working silently.
+#[test]
+fn disabled_tracing_records_nothing() {
+    let (machine, kernel, server) = file_backed_setup();
+    machine.trace.set_enabled(false);
+    machine.trace.clear();
+    let client = FsClient::new(server.port().clone());
+    let task = Task::create(&kernel, "reader");
+    let (addr, _) = client.read_file(&task, "data.bin").unwrap();
+    let mut byte = [0u8; 1];
+    task.read_memory(addr, &mut byte).unwrap();
+    assert_eq!(byte[0], 0x5A);
+    assert!(machine.trace.is_empty());
+}

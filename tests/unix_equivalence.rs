@@ -119,10 +119,7 @@ fn cost_profiles_differ_as_designed() {
     let base_copied = mb.stats.get(machsim::stats::keys::BYTES_COPIED);
     let (k, _server, u) = mach();
     run_script(&u, seed);
-    let mach_copied = k
-        .machine()
-        .stats
-        .get(machsim::stats::keys::BYTES_COPIED);
+    let mach_copied = k.machine().stats.get(machsim::stats::keys::BYTES_COPIED);
     assert!(
         base_copied > 2 * mach_copied,
         "baseline copies {base_copied} vs mach {mach_copied}"
