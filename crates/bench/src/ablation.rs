@@ -184,8 +184,9 @@ mod tests {
         let o = cache_advice();
         assert_eq!(o.refills_with_advice, 0, "advice keeps the cache");
         assert_eq!(
-            o.refills_without_advice, 16,
-            "without it, termination drops every page"
+            o.refills_without_advice,
+            16 / machcore::DEFAULT_CLUSTER_PAGES as u64,
+            "without it, termination drops every page (refetched in clusters)"
         );
     }
 

@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn only_the_first_client_pays_fills() {
         let costs = measure(4, 32);
-        assert_eq!(costs[0].fills, 32, "first client faults every page");
+        assert_eq!(
+            costs[0].fills,
+            32 / machcore::DEFAULT_CLUSTER_PAGES as u64,
+            "first client faults every page, one request per cluster"
+        );
         for c in &costs[1..] {
             assert_eq!(c.fills, 0, "client {} hit the shared cache", c.index);
         }

@@ -146,6 +146,14 @@ impl IpcPagerBackend {
 }
 
 impl PagerBackend for IpcPagerBackend {
+    fn supports_cluster(&self) -> bool {
+        // The kernel → manager protocol carries an explicit length on every
+        // call, and `pager_data_provided` / `pager_data_unavailable` answers
+        // are applied page by page, so any IPC-attached manager can be asked
+        // for multi-page runs.
+        true
+    }
+
     fn data_request(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt) {
         self.manager.send_notification(
             Message::new(proto::PAGER_DATA_REQUEST)

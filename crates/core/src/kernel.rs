@@ -45,6 +45,12 @@ pub struct KernelConfig {
     pub pageout_daemon: bool,
 }
 
+/// Default read-fault cluster size, in pages: one `pager_data_request`
+/// covers up to this many contiguous absent pages when the manager is
+/// cluster-capable (every IPC-attached manager is — see
+/// [`IpcPagerBackend`]). Matches real Mach's cluster paging.
+pub const DEFAULT_CLUSTER_PAGES: usize = 8;
+
 impl Default for KernelConfig {
     fn default() -> Self {
         Self {
@@ -53,7 +59,7 @@ impl Default for KernelConfig {
             reserve_pages: 16,
             paging_blocks: 4096,
             cost: CostModel::default(),
-            fault_policy: FaultPolicy::trusting(),
+            fault_policy: FaultPolicy::trusting().with_cluster(DEFAULT_CLUSTER_PAGES),
             laundry_limit: crate::backend::DEFAULT_LAUNDRY_LIMIT,
             pageout_daemon: true,
         }
@@ -311,6 +317,11 @@ impl Kernel {
                 proto::PAGER_CACHE => {
                     if let Some(obj) = object_of(ids[0]) {
                         obj.set_can_persist(ids[1] != 0);
+                    }
+                }
+                proto::PAGER_SET_CLUSTER => {
+                    if let Some(obj) = object_of(ids[0]) {
+                        obj.set_cluster_hint(ids[1] as usize);
                     }
                 }
                 proto::PAGER_RELEASE_LAUNDRY => {

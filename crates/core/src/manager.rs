@@ -116,6 +116,14 @@ impl KernelConn {
         self.send(Message::new(proto::PAGER_RELEASE_LAUNDRY).with(MsgItem::u64s(&[object, bytes])));
     }
 
+    /// Advises the kernel to request at most `pages` pages of this object
+    /// per `pager_data_request` — the cluster-size attribute of
+    /// `memory_object_set_attributes`. Managers that track caching per
+    /// page per client (coherent shared memory) advise 1.
+    pub fn set_cluster(&self, object: u64, pages: u64) {
+        self.send(Message::new(proto::PAGER_SET_CLUSTER).with(MsgItem::u64s(&[object, pages])));
+    }
+
     /// The machine (host) the manager runs on.
     pub fn machine(&self) -> &Machine {
         &self.machine

@@ -28,6 +28,7 @@
 //! | [`PAGER_CACHE`] | `pager_cache` | u64s `[object, may_cache]` |
 //! | [`PAGER_DATA_UNAVAILABLE`] | `pager_data_unavailable` | u64s `[object, offset, size]` |
 //! | [`PAGER_RELEASE_LAUNDRY`] | (vm_deallocate of written data) | u64s `[object, bytes]` |
+//! | [`PAGER_SET_CLUSTER`] | (cluster-size attribute) | u64s `[object, pages]` |
 
 /// Kernel → manager: initialize a memory object (Table 3-5).
 pub const PAGER_INIT: u32 = 0x2200;
@@ -61,6 +62,11 @@ pub const PAGER_DATA_UNAVAILABLE: u32 = 0x2305;
 /// kernel may retire the corresponding laundry debt (the `vm_deallocate`
 /// the paper expects after `pager_data_write`).
 pub const PAGER_RELEASE_LAUNDRY: u32 = 0x2306;
+/// Manager → kernel: cap cluster paging for the object at the given
+/// number of pages per `pager_data_request` (the cluster-size attribute
+/// of `memory_object_set_attributes` in later Mach; 1 disables prefetch).
+/// Body: u64s `[object, pages]`.
+pub const PAGER_SET_CLUSTER: u32 = 0x2307;
 
 /// Kernel service loop control: shut down.
 pub const KERNEL_SHUTDOWN: u32 = 0x2FFF;
@@ -89,6 +95,7 @@ mod tests {
             PAGER_CACHE,
             PAGER_DATA_UNAVAILABLE,
             PAGER_RELEASE_LAUNDRY,
+            PAGER_SET_CLUSTER,
             KERNEL_SHUTDOWN,
         ];
         let mut sorted = ids.to_vec();

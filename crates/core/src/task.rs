@@ -380,14 +380,13 @@ mod tests {
                 length: u64,
                 _a: VmProt,
             ) {
-                // Page content encodes its own offset.
-                let fill = (offset / 4096) as u8;
-                kernel.data_provided(
-                    object,
-                    offset,
-                    OolBuffer::from_vec(vec![fill; length as usize]),
-                    VmProt::NONE,
-                );
+                // Page content encodes its own offset. The kernel may ask
+                // for a multi-page cluster, so fill page by page.
+                let mut data = vec![0u8; length as usize];
+                for (i, page) in data.chunks_mut(4096).enumerate() {
+                    page.fill((offset / 4096) as u8 + i as u8);
+                }
+                kernel.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
             }
         }
         let k = kernel();

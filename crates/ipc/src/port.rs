@@ -148,8 +148,8 @@ impl PortCore {
         self.ctx
             .clock
             .charge(cost.message_ns + cost.copy_cost_ns(inline) + cost.remap_cost_ns(ool_pages));
-        self.ctx.stats.incr(keys::MSG_SENT);
-        self.ctx.stats.add(keys::BYTES_COPIED, inline);
+        self.ctx.hot.msg_sent.incr();
+        self.ctx.hot.bytes_copied.add(inline);
         self.ctx.stats.add(keys::PAGES_REMAPPED, ool_pages);
         if msg.correlation == 0 {
             if let Some(cid) = trace::current_correlation() {
@@ -168,7 +168,7 @@ impl PortCore {
     /// the send-to-receive latency sample, the `MsgRecv` trace event, and
     /// adoption of the message's correlation id by the receiving thread.
     fn finish_recv(&self, msg: &Message) {
-        self.ctx.stats.incr(keys::MSG_RECEIVED);
+        self.ctx.hot.msg_received.incr();
         let cid = trace::CorrelationId::from_raw(msg.correlation);
         if msg.sent_at_ns != 0 {
             let now = self.ctx.clock.now_ns();

@@ -52,6 +52,14 @@ struct MigrationPager {
 }
 
 impl DataManager for MigrationPager {
+    fn init(&mut self, kernel: &KernelConn, object: u64) {
+        // Copy-on-reference means *only referenced pages* cross the
+        // network; kernel cluster paging would drag whole runs over the
+        // wire on every fault. Pre-paging stays a manager decision
+        // (`prefetch_pages`), per §8.2.
+        kernel.set_cluster(object, 1);
+    }
+
     fn data_request(
         &mut self,
         kernel: &KernelConn,
@@ -172,6 +180,16 @@ impl MigrationManager {
                     .fabric
                     .proxy(destination, origin, handle.port().clone());
                 let addr = new_task.vm_allocate_with_pager(None, size, proxied.port(), 0)?;
+                // pager_init is asynchronous; until the pager's cluster
+                // advice lands, a fault would pull a kernel-sized cluster
+                // and void the copy-on-reference accounting.
+                let object = dst_kernel.object_for_port(proxied.port(), size);
+                for _ in 0..500 {
+                    if object.cluster_hint() == 1 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
                 // Leak the proxy alongside the pager handle so the object
                 // stays reachable for the task's lifetime.
                 std::mem::forget(proxied);

@@ -166,6 +166,13 @@ struct ShmManager {
 
 impl DataManager for ShmManager {
     fn init(&mut self, kernel: &KernelConn, object: u64) {
+        // Single-page coherence: a clustered request would make the
+        // kernel prefetch neighbors — registering the client for pages it
+        // never asked about and, on a write fault, granting it spurious
+        // write ownership of every page in the cluster run. Cap the
+        // cluster before the session becomes visible so `attach` can wait
+        // for the attribute to land.
+        kernel.set_cluster(object, 1);
         let mut st = self.state.lock();
         st.sessions.push(Session {
             conn: kernel.clone(),
@@ -351,10 +358,16 @@ impl SharedMemoryServer {
         let sessions_before = self.state.lock().sessions.len();
         let addr = task.vm_allocate_with_pager(None, self.size, &port, 0)?;
         // pager_init travels asynchronously (possibly through a proxy);
-        // wait for the session so later attaches see ordered host slots.
+        // wait for the session so later attaches see ordered host slots,
+        // and for the single-page cluster attribute the server sends
+        // during init — the stand-in for real Mach's kernel blocking new
+        // mappings until `memory_object_set_attributes` arrives. Faulting
+        // before it lands would cluster-prefetch pages this server tracks
+        // per client.
+        let object = task.kernel().object_for_port(&port, self.size);
         for _ in 0..500 {
-            if self.state.lock().sessions.len() > sessions_before {
-                return Ok(addr);
+            if self.state.lock().sessions.len() > sessions_before && object.cluster_hint() == 1 {
+                break;
             }
             std::thread::sleep(std::time::Duration::from_millis(2));
         }

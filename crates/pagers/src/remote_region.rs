@@ -33,6 +33,13 @@ struct SnapshotPager {
 }
 
 impl DataManager for SnapshotPager {
+    fn init(&mut self, k: &KernelConn, object: u64) {
+        // Pages cross the fabric when — and only when — they are
+        // referenced; kernel cluster paging would ship unreferenced
+        // neighbours on every fault.
+        k.set_cluster(object, 1);
+    }
+
     fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
         let end = ((offset + length) as usize).min(self.data.len());
         if offset as usize >= end {
@@ -106,6 +113,15 @@ pub fn map_received(task: &Task, msg: &Message) -> Result<(u64, u64), VmError> {
         return Err(VmError::ObjectDestroyed);
     };
     let addr = task.vm_allocate_with_pager(None, size, &rights[0], 0)?;
+    // pager_init is asynchronous; wait for the snapshot pager's
+    // single-page advice so the first faults don't pull clusters.
+    let object = task.kernel().object_for_port(&rights[0], size);
+    for _ in 0..500 {
+        if object.cluster_hint() == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
     Ok((addr, size))
 }
 

@@ -28,7 +28,7 @@ pub use clock::SimClock;
 pub use cost::CostModel;
 pub use machine::Machine;
 pub use rng::SplitMix64;
-pub use stats::{Counter, StatsRegistry, StatsSnapshot};
+pub use stats::{Counter, HotCounters, StatsRegistry, StatsSnapshot};
 pub use topology::{MemoryKind, Topology};
 pub use trace::{
     CorrelationId, CorrelationScope, EventKind, Histogram, LatencyRegistry, TraceBuffer, TraceEvent,

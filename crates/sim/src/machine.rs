@@ -7,7 +7,7 @@
 
 use crate::clock::SimClock;
 use crate::cost::CostModel;
-use crate::stats::StatsRegistry;
+use crate::stats::{HotCounters, StatsRegistry};
 use crate::topology::Topology;
 use crate::trace::{CorrelationId, EventKind, LatencyRegistry, TraceBuffer, TraceEvent};
 use std::sync::Arc;
@@ -28,6 +28,9 @@ pub struct Machine {
     pub trace: Arc<TraceBuffer>,
     /// Named latency histograms of this host.
     pub latency: LatencyRegistry,
+    /// Pre-resolved counters for the fault/IPC/disk hot paths, backed by
+    /// the same atomics as `stats` (no per-increment name lookup).
+    pub hot: Arc<HotCounters>,
     /// Host name shown in trace events ("local" unless on a fabric).
     host: Arc<str>,
 }
@@ -40,12 +43,15 @@ impl Machine {
 
     /// Creates a machine with the given cost model and host name.
     pub fn named(cost: CostModel, host: &str) -> Self {
+        let stats = StatsRegistry::new();
+        let hot = Arc::new(HotCounters::new(&stats));
         Self {
             clock: SimClock::new(),
-            stats: StatsRegistry::new(),
+            stats,
             cost: Arc::new(cost),
             trace: Arc::new(TraceBuffer::default()),
             latency: LatencyRegistry::new(),
+            hot,
             host: Arc::from(host),
         }
     }

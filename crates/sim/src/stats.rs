@@ -80,6 +80,62 @@ pub mod keys {
     pub const BCACHE_MISSES: &str = "bcache.misses";
 }
 
+/// Pre-resolved handles for the counters on the fault/IPC/disk hot paths.
+///
+/// `StatsRegistry::incr` costs a `RwLock` acquisition plus a `BTreeMap`
+/// string lookup per increment — fine for reporting, far too heavy for a
+/// path that the whole system serializes behind ("page faults become IPC,
+/// so fault throughput *is* system throughput"). Subsystems that sit on
+/// the hot path resolve their counters once at machine construction and
+/// bump the shared atomics directly.
+#[derive(Clone, Debug)]
+pub struct HotCounters {
+    /// [`keys::VM_FAULTS`]
+    pub vm_faults: Counter,
+    /// [`keys::VM_CACHE_HITS`]
+    pub vm_cache_hits: Counter,
+    /// [`keys::VM_PAGER_FILLS`]
+    pub vm_pager_fills: Counter,
+    /// [`keys::VM_ZERO_FILLS`]
+    pub vm_zero_fills: Counter,
+    /// [`keys::VM_COW_COPIES`]
+    pub vm_cow_copies: Counter,
+    /// [`keys::VM_PAGEOUTS`]
+    pub vm_pageouts: Counter,
+    /// [`keys::BYTES_COPIED`]
+    pub bytes_copied: Counter,
+    /// [`keys::MSG_SENT`]
+    pub msg_sent: Counter,
+    /// [`keys::MSG_RECEIVED`]
+    pub msg_received: Counter,
+    /// [`keys::DISK_READS`]
+    pub disk_reads: Counter,
+    /// [`keys::DISK_WRITES`]
+    pub disk_writes: Counter,
+    /// [`keys::DISK_BYTES`]
+    pub disk_bytes: Counter,
+}
+
+impl HotCounters {
+    /// Resolves every hot-path counter in `registry` once.
+    pub fn new(registry: &StatsRegistry) -> Self {
+        HotCounters {
+            vm_faults: registry.counter(keys::VM_FAULTS),
+            vm_cache_hits: registry.counter(keys::VM_CACHE_HITS),
+            vm_pager_fills: registry.counter(keys::VM_PAGER_FILLS),
+            vm_zero_fills: registry.counter(keys::VM_ZERO_FILLS),
+            vm_cow_copies: registry.counter(keys::VM_COW_COPIES),
+            vm_pageouts: registry.counter(keys::VM_PAGEOUTS),
+            bytes_copied: registry.counter(keys::BYTES_COPIED),
+            msg_sent: registry.counter(keys::MSG_SENT),
+            msg_received: registry.counter(keys::MSG_RECEIVED),
+            disk_reads: registry.counter(keys::DISK_READS),
+            disk_writes: registry.counter(keys::DISK_WRITES),
+            disk_bytes: registry.counter(keys::DISK_BYTES),
+        }
+    }
+}
+
 /// A registry of named counters shared by one simulated machine.
 #[derive(Clone, Debug, Default)]
 pub struct StatsRegistry {
@@ -93,12 +149,21 @@ impl StatsRegistry {
     }
 
     /// Returns the counter with the given name, creating it if needed.
+    ///
+    /// Creation is atomic: when several threads race to create the same
+    /// name, exactly one `Counter` is inserted and every caller gets a
+    /// clone of it. The read lock is only a fast path; losers of the race
+    /// re-check under the write lock via the entry API instead of blindly
+    /// inserting (which would strand earlier clones on a dead counter).
     pub fn counter(&self, name: &str) -> Counter {
         if let Some(c) = self.counters.read().get(name) {
             return c.clone();
         }
-        let mut w = self.counters.write();
-        w.entry(name.to_string()).or_default().clone()
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
     }
 
     /// Adds `n` to the named counter.
@@ -246,6 +311,44 @@ mod tests {
             }
         });
         assert_eq!(r.get("hot"), 4_000);
+    }
+
+    #[test]
+    fn racing_creation_yields_one_counter() {
+        // Regression: two writers racing to create the same name must end
+        // up sharing one `Counter`; if each inserted its own, increments
+        // through earlier clones would be lost from later reads.
+        for _ in 0..50 {
+            let r = StatsRegistry::new();
+            let handles: Vec<Counter> = std::thread::scope(|s| {
+                let threads: Vec<_> = (0..8)
+                    .map(|_| {
+                        let r = r.clone();
+                        s.spawn(move || {
+                            let c = r.counter("contended");
+                            c.incr();
+                            c
+                        })
+                    })
+                    .collect();
+                threads.into_iter().map(|t| t.join().unwrap()).collect()
+            });
+            // Every clone observes every increment, and so does the name.
+            for h in &handles {
+                assert_eq!(h.get(), 8);
+            }
+            assert_eq!(r.get("contended"), 8);
+        }
+    }
+
+    #[test]
+    fn hot_counters_share_registry_values() {
+        let r = StatsRegistry::new();
+        let hot = HotCounters::new(&r);
+        hot.vm_faults.incr();
+        r.incr(keys::VM_FAULTS);
+        assert_eq!(r.get(keys::VM_FAULTS), 2);
+        assert_eq!(hot.vm_faults.get(), 2);
     }
 
     #[test]

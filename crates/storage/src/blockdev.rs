@@ -74,13 +74,14 @@ impl BlockDevice {
         self.machine
             .clock
             .charge(self.machine.cost.disk_op_ns(bytes as u64));
-        self.machine.stats.incr(counter);
-        self.machine.stats.add(keys::DISK_BYTES, bytes as u64);
         let kind = if counter == keys::DISK_READS {
+            self.machine.hot.disk_reads.incr();
             machsim::EventKind::DiskRead
         } else {
+            self.machine.hot.disk_writes.incr();
             machsim::EventKind::DiskWrite
         };
+        self.machine.hot.disk_bytes.add(bytes as u64);
         self.machine.trace_event("disk", kind);
     }
 

@@ -25,7 +25,6 @@
 use crate::object::VmObject;
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
-use machsim::stats::keys;
 use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope};
 use machsim::EventKind;
 use std::sync::Arc;
@@ -43,15 +42,31 @@ pub enum TimeoutAction {
     ZeroFill,
 }
 
-/// Fault-time policy: how long to wait for a data manager, and what to do
-/// when it does not answer.
-#[derive(Clone, Copy, Debug, Default)]
+/// Fault-time policy: how long to wait for a data manager, what to do
+/// when it does not answer, and how much to read ahead.
+#[derive(Clone, Copy, Debug)]
 pub struct FaultPolicy {
     /// Maximum time to wait for `pager_data_provided` / unlock. `None`
     /// waits forever (the default, matching trusting 1987 Mach).
     pub pager_timeout: Option<Duration>,
     /// Action on timeout.
     pub on_timeout: TimeoutAction,
+    /// Cluster size for pager fills, in pages: a fault against a
+    /// cluster-capable pager requests up to this many contiguous absent
+    /// pages in one `pager_data_request` (real Mach's cluster paging,
+    /// which amortizes the per-page message cost of external pagers).
+    /// `1` disables read-ahead.
+    pub cluster_pages: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            pager_timeout: None,
+            on_timeout: TimeoutAction::default(),
+            cluster_pages: 1,
+        }
+    }
 }
 
 impl FaultPolicy {
@@ -64,7 +79,7 @@ impl FaultPolicy {
     pub fn abort_after(t: Duration) -> Self {
         Self {
             pager_timeout: Some(t),
-            on_timeout: TimeoutAction::Fail,
+            ..Self::default()
         }
     }
 
@@ -73,7 +88,15 @@ impl FaultPolicy {
         Self {
             pager_timeout: Some(t),
             on_timeout: TimeoutAction::ZeroFill,
+            ..Self::default()
         }
+    }
+
+    /// Returns the policy with pager fills requesting `pages`-page
+    /// clusters from cluster-capable pagers.
+    pub fn with_cluster(mut self, pages: usize) -> Self {
+        self.cluster_pages = pages.max(1);
+        self
     }
 }
 
@@ -112,7 +135,7 @@ pub fn resolve_page(
 ) -> Result<FaultResult, VmError> {
     let machine = phys.machine().clone();
     machine.clock.charge(machine.cost.fault_overhead_ns);
-    machine.stats.incr(keys::VM_FAULTS);
+    machine.hot.vm_faults.incr();
     let cid = CorrelationId::allocate();
     let _scope = CorrelationScope::enter(cid);
     machine.trace_event("vm.fault", EventKind::Fault);
@@ -169,7 +192,7 @@ fn resolve_page_inner(
                     frame
                 };
                 if first_probe {
-                    machine.stats.incr(keys::VM_CACHE_HITS);
+                    machine.hot.vm_cache_hits.incr();
                 }
                 let residual_lock = phys
                     .page_lock(object.id(), obj_offset)
@@ -189,10 +212,17 @@ fn resolve_page_inner(
                 if wants_write {
                     // Copy-on-write: copy the ancestor's page into the
                     // faulting object ("a new page is created as a copy of
-                    // the original").
-                    let new_frame = phys.copy_page(frame, top, offset)?;
+                    // the original"). Pin the source page by key so the
+                    // frame cannot be reclaimed — and recycled for another
+                    // page — while its bytes are being copied; on a lost
+                    // race the fault restarts and refills the ancestor.
+                    let Some(src) = phys.pin_resident(object.id(), obj_offset) else {
+                        continue;
+                    };
+                    let copied = phys.copy_page(src, top, offset);
+                    phys.unpin(src);
                     return Ok(FaultResult {
-                        frame: new_frame,
+                        frame: copied?,
                         object: top.clone(),
                         offset,
                         prot_limit: VmProt::ALL,
@@ -224,14 +254,39 @@ fn resolve_page_inner(
                     continue;
                 }
                 if let Some(pager) = object.pager() {
-                    if phys.begin_fill(object.id(), obj_offset) {
-                        machine.stats.incr(keys::VM_PAGER_FILLS);
-                        pager.data_request(object.id(), obj_offset, page, access);
+                    // Claim the faulting page, plus — for cluster-capable
+                    // pagers — as many absent neighbors as fit in the
+                    // cluster window, so one message fills the whole run.
+                    // The pager's per-object attribute caps the policy's
+                    // cluster (coherence pagers advise 1: prefetching a
+                    // page they track per client would corrupt their view
+                    // of who caches what).
+                    let cluster = match object.cluster_hint() {
+                        0 => policy.cluster_pages.max(1),
+                        hint => policy.cluster_pages.max(1).min(hint),
+                    };
+                    let claimed = if cluster > 1 && pager.supports_cluster() {
+                        phys.begin_fill_cluster(object.id(), obj_offset, cluster, object.size())
+                    } else if phys.begin_fill(object.id(), obj_offset) {
+                        Some((obj_offset, 1))
+                    } else {
+                        None
+                    };
+                    if let Some((start, pages)) = claimed {
+                        machine.hot.vm_pager_fills.incr();
+                        pager.data_request(object.id(), start, pages as u64 * page, access);
                     }
                     match phys.await_page(object.id(), obj_offset, policy.pager_timeout) {
                         Ok(_) => continue,
                         Err(VmError::Timeout) => {
-                            phys.cancel_fill(object.id(), obj_offset);
+                            // Abandon every page this fault claimed: the
+                            // read-ahead pages have no other waiter, so a
+                            // stale pending entry would block later faults
+                            // until their own timeouts.
+                            let (start, pages) = claimed.unwrap_or((obj_offset, 1));
+                            for i in 0..pages as u64 {
+                                phys.cancel_fill(object.id(), start + i * page);
+                            }
                             return handle_timeout(phys, top, offset, policy);
                         }
                         Err(e) => return Err(e),
@@ -283,6 +338,7 @@ mod tests {
     use crate::object::test_support::RecordingPager;
     use crate::object::PagerBackend;
     use machipc::OolBuffer;
+    use machsim::stats::keys;
     use machsim::Machine;
     use parking_lot::Mutex;
 
@@ -298,24 +354,50 @@ mod tests {
         object: Mutex<Option<Arc<VmObject>>>,
         fill: u8,
         lock: VmProt,
+        cluster: bool,
+        requests: Mutex<Vec<(u64, u64)>>,
     }
 
     impl EchoPager {
         fn attach(phys: &Arc<PhysicalMemory>, fill: u8, lock: VmProt) -> Arc<VmObject> {
+            Self::attach_with(phys, fill, lock, false).0
+        }
+
+        fn attach_cluster(
+            phys: &Arc<PhysicalMemory>,
+            fill: u8,
+            lock: VmProt,
+        ) -> (Arc<VmObject>, Arc<EchoPager>) {
+            Self::attach_with(phys, fill, lock, true)
+        }
+
+        fn attach_with(
+            phys: &Arc<PhysicalMemory>,
+            fill: u8,
+            lock: VmProt,
+            cluster: bool,
+        ) -> (Arc<VmObject>, Arc<EchoPager>) {
             let pager = Arc::new(EchoPager {
                 phys: phys.clone(),
                 object: Mutex::new(None),
                 fill,
                 lock,
+                cluster,
+                requests: Mutex::new(Vec::new()),
             });
             let obj = VmObject::new_with_pager(1 << 20, pager.clone());
             *pager.object.lock() = Some(obj.clone());
-            obj
+            (obj, pager)
         }
     }
 
     impl PagerBackend for EchoPager {
+        fn supports_cluster(&self) -> bool {
+            self.cluster
+        }
+
         fn data_request(&self, _object: crate::ObjectId, offset: u64, length: u64, _a: VmProt) {
+            self.requests.lock().push((offset, length));
             let phys = self.phys.clone();
             let obj = self.object.lock().clone().unwrap();
             let fill = self.fill;
@@ -533,5 +615,52 @@ mod tests {
         let r = resolve_page(&phys, &obj, 0, VmProt::WRITE, FaultPolicy::trusting()).unwrap();
         let _ = r;
         assert_eq!(phys.page_dirty(obj.id(), 0), Some(true));
+    }
+
+    #[test]
+    fn clustered_fault_fills_the_window_with_one_request() {
+        let (m, phys) = setup(16);
+        let (obj, pager) = EchoPager::attach_cluster(&phys, 0x5A, VmProt::NONE);
+        let policy = FaultPolicy::trusting().with_cluster(8);
+        for pg in 0..8u64 {
+            let r = resolve_page(&phys, &obj, pg * 4096, VmProt::READ, policy).unwrap();
+            phys.with_frame(r.frame, |d| assert!(d.iter().all(|&b| b == 0x5A)));
+        }
+        // One pager_data_request covered the whole 8-page window.
+        assert_eq!(*pager.requests.lock(), vec![(0, 8 * 4096)]);
+        assert_eq!(m.stats.get(keys::VM_PAGER_FILLS), 1);
+        assert_eq!(m.stats.get(keys::VM_CACHE_HITS), 7);
+    }
+
+    #[test]
+    fn cluster_policy_stays_single_page_for_plain_pagers() {
+        let (m, phys) = setup(16);
+        // supports_cluster() is false: the kernel must not assume the
+        // manager can answer more than it asked for per page.
+        let obj = EchoPager::attach(&phys, 2, VmProt::NONE);
+        let policy = FaultPolicy::trusting().with_cluster(8);
+        for pg in 0..4u64 {
+            resolve_page(&phys, &obj, pg * 4096, VmProt::READ, policy).unwrap();
+        }
+        assert_eq!(m.stats.get(keys::VM_PAGER_FILLS), 4);
+    }
+
+    #[test]
+    fn clustered_timeout_releases_every_claimed_page() {
+        let (_m, phys) = setup(16);
+        let pager = Arc::new(RecordingPager {
+            cluster: true,
+            ..Default::default()
+        });
+        let obj = VmObject::new_with_pager(8 * 4096, pager.clone());
+        let policy = FaultPolicy::abort_after(Duration::from_millis(20)).with_cluster(8);
+        let err = resolve_page(&phys, &obj, 0, VmProt::READ, policy).unwrap_err();
+        assert_eq!(err, VmError::Timeout);
+        assert_eq!(pager.requests.lock().len(), 1);
+        // The abandoned claims must not strand later faults in Pending:
+        // a retry re-requests the whole window immediately.
+        let err = resolve_page(&phys, &obj, 4096, VmProt::READ, policy).unwrap_err();
+        assert_eq!(err, VmError::Timeout);
+        assert_eq!(pager.requests.lock().len(), 2);
     }
 }

@@ -601,27 +601,45 @@ impl VmMap {
     /// hardware mapping. Returns the satisfying frame.
     pub fn fault(&self, addr: u64, access: VmProt) -> Result<usize, VmError> {
         let policy = self.fault_policy();
-        let (object, obj_offset, entry_prot, needs_copy) = self.resolve_addr(addr, access)?;
-        let result: FaultResult = resolve_page(&self.phys, &object, obj_offset, access, policy)?;
         let ps = self.page_size();
         let vpn = trunc_page(addr, ps) / ps;
-        let mut prot = entry_prot & result.prot_limit;
-        if needs_copy {
-            // Reads of a not-yet-copied region must not map writable.
-            prot = prot & !VmProt::WRITE;
+        loop {
+            let (object, obj_offset, entry_prot, needs_copy) = self.resolve_addr(addr, access)?;
+            let result: FaultResult =
+                resolve_page(&self.phys, &object, obj_offset, access, policy)?;
+            // `result.frame` is a bare index: the instant `resolve_page`
+            // returns, the page can be reclaimed and the frame recycled
+            // for a *different* page, and entering the mapping below
+            // would then alias another page's bytes. Re-pin the page by
+            // key — validated against the resident table under its shard
+            // lock — to hold reclaim off until the mapping (and with it
+            // the reclaim-visible pmap entry) exists.
+            let Some(frame) = self.phys.pin_resident(result.object.id(), result.offset) else {
+                continue;
+            };
+            if access.allows(VmProt::WRITE) {
+                // The page may have moved frames since `resolve_page`
+                // marked it modified; re-mark the current frame.
+                self.phys.set_modified(frame);
+            }
+            let mut prot = entry_prot & result.prot_limit;
+            if needs_copy {
+                // Reads of a not-yet-copied region must not map writable.
+                prot = prot & !VmProt::WRITE;
+            }
+            self.pmap.enter(vpn, frame, prot);
+            self.phys.add_mapping(frame, &self.pmap, vpn);
+            self.phys.unpin(frame);
+            return Ok(frame);
         }
-        self.pmap.enter(vpn, result.frame, prot);
-        self.phys.add_mapping(result.frame, &self.pmap, vpn);
-        Ok(result.frame)
     }
 
     /// Kernel-internal page resolution without a hardware mapping (used by
     /// `vm_read`/`vm_write`).
-    fn fault_page_kernel(&self, addr: u64, access: VmProt) -> Result<usize, VmError> {
+    fn fault_page_kernel(&self, addr: u64, access: VmProt) -> Result<FaultResult, VmError> {
         let policy = self.fault_policy();
         let (object, obj_offset, _prot, _nc) = self.resolve_addr(addr, access)?;
-        let r = resolve_page(&self.phys, &object, obj_offset, access, policy)?;
-        Ok(r.frame)
+        resolve_page(&self.phys, &object, obj_offset, access, policy)
     }
 
     /// `vm_read`: copies `size` bytes at `address` out of the task.
@@ -633,11 +651,18 @@ impl VmMap {
             let addr = address + pos;
             let in_page = ps - addr % ps;
             let n = in_page.min(size - pos);
-            let frame = self.fault_page_kernel(addr, VmProt::READ)?;
+            let r = self.fault_page_kernel(addr, VmProt::READ)?;
             let off = (addr % ps) as usize;
-            self.phys.with_frame(frame, |d| {
-                out[pos as usize..(pos + n) as usize].copy_from_slice(&d[off..off + n as usize]);
-            });
+            // Pinned copy: if pageout reclaimed the page between the fault
+            // and here (easy under pressure), fault it back in.
+            if !self.phys.copy_from_resident(
+                r.object.id(),
+                r.offset,
+                off,
+                &mut out[pos as usize..(pos + n) as usize],
+            ) {
+                continue;
+            }
             pos += n;
         }
         self.machine
@@ -656,11 +681,16 @@ impl VmMap {
             let addr = address + pos;
             let in_page = ps - addr % ps;
             let n = in_page.min(size - pos);
-            let frame = self.fault_page_kernel(addr, VmProt::WRITE)?;
+            let r = self.fault_page_kernel(addr, VmProt::WRITE)?;
             let off = (addr % ps) as usize;
-            self.phys.with_frame_mut(frame, |d| {
-                d[off..off + n as usize].copy_from_slice(&data[pos as usize..(pos + n) as usize]);
-            });
+            if !self.phys.copy_to_resident(
+                r.object.id(),
+                r.offset,
+                off,
+                &data[pos as usize..(pos + n) as usize],
+            ) {
+                continue;
+            }
             pos += n;
         }
         self.machine
@@ -726,10 +756,13 @@ impl VmMap {
             address,
             out.len() as u64,
             false,
-            |frame, off, pos, n, phys| {
-                phys.with_frame(frame, |d| {
-                    out[pos..pos + n].copy_from_slice(&d[off..off + n]);
-                });
+            |frame, vpn, off, pos, n, phys| {
+                phys.with_frame_if(
+                    frame,
+                    || self.pmap.translate(vpn, VmProt::READ) == Some(frame),
+                    |d| out[pos..pos + n].copy_from_slice(&d[off..off + n]),
+                )
+                .is_some()
             },
         )
     }
@@ -740,20 +773,28 @@ impl VmMap {
             address,
             data.len() as u64,
             true,
-            |frame, off, pos, n, phys| {
-                phys.with_frame_mut(frame, |d| {
-                    d[off..off + n].copy_from_slice(&data[pos..pos + n]);
-                });
+            |frame, vpn, off, pos, n, phys| {
+                phys.with_frame_mut_if(
+                    frame,
+                    || self.pmap.translate(vpn, VmProt::WRITE) == Some(frame),
+                    |d| d[off..off + n].copy_from_slice(&data[pos..pos + n]),
+                )
+                .is_some()
             },
         )
     }
 
+    /// `per_page` copies one page's worth under the frame data lock and
+    /// returns whether the translation still held there (reclaim
+    /// invalidates the pmap entry before a frame can be recycled, so a
+    /// mapping that is still present vouches for the contents); `false`
+    /// retries the translation so the page is faulted back in.
     fn access(
         &self,
         address: u64,
         size: u64,
         write: bool,
-        mut per_page: impl FnMut(usize, usize, usize, usize, &PhysicalMemory),
+        mut per_page: impl FnMut(usize, u64, usize, usize, usize, &PhysicalMemory) -> bool,
     ) -> Result<(), VmError> {
         let ps = self.page_size();
         let want = if write { VmProt::WRITE } else { VmProt::READ };
@@ -773,13 +814,16 @@ impl VmMap {
                 }
                 None => self.fault(addr, want)?,
             };
-            per_page(
+            if !per_page(
                 frame,
+                vpn,
                 (addr % ps) as usize,
                 pos as usize,
                 n as usize,
                 &self.phys,
-            );
+            ) {
+                continue;
+            }
             pos += n;
         }
         // Word-granular access cost on the local memory of this machine.

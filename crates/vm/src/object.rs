@@ -17,7 +17,7 @@ use crate::types::VmProt;
 use machipc::OolBuffer;
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Kernel-internal identity of a memory object.
@@ -56,6 +56,15 @@ pub trait PagerBackend: Send + Sync {
         let _ = object;
     }
 
+    /// Whether the manager behind this backend answers multi-page
+    /// `data_request`s and accepts multi-page `data_write`s (cluster
+    /// paging). The kernel only issues clustered requests — and batched
+    /// pageouts — when this is `true`, so single-page-minded pagers are
+    /// never asked for runs they would leave half-filled.
+    fn supports_cluster(&self) -> bool {
+        false
+    }
+
     /// A short label for diagnostics.
     fn name(&self) -> &str {
         "pager"
@@ -88,6 +97,12 @@ pub struct ObjectState {
 pub struct VmObject {
     id: ObjectId,
     state: Mutex<ObjectState>,
+    /// Pager-advised cap on cluster paging for this object, in pages
+    /// (real Mach's `memory_object_set_attributes` cluster size). Zero
+    /// means no advice: the fault policy's cluster applies unmodified.
+    /// Coherence pagers set 1 so the kernel never prefetches pages whose
+    /// caching they track individually.
+    cluster_hint: AtomicUsize,
 }
 
 impl fmt::Debug for VmObject {
@@ -118,6 +133,7 @@ impl VmObject {
                 map_refs: 0,
                 terminated: false,
             }),
+            cluster_hint: AtomicUsize::new(0),
         })
     }
 
@@ -135,6 +151,7 @@ impl VmObject {
                 map_refs: 0,
                 terminated: false,
             }),
+            cluster_hint: AtomicUsize::new(0),
         })
     }
 
@@ -156,6 +173,7 @@ impl VmObject {
                 map_refs: 0,
                 terminated: false,
             }),
+            cluster_hint: AtomicUsize::new(0),
         })
     }
 
@@ -203,6 +221,20 @@ impl VmObject {
     /// Sets the persistence advice.
     pub fn set_can_persist(&self, can: bool) {
         self.state.lock().can_persist = can;
+    }
+
+    /// The pager's cluster-size advice in pages; 0 means no advice.
+    pub fn cluster_hint(&self) -> usize {
+        self.cluster_hint.load(Ordering::Acquire)
+    }
+
+    /// Records the pager's cluster-size advice (the
+    /// `memory_object_set_attributes` cluster size). Faults on this
+    /// object never request more than `pages` pages per
+    /// `pager_data_request`; 1 disables prefetch and pageout batching
+    /// entirely.
+    pub fn set_cluster_hint(&self, pages: usize) {
+        self.cluster_hint.store(pages, Ordering::Release);
     }
 
     /// Adds an address-map reference.
@@ -271,9 +303,15 @@ pub(crate) mod test_support {
         pub writes: Mutex<Vec<(ObjectId, u64, Vec<u8>)>>,
         pub unlocks: Mutex<Vec<(ObjectId, u64, u64, VmProt)>>,
         pub terminated: Mutex<Vec<ObjectId>>,
+        /// Advertise cluster support (tests of batched paths set this).
+        pub cluster: bool,
     }
 
     impl PagerBackend for RecordingPager {
+        fn supports_cluster(&self) -> bool {
+            self.cluster
+        }
+
         fn data_request(&self, object: ObjectId, offset: u64, length: u64, access: VmProt) {
             self.requests.lock().push((object, offset, length, access));
         }

@@ -19,23 +19,53 @@
 //! default-pager paths) may consume, so the kernel can always make forward
 //! progress cleaning pages even when user allocations have exhausted
 //! memory.
+//!
+//! # Concurrency
+//!
+//! Because page faults become IPC in this design, fault throughput is
+//! system throughput — so the fault hot path must not serialize behind one
+//! global lock. The state is split three ways:
+//!
+//! * The virtual-to-physical table and the in-flight fill set are sharded
+//!   by `hash(object, offset)`. Concurrent faults on different pages
+//!   almost always touch different shards and never contend. Each shard
+//!   has its own condition variable for fill/unlock waiters.
+//! * The pageout queues (free/active/inactive) live behind one separate
+//!   lock that the hot fault path only takes on a miss (to allocate a
+//!   frame) — a cache hit touches no queue at all; it just sets the
+//!   frame's reference bit, and the second-chance scan reorders later.
+//! * Per-frame state is split between lock-free atomics (busy, wired,
+//!   dirty, referenced) and a tiny per-frame mutex for the rest (owner,
+//!   manager lock value, reverse mappings).
+//!
+//! The `busy` bit doubles as the frame reservation: only the thread that
+//! flips it false→true may free, retarget, or page out the frame, so
+//! eviction, flush and install can race without a global lock. Lock order,
+//! where locks nest, is shard → frame meta → queues.
 
 use crate::object::{ObjectId, PagerBackend, VmObject};
 use crate::pmap::Pmap;
 use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
-use machsim::stats::keys;
 use machsim::trace::keys as trace_keys;
 use machsim::Machine;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Callback invoked when a temporary object first adopts the default
 /// pager (see [`PhysicalMemory::set_adoption_hook`]).
 type AdoptionHook = Box<dyn Fn(&Arc<VmObject>) + Send + Sync>;
+
+/// log2 of the number of resident-table shards.
+const SHARD_BITS: u32 = 4;
+/// Number of resident-table shards (power of two for cheap masking).
+const SHARD_COUNT: usize = 1 << SHARD_BITS;
+/// Most contiguous dirty pages folded into one `pager_data_write`.
+const PAGEOUT_BATCH_PAGES: usize = 8;
 
 /// Which pageout queue a frame is on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,52 +80,104 @@ pub enum PageQueue {
     None,
 }
 
-/// Per-frame resident page structure.
-pub struct PageInfo {
+/// The slow-changing per-frame resident page state (fast-changing bits —
+/// busy/wired/dirty/referenced — are atomics on [`Frame`]).
+struct FrameMeta {
     /// Owning memory object and page-aligned offset, when caching data.
-    pub owner: Option<(Weak<VmObject>, u64)>,
-    /// A fill or pageout is in transit; the frame must not be disturbed.
-    pub busy: bool,
-    /// Excluded from pageout (kernel-critical data).
-    pub wired: bool,
-    /// Modified since last cleaned ("modification information").
-    pub dirty: bool,
-    /// Referenced since last queue scan ("reference information").
-    pub referenced: bool,
+    /// The id is stored alongside the weak ref so eviction can find the
+    /// V2P entry even after the object itself has been dropped.
+    owner: Option<(Weak<VmObject>, ObjectId, u64)>,
     /// Access prohibited by the data manager (`pager_data_lock` value).
-    pub lock: VmProt,
-    /// Current queue membership.
-    pub queue: PageQueue,
+    lock: VmProt,
     /// Reverse mappings: pmaps (and virtual pages) mapping this frame.
-    pub mappings: Vec<(Weak<Pmap>, u64)>,
+    mappings: Vec<(Weak<Pmap>, u64)>,
 }
 
-impl PageInfo {
+impl FrameMeta {
     fn empty() -> Self {
-        PageInfo {
+        FrameMeta {
             owner: None,
-            busy: false,
-            wired: false,
-            dirty: false,
-            referenced: false,
             lock: VmProt::NONE,
-            queue: PageQueue::Free,
             mappings: Vec::new(),
         }
     }
 }
 
-struct PhysState {
-    free: Vec<usize>,
-    /// The virtual-to-physical hash table: (object, offset) -> frame.
+/// One physical frame: page data plus its resident page structure.
+struct Frame {
+    data: RwLock<Box<[u8]>>,
+    meta: Mutex<FrameMeta>,
+    /// A fill or pageout is in transit; the frame must not be disturbed.
+    /// Flipping this false→true is the exclusive reservation required to
+    /// free, retarget or page out the frame.
+    busy: AtomicBool,
+    /// Excluded from pageout (kernel-critical data).
+    wired: AtomicBool,
+    /// Modified since last cleaned ("modification information").
+    dirty: AtomicBool,
+    /// Referenced since last queue scan ("reference information").
+    referenced: AtomicBool,
+    /// Shared pin count: threads holding the frame against reclaim
+    /// between fault resolution and hardware-mapping entry (or a COW
+    /// source copy). Raised only under the owning shard's state lock;
+    /// reclaim and flush re-validate under that lock and back off while
+    /// pins are outstanding, so a pinned frame keeps its page identity.
+    pins: AtomicUsize,
+}
+
+impl Frame {
+    fn new(page_size: usize) -> Self {
+        Frame {
+            data: RwLock::new(vec![0u8; page_size].into_boxed_slice()),
+            meta: Mutex::new(FrameMeta::empty()),
+            busy: AtomicBool::new(false),
+            wired: AtomicBool::new(false),
+            dirty: AtomicBool::new(false),
+            referenced: AtomicBool::new(false),
+            pins: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserves the frame; the caller becomes the only thread allowed to
+    /// free/retarget it until it clears `busy` again.
+    fn reserve(&self) -> bool {
+        self.busy
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.busy.store(false, Ordering::Release);
+    }
+}
+
+/// One shard of the virtual-to-physical table.
+struct ResidentShard {
+    /// (object, offset) -> frame for this shard's slice of the key space.
     resident: HashMap<(ObjectId, u64), usize>,
-    info: Vec<PageInfo>,
+    /// Pages with pager traffic in flight: outstanding
+    /// `pager_data_request`s awaiting `pager_data_provided`, and evicted
+    /// dirty pages whose `pager_data_write` has not yet been sent. Keyed
+    /// to the sim time the entry was claimed (for `vm.request_to_fill`).
+    /// Faults on these keys wait rather than re-request, so a refault can
+    /// never overtake an in-flight write-back on the pager's port.
+    pending: HashMap<(ObjectId, u64), u64>,
+}
+
+struct Shard {
+    state: Mutex<ResidentShard>,
+    /// Signaled on supply, fill cancellation, unlock or eviction of any
+    /// page in this shard.
+    event: Condvar,
+}
+
+/// The pageout queues, behind their own lock separate from the V2P shards.
+struct Queues {
+    free: Vec<usize>,
     active: VecDeque<usize>,
     inactive: VecDeque<usize>,
-    /// Outstanding `pager_data_request`s awaiting `pager_data_provided`.
-    /// In-flight pager fills, keyed to the sim time the
-    /// `pager_data_request` was claimed (for `vm.request_to_fill`).
-    pending: HashMap<(ObjectId, u64), u64>,
+    /// Which queue each frame is on (avoids scanning to unlink).
+    membership: Vec<PageQueue>,
 }
 
 /// Result of a resident-page lookup.
@@ -119,10 +201,11 @@ pub struct PhysicalMemory {
     machine: Machine,
     page_size: usize,
     reserve: usize,
-    frames: Vec<RwLock<Box<[u8]>>>,
-    state: Mutex<PhysState>,
-    /// Signaled on page supply, unlock, or free-list growth.
-    event: Condvar,
+    frames: Vec<Frame>,
+    shards: Vec<Shard>,
+    queues: Mutex<Queues>,
+    /// Signaled when frames return to the free queue.
+    free_event: Condvar,
     /// Lazy backing store for temporary objects (the default pager).
     default_pager: RwLock<Option<Arc<dyn PagerBackend>>>,
     /// Called when a temporary object first adopts the default pager (the
@@ -133,13 +216,12 @@ pub struct PhysicalMemory {
 
 impl fmt::Debug for PhysicalMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
         write!(
             f,
             "PhysicalMemory({} frames, {} free, {} resident)",
             self.frames.len(),
-            st.free.len(),
-            st.resident.len()
+            self.free_frames(),
+            self.resident_pages()
         )
     }
 }
@@ -159,26 +241,44 @@ impl PhysicalMemory {
         );
         let n = total_bytes / page_size;
         assert!(n > reserve_pages, "memory must exceed the reserved pool");
-        let frames = (0..n)
-            .map(|_| RwLock::new(vec![0u8; page_size].into_boxed_slice()))
-            .collect();
         Arc::new(PhysicalMemory {
             machine: machine.clone(),
             page_size,
             reserve: reserve_pages,
-            frames,
-            state: Mutex::new(PhysState {
+            frames: (0..n).map(|_| Frame::new(page_size)).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Shard {
+                    state: Mutex::new(ResidentShard {
+                        resident: HashMap::new(),
+                        pending: HashMap::new(),
+                    }),
+                    event: Condvar::new(),
+                })
+                .collect(),
+            queues: Mutex::new(Queues {
                 free: (0..n).rev().collect(),
-                resident: HashMap::new(),
-                info: (0..n).map(|_| PageInfo::empty()).collect(),
                 active: VecDeque::new(),
                 inactive: VecDeque::new(),
-                pending: HashMap::new(),
+                membership: vec![PageQueue::Free; n],
             }),
-            event: Condvar::new(),
+            free_event: Condvar::new(),
             default_pager: RwLock::new(None),
             adoption_hook: RwLock::new(None),
         })
+    }
+
+    fn shard_index(object: ObjectId, offset: u64) -> usize {
+        // Fibonacci-style multiplicative mix of both key halves; the high
+        // bits are the best-distributed, so the index comes from the top.
+        let h = object
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(offset.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        (h >> (64 - SHARD_BITS)) as usize
+    }
+
+    fn shard(&self, object: ObjectId, offset: u64) -> &Shard {
+        &self.shards[Self::shard_index(object, offset)]
     }
 
     /// System page size in bytes.
@@ -193,18 +293,21 @@ impl PhysicalMemory {
 
     /// Frames on the free queue.
     pub fn free_frames(&self) -> usize {
-        self.state.lock().free.len()
+        self.queues.lock().free.len()
     }
 
     /// Frames caching data (resident pages).
     pub fn resident_pages(&self) -> usize {
-        self.state.lock().resident.len()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().resident.len())
+            .sum()
     }
 
     /// (active, inactive, free) queue lengths.
     pub fn queue_lengths(&self) -> (usize, usize, usize) {
-        let st = self.state.lock();
-        (st.active.len(), st.inactive.len(), st.free.len())
+        let q = self.queues.lock();
+        (q.active.len(), q.inactive.len(), q.free.len())
     }
 
     /// The machine this memory charges.
@@ -229,51 +332,41 @@ impl PhysicalMemory {
         *self.adoption_hook.write() = Some(Box::new(hook));
     }
 
-    // ----- queue maintenance (callers hold the state lock) -----
+    // ----- queue maintenance (callers hold the queues lock) -----
 
-    fn unlink(st: &mut PhysState, frame: usize) {
-        match st.info[frame].queue {
+    fn unlink(q: &mut Queues, frame: usize) {
+        match q.membership[frame] {
             PageQueue::Active => {
-                st.active.retain(|&f| f != frame);
+                q.active.retain(|&f| f != frame);
             }
             PageQueue::Inactive => {
-                st.inactive.retain(|&f| f != frame);
+                q.inactive.retain(|&f| f != frame);
             }
             PageQueue::Free | PageQueue::None => {}
         }
-        st.info[frame].queue = PageQueue::None;
+        q.membership[frame] = PageQueue::None;
     }
 
-    fn activate(st: &mut PhysState, frame: usize) {
-        Self::unlink(st, frame);
-        st.active.push_back(frame);
-        st.info[frame].queue = PageQueue::Active;
-        st.info[frame].referenced = true;
+    fn activate(&self, q: &mut Queues, frame: usize) {
+        Self::unlink(q, frame);
+        q.active.push_back(frame);
+        q.membership[frame] = PageQueue::Active;
+        self.frames[frame].referenced.store(true, Ordering::Release);
     }
 
-    fn deactivate(st: &mut PhysState, frame: usize) {
-        Self::unlink(st, frame);
-        st.inactive.push_back(frame);
-        st.info[frame].queue = PageQueue::Inactive;
-        st.info[frame].referenced = false;
-    }
-
-    /// Pageout-daemon entry point: moves the oldest unreferenced active
-    /// pages onto the inactive queue until it holds `target_inactive`
-    /// pages, applying the second-chance discipline to reference bits.
-    pub fn balance_queues(&self, target_inactive: usize) {
-        let mut st = self.state.lock();
-        let mut scans = st.active.len();
-        while st.inactive.len() < target_inactive && scans > 0 {
+    /// Second-chance scan: moves the oldest unreferenced active pages to
+    /// the inactive queue until it holds `target_inactive` pages.
+    fn second_chance(&self, q: &mut Queues, target_inactive: usize) {
+        let mut scans = q.active.len();
+        while q.inactive.len() < target_inactive && scans > 0 {
             scans -= 1;
-            match st.active.pop_front() {
+            match q.active.pop_front() {
                 Some(f) => {
-                    if st.info[f].referenced {
-                        st.info[f].referenced = false;
-                        st.active.push_back(f);
+                    if self.frames[f].referenced.swap(false, Ordering::AcqRel) {
+                        q.active.push_back(f);
                     } else {
-                        st.info[f].queue = PageQueue::None;
-                        Self::deactivate(&mut st, f);
+                        q.inactive.push_back(f);
+                        q.membership[f] = PageQueue::Inactive;
                     }
                 }
                 None => break,
@@ -281,16 +374,59 @@ impl PhysicalMemory {
         }
     }
 
+    /// Pageout-daemon entry point: moves the oldest unreferenced active
+    /// pages onto the inactive queue until it holds `target_inactive`
+    /// pages, applying the second-chance discipline to reference bits.
+    pub fn balance_queues(&self, target_inactive: usize) {
+        let mut q = self.queues.lock();
+        self.second_chance(&mut q, target_inactive);
+    }
+
+    /// Resets the fast per-frame bits; the frame must be unreachable
+    /// (freshly popped from the free queue or being freed).
+    fn reset_frame_bits(&self, frame: usize) {
+        let fr = &self.frames[frame];
+        fr.wired.store(false, Ordering::Release);
+        fr.dirty.store(false, Ordering::Release);
+        fr.referenced.store(false, Ordering::Release);
+    }
+
+    /// Returns a reserved (busy) frame to the free queue and clears every
+    /// trace of what it cached. The caller must hold the frame's `busy`
+    /// reservation and have already removed its V2P entry.
+    fn free_frame(&self, frame: usize) {
+        debug_assert_eq!(
+            self.frames[frame].pins.load(Ordering::Acquire),
+            0,
+            "freed a pinned frame"
+        );
+        {
+            let mut meta = self.frames[frame].meta.lock();
+            *meta = FrameMeta::empty();
+        }
+        self.reset_frame_bits(frame);
+        {
+            let mut q = self.queues.lock();
+            Self::unlink(&mut q, frame);
+            q.free.push(frame);
+            q.membership[frame] = PageQueue::Free;
+        }
+        self.frames[frame].release();
+        self.free_event.notify_all();
+    }
+
     // ----- lookup -----
 
     /// Looks up `(object, offset)` in the virtual-to-physical table.
     ///
-    /// A hit marks the page referenced and re-activates it.
+    /// A hit only sets the frame's reference bit — no queue is touched on
+    /// the hot path; the second-chance scan reorders queues later.
     pub fn lookup(&self, object: ObjectId, offset: u64) -> PageLookup {
-        let mut st = self.state.lock();
+        let shard = self.shard(object, offset);
+        let st = shard.state.lock();
         if let Some(&frame) = st.resident.get(&(object, offset)) {
-            let lock = st.info[frame].lock;
-            Self::activate(&mut st, frame);
+            self.frames[frame].referenced.store(true, Ordering::Release);
+            let lock = self.frames[frame].meta.lock().lock;
             return PageLookup::Resident { frame, lock };
         }
         if st.pending.contains_key(&(object, offset)) {
@@ -304,7 +440,8 @@ impl PhysicalMemory {
     /// Returns `true` if the caller must issue the `pager_data_request`;
     /// `false` if the page became resident or another thread already asked.
     pub fn begin_fill(&self, object: ObjectId, offset: u64) -> bool {
-        let mut st = self.state.lock();
+        let shard = self.shard(object, offset);
+        let mut st = shard.state.lock();
         if st.resident.contains_key(&(object, offset)) {
             return false;
         }
@@ -312,28 +449,79 @@ impl PhysicalMemory {
         st.pending.insert((object, offset), now).is_none()
     }
 
+    /// Claims a contiguous run of absent pages around `offset` for one
+    /// clustered `pager_data_request` — real Mach's *cluster paging*,
+    /// which amortizes the per-page message cost of external pagers.
+    ///
+    /// The faulting page is claimed first; `None` means it is already
+    /// resident or in flight and the caller should simply await it. The
+    /// claim then grows forward and backward one page at a time while the
+    /// neighbors are absent and unclaimed, staying inside the
+    /// cluster-aligned window and the object's page-rounded size (so
+    /// pagers are never asked for pages that cannot exist). Returns the
+    /// run's start offset and length in pages; the run always contains
+    /// `offset`. Pages already resident or pending are never re-requested,
+    /// so a cluster fill cannot overwrite them.
+    pub fn begin_fill_cluster(
+        &self,
+        object: ObjectId,
+        offset: u64,
+        cluster_pages: usize,
+        object_size: u64,
+    ) -> Option<(u64, usize)> {
+        if !self.begin_fill(object, offset) {
+            return None;
+        }
+        let ps = self.page_size as u64;
+        if cluster_pages <= 1 {
+            return Some((offset, 1));
+        }
+        let cluster = cluster_pages as u64 * ps;
+        let window_start = offset - offset % cluster;
+        let rounded_size = object_size.max(offset + ps).div_ceil(ps) * ps;
+        let window_end = (window_start + cluster).min(rounded_size);
+        let mut start = offset;
+        let mut end = offset + ps;
+        while end < window_end && self.begin_fill(object, end) {
+            end += ps;
+        }
+        while start > window_start && self.begin_fill(object, start - ps) {
+            start -= ps;
+        }
+        Some((start, ((end - start) / ps) as usize))
+    }
+
     /// Abandons a pending fill (e.g. fault aborted by timeout), so a later
     /// fault can re-request the data.
     pub fn cancel_fill(&self, object: ObjectId, offset: u64) {
-        let mut st = self.state.lock();
-        st.pending.remove(&(object, offset));
-        drop(st);
-        self.event.notify_all();
+        let shard = self.shard(object, offset);
+        shard.state.lock().pending.remove(&(object, offset));
+        shard.event.notify_all();
     }
 
     /// Waits until `(object, offset)` is resident; returns its frame.
+    ///
+    /// `Ok(None)` means the page is neither resident nor in flight — the
+    /// fill was cancelled, or the page was installed and then reclaimed
+    /// before this thread observed it (easy under memory pressure, where a
+    /// cluster fill can push its own early pages back out). The caller
+    /// must re-fault rather than wait for a wakeup that will never come.
     pub fn await_page(
         &self,
         object: ObjectId,
         offset: u64,
         timeout: Option<Duration>,
-    ) -> Result<usize, VmError> {
+    ) -> Result<Option<usize>, VmError> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut st = self.state.lock();
+        let shard = self.shard(object, offset);
+        let mut st = shard.state.lock();
         loop {
             if let Some(&frame) = st.resident.get(&(object, offset)) {
-                Self::activate(&mut st, frame);
-                return Ok(frame);
+                self.frames[frame].referenced.store(true, Ordering::Release);
+                return Ok(Some(frame));
+            }
+            if !st.pending.contains_key(&(object, offset)) {
+                return Ok(None);
             }
             match deadline {
                 Some(d) => {
@@ -341,11 +529,11 @@ impl PhysicalMemory {
                     if now >= d {
                         return Err(VmError::Timeout);
                     }
-                    if self.event.wait_for(&mut st, d - now).timed_out() {
+                    if shard.event.wait_for(&mut st, d - now).timed_out() {
                         return Err(VmError::Timeout);
                     }
                 }
-                None => self.event.wait(&mut st),
+                None => shard.event.wait(&mut st),
             }
         }
     }
@@ -360,11 +548,12 @@ impl PhysicalMemory {
         timeout: Option<Duration>,
     ) -> Result<usize, VmError> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut st = self.state.lock();
+        let shard = self.shard(object, offset);
+        let mut st = shard.state.lock();
         loop {
             match st.resident.get(&(object, offset)) {
-                Some(&frame) if !st.info[frame].lock.intersects(want) => {
-                    Self::activate(&mut st, frame);
+                Some(&frame) if !self.frames[frame].meta.lock().lock.intersects(want) => {
+                    self.frames[frame].referenced.store(true, Ordering::Release);
                     return Ok(frame);
                 }
                 // Flushed while we waited: the caller must re-fault.
@@ -379,11 +568,11 @@ impl PhysicalMemory {
                     if now >= d {
                         return Err(VmError::Timeout);
                     }
-                    if self.event.wait_for(&mut st, d - now).timed_out() {
+                    if shard.event.wait_for(&mut st, d - now).timed_out() {
                         return Err(VmError::Timeout);
                     }
                 }
-                None => self.event.wait(&mut st),
+                None => shard.event.wait(&mut st),
             }
         }
     }
@@ -393,19 +582,22 @@ impl PhysicalMemory {
     /// Allocates a frame, reclaiming cached pages if necessary.
     ///
     /// Unprivileged allocations may not dip into the reserved pool; the
-    /// pageout path and default pager allocate privileged.
+    /// pageout path and default pager allocate privileged. The returned
+    /// frame is reserved (busy) until `install` links it into the table.
     pub fn allocate_frame(&self, privileged: bool) -> Result<usize, VmError> {
         let mut failures = 0u32;
         loop {
             {
-                let mut st = self.state.lock();
+                let mut q = self.queues.lock();
                 let floor = if privileged { 0 } else { self.reserve };
-                if st.free.len() > floor {
-                    let frame = st.free.pop().expect("checked non-empty");
-                    st.info[frame] = PageInfo {
-                        queue: PageQueue::None,
-                        ..PageInfo::empty()
-                    };
+                if q.free.len() > floor {
+                    let frame = q.free.pop().expect("checked non-empty");
+                    q.membership[frame] = PageQueue::None;
+                    drop(q);
+                    // Free-queue frames cache nothing and are otherwise
+                    // unreachable, so the reservation always succeeds.
+                    self.frames[frame].busy.store(true, Ordering::Release);
+                    self.reset_frame_bits(frame);
                     return Ok(frame);
                 }
             }
@@ -421,9 +613,9 @@ impl PhysicalMemory {
             if failures >= 8 {
                 return Err(VmError::NoMemory);
             }
-            // Wait briefly for a supply, unlock or free event.
-            let mut st = self.state.lock();
-            let _ = self.event.wait_for(&mut st, Duration::from_millis(5));
+            // Wait briefly for frames to return to the free queue.
+            let mut q = self.queues.lock();
+            let _ = self.free_event.wait_for(&mut q, Duration::from_millis(5));
         }
     }
 
@@ -443,102 +635,218 @@ impl PhysicalMemory {
 
     /// Attempts to evict one page; returns whether a frame was freed.
     fn reclaim_one(&self) -> bool {
-        // Phase 1: pick a victim under the lock.
-        let (frame, owner, offset, dirty, data_for_pageout) = {
-            let mut st = self.state.lock();
-            // Keep the inactive queue primed: move the oldest unreferenced
-            // active pages across (second-chance on the reference bit).
-            let want_inactive = 4usize;
-            let mut scans = st.active.len();
-            while st.inactive.len() < want_inactive && scans > 0 {
-                scans -= 1;
-                match st.active.pop_front() {
-                    Some(f) => {
-                        if st.info[f].referenced {
-                            st.info[f].referenced = false;
-                            st.active.push_back(f);
-                        } else {
-                            st.info[f].queue = PageQueue::None;
-                            st.inactive.push_back(f);
-                            st.info[f].queue = PageQueue::Inactive;
-                        }
+        // Phase 1: pick and reserve a victim under the queues lock alone.
+        let victim = {
+            let mut q = self.queues.lock();
+            // Keep the inactive queue primed (second chance on the
+            // reference bits).
+            self.second_chance(&mut q, 4);
+            let mut found = None;
+            for _ in 0..q.inactive.len() {
+                let Some(f) = q.inactive.pop_front() else {
+                    break;
+                };
+                let fr = &self.frames[f];
+                if fr.wired.load(Ordering::Acquire) {
+                    q.inactive.push_back(f);
+                    continue;
+                }
+                if fr.referenced.load(Ordering::Acquire) {
+                    // Used since deactivation: give it another chance.
+                    self.activate(&mut q, f);
+                    continue;
+                }
+                if !fr.reserve() {
+                    // Mid-fill or mid-flush elsewhere; leave it queued.
+                    q.inactive.push_back(f);
+                    q.membership[f] = PageQueue::Inactive;
+                    continue;
+                }
+                q.membership[f] = PageQueue::None;
+                found = Some(f);
+                break;
+            }
+            found
+        };
+        let Some(frame) = victim else {
+            return false;
+        };
+        // The reservation keeps everyone else away from the frame, but the
+        // V2P entry may have been retargeted (shadow-chain collapse)
+        // between the queue scan and now — validate before evicting.
+        let (owner_weak, owner_id, offset) = {
+            let meta = self.frames[frame].meta.lock();
+            match &meta.owner {
+                Some((w, id, off)) => (w.clone(), *id, *off),
+                None => {
+                    drop(meta);
+                    self.free_frame(frame);
+                    return true;
+                }
+            }
+        };
+        {
+            let shard = self.shard(owner_id, offset);
+            let mut st = shard.state.lock();
+            if st.resident.get(&(owner_id, offset)) != Some(&frame)
+                || self.frames[frame].pins.load(Ordering::Acquire) != 0
+            {
+                // Lost a race (or a fault holds the page pinned while it
+                // enters a mapping); give the frame back to the queue.
+                drop(st);
+                let mut q = self.queues.lock();
+                q.inactive.push_back(frame);
+                q.membership[frame] = PageQueue::Inactive;
+                drop(q);
+                self.frames[frame].release();
+                return false;
+            }
+            st.resident.remove(&(owner_id, offset));
+            // Mark the page in transit until its `pager_data_write` is on
+            // the wire. A refault in that window must wait here rather
+            // than send a `pager_data_request` that could overtake the
+            // write and get `data_unavailable` for data the pager is
+            // about to receive — the port's FIFO ordering then guarantees
+            // the pager sees the write before the re-request.
+            st.pending
+                .insert((owner_id, offset), self.machine.clock.now_ns());
+        }
+        let owner = owner_weak.upgrade();
+        // Invalidate hardware mappings before touching the data so no new
+        // writer can reach the frame mid-pageout.
+        let mappings = {
+            let mut meta = self.frames[frame].meta.lock();
+            meta.owner = None;
+            meta.lock = VmProt::NONE;
+            std::mem::take(&mut meta.mappings)
+        };
+        for (w, vpn) in mappings {
+            if let Some(p) = w.upgrade() {
+                p.remove(vpn);
+            }
+        }
+        let dirty = self.frames[frame].dirty.swap(false, Ordering::AcqRel);
+        let data = if dirty && owner.is_some() {
+            Some(self.frames[frame].data.read().to_vec())
+        } else {
+            None
+        };
+        self.free_frame(frame);
+        self.shard(owner_id, offset).event.notify_all();
+        // Phase 2: pageout I/O outside every lock, batching contiguous
+        // dirty neighbors of the same object into one `pager_data_write`
+        // when the pager accepts clusters.
+        if let (Some(object), Some(data)) = (owner, data) {
+            let ps = self.page_size as u64;
+            // Batching is both a backend capability and a per-object
+            // attribute: a coherence pager that asked for single-page
+            // clustering must also see single-page writebacks.
+            let cluster_ok = object
+                .pager()
+                .map(|p| p.supports_cluster())
+                .unwrap_or(false)
+                && object.cluster_hint() != 1;
+            if !cluster_ok {
+                self.pageout_data(&object, offset, data);
+                self.cancel_fill(owner_id, offset);
+                return true;
+            }
+            let mut chunks: VecDeque<Vec<u8>> = VecDeque::new();
+            chunks.push_back(data);
+            let mut start = offset;
+            while chunks.len() < PAGEOUT_BATCH_PAGES && start >= ps {
+                match self.try_evict_for_pageout(&object, start - ps) {
+                    Some(d) => {
+                        chunks.push_front(d);
+                        start -= ps;
                     }
                     None => break,
                 }
             }
-            // Find an evictable inactive page.
-            let mut victim = None;
-            for _ in 0..st.inactive.len() {
-                let f = match st.inactive.pop_front() {
-                    Some(f) => f,
+            let mut next = offset + ps;
+            while chunks.len() < PAGEOUT_BATCH_PAGES {
+                match self.try_evict_for_pageout(&object, next) {
+                    Some(d) => {
+                        chunks.push_back(d);
+                        next += ps;
+                    }
                     None => break,
-                };
-                let info = &st.info[f];
-                if info.busy || info.wired {
-                    st.inactive.push_back(f);
-                    continue;
                 }
-                if info.referenced {
-                    // Used since deactivation: give it another chance.
-                    Self::activate(&mut st, f);
-                    continue;
-                }
-                victim = Some(f);
-                break;
             }
-            let Some(frame) = victim else {
-                return false;
-            };
-            let info = &mut st.info[frame];
-            info.queue = PageQueue::None;
-            let (owner, offset) = match info.owner.clone() {
-                Some((w, off)) => (w.upgrade(), off),
-                None => (None, 0),
-            };
-            let dirty = info.dirty;
-            // Invalidate hardware mappings now so no one writes the frame
-            // while it is being paged out.
-            let mappings = std::mem::take(&mut info.mappings);
-            let vpn_pairs: Vec<(Arc<Pmap>, u64)> = mappings
-                .into_iter()
-                .filter_map(|(w, vpn)| w.upgrade().map(|p| (p, vpn)))
-                .collect();
-            let owner_id = owner.as_ref().map(|o| o.id());
-            if let Some(id) = owner_id {
-                st.resident.remove(&(id, offset));
+            let pages = chunks.len();
+            let mut out = Vec::with_capacity(pages * self.page_size);
+            for c in chunks {
+                out.extend_from_slice(&c);
             }
-            st.info[frame].owner = None;
-            st.info[frame].dirty = false;
-            // Copy the data out for pageout while still under the lock; the
-            // frame is about to be reused.
-            let data = if dirty && owner.is_some() {
-                Some(self.frames[frame].read().to_vec())
-            } else {
-                None
-            };
-            st.free.push(frame);
-            st.info[frame].queue = PageQueue::Free;
-            drop(st);
-            for (pmap, vpn) in vpn_pairs {
-                pmap.remove(vpn);
+            self.pageout_data(&object, start, out);
+            for i in 0..pages as u64 {
+                self.cancel_fill(owner_id, start + i * ps);
             }
-            self.event.notify_all();
-            (frame, owner, offset, dirty, data)
-        };
-        let _ = frame;
-        // Phase 2: pageout I/O outside the lock.
-        if dirty {
-            if let (Some(object), Some(data)) = (owner, data_for_pageout) {
-                self.pageout_data(&object, offset, data);
-            }
+        } else {
+            // Clean drop: nothing travels to the pager, so the transit
+            // marker comes straight off.
+            self.cancel_fill(owner_id, offset);
         }
         true
     }
 
+    /// Tries to evict `(object, offset)` right now so its data can join a
+    /// batched pageout. Only succeeds for an idle, unwired, unreferenced
+    /// dirty resident page; returns the page contents on success.
+    fn try_evict_for_pageout(&self, object: &Arc<VmObject>, offset: u64) -> Option<Vec<u8>> {
+        let key = (object.id(), offset);
+        let shard = self.shard(key.0, key.1);
+        let frame = {
+            let st = shard.state.lock();
+            *st.resident.get(&key)?
+        };
+        let fr = &self.frames[frame];
+        if !fr.reserve() {
+            return None;
+        }
+        {
+            let mut st = shard.state.lock();
+            // Re-validate under the shard lock now that we hold the
+            // reservation; the entry may have moved meanwhile.
+            if st.resident.get(&key) != Some(&frame)
+                || fr.pins.load(Ordering::Acquire) != 0
+                || fr.wired.load(Ordering::Acquire)
+                || fr.referenced.load(Ordering::Acquire)
+                || !fr.dirty.load(Ordering::Acquire)
+            {
+                drop(st);
+                fr.release();
+                return None;
+            }
+            st.resident.remove(&key);
+            // In transit until the batched write is sent (see
+            // `reclaim_one`); the caller clears the marker.
+            st.pending.insert(key, self.machine.clock.now_ns());
+        }
+        let mappings = {
+            let mut meta = fr.meta.lock();
+            meta.owner = None;
+            meta.lock = VmProt::NONE;
+            std::mem::take(&mut meta.mappings)
+        };
+        for (w, vpn) in mappings {
+            if let Some(p) = w.upgrade() {
+                p.remove(vpn);
+            }
+        }
+        fr.dirty.store(false, Ordering::Release);
+        let data = fr.data.read().to_vec();
+        self.free_frame(frame);
+        shard.event.notify_all();
+        Some(data)
+    }
+
     /// Sends dirty page data to the object's pager (or the default pager,
-    /// adopting the object first, per `pager_create`).
+    /// adopting the object first, per `pager_create`). `data` may span
+    /// several contiguous pages (batched pageout).
     fn pageout_data(&self, object: &Arc<VmObject>, offset: u64, data: Vec<u8>) {
-        self.machine.stats.incr(keys::VM_PAGEOUTS);
+        let pages = (data.len() / self.page_size).max(1) as u64;
+        self.machine.hot.vm_pageouts.add(pages);
         let pager = match object.pager() {
             Some(p) => p,
             None => {
@@ -571,37 +879,45 @@ impl PhysicalMemory {
         lock: VmProt,
         dirty: bool,
     ) -> usize {
-        let mut st = self.state.lock();
-        if let Some(requested_ns) = st.pending.remove(&(object.id(), offset)) {
+        let key = (object.id(), offset);
+        let shard = self.shard(key.0, key.1);
+        let mut st = shard.state.lock();
+        if let Some(requested_ns) = st.pending.remove(&key) {
             // This install resolves a pager fill claimed by `begin_fill`.
             self.machine.latency.record(
                 trace_keys::REQUEST_TO_FILL,
                 self.machine.clock.now_ns().saturating_sub(requested_ns),
             );
         }
-        // If something is already resident (racing installs), free ours and
-        // return the winner.
-        if let Some(&existing) = st.resident.get(&(object.id(), offset)) {
-            st.info[frame] = PageInfo::empty();
-            st.free.push(frame);
+        // If something is already resident (racing installs, or a cluster
+        // fill overlapping a page that arrived by another route), free
+        // ours and keep the winner.
+        if let Some(&existing) = st.resident.get(&key) {
             drop(st);
-            self.event.notify_all();
+            self.free_frame(frame);
+            shard.event.notify_all();
             return existing;
         }
-        st.resident.insert((object.id(), offset), frame);
-        st.info[frame] = PageInfo {
-            owner: Some((Arc::downgrade(object), offset)),
-            busy: false,
-            wired: false,
-            dirty,
-            referenced: true,
-            lock,
-            queue: PageQueue::None,
-            mappings: Vec::new(),
-        };
-        Self::activate(&mut st, frame);
+        st.resident.insert(key, frame);
+        {
+            let mut meta = self.frames[frame].meta.lock();
+            meta.owner = Some((Arc::downgrade(object), object.id(), offset));
+            meta.lock = lock;
+            meta.mappings.clear();
+        }
+        let fr = &self.frames[frame];
+        fr.wired.store(false, Ordering::Release);
+        fr.dirty.store(dirty, Ordering::Release);
+        {
+            let mut q = self.queues.lock();
+            self.activate(&mut q, frame);
+        }
+        // Clear the allocation reservation only now that the frame is
+        // fully linked; flush/reclaim skip busy frames, so there is no
+        // window in which a half-installed page can be freed.
+        fr.release();
         drop(st);
-        self.event.notify_all();
+        shard.event.notify_all();
         frame
     }
 
@@ -612,7 +928,9 @@ impl PhysicalMemory {
     /// handle integral multiples of the system page size in any one call
     /// and partial pages are discarded"). The offset may be unaligned —
     /// consistency is then only guaranteed among mappings with the same
-    /// alignment, exactly as in Mach.
+    /// alignment, exactly as in Mach. Multi-page data (a cluster fill)
+    /// installs page by page; pages that are already resident keep their
+    /// current contents.
     pub fn supply_page(
         &self,
         object: &Arc<VmObject>,
@@ -633,7 +951,7 @@ impl PhysicalMemory {
             let page_off = offset + (i * self.page_size) as u64;
             let frame = self.allocate_frame(true)?;
             {
-                let mut fd = self.frames[frame].write();
+                let mut fd = self.frames[frame].data.write();
                 fd.copy_from_slice(&data[i * self.page_size..(i + 1) * self.page_size]);
             }
             self.machine
@@ -649,18 +967,33 @@ impl PhysicalMemory {
     }
 
     /// `pager_data_unavailable`: the manager has no data; zero-fill.
+    ///
+    /// If the page became resident in the meantime (a cluster request
+    /// partially satisfied by other routes), the resident copy wins and
+    /// only the truly missing page would have been zero-filled.
     pub fn data_unavailable(&self, object: &Arc<VmObject>, offset: u64) -> Result<usize, VmError> {
+        let key = (object.id(), offset);
+        {
+            let shard = self.shard(key.0, key.1);
+            let mut st = shard.state.lock();
+            if let Some(&frame) = st.resident.get(&key) {
+                st.pending.remove(&key);
+                drop(st);
+                shard.event.notify_all();
+                return Ok(frame);
+            }
+        }
         let frame = self.allocate_frame(true)?;
-        self.frames[frame].write().fill(0);
-        self.machine.stats.incr(keys::VM_ZERO_FILLS);
+        self.frames[frame].data.write().fill(0);
+        self.machine.hot.vm_zero_fills.incr();
         Ok(self.install(object, offset, frame, VmProt::NONE, false))
     }
 
     /// Installs a zero-filled page for an untouched temporary object.
     pub fn zero_fill(&self, object: &Arc<VmObject>, offset: u64) -> Result<usize, VmError> {
         let frame = self.allocate_frame(false)?;
-        self.frames[frame].write().fill(0);
-        self.machine.stats.incr(keys::VM_ZERO_FILLS);
+        self.frames[frame].data.write().fill(0);
+        self.machine.hot.vm_zero_fills.incr();
         Ok(self.install(object, offset, frame, VmProt::NONE, false))
     }
 
@@ -674,17 +1007,15 @@ impl PhysicalMemory {
     ) -> Result<usize, VmError> {
         let frame = self.allocate_frame(false)?;
         {
-            let src = self.frames[src_frame].read();
-            let mut dst = self.frames[frame].write();
+            let src = self.frames[src_frame].data.read();
+            let mut dst = self.frames[frame].data.write();
             dst.copy_from_slice(&src);
         }
         self.machine
             .clock
             .charge(self.machine.cost.copy_cost_ns(self.page_size as u64));
-        self.machine.stats.incr(keys::VM_COW_COPIES);
-        self.machine
-            .stats
-            .add(keys::BYTES_COPIED, self.page_size as u64);
+        self.machine.hot.vm_cow_copies.incr();
+        self.machine.hot.bytes_copied.add(self.page_size as u64);
         // The copy exists precisely because someone is about to write it.
         Ok(self.install(dst_object, dst_offset, frame, VmProt::NONE, true))
     }
@@ -693,36 +1024,143 @@ impl PhysicalMemory {
 
     /// Runs `f` over the frame's bytes (read-only).
     pub fn with_frame<R>(&self, frame: usize, f: impl FnOnce(&[u8]) -> R) -> R {
-        f(&self.frames[frame].read())
+        f(&self.frames[frame].data.read())
     }
 
     /// Runs `f` over the frame's bytes (mutable) and marks it modified.
     pub fn with_frame_mut<R>(&self, frame: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let r = f(&mut self.frames[frame].write());
-        self.state.lock().info[frame].dirty = true;
+        let r = f(&mut self.frames[frame].data.write());
+        self.frames[frame].dirty.store(true, Ordering::Release);
         r
+    }
+
+    /// Pins the frame caching `(object, offset)` against reclaim and
+    /// returns it, or `None` if the page is not resident (reclaimed, or
+    /// never filled). The count is raised under the shard lock that
+    /// reclaim and flush re-validate under, so a successful pin
+    /// guarantees the frame keeps this page's identity — and contents —
+    /// until [`unpin`](Self::unpin). This closes the window between a
+    /// fault resolving a frame index and the hardware mapping being
+    /// entered, during which the fault holds no lock at all on the page.
+    pub fn pin_resident(&self, object: ObjectId, offset: u64) -> Option<usize> {
+        let shard = self.shard(object, offset);
+        let st = shard.state.lock();
+        let &frame = st.resident.get(&(object, offset))?;
+        self.frames[frame].pins.fetch_add(1, Ordering::AcqRel);
+        self.frames[frame].referenced.store(true, Ordering::Release);
+        Some(frame)
+    }
+
+    /// Releases a [`pin_resident`](Self::pin_resident) pin.
+    pub fn unpin(&self, frame: usize) {
+        self.frames[frame].pins.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Like [`with_frame`], but only while `valid()` still holds, checked
+    /// under the frame's data lock. A raw frame index is not protected
+    /// against reclaim: between resolving it and copying, the frame can be
+    /// evicted and recycled for a different page. Reclaim tears down the
+    /// page's visibility (pmap entry, resident-table entry) before the
+    /// frame can be reused, and reuse must take the data lock to replace
+    /// the contents — so a check that still sees the page mapped here
+    /// vouches for the bytes. Returns `None` if the check fails; the
+    /// caller must re-fault.
+    pub fn with_frame_if<R>(
+        &self,
+        frame: usize,
+        valid: impl FnOnce() -> bool,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<R> {
+        let d = self.frames[frame].data.read();
+        valid().then(|| f(&d))
+    }
+
+    /// Mutable counterpart of [`with_frame_if`]; marks the frame modified.
+    pub fn with_frame_mut_if<R>(
+        &self,
+        frame: usize,
+        valid: impl FnOnce() -> bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Option<R> {
+        let mut d = self.frames[frame].data.write();
+        if !valid() {
+            return None;
+        }
+        let r = f(&mut d);
+        self.frames[frame].dirty.store(true, Ordering::Release);
+        Some(r)
+    }
+
+    /// Copies out of the resident page `(object, offset)` starting at byte
+    /// `src_off` within the page. Holding the shard lock across the copy
+    /// pins the resident entry — reclaim removes it under the same lock
+    /// before freeing the frame — so a page that is resident here cannot
+    /// have its frame recycled mid-copy. Returns `false` if the page is no
+    /// longer resident (reclaimed since the caller's fault resolved it);
+    /// the caller must re-fault.
+    pub fn copy_from_resident(
+        &self,
+        object: ObjectId,
+        offset: u64,
+        src_off: usize,
+        dst: &mut [u8],
+    ) -> bool {
+        let shard = self.shard(object, offset);
+        let st = shard.state.lock();
+        let Some(&frame) = st.resident.get(&(object, offset)) else {
+            return false;
+        };
+        let fr = &self.frames[frame];
+        fr.referenced.store(true, Ordering::Release);
+        let d = fr.data.read();
+        dst.copy_from_slice(&d[src_off..src_off + dst.len()]);
+        true
+    }
+
+    /// Write-side counterpart of [`copy_from_resident`]; marks the page
+    /// modified under the same pin.
+    pub fn copy_to_resident(
+        &self,
+        object: ObjectId,
+        offset: u64,
+        dst_off: usize,
+        src: &[u8],
+    ) -> bool {
+        let shard = self.shard(object, offset);
+        let st = shard.state.lock();
+        let Some(&frame) = st.resident.get(&(object, offset)) else {
+            return false;
+        };
+        let fr = &self.frames[frame];
+        fr.referenced.store(true, Ordering::Release);
+        let mut d = fr.data.write();
+        d[dst_off..dst_off + src.len()].copy_from_slice(src);
+        fr.dirty.store(true, Ordering::Release);
+        true
     }
 
     /// Sets the hardware "modified" bit for the frame.
     pub fn set_modified(&self, frame: usize) {
-        self.state.lock().info[frame].dirty = true;
+        self.frames[frame].dirty.store(true, Ordering::Release);
     }
 
     /// Sets the hardware "referenced" bit for the frame.
     pub fn set_referenced(&self, frame: usize) {
-        self.state.lock().info[frame].referenced = true;
+        self.frames[frame].referenced.store(true, Ordering::Release);
     }
 
     /// Records that `pmap` maps `vpn` to `frame`, for later shootdown.
     pub fn add_mapping(&self, frame: usize, pmap: &Arc<Pmap>, vpn: u64) {
-        self.state.lock().info[frame]
+        self.frames[frame]
+            .meta
+            .lock()
             .mappings
             .push((Arc::downgrade(pmap), vpn));
     }
 
     /// Wires a frame, excluding it from pageout.
     pub fn wire(&self, frame: usize, wired: bool) {
-        self.state.lock().info[frame].wired = wired;
+        self.frames[frame].wired.store(wired, Ordering::Release);
     }
 
     // ----- data manager cache control (Table 3-6 kernel side) -----
@@ -730,22 +1168,29 @@ impl PhysicalMemory {
     /// `pager_flush_request`: invalidates cached pages in the range,
     /// writing back modifications first.
     pub fn flush_range(&self, object: &Arc<VmObject>, offset: u64, length: u64) {
-        self.flush_or_clean(object, offset, length, true)
+        self.flush_or_clean(object, offset, length, true, true)
     }
 
     /// `pager_clean_request`: writes back modifications but keeps the
     /// cached pages.
     pub fn clean_range(&self, object: &Arc<VmObject>, offset: u64, length: u64) {
-        self.flush_or_clean(object, offset, length, false)
+        self.flush_or_clean(object, offset, length, false, true)
     }
 
-    fn flush_or_clean(&self, object: &Arc<VmObject>, offset: u64, length: u64, invalidate: bool) {
+    fn flush_or_clean(
+        &self,
+        object: &Arc<VmObject>,
+        offset: u64,
+        length: u64,
+        invalidate: bool,
+        write_back: bool,
+    ) {
         let ps = self.page_size as u64;
         let first = offset - offset % ps;
         let end = offset.saturating_add(length);
         let mut writebacks: Vec<(u64, Vec<u8>)> = Vec::new();
-        {
-            let mut st = self.state.lock();
+        for shard in &self.shards {
+            let mut st = shard.state.lock();
             // Enumerate the object's resident pages in range rather than
             // scanning the range page by page: ranges may span the whole
             // object ("flush everything").
@@ -756,31 +1201,49 @@ impl PhysicalMemory {
                 .map(|((_, off), &frame)| (*off, frame))
                 .collect();
             for (page, frame) in pages {
-                if st.info[frame].busy {
-                    continue;
-                }
-                let dirty = st.info[frame].dirty;
-                if dirty {
-                    writebacks.push((page, self.frames[frame].read().to_vec()));
-                    st.info[frame].dirty = false;
-                }
+                let fr = &self.frames[frame];
                 if invalidate {
-                    Self::unlink(&mut st, frame);
+                    // Freeing requires the busy reservation; frames
+                    // mid-fill or mid-pageout are skipped, as before, and
+                    // so are pinned frames (a fault mid-mapping-entry).
+                    if fr.pins.load(Ordering::Acquire) != 0 || !fr.reserve() {
+                        continue;
+                    }
+                    if write_back && fr.dirty.swap(false, Ordering::AcqRel) {
+                        writebacks.push((page, fr.data.read().to_vec()));
+                        // In transit until the write-back below is sent;
+                        // refaults wait instead of racing the write.
+                        st.pending
+                            .insert((object.id(), page), self.machine.clock.now_ns());
+                    }
                     st.resident.remove(&(object.id(), page));
-                    let mappings = std::mem::take(&mut st.info[frame].mappings);
+                    let mappings = {
+                        let mut meta = fr.meta.lock();
+                        meta.owner = None;
+                        meta.lock = VmProt::NONE;
+                        std::mem::take(&mut meta.mappings)
+                    };
                     for (w, vpn) in mappings {
                         if let Some(p) = w.upgrade() {
                             p.remove(vpn);
                         }
                     }
-                    st.info[frame] = PageInfo::empty();
-                    st.free.push(frame);
+                    self.free_frame(frame);
+                } else {
+                    if fr.busy.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    if write_back && fr.dirty.swap(false, Ordering::AcqRel) {
+                        writebacks.push((page, fr.data.read().to_vec()));
+                    }
                 }
             }
+            drop(st);
+            shard.event.notify_all();
         }
-        self.event.notify_all();
         for (page, data) in writebacks {
             self.pageout_data(object, page, data);
+            self.cancel_fill(object.id(), page);
         }
     }
 
@@ -790,68 +1253,51 @@ impl PhysicalMemory {
         let ps = self.page_size as u64;
         let first = offset - offset % ps;
         let end = offset.saturating_add(length);
-        let mut st = self.state.lock();
-        let frames: Vec<usize> = st
-            .resident
-            .iter()
-            .filter(|((id, off), _)| *id == object.id() && *off >= first && *off < end)
-            .map(|(_, &frame)| frame)
-            .collect();
-        for frame in frames {
-            st.info[frame].lock = lock;
-            let keep = !lock;
-            let mappings = st.info[frame].mappings.clone();
-            for (w, vpn) in mappings {
-                if let Some(p) = w.upgrade() {
-                    p.protect(vpn, keep);
+        for shard in &self.shards {
+            let st = shard.state.lock();
+            let frames: Vec<usize> = st
+                .resident
+                .iter()
+                .filter(|((id, off), _)| *id == object.id() && *off >= first && *off < end)
+                .map(|(_, &frame)| frame)
+                .collect();
+            for frame in frames {
+                let mappings = {
+                    let mut meta = self.frames[frame].meta.lock();
+                    meta.lock = lock;
+                    meta.mappings.clone()
+                };
+                let keep = !lock;
+                for (w, vpn) in mappings {
+                    if let Some(p) = w.upgrade() {
+                        p.protect(vpn, keep);
+                    }
                 }
             }
+            drop(st);
+            shard.event.notify_all();
         }
-        drop(st);
-        self.event.notify_all();
     }
 
     /// Releases every cached page of `object`, optionally writing dirty
     /// pages back first (object termination).
     pub fn release_object(&self, object: &Arc<VmObject>, write_back: bool) {
-        let offsets: Vec<u64> = {
-            let st = self.state.lock();
-            st.resident
-                .keys()
-                .filter(|(id, _)| *id == object.id())
-                .map(|(_, off)| *off)
-                .collect()
-        };
-        for off in offsets {
-            if write_back {
-                self.flush_range(object, off, self.page_size as u64);
-            } else {
-                // Invalidate without writeback.
-                let mut st = self.state.lock();
-                if let Some(frame) = st.resident.remove(&(object.id(), off)) {
-                    Self::unlink(&mut st, frame);
-                    let mappings = std::mem::take(&mut st.info[frame].mappings);
-                    for (w, vpn) in mappings {
-                        if let Some(p) = w.upgrade() {
-                            p.remove(vpn);
-                        }
-                    }
-                    st.info[frame] = PageInfo::empty();
-                    st.free.push(frame);
-                }
-            }
-        }
-        self.event.notify_all();
+        self.flush_or_clean(object, 0, u64::MAX, true, write_back);
     }
 
     /// Offsets of all resident pages belonging to `object`.
     pub fn object_offsets(&self, object: ObjectId) -> Vec<u64> {
-        let st = self.state.lock();
-        st.resident
-            .keys()
-            .filter(|(id, _)| *id == object)
-            .map(|(_, off)| *off)
-            .collect()
+        let mut offsets = Vec::new();
+        for shard in &self.shards {
+            let st = shard.state.lock();
+            offsets.extend(
+                st.resident
+                    .keys()
+                    .filter(|(id, _)| *id == object)
+                    .map(|(_, off)| *off),
+            );
+        }
+        offsets
     }
 
     /// Moves a resident page from one object to another without copying —
@@ -865,36 +1311,100 @@ impl PhysicalMemory {
         to: &Arc<VmObject>,
         to_offset: u64,
     ) -> bool {
-        let mut st = self.state.lock();
-        if st.resident.contains_key(&(to.id(), to_offset)) {
+        let si = Self::shard_index(from, from_offset);
+        let di = Self::shard_index(to.id(), to_offset);
+        let new_owner = Some((Arc::downgrade(to), to.id(), to_offset));
+        if si == di {
+            let mut st = self.shards[si].state.lock();
+            if st.resident.contains_key(&(to.id(), to_offset)) {
+                return false;
+            }
+            let Some(frame) = st.resident.remove(&(from, from_offset)) else {
+                return false;
+            };
+            st.resident.insert((to.id(), to_offset), frame);
+            self.frames[frame].meta.lock().owner = new_owner;
+            return true;
+        }
+        // Lock the two shards in index order to avoid deadlock.
+        let (lo, hi) = (si.min(di), si.max(di));
+        let mut guard_lo = self.shards[lo].state.lock();
+        let mut guard_hi = self.shards[hi].state.lock();
+        let (src, dst) = if si == lo {
+            (&mut *guard_lo, &mut *guard_hi)
+        } else {
+            (&mut *guard_hi, &mut *guard_lo)
+        };
+        if dst.resident.contains_key(&(to.id(), to_offset)) {
             return false;
         }
-        let Some(frame) = st.resident.remove(&(from, from_offset)) else {
+        let Some(frame) = src.resident.remove(&(from, from_offset)) else {
             return false;
         };
-        st.resident.insert((to.id(), to_offset), frame);
-        st.info[frame].owner = Some((Arc::downgrade(to), to_offset));
+        dst.resident.insert((to.id(), to_offset), frame);
+        self.frames[frame].meta.lock().owner = new_owner;
         true
     }
 
     /// Number of resident pages belonging to `object`.
     pub fn resident_pages_of(&self, object: ObjectId) -> usize {
-        let st = self.state.lock();
-        st.resident.keys().filter(|(id, _)| *id == object).count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.state
+                    .lock()
+                    .resident
+                    .keys()
+                    .filter(|(id, _)| *id == object)
+                    .count()
+            })
+            .sum()
     }
 
     /// The lock value on a resident page, if resident.
     pub fn page_lock(&self, object: ObjectId, offset: u64) -> Option<VmProt> {
-        let st = self.state.lock();
-        st.resident.get(&(object, offset)).map(|&f| st.info[f].lock)
+        let st = self.shard(object, offset).state.lock();
+        st.resident
+            .get(&(object, offset))
+            .map(|&f| self.frames[f].meta.lock().lock)
     }
 
     /// Whether the page is dirty, if resident.
     pub fn page_dirty(&self, object: ObjectId, offset: u64) -> Option<bool> {
-        let st = self.state.lock();
+        let st = self.shard(object, offset).state.lock();
         st.resident
             .get(&(object, offset))
-            .map(|&f| st.info[f].dirty)
+            .map(|&f| self.frames[f].dirty.load(Ordering::Acquire))
+    }
+
+    /// Debugging aid: asserts the cross-shard structural invariants.
+    ///
+    /// Takes every shard lock plus the queues lock (in the canonical
+    /// order), then checks that no frame is owned by two (object, offset)
+    /// keys, that resident frames are never marked free, and that
+    /// free-queue frames cache nothing. Panics on violation. Intended for
+    /// stress tests; far too heavy for production paths.
+    pub fn check_invariants(&self) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state.lock()).collect();
+        let q = self.queues.lock();
+        let mut owner_of: HashMap<usize, (ObjectId, u64)> = HashMap::new();
+        for g in &guards {
+            for (&key, &frame) in &g.resident {
+                if let Some(prev) = owner_of.insert(frame, key) {
+                    panic!("frame {frame} owned by both {prev:?} and {key:?}");
+                }
+                assert!(
+                    q.membership[frame] != PageQueue::Free,
+                    "resident frame {frame} is marked free"
+                );
+            }
+        }
+        for &f in &q.free {
+            assert!(
+                !owner_of.contains_key(&f),
+                "free-queue frame {f} still has a resident owner"
+            );
+        }
     }
 }
 
@@ -902,6 +1412,7 @@ impl PhysicalMemory {
 mod tests {
     use super::*;
     use crate::object::test_support::RecordingPager;
+    use machsim::stats::keys;
 
     fn phys(frames: usize) -> (Machine, Arc<PhysicalMemory>) {
         let m = Machine::default_machine();
@@ -983,6 +1494,7 @@ mod tests {
     fn await_page_times_out() {
         let (_m, phys) = phys(8);
         let obj = VmObject::new_temporary(4096);
+        assert!(phys.begin_fill(obj.id(), 0));
         let err = phys
             .await_page(obj.id(), 0, Some(Duration::from_millis(10)))
             .unwrap_err();
@@ -990,16 +1502,30 @@ mod tests {
     }
 
     #[test]
+    fn await_page_returns_none_when_nothing_in_flight() {
+        // Not resident and not pending: the fill was cancelled or the page
+        // was already reclaimed again. Waiting would hang forever; the
+        // caller must re-fault.
+        let (_m, phys) = phys(8);
+        let obj = VmObject::new_temporary(4096);
+        assert_eq!(phys.await_page(obj.id(), 0, None).unwrap(), None);
+        assert!(phys.begin_fill(obj.id(), 0));
+        phys.cancel_fill(obj.id(), 0);
+        assert_eq!(phys.await_page(obj.id(), 0, None).unwrap(), None);
+    }
+
+    #[test]
     fn await_page_wakes_on_supply() {
         let (_m, phys) = phys(8);
         let obj = VmObject::new_temporary(4096);
+        assert!(phys.begin_fill(obj.id(), 0));
         let p2 = phys.clone();
         let o2 = obj.clone();
         let h = std::thread::spawn(move || p2.await_page(o2.id(), 0, Some(Duration::from_secs(5))));
         std::thread::sleep(Duration::from_millis(20));
         phys.supply_page(&obj, 0, &vec![1u8; 4096], VmProt::NONE)
             .unwrap();
-        let frame = h.join().unwrap().unwrap();
+        let frame = h.join().unwrap().unwrap().expect("page resident");
         phys.with_frame(frame, |d| assert_eq!(d[0], 1));
     }
 
@@ -1209,5 +1735,218 @@ mod tests {
         assert_eq!(active, 2);
         assert_eq!(inactive, 0);
         assert_eq!(free, 6);
+    }
+
+    // ----- cluster paging semantics -----
+
+    #[test]
+    fn cluster_claim_skips_resident_and_pending_pages() {
+        let (_m, phys) = phys(16);
+        let obj = VmObject::new_temporary(16 * 4096);
+        // Page 2 resident, page 5 pending: a cluster claim around page 3
+        // must stop at both boundaries.
+        phys.supply_page(&obj, 2 * 4096, &vec![9u8; 4096], VmProt::NONE)
+            .unwrap();
+        assert!(phys.begin_fill(obj.id(), 5 * 4096));
+        let (start, pages) = phys
+            .begin_fill_cluster(obj.id(), 3 * 4096, 8, 16 * 4096)
+            .unwrap();
+        assert_eq!(start, 3 * 4096);
+        assert_eq!(pages, 2); // pages 3 and 4 only
+                              // Supplying the cluster must not disturb the resident page.
+        phys.supply_page(&obj, start, &vec![1u8; 2 * 4096], VmProt::NONE)
+            .unwrap();
+        let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 2 * 4096) else {
+            panic!("page 2 must stay resident");
+        };
+        phys.with_frame(frame, |d| assert!(d.iter().all(|&b| b == 9)));
+    }
+
+    #[test]
+    fn cluster_claim_clamps_to_object_size() {
+        let (_m, phys) = phys(16);
+        let obj = VmObject::new_temporary(3 * 4096);
+        let (start, pages) = phys.begin_fill_cluster(obj.id(), 0, 8, 3 * 4096).unwrap();
+        assert_eq!(start, 0);
+        assert_eq!(pages, 3);
+    }
+
+    #[test]
+    fn cluster_claim_extends_backward_within_window() {
+        let (_m, phys) = phys(40);
+        let obj = VmObject::new_temporary(32 * 4096);
+        let (start, pages) = phys
+            .begin_fill_cluster(obj.id(), 12 * 4096, 8, 32 * 4096)
+            .unwrap();
+        // The window is cluster-aligned: [8*4096, 16*4096).
+        assert_eq!(start, 8 * 4096);
+        assert_eq!(pages, 8);
+    }
+
+    #[test]
+    fn cluster_claim_none_when_page_taken() {
+        let (_m, phys) = phys(16);
+        let obj = VmObject::new_temporary(16 * 4096);
+        assert!(phys.begin_fill(obj.id(), 0));
+        assert!(phys.begin_fill_cluster(obj.id(), 0, 8, 16 * 4096).is_none());
+    }
+
+    #[test]
+    fn partial_cluster_unavailable_zero_fills_only_missing() {
+        let (_m, phys) = phys(16);
+        let obj = VmObject::new_temporary(4 * 4096);
+        phys.supply_page(&obj, 4096, &vec![7u8; 4096], VmProt::NONE)
+            .unwrap();
+        // The kernel answers pager_data_unavailable for a cluster with a
+        // per-page loop; the page that is already resident keeps its data
+        // and only the truly missing pages zero-fill.
+        for page in 0..4u64 {
+            phys.data_unavailable(&obj, page * 4096).unwrap();
+        }
+        let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), 4096) else {
+            panic!("page 1 must stay resident");
+        };
+        phys.with_frame(frame, |d| assert!(d.iter().all(|&b| b == 7)));
+        for page in [0u64, 2, 3] {
+            let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), page * 4096) else {
+                panic!("page {page} must be zero-filled");
+            };
+            phys.with_frame(frame, |d| assert!(d.iter().all(|&b| b == 0)));
+        }
+    }
+
+    #[test]
+    fn pageout_batches_contiguous_dirty_pages() {
+        let (m, phys) = phys(6); // 4 unprivileged frames.
+        let pager = Arc::new(RecordingPager {
+            cluster: true,
+            ..Default::default()
+        });
+        let obj = VmObject::new_with_pager(1 << 20, pager.clone());
+        for i in 0..4u64 {
+            phys.supply_page(&obj, i * 4096, &vec![i as u8; 4096], VmProt::NONE)
+                .unwrap();
+            if let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), i * 4096) {
+                phys.set_modified(frame);
+            }
+        }
+        // The first pass only clears reference bits (second chance); the
+        // next evicts the coldest page and folds its contiguous dirty
+        // neighbors into one multi-page write.
+        phys.reclaim_pages(1);
+        phys.reclaim_pages(1);
+        let w = pager.writes.lock();
+        assert_eq!(w.len(), 1, "one batched write, not one per page");
+        assert_eq!(w[0].1, 0);
+        assert_eq!(w[0].2.len(), 4 * 4096);
+        for i in 0..4usize {
+            assert!(w[0].2[i * 4096..(i + 1) * 4096]
+                .iter()
+                .all(|&b| b == i as u8));
+        }
+        assert_eq!(m.stats.get(keys::VM_PAGEOUTS), 4);
+    }
+
+    // ----- concurrency stress -----
+
+    fn page_tag(object: ObjectId, offset: u64) -> u8 {
+        (object.0 as u8) ^ ((offset / 4096) as u8) | 1
+    }
+
+    #[test]
+    fn concurrent_fault_evict_stress() {
+        // 8 threads fault and evict over a physical memory far smaller
+        // than the working set, so installs, reclaims and flushes race
+        // constantly. The structural invariants (no frame owned by two
+        // keys, busy frames never reclaimed) must hold throughout; frame
+        // contents must always match the owning key at the end.
+        let m = Machine::default_machine();
+        let phys = PhysicalMemory::new(&m, 24 * 4096, 4096, 2);
+        let objects: Vec<Arc<VmObject>> =
+            (0..4).map(|_| VmObject::new_temporary(32 * 4096)).collect();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let phys = phys.clone();
+                let objects = objects.clone();
+                s.spawn(move || {
+                    let mut rng = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    for i in 0..300u32 {
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let obj = &objects[(rng >> 33) as usize % objects.len()];
+                        let page = (rng >> 17) % 32;
+                        let off = page * 4096;
+                        match phys.lookup(obj.id(), off) {
+                            PageLookup::Resident { .. } | PageLookup::Pending => {}
+                            PageLookup::Absent => {
+                                if phys.begin_fill(obj.id(), off) {
+                                    let tag = page_tag(obj.id(), off);
+                                    let _ = phys.supply_page(
+                                        &obj.clone(),
+                                        off,
+                                        &vec![tag; 4096],
+                                        VmProt::NONE,
+                                    );
+                                }
+                            }
+                        }
+                        match i % 7 {
+                            0 => {
+                                phys.reclaim_pages(2);
+                            }
+                            3 => {
+                                phys.flush_range(obj, off, 4096);
+                            }
+                            5 => {
+                                phys.check_invariants();
+                            }
+                            _ => {}
+                        }
+                    }
+                });
+            }
+        });
+        phys.check_invariants();
+        // Quiesced: every resident page's contents identify its key, so
+        // no install ever landed in a frame another page still owned.
+        for obj in &objects {
+            for off in phys.object_offsets(obj.id()) {
+                let PageLookup::Resident { frame, .. } = phys.lookup(obj.id(), off) else {
+                    continue;
+                };
+                let tag = page_tag(obj.id(), off);
+                phys.with_frame(frame, |d| {
+                    assert!(
+                        d.iter().all(|&b| b == tag),
+                        "frame {frame} for {:?}/{off} holds foreign data",
+                        obj.id()
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn rekey_across_shards_moves_page() {
+        let (_m, phys) = phys(8);
+        let a = VmObject::new_temporary(8 * 4096);
+        let b = VmObject::new_temporary(8 * 4096);
+        phys.supply_page(&a, 4096, &vec![5u8; 4096], VmProt::NONE)
+            .unwrap();
+        assert!(phys.rekey_page(a.id(), 4096, &b, 8192));
+        assert!(matches!(phys.lookup(a.id(), 4096), PageLookup::Absent));
+        let PageLookup::Resident { frame, .. } = phys.lookup(b.id(), 8192) else {
+            panic!("page must follow the rekey");
+        };
+        phys.with_frame(frame, |d| assert!(d.iter().all(|&b| b == 5)));
+        // Destination occupied: the move is refused.
+        phys.supply_page(&a, 0, &vec![1u8; 4096], VmProt::NONE)
+            .unwrap();
+        assert!(!phys.rekey_page(a.id(), 0, &b, 8192));
+        assert!(matches!(
+            phys.lookup(a.id(), 0),
+            PageLookup::Resident { .. }
+        ));
     }
 }

@@ -11,4 +11,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: clippy clean, formatting clean."
+echo "==> fault_scaling bench (smoke)"
+cargo bench -p machbench --bench fault_scaling -- --smoke
+
+echo "OK: clippy clean, formatting clean, fault_scaling smoke passed."

@@ -62,7 +62,8 @@ fn memory_is_communication_and_back() {
 
 #[test]
 fn shared_cache_means_one_message_per_page_total() {
-    // N tasks mapping the same object pay the pager exactly once per page,
+    // N tasks mapping the same object pay the pager at most once per page
+    // — here exactly one clustered request for the whole 8-page object —
     // no matter how many of them read it.
     let kernel = Kernel::boot(KernelConfig::default());
     let mgr = spawn_manager(kernel.machine(), "offsets", OffsetPager);
@@ -82,10 +83,10 @@ fn shared_cache_means_one_message_per_page_total() {
             assert_eq!(b[0], p as u8);
         }
     }
-    assert_eq!(
-        kernel.machine().stats.get(keys::VM_PAGER_FILLS),
-        pages,
-        "one fill per page, shared by all four tasks"
+    let fills = kernel.machine().stats.get(keys::VM_PAGER_FILLS);
+    assert!(
+        fills <= pages.div_ceil(machcore::DEFAULT_CLUSTER_PAGES as u64),
+        "cluster paging collapses the per-page requests (got {fills})"
     );
 }
 

@@ -88,6 +88,10 @@ fn partition_heals_and_shared_memory_recovers() {
     let ta = Task::create(&ka, "a");
     let shm = SharedMemoryServer::start(&fabric, &hs, 2 * PAGE);
     let aa = shm.attach(&ta, &ha).unwrap();
+    // Keep faults single-page: the point of this test is that the second
+    // page stays absent until the partition heals, so the warm read must
+    // not cluster-prefetch it.
+    ta.map().set_fault_policy(machvm::FaultPolicy::trusting());
     // Warm the page while connected.
     let mut b = [0u8; 1];
     ta.read_memory(aa, &mut b).unwrap();
