@@ -132,7 +132,10 @@ pub fn laundry_sweep_point(limit_pages: u64) -> LaundryPoint {
     }
     LaundryPoint {
         limit_pages,
-        takeovers: k.machine().stats.get("vm.default_pager_takeovers"),
+        takeovers: k
+            .machine()
+            .stats
+            .get(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS),
         hoarder_received: hoarded.load(std::sync::atomic::Ordering::Relaxed) / 4096,
     }
 }

@@ -3,24 +3,59 @@
 //! ```text
 //! cargo run -p machbench --bin report [--quick]
 //! cargo run -p machbench --bin report trace
+//! cargo run -p machbench --bin report chrome-trace <out.json>
+//! cargo run -p machbench --bin report prom
+//! cargo run -p machbench --bin report export-smoke
 //! ```
 //!
 //! `--quick` skips the slowest sweeps (compilation, migration) for smoke
 //! testing; the full run backs EXPERIMENTS.md. `trace` instead prints the
 //! causal per-chain timeline and latency percentiles of an externally
 //! paged fault (the observability layer's debugging surface).
+//! `chrome-trace` writes the same run as catapult JSON for Perfetto /
+//! `chrome://tracing`, `prom` prints Prometheus text exposition, and
+//! `export-smoke` validates both formats end to end (nonzero exit on
+//! failure; run from `scripts/check.sh`).
 
 use machbench::{
-    ablation, camelot_bench, compile, cow_msg, failure, ipc_bench, migration, netshm_bench,
-    pageout, pager_rt, remote_cow, shared_array, topology_bench, trace_report,
+    ablation, camelot_bench, compile, cow_msg, export_report, failure, ipc_bench, migration,
+    netshm_bench, pageout, pager_rt, remote_cow, shared_array, topology_bench, trace_report,
 };
 
 fn main() {
-    if std::env::args().any(|a| a == "trace") {
-        print!("{}", trace_report::run());
-        return;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => {
+            print!("{}", trace_report::run());
+            return;
+        }
+        Some("chrome-trace") => {
+            let path = args.get(1).map_or("trace.json", String::as_str);
+            let json = export_report::chrome_trace();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path} — load it in ui.perfetto.dev or chrome://tracing");
+            return;
+        }
+        Some("prom") => {
+            print!("{}", export_report::prometheus());
+            return;
+        }
+        Some("export-smoke") => match export_report::smoke() {
+            Ok(summary) => {
+                println!("{summary}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("export smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {}
     }
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick");
     println!("Mach duality reproduction — experiment report");
     println!("(simulated 1987 machine; see DESIGN.md for the experiment index)\n");
 

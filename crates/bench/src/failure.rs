@@ -100,7 +100,10 @@ pub fn run_default() -> Vec<FailureRow> {
         for i in 0..pages {
             all_written &= t.write_memory(addr + i * 4096, &[1]).is_ok();
         }
-        let takeovers = k.machine().stats.get("vm.default_pager_takeovers");
+        let takeovers = k
+            .machine()
+            .stats
+            .get(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS);
         rows.push(FailureRow {
             mode: "manager hoards written-back data".into(),
             defense: "laundry limit, default pager takeover".into(),

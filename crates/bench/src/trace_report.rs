@@ -66,9 +66,14 @@ pub fn render_histograms(machine: &Machine) -> String {
     out
 }
 
-/// Runs the demo scenario (file-backed mapping, cold fault per page) and
-/// returns the full printable report.
-pub fn run() -> String {
+/// Runs the demo scenario — a file-backed mapping faulted cold, one
+/// external pager round-trip per page — and returns the machine whose
+/// trace buffer and latency registry hold the result.
+///
+/// Shared by `report trace` (timeline rendering) and the standard-format
+/// exporters (`report chrome-trace` / `report prom`), so every mode shows
+/// the same canonical chain.
+pub fn demo_machine() -> Machine {
     let machine = Machine::default_machine();
     let kernel = Kernel::boot_on(machine.clone(), KernelConfig::default());
     let dev = Arc::new(BlockDevice::new(&machine, 256));
@@ -89,6 +94,13 @@ pub fn run() -> String {
     for page in 0..(size / 4096) {
         task.read_memory(addr + page * 4096, &mut byte).unwrap();
     }
+    machine
+}
+
+/// Runs the demo scenario (file-backed mapping, cold fault per page) and
+/// returns the full printable report.
+pub fn run() -> String {
+    let machine = demo_machine();
 
     let mut out = String::new();
     out.push_str("Causal fault chains (externally paged file, cold cache)\n");
@@ -105,8 +117,9 @@ pub fn run() -> String {
     }
     let _ = writeln!(
         out,
-        "({chains} pager chains out of {} traced events)\n",
-        events.len()
+        "({chains} pager chains out of {} traced events, {} dropped by ring overflow)\n",
+        events.len(),
+        machine.trace.dropped()
     );
     out.push_str("Latency histograms\n");
     out.push_str("------------------\n");
@@ -126,5 +139,6 @@ mod tests {
         assert!(out.contains("vm.fault_to_resolution"));
         assert!(out.contains("ipc.send_to_receive"));
         assert!(out.contains("vm.request_to_fill"));
+        assert!(out.contains("dropped by ring overflow"));
     }
 }

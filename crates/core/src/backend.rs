@@ -168,7 +168,9 @@ impl PagerBackend for IpcPagerBackend {
             // Starvation protection: the manager is sitting on too much
             // unreleased laundry; page to the default pager instead.
             if let Some(fallback) = self.fallback.read().expect("lock poisoned").upgrade() {
-                self.machine.stats.incr("vm.default_pager_takeovers");
+                self.machine
+                    .stats
+                    .incr(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS);
                 fallback.data_write(object, offset, data);
                 return;
             }
@@ -195,7 +197,9 @@ impl PagerBackend for IpcPagerBackend {
         // hook drops the kernel's receive rights) plus an explicit
         // PAGER_TERMINATE message so multi-object managers — the default
         // pager above all — can free that object's backing storage.
-        self.machine.stats.incr("emm.objects_terminated");
+        self.machine
+            .stats
+            .incr(machsim::stats::keys::EMM_OBJECTS_TERMINATED);
         self.manager
             .send_notification(Message::new(proto::PAGER_TERMINATE).with(self.ids(&[object.0])));
         if let Some(hook) = self.on_terminate.lock().take() {
@@ -288,7 +292,11 @@ mod tests {
             OolBuffer::from_vec(vec![0; 4096]),
         );
         assert_eq!(sink.0.lock().len(), 1);
-        assert_eq!(m.stats.get("vm.default_pager_takeovers"), 1);
+        assert_eq!(
+            m.stats
+                .get(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS),
+            1
+        );
         // The manager got exactly `pages` messages, not pages + 1.
         let mut received = 0;
         while mgr_rx.try_receive().is_some() {

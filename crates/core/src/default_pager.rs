@@ -126,7 +126,10 @@ impl DataManager for DefaultPager {
                         // Paging partition full: data is dropped. A real
                         // system would panic or kill tasks; counting lets
                         // experiments observe it.
-                        kernel.machine().stats.incr("default_pager.partition_full");
+                        kernel
+                            .machine()
+                            .stats
+                            .incr(machsim::stats::keys::DEFAULT_PAGER_PARTITION_FULL);
                         written += ps;
                         continue;
                     };
@@ -237,7 +240,11 @@ mod tests {
             );
             req_rx.receive(Some(Duration::from_secs(5))).unwrap();
         }
-        assert_eq!(m.stats.get("default_pager.partition_full"), 1);
+        assert_eq!(
+            m.stats
+                .get(machsim::stats::keys::DEFAULT_PAGER_PARTITION_FULL),
+            1
+        );
     }
 
     #[test]

@@ -10,16 +10,20 @@
 
 use crate::backend::IpcPagerBackend;
 use crate::default_pager::DefaultPager;
+use crate::introspect::{
+    HostStatistics, TaskInfo, TaskInfoReply, TraceQueryReply, VmStatisticsSnapshot,
+};
 use crate::manager::{spawn_manager, ManagerHandle};
 use crate::proto;
 use machipc::{Message, MsgItem, PortId, PortSpace, SendRight};
-use machsim::{CostModel, Machine};
+use machsim::stats::keys as stat_keys;
+use machsim::{CorrelationId, CostModel, EventKind, Machine};
 use machstorage::{BlockDevice, BLOCK_SIZE};
-use machvm::{FaultPolicy, ObjectId, PagerBackend, PhysicalMemory, VmObject, VmProt};
+use machvm::{FaultPolicy, ObjectId, PagerBackend, PhysicalMemory, VmMap, VmObject, VmProt};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 /// Boot-time kernel parameters.
@@ -43,6 +47,13 @@ pub struct KernelConfig {
     /// Whether to run the background pageout daemon that keeps the free
     /// queue primed (Section 5.4's queue maintenance).
     pub pageout_daemon: bool,
+    /// Whether to run the stall watchdog that flags in-flight causal
+    /// chains (faults awaiting `pager_data_provided`) that stop making
+    /// progress.
+    pub watchdog: bool,
+    /// Simulated time an in-flight chain may age before the watchdog
+    /// declares it stalled.
+    pub watchdog_stall_ns: u64,
 }
 
 /// Default read-fault cluster size, in pages: one `pager_data_request`
@@ -50,6 +61,27 @@ pub struct KernelConfig {
 /// cluster-capable (every IPC-attached manager is — see
 /// [`IpcPagerBackend`]). Matches real Mach's cluster paging.
 pub const DEFAULT_CLUSTER_PAGES: usize = 8;
+
+/// Default simulated-time stall threshold for the watchdog (200 ms — two
+/// orders of magnitude beyond a disk-backed fault chain in the default
+/// cost model).
+pub const DEFAULT_WATCHDOG_STALL_NS: u64 = 200_000_000;
+
+/// Watchdog poll interval (wall clock).
+const WATCHDOG_POLL: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// Consecutive watchdog scans an in-flight chain must survive before the
+/// sim-clock deadline is even considered (~300 ms of wall time). The
+/// debounce is what makes the watchdog sound on a *shared* simulated
+/// clock: a busy host charges everyone's work to one clock, so sim-elapsed
+/// alone would flag healthy faults on loaded hosts, while a wedged host's
+/// clock stops advancing and would never cross the deadline at all.
+/// Healthy fault chains resolve in wall-microseconds; only a genuinely
+/// blocked chain is still in the table after this many scans.
+const WATCHDOG_MIN_SCANS: u32 = 60;
+
+/// Trace-ring tail length included in a watchdog black-box report.
+const BLACK_BOX_EVENTS: usize = 32;
 
 impl Default for KernelConfig {
     fn default() -> Self {
@@ -62,6 +94,8 @@ impl Default for KernelConfig {
             fault_policy: FaultPolicy::trusting().with_cluster(DEFAULT_CLUSTER_PAGES),
             laundry_limit: crate::backend::DEFAULT_LAUNDRY_LIMIT,
             pageout_daemon: true,
+            watchdog: true,
+            watchdog_stall_ns: DEFAULT_WATCHDOG_STALL_NS,
         }
     }
 }
@@ -75,6 +109,10 @@ impl KernelConfig {
         }
     }
 }
+
+/// The live-task registry behind `host_task_info`: task names with weak
+/// references to their address maps, pruned as tasks die.
+type TaskRegistry = Arc<Mutex<Vec<(String, Weak<VmMap>)>>>;
 
 /// Kernel-side record of one external memory object.
 struct EmmRecord {
@@ -105,6 +143,12 @@ pub struct Kernel {
     daemon_stop: Arc<std::sync::atomic::AtomicBool>,
     fault_policy: FaultPolicy,
     laundry_limit: u64,
+    host_port: SendRight,
+    host_control: SendRight,
+    host_service: Mutex<Option<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+    watchdog_stop: Arc<std::sync::atomic::AtomicBool>,
+    tasks: TaskRegistry,
 }
 
 impl fmt::Debug for Kernel {
@@ -186,6 +230,20 @@ impl Kernel {
             });
         }
 
+        // The host port: kernel introspection served as ordinary IPC, in
+        // its own port space so statistics queries never queue behind (or
+        // ahead of) EMM protocol traffic.
+        let host_space = Arc::new(PortSpace::new(&machine));
+        let host_control_name = host_space.port_allocate();
+        host_space
+            .port_enable(host_control_name)
+            .expect("host control port enable");
+        let host_control = host_space
+            .send_right(host_control_name)
+            .expect("host control port right");
+        let (_host_name, host_port) = Self::register_request_port(&host_space, &machine);
+        let tasks: TaskRegistry = Arc::new(Mutex::new(Vec::new()));
+
         let kernel = Arc::new(Kernel {
             machine: machine.clone(),
             phys: phys.clone(),
@@ -199,7 +257,37 @@ impl Kernel {
             daemon_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             fault_policy: config.fault_policy,
             laundry_limit: config.laundry_limit,
+            host_port,
+            host_control,
+            host_service: Mutex::new(None),
+            watchdog: Mutex::new(None),
+            watchdog_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            tasks: tasks.clone(),
         });
+
+        // The host introspection service loop.
+        {
+            let machine = machine.clone();
+            let phys = phys.clone();
+            let thread = std::thread::Builder::new()
+                .name("kernel-host".into())
+                .spawn(move || Self::host_loop(host_space, machine, phys, tasks))
+                .expect("spawn kernel host loop");
+            *kernel.host_service.lock() = Some(thread);
+        }
+
+        // The stall watchdog.
+        if config.watchdog {
+            let machine = machine.clone();
+            let phys = phys.clone();
+            let stop = kernel.watchdog_stop.clone();
+            let stall_ns = config.watchdog_stall_ns.max(1);
+            let thread = std::thread::Builder::new()
+                .name("kernel-watchdog".into())
+                .spawn(move || Self::watchdog_loop(machine, phys, stop, stall_ns))
+                .expect("spawn kernel watchdog");
+            *kernel.watchdog.lock() = Some(thread);
+        }
 
         // The EMM service loop.
         let thread = {
@@ -229,7 +317,9 @@ impl Kernel {
                             phys.balance_queues(high_water);
                             let want = high_water.saturating_sub(phys.free_frames());
                             let freed = phys.reclaim_pages(want);
-                            machine.stats.add("vm.daemon_reclaims", freed as u64);
+                            machine
+                                .stats
+                                .add(stat_keys::VM_DAEMON_RECLAIMS, freed as u64);
                         }
                         std::thread::sleep(std::time::Duration::from_millis(5));
                     }
@@ -338,6 +428,190 @@ impl Kernel {
                 _ => {}
             }
         }
+    }
+
+    /// The introspection service loop: answers host-port queries with
+    /// typed snapshots (see `machcore::introspect`).
+    fn host_loop(
+        space: Arc<PortSpace>,
+        machine: Machine,
+        phys: Arc<PhysicalMemory>,
+        tasks: TaskRegistry,
+    ) {
+        loop {
+            let Ok((_from, msg)) = space.receive_default(None) else {
+                break;
+            };
+            let reply = match msg.id {
+                proto::HOST_STATISTICS => HostStatistics::capture(&machine).encode(),
+                proto::HOST_VM_STATISTICS => {
+                    VmStatisticsSnapshot::capture(&machine, &phys).encode()
+                }
+                proto::HOST_TASK_INFO => Self::capture_task_info(&machine, &phys, &tasks).encode(),
+                proto::HOST_TRACE_QUERY => {
+                    let args = msg
+                        .body
+                        .iter()
+                        .find_map(|i| i.as_u64s())
+                        .unwrap_or_default();
+                    let correlation = args.first().copied().unwrap_or(0);
+                    let max_events = args.get(1).copied().unwrap_or(256);
+                    TraceQueryReply::capture(&machine, correlation, max_events).encode()
+                }
+                proto::KERNEL_SHUTDOWN => break,
+                _ => continue,
+            };
+            if let Some(reply_to) = &msg.reply {
+                // Backlog-exempt: a slow client must not wedge the kernel.
+                reply_to.send_notification(reply);
+            }
+        }
+    }
+
+    /// Builds the `host_task_info` reply from the live-task registry.
+    fn capture_task_info(
+        machine: &Machine,
+        phys: &PhysicalMemory,
+        tasks: &Mutex<Vec<(String, Weak<VmMap>)>>,
+    ) -> TaskInfoReply {
+        let mut reg = tasks.lock();
+        reg.retain(|(_, map)| map.strong_count() > 0);
+        let tasks = reg
+            .iter()
+            .filter_map(|(name, weak)| {
+                let map = weak.upgrade()?;
+                let regions = map.regions();
+                let mut objects: Vec<ObjectId> = regions.iter().map(|r| r.object).collect();
+                objects.sort_unstable();
+                objects.dedup();
+                Some(TaskInfo {
+                    name: name.clone(),
+                    regions: regions.len() as u64,
+                    virtual_bytes: regions.iter().map(|r| r.size).sum(),
+                    resident_pages: objects
+                        .iter()
+                        .map(|&id| phys.resident_pages_of(id) as u64)
+                        .sum(),
+                })
+            })
+            .collect();
+        TaskInfoReply {
+            host: machine.host().to_string(),
+            tasks,
+        }
+    }
+
+    /// The stall watchdog: scans the in-flight chain table and flags
+    /// chains that stop making progress, exactly once per chain.
+    ///
+    /// Detection is two-stage. First a wall-clock debounce: the chain must
+    /// survive [`WATCHDOG_MIN_SCANS`] consecutive scans, which no healthy
+    /// fault does (they resolve in wall-microseconds). Then the simulated
+    /// deadline: if the debounced chain's host clock has not yet aged past
+    /// `stall_ns`, the watchdog advances it there — modeling the hardware
+    /// interval timer that fires regardless of how wedged the system is —
+    /// and flags the chain on a later scan. Healthy runs stay
+    /// deterministic because the advance never happens for them.
+    fn watchdog_loop(
+        machine: Machine,
+        phys: Arc<PhysicalMemory>,
+        stop: Arc<std::sync::atomic::AtomicBool>,
+        stall_ns: u64,
+    ) {
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            for chain in machine.flight.tick() {
+                if chain.flagged || chain.scans < WATCHDOG_MIN_SCANS {
+                    continue;
+                }
+                let deadline = chain.started_ns.saturating_add(stall_ns);
+                if machine.clock.now_ns() < deadline {
+                    machine.clock.advance_to(deadline);
+                    continue;
+                }
+                if machine.flight.flag(chain.cid) {
+                    machine.stats.incr(stat_keys::WATCHDOG_STALLS);
+                    machine.trace_event_with(
+                        "watchdog",
+                        EventKind::WatchdogStall,
+                        CorrelationId::from_raw(chain.cid),
+                    );
+                    let report = Self::black_box_report(&machine, &phys, &chain, stall_ns);
+                    machine.flight.push_report(report);
+                }
+            }
+            std::thread::sleep(WATCHDOG_POLL);
+        }
+    }
+
+    /// Renders the bounded "black box" report for one stalled chain: its
+    /// hop timeline, the trace-ring tail, every counter, and the state of
+    /// resident memory at flag time.
+    fn black_box_report(
+        machine: &Machine,
+        phys: &PhysicalMemory,
+        chain: &machsim::InFlightChain,
+        stall_ns: u64,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== watchdog stall: cid#{} ({}) on host {} ==",
+            chain.cid,
+            chain.actor,
+            machine.host()
+        );
+        let _ = writeln!(
+            out,
+            "started {} ns, now {} ns, threshold {} ns",
+            chain.started_ns,
+            machine.clock.now_ns(),
+            stall_ns
+        );
+        out.push_str("-- chain timeline --\n");
+        let hops = CorrelationId::from_raw(chain.cid)
+            .map(|cid| machine.trace.chain(cid))
+            .unwrap_or_default();
+        if hops.is_empty() {
+            out.push_str("(no trace events recorded for this chain)\n");
+        }
+        for e in &hops {
+            let _ = writeln!(out, "{e}");
+        }
+        let _ = writeln!(out, "-- last {BLACK_BOX_EVENTS} trace events --");
+        let snap = machine.trace.snapshot();
+        for e in snap.iter().rev().take(BLACK_BOX_EVENTS).rev() {
+            let _ = writeln!(out, "{e}");
+        }
+        out.push_str("-- counters --\n");
+        for (name, value) in machine.stats.snapshot().iter() {
+            let _ = writeln!(out, "{name} = {value}");
+        }
+        out.push_str("-- resident memory --\n");
+        let _ = writeln!(out, "{:?}", phys.frame_census());
+        let _ = writeln!(out, "shard occupancy {:?}", phys.shard_occupancy());
+        out
+    }
+
+    /// A send right for the kernel's host (introspection) port. Any task —
+    /// including one on a remote host holding a proxy for this right — can
+    /// query statistics through it.
+    pub fn host_port(&self) -> &SendRight {
+        &self.host_port
+    }
+
+    /// Registers a live task for `host_task_info`. Called by
+    /// `Task::create`/`Task::fork`; the registry holds the address map
+    /// weakly, so a dropped task disappears from the listing.
+    pub fn register_task(&self, name: &str, map: &Arc<VmMap>) {
+        self.tasks
+            .lock()
+            .push((name.to_string(), Arc::downgrade(map)));
+    }
+
+    /// Black-box reports filed by the stall watchdog, oldest first.
+    pub fn watchdog_reports(&self) -> Vec<String> {
+        self.machine.flight.reports()
     }
 
     /// The machine this kernel runs on.
@@ -450,9 +724,19 @@ impl Kernel {
 
 impl Drop for Kernel {
     fn drop(&mut self) {
+        self.watchdog_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = self.watchdog.lock().take() {
+            let _ = t.join();
+        }
         self.daemon_stop
             .store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.daemon.lock().take() {
+            let _ = t.join();
+        }
+        self.host_control
+            .send_notification(Message::new(proto::KERNEL_SHUTDOWN));
+        if let Some(t) = self.host_service.lock().take() {
             let _ = t.join();
         }
         self.control
@@ -615,7 +899,12 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert!(k.machine().stats.get("vm.daemon_reclaims") > 0);
+        assert!(
+            k.machine()
+                .stats
+                .get(machsim::stats::keys::VM_DAEMON_RECLAIMS)
+                > 0
+        );
     }
 
     #[test]
@@ -646,7 +935,9 @@ mod tests {
             "pressure produced pageouts"
         );
         assert_eq!(
-            k.machine().stats.get("default_pager.partition_full"),
+            k.machine()
+                .stats
+                .get(machsim::stats::keys::DEFAULT_PAGER_PARTITION_FULL),
             0,
             "paging storage was recycled across cycles"
         );

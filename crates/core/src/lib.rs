@@ -18,9 +18,12 @@
 //! * [`msg`] — out-of-line message transfer by copy-on-write mapping: the
 //!   communication half of the duality.
 //! * [`proto`] — the message ids and layouts of Tables 3-4/3-5/3-6.
+//! * [`introspect`] — kernel statistics served over IPC on the host port
+//!   (the `host_info`/`vm_statistics` analogue), queryable across hosts.
 
 pub mod backend;
 pub mod default_pager;
+pub mod introspect;
 pub mod kernel;
 pub mod manager;
 pub mod msg;

@@ -29,6 +29,20 @@
 //! | [`PAGER_DATA_UNAVAILABLE`] | `pager_data_unavailable` | u64s `[object, offset, size]` |
 //! | [`PAGER_RELEASE_LAUNDRY`] | (vm_deallocate of written data) | u64s `[object, bytes]` |
 //! | [`PAGER_SET_CLUSTER`] | (cluster-size attribute) | u64s `[object, pages]` |
+//!
+//! Any task → kernel (sent to the *host port*, in the style of Mach's
+//! `host_info`/`vm_statistics` — introspection is just another message
+//! protocol, so a remote host can query it through a network proxy port):
+//!
+//! | id | call | body |
+//! |----|------|------|
+//! | [`HOST_STATISTICS`] | `host_statistics` | empty; reply port |
+//! | [`HOST_VM_STATISTICS`] | `host_vm_statistics` | empty; reply port |
+//! | [`HOST_TASK_INFO`] | `host_task_info` | empty; reply port |
+//! | [`HOST_TRACE_QUERY`] | `host_trace_query` | u64s `[correlation_or_0, max_events]`; reply port |
+//!
+//! Replies carry the corresponding `*_REPLY` id; see `machcore::introspect`
+//! for the body encodings.
 
 /// Kernel → manager: initialize a memory object (Table 3-5).
 pub const PAGER_INIT: u32 = 0x2200;
@@ -68,6 +82,26 @@ pub const PAGER_RELEASE_LAUNDRY: u32 = 0x2306;
 /// Body: u64s `[object, pages]`.
 pub const PAGER_SET_CLUSTER: u32 = 0x2307;
 
+/// Task → kernel host port: snapshot every named counter and latency
+/// histogram of the serving host.
+pub const HOST_STATISTICS: u32 = 0x2500;
+/// Reply to [`HOST_STATISTICS`].
+pub const HOST_STATISTICS_REPLY: u32 = 0x2501;
+/// Task → kernel host port: snapshot resident-memory state (frame census,
+/// per-shard page-table occupancy, pageout queue lengths).
+pub const HOST_VM_STATISTICS: u32 = 0x2502;
+/// Reply to [`HOST_VM_STATISTICS`].
+pub const HOST_VM_STATISTICS_REPLY: u32 = 0x2503;
+/// Task → kernel host port: list live tasks with their VM map summaries.
+pub const HOST_TASK_INFO: u32 = 0x2504;
+/// Reply to [`HOST_TASK_INFO`].
+pub const HOST_TASK_INFO_REPLY: u32 = 0x2505;
+/// Task → kernel host port: fetch trace events (one chain, or the tail of
+/// the ring when the correlation argument is 0).
+pub const HOST_TRACE_QUERY: u32 = 0x2506;
+/// Reply to [`HOST_TRACE_QUERY`].
+pub const HOST_TRACE_QUERY_REPLY: u32 = 0x2507;
+
 /// Kernel service loop control: shut down.
 pub const KERNEL_SHUTDOWN: u32 = 0x2FFF;
 
@@ -96,6 +130,14 @@ mod tests {
             PAGER_DATA_UNAVAILABLE,
             PAGER_RELEASE_LAUNDRY,
             PAGER_SET_CLUSTER,
+            HOST_STATISTICS,
+            HOST_STATISTICS_REPLY,
+            HOST_VM_STATISTICS,
+            HOST_VM_STATISTICS_REPLY,
+            HOST_TASK_INFO,
+            HOST_TASK_INFO_REPLY,
+            HOST_TRACE_QUERY,
+            HOST_TRACE_QUERY_REPLY,
             KERNEL_SHUTDOWN,
         ];
         let mut sorted = ids.to_vec();

@@ -43,6 +43,7 @@ impl Task {
     pub fn create(kernel: &Arc<Kernel>, name: &str) -> Arc<Task> {
         let map = VmMap::new(kernel.phys());
         map.set_fault_policy(kernel.default_fault_policy());
+        kernel.register_task(name, &map);
         Arc::new(Task {
             kernel: kernel.clone(),
             name: name.to_string(),
@@ -59,6 +60,7 @@ impl Task {
     pub fn fork(&self, name: &str) -> Arc<Task> {
         let map = self.map.fork();
         map.set_fault_policy(self.map.fault_policy());
+        self.kernel.register_task(name, &map);
         Arc::new(Task {
             kernel: self.kernel.clone(),
             name: name.to_string(),

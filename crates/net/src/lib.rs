@@ -368,7 +368,7 @@ impl Fabric {
                         if fabric.send(&on, &remote, &target, msg, None).is_err() {
                             // Partitioned or dead target: message dropped,
                             // exactly like a lost datagram.
-                            on.machine().stats.incr("net.dropped");
+                            on.machine().stats.incr(machsim::stats::keys::NET_DROPPED);
                         }
                     }
                     Err(_) => break,
@@ -553,7 +553,7 @@ mod tests {
         proxy.port().send(Message::new(1), None).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         assert!(rx.try_receive().is_none());
-        assert_eq!(a.machine().stats.get("net.dropped"), 1);
+        assert_eq!(a.machine().stats.get(machsim::stats::keys::NET_DROPPED), 1);
     }
 
     #[test]

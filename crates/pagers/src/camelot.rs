@@ -637,14 +637,14 @@ mod tests {
             small_kernel
                 .machine()
                 .stats
-                .get("default_pager.partition_full"),
+                .get(machsim::stats::keys::DEFAULT_PAGER_PARTITION_FULL),
             0
         );
         assert_eq!(
             small_kernel
                 .machine()
                 .stats
-                .get("vm.default_pager_takeovers"),
+                .get(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS),
             0,
             "no pageouts diverted to paging storage"
         );

@@ -256,7 +256,10 @@ mod tests {
             t.write_memory(addr + i * 4096, &[i as u8]).unwrap();
         }
         assert!(
-            k.machine().stats.get("vm.default_pager_takeovers") > 0,
+            k.machine()
+                .stats
+                .get(machsim::stats::keys::VM_DEFAULT_PAGER_TAKEOVERS)
+                > 0,
             "kernel diverted pageouts away from the hoarder"
         );
         // The kernel kept making progress: all pages were written.

@@ -1,0 +1,226 @@
+//! Flight recorder: the in-flight causal-chain table behind the stall
+//! watchdog.
+//!
+//! A page fault that becomes a `pager_data_request` message can wedge —
+//! the PR 2 page-identity race showed up exactly that way, as a 1-in-10
+//! stress mystery. The fix is to make the system self-diagnosing: the
+//! fault path registers every chain here when it begins and removes it on
+//! resolution (success *or* failure), so at any instant the table holds
+//! precisely the chains with no resolution event yet. A watchdog thread
+//! (see `machcore::Kernel`) scans the table on simulated-clock deadlines,
+//! flags chains stalled past a threshold, and files a bounded "black box"
+//! report for each.
+//!
+//! The table is sharded by correlation id: `begin`/`end` sit on the fault
+//! hot path, and PR 2's lesson is that fault throughput is system
+//! throughput — concurrent faults must not serialize behind one lock.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Number of in-flight table shards (power of two for cheap masking).
+const FLIGHT_SHARDS: usize = 16;
+
+/// Bounded number of retained black-box reports.
+const REPORT_CAPACITY: usize = 8;
+
+/// One chain currently in flight: begun, not yet resolved.
+#[derive(Clone, Debug)]
+pub struct InFlightChain {
+    /// Raw correlation id of the chain (never 0).
+    pub cid: u64,
+    /// The actor that began the chain ("vm.fault", ...).
+    pub actor: String,
+    /// Simulated time when the chain began.
+    pub started_ns: u64,
+    /// Consecutive watchdog scans that have observed this chain pending.
+    pub scans: u32,
+    /// Whether the watchdog has already flagged this chain as stalled.
+    pub flagged: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    actor: String,
+    started_ns: u64,
+    scans: u32,
+    flagged: bool,
+}
+
+/// The in-flight chain table plus the black-box report ring.
+///
+/// Shared per machine (see `Machine::flight`); cheap to clone via `Arc`.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    shards: [Mutex<HashMap<u64, Entry>>; FLIGHT_SHARDS],
+    reports: Mutex<VecDeque<String>>,
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, cid: u64) -> &Mutex<HashMap<u64, Entry>> {
+        // Correlation ids are sequential; mix before masking so neighbors
+        // land on different shards.
+        let h = cid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> (64 - 4)) as usize & (FLIGHT_SHARDS - 1)]
+    }
+
+    /// Registers a chain as in flight. `cid` is the raw correlation id.
+    pub fn begin(&self, cid: u64, actor: &str, started_ns: u64) {
+        if cid == 0 {
+            return;
+        }
+        self.shard(cid).lock().insert(
+            cid,
+            Entry {
+                actor: actor.to_string(),
+                started_ns,
+                scans: 0,
+                flagged: false,
+            },
+        );
+    }
+
+    /// Removes a chain: it resolved (successfully or not).
+    pub fn end(&self, cid: u64) {
+        if cid == 0 {
+            return;
+        }
+        self.shard(cid).lock().remove(&cid);
+    }
+
+    /// Number of chains currently in flight.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no chain is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One watchdog scan: bumps every entry's scan count and returns a
+    /// snapshot of the table (after the bump), oldest chain first.
+    pub fn tick(&self) -> Vec<InFlightChain> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for (cid, e) in s.iter_mut() {
+                e.scans += 1;
+                out.push(InFlightChain {
+                    cid: *cid,
+                    actor: e.actor.clone(),
+                    started_ns: e.started_ns,
+                    scans: e.scans,
+                    flagged: e.flagged,
+                });
+            }
+        }
+        out.sort_by_key(|c| (c.started_ns, c.cid));
+        out
+    }
+
+    /// Marks a chain as flagged. Returns `true` only the first time, so a
+    /// wedged chain produces exactly one stall event no matter how many
+    /// scans observe it afterwards.
+    pub fn flag(&self, cid: u64) -> bool {
+        let mut s = self.shard(cid).lock();
+        match s.get_mut(&cid) {
+            Some(e) if !e.flagged => {
+                e.flagged = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Files a black-box report, discarding the oldest past the bound.
+    pub fn push_report(&self, report: String) {
+        let mut r = self.reports.lock();
+        if r.len() >= REPORT_CAPACITY {
+            r.pop_front();
+        }
+        r.push_back(report);
+    }
+
+    /// Retained black-box reports, oldest first.
+    pub fn reports(&self) -> Vec<String> {
+        self.reports.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_tracks_in_flight() {
+        let f = FlightRecorder::new();
+        assert!(f.is_empty());
+        f.begin(1, "vm.fault", 100);
+        f.begin(2, "vm.fault", 200);
+        assert_eq!(f.len(), 2);
+        f.end(1);
+        assert_eq!(f.len(), 1);
+        let snap = f.tick();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].cid, 2);
+        assert_eq!(snap[0].started_ns, 200);
+    }
+
+    #[test]
+    fn zero_cid_is_ignored() {
+        let f = FlightRecorder::new();
+        f.begin(0, "x", 1);
+        assert!(f.is_empty());
+        f.end(0); // must not panic
+    }
+
+    #[test]
+    fn tick_counts_scans_and_sorts_oldest_first() {
+        let f = FlightRecorder::new();
+        f.begin(7, "b", 500);
+        f.begin(9, "a", 100);
+        let first = f.tick();
+        assert_eq!(first[0].cid, 9, "oldest chain first");
+        assert!(first.iter().all(|c| c.scans == 1));
+        let second = f.tick();
+        assert!(second.iter().all(|c| c.scans == 2));
+    }
+
+    #[test]
+    fn flag_latches_exactly_once() {
+        let f = FlightRecorder::new();
+        f.begin(5, "vm.fault", 0);
+        assert!(f.flag(5));
+        assert!(!f.flag(5), "second flag suppressed");
+        assert!(!f.flag(42), "unknown chain not flaggable");
+        assert!(f.tick()[0].flagged);
+    }
+
+    #[test]
+    fn reports_are_bounded() {
+        let f = FlightRecorder::new();
+        for i in 0..20 {
+            f.push_report(format!("report {i}"));
+        }
+        let r = f.reports();
+        assert_eq!(r.len(), REPORT_CAPACITY);
+        assert_eq!(r.last().unwrap(), "report 19");
+        assert_eq!(r.first().unwrap(), "report 12");
+    }
+
+    #[test]
+    fn end_after_flag_clears_entry() {
+        let f = FlightRecorder::new();
+        f.begin(3, "vm.fault", 0);
+        assert!(f.flag(3));
+        f.end(3);
+        assert!(f.is_empty());
+        assert!(!f.flag(3));
+    }
+}

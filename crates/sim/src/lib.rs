@@ -18,6 +18,8 @@
 
 pub mod clock;
 pub mod cost;
+pub mod export;
+pub mod flight;
 pub mod machine;
 pub mod rng;
 pub mod stats;
@@ -26,6 +28,7 @@ pub mod trace;
 
 pub use clock::SimClock;
 pub use cost::CostModel;
+pub use flight::{FlightRecorder, InFlightChain};
 pub use machine::Machine;
 pub use rng::SplitMix64;
 pub use stats::{Counter, HotCounters, StatsRegistry, StatsSnapshot};

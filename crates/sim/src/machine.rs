@@ -7,6 +7,7 @@
 
 use crate::clock::SimClock;
 use crate::cost::CostModel;
+use crate::flight::FlightRecorder;
 use crate::stats::{HotCounters, StatsRegistry};
 use crate::topology::Topology;
 use crate::trace::{CorrelationId, EventKind, LatencyRegistry, TraceBuffer, TraceEvent};
@@ -31,6 +32,8 @@ pub struct Machine {
     /// Pre-resolved counters for the fault/IPC/disk hot paths, backed by
     /// the same atomics as `stats` (no per-increment name lookup).
     pub hot: Arc<HotCounters>,
+    /// In-flight causal-chain table scanned by the stall watchdog.
+    pub flight: Arc<FlightRecorder>,
     /// Host name shown in trace events ("local" unless on a fabric).
     host: Arc<str>,
 }
@@ -52,6 +55,7 @@ impl Machine {
             trace: Arc::new(TraceBuffer::default()),
             latency: LatencyRegistry::new(),
             hot,
+            flight: Arc::new(FlightRecorder::new()),
             host: Arc::from(host),
         }
     }

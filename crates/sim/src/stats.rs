@@ -78,6 +78,63 @@ pub mod keys {
     pub const BCACHE_HITS: &str = "bcache.hits";
     /// Buffer cache misses (baseline UNIX path).
     pub const BCACHE_MISSES: &str = "bcache.misses";
+    /// Frames reclaimed by the background pageout daemon.
+    pub const VM_DAEMON_RECLAIMS: &str = "vm.daemon_reclaims";
+    /// Faults resolved by zero fill after a pager timeout.
+    pub const VM_TIMEOUT_ZERO_FILLS: &str = "vm.timeout_zero_fills";
+    /// Shadow-chain collapses performed by the VM layer.
+    pub const VM_SHADOW_COLLAPSES: &str = "vm.shadow_collapses";
+    /// Supplied fills discarded because the page was flushed in transit.
+    pub const VM_PARTIAL_SUPPLIES_DISCARDED: &str = "vm.partial_supplies_discarded";
+    /// Objects whose pageout diverted to the default pager (laundry
+    /// overflow or a failed external manager).
+    pub const VM_DEFAULT_PAGER_TAKEOVERS: &str = "vm.default_pager_takeovers";
+    /// Default-pager writes refused because the paging partition is full.
+    pub const DEFAULT_PAGER_PARTITION_FULL: &str = "default_pager.partition_full";
+    /// Messages dropped by the network fabric (partition or dead host).
+    pub const NET_DROPPED: &str = "net.dropped";
+    /// External memory objects terminated.
+    pub const EMM_OBJECTS_TERMINATED: &str = "emm.objects_terminated";
+    /// In-flight chains flagged as stalled by the watchdog.
+    pub const WATCHDOG_STALLS: &str = "watchdog.stalls";
+    /// Trace events overwritten by ring overflow (exported, not counted
+    /// in the registry — see `TraceBuffer::dropped`).
+    pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
+
+    /// Every counter key the workspace may create in a [`super::StatsRegistry`].
+    ///
+    /// The drift audit (`tests/counter_keys.rs`) walks a registry after a
+    /// representative workload and asserts each live counter is listed
+    /// here, so hot paths cannot grow stringly-typed one-off names.
+    pub const ALL: &[&str] = &[
+        DISK_READS,
+        DISK_WRITES,
+        DISK_BYTES,
+        MSG_SENT,
+        MSG_RECEIVED,
+        NET_MESSAGES,
+        NET_BYTES,
+        VM_FAULTS,
+        VM_CACHE_HITS,
+        VM_PAGER_FILLS,
+        VM_COW_COPIES,
+        VM_PAGEOUTS,
+        VM_ZERO_FILLS,
+        BYTES_COPIED,
+        PAGES_REMAPPED,
+        BCACHE_HITS,
+        BCACHE_MISSES,
+        VM_DAEMON_RECLAIMS,
+        VM_TIMEOUT_ZERO_FILLS,
+        VM_SHADOW_COLLAPSES,
+        VM_PARTIAL_SUPPLIES_DISCARDED,
+        VM_DEFAULT_PAGER_TAKEOVERS,
+        DEFAULT_PAGER_PARTITION_FULL,
+        NET_DROPPED,
+        EMM_OBJECTS_TERMINATED,
+        WATCHDOG_STALLS,
+        TRACE_DROPPED_EVENTS,
+    ];
 }
 
 /// Pre-resolved handles for the counters on the fault/IPC/disk hot paths.

@@ -136,6 +136,8 @@ pub enum EventKind {
     NetSend,
     /// A message arrived at a host over the network fabric.
     NetRecv,
+    /// The stall watchdog flagged an in-flight chain as wedged.
+    WatchdogStall,
     /// A free-form annotation from a component (pager internals etc.).
     Mark(&'static str),
 }
@@ -170,6 +172,7 @@ impl fmt::Display for EventKind {
             EventKind::DiskWrite => "disk_write",
             EventKind::NetSend => "net_send",
             EventKind::NetRecv => "net_recv",
+            EventKind::WatchdogStall => "watchdog_stall",
             EventKind::Mark(s) => s,
         };
         f.write_str(s)
@@ -404,12 +407,28 @@ impl Histogram {
         (u64::BITS - ns.leading_zeros()) as usize
     }
 
-    fn bucket_upper_bound(i: usize) -> u64 {
+    /// Inclusive upper bound of bucket `i` (`2^i - 1`; the last bucket is
+    /// unbounded). Exposed for exporters that must render bucket edges
+    /// (Prometheus `le` labels).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
         if i >= 64 {
             u64::MAX
         } else {
             (1u64 << i) - 1
         }
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound_ns, count)` pairs in
+    /// ascending bound order — the raw data a histogram exporter needs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((Self::bucket_upper_bound(i), n))
+            })
+            .collect()
     }
 
     /// Records one sample.
@@ -641,6 +660,94 @@ mod tests {
         // p99 is the max sample's bucket, clamped to the observed max.
         assert_eq!(h.p99_ns(), 100_000);
         assert!(h.percentile_ns(1) >= 100 && h.percentile_ns(1) < 256);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = Histogram::new();
+        for p in [0u8, 1, 50, 99, 100] {
+            assert_eq!(h.percentile_ns(p), 0, "p{p} of empty");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = Histogram::new();
+        h.record(777);
+        for p in [0u8, 1, 50, 99, 100] {
+            // One sample: every percentile lands in its bucket, and the
+            // bound is clamped to the observed max.
+            assert_eq!(h.percentile_ns(p), 777, "p{p} of single sample");
+        }
+        assert_eq!(h.buckets(), vec![(1023, 1)]);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_share_one_bound() {
+        let h = Histogram::new();
+        // 512..=1023 all land in the same log2 bucket.
+        for ns in [512u64, 600, 800, 1023] {
+            h.record(ns);
+        }
+        let p50 = h.p50_ns();
+        let p99 = h.p99_ns();
+        assert_eq!(p50, p99, "one bucket, one bound");
+        assert_eq!(p99, 1023, "bucket bound clamped to observed max");
+        assert_eq!(h.buckets(), vec![(1023, 4)]);
+    }
+
+    #[test]
+    fn percentile_clamps_p0_and_p100() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(1_000_000);
+        // p0 still needs rank >= 1: it reports the smallest bucket.
+        assert!(h.percentile_ns(0) >= 10 && h.percentile_ns(0) < 16);
+        // p100 (and anything above, via min(100)) is the max sample.
+        assert_eq!(h.percentile_ns(100), 1_000_000);
+        assert_eq!(h.percentile_ns(200), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_under_random_fills() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            // SplitMix64 step, kept local to avoid a cross-module dep.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _round in 0..10 {
+            let h = Histogram::new();
+            for _ in 0..200 {
+                h.record(next() % 10_000_000);
+            }
+            let mut prev = 0u64;
+            for p in [0u8, 10, 25, 50, 75, 90, 99, 100] {
+                let v = h.percentile_ns(p);
+                assert!(v >= prev, "p{p}={v} dipped below {prev}");
+                prev = v;
+            }
+            assert!(h.p50_ns() <= h.p99_ns());
+            assert!(h.p99_ns() <= h.max_ns());
+        }
+    }
+
+    #[test]
+    fn buckets_expose_cumulative_material() {
+        let h = Histogram::new();
+        for ns in [1u64, 2, 3, 1000, 100_000] {
+            h.record(ns);
+        }
+        let buckets = h.buckets();
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "sorted bounds");
     }
 
     #[test]

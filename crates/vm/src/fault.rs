@@ -25,6 +25,7 @@
 use crate::object::VmObject;
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
+use machsim::stats::keys as stat_keys;
 use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope};
 use machsim::EventKind;
 use std::sync::Arc;
@@ -140,7 +141,11 @@ pub fn resolve_page(
     let _scope = CorrelationScope::enter(cid);
     machine.trace_event("vm.fault", EventKind::Fault);
     let started_ns = machine.clock.now_ns();
+    machine.flight.begin(cid.raw(), "vm.fault", started_ns);
     let result = resolve_page_inner(phys, top, offset, access, policy);
+    // Success *or* failure resolves the chain: only a still-waiting fault
+    // may be flagged by the stall watchdog.
+    machine.flight.end(cid.raw());
     if result.is_ok() {
         machine.trace_event("vm.fault", EventKind::Resume);
         machine.latency.record(
@@ -320,7 +325,7 @@ fn handle_timeout(
     match policy.on_timeout {
         TimeoutAction::Fail => Err(VmError::Timeout),
         TimeoutAction::ZeroFill => {
-            phys.machine().stats.incr("vm.timeout_zero_fills");
+            phys.machine().stats.incr(stat_keys::VM_TIMEOUT_ZERO_FILLS);
             let frame = phys.zero_fill(top, offset)?;
             Ok(FaultResult {
                 frame,
@@ -496,7 +501,7 @@ mod tests {
         )
         .unwrap();
         phys.with_frame(r.frame, |d| assert!(d.iter().all(|&b| b == 0)));
-        assert_eq!(m.stats.get("vm.timeout_zero_fills"), 1);
+        assert_eq!(m.stats.get(stat_keys::VM_TIMEOUT_ZERO_FILLS), 1);
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use fault::{FaultPolicy, FaultResult};
 pub use map::{RegionInfo, VmMap, VmStatistics};
 pub use object::{ObjectId, PagerBackend, VmObject};
 pub use pmap::Pmap;
-pub use resident::{PageLookup, PageQueue, PhysicalMemory};
+pub use resident::{FrameCensus, PageLookup, PageQueue, PhysicalMemory};
 pub use types::{round_page, trunc_page, Inheritance, VmError, VmProt};

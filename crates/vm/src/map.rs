@@ -593,7 +593,7 @@ impl VmMap {
             let next = below.shadow().map(|(bb, s2)| (bb, shadow_off + s2));
             object.with_state(|st| st.shadow = next);
             below.drop_map_ref();
-            phys.machine().stats.incr("vm.shadow_collapses");
+            phys.machine().stats.incr(keys::VM_SHADOW_COLLAPSES);
         }
     }
 
@@ -1386,9 +1386,9 @@ mod tests {
         current.access_read(addr + PS, &mut b).unwrap();
         assert_eq!(b[0], 100);
         assert!(
-            m.stats.get("vm.shadow_collapses") >= 5,
+            m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES) >= 5,
             "collapses happened: {}",
-            m.stats.get("vm.shadow_collapses")
+            m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES)
         );
         // The chain below the live object is shallow.
         let regions = current.regions();
@@ -1414,13 +1414,16 @@ mod tests {
         let child = parent.fork();
         parent.access_write(addr, &[2]).unwrap();
         child.access_write(addr, &[3]).unwrap();
-        let collapses = m.stats.get("vm.shadow_collapses");
+        let collapses = m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES);
         let mut b = [0u8; 1];
         parent.access_read(addr, &mut b).unwrap();
         assert_eq!(b[0], 2);
         child.access_read(addr, &mut b).unwrap();
         assert_eq!(b[0], 3);
-        assert_eq!(m.stats.get("vm.shadow_collapses"), collapses);
+        assert_eq!(
+            m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES),
+            collapses
+        );
     }
 
     #[test]

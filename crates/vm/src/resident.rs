@@ -47,6 +47,7 @@ use crate::object::{ObjectId, PagerBackend, VmObject};
 use crate::pmap::Pmap;
 use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
+use machsim::stats::keys as stat_keys;
 use machsim::trace::keys as trace_keys;
 use machsim::Machine;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -196,6 +197,34 @@ pub enum PageLookup {
     Absent,
 }
 
+/// A point-in-time census of physical memory (see
+/// [`PhysicalMemory::frame_census`]). All fields are frame counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameCensus {
+    /// Total frames in the machine.
+    pub total: u64,
+    /// Frames on the free queue.
+    pub free: u64,
+    /// Frames on the active queue.
+    pub active: u64,
+    /// Frames on the inactive queue.
+    pub inactive: u64,
+    /// Frames caching a page (V2P table entries).
+    pub resident: u64,
+    /// Pages with pager traffic in flight (awaiting fill or write-back).
+    pub pending: u64,
+    /// Frames pinned against reclaim.
+    pub pinned: u64,
+    /// Frames holding modified data not yet written back.
+    pub dirty: u64,
+    /// Frames wired (never evicted).
+    pub wired: u64,
+    /// Frames reserved by a thread for free/retarget.
+    pub busy: u64,
+    /// Frames kept back for privileged pageout-path allocations.
+    pub reserve: u64,
+}
+
 /// Simulated physical memory: frames, the resident page table and queues.
 pub struct PhysicalMemory {
     machine: Machine,
@@ -308,6 +337,51 @@ impl PhysicalMemory {
     pub fn queue_lengths(&self) -> (usize, usize, usize) {
         let q = self.queues.lock();
         (q.active.len(), q.inactive.len(), q.free.len())
+    }
+
+    /// A point-in-time census of every frame and queue — the
+    /// `vm_statistics`-style summary served over the kernel's host port
+    /// and dumped in watchdog black-box reports.
+    ///
+    /// Queue lengths are read under the queue lock; per-frame flag counts
+    /// are relaxed reads, so under concurrent faulting the flag totals are
+    /// approximate (each flag is individually coherent).
+    pub fn frame_census(&self) -> FrameCensus {
+        let (active, inactive, free) = self.queue_lengths();
+        let mut census = FrameCensus {
+            total: self.frames.len() as u64,
+            free: free as u64,
+            active: active as u64,
+            inactive: inactive as u64,
+            resident: self.resident_pages() as u64,
+            pending: self
+                .shards
+                .iter()
+                .map(|s| s.state.lock().pending.len() as u64)
+                .sum(),
+            reserve: self.reserve as u64,
+            ..FrameCensus::default()
+        };
+        for f in &self.frames {
+            census.pinned += u64::from(f.pins.load(Ordering::Relaxed) > 0);
+            census.dirty += u64::from(f.dirty.load(Ordering::Relaxed));
+            census.wired += u64::from(f.wired.load(Ordering::Relaxed));
+            census.busy += u64::from(f.busy.load(Ordering::Relaxed));
+        }
+        census
+    }
+
+    /// Resident/pending entry counts per V2P shard, in shard order — the
+    /// load-balance view of the sharded page table (a hot shard shows up
+    /// as one outsized entry).
+    pub fn shard_occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let st = s.state.lock();
+                (st.resident.len(), st.pending.len())
+            })
+            .collect()
     }
 
     /// The machine this memory charges.
@@ -940,7 +1014,9 @@ impl PhysicalMemory {
     ) -> Result<usize, VmError> {
         let whole_pages = data.len() / self.page_size;
         if !data.len().is_multiple_of(self.page_size) {
-            self.machine.stats.incr("vm.partial_supplies_discarded");
+            self.machine
+                .stats
+                .incr(stat_keys::VM_PARTIAL_SUPPLIES_DISCARDED);
         }
         if whole_pages > 0 {
             self.machine
@@ -1471,7 +1547,7 @@ mod tests {
             .supply_page(&obj, 0, &vec![0u8; 4096 + 100], VmProt::NONE)
             .unwrap();
         assert_eq!(n, 1);
-        assert!(m.stats.get("vm.partial_supplies_discarded") >= 1);
+        assert!(m.stats.get(keys::VM_PARTIAL_SUPPLIES_DISCARDED) >= 1);
     }
 
     #[test]

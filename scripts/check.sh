@@ -14,4 +14,7 @@ cargo fmt --check
 echo "==> fault_scaling bench (smoke)"
 cargo bench -p machbench --bench fault_scaling -- --smoke
 
-echo "OK: clippy clean, formatting clean, fault_scaling smoke passed."
+echo "==> export smoke (chrome-trace + prometheus round-trip)"
+cargo run -q -p machbench --bin report export-smoke
+
+echo "OK: clippy clean, formatting clean, fault_scaling and export smoke passed."

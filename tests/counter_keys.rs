@@ -1,0 +1,78 @@
+//! Counter-name drift audit: every counter a real workload produces must
+//! be declared in `machsim::stats::keys::ALL`, so exporters, dashboards
+//! and the introspection protocol never silently miss a renamed key.
+
+use machcore::{spawn_manager, DataManager, Kernel, KernelConfig, KernelConn, Task};
+use machipc::OolBuffer;
+use machnet::Fabric;
+use machsim::stats::keys;
+use machvm::VmProt;
+
+const PAGE: u64 = 4096;
+
+struct StampPager;
+
+impl DataManager for StampPager {
+    fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
+        let data: Vec<u8> = (offset..offset + length)
+            .map(|i| (i / PAGE) as u8)
+            .collect();
+        k.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
+    }
+}
+
+#[test]
+fn all_is_free_of_duplicates() {
+    let mut sorted: Vec<&str> = keys::ALL.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), keys::ALL.len(), "duplicate key in keys::ALL");
+}
+
+#[test]
+fn every_live_counter_is_a_declared_key() {
+    // A workload broad enough to touch every subsystem that counts:
+    // external paging, copy-on-write forks under memory pressure (pageout,
+    // default pager), and cross-host messaging.
+    let fabric = Fabric::new();
+    let ha = fabric.add_host("a");
+    let hb = fabric.add_host("b");
+    let kernel = Kernel::boot_on(
+        ha.machine().clone(),
+        KernelConfig {
+            memory_bytes: 24 * 4096,
+            reserve_pages: 4,
+            ..KernelConfig::default()
+        },
+    );
+    let kernel_b = Kernel::boot_on(hb.machine().clone(), KernelConfig::default());
+
+    let task = Task::create(&kernel, "audit");
+    let mgr = spawn_manager(kernel.machine(), "stamp", StampPager);
+    let pages = 16u64;
+    let addr = task
+        .vm_allocate_with_pager(None, pages * PAGE, mgr.port(), 0)
+        .unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..pages {
+        task.read_memory(addr + p * PAGE, &mut b).unwrap();
+    }
+    // Fork + writes: copy-on-write, shadow chains, pressure, pageout.
+    let child = task.fork("audit-child");
+    for p in 0..pages {
+        child.write_memory(addr + p * PAGE, &[0xEE]).unwrap();
+    }
+    // Cross-host query traffic so net.* counters appear on both hosts.
+    let proxy = fabric.proxy_right(&ha, &hb, kernel_b.host_port().clone());
+    machcore::introspect::query_host_statistics(&proxy).unwrap();
+
+    for machine in [kernel.machine(), kernel_b.machine()] {
+        for (name, _) in machine.stats.snapshot().iter() {
+            assert!(
+                keys::ALL.contains(&name),
+                "counter '{name}' on host {} is not declared in stats::keys::ALL",
+                machine.host()
+            );
+        }
+    }
+}

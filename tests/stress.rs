@@ -59,6 +59,16 @@ fn many_threads_fault_one_object_concurrently() {
             <= pages,
         "concurrent faults coalesced per page"
     );
+    // The stall watchdog runs by default: a healthy (if congested) pager
+    // must never be flagged — zero false positives under contention.
+    assert_eq!(
+        kernel
+            .machine()
+            .stats
+            .get(machsim::stats::keys::WATCHDOG_STALLS),
+        0,
+        "healthy run flagged by the stall watchdog"
+    );
 }
 
 #[test]
