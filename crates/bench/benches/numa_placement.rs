@@ -1,0 +1,67 @@
+//! E19 — NUMA placement policy ablation (bench binary).
+//!
+//! Thin wrapper over `machbench::numa_placement`: runs the policy ladder
+//! (none / first-touch / +replication / +migration) on UMA and NUMA
+//! machines and prints the E19 table.
+//!
+//! Run with `--smoke` for a small, asserted sanity pass (used by
+//! `scripts/check.sh`): each NUMA policy step must strictly reduce both
+//! remote hits and total simulated time, the replication and migration
+//! machinery must actually fire, and the UMA ladder must cost exactly the
+//! same under every policy.
+
+use machbench::numa_placement::{self, NumaRow};
+use machsim::Topology;
+
+fn smoke() {
+    let rows: Vec<NumaRow> = numa_placement::policy_ladder()
+        .into_iter()
+        .map(|(label, numa)| {
+            let mut r = numa_placement::run(Topology::Numa, numa, 8, 6);
+            r.policy = label;
+            r
+        })
+        .collect();
+    for w in rows.windows(2) {
+        assert!(
+            w[1].remote_hits < w[0].remote_hits,
+            "{} -> {}: remote hits {} !< {}",
+            w[0].policy,
+            w[1].policy,
+            w[1].remote_hits,
+            w[0].remote_hits
+        );
+        assert!(
+            w[1].total_ns < w[0].total_ns,
+            "{} -> {}: total ns {} !< {}",
+            w[0].policy,
+            w[1].policy,
+            w[1].total_ns,
+            w[0].total_ns
+        );
+    }
+    assert!(rows[2].replications > 0, "replication never fired");
+    assert!(rows[2].shootdowns > 0, "write shootdown never fired");
+    assert!(rows[3].migrations > 0, "migration never fired");
+
+    let uma: Vec<u64> = numa_placement::policy_ladder()
+        .into_iter()
+        .map(|(_, numa)| numa_placement::run(Topology::Uma, numa, 8, 6).total_ns)
+        .collect();
+    assert!(
+        uma.windows(2).all(|w| w[0] == w[1]),
+        "UMA times vary across policies: {uma:?}"
+    );
+    println!("numa_placement smoke OK: remote hits and total ns strictly decrease across the NUMA policy ladder; UMA is flat");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    println!(
+        "{}",
+        numa_placement::table(&numa_placement::run_default()).render()
+    );
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p machbench --bin report [--quick]
 //! cargo run -p machbench --bin report trace
+//! cargo run -p machbench --bin report numa
 //! cargo run -p machbench --bin report chrome-trace <out.json>
 //! cargo run -p machbench --bin report prom
 //! cargo run -p machbench --bin report export-smoke
@@ -19,7 +20,8 @@
 
 use machbench::{
     ablation, camelot_bench, compile, cow_msg, export_report, failure, ipc_bench, migration,
-    netshm_bench, pageout, pager_rt, remote_cow, shared_array, topology_bench, trace_report,
+    netshm_bench, numa_placement, pageout, pager_rt, remote_cow, shared_array, topology_bench,
+    trace_report,
 };
 
 fn main() {
@@ -41,6 +43,13 @@ fn main() {
         }
         Some("prom") => {
             print!("{}", export_report::prometheus());
+            return;
+        }
+        Some("numa") => {
+            println!(
+                "{}",
+                numa_placement::table(&numa_placement::run_default()).render()
+            );
             return;
         }
         Some("export-smoke") => match export_report::smoke() {
@@ -85,6 +94,10 @@ fn main() {
     println!(
         "{}",
         camelot_bench::table(&camelot_bench::run_default()).render()
+    );
+    println!(
+        "{}",
+        numa_placement::table(&numa_placement::run_default()).render()
     );
     println!("{}", ablation::table().render());
 

@@ -18,6 +18,7 @@ pub mod failure;
 pub mod ipc_bench;
 pub mod migration;
 pub mod netshm_bench;
+pub mod numa_placement;
 pub mod pageout;
 pub mod pager_rt;
 pub mod remote_cow;

@@ -20,7 +20,7 @@ use crate::proto;
 use machipc::{IpcError, Message, MsgItem, SendRight};
 use machsim::export::HistogramData;
 use machsim::Machine;
-use machvm::{FrameCensus, PhysicalMemory};
+use machvm::{FrameCensus, NodeCensus, PhysicalMemory};
 use std::time::Duration;
 
 /// Default client-side timeout for introspection RPCs.
@@ -185,6 +185,8 @@ pub struct VmStatisticsSnapshot {
     pub census: FrameCensus,
     /// `(resident, pending)` entry counts per V2P shard, in shard order.
     pub shards: Vec<(u64, u64)>,
+    /// Per-node frame census, in node order (one entry on UMA machines).
+    pub nodes: Vec<NodeCensus>,
 }
 
 impl VmStatisticsSnapshot {
@@ -199,6 +201,7 @@ impl VmStatisticsSnapshot {
                 .into_iter()
                 .map(|(r, p)| (r as u64, p as u64))
                 .collect(),
+            nodes: phys.node_census(),
         }
     }
 
@@ -223,6 +226,11 @@ impl VmStatisticsSnapshot {
         for &(r, p) in &self.shards {
             nums.extend([r, p]);
         }
+        // Per-node census, self-delimited after the shard pairs.
+        nums.push(self.nodes.len() as u64);
+        for n in &self.nodes {
+            nums.extend([n.node, n.total, n.free, n.resident, n.replicas]);
+        }
         Message::new(proto::HOST_VM_STATISTICS_REPLY)
             .with(MsgItem::bytes(self.host.clone().into_bytes()))
             .with(MsgItem::u64s(&nums))
@@ -245,6 +253,22 @@ impl VmStatisticsSnapshot {
             at += 2;
             shards.push((r, p));
         }
+        let node_count = *nums.get(at)?;
+        at += 1;
+        let mut nodes = Vec::with_capacity(node_count as usize);
+        for _ in 0..node_count {
+            let [node, total, free, resident, replicas] = *nums.get(at..at + 5)? else {
+                return None;
+            };
+            at += 5;
+            nodes.push(NodeCensus {
+                node,
+                total,
+                free,
+                resident,
+                replicas,
+            });
+        }
         Some(VmStatisticsSnapshot {
             host: lines.first()?.to_string(),
             now_ns,
@@ -262,6 +286,7 @@ impl VmStatisticsSnapshot {
                 reserve,
             },
             shards,
+            nodes,
         })
     }
 }

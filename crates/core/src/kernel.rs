@@ -19,7 +19,9 @@ use machipc::{Message, MsgItem, PortId, PortSpace, SendRight};
 use machsim::stats::keys as stat_keys;
 use machsim::{CorrelationId, CostModel, EventKind, Machine};
 use machstorage::{BlockDevice, BLOCK_SIZE};
-use machvm::{FaultPolicy, ObjectId, PagerBackend, PhysicalMemory, VmMap, VmObject, VmProt};
+use machvm::{
+    FaultPolicy, NumaConfig, ObjectId, PagerBackend, PhysicalMemory, VmMap, VmObject, VmProt,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -54,6 +56,9 @@ pub struct KernelConfig {
     /// Simulated time an in-flight chain may age before the watchdog
     /// declares it stalled.
     pub watchdog_stall_ns: u64,
+    /// NUMA memory placement: node count and policies (single node, no
+    /// policies by default).
+    pub numa: NumaConfig,
 }
 
 /// Default read-fault cluster size, in pages: one `pager_data_request`
@@ -96,6 +101,7 @@ impl Default for KernelConfig {
             pageout_daemon: true,
             watchdog: true,
             watchdog_stall_ns: DEFAULT_WATCHDOG_STALL_NS,
+            numa: NumaConfig::single(),
         }
     }
 }
@@ -149,6 +155,8 @@ pub struct Kernel {
     watchdog: Mutex<Option<JoinHandle<()>>>,
     watchdog_stop: Arc<std::sync::atomic::AtomicBool>,
     tasks: TaskRegistry,
+    /// Round-robin cursor handing each new task a home memory node.
+    next_node: std::sync::atomic::AtomicUsize,
 }
 
 impl fmt::Debug for Kernel {
@@ -170,11 +178,12 @@ impl Kernel {
 
     /// Boots a kernel on an existing machine context (e.g. a fabric host).
     pub fn boot_on(machine: Machine, config: KernelConfig) -> Arc<Kernel> {
-        let phys = PhysicalMemory::new(
+        let phys = PhysicalMemory::new_numa(
             &machine,
             config.memory_bytes,
             config.page_size,
             config.reserve_pages,
+            config.numa,
         );
         let registry: Arc<Mutex<Registry>> = Arc::new(Mutex::new(Registry::default()));
         let service_space = Arc::new(PortSpace::new(&machine));
@@ -263,6 +272,7 @@ impl Kernel {
             watchdog: Mutex::new(None),
             watchdog_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             tasks: tasks.clone(),
+            next_node: std::sync::atomic::AtomicUsize::new(0),
         });
 
         // The host introspection service loop.
@@ -590,6 +600,11 @@ impl Kernel {
         out.push_str("-- resident memory --\n");
         let _ = writeln!(out, "{:?}", phys.frame_census());
         let _ = writeln!(out, "shard occupancy {:?}", phys.shard_occupancy());
+        if phys.nodes() > 1 {
+            for nc in phys.node_census() {
+                let _ = writeln!(out, "{nc:?}");
+            }
+        }
         out
     }
 
@@ -604,6 +619,16 @@ impl Kernel {
     /// `Task::create`/`Task::fork`; the registry holds the address map
     /// weakly, so a dropped task disappears from the listing.
     pub fn register_task(&self, name: &str, map: &Arc<VmMap>) {
+        // Tasks are scheduled round-robin across memory nodes: the home
+        // node is the fallback accessing node for unpinned threads.
+        let nodes = self.phys.nodes();
+        if nodes > 1 {
+            let node = self
+                .next_node
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                % nodes;
+            map.set_home_node(node);
+        }
         self.tasks
             .lock()
             .push((name.to_string(), Arc::downgrade(map)));

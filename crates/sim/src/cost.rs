@@ -1,7 +1,9 @@
 //! Cost model for the simulated 1987 machine.
 //!
-//! All latency constants live here so that every experiment draws from one
-//! consistent machine description. The anchors:
+//! All latency constants live here — except the per-topology word-access
+//! anchors, which live solely in [`crate::topology`] and are reached
+//! through [`CostModel::word_access_ns`] — so that every experiment draws
+//! from one consistent machine description. The anchors:
 //!
 //! * CPU work is charged per simulated instruction at ~1 MIPS (a VAX 11/780
 //!   is the original "1 MIPS" machine).
@@ -106,6 +108,9 @@ impl CostModel {
     }
 
     /// Cost of a single word access of the given kind on this machine.
+    ///
+    /// Pure delegation to [`Topology::word_access_ns`]: the per-class
+    /// anchors are deliberately not duplicated here.
     pub fn word_access_ns(&self, kind: MemoryKind) -> u64 {
         self.topology.word_access_ns(kind)
     }

@@ -97,6 +97,16 @@ pub mod keys {
     pub const EMM_OBJECTS_TERMINATED: &str = "emm.objects_terminated";
     /// In-flight chains flagged as stalled by the watchdog.
     pub const WATCHDOG_STALLS: &str = "watchdog.stalls";
+    /// Memory accesses that hit a frame (or replica) on the accessing node.
+    pub const NUMA_LOCAL_HITS: &str = "numa.local_hits";
+    /// Memory accesses that crossed to a frame on another node.
+    pub const NUMA_REMOTE_HITS: &str = "numa.remote_hits";
+    /// Read-only per-node replicas created for read-hot pages.
+    pub const NUMA_REPLICATIONS: &str = "numa.replications";
+    /// Write-hot pages migrated to their dominant accessor's node.
+    pub const NUMA_MIGRATIONS: &str = "numa.migrations";
+    /// Replica sets invalidated by a write shootdown.
+    pub const NUMA_SHOOTDOWNS: &str = "numa.shootdowns";
     /// Trace events overwritten by ring overflow (exported, not counted
     /// in the registry — see `TraceBuffer::dropped`).
     pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
@@ -133,6 +143,11 @@ pub mod keys {
         NET_DROPPED,
         EMM_OBJECTS_TERMINATED,
         WATCHDOG_STALLS,
+        NUMA_LOCAL_HITS,
+        NUMA_REMOTE_HITS,
+        NUMA_REPLICATIONS,
+        NUMA_MIGRATIONS,
+        NUMA_SHOOTDOWNS,
         TRACE_DROPPED_EVENTS,
     ];
 }
@@ -171,6 +186,10 @@ pub struct HotCounters {
     pub disk_writes: Counter,
     /// [`keys::DISK_BYTES`]
     pub disk_bytes: Counter,
+    /// [`keys::NUMA_LOCAL_HITS`]
+    pub numa_local_hits: Counter,
+    /// [`keys::NUMA_REMOTE_HITS`]
+    pub numa_remote_hits: Counter,
 }
 
 impl HotCounters {
@@ -189,6 +208,8 @@ impl HotCounters {
             disk_reads: registry.counter(keys::DISK_READS),
             disk_writes: registry.counter(keys::DISK_WRITES),
             disk_bytes: registry.counter(keys::DISK_BYTES),
+            numa_local_hits: registry.counter(keys::NUMA_LOCAL_HITS),
+            numa_remote_hits: registry.counter(keys::NUMA_REMOTE_HITS),
         }
     }
 }

@@ -13,6 +13,11 @@
 //!
 //! Experiment E10 (`bench/topology`) regenerates that table from this
 //! module's cost parameters.
+//!
+//! This module is the *only* place the word-access anchors are written
+//! down: [`crate::cost::CostModel::word_access_ns`] delegates here, so a
+//! NUMA experiment and the cost model can never disagree about what a
+//! remote reference costs.
 
 use std::fmt;
 
@@ -63,6 +68,16 @@ impl Topology {
         let local = self.word_access_ns(MemoryKind::Local).max(1);
         let remote = self.word_access_ns(MemoryKind::Remote);
         (remote + local / 2) / local
+    }
+
+    /// Whether local and remote word accesses cost differently on this
+    /// class — i.e. whether frame *placement* is visible to the clock.
+    ///
+    /// The NUMA placement policies (first-touch, replication, migration)
+    /// key off this: on a UMA machine they would burn copies for no
+    /// latency benefit, so the VM layer leaves them dormant.
+    pub fn is_asymmetric(self) -> bool {
+        self.word_access_ns(MemoryKind::Remote) != self.word_access_ns(MemoryKind::Local)
     }
 
     /// Whether the hardware itself can satisfy a remote memory reference.
@@ -130,6 +145,13 @@ mod tests {
     fn norma_remote_is_hundreds_of_microseconds() {
         let ns = Topology::Norma.word_access_ns(MemoryKind::Remote);
         assert!((100_000..1_000_000).contains(&ns));
+    }
+
+    #[test]
+    fn only_uma_is_symmetric() {
+        assert!(!Topology::Uma.is_asymmetric());
+        assert!(Topology::Numa.is_asymmetric());
+        assert!(Topology::Norma.is_asymmetric());
     }
 
     #[test]

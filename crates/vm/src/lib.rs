@@ -27,6 +27,7 @@
 
 pub mod fault;
 pub mod map;
+pub mod numa;
 pub mod object;
 pub mod pmap;
 pub mod resident;
@@ -34,7 +35,8 @@ pub mod types;
 
 pub use fault::{FaultPolicy, FaultResult};
 pub use map::{RegionInfo, VmMap, VmStatistics};
+pub use numa::NumaConfig;
 pub use object::{ObjectId, PagerBackend, VmObject};
 pub use pmap::Pmap;
-pub use resident::{FrameCensus, PageLookup, PageQueue, PhysicalMemory};
+pub use resident::{FrameCensus, NodeCensus, PageLookup, PageQueue, PhysicalMemory};
 pub use types::{round_page, trunc_page, Inheritance, VmError, VmProt};

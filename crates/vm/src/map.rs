@@ -22,7 +22,7 @@ use crate::pmap::Pmap;
 use crate::resident::PhysicalMemory;
 use crate::types::{round_page, trunc_page, Inheritance, VmError, VmProt};
 use machsim::stats::keys;
-use machsim::Machine;
+use machsim::{Machine, MemoryKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -202,6 +202,13 @@ impl VmMap {
     /// This task's pmap.
     pub fn pmap(&self) -> &Arc<Pmap> {
         &self.pmap
+    }
+
+    /// Sets the owning task's home memory node: the fallback accessing
+    /// node for threads that have not pinned themselves with
+    /// [`crate::numa::set_current_node`].
+    pub fn set_home_node(&self, node: usize) {
+        self.pmap.set_home_node(node);
     }
 
     /// Sets the fault policy (memory-failure handling, Section 6.2.1).
@@ -600,6 +607,9 @@ impl VmMap {
     /// Handles a page fault at `addr` for `access`, installing the
     /// hardware mapping. Returns the satisfying frame.
     pub fn fault(&self, addr: u64, access: VmProt) -> Result<usize, VmError> {
+        // First-touch placement: unpinned threads fault on behalf of the
+        // task's home node for the duration of this fault.
+        let _node = crate::numa::NodeScope::enter(self.pmap.home_node());
         let policy = self.fault_policy();
         let ps = self.page_size();
         let vpn = trunc_page(addr, ps) / ps;
@@ -637,6 +647,7 @@ impl VmMap {
     /// Kernel-internal page resolution without a hardware mapping (used by
     /// `vm_read`/`vm_write`).
     fn fault_page_kernel(&self, addr: u64, access: VmProt) -> Result<FaultResult, VmError> {
+        let _node = crate::numa::NodeScope::enter(self.pmap.home_node());
         let policy = self.fault_policy();
         let (object, obj_offset, _prot, _nc) = self.resolve_addr(addr, access)?;
         resolve_page(&self.phys, &object, obj_offset, access, policy)
@@ -750,55 +761,69 @@ impl VmMap {
     // ----- the simulated user access path -----
 
     /// Reads bytes the way user instructions would: through the pmap,
-    /// faulting on misses, charging per-word access time.
+    /// faulting on misses, charging per-word access time for the memory
+    /// actually touched (node-local or remote).
     pub fn access_read(&self, address: u64, out: &mut [u8]) -> Result<(), VmError> {
+        let node = self.accessing_node();
         self.access(
             address,
             out.len() as u64,
             false,
             |frame, vpn, off, pos, n, phys| {
-                phys.with_frame_if(
+                phys.numa_read_if(
                     frame,
+                    node,
                     || self.pmap.translate(vpn, VmProt::READ) == Some(frame),
                     |d| out[pos..pos + n].copy_from_slice(&d[off..off + n]),
                 )
-                .is_some()
+                .map(|(_, kind)| kind)
             },
         )
     }
 
     /// Writes bytes the way user instructions would.
     pub fn access_write(&self, address: u64, data: &[u8]) -> Result<(), VmError> {
+        let node = self.accessing_node();
         self.access(
             address,
             data.len() as u64,
             true,
             |frame, vpn, off, pos, n, phys| {
-                phys.with_frame_mut_if(
+                phys.numa_write_if(
                     frame,
+                    node,
                     || self.pmap.translate(vpn, VmProt::WRITE) == Some(frame),
                     |d| d[off..off + n].copy_from_slice(&data[pos..pos + n]),
                 )
-                .is_some()
+                .map(|(_, kind)| kind)
             },
         )
     }
 
+    /// The node the current access is issued from: the thread's pinned
+    /// node if any, else the task's home node.
+    fn accessing_node(&self) -> usize {
+        crate::numa::current_node().unwrap_or_else(|| self.pmap.home_node())
+    }
+
     /// `per_page` copies one page's worth under the frame data lock and
-    /// returns whether the translation still held there (reclaim
-    /// invalidates the pmap entry before a frame can be recycled, so a
-    /// mapping that is still present vouches for the contents); `false`
-    /// retries the translation so the page is faulted back in.
+    /// returns the kind of memory touched when the translation still held
+    /// there (reclaim invalidates the pmap entry before a frame can be
+    /// recycled, so a mapping that is still present vouches for the
+    /// contents); `None` retries the translation so the page is faulted
+    /// back in.
     fn access(
         &self,
         address: u64,
         size: u64,
         write: bool,
-        mut per_page: impl FnMut(usize, u64, usize, usize, usize, &PhysicalMemory) -> bool,
+        mut per_page: impl FnMut(usize, u64, usize, usize, usize, &PhysicalMemory) -> Option<MemoryKind>,
     ) -> Result<(), VmError> {
         let ps = self.page_size();
         let want = if write { VmProt::WRITE } else { VmProt::READ };
         let mut pos = 0u64;
+        let mut local_words = 0u64;
+        let mut remote_words = 0u64;
         while pos < size {
             let addr = address + pos;
             let vpn = trunc_page(addr, ps) / ps;
@@ -814,7 +839,7 @@ impl VmMap {
                 }
                 None => self.fault(addr, want)?,
             };
-            if !per_page(
+            let kind = match per_page(
                 frame,
                 vpn,
                 (addr % ps) as usize,
@@ -822,15 +847,27 @@ impl VmMap {
                 n as usize,
                 &self.phys,
             ) {
-                continue;
+                Some(kind) => kind,
+                None => continue,
+            };
+            match kind {
+                MemoryKind::Local => {
+                    local_words += n.div_ceil(8);
+                    self.machine.hot.numa_local_hits.incr();
+                }
+                MemoryKind::Remote => {
+                    remote_words += n.div_ceil(8);
+                    self.machine.hot.numa_remote_hits.incr();
+                }
             }
             pos += n;
         }
-        // Word-granular access cost on the local memory of this machine.
-        let words = size.div_ceil(8);
-        self.machine
-            .clock
-            .charge(words * self.machine.cost.word_access_ns(machsim::MemoryKind::Local));
+        // Word-granular access cost for the memory actually touched: the
+        // placement policies earn their keep exactly here.
+        self.machine.clock.charge(
+            local_words * self.machine.cost.word_access_ns(MemoryKind::Local)
+                + remote_words * self.machine.cost.word_access_ns(MemoryKind::Remote),
+        );
         Ok(())
     }
 

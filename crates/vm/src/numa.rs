@@ -1,0 +1,190 @@
+//! NUMA placement policy configuration and the accessing-CPU node.
+//!
+//! Section 7 argues that the memory-object model lets one kernel span UMA,
+//! NUMA and NORMA machines. This module carries the machine-dependent part
+//! of that claim: how many memory nodes the simulated host has, which node
+//! the currently executing thread is on, and which placement policies the
+//! resident-page layer should run on top of its pin/busy machinery:
+//!
+//! * **first-touch** — a frame for a faulted page is taken from the
+//!   faulting CPU's node-local free list (stealing from other nodes only
+//!   on local exhaustion), instead of round-robin striping;
+//! * **read-replication** — read-hot pages grow per-node read-only
+//!   replicas, invalidated by a write shootdown;
+//! * **migration** — write-hot pages move to their dominant accessor's
+//!   node.
+//!
+//! The policies only change *placement*; correctness never depends on
+//! them. On a symmetric (UMA) machine the resident layer leaves them
+//! dormant because no placement is cheaper than any other (see
+//! [`machsim::Topology::is_asymmetric`]).
+
+use std::cell::Cell;
+
+/// How many remote accesses (of the relevant kind) a node must issue
+/// against one page before the replication/migration policies consider it
+/// hot, by default.
+pub const DEFAULT_HOT_THRESHOLD: u32 = 4;
+
+/// Placement configuration for one host's physical memory.
+#[derive(Clone, Copy, Debug)]
+pub struct NumaConfig {
+    /// Number of memory nodes the frames are partitioned across.
+    pub nodes: usize,
+    /// Allocate faulted pages on the faulting CPU's node.
+    pub first_touch: bool,
+    /// Replicate read-hot pages per node; writes shoot replicas down.
+    pub replication: bool,
+    /// Migrate write-hot pages to the dominant writer's node.
+    pub migration: bool,
+    /// Remote accesses from one node before a page counts as hot there.
+    pub hot_threshold: u32,
+}
+
+impl Default for NumaConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl NumaConfig {
+    /// A single-node machine: every frame is local, no policies run.
+    pub fn single() -> Self {
+        Self::nodes(1)
+    }
+
+    /// An `n`-node machine with every policy off — the round-robin
+    /// striping baseline of the E19 ablation.
+    pub fn nodes(n: usize) -> Self {
+        NumaConfig {
+            nodes: n.max(1),
+            first_touch: false,
+            replication: false,
+            migration: false,
+            hot_threshold: DEFAULT_HOT_THRESHOLD,
+        }
+    }
+
+    /// Enables first-touch allocation.
+    pub fn with_first_touch(mut self) -> Self {
+        self.first_touch = true;
+        self
+    }
+
+    /// Enables read-only replication of read-hot pages.
+    pub fn with_replication(mut self) -> Self {
+        self.replication = true;
+        self
+    }
+
+    /// Enables migration of write-hot pages.
+    pub fn with_migration(mut self) -> Self {
+        self.migration = true;
+        self
+    }
+
+    /// Sets the hot-page threshold for replication and migration.
+    pub fn with_hot_threshold(mut self, accesses: u32) -> Self {
+        self.hot_threshold = accesses.max(1);
+        self
+    }
+
+    /// All placement policies on — the full E19 configuration.
+    pub fn all_policies(n: usize) -> Self {
+        Self::nodes(n)
+            .with_first_touch()
+            .with_replication()
+            .with_migration()
+    }
+}
+
+thread_local! {
+    /// The node of the CPU this thread is executing on, if pinned.
+    static CURRENT_NODE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Pins the calling thread to a node (`None` unpins). Worker threads of a
+/// NUMA experiment call this once at startup; unpinned threads fall back
+/// to their task's home node.
+pub fn set_current_node(node: Option<usize>) {
+    CURRENT_NODE.with(|c| c.set(node));
+}
+
+/// The calling thread's pinned node, if any.
+pub fn current_node() -> Option<usize> {
+    CURRENT_NODE.with(|c| c.get())
+}
+
+/// RAII scope that supplies a *fallback* node for the current thread: if
+/// the thread is not already pinned, it appears pinned to `default` for
+/// the scope's lifetime (restored on drop). The VM access paths enter one
+/// with the task's home node so that unpinned threads still get sensible
+/// first-touch placement, while explicitly pinned worker threads keep
+/// their own node.
+pub struct NodeScope {
+    prev: Option<usize>,
+    installed: bool,
+}
+
+impl NodeScope {
+    /// Enters the scope; a no-op when the thread is already pinned.
+    pub fn enter(default: usize) -> Self {
+        let prev = current_node();
+        let installed = prev.is_none();
+        if installed {
+            set_current_node(Some(default));
+        }
+        NodeScope { prev, installed }
+    }
+}
+
+impl Drop for NodeScope {
+    fn drop(&mut self) {
+        if self.installed {
+            set_current_node(self.prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_node_no_policies() {
+        let c = NumaConfig::default();
+        assert_eq!(c.nodes, 1);
+        assert!(!c.first_touch && !c.replication && !c.migration);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = NumaConfig::nodes(4)
+            .with_first_touch()
+            .with_replication()
+            .with_migration()
+            .with_hot_threshold(2);
+        assert_eq!(c.nodes, 4);
+        assert!(c.first_touch && c.replication && c.migration);
+        assert_eq!(c.hot_threshold, 2);
+        let all = NumaConfig::all_policies(4);
+        assert!(all.first_touch && all.replication && all.migration);
+    }
+
+    #[test]
+    fn node_counts_are_clamped() {
+        assert_eq!(NumaConfig::nodes(0).nodes, 1);
+        assert_eq!(NumaConfig::nodes(4).with_hot_threshold(0).hot_threshold, 1);
+    }
+
+    #[test]
+    fn current_node_is_thread_local() {
+        set_current_node(Some(3));
+        assert_eq!(current_node(), Some(3));
+        std::thread::spawn(|| assert_eq!(current_node(), None))
+            .join()
+            .unwrap();
+        set_current_node(None);
+        assert_eq!(current_node(), None);
+    }
+}

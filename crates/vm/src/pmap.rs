@@ -15,6 +15,7 @@ use machsim::Machine;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One translation entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub struct PmapEntry {
 pub struct Pmap {
     machine: Machine,
     entries: Mutex<HashMap<u64, PmapEntry>>,
+    /// The memory node this task's threads are scheduled on by default;
+    /// first-touch allocation for unpinned threads falls back to this.
+    home_node: AtomicUsize,
 }
 
 impl fmt::Debug for Pmap {
@@ -43,7 +47,18 @@ impl Pmap {
         Self {
             machine: machine.clone(),
             entries: Mutex::new(HashMap::new()),
+            home_node: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets the owning task's home memory node.
+    pub fn set_home_node(&self, node: usize) {
+        self.home_node.store(node, Ordering::Relaxed);
+    }
+
+    /// The owning task's home memory node.
+    pub fn home_node(&self) -> usize {
+        self.home_node.load(Ordering::Relaxed)
     }
 
     /// Installs (or replaces) the translation for virtual page `vpn`.

@@ -42,18 +42,36 @@
 //! flips it false→true may free, retarget, or page out the frame, so
 //! eviction, flush and install can race without a global lock. Lock order,
 //! where locks nest, is shard → frame meta → queues.
+//!
+//! # NUMA placement
+//!
+//! Frames are partitioned into per-node pools (contiguous blocks, one
+//! free list per node); allocation prefers a node and steals only on
+//! local exhaustion. On asymmetric machines three policies run on top of
+//! the existing machinery (see [`crate::numa`]): first-touch allocation,
+//! read-only replication of read-hot pages, and migration of write-hot
+//! pages. Replica frames hold their `busy` reservation for life, sit on
+//! no queue, and are reachable only through their shard's replica table,
+//! so the shard lock alone protects them; a write shoots the replica set
+//! down and mutates the primary under one continuous shard-lock hold, so
+//! readers serialize entirely before or after the write and can never
+//! see a stale replica. One deliberate bypass: the raw
+//! [`PhysicalMemory::with_frame_mut`] does not shoot down replicas —
+//! replicated pages are only written through the policy-aware paths
+//! ([`PhysicalMemory::numa_write_if`], [`PhysicalMemory::copy_to_resident`]).
 
+use crate::numa::NumaConfig;
 use crate::object::{ObjectId, PagerBackend, VmObject};
 use crate::pmap::Pmap;
 use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
 use machsim::stats::keys as stat_keys;
 use machsim::trace::keys as trace_keys;
-use machsim::Machine;
+use machsim::{Machine, MemoryKind};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -104,10 +122,22 @@ impl FrameMeta {
     }
 }
 
+/// Per-(frame, node) access counters driving the hot-page policies.
+#[derive(Default)]
+struct NodeAccess {
+    reads: AtomicU32,
+    writes: AtomicU32,
+}
+
 /// One physical frame: page data plus its resident page structure.
 struct Frame {
     data: RwLock<Box<[u8]>>,
     meta: Mutex<FrameMeta>,
+    /// Memory node this frame's storage is attached to (fixed at boot).
+    home: usize,
+    /// Accesses per node since the page was installed (or last migrated):
+    /// the evidence the replication/migration policies act on.
+    node_stats: Box<[NodeAccess]>,
     /// A fill or pageout is in transit; the frame must not be disturbed.
     /// Flipping this false→true is the exclusive reservation required to
     /// free, retarget or page out the frame.
@@ -127,15 +157,24 @@ struct Frame {
 }
 
 impl Frame {
-    fn new(page_size: usize) -> Self {
+    fn new(page_size: usize, home: usize, nodes: usize) -> Self {
         Frame {
             data: RwLock::new(vec![0u8; page_size].into_boxed_slice()),
             meta: Mutex::new(FrameMeta::empty()),
+            home,
+            node_stats: (0..nodes).map(|_| NodeAccess::default()).collect(),
             busy: AtomicBool::new(false),
             wired: AtomicBool::new(false),
             dirty: AtomicBool::new(false),
             referenced: AtomicBool::new(false),
             pins: AtomicUsize::new(0),
+        }
+    }
+
+    fn reset_node_stats(&self) {
+        for s in self.node_stats.iter() {
+            s.reads.store(0, Ordering::Relaxed);
+            s.writes.store(0, Ordering::Relaxed);
         }
     }
 
@@ -152,17 +191,34 @@ impl Frame {
     }
 }
 
+/// A pager fill (or write-back) in transit for one page.
+#[derive(Clone, Copy, Debug)]
+struct PendingFill {
+    /// Sim time the entry was claimed (for `vm.request_to_fill`).
+    since_ns: u64,
+    /// Node of the CPU that faulted — the data manager's supply runs on
+    /// its own thread, so first-touch placement must remember where the
+    /// requester was.
+    node: usize,
+}
+
 /// One shard of the virtual-to-physical table.
 struct ResidentShard {
     /// (object, offset) -> frame for this shard's slice of the key space.
     resident: HashMap<(ObjectId, u64), usize>,
     /// Pages with pager traffic in flight: outstanding
     /// `pager_data_request`s awaiting `pager_data_provided`, and evicted
-    /// dirty pages whose `pager_data_write` has not yet been sent. Keyed
-    /// to the sim time the entry was claimed (for `vm.request_to_fill`).
+    /// dirty pages whose `pager_data_write` has not yet been sent.
     /// Faults on these keys wait rather than re-request, so a refault can
     /// never overtake an in-flight write-back on the pager's port.
-    pending: HashMap<(ObjectId, u64), u64>,
+    pending: HashMap<(ObjectId, u64), PendingFill>,
+    /// Per-node read-only replicas of read-hot pages: (object, offset) ->
+    /// [(node, frame)]. Replica frames live outside the pageout queues,
+    /// hold their `busy` reservation for life, are never pinned, wired or
+    /// pmap-mapped, and are reachable only through this table — so the
+    /// shard lock alone protects them. Any write to the primary (or its
+    /// invalidation) shoots the whole set down.
+    replicas: HashMap<(ObjectId, u64), Vec<(usize, usize)>>,
 }
 
 struct Shard {
@@ -174,11 +230,20 @@ struct Shard {
 
 /// The pageout queues, behind their own lock separate from the V2P shards.
 struct Queues {
-    free: Vec<usize>,
+    /// One free list per memory node; a frame always returns to its home
+    /// node's list, so first-touch allocation is a node-local pop and
+    /// stealing is an explicit walk of the other nodes.
+    free: Vec<Vec<usize>>,
     active: VecDeque<usize>,
     inactive: VecDeque<usize>,
     /// Which queue each frame is on (avoids scanning to unlink).
     membership: Vec<PageQueue>,
+}
+
+impl Queues {
+    fn total_free(&self) -> usize {
+        self.free.iter().map(Vec::len).sum()
+    }
 }
 
 /// Result of a resident-page lookup.
@@ -225,11 +290,37 @@ pub struct FrameCensus {
     pub reserve: u64,
 }
 
+/// Per-node slice of the frame census (see
+/// [`PhysicalMemory::node_census`]). All fields are frame counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCensus {
+    /// Node index.
+    pub node: u64,
+    /// Frames whose storage is attached to this node.
+    pub total: u64,
+    /// Frames on this node's free list.
+    pub free: u64,
+    /// Primary resident pages placed on this node.
+    pub resident: u64,
+    /// Read-only replicas living on this node.
+    pub replicas: u64,
+}
+
 /// Simulated physical memory: frames, the resident page table and queues.
 pub struct PhysicalMemory {
     machine: Machine,
     page_size: usize,
     reserve: usize,
+    /// NUMA placement configuration (single node by default).
+    numa: NumaConfig,
+    /// Whether remote word accesses cost more than local ones on this
+    /// machine *and* there is more than one node. The placement policies
+    /// and remote charging only act when true, so a UMA machine behaves
+    /// identically whatever policies are configured.
+    asymmetric: bool,
+    /// Round-robin cursor for allocations with no better placement hint
+    /// (the striping baseline when first-touch is off).
+    alloc_cursor: AtomicUsize,
     frames: Vec<Frame>,
     shards: Vec<Shard>,
     queues: Mutex<Queues>,
@@ -264,28 +355,61 @@ impl PhysicalMemory {
         page_size: usize,
         reserve_pages: usize,
     ) -> Arc<Self> {
+        Self::new_numa(
+            machine,
+            total_bytes,
+            page_size,
+            reserve_pages,
+            NumaConfig::single(),
+        )
+    }
+
+    /// Like [`new`](Self::new), but partitions the frames across
+    /// `numa.nodes` memory nodes (contiguous equal blocks, one free list
+    /// per node) and arms the configured placement policies.
+    pub fn new_numa(
+        machine: &Machine,
+        total_bytes: usize,
+        page_size: usize,
+        reserve_pages: usize,
+        numa: NumaConfig,
+    ) -> Arc<Self> {
         assert!(
             page_size.is_power_of_two(),
             "page size must be a power of two"
         );
         let n = total_bytes / page_size;
         assert!(n > reserve_pages, "memory must exceed the reserved pool");
+        let nodes = numa.nodes.max(1);
+        assert!(n >= nodes, "need at least one frame per node");
+        let home = |i: usize| i * nodes / n;
+        let mut free: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for i in (0..n).rev() {
+            free[home(i)].push(i);
+        }
+        let asymmetric = nodes > 1 && machine.cost.topology.is_asymmetric();
         Arc::new(PhysicalMemory {
             machine: machine.clone(),
             page_size,
             reserve: reserve_pages,
-            frames: (0..n).map(|_| Frame::new(page_size)).collect(),
+            numa,
+            asymmetric,
+            alloc_cursor: AtomicUsize::new(0),
+            frames: (0..n)
+                .map(|i| Frame::new(page_size, home(i), nodes))
+                .collect(),
             shards: (0..SHARD_COUNT)
                 .map(|_| Shard {
                     state: Mutex::new(ResidentShard {
                         resident: HashMap::new(),
                         pending: HashMap::new(),
+                        replicas: HashMap::new(),
                     }),
                     event: Condvar::new(),
                 })
                 .collect(),
             queues: Mutex::new(Queues {
-                free: (0..n).rev().collect(),
+                free,
                 active: VecDeque::new(),
                 inactive: VecDeque::new(),
                 membership: vec![PageQueue::Free; n],
@@ -320,9 +444,19 @@ impl PhysicalMemory {
         self.frames.len()
     }
 
-    /// Frames on the free queue.
+    /// Frames on the free queue (all nodes).
     pub fn free_frames(&self) -> usize {
-        self.queues.lock().free.len()
+        self.queues.lock().total_free()
+    }
+
+    /// Number of memory nodes the frames are partitioned across.
+    pub fn nodes(&self) -> usize {
+        self.numa.nodes.max(1)
+    }
+
+    /// The memory node `frame`'s storage is attached to.
+    pub fn frame_node(&self, frame: usize) -> usize {
+        self.frames[frame].home
     }
 
     /// Frames caching data (resident pages).
@@ -336,7 +470,7 @@ impl PhysicalMemory {
     /// (active, inactive, free) queue lengths.
     pub fn queue_lengths(&self) -> (usize, usize, usize) {
         let q = self.queues.lock();
-        (q.active.len(), q.inactive.len(), q.free.len())
+        (q.active.len(), q.inactive.len(), q.total_free())
     }
 
     /// A point-in-time census of every frame and queue — the
@@ -482,9 +616,11 @@ impl PhysicalMemory {
         {
             let mut q = self.queues.lock();
             Self::unlink(&mut q, frame);
-            q.free.push(frame);
+            let home = self.frames[frame].home;
+            q.free[home].push(frame);
             q.membership[frame] = PageQueue::Free;
         }
+        self.frames[frame].reset_node_stats();
         self.frames[frame].release();
         self.free_event.notify_all();
     }
@@ -519,8 +655,11 @@ impl PhysicalMemory {
         if st.resident.contains_key(&(object, offset)) {
             return false;
         }
-        let now = self.machine.clock.now_ns();
-        st.pending.insert((object, offset), now).is_none()
+        let fill = PendingFill {
+            since_ns: self.machine.clock.now_ns(),
+            node: self.preferred_node(),
+        };
+        st.pending.insert((object, offset), fill).is_none()
     }
 
     /// Claims a contiguous run of absent pages around `offset` for one
@@ -563,6 +702,24 @@ impl PhysicalMemory {
             start -= ps;
         }
         Some((start, ((end - start) / ps) as usize))
+    }
+
+    /// The node recorded for an in-flight fill of `(object, offset)`:
+    /// where the faulting CPU was when it claimed the fill. The data
+    /// manager's supply runs on its own thread, so first-touch placement
+    /// reads the requester's node from here rather than the current one.
+    fn pending_fill_node(&self, object: ObjectId, offset: u64) -> Option<usize> {
+        let st = self.shard(object, offset).state.lock();
+        st.pending.get(&(object, offset)).map(|p| p.node)
+    }
+
+    /// Allocates a (privileged) frame for a pager-driven install of
+    /// `(object, offset)`, preferring the node of the CPU that faulted.
+    fn allocate_for_fill(&self, object: ObjectId, offset: u64) -> Result<usize, VmError> {
+        match self.pending_fill_node(object, offset) {
+            Some(node) => self.allocate_frame_on(node, true),
+            None => self.allocate_frame(true),
+        }
     }
 
     /// Abandons a pending fill (e.g. fault aborted by timeout), so a later
@@ -653,26 +810,54 @@ impl PhysicalMemory {
 
     // ----- frame allocation and reclaim -----
 
+    /// The node new allocations should land on absent a stronger hint:
+    /// the faulting CPU's node under first-touch, round-robin otherwise.
+    fn preferred_node(&self) -> usize {
+        let nodes = self.numa.nodes.max(1);
+        if nodes <= 1 {
+            return 0;
+        }
+        if self.numa.first_touch {
+            if let Some(n) = crate::numa::current_node() {
+                return n % nodes;
+            }
+        }
+        self.alloc_cursor.fetch_add(1, Ordering::Relaxed) % nodes
+    }
+
     /// Allocates a frame, reclaiming cached pages if necessary.
     ///
     /// Unprivileged allocations may not dip into the reserved pool; the
     /// pageout path and default pager allocate privileged. The returned
     /// frame is reserved (busy) until `install` links it into the table.
     pub fn allocate_frame(&self, privileged: bool) -> Result<usize, VmError> {
+        self.allocate_frame_on(self.preferred_node(), privileged)
+    }
+
+    /// Like [`allocate_frame`](Self::allocate_frame), but prefers `node`'s
+    /// free list, stealing from the other nodes only when it is empty —
+    /// the first-touch placement path.
+    pub fn allocate_frame_on(&self, node: usize, privileged: bool) -> Result<usize, VmError> {
         let mut failures = 0u32;
         loop {
             {
                 let mut q = self.queues.lock();
                 let floor = if privileged { 0 } else { self.reserve };
-                if q.free.len() > floor {
-                    let frame = q.free.pop().expect("checked non-empty");
-                    q.membership[frame] = PageQueue::None;
-                    drop(q);
-                    // Free-queue frames cache nothing and are otherwise
-                    // unreachable, so the reservation always succeeds.
-                    self.frames[frame].busy.store(true, Ordering::Release);
-                    self.reset_frame_bits(frame);
-                    return Ok(frame);
+                if q.total_free() > floor {
+                    let nodes = q.free.len();
+                    for i in 0..nodes {
+                        let cand = (node + i) % nodes;
+                        if let Some(frame) = q.free[cand].pop() {
+                            q.membership[frame] = PageQueue::None;
+                            drop(q);
+                            // Free-queue frames cache nothing and are
+                            // otherwise unreachable, so the reservation
+                            // always succeeds.
+                            self.frames[frame].busy.store(true, Ordering::Release);
+                            self.reset_frame_bits(frame);
+                            return Ok(frame);
+                        }
+                    }
                 }
             }
             // Out of easy frames: reclaim one page (outside the lock for
@@ -680,6 +865,12 @@ impl PhysicalMemory {
             // clear reference bits (second chance), so several consecutive
             // failures are needed before giving up.
             if self.reclaim_one() {
+                failures = 0;
+                continue;
+            }
+            // Replicas are pure placement optimization; under pressure
+            // they are the first thing to go.
+            if self.reclaim_replica() {
                 failures = 0;
                 continue;
             }
@@ -691,6 +882,49 @@ impl PhysicalMemory {
             let mut q = self.queues.lock();
             let _ = self.free_event.wait_for(&mut q, Duration::from_millis(5));
         }
+    }
+
+    /// Pops a free frame from `node`'s own list without stealing,
+    /// reclaiming, blocking, or dipping into the reserve. Safe to call
+    /// while holding a shard lock (shard → queues is the canonical
+    /// order), which is exactly where the replication and migration
+    /// policies need it.
+    fn try_allocate_free_on(&self, node: usize) -> Option<usize> {
+        let mut q = self.queues.lock();
+        if q.total_free() <= self.reserve {
+            return None;
+        }
+        let list = node % q.free.len();
+        let frame = q.free[list].pop()?;
+        q.membership[frame] = PageQueue::None;
+        drop(q);
+        self.frames[frame].busy.store(true, Ordering::Release);
+        self.reset_frame_bits(frame);
+        Some(frame)
+    }
+
+    /// Frees one node's replica set somewhere in the table, if any exists;
+    /// returns whether frames were released. Memory pressure values real
+    /// pages over placement copies.
+    fn reclaim_replica(&self) -> bool {
+        for shard in &self.shards {
+            let reps = {
+                let mut st = shard.state.lock();
+                let Some(key) = st.replicas.keys().next().copied() else {
+                    continue;
+                };
+                st.replicas.remove(&key)
+            };
+            if let Some(reps) = reps {
+                // Out of the table = unreachable; we inherit each frame's
+                // lifetime `busy` reservation, so freeing needs no lock.
+                for (_, frame) in reps {
+                    self.free_frame(frame);
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// Reclaims up to `n` pages (the pageout daemon's work loop); returns
@@ -782,8 +1016,15 @@ impl PhysicalMemory {
             // write and get `data_unavailable` for data the pager is
             // about to receive — the port's FIFO ordering then guarantees
             // the pager sees the write before the re-request.
-            st.pending
-                .insert((owner_id, offset), self.machine.clock.now_ns());
+            st.pending.insert(
+                (owner_id, offset),
+                PendingFill {
+                    since_ns: self.machine.clock.now_ns(),
+                    node: self.frames[frame].home,
+                },
+            );
+            // Any replicas die with the primary.
+            self.drop_replicas_locked(&mut st, (owner_id, offset));
         }
         let owner = owner_weak.upgrade();
         // Invalidate hardware mappings before touching the data so no new
@@ -895,7 +1136,14 @@ impl PhysicalMemory {
             st.resident.remove(&key);
             // In transit until the batched write is sent (see
             // `reclaim_one`); the caller clears the marker.
-            st.pending.insert(key, self.machine.clock.now_ns());
+            st.pending.insert(
+                key,
+                PendingFill {
+                    since_ns: self.machine.clock.now_ns(),
+                    node: fr.home,
+                },
+            );
+            self.drop_replicas_locked(&mut st, key);
         }
         let mappings = {
             let mut meta = fr.meta.lock();
@@ -956,11 +1204,11 @@ impl PhysicalMemory {
         let key = (object.id(), offset);
         let shard = self.shard(key.0, key.1);
         let mut st = shard.state.lock();
-        if let Some(requested_ns) = st.pending.remove(&key) {
+        if let Some(pf) = st.pending.remove(&key) {
             // This install resolves a pager fill claimed by `begin_fill`.
             self.machine.latency.record(
                 trace_keys::REQUEST_TO_FILL,
-                self.machine.clock.now_ns().saturating_sub(requested_ns),
+                self.machine.clock.now_ns().saturating_sub(pf.since_ns),
             );
         }
         // If something is already resident (racing installs, or a cluster
@@ -1025,7 +1273,7 @@ impl PhysicalMemory {
         let mut installed = 0usize;
         for i in 0..whole_pages {
             let page_off = offset + (i * self.page_size) as u64;
-            let frame = self.allocate_frame(true)?;
+            let frame = self.allocate_for_fill(object.id(), page_off)?;
             {
                 let mut fd = self.frames[frame].data.write();
                 fd.copy_from_slice(&data[i * self.page_size..(i + 1) * self.page_size]);
@@ -1059,7 +1307,7 @@ impl PhysicalMemory {
                 return Ok(frame);
             }
         }
-        let frame = self.allocate_frame(true)?;
+        let frame = self.allocate_for_fill(object.id(), offset)?;
         self.frames[frame].data.write().fill(0);
         self.machine.hot.vm_zero_fills.incr();
         Ok(self.install(object, offset, frame, VmProt::NONE, false))
@@ -1167,6 +1415,339 @@ impl PhysicalMemory {
         Some(r)
     }
 
+    // ----- NUMA placement policies -----
+    //
+    // Replicas piggyback on the busy/pin machinery rather than growing
+    // new synchronization: a replica frame holds its `busy` reservation
+    // for life (so reclaim and flush skip it), sits on no pageout queue,
+    // is never pinned, wired or pmap-mapped, and is reachable only
+    // through its shard's replica table — the shard lock alone therefore
+    // protects it. A write shoots the whole replica set down *and*
+    // mutates the primary under one continuous shard-lock hold, so no
+    // reader can observe a stale replica after the write: the reader's
+    // own shard-lock acquisition orders it entirely before or entirely
+    // after the shootdown+write.
+
+    /// The owning (object, offset) key of `frame`, if it caches a page.
+    fn frame_key(&self, frame: usize) -> Option<(ObjectId, u64)> {
+        let meta = self.frames[frame].meta.lock();
+        meta.owner.as_ref().map(|(_, id, off)| (*id, *off))
+    }
+
+    /// Frees every replica of `key`, without counting a shootdown (used
+    /// by eviction/invalidation paths, where the primary dies too).
+    fn drop_replicas_locked(&self, st: &mut ResidentShard, key: (ObjectId, u64)) {
+        if let Some(reps) = st.replicas.remove(&key) {
+            for (_, frame) in reps {
+                self.free_frame(frame);
+            }
+        }
+    }
+
+    /// Write shootdown: invalidates `key`'s replicas because the primary
+    /// is about to be written. Counted and traced.
+    fn shoot_down_locked(&self, st: &mut ResidentShard, key: (ObjectId, u64)) {
+        if let Some(reps) = st.replicas.remove(&key) {
+            let n = reps.len() as u64;
+            for (_, frame) in reps {
+                self.free_frame(frame);
+            }
+            self.machine.stats.add(stat_keys::NUMA_SHOOTDOWNS, n);
+            self.machine
+                .trace_event("vm.numa", machsim::EventKind::Mark("shootdown"));
+        }
+    }
+
+    /// Copies the primary into a fresh frame on `node` and enters it in
+    /// the replica table. Caller holds the shard lock and has validated
+    /// that `frame` is the resident primary for `key`.
+    fn replicate_locked(
+        &self,
+        st: &mut ResidentShard,
+        key: (ObjectId, u64),
+        frame: usize,
+        node: usize,
+    ) {
+        let reps = st.replicas.entry(key).or_default();
+        if reps.iter().any(|&(n, _)| n == node) {
+            return;
+        }
+        // Non-blocking, never steals, never dips into the reserve: a
+        // replica is worth having only when memory is easy.
+        let Some(rf) = self.try_allocate_free_on(node) else {
+            return;
+        };
+        if self.frames[rf].home != node {
+            // The node's list was empty and gave us nothing useful.
+            self.free_frame(rf);
+            return;
+        }
+        {
+            let src = self.frames[frame].data.read();
+            let mut dst = self.frames[rf].data.write();
+            dst.copy_from_slice(&src);
+        }
+        self.machine
+            .clock
+            .charge(self.machine.cost.copy_cost_ns(self.page_size as u64));
+        self.machine.hot.bytes_copied.add(self.page_size as u64);
+        // The frame keeps its busy reservation for life (see the section
+        // comment); it joins no queue and gets no meta owner.
+        st.replicas.entry(key).or_default().push((node, rf));
+        self.machine.stats.incr(stat_keys::NUMA_REPLICATIONS);
+        self.machine
+            .trace_event("vm.numa", machsim::EventKind::Mark("replicate"));
+    }
+
+    /// Reads the page cached in `frame` from a CPU on `node`, serving the
+    /// read from a node-local replica when one exists and growing one
+    /// when the page turns read-hot. Returns the closure result and the
+    /// memory kind actually touched (what the clock should charge), or
+    /// `None` if `valid()` failed and the caller must re-fault.
+    pub fn numa_read_if<R>(
+        &self,
+        frame: usize,
+        node: usize,
+        valid: impl FnOnce() -> bool,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<(R, MemoryKind)> {
+        let nodes = self.numa.nodes.max(1);
+        if nodes <= 1 {
+            return self
+                .with_frame_if(frame, valid, f)
+                .map(|r| (r, MemoryKind::Local));
+        }
+        let node = node % nodes;
+        let home = self.frames[frame].home;
+        let kind = if node == home {
+            MemoryKind::Local
+        } else {
+            MemoryKind::Remote
+        };
+        if !self.asymmetric || kind == MemoryKind::Local {
+            return self.with_frame_if(frame, valid, f).map(|r| (r, kind));
+        }
+        if !self.numa.replication {
+            return self.with_frame_if(frame, valid, f).map(|r| (r, kind));
+        }
+        // Remote read with replication armed: look for (or grow) a
+        // node-local replica. The shard lock pins the primary's identity
+        // and the replica table for the duration.
+        let Some(key) = self.frame_key(frame) else {
+            return self.with_frame_if(frame, valid, f).map(|r| (r, kind));
+        };
+        let shard = self.shard(key.0, key.1);
+        let mut st = shard.state.lock();
+        if st.resident.get(&key) != Some(&frame) {
+            drop(st);
+            return self.with_frame_if(frame, valid, f).map(|r| (r, kind));
+        }
+        if let Some(&(_, rf)) = st
+            .replicas
+            .get(&key)
+            .and_then(|reps| reps.iter().find(|&&(n, _)| n == node))
+        {
+            // Local replica hit. `valid` is still consulted: the pmap
+            // entry could have been shot down by a concurrent lock_range.
+            let d = self.frames[rf].data.read();
+            let r = valid().then(|| f(&d))?;
+            self.frames[frame].referenced.store(true, Ordering::Release);
+            return Some((r, MemoryKind::Local));
+        }
+        let hits = self.frames[frame].node_stats[node]
+            .reads
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        let d = self.frames[frame].data.read();
+        let r = valid().then(|| f(&d))?;
+        drop(d);
+        if hits >= self.numa.hot_threshold {
+            self.replicate_locked(&mut st, key, frame, node);
+        }
+        Some((r, MemoryKind::Remote))
+    }
+
+    /// Writes the page cached in `frame` from a CPU on `node`, shooting
+    /// down any replicas first (under the same shard-lock hold as the
+    /// write, so no stale replica survives) and migrating the page when
+    /// it proves write-hot from a remote node. Returns the closure result
+    /// and the memory kind touched, or `None` if `valid()` failed.
+    pub fn numa_write_if<R>(
+        &self,
+        frame: usize,
+        node: usize,
+        valid: impl FnOnce() -> bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Option<(R, MemoryKind)> {
+        let nodes = self.numa.nodes.max(1);
+        if nodes <= 1 {
+            return self
+                .with_frame_mut_if(frame, valid, f)
+                .map(|r| (r, MemoryKind::Local));
+        }
+        let node = node % nodes;
+        let home = self.frames[frame].home;
+        let kind = if node == home {
+            MemoryKind::Local
+        } else {
+            MemoryKind::Remote
+        };
+        if !self.asymmetric {
+            return self.with_frame_mut_if(frame, valid, f).map(|r| (r, kind));
+        }
+        self.frames[frame].node_stats[node]
+            .writes
+            .fetch_add(1, Ordering::Relaxed);
+        let r = if self.numa.replication {
+            match self.frame_key(frame) {
+                Some(key) => {
+                    let shard = self.shard(key.0, key.1);
+                    let mut st = shard.state.lock();
+                    if st.resident.get(&key) == Some(&frame) {
+                        self.shoot_down_locked(&mut st, key);
+                        // Write while still holding the shard lock: a
+                        // racing reader serializes either before the
+                        // shootdown (and reads the old replica+old data)
+                        // or after the write (no replica, new data).
+                        let mut d = self.frames[frame].data.write();
+                        let r = valid().then(|| f(&mut d))?;
+                        self.frames[frame].dirty.store(true, Ordering::Release);
+                        r
+                    } else {
+                        drop(st);
+                        self.with_frame_mut_if(frame, valid, f)?
+                    }
+                }
+                None => self.with_frame_mut_if(frame, valid, f)?,
+            }
+        } else {
+            self.with_frame_mut_if(frame, valid, f)?
+        };
+        if kind == MemoryKind::Remote && self.numa.migration {
+            self.maybe_migrate(frame, node);
+        }
+        Some((r, kind))
+    }
+
+    /// Moves the page in `frame` to `node` when that node's writes
+    /// dominate: allocate on the target, copy, transplant the resident
+    /// entry and manager lock, and invalidate every hardware mapping so
+    /// accessors re-fault onto the new frame.
+    fn maybe_migrate(&self, frame: usize, node: usize) {
+        let fr = &self.frames[frame];
+        let here = fr.node_stats[node].writes.load(Ordering::Relaxed);
+        if here < self.numa.hot_threshold {
+            return;
+        }
+        if here <= fr.node_stats[fr.home].writes.load(Ordering::Relaxed) {
+            return;
+        }
+        if fr.wired.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(key) = self.frame_key(frame) else {
+            return;
+        };
+        let Some(nf) = self.try_allocate_free_on(node) else {
+            return;
+        };
+        if self.frames[nf].home != node {
+            self.free_frame(nf);
+            return;
+        }
+        let shard = self.shard(key.0, key.1);
+        let mut st = shard.state.lock();
+        if st.resident.get(&key) != Some(&frame)
+            || fr.pins.load(Ordering::Acquire) != 0
+            || fr.wired.load(Ordering::Acquire)
+            || !fr.reserve()
+        {
+            // Raced with eviction, a pin, or a concurrent reservation;
+            // placement is advisory, so just give the new frame back.
+            drop(st);
+            self.free_frame(nf);
+            return;
+        }
+        // We hold the shard lock and the old frame's busy reservation:
+        // no fault, reclaim or flush can touch the page now. In-flight
+        // readers hold the old frame's data read lock; taking the write
+        // lock below waits them out (the with_frame_if argument).
+        self.shoot_down_locked(&mut st, key);
+        {
+            let src = fr.data.write();
+            let mut dst = self.frames[nf].data.write();
+            dst.copy_from_slice(&src);
+        }
+        self.machine
+            .clock
+            .charge(self.machine.cost.copy_cost_ns(self.page_size as u64));
+        self.machine.hot.bytes_copied.add(self.page_size as u64);
+        let mappings = {
+            let mut src_meta = fr.meta.lock();
+            let mut dst_meta = self.frames[nf].meta.lock();
+            dst_meta.owner = src_meta.owner.take();
+            dst_meta.lock = src_meta.lock;
+            src_meta.lock = VmProt::NONE;
+            std::mem::take(&mut src_meta.mappings)
+        };
+        for (w, vpn) in mappings {
+            if let Some(p) = w.upgrade() {
+                p.remove(vpn);
+            }
+        }
+        self.frames[nf]
+            .dirty
+            .store(fr.dirty.swap(false, Ordering::AcqRel), Ordering::Release);
+        st.resident.insert(key, nf);
+        {
+            let mut q = self.queues.lock();
+            self.activate(&mut q, nf);
+        }
+        self.frames[nf].release();
+        // Fresh hot-page evidence on the new home (hysteresis).
+        self.frames[nf].reset_node_stats();
+        drop(st);
+        // We hold the old frame's reservation; it is out of the table.
+        self.free_frame(frame);
+        shard.event.notify_all();
+        self.machine.stats.incr(stat_keys::NUMA_MIGRATIONS);
+        self.machine
+            .trace_event("vm.numa", machsim::EventKind::Mark("migrate"));
+    }
+
+    /// Per-node slice of the frame census: totals, free-list depth,
+    /// primary placements and replica counts for each memory node.
+    pub fn node_census(&self) -> Vec<NodeCensus> {
+        let nodes = self.numa.nodes.max(1);
+        let mut out: Vec<NodeCensus> = (0..nodes)
+            .map(|n| NodeCensus {
+                node: n as u64,
+                ..NodeCensus::default()
+            })
+            .collect();
+        for f in &self.frames {
+            out[f.home].total += 1;
+        }
+        {
+            let q = self.queues.lock();
+            for (n, list) in q.free.iter().enumerate() {
+                out[n].free = list.len() as u64;
+            }
+        }
+        for shard in &self.shards {
+            let st = shard.state.lock();
+            for &frame in st.resident.values() {
+                out[self.frames[frame].home].resident += 1;
+            }
+            for reps in st.replicas.values() {
+                for &(n, _) in reps {
+                    out[n].replicas += 1;
+                }
+            }
+        }
+        out
+    }
+
     /// Copies out of the resident page `(object, offset)` starting at byte
     /// `src_off` within the page. Holding the shard lock across the copy
     /// pins the resident entry — reclaim removes it under the same lock
@@ -1203,12 +1784,17 @@ impl PhysicalMemory {
         src: &[u8],
     ) -> bool {
         let shard = self.shard(object, offset);
-        let st = shard.state.lock();
+        let mut st = shard.state.lock();
         let Some(&frame) = st.resident.get(&(object, offset)) else {
             return false;
         };
         let fr = &self.frames[frame];
         fr.referenced.store(true, Ordering::Release);
+        // A kernel write (vm_write / msg deposit) invalidates replicas
+        // like any other write, under the same shard-lock hold.
+        if self.asymmetric && self.numa.replication {
+            self.shoot_down_locked(&mut st, (object, offset));
+        }
         let mut d = fr.data.write();
         d[dst_off..dst_off + src.len()].copy_from_slice(src);
         fr.dirty.store(true, Ordering::Release);
@@ -1289,10 +1875,16 @@ impl PhysicalMemory {
                         writebacks.push((page, fr.data.read().to_vec()));
                         // In transit until the write-back below is sent;
                         // refaults wait instead of racing the write.
-                        st.pending
-                            .insert((object.id(), page), self.machine.clock.now_ns());
+                        st.pending.insert(
+                            (object.id(), page),
+                            PendingFill {
+                                since_ns: self.machine.clock.now_ns(),
+                                node: fr.home,
+                            },
+                        );
                     }
                     st.resident.remove(&(object.id(), page));
+                    self.drop_replicas_locked(&mut st, (object.id(), page));
                     let mappings = {
                         let mut meta = fr.meta.lock();
                         meta.owner = None;
@@ -1398,6 +1990,8 @@ impl PhysicalMemory {
             let Some(frame) = st.resident.remove(&(from, from_offset)) else {
                 return false;
             };
+            // Replicas are keyed by the old identity; drop them.
+            self.drop_replicas_locked(&mut st, (from, from_offset));
             st.resident.insert((to.id(), to_offset), frame);
             self.frames[frame].meta.lock().owner = new_owner;
             return true;
@@ -1417,6 +2011,7 @@ impl PhysicalMemory {
         let Some(frame) = src.resident.remove(&(from, from_offset)) else {
             return false;
         };
+        self.drop_replicas_locked(src, (from, from_offset));
         dst.resident.insert((to.id(), to_offset), frame);
         self.frames[frame].meta.lock().owner = new_owner;
         true
@@ -1475,11 +2070,47 @@ impl PhysicalMemory {
                 );
             }
         }
-        for &f in &q.free {
-            assert!(
-                !owner_of.contains_key(&f),
-                "free-queue frame {f} still has a resident owner"
-            );
+        for (node, list) in q.free.iter().enumerate() {
+            for &f in list {
+                assert!(
+                    !owner_of.contains_key(&f),
+                    "free-queue frame {f} still has a resident owner"
+                );
+                assert_eq!(
+                    self.frames[f].home, node,
+                    "frame {f} on node {node}'s free list but homed elsewhere"
+                );
+            }
+        }
+        let mut replica_frames: HashMap<usize, (ObjectId, u64)> = HashMap::new();
+        for g in &guards {
+            for (&key, reps) in &g.replicas {
+                assert!(
+                    g.resident.contains_key(&key),
+                    "replicas of {key:?} outlive their primary"
+                );
+                for &(node, f) in reps {
+                    if let Some(prev) = replica_frames.insert(f, key) {
+                        panic!("frame {f} is a replica of both {prev:?} and {key:?}");
+                    }
+                    assert!(
+                        !owner_of.contains_key(&f),
+                        "replica frame {f} is also a resident primary"
+                    );
+                    assert_eq!(
+                        self.frames[f].home, node,
+                        "replica frame {f} recorded on node {node} but homed elsewhere"
+                    );
+                    assert!(
+                        self.frames[f].busy.load(Ordering::Acquire),
+                        "replica frame {f} lost its lifetime busy reservation"
+                    );
+                    assert!(
+                        q.membership[f] == PageQueue::None,
+                        "replica frame {f} is on a pageout queue"
+                    );
+                }
+            }
         }
     }
 }

@@ -14,7 +14,10 @@ cargo fmt --check
 echo "==> fault_scaling bench (smoke)"
 cargo bench -p machbench --bench fault_scaling -- --smoke
 
+echo "==> numa_placement bench (smoke)"
+cargo bench -p machbench --bench numa_placement -- --smoke
+
 echo "==> export smoke (chrome-trace + prometheus round-trip)"
 cargo run -q -p machbench --bin report export-smoke
 
-echo "OK: clippy clean, formatting clean, fault_scaling and export smoke passed."
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement and export smoke passed."
