@@ -15,13 +15,13 @@
 //! `scripts/check.sh`); the full run sizes the workloads for stable numbers.
 
 use machipc::OolBuffer;
+use machsim::wall;
 use machsim::Machine;
 use machvm::fault::resolve_page;
 use machvm::{FaultPolicy, ObjectId, PagerBackend, PhysicalMemory, VmObject, VmProt};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Workload A: K threads zero-fill-fault disjoint objects; returns
 /// faults per wall-clock second.
@@ -32,7 +32,7 @@ fn fault_throughput(threads: usize, pages_per_thread: u64, shards: usize) -> f64
     let objs: Vec<_> = (0..threads)
         .map(|_| VmObject::new_temporary(pages_per_thread * 4096))
         .collect();
-    let start = Instant::now();
+    let start = wall::now();
     std::thread::scope(|s| {
         for obj in &objs {
             let phys = &phys;

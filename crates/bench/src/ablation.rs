@@ -79,7 +79,7 @@ pub fn cache_advice() -> CacheAdviceOutcome {
         t1.read_memory(a1, &mut buf).unwrap();
         t1.vm_deallocate(a1, pages * 4096).unwrap();
         // Give the (possible) termination a moment to settle.
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        machsim::wall::sleep(std::time::Duration::from_millis(50));
         // Second mapping: count the fills.
         let fills0 = k.machine().stats.get(keys::VM_PAGER_FILLS);
         let t2 = Task::create(&k, "second");

@@ -101,7 +101,7 @@ fn wait_for_forces(server: &Arc<CamelotServer>) -> u64 {
         if f > 0 {
             return f;
         }
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        machsim::wall::sleep(std::time::Duration::from_millis(5));
     }
     server.forced_before_data()
 }

@@ -126,7 +126,7 @@ pub fn run_default() -> Vec<FailureRow> {
             .unwrap();
         let mut b = [0u8; 1];
         let res = t.read_memory(addr, &mut b);
-        std::thread::sleep(Duration::from_millis(100));
+        machsim::wall::sleep(Duration::from_millis(100));
         let resident = k.phys().resident_pages();
         rows.push(FailureRow {
             mode: "manager floods the cache".into(),
@@ -166,7 +166,7 @@ pub fn run_default() -> Vec<FailureRow> {
     {
         let k = Kernel::boot(KernelConfig::default());
         let (rx, _tx) = machipc::ReceiveRight::allocate(k.machine());
-        let t0 = std::time::Instant::now();
+        let t0 = machsim::wall::now();
         let err = rx.receive(Some(Duration::from_millis(50)));
         let ipc_timeout = matches!(err, Err(machipc::IpcError::Timeout));
         rows.push(FailureRow {

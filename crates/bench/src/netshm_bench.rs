@@ -58,13 +58,13 @@ pub fn measure(share_percent: u64, rounds: u64) -> ShmPoint {
         // its coherence cost before the next starts.
         let mut buf = [0u8; 1];
         if shared {
-            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            let deadline = machsim::wall::Deadline::after(Duration::from_secs(5));
             loop {
                 tb.read_memory(ab + b_page * PAGE, &mut buf).unwrap();
-                if buf[0] == round as u8 || std::time::Instant::now() > deadline {
+                if buf[0] == round as u8 || deadline.expired() {
                     break;
                 }
-                std::thread::sleep(Duration::from_millis(1));
+                machsim::wall::sleep(Duration::from_millis(1));
             }
         } else {
             tb.read_memory(ab + b_page * PAGE, &mut buf).unwrap();

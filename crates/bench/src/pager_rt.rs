@@ -134,7 +134,7 @@ pub fn pager_round_trip() -> PagerRoundTrip {
         .unwrap();
     let m0 = k.machine().stats.get(keys::MSG_SENT);
     let sim0 = k.machine().clock.now_ns();
-    let wall0 = std::time::Instant::now();
+    let wall0 = machsim::wall::now();
     let mut b = [0u8; 1];
     t.read_memory(addr, &mut b).unwrap();
     let cold_fault_ns = k.machine().clock.now_ns() - sim0;

@@ -331,7 +331,7 @@ impl Kernel {
                                 .stats
                                 .add(stat_keys::VM_DAEMON_RECLAIMS, freed as u64);
                         }
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        machsim::wall::sleep(std::time::Duration::from_millis(5));
                     }
                 })
                 .expect("spawn pageout daemon");
@@ -549,7 +549,7 @@ impl Kernel {
                     machine.flight.push_report(report);
                 }
             }
-            std::thread::sleep(WATCHDOG_POLL);
+            machsim::wall::sleep(WATCHDOG_POLL);
         }
     }
 
@@ -846,7 +846,7 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let mgr = spawn_manager(k.machine(), "watch", InitWatch(seen.clone()));
         let object = k.object_for_port(mgr.port(), 4096);
-        std::thread::sleep(Duration::from_millis(50));
+        machsim::wall::sleep(Duration::from_millis(50));
         assert_eq!(seen.lock().as_slice(), &[object.id().0]);
     }
 
@@ -870,7 +870,7 @@ mod tests {
         assert_eq!(k.object_count(), 1);
         map.deallocate(addr, 4096).unwrap();
         assert_eq!(k.object_count(), 0);
-        std::thread::sleep(Duration::from_millis(50));
+        machsim::wall::sleep(Duration::from_millis(50));
         assert!(*detached.lock() >= 1, "manager saw request port death");
     }
 
@@ -915,14 +915,14 @@ mod tests {
         for i in 0..pages {
             map.access_write(addr + i * 4096, &[1]).unwrap();
         }
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let deadline = machsim::wall::Deadline::after(Duration::from_secs(5));
         while k.phys().free_frames() < 8 {
             assert!(
-                std::time::Instant::now() < deadline,
+                !deadline.expired(),
                 "daemon never refilled the free queue: {} free",
                 k.phys().free_frames()
             );
-            std::thread::sleep(Duration::from_millis(10));
+            machsim::wall::sleep(Duration::from_millis(10));
         }
         assert!(
             k.machine()
@@ -953,7 +953,7 @@ mod tests {
             }
             map.deallocate(addr, pages * 4096).unwrap();
             // Let the termination message drain before the next cycle.
-            std::thread::sleep(Duration::from_millis(30));
+            machsim::wall::sleep(Duration::from_millis(30));
         }
         assert!(
             k.machine().stats.get(machsim::stats::keys::VM_PAGEOUTS) > 0,
@@ -1041,7 +1041,7 @@ mod tests {
         // The manager flushes its object through the kernel service loop.
         let (kc, oid) = conn.lock().clone().expect("init ran");
         kc.flush_request(oid, 0, 4096);
-        std::thread::sleep(Duration::from_millis(100));
+        machsim::wall::sleep(Duration::from_millis(100));
         assert_eq!(k.phys().resident_pages_of(object.id()), 0);
     }
 }

@@ -439,10 +439,10 @@ mod tests {
                     .with(MsgItem::SendRights(vec![req_tx])),
             );
             // Give the manager time to subscribe before the port dies.
-            std::thread::sleep(Duration::from_millis(50));
+            machsim::wall::sleep(Duration::from_millis(50));
             drop(req_rx);
         }
-        std::thread::sleep(Duration::from_millis(50));
+        machsim::wall::sleep(Duration::from_millis(50));
         handle.shutdown();
         assert!(log.lock().contains(&"detached".to_string()));
     }

@@ -311,7 +311,7 @@ mod tests {
         assert!(t.is_suspended());
         let t2 = t.clone();
         let h = std::thread::spawn(move || t2.write_memory(addr, &[1]).unwrap());
-        std::thread::sleep(Duration::from_millis(30));
+        machsim::wall::sleep(Duration::from_millis(30));
         assert!(!h.is_finished());
         rt.resume().unwrap();
         h.join().unwrap();

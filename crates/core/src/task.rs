@@ -361,7 +361,7 @@ mod tests {
         let h = std::thread::spawn(move || {
             t2.write_memory(addr, &[9]).unwrap();
         });
-        std::thread::sleep(Duration::from_millis(30));
+        machsim::wall::sleep(Duration::from_millis(30));
         assert!(!h.is_finished(), "write blocked while suspended");
         t.resume();
         h.join().unwrap();

@@ -560,10 +560,15 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         tx.send(Message::new(9).with(MsgItem::bytes(b"hi".to_vec())), None)
-            .unwrap();
-        let m = rx.receive(None).unwrap();
+            .expect("send of a composed message succeeds");
+        let m = rx
+            .receive(None)
+            .expect("invariant: a queued message is receivable");
         assert_eq!(m.id, 9);
-        assert_eq!(m.body[0].as_bytes().unwrap(), b"hi");
+        assert_eq!(
+            m.body[0].as_bytes().expect("body element is inline bytes"),
+            b"hi"
+        );
     }
 
     #[test]
@@ -571,10 +576,16 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         for i in 0..3 {
-            tx.send(Message::new(i), None).unwrap();
+            tx.send(Message::new(i), None)
+                .expect("send to a live port succeeds");
         }
         for i in 0..3 {
-            assert_eq!(rx.receive(None).unwrap().id, i);
+            assert_eq!(
+                rx.receive(None)
+                    .expect("invariant: a queued message is receivable")
+                    .id,
+                i
+            );
         }
     }
 
@@ -591,17 +602,30 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         rx.set_backlog(1);
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         assert_eq!(
             tx.send(Message::new(1), Some(Duration::ZERO)).unwrap_err(),
             IpcError::WouldBlock
         );
         let tx2 = tx.clone();
         let h = thread::spawn(move || tx2.send(Message::new(1), None));
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(rx.receive(None).unwrap().id, 0);
-        h.join().unwrap().unwrap();
-        assert_eq!(rx.receive(None).unwrap().id, 1);
+        machsim::wall::sleep(Duration::from_millis(20));
+        assert_eq!(
+            rx.receive(None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            0
+        );
+        h.join()
+            .expect("sender thread exits cleanly")
+            .expect("blocked send completes once space frees");
+        assert_eq!(
+            rx.receive(None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            1
+        );
     }
 
     #[test]
@@ -609,7 +633,8 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         rx.set_backlog(1);
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         let err = tx
             .send(Message::new(1), Some(Duration::from_millis(10)))
             .unwrap_err();
@@ -621,9 +646,9 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         let h = thread::spawn(move || rx.receive(None));
-        thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         drop(tx); // Dropping send right alone must not kill the port.
-        thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         // Receiver still blocked; now nothing can wake it but death, which
         // requires dropping rx — owned by the thread. Instead check that a
         // fresh port's sender sees death when the receive right drops.
@@ -644,12 +669,16 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         rx.set_backlog(1);
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         let tx2 = tx.clone();
         let h = thread::spawn(move || tx2.send(Message::new(1), None));
-        thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         drop(rx);
-        assert_eq!(h.join().unwrap().unwrap_err(), IpcError::PortDied);
+        assert_eq!(
+            h.join().expect("sender thread exits cleanly").unwrap_err(),
+            IpcError::PortDied
+        );
     }
 
     #[test]
@@ -660,9 +689,14 @@ mod tests {
         watched_tx.subscribe_death(&notify_tx);
         let watched_id = watched_rx.id();
         drop(watched_rx);
-        let m = notify_rx.receive(Some(Duration::from_secs(1))).unwrap();
+        let m = notify_rx
+            .receive(Some(Duration::from_secs(1)))
+            .expect("notification arrives within the timeout");
         assert_eq!(m.id, MSG_ID_PORT_DEATH);
-        assert_eq!(m.body[0].as_u64s().unwrap(), vec![watched_id.0]);
+        assert_eq!(
+            m.body[0].as_u64s().expect("body element is a u64 vector"),
+            vec![watched_id.0]
+        );
     }
 
     #[test]
@@ -672,7 +706,9 @@ mod tests {
         drop(watched_rx);
         let (notify_rx, notify_tx) = ReceiveRight::allocate(&c);
         watched_tx.subscribe_death(&notify_tx);
-        let m = notify_rx.receive(Some(Duration::from_secs(1))).unwrap();
+        let m = notify_rx
+            .receive(Some(Duration::from_secs(1)))
+            .expect("notification arrives within the timeout");
         assert_eq!(m.id, MSG_ID_PORT_DEATH);
     }
 
@@ -681,15 +717,19 @@ mod tests {
         let c = ctx();
         let (server_rx, server_tx) = ReceiveRight::allocate(&c);
         let h = thread::spawn(move || {
-            let req = server_rx.receive(None).unwrap();
+            let req = server_rx
+                .receive(None)
+                .expect("invariant: a queued message is receivable");
             let reply = req.reply.expect("rpc carries reply port");
             reply
                 .send(Message::new(req.id + 1), None)
                 .expect("reply send");
         });
-        let resp = server_tx.rpc(Message::new(41), None, None).unwrap();
+        let resp = server_tx
+            .rpc(Message::new(41), None, None)
+            .expect("rpc to a live server succeeds");
         assert_eq!(resp.id, 42);
-        h.join().unwrap();
+        h.join().expect("sender thread exits cleanly");
     }
 
     #[test]
@@ -712,13 +752,23 @@ mod tests {
                 Message::new(1).with(MsgItem::SendRights(vec![inner_tx])),
                 None,
             )
-            .unwrap();
-        let m = carrier_rx.receive(None).unwrap();
+            .expect("send of a composed message succeeds");
+        let m = carrier_rx
+            .receive(None)
+            .expect("invariant: a queued message is receivable");
         let MsgItem::SendRights(rights) = &m.body[0] else {
             panic!("expected send rights");
         };
-        rights[0].send(Message::new(7), None).unwrap();
-        assert_eq!(inner_rx.receive(None).unwrap().id, 7);
+        rights[0]
+            .send(Message::new(7), None)
+            .expect("send to a live port succeeds");
+        assert_eq!(
+            inner_rx
+                .receive(None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            7
+        );
     }
 
     #[test]
@@ -726,16 +776,31 @@ mod tests {
         let c = ctx();
         let (carrier_rx, carrier_tx) = ReceiveRight::allocate(&c);
         let (inner_rx, inner_tx) = ReceiveRight::allocate(&c);
-        inner_tx.send(Message::new(5), None).unwrap();
+        inner_tx
+            .send(Message::new(5), None)
+            .expect("send to a live port succeeds");
         carrier_tx
             .send(Message::new(1).with(MsgItem::ReceiveRight(inner_rx)), None)
-            .unwrap();
-        let m = carrier_rx.receive(None).unwrap();
-        let MsgItem::ReceiveRight(moved_rx) = m.body.into_iter().next().unwrap() else {
+            .expect("send of a composed message succeeds");
+        let m = carrier_rx
+            .receive(None)
+            .expect("invariant: a queued message is receivable");
+        let MsgItem::ReceiveRight(moved_rx) = m
+            .body
+            .into_iter()
+            .next()
+            .expect("iterator has the expected element")
+        else {
             panic!("expected receive right");
         };
         // The queued message survived the migration of receivership.
-        assert_eq!(moved_rx.receive(None).unwrap().id, 5);
+        assert_eq!(
+            moved_rx
+                .receive(None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            5
+        );
     }
 
     #[test]
@@ -745,7 +810,7 @@ mod tests {
         let (inner_rx, inner_tx) = ReceiveRight::allocate(&c);
         carrier_tx
             .send(Message::new(1).with(MsgItem::ReceiveRight(inner_rx)), None)
-            .unwrap();
+            .expect("send of a composed message succeeds");
         drop(carrier_rx); // Destroys the carrier and its queued message.
         assert!(!inner_tx.is_alive());
     }
@@ -755,7 +820,8 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         let tx2 = tx.clone();
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         let st = rx.status();
         assert_eq!(st.num_msgs, 1);
         assert_eq!(st.backlog, DEFAULT_BACKLOG);
@@ -771,10 +837,11 @@ mod tests {
         let (rx, tx) = ReceiveRight::allocate(&c);
         let before = c.clock.now_ns();
         tx.send(Message::new(0).with(MsgItem::bytes(vec![0u8; 100])), None)
-            .unwrap();
+            .expect("send of a composed message succeeds");
         assert!(c.clock.now_ns() > before);
         assert_eq!(c.stats.get(machsim::stats::keys::MSG_SENT), 1);
-        rx.receive(None).unwrap();
+        rx.receive(None)
+            .expect("invariant: a queued message is receivable");
         assert_eq!(c.stats.get(machsim::stats::keys::MSG_RECEIVED), 1);
         assert_eq!(c.stats.get(machsim::stats::keys::BYTES_COPIED), 100);
     }
@@ -785,7 +852,7 @@ mod tests {
         let (_rx, tx) = ReceiveRight::allocate(&c);
         let big = crate::message::OolBuffer::from_vec(vec![0u8; 8192]);
         tx.send(Message::new(0).with(MsgItem::OutOfLine(big)), None)
-            .unwrap();
+            .expect("send of a composed message succeeds");
         assert_eq!(c.stats.get(machsim::stats::keys::PAGES_REMAPPED), 2);
         assert_eq!(c.stats.get(machsim::stats::keys::BYTES_COPIED), 0);
     }
@@ -795,14 +862,16 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         tx.send(Message::new(1).with(MsgItem::bytes(vec![0u8; 100])), None)
-            .unwrap();
+            .expect("send of a composed message succeeds");
         assert_eq!(
             rx.receive_limited(10, Some(Duration::from_millis(10)))
                 .unwrap_err(),
             IpcError::MsgTooLarge
         );
         // The message is still there for a big-enough receive.
-        let m = rx.receive_limited(100, None).unwrap();
+        let m = rx
+            .receive_limited(100, None)
+            .expect("invariant: a queued message is receivable");
         assert_eq!(m.id, 1);
     }
 
@@ -811,17 +880,19 @@ mod tests {
         let c = ctx();
         let (server_rx, server_tx) = ReceiveRight::allocate(&c);
         let h = thread::spawn(move || {
-            let req = server_rx.receive(None).unwrap();
+            let req = server_rx
+                .receive(None)
+                .expect("invariant: a queued message is receivable");
             let reply = req.reply.expect("reply port");
             reply
                 .send(Message::new(2).with(MsgItem::bytes(vec![0u8; 4096])), None)
-                .unwrap();
+                .expect("send of a composed message succeeds");
         });
         let err = server_tx
             .rpc_limited(Message::new(1), 64, None, Some(Duration::from_secs(5)))
             .unwrap_err();
         assert_eq!(err, IpcError::MsgTooLarge);
-        h.join().unwrap();
+        h.join().expect("sender thread exits cleanly");
     }
 
     #[test]
@@ -834,13 +905,18 @@ mod tests {
                 let tx = tx.clone();
                 s.spawn(move || {
                     for i in 0..10 {
-                        tx.send(Message::new(t * 100 + i), None).unwrap();
+                        tx.send(Message::new(t * 100 + i), None)
+                            .expect("send to a live port succeeds");
                     }
                 });
             }
             let mut got = Vec::new();
             for _ in 0..40 {
-                got.push(rx.receive(Some(Duration::from_secs(5))).unwrap().id);
+                got.push(
+                    rx.receive(Some(Duration::from_secs(5)))
+                        .expect("a stormed message arrives within the timeout")
+                        .id,
+                );
             }
             got.sort_unstable();
             let mut want: Vec<u32> = (0..4)
@@ -896,7 +972,8 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         rx.set_backlog(1);
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         // Non-blocking probe: WouldBlock, message not lost or duplicated.
         assert_eq!(
             tx.send(Message::new(1), Some(Duration::ZERO)).unwrap_err(),
@@ -909,7 +986,12 @@ mod tests {
             IpcError::Timeout
         );
         assert_eq!(rx.queued(), 1);
-        assert_eq!(rx.receive(None).unwrap().id, 0);
+        assert_eq!(
+            rx.receive(None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            0
+        );
     }
 
     #[test]
@@ -917,11 +999,15 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         rx.set_backlog(1);
-        tx.send(Message::new(0), None).unwrap();
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
         let t = thread::spawn(move || tx.send(Message::new(1), None));
-        thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         drop(rx); // kill the port under the blocked sender
-        assert_eq!(t.join().unwrap().unwrap_err(), IpcError::PortDied);
+        assert_eq!(
+            t.join().expect("sender thread exits cleanly").unwrap_err(),
+            IpcError::PortDied
+        );
     }
 
     #[test]
@@ -932,7 +1018,7 @@ mod tests {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
         tx.send(Message::new(7).with(MsgItem::bytes(vec![0u8; 128])), None)
-            .unwrap();
+            .expect("send of a composed message succeeds");
         for _ in 0..3 {
             assert_eq!(
                 rx.receive_limited(16, Some(Duration::ZERO)).unwrap_err(),
@@ -940,6 +1026,11 @@ mod tests {
             );
             assert_eq!(rx.queued(), 1);
         }
-        assert_eq!(rx.receive_limited(128, None).unwrap().id, 7);
+        assert_eq!(
+            rx.receive_limited(128, None)
+                .expect("invariant: a queued message is receivable")
+                .id,
+            7
+        );
     }
 }

@@ -10,11 +10,12 @@ use crate::error::IpcError;
 use crate::message::Message;
 use crate::port::{PortStatus, ReceiveRight, SendRight, SetWaker};
 use crate::IpcContext;
+use machsim::wall;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A task-local port name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -182,7 +183,7 @@ impl PortSpace {
         }
         // Receive rights are unique, so re-resolve per wait iteration using
         // try_receive plus the waker, mirroring receive_default.
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(wall::Deadline::after);
         loop {
             let seen = {
                 let inner = self.inner.lock();
@@ -202,14 +203,13 @@ impl PortSpace {
                 seen
             };
             let remaining = match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
+                Some(d) => match d.remaining() {
+                    Some(left) => Some(left),
+                    None => {
                         self.unregister_probe(name);
                         return Err(IpcError::Timeout);
                     }
-                    Some(d - now)
-                }
+                },
                 None => None,
             };
             self.waker.wait(seen, remaining);
@@ -233,7 +233,7 @@ impl PortSpace {
         &self,
         timeout: Option<Duration>,
     ) -> Result<(PortName, Message), IpcError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(wall::Deadline::after);
         loop {
             let seen = self.waker.generation();
             {
@@ -255,13 +255,10 @@ impl PortSpace {
                 }
             }
             let remaining = match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(IpcError::Timeout);
-                    }
-                    Some(d - now)
-                }
+                Some(d) => match d.remaining() {
+                    Some(left) => Some(left),
+                    None => return Err(IpcError::Timeout),
+                },
                 None => None,
             };
             self.waker.wait(seen, remaining);
@@ -402,7 +399,7 @@ mod tests {
         let tx = s.send_right(a).unwrap();
         let s2 = s.clone();
         let h = thread::spawn(move || s2.receive_default(Some(Duration::from_secs(5))));
-        thread::sleep(Duration::from_millis(30));
+        machsim::wall::sleep(Duration::from_millis(30));
         tx.send(Message::new(8), None).unwrap();
         let (from, msg) = h.join().unwrap().unwrap();
         assert_eq!(from, a);

@@ -1,0 +1,322 @@
+//! A minimal Rust lexer producing line-stamped tokens.
+//!
+//! machlint's lints work on token streams, not syntax trees: every rule it
+//! enforces (lock nesting, forbidden calls, literal arguments, `unwrap()`
+//! counts) is visible at the token level once comments, strings and char
+//! literals are lexed correctly — which is exactly the part naive
+//! regex-based checkers get wrong. The lexer handles nested block
+//! comments, raw strings (`r#"..."#`), byte strings, char literals and
+//! lifetimes; it does not attempt to join multi-character operators,
+//! because no lint needs them.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A lifetime (without the leading `'`).
+    Lifetime(String),
+    /// A string or byte-string literal (contents, escapes unprocessed).
+    Str(String),
+    /// Any other literal: number, char, byte char.
+    OtherLit,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier's text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated constructs consume to EOF
+/// rather than erroring: lints prefer partial results over hard failure.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword — possibly a string prefix (r, b, br, rb).
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut s = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                s.push(b[i]);
+                i += 1;
+            }
+            // String prefixes: r"", r#""#, b"", br#""#, ...
+            let is_raw = matches!(s.as_str(), "r" | "br" | "rb");
+            let is_byte = matches!(s.as_str(), "b" | "br" | "rb");
+            if i < n && (b[i] == '"' || (is_raw && b[i] == '#')) && (is_raw || is_byte) {
+                let (contents, ni, nl) = lex_string(&b, i, line, is_raw);
+                out.push(Token {
+                    tok: Tok::Str(contents),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+                continue;
+            }
+            out.push(Token {
+                tok: Tok::Ident(s),
+                line: start_line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            let (contents, ni, nl) = lex_string(&b, i, line, false);
+            out.push(Token {
+                tok: Tok::Str(contents),
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let start_line = line;
+            // Lifetime: 'ident not closed by another quote.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    name.push(b[j]);
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    out.push(Token {
+                        tok: Tok::Lifetime(name),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal: consume to the closing quote, honoring escapes.
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                bump!();
+            }
+            out.push(Token {
+                tok: Tok::OtherLit,
+                line: start_line,
+            });
+            continue;
+        }
+        // Number literal (suffixes included; `.` excluded so ranges lex
+        // as punctuation — floats become three tokens, which no lint
+        // cares about).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::OtherLit,
+                line: start_line,
+            });
+            continue;
+        }
+        // Punctuation.
+        out.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        bump!();
+    }
+    out
+}
+
+/// Lexes a string literal starting at `i` (at the opening `"` or the `#`s
+/// of a raw string). Returns (contents, next index, next line).
+fn lex_string(b: &[char], mut i: usize, mut line: u32, raw: bool) -> (String, usize, u32) {
+    let n = b.len();
+    let mut hashes = 0;
+    if raw {
+        while i < n && b[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert!(i >= n || b[i] == '"');
+    i += 1; // opening quote
+    let mut contents = String::new();
+    while i < n {
+        if !raw && b[i] == '\\' {
+            if i + 1 < n {
+                contents.push(b[i + 1]);
+            }
+            i += 2;
+            continue;
+        }
+        if b[i] == '"' {
+            if raw {
+                // Need `hashes` trailing #s to close.
+                let mut j = i + 1;
+                let mut seen = 0;
+                while j < n && b[j] == '#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (contents, j, line);
+                }
+            } else {
+                return (contents, i + 1, line);
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        contents.push(b[i]);
+        i += 1;
+    }
+    (contents, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "a // Instant::now()\n/* thread::sleep /* nested */ */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_scan() {
+        let src = r#"x("Instant::now()"); y"#;
+        assert_eq!(idents(src), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r##"r#"quote " inside"# b"bytes" br#"both"#"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["quote \" inside", "bytes", "both"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a")));
+        assert!(toks.iter().any(|t| t.tok == Tok::OtherLit));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("\"two\nlines\" after");
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let toks = lex("0..n");
+        assert_eq!(toks.len(), 4); // 0, ., ., n
+        assert!(toks[3].is_ident("n"));
+    }
+}

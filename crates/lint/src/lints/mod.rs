@@ -1,0 +1,11 @@
+//! The five lint passes. Each is a pure function from a [`FileModel`]
+//! (plus its slice of the config) to findings; `crate::run` owns file
+//! scoping and sequencing.
+//!
+//! [`FileModel`]: crate::model::FileModel
+
+pub mod counter_keys;
+pub mod lock_order;
+pub mod panic_budget;
+pub mod sim_time;
+pub mod trace_cover;

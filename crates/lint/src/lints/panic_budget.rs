@@ -1,0 +1,150 @@
+//! L4 — panic-budget ratchet: `.unwrap()` counts per crate may only go
+//! down. The committed budget lives in `lint-baseline.toml`; exceeding
+//! it is an error, and dropping below it prints a reminder to ratchet
+//! the baseline down (`machlint --workspace --update-baseline`) so the
+//! improvement is locked in.
+//!
+//! Counts include test code deliberately: a panicking test helper hides
+//! the real failure just as effectively as a panicking fault handler,
+//! and `expect("invariant: …")` documents intent in both. The sanctioned
+//! escape is therefore conversion, not exclusion.
+
+use crate::config::Baseline;
+use crate::model::FileModel;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Counts `.unwrap()` calls per crate key across `models`.
+///
+/// The crate key is `crates/<name>` for files under `crates/`, and
+/// `root` for the workspace's own `src/`, `tests/`, and `examples/`.
+pub fn count(models: &[FileModel]) -> BTreeMap<String, i64> {
+    let mut counts: BTreeMap<String, i64> = BTreeMap::new();
+    for m in models {
+        let key = crate_key(&m.path);
+        let n = count_file(m);
+        *counts.entry(key).or_insert(0) += n;
+    }
+    counts
+}
+
+/// Compares observed counts to the committed baseline.
+pub fn check(
+    counts: &BTreeMap<String, i64>,
+    baseline: &Baseline,
+    findings: &mut Vec<Finding>,
+    notes: &mut Vec<String>,
+) {
+    for (key, &n) in counts {
+        let budget = *baseline.get(key).unwrap_or(&0);
+        if n > budget {
+            findings.push(Finding {
+                file: "lint-baseline.toml".into(),
+                line: 1,
+                lint: "panic-budget",
+                msg: format!(
+                    "{key} has {n} unwrap() calls, budget is {budget}; convert the new \
+                     ones to typed errors or expect(\"invariant: …\")"
+                ),
+            });
+        } else if n < budget {
+            notes.push(format!(
+                "panic-budget: {key} is below budget ({n} < {budget}); run \
+                 `machlint --workspace --update-baseline` to ratchet down"
+            ));
+        }
+    }
+    // A baseline entry for a crate that no longer exists (or reached 0
+    // unwraps) is stale budget someone could spend later.
+    for key in baseline.keys() {
+        if !counts.contains_key(key) {
+            notes.push(format!(
+                "panic-budget: baseline entry `{key}` matches no scanned crate; \
+                 ratchet it out with --update-baseline"
+            ));
+        }
+    }
+}
+
+/// The crate key a file's unwraps are charged to.
+pub fn crate_key(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return format!("crates/{name}");
+        }
+    }
+    "root".to_string()
+}
+
+/// Counts `.unwrap()` in one file.
+fn count_file(m: &FileModel) -> i64 {
+    let t = &m.tokens;
+    let mut n = 0;
+    for i in 0..t.len() {
+        if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_ident("unwrap"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_group_by_crate() {
+        let models = vec![
+            FileModel::new(
+                "crates/vm/src/map.rs".into(),
+                "fn f() { x.unwrap(); y.unwrap(); }",
+            ),
+            FileModel::new("crates/vm/src/fault.rs".into(), "fn f() { x.unwrap(); }"),
+            FileModel::new("tests/stress.rs".into(), "fn f() { x.unwrap(); }"),
+        ];
+        let c = count(&models);
+        assert_eq!(c["crates/vm"], 3);
+        assert_eq!(c["root"], 1);
+    }
+
+    #[test]
+    fn expect_and_unwrap_or_are_not_counted() {
+        let m = FileModel::new(
+            "a.rs".into(),
+            "fn f() { x.expect(\"invariant: held\"); y.unwrap_or(0); z.unwrap_or_default(); }",
+        );
+        assert_eq!(count_file(&m), 0);
+    }
+
+    #[test]
+    fn over_budget_errors_under_budget_notes() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/vm".to_string(), 10i64);
+        counts.insert("root".to_string(), 2i64);
+        let mut baseline = Baseline::new();
+        baseline.insert("crates/vm".into(), 8);
+        baseline.insert("root".into(), 5);
+        let mut findings = Vec::new();
+        let mut notes = Vec::new();
+        check(&counts, &baseline, &mut findings, &mut notes);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].msg.contains("crates/vm has 10"));
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("root is below budget"));
+    }
+
+    #[test]
+    fn missing_baseline_entry_means_zero_budget() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/new".to_string(), 1i64);
+        let mut findings = Vec::new();
+        let mut notes = Vec::new();
+        check(&counts, &Baseline::new(), &mut findings, &mut notes);
+        assert_eq!(findings.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! L2 — sim-time purity: the kernel's notion of time is the simulated
+//! clock (`SimClock`); wall-clock reads and real sleeps are allowed only
+//! in the designated airlock (`machsim::wall`) and other files with a
+//! justified `[[sim_time.allow]]` entry.
+//!
+//! Forbidden patterns, matched on the token stream (so comments and
+//! string literals never trigger):
+//!
+//! - `Instant::now(…)` — wall-clock read
+//! - `SystemTime` — any use; there is no legitimate simulated use
+//! - `thread::sleep(…)` — real-time delay (the `wall::sleep` helper and
+//!   condvar timeouts are the sanctioned forms)
+
+use crate::config::SimTimeConfig;
+use crate::model::FileModel;
+use crate::Finding;
+
+/// Runs the lint over one file.
+pub fn check(model: &FileModel, cfg: &SimTimeConfig, findings: &mut Vec<Finding>) {
+    if cfg.allowed(&model.path) {
+        return;
+    }
+    let toks = &model.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let hit = if path_call(model, i, "Instant", "now") {
+            Some("Instant::now() reads the wall clock")
+        } else if tok.is_ident("SystemTime") {
+            Some("SystemTime has no simulated counterpart")
+        } else if path_call(model, i, "thread", "sleep") {
+            Some("thread::sleep delays in real time")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line: tok.line,
+                lint: "sim-time",
+                msg: format!(
+                    "{what}; use machsim::wall (or SimClock charging) — \
+                     or add a [[sim_time.allow]] entry with justification"
+                ),
+            });
+        }
+    }
+}
+
+/// Matches `first::second(` at token `i`.
+fn path_call(model: &FileModel, i: usize, first: &str, second: &str) -> bool {
+    let t = &model.tokens;
+    t[i].is_ident(first)
+        && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+        && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        && t.get(i + 3).is_some_and(|x| x.is_ident(second))
+        && t.get(i + 4).is_some_and(|x| x.is_punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FileAllow, SimTimeConfig};
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let cfg = SimTimeConfig {
+            allow: vec![FileAllow {
+                file: "crates/sim/src/wall.rs".into(),
+                reason: "the airlock".into(),
+            }],
+        };
+        let model = FileModel::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&model, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn instant_now_fires_with_line() {
+        let f = run("a.rs", "fn f() {\n let t = Instant::now();\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].lint, "sim-time");
+    }
+
+    #[test]
+    fn qualified_paths_fire_too() {
+        let f = run("a.rs", "fn f() { std::thread::sleep(d); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn instant_as_a_type_is_fine() {
+        // Storing or comparing Instants handed out by the airlock is
+        // legitimate; only *reading* the clock is gated.
+        let f = run("a.rs", "fn f(t: Instant) -> Instant { t }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn system_time_fires_on_any_use() {
+        let f = run("a.rs", "fn f() { let t: SystemTime = x; }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let f = run(
+            "a.rs",
+            "// Instant::now()\nfn f() { log(\"thread::sleep(d)\"); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn the_airlock_is_allowed() {
+        let f = run(
+            "crates/sim/src/wall.rs",
+            "pub fn now() -> Instant { Instant::now() }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

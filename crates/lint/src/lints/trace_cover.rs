@@ -1,0 +1,121 @@
+//! L5 — trace coverage: a public entry point that charges the simulated
+//! clock is doing work the paper's evaluation cares about, so it must be
+//! observable — its body (or something it clearly delegates to in the
+//! same file) has to emit a trace event or record a latency sample.
+//!
+//! Scoped to the configured fault/IPC entry-point files. A `pub fn`
+//! outside test code whose body contains a charge call
+//! (`.charge(…)` / `.charge_us(…)` / `.charge_ms(…)`) must also contain
+//! one of the configured emitter identifiers (`trace_event`,
+//! `trace_event_with`, `record`, `enter`, …) or carry a justified
+//! `[[trace.allow]]` entry.
+
+use crate::config::TraceConfig;
+use crate::model::FileModel;
+use crate::Finding;
+
+/// Runs the lint over one file (already confirmed to be in scope).
+pub fn check(model: &FileModel, cfg: &TraceConfig, findings: &mut Vec<Finding>) {
+    let toks = &model.tokens;
+    for f in &model.fns {
+        let Some(start) = f.body_start else { continue };
+        if !f.is_pub || model.is_test[start] {
+            continue;
+        }
+        let end = f.body_end.min(toks.len());
+        let mut charges = false;
+        let mut emits = false;
+        for i in start..end {
+            if toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|m| cfg.charge_methods.iter().any(|c| c == m))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                charges = true;
+            }
+            if toks[i]
+                .ident()
+                .is_some_and(|id| cfg.emitters.iter().any(|e| e == id))
+            {
+                emits = true;
+            }
+        }
+        if charges && !emits && !cfg.allowed(&model.path, &f.name) {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line: f.line,
+                lint: "trace-cover",
+                msg: format!(
+                    "pub fn {} charges the sim clock but emits no trace event or \
+                     latency sample; wire it to the observability layer or add a \
+                     [[trace.allow]] entry with justification",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FnAllow, TraceConfig};
+
+    fn cfg(allow: Vec<FnAllow>) -> TraceConfig {
+        TraceConfig {
+            files: vec!["fault.rs".into()],
+            charge_methods: vec!["charge".into(), "charge_us".into(), "charge_ms".into()],
+            emitters: vec![
+                "trace_event".into(),
+                "trace_event_with".into(),
+                "record".into(),
+                "enter".into(),
+            ],
+            allow,
+        }
+    }
+
+    fn run(src: &str, allow: Vec<FnAllow>) -> Vec<Finding> {
+        let model = FileModel::new("fault.rs".into(), src);
+        let mut out = Vec::new();
+        check(&model, &cfg(allow), &mut out);
+        out
+    }
+
+    #[test]
+    fn charging_without_emitting_fires() {
+        let f = run("pub fn fault(&self) { self.clock.charge(100); }", vec![]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("pub fn fault"));
+    }
+
+    #[test]
+    fn charging_with_trace_event_is_clean() {
+        let f = run(
+            "pub fn fault(&self) { self.clock.charge(100); trace_event(m, k); }",
+            vec![],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn private_fns_are_out_of_scope() {
+        let f = run("fn helper(&self) { self.clock.charge(100); }", vec![]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allowlist_exempts_with_reason() {
+        let f = run(
+            "pub fn fault(&self) { self.clock.charge(100); }",
+            vec![FnAllow {
+                file: "fault.rs".into(),
+                function: "fault".into(),
+                reason: "delegates to traced inner".into(),
+            }],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! machlint CLI.
+//!
+//! ```text
+//! machlint --workspace [--root PATH] [--update-baseline]
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 with `file:line: [lint] message` spans on
+//! findings, 2 on configuration errors. `scripts/check.sh` and CI run
+//! this as a hard gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut update_baseline = false;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("machlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: machlint --workspace [--root PATH] [--update-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("machlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("machlint: nothing to do; pass --workspace to lint the tree");
+        return ExitCode::from(2);
+    }
+
+    let report = match machlint::run(&root, update_baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("machlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "machlint: clean ({} files, 5 lints: lock-order sim-time counter-key \
+             panic-budget trace-cover)",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "machlint: {} finding(s) across {} files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,305 @@
+//! A lightly structured view of one source file: its token stream, which
+//! tokens are test code, and the span of every function body.
+//!
+//! "Test code" is anything under an attribute whose tokens include the
+//! identifier `test` and not `not` — which covers `#[test]`,
+//! `#[cfg(test)] mod …`, and `#[cfg(test)] use …`, while leaving
+//! `#[cfg(not(test))]` classified as production code.
+
+use crate::lexer::{lex, Token};
+
+/// One function's position in the token stream.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{`; `None` for bodyless declarations.
+    pub body_start: Option<usize>,
+    /// Token index one past the body's `}` (== `body_start` token's match).
+    pub body_end: usize,
+    /// Whether the function is `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+}
+
+/// A lexed file plus structural annotations.
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a test item.
+    pub is_test: Vec<bool>,
+    /// Every `fn` item (including nested ones), in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl FileModel {
+    /// Lexes and annotates `src`.
+    pub fn new(path: String, src: &str) -> FileModel {
+        let tokens = lex(src);
+        let is_test = mark_tests(&tokens);
+        let fns = find_fns(&tokens);
+        FileModel {
+            path,
+            tokens,
+            is_test,
+            fns,
+        }
+    }
+
+    /// The innermost function containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| match f.body_start {
+                Some(s) => s <= i && i < f.body_end,
+                None => false,
+            })
+            .min_by_key(|f| f.body_end - f.body_start.unwrap_or(0))
+    }
+}
+
+/// Flags every token covered by a test-ish attribute's item.
+fn mark_tests(tokens: &[Token]) -> Vec<bool> {
+    let mut test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Inner attributes (`#![…]`) configure the enclosing item; none of
+        // the test markers use them, so skip.
+        if j < tokens.len() && tokens[j].is_punct('!') {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let mut depth = 0usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        let mut k = j;
+        while k < tokens.len() {
+            if tokens[k].is_punct('[') {
+                depth += 1;
+            } else if tokens[k].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[k].is_ident("test") {
+                has_test = true;
+            } else if tokens[k].is_ident("not") {
+                has_not = true;
+            }
+            k += 1;
+        }
+        if !has_test || has_not {
+            i = k + 1;
+            continue;
+        }
+        // Mark from the attribute through the item it decorates: to the
+        // matching `}` of the first `{`, or to a `;` for block-less items.
+        let mut m = k + 1;
+        let mut brace = 0usize;
+        let mut entered = false;
+        while m < tokens.len() {
+            if tokens[m].is_punct('{') {
+                brace += 1;
+                entered = true;
+            } else if tokens[m].is_punct('}') {
+                brace = brace.saturating_sub(1);
+                if entered && brace == 0 {
+                    break;
+                }
+            } else if tokens[m].is_punct(';') && !entered {
+                break;
+            }
+            m += 1;
+        }
+        for flag in test.iter_mut().take((m + 1).min(tokens.len())).skip(i) {
+            *flag = true;
+        }
+        i = m + 1;
+    }
+    test
+}
+
+/// Records every `fn` item's name, visibility, and body span.
+fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            // `Fn()` trait bounds and `fn(…)` pointer types.
+            i += 1;
+            continue;
+        };
+        let is_pub = is_pub_before(tokens, i);
+        // The body `{` follows the signature; a `;` first means a trait
+        // method declaration or extern item with no body. Angle-bracket
+        // depth guards against `… -> impl Iterator<Item = fn()>`-ish
+        // signatures tricking the scan (none exist today, but cheap).
+        let mut j = i + 2;
+        let mut body_start = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                body_start = Some(j);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let (body_start, body_end) = match body_start {
+            Some(s) => {
+                let mut depth = 0usize;
+                let mut e = s;
+                while e < tokens.len() {
+                    if tokens[e].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[e].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    e += 1;
+                }
+                (Some(s), e + 1)
+            }
+            None => (None, j + 1),
+        };
+        fns.push(FnSpan {
+            name: name.to_string(),
+            line: tokens[i].line,
+            body_start,
+            body_end,
+            is_pub,
+        });
+        // Continue from after the name so nested fns are found too.
+        i += 2;
+    }
+    fns
+}
+
+/// Whether the tokens immediately before index `i` spell a visibility
+/// modifier (`pub`, `pub(crate)`, `pub(in …)`).
+fn is_pub_before(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    // Walk back over qualifiers: async, unsafe, const, extern "C".
+    while j > 0 {
+        let prev = &tokens[j - 1];
+        if prev.is_ident("async")
+            || prev.is_ident("unsafe")
+            || prev.is_ident("const")
+            || prev.is_ident("extern")
+            || matches!(prev.tok, crate::lexer::Tok::Str(_))
+        {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    if j == 0 {
+        return false;
+    }
+    if tokens[j - 1].is_ident("pub") {
+        return true;
+    }
+    // pub(crate): … `pub` `(` … `)` fn — walk back over one paren group.
+    if tokens[j - 1].is_punct(')') {
+        let mut depth = 0usize;
+        let mut k = j - 1;
+        loop {
+            if tokens[k].is_punct(')') {
+                depth += 1;
+            } else if tokens[k].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        return k > 0 && tokens[k - 1].is_ident("pub");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let m = FileModel::new(
+            "x.rs".into(),
+            "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n fn t() { b(); }\n}\n",
+        );
+        let a = m.tokens.iter().position(|t| t.is_ident("a")).unwrap();
+        let b = m.tokens.iter().position(|t| t.is_ident("b")).unwrap();
+        assert!(!m.is_test[a]);
+        assert!(m.is_test[b]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let m = FileModel::new("x.rs".into(), "#[cfg(not(test))]\nfn prod() { a(); }\n");
+        let a = m.tokens.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(!m.is_test[a]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked_and_scoped() {
+        let m = FileModel::new(
+            "x.rs".into(),
+            "#[test]\nfn t() { b(); }\nfn prod() { a(); }\n",
+        );
+        let a = m.tokens.iter().position(|t| t.is_ident("a")).unwrap();
+        let b = m.tokens.iter().position(|t| t.is_ident("b")).unwrap();
+        assert!(m.is_test[b]);
+        assert!(!m.is_test[a]);
+    }
+
+    #[test]
+    fn fn_spans_and_visibility() {
+        let m = FileModel::new(
+            "x.rs".into(),
+            "pub fn a() { inner(); }\npub(crate) fn b() {}\nfn c() {}\n",
+        );
+        let names: Vec<(&str, bool)> = m.fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(names, vec![("a", true), ("b", true), ("c", false)]);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let m = FileModel::new(
+            "x.rs".into(),
+            "fn outer() { fn inner() { x(); } inner(); }\n",
+        );
+        let x = m.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(m.enclosing_fn(x).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_recorded() {
+        let m = FileModel::new("x.rs".into(), "trait T { fn f(&self); }\n");
+        assert_eq!(m.fns.len(), 1);
+        assert!(m.fns[0].body_start.is_none());
+    }
+}

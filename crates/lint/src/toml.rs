@@ -1,0 +1,442 @@
+//! A minimal TOML reader for machlint's two config files.
+//!
+//! The offline build environment rules out the `toml` crate, and the
+//! configs (`machlint.toml`, `lint-baseline.toml`) use a small, stable
+//! subset of the format: `[tables]`, `[[arrays of tables]]`, dotted-free
+//! bare keys, and string / integer / boolean / array-of-string values.
+//! This parser covers exactly that subset and rejects everything else
+//! loudly, so a typo in a config file is a hard error rather than a
+//! silently ignored lint rule.
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML value (subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A basic or literal string.
+    Str(String),
+    /// A (decimal, possibly negative) integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings.
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array of strings, if this is one.
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One table: key → value, insertion-independent (sorted) for stable output.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document.
+///
+/// `tables` maps a header path like `"lock"` or `"counter_keys"` to its
+/// table ([""] is the root table); `table_arrays` maps a path like
+/// `"lock.allow"` to the list of `[[...]]` entries in file order.
+#[derive(Clone, Debug, Default)]
+pub struct Doc {
+    /// `[header]` tables, keyed by dotted path; `""` is the root table.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[header]]` arrays of tables, keyed by dotted path.
+    pub table_arrays: BTreeMap<String, Vec<Table>>,
+}
+
+impl Doc {
+    /// The table at `path`, if present.
+    pub fn table(&self, path: &str) -> Option<&Table> {
+        self.tables.get(path)
+    }
+
+    /// The array of tables at `path`; empty slice when absent.
+    pub fn table_array(&self, path: &str) -> &[Table] {
+        self.table_arrays.get(path).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    /// A string value at `table_path` / `key`.
+    pub fn get_str(&self, table_path: &str, key: &str) -> Option<&str> {
+        self.tables.get(table_path)?.get(key)?.as_str()
+    }
+
+    /// A string-array value at `table_path` / `key`; empty when absent.
+    pub fn get_str_array(&self, table_path: &str, key: &str) -> Vec<String> {
+        self.tables
+            .get(table_path)
+            .and_then(|t| t.get(key))
+            .and_then(|v| v.as_str_array())
+            .map(|v| v.to_vec())
+            .unwrap_or_default()
+    }
+}
+
+/// Parses `src`, returning the document or a line-stamped error message.
+pub fn parse(src: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    // Where key/value lines currently land: either a named table or the
+    // last entry of a named array of tables.
+    enum Cursor {
+        Table(String),
+        ArrayEntry(String),
+    }
+    let mut cursor = Cursor::Table(String::new());
+    doc.tables.insert(String::new(), Table::new());
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut idx = 0;
+    while idx < lines.len() {
+        let lineno = idx + 1;
+        let line = strip_comment(lines[idx]).trim().to_string();
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let line = line.as_str();
+        if let Some(path) = line
+            .strip_prefix("[[")
+            .and_then(|rest| rest.strip_suffix("]]"))
+        {
+            let path = path.trim().to_string();
+            if path.is_empty() {
+                return Err(format!("line {lineno}: empty [[table]] header"));
+            }
+            doc.table_arrays
+                .entry(path.clone())
+                .or_default()
+                .push(Table::new());
+            cursor = Cursor::ArrayEntry(path);
+            continue;
+        }
+        if let Some(path) = line
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+        {
+            let path = path.trim().to_string();
+            if path.is_empty() {
+                return Err(format!("line {lineno}: empty [table] header"));
+            }
+            doc.tables.entry(path.clone()).or_default();
+            cursor = Cursor::Table(path);
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, '=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got `{line}`"
+            ));
+        };
+        let key = unquote_key(line[..eq].trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        // Arrays may span lines; accumulate until the brackets balance.
+        let mut vtext = line[eq + 1..].trim().to_string();
+        while vtext.starts_with('[') && bracket_depth(&vtext) > 0 {
+            let Some(next) = lines.get(idx) else {
+                return Err(format!("line {lineno}: unclosed array"));
+            };
+            vtext.push(' ');
+            vtext.push_str(strip_comment(next).trim());
+            idx += 1;
+        }
+        let value = parse_value(&vtext).map_err(|e| format!("line {lineno}: {e}"))?;
+        let table = match &cursor {
+            Cursor::Table(path) => doc
+                .tables
+                .get_mut(path)
+                .expect("cursor always points at an inserted table"),
+            Cursor::ArrayEntry(path) => doc
+                .table_arrays
+                .get_mut(path)
+                .and_then(|v| v.last_mut())
+                .expect("cursor always points at a pushed array entry"),
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return Err(format!("line {lineno}: duplicate key `{key}`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Serializes a flat table as `key = value` lines (keys sorted), used by
+/// `--update-baseline` to rewrite `lint-baseline.toml` deterministically.
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    for (k, v) in table {
+        let key = if k
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
+            k.clone()
+        } else {
+            format!("\"{k}\"")
+        };
+        let val = match v {
+            Value::Str(s) => format!("\"{s}\""),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::StrArray(a) => {
+                let items: Vec<String> = a.iter().map(|s| format!("\"{s}\"")).collect();
+                format!("[{}]", items.join(", "))
+            }
+        };
+        out.push_str(&format!("{key} = {val}\n"));
+    }
+    out
+}
+
+/// Net count of unquoted `[` minus `]` — >0 means an array is still open.
+fn bracket_depth(s: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut quote = '"';
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' && quote == '"' {
+                escaped = true;
+            } else if c == quote {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' | '\'' => {
+                in_str = true;
+                quote = c;
+            }
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Removes a `#` comment, ignoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte index of the first unquoted `needle`, if any.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut quote = '"';
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' && quote == '"' {
+                escaped = true;
+            } else if c == quote {
+                in_str = false;
+            }
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            in_str = true;
+            quote = c;
+            continue;
+        }
+        if c == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Parses a key: bare (`a-b_c`) or quoted (`"crates/vm"`).
+fn unquote_key(key: &str) -> Result<String, String> {
+    if let Some(inner) = key
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    {
+        return Ok(inner.to_string());
+    }
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+    {
+        return Ok(key.to_string());
+    }
+    Err(format!("invalid key `{key}`"))
+}
+
+/// Parses a value: string, integer, boolean, or array of strings.
+fn parse_value(v: &str) -> Result<Value, String> {
+    if let Some(s) = parse_string(v) {
+        return Ok(Value::Str(s));
+    }
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = v.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Some(inner) = v.strip_prefix('[').and_then(|rest| rest.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for piece in split_array(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_string(piece) {
+                Some(s) => items.push(s),
+                None => return Err(format!("array element `{piece}` is not a string")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    Err(format!("unsupported value `{v}`"))
+}
+
+/// Parses a `"basic"` or `'literal'` string (no multi-line forms).
+fn parse_string(v: &str) -> Option<String> {
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        let inner = &v[1..v.len() - 1];
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Some(out);
+    }
+    if v.len() >= 2 && v.starts_with('\'') && v.ends_with('\'') {
+        return Some(v[1..v.len() - 1].to_string());
+    }
+    None
+}
+
+/// Splits array contents on commas outside quotes (arrays don't nest in
+/// this subset).
+fn split_array(inner: &str) -> Vec<&str> {
+    let mut pieces = Vec::new();
+    let mut start = 0;
+    let mut rest = inner;
+    let mut base = 0;
+    while let Some(i) = find_unquoted(rest, ',') {
+        pieces.push(&inner[start..base + i]);
+        start = base + i + 1;
+        base = start;
+        rest = &inner[start..];
+    }
+    pieces.push(&inner[start..]);
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_arrays_of_tables() {
+        let doc = parse(
+            r#"
+top = 1
+[lock]
+hierarchy = ["shard", "frame-meta"]
+
+[[lock.allow]]
+file = "a.rs" # trailing comment
+function = "f"
+
+[[lock.allow]]
+file = "b.rs"
+function = "g"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.tables[""]["top"], Value::Int(1));
+        assert_eq!(
+            doc.get_str_array("lock", "hierarchy"),
+            vec!["shard".to_string(), "frame-meta".to_string()]
+        );
+        let allow = doc.table_array("lock.allow");
+        assert_eq!(allow.len(), 2);
+        assert_eq!(allow[0]["file"].as_str(), Some("a.rs"));
+        assert_eq!(allow[1]["function"].as_str(), Some("g"));
+    }
+
+    #[test]
+    fn quoted_keys_hold_slashes() {
+        let doc = parse("[unwraps]\n\"crates/vm\" = 104\n").unwrap();
+        assert_eq!(doc.tables["unwraps"]["crates/vm"], Value::Int(104));
+    }
+
+    #[test]
+    fn comments_and_hash_in_strings() {
+        let doc = parse("reason = \"bypass # not a comment\" # real comment\n").unwrap();
+        assert_eq!(doc.get_str("", "reason"), Some("bypass # not a comment"));
+    }
+
+    #[test]
+    fn multiline_arrays_with_trailing_commas() {
+        let doc = parse("files = [\n  \"a.rs\", # one\n  \"b.rs\",\n]\n").unwrap();
+        assert_eq!(
+            doc.get_str_array("", "files"),
+            vec!["a.rs".to_string(), "b.rs".to_string()]
+        );
+    }
+
+    #[test]
+    fn bad_lines_error_with_line_numbers() {
+        let err = parse("ok = 1\nnot a kv line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn roundtrips_baseline_table() {
+        let mut t = Table::new();
+        t.insert("crates/vm".into(), Value::Int(40));
+        t.insert("root".into(), Value::Int(7));
+        let text = write_table(&t);
+        let doc = parse(&format!("[unwraps]\n{text}")).unwrap();
+        assert_eq!(doc.tables["unwraps"]["crates/vm"], Value::Int(40));
+        assert_eq!(doc.tables["unwraps"]["root"], Value::Int(7));
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end: the machlint binary against a synthetic workspace —
+//! non-zero exit with `file:line:` spans on violations, zero on a clean
+//! tree, and `--update-baseline` ratchets the committed budget.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Creates a fresh scratch workspace under the target tmpdir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("scratch dir is removable");
+    }
+    std::fs::create_dir_all(dir.join("src")).expect("scratch dir is creatable");
+    dir
+}
+
+const CONFIG: &str = r#"
+[scan]
+include = ["src"]
+
+[lock]
+hierarchy = ["shard", "queues"]
+files = ["src/bad.rs"]
+
+[lock.fields]
+state = "shard"
+queues = "queues"
+
+[counter_keys]
+methods = ["incr"]
+keys_file = "src/keys.rs"
+
+[trace]
+files = ["src/bad.rs"]
+charge_methods = ["charge"]
+emitters = ["trace_event"]
+"#;
+
+const BAD: &str = r#"pub fn f(&self) {
+    let q = self.queues.lock();
+    let st = self.shards[0].state.lock();
+    let t = Instant::now();
+    self.stats.incr("literal.key");
+}
+
+pub fn g(&self) {
+    self.clock.charge(100);
+}
+"#;
+
+const CLEAN: &str = r#"pub fn f(&self) {
+    let st = self.shards[0].state.lock();
+    let q = self.queues.lock();
+    self.stats.incr(keys::GOOD);
+}
+
+pub fn g(&self) {
+    self.clock.charge(100);
+    trace_event(m, k);
+}
+"#;
+
+fn machlint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_machlint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("machlint binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().expect("machlint exits normally"), text)
+}
+
+#[test]
+fn violations_exit_nonzero_with_file_line_spans() {
+    let dir = scratch("machlint-bad");
+    std::fs::write(dir.join("machlint.toml"), CONFIG).expect("config written");
+    std::fs::write(dir.join("lint-baseline.toml"), "[unwraps]\n").expect("baseline written");
+    std::fs::write(dir.join("src/bad.rs"), BAD).expect("source written");
+
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 1, "violations must fail the gate:\n{text}");
+    assert!(
+        text.contains("src/bad.rs:3: [lock-order]"),
+        "lock-order span missing:\n{text}"
+    );
+    assert!(
+        text.contains("src/bad.rs:4: [sim-time]"),
+        "sim-time span missing:\n{text}"
+    );
+    assert!(
+        text.contains("src/bad.rs:5: [counter-key]"),
+        "counter-key span missing:\n{text}"
+    );
+    assert!(
+        text.contains("src/bad.rs:8: [trace-cover]"),
+        "trace-cover span missing:\n{text}"
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let dir = scratch("machlint-clean");
+    std::fs::write(dir.join("machlint.toml"), CONFIG).expect("config written");
+    std::fs::write(dir.join("lint-baseline.toml"), "[unwraps]\n").expect("baseline written");
+    std::fs::write(dir.join("src/bad.rs"), CLEAN).expect("source written");
+
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 0, "clean tree must pass:\n{text}");
+    assert!(text.contains("machlint: clean"), "{text}");
+}
+
+#[test]
+fn panic_budget_ratchets_via_update_baseline() {
+    let dir = scratch("machlint-ratchet");
+    std::fs::write(dir.join("machlint.toml"), CONFIG).expect("config written");
+    std::fs::write(dir.join("lint-baseline.toml"), "[unwraps]\n").expect("baseline written");
+    std::fs::write(
+        dir.join("src/bad.rs"),
+        "pub fn f() { x.unwrap(); y.unwrap(); }\n",
+    )
+    .expect("source written");
+
+    // Over budget: fails.
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("[panic-budget]"), "{text}");
+    assert!(text.contains("has 2 unwrap() calls, budget is 0"), "{text}");
+
+    // Ratchet the baseline, then the same tree passes.
+    let (code, text) = machlint(&dir, &["--update-baseline"]);
+    assert_eq!(code, 0, "{text}");
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 0, "{text}");
+
+    // Improvement: one unwrap converted; the run passes and reminds us
+    // to ratchet down.
+    std::fs::write(
+        dir.join("src/bad.rs"),
+        "pub fn f() { x.expect(\"invariant: x resolved\"); y.unwrap(); }\n",
+    )
+    .expect("source rewritten");
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("below budget"), "{text}");
+
+    // Regression past the budget fails again.
+    std::fs::write(
+        dir.join("src/bad.rs"),
+        "pub fn f() { w.unwrap(); x.unwrap(); y.unwrap(); }\n",
+    )
+    .expect("source rewritten");
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("has 3 unwrap() calls, budget is 2"), "{text}");
+}
+
+#[test]
+fn config_errors_exit_two() {
+    let dir = scratch("machlint-config-error");
+    std::fs::write(
+        dir.join("machlint.toml"),
+        CONFIG.replace("state = \"shard\"", "state = \"sharrd\""),
+    )
+    .expect("config written");
+    std::fs::write(dir.join("lint-baseline.toml"), "[unwraps]\n").expect("baseline written");
+    let (code, text) = machlint(&dir, &[]);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("unknown class"), "{text}");
+}

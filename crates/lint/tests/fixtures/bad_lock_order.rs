@@ -1,0 +1,41 @@
+//! Fixture: lock-order violations. Never compiled — machlint's
+//! integration tests lex it and assert L1 fires on the marked lines.
+
+pub struct Pm;
+
+impl Pm {
+    pub fn out_of_order(&self) {
+        let q = self.queues.lock();
+        let st = self.shards[0].state.lock(); // line 9: queues → shard
+        drop((q, st));
+    }
+
+    pub fn meta_after_queues(&self) {
+        let q = self.queues.lock();
+        let m = frame.meta.lock(); // line 15: queues → frame-meta
+        drop((q, m));
+    }
+
+    pub fn unlisted_same_class(&self) {
+        let a = left.state.lock();
+        let b = right.state.lock(); // line 21: shard → shard, no allow entry
+        drop((a, b));
+    }
+
+    pub fn in_order_is_fine(&self) {
+        let st = self.shards[0].state.lock();
+        let m = frame.meta.lock();
+        let d = frame.data.write();
+        let q = self.queues.lock();
+        drop((st, m, d, q));
+    }
+
+    pub fn scoped_release_is_fine(&self) {
+        {
+            let q = self.queues.lock();
+            drop(q);
+        }
+        let st = self.shards[0].state.lock();
+        drop(st);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: sim-time purity violations. Never compiled — machlint's
+//! integration tests lex it and assert L2 fires on the marked lines.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let start = Instant::now(); // line 7: wall-clock read
+    work();
+    start.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // line 13: SystemTime use
+}
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(10)); // line 17: real sleep
+}
+
+pub fn fine(deadline: Instant) -> bool {
+    // Holding or comparing an Instant handed out by the airlock is fine;
+    // and mentions in comments or strings ("Instant::now()") never fire.
+    let _ = "thread::sleep(Duration::ZERO)";
+    deadline > some_other_instant()
+}

@@ -551,7 +551,7 @@ mod tests {
         let proxy = fabric.proxy(&a, &b, tx);
         fabric.set_partitioned(a.id(), b.id(), true);
         proxy.port().send(Message::new(1), None).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
+        machsim::wall::sleep(Duration::from_millis(50));
         assert!(rx.try_receive().is_none());
         assert_eq!(a.machine().stats.get(machsim::stats::keys::NET_DROPPED), 1);
     }

@@ -565,7 +565,7 @@ mod tests {
             if server.forced_before_data() > 0 {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            machsim::wall::sleep(Duration::from_millis(10));
         }
         assert!(server.forced_before_data() > 0, "log forced before data");
         // The uncommitted update is in the durable segment now, but the

@@ -494,7 +494,7 @@ mod tests {
         task.write_memory(addr, b"dirty page").unwrap();
         client.sync("db").unwrap();
         // The sync triggers a clean_request -> pager_data_write chain.
-        std::thread::sleep(Duration::from_millis(200));
+        machsim::wall::sleep(Duration::from_millis(200));
         let contents = server.fs().read_all("db").unwrap();
         assert_eq!(&contents[..10], b"dirty page");
     }

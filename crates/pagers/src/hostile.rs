@@ -65,7 +65,7 @@ impl DataManager for SlowPager {
         kernel
             .machine()
             .trace_event("pager.hostile", EventKind::Mark("slow_response"));
-        std::thread::sleep(self.delay);
+        machsim::wall::sleep(self.delay);
         kernel.data_provided(
             object,
             offset,
@@ -312,7 +312,7 @@ mod tests {
         let mut b = [0u8; 1];
         t.read_memory(addr, &mut b).unwrap();
         // One fault, eight pages resident: detectable cache pressure.
-        std::thread::sleep(Duration::from_millis(100));
+        machsim::wall::sleep(Duration::from_millis(100));
         assert!(
             k.machine().stats.get(keys::VM_PAGER_FILLS) == 1 && k.phys().resident_pages() >= 8,
             "flood visible: {} resident",

@@ -188,7 +188,7 @@ impl MigrationManager {
                     if object.cluster_hint() == 1 {
                         break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    machsim::wall::sleep(std::time::Duration::from_millis(1));
                 }
                 // Leak the proxy alongside the pager handle so the object
                 // stays reachable for the task's lifetime.

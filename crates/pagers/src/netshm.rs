@@ -369,7 +369,7 @@ impl SharedMemoryServer {
             if self.state.lock().sessions.len() > sessions_before && object.cluster_hint() == 1 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            machsim::wall::sleep(std::time::Duration::from_millis(2));
         }
         Ok(addr)
     }
@@ -604,7 +604,7 @@ mod tests {
             if f() {
                 return true;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            machsim::wall::sleep(Duration::from_millis(10));
         }
         false
     }

@@ -120,7 +120,7 @@ pub fn map_received(task: &Task, msg: &Message) -> Result<(u64, u64), VmError> {
         if object.cluster_hint() == 1 {
             break;
         }
-        std::thread::sleep(std::time::Duration::from_millis(1));
+        machsim::wall::sleep(std::time::Duration::from_millis(1));
     }
     Ok((addr, size))
 }

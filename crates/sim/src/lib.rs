@@ -25,6 +25,7 @@ pub mod rng;
 pub mod stats;
 pub mod topology;
 pub mod trace;
+pub mod wall;
 
 pub use clock::SimClock;
 pub use cost::CostModel;

@@ -202,15 +202,12 @@ mod tests {
         u.close(fd).unwrap();
         u.sync_all().unwrap();
         // Allow the clean request to propagate.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-        loop {
-            let contents = server.fs().read_all("out").unwrap();
-            if &contents[..8] == b"durable?" {
-                break;
-            }
-            assert!(std::time::Instant::now() < deadline, "sync never landed");
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
+        let landed = machsim::wall::poll_until(
+            std::time::Duration::from_secs(2),
+            std::time::Duration::from_millis(10),
+            || &server.fs().read_all("out").unwrap()[..8] == b"durable?",
+        );
+        assert!(landed, "sync never landed");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod fault;
+pub mod lockdep;
 pub mod map;
 pub mod numa;
 pub mod object;

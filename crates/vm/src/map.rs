@@ -680,6 +680,8 @@ impl VmMap {
             .clock
             .charge(self.machine.cost.copy_cost_ns(size));
         self.machine.stats.add(keys::BYTES_COPIED, size);
+        self.machine
+            .trace_event("vm.copy", machsim::EventKind::Mark("vm_read"));
         Ok(out)
     }
 
@@ -708,6 +710,8 @@ impl VmMap {
             .clock
             .charge(self.machine.cost.copy_cost_ns(size));
         self.machine.stats.add(keys::BYTES_COPIED, size);
+        self.machine
+            .trace_event("vm.copy", machsim::EventKind::Mark("vm_write"));
         Ok(())
     }
 
@@ -901,6 +905,8 @@ impl VmMap {
             .clock
             .charge(self.machine.cost.remap_cost_ns(len / ps));
         self.machine.stats.add(keys::PAGES_REMAPPED, len / ps);
+        self.machine
+            .trace_event("vm.copy", machsim::EventKind::Mark("cow_descriptor"));
         Ok(segments)
     }
 
@@ -1006,11 +1012,15 @@ mod tests {
     fn allocate_anywhere_and_touch() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 8192).unwrap();
+        let addr = map
+            .allocate(None, 8192)
+            .expect("allocation inside an empty test map succeeds");
         assert!(addr >= PS);
-        map.access_write(addr, b"hello").unwrap();
+        map.access_write(addr, b"hello")
+            .expect("invariant: page is mapped writable after the fault");
         let mut buf = [0u8; 5];
-        map.access_read(addr, &mut buf).unwrap();
+        map.access_read(addr, &mut buf)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(&buf, b"hello");
     }
 
@@ -1018,7 +1028,9 @@ mod tests {
     fn allocate_fixed_and_overlap_rejected() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(Some(0x10000), 8192).unwrap();
+        let addr = map
+            .allocate(Some(0x10000), 8192)
+            .expect("fixed-address allocation in an empty map succeeds");
         assert_eq!(addr, 0x10000);
         assert_eq!(
             map.allocate(Some(0x10000), PS).unwrap_err(),
@@ -1028,7 +1040,8 @@ mod tests {
             map.allocate(Some(0x11000), PS).unwrap_err(),
             VmError::NoSpace
         );
-        map.allocate(Some(0x12000), PS).unwrap();
+        map.allocate(Some(0x12000), PS)
+            .expect("fixed-address allocation in an empty map succeeds");
     }
 
     #[test]
@@ -1045,9 +1058,13 @@ mod tests {
     fn deallocate_invalidates() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 8192).unwrap();
-        map.access_write(addr, &[1]).unwrap();
-        map.deallocate(addr, 8192).unwrap();
+        let addr = map
+            .allocate(None, 8192)
+            .expect("allocation inside an empty test map succeeds");
+        map.access_write(addr, &[1])
+            .expect("invariant: page is mapped writable after the fault");
+        map.deallocate(addr, 8192)
+            .expect("deallocating a just-allocated range succeeds");
         let mut b = [0u8; 1];
         assert_eq!(
             map.access_read(addr, &mut b).unwrap_err(),
@@ -1059,43 +1076,58 @@ mod tests {
     fn deallocate_middle_splits_entry() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 3 * PS).unwrap();
-        map.deallocate(addr + PS, PS).unwrap();
+        let addr = map
+            .allocate(None, 3 * PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.deallocate(addr + PS, PS)
+            .expect("deallocating a just-allocated range succeeds");
         let regions = map.regions();
         assert_eq!(regions.len(), 2);
         assert_eq!(regions[0].start, addr);
         assert_eq!(regions[0].size, PS);
         assert_eq!(regions[1].start, addr + 2 * PS);
         // Outer pages still usable.
-        map.access_write(addr, &[1]).unwrap();
-        map.access_write(addr + 2 * PS, &[2]).unwrap();
+        map.access_write(addr, &[1])
+            .expect("invariant: page is mapped writable after the fault");
+        map.access_write(addr + 2 * PS, &[2])
+            .expect("invariant: page is mapped writable after the fault");
     }
 
     #[test]
     fn protect_blocks_access() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, PS).unwrap();
-        map.access_write(addr, &[7]).unwrap();
-        map.protect(addr, PS, false, VmProt::READ).unwrap();
+        let addr = map
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.access_write(addr, &[7])
+            .expect("invariant: page is mapped writable after the fault");
+        map.protect(addr, PS, false, VmProt::READ)
+            .expect("protecting a mapped range succeeds");
         let mut b = [0u8; 1];
-        map.access_read(addr, &mut b).unwrap();
+        map.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 7);
         assert_eq!(
             map.access_write(addr, &[8]).unwrap_err(),
             VmError::ProtectionFailure
         );
         // Re-enable and write again.
-        map.protect(addr, PS, false, VmProt::DEFAULT).unwrap();
-        map.access_write(addr, &[8]).unwrap();
+        map.protect(addr, PS, false, VmProt::DEFAULT)
+            .expect("protecting a mapped range succeeds");
+        map.access_write(addr, &[8])
+            .expect("invariant: page is mapped writable after the fault");
     }
 
     #[test]
     fn protect_cannot_exceed_max() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, PS).unwrap();
-        map.protect(addr, PS, true, VmProt::READ).unwrap();
+        let addr = map
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.protect(addr, PS, true, VmProt::READ)
+            .expect("protecting a mapped range succeeds");
         assert_eq!(
             map.protect(addr, PS, false, VmProt::DEFAULT).unwrap_err(),
             VmError::ProtectionFailure
@@ -1106,8 +1138,11 @@ mod tests {
     fn regions_report_attributes() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 2 * PS).unwrap();
-        map.inherit(addr, PS, Inheritance::Share).unwrap();
+        let addr = map
+            .allocate(None, 2 * PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.inherit(addr, PS, Inheritance::Share)
+            .expect("setting inheritance on a mapped range succeeds");
         let regions = map.regions();
         assert_eq!(regions.len(), 2);
         assert_eq!(regions[0].inheritance, Inheritance::Share);
@@ -1119,10 +1154,15 @@ mod tests {
     fn vm_read_write_roundtrip() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 3 * PS).unwrap();
+        let addr = map
+            .allocate(None, 3 * PS)
+            .expect("allocation inside an empty test map succeeds");
         let data: Vec<u8> = (0..2 * PS + 100).map(|i| (i % 251) as u8).collect();
-        map.write(addr + 50, &data).unwrap();
-        let back = map.read(addr + 50, data.len() as u64).unwrap();
+        map.write(addr + 50, &data)
+            .expect("vm_write to a mapped range succeeds");
+        let back = map
+            .read(addr + 50, data.len() as u64)
+            .expect("vm_read of a mapped range succeeds");
         assert_eq!(back, data);
     }
 
@@ -1130,10 +1170,18 @@ mod tests {
     fn vm_copy_within_task() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 2 * PS).unwrap();
-        map.write(addr, b"payload").unwrap();
-        map.copy(addr, 7, addr + PS).unwrap();
-        assert_eq!(map.read(addr + PS, 7).unwrap(), b"payload");
+        let addr = map
+            .allocate(None, 2 * PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.write(addr, b"payload")
+            .expect("vm_write to a mapped range succeeds");
+        map.copy(addr, 7, addr + PS)
+            .expect("vm_copy between mapped ranges succeeds");
+        assert_eq!(
+            map.read(addr + PS, 7)
+                .expect("vm_read of a mapped range succeeds"),
+            b"payload"
+        );
     }
 
     #[test]
@@ -1141,26 +1189,37 @@ mod tests {
         let (m, phys) = setup(64);
         let map = VmMap::new(&phys);
         let pages = 8u64;
-        let src = map.allocate(None, pages * PS).unwrap();
-        let dst = map.allocate(None, pages * PS).unwrap();
+        let src = map
+            .allocate(None, pages * PS)
+            .expect("allocation inside an empty test map succeeds");
+        let dst = map
+            .allocate(None, pages * PS)
+            .expect("allocation inside an empty test map succeeds");
         for i in 0..pages {
-            map.access_write(src + i * PS, &[i as u8 + 1]).unwrap();
+            map.access_write(src + i * PS, &[i as u8 + 1])
+                .expect("invariant: page is mapped writable after the fault");
         }
         let copied0 = m.stats.get(keys::BYTES_COPIED);
-        map.copy_cow(src, pages * PS, dst).unwrap();
+        map.copy_cow(src, pages * PS, dst)
+            .expect("CoW copy between mapped ranges succeeds");
         assert_eq!(m.stats.get(keys::BYTES_COPIED), copied0, "no copy yet");
         // Contents visible through the COW view.
         let mut b = [0u8; 1];
         for i in 0..pages {
-            map.access_read(dst + i * PS, &mut b).unwrap();
+            map.access_read(dst + i * PS, &mut b)
+                .expect("invariant: page is mapped readable after the fault");
             assert_eq!(b[0], i as u8 + 1);
         }
         // Writes are isolated in both directions.
-        map.access_write(dst, &[0xAA]).unwrap();
-        map.access_read(src, &mut b).unwrap();
+        map.access_write(dst, &[0xAA])
+            .expect("invariant: page is mapped writable after the fault");
+        map.access_read(src, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 1);
-        map.access_write(src + PS, &[0xBB]).unwrap();
-        map.access_read(dst + PS, &mut b).unwrap();
+        map.access_write(src + PS, &[0xBB])
+            .expect("invariant: page is mapped writable after the fault");
+        map.access_read(dst + PS, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 2);
         assert!(m.stats.get(keys::VM_COW_COPIES) >= 2);
     }
@@ -1169,7 +1228,9 @@ mod tests {
     fn vm_copy_cow_rejects_overlap_and_misalignment() {
         let (_m, phys) = setup(32);
         let map = VmMap::new(&phys);
-        let a = map.allocate(None, 4 * PS).unwrap();
+        let a = map
+            .allocate(None, 4 * PS)
+            .expect("allocation inside an empty test map succeeds");
         assert_eq!(
             map.copy_cow(a, 2 * PS, a + PS).unwrap_err(),
             VmError::InvalidAddress
@@ -1184,21 +1245,33 @@ mod tests {
     fn fork_copy_is_copy_on_write() {
         let (m, phys) = setup(32);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.access_write(addr, &[1, 2, 3]).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .access_write(addr, &[1, 2, 3])
+            .expect("invariant: page is mapped writable after the fault");
         let child = parent.fork();
         // Both see the original data without copying.
         let mut b = [0u8; 3];
-        child.access_read(addr, &mut b).unwrap();
+        child
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b, [1, 2, 3]);
         assert_eq!(m.stats.get(keys::VM_COW_COPIES), 0);
         // Child write triggers exactly one page copy.
-        child.access_write(addr, &[9]).unwrap();
+        child
+            .access_write(addr, &[9])
+            .expect("invariant: page is mapped writable after the fault");
         assert_eq!(m.stats.get(keys::VM_COW_COPIES), 1);
         // Parent still sees the original.
-        parent.access_read(addr, &mut b).unwrap();
+        parent
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b, [1, 2, 3]);
-        child.access_read(addr, &mut b).unwrap();
+        child
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b, [9, 2, 3]);
     }
 
@@ -1206,16 +1279,26 @@ mod tests {
     fn fork_copy_protects_parent_writes_too() {
         let (m, phys) = setup(32);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.access_write(addr, &[5]).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .access_write(addr, &[5])
+            .expect("invariant: page is mapped writable after the fault");
         let child = parent.fork();
         // Parent writes after fork must not leak into the child.
-        parent.access_write(addr, &[6]).unwrap();
+        parent
+            .access_write(addr, &[6])
+            .expect("invariant: page is mapped writable after the fault");
         assert!(m.stats.get(keys::VM_COW_COPIES) >= 1);
         let mut b = [0u8; 1];
-        child.access_read(addr, &mut b).unwrap();
+        child
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 5);
-        parent.access_read(addr, &mut b).unwrap();
+        parent
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 6);
     }
 
@@ -1223,15 +1306,27 @@ mod tests {
     fn fork_share_is_read_write_shared() {
         let (_m, phys) = setup(32);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.inherit(addr, PS, Inheritance::Share).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .inherit(addr, PS, Inheritance::Share)
+            .expect("setting inheritance on a mapped range succeeds");
         let child = parent.fork();
-        parent.access_write(addr, &[42]).unwrap();
+        parent
+            .access_write(addr, &[42])
+            .expect("invariant: page is mapped writable after the fault");
         let mut b = [0u8; 1];
-        child.access_read(addr, &mut b).unwrap();
+        child
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 42);
-        child.access_write(addr, &[43]).unwrap();
-        parent.access_read(addr, &mut b).unwrap();
+        child
+            .access_write(addr, &[43])
+            .expect("invariant: page is mapped writable after the fault");
+        parent
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 43);
         // The region reports as shared in both.
         assert!(parent.regions()[0].shared);
@@ -1242,8 +1337,12 @@ mod tests {
     fn fork_none_omits_region() {
         let (_m, phys) = setup(16);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.inherit(addr, PS, Inheritance::None).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .inherit(addr, PS, Inheritance::None)
+            .expect("setting inheritance on a mapped range succeeds");
         let child = parent.fork();
         assert!(child.regions().is_empty());
         let mut b = [0u8; 1];
@@ -1257,18 +1356,26 @@ mod tests {
     fn grandchild_copy_chains() {
         let (_m, phys) = setup(32);
         let gen0 = VmMap::new(&phys);
-        let addr = gen0.allocate(None, PS).unwrap();
-        gen0.access_write(addr, &[1]).unwrap();
+        let addr = gen0
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        gen0.access_write(addr, &[1])
+            .expect("invariant: page is mapped writable after the fault");
         let gen1 = gen0.fork();
-        gen1.access_write(addr, &[2]).unwrap();
+        gen1.access_write(addr, &[2])
+            .expect("invariant: page is mapped writable after the fault");
         let gen2 = gen1.fork();
-        gen2.access_write(addr, &[3]).unwrap();
+        gen2.access_write(addr, &[3])
+            .expect("invariant: page is mapped writable after the fault");
         let mut b = [0u8; 1];
-        gen0.access_read(addr, &mut b).unwrap();
+        gen0.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 1);
-        gen1.access_read(addr, &mut b).unwrap();
+        gen1.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 2);
-        gen2.access_read(addr, &mut b).unwrap();
+        gen2.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 3);
     }
 
@@ -1280,12 +1387,13 @@ mod tests {
         let object = VmObject::new_with_pager(4 * PS, pager.clone());
         // Pre-supply so the fault is satisfied without a live manager.
         phys.supply_page(&object, 0, &vec![0xCD; PS as usize], VmProt::NONE)
-            .unwrap();
+            .expect("pre-supplying a page to an empty object succeeds");
         let addr = map
             .allocate_with_object(None, 4 * PS, object, 0, false)
-            .unwrap();
+            .expect("mapping a fresh object into an empty map succeeds");
         let mut b = [0u8; 2];
-        map.access_read(addr, &mut b).unwrap();
+        map.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b, [0xCD, 0xCD]);
         // An unsupplied page triggers a data request and times out.
         map.set_fault_policy(FaultPolicy::abort_after(std::time::Duration::from_millis(
@@ -1305,12 +1413,13 @@ mod tests {
         let map = VmMap::new(&phys);
         let object = VmObject::new_temporary(PS);
         phys.supply_page(&object, 0, &vec![7u8; PS as usize], VmProt::NONE)
-            .unwrap();
+            .expect("pre-supplying a page to an empty object succeeds");
         // Map copy-on-write (the fs_read_file client view).
         let addr = map
             .allocate_with_object(None, PS, object.clone(), 0, true)
-            .unwrap();
-        map.access_write(addr, &[8]).unwrap();
+            .expect("mapping a fresh object into an empty map succeeds");
+        map.access_write(addr, &[8])
+            .expect("invariant: page is mapped writable after the fault");
         // The object's own page is unchanged.
         let crate::resident::PageLookup::Resident { frame, .. } = phys.lookup(object.id(), 0)
         else {
@@ -1318,7 +1427,8 @@ mod tests {
         };
         phys.with_frame(frame, |d| assert_eq!(d[0], 7));
         let mut b = [0u8; 1];
-        map.access_read(addr, &mut b).unwrap();
+        map.access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 8);
     }
 
@@ -1330,13 +1440,15 @@ mod tests {
         let object = VmObject::new_with_pager(PS, pager.clone());
         let id = object.id();
         phys.supply_page(&object, 0, &vec![1u8; PS as usize], VmProt::NONE)
-            .unwrap();
+            .expect("pre-supplying a page to an empty object succeeds");
         let addr = map
             .allocate_with_object(None, PS, object, 0, false)
-            .unwrap();
+            .expect("mapping a fresh object into an empty map succeeds");
         // Dirty the page so termination must clean it.
-        map.access_write(addr, &[9]).unwrap();
-        map.deallocate(addr, PS).unwrap();
+        map.access_write(addr, &[9])
+            .expect("invariant: page is mapped writable after the fault");
+        map.deallocate(addr, PS)
+            .expect("deallocating a just-allocated range succeeds");
         assert_eq!(pager.terminated.lock().as_slice(), &[id]);
         // The dirty page was written back during release.
         assert_eq!(pager.writes.lock().len(), 1);
@@ -1352,11 +1464,12 @@ mod tests {
         object.set_can_persist(true);
         let id = object.id();
         phys.supply_page(&object, 0, &vec![1u8; PS as usize], VmProt::NONE)
-            .unwrap();
+            .expect("pre-supplying a page to an empty object succeeds");
         let addr = map
             .allocate_with_object(None, PS, object, 0, false)
-            .unwrap();
-        map.deallocate(addr, PS).unwrap();
+            .expect("mapping a fresh object into an empty map succeeds");
+        map.deallocate(addr, PS)
+            .expect("deallocating a just-allocated range succeeds");
         // pager_cache advice: pages remain resident.
         assert_eq!(phys.resident_pages_of(id), 1);
     }
@@ -1365,9 +1478,13 @@ mod tests {
     fn statistics_reflect_activity() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 2 * PS).unwrap();
-        map.access_write(addr, &[1]).unwrap();
-        map.access_read(addr, &mut [0u8; 1]).unwrap();
+        let addr = map
+            .allocate(None, 2 * PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.access_write(addr, &[1])
+            .expect("invariant: page is mapped writable after the fault");
+        map.access_read(addr, &mut [0u8; 1])
+            .expect("invariant: page is mapped readable after the fault");
         let st = map.statistics();
         assert_eq!(st.pagesize, PS);
         assert!(st.faults >= 1);
@@ -1382,8 +1499,10 @@ mod tests {
     fn virtual_size_sums_regions() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        map.allocate(None, PS).unwrap();
-        map.allocate(None, 3 * PS).unwrap();
+        map.allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        map.allocate(None, 3 * PS)
+            .expect("allocation inside an empty test map succeeds");
         assert_eq!(map.virtual_size(), 4 * PS);
     }
 
@@ -1391,11 +1510,15 @@ mod tests {
     fn access_crossing_page_boundary() {
         let (_m, phys) = setup(16);
         let map = VmMap::new(&phys);
-        let addr = map.allocate(None, 2 * PS).unwrap();
+        let addr = map
+            .allocate(None, 2 * PS)
+            .expect("allocation inside an empty test map succeeds");
         let data: Vec<u8> = (0..100).collect();
-        map.access_write(addr + PS - 50, &data).unwrap();
+        map.access_write(addr + PS - 50, &data)
+            .expect("invariant: page is mapped writable after the fault");
         let mut back = vec![0u8; 100];
-        map.access_read(addr + PS - 50, &mut back).unwrap();
+        map.access_read(addr + PS - 50, &mut back)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(back, data);
     }
 
@@ -1406,21 +1529,33 @@ mod tests {
         // and collapses into the child's on the next fault.
         let (m, phys) = setup(128);
         let mut current = VmMap::new(&phys);
-        let addr = current.allocate(None, 4 * PS).unwrap();
-        current.access_write(addr, &[0]).unwrap();
-        current.access_write(addr + PS, &[100]).unwrap();
+        let addr = current
+            .allocate(None, 4 * PS)
+            .expect("allocation inside an empty test map succeeds");
+        current
+            .access_write(addr, &[0])
+            .expect("invariant: page is mapped writable after the fault");
+        current
+            .access_write(addr + PS, &[100])
+            .expect("invariant: page is mapped writable after the fault");
         for gen in 1..=10u8 {
             let child = current.fork();
             drop(current);
-            child.access_write(addr, &[gen]).unwrap();
+            child
+                .access_write(addr, &[gen])
+                .expect("invariant: page is mapped writable after the fault");
             current = child;
         }
         // Verify data: page 0 has the last generation's value; page 1 kept
         // the original write through every collapse.
         let mut b = [0u8; 1];
-        current.access_read(addr, &mut b).unwrap();
+        current
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 10);
-        current.access_read(addr + PS, &mut b).unwrap();
+        current
+            .access_read(addr + PS, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 100);
         assert!(
             m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES) >= 5,
@@ -1430,7 +1565,10 @@ mod tests {
         // The chain below the live object is shallow.
         let regions = current.regions();
         let inner = current.inner.lock();
-        let entry = inner.entries.get(&regions[0].start).unwrap();
+        let entry = inner
+            .entries
+            .get(&regions[0].start)
+            .expect("entry exists for the allocated range");
         let (object, _) = entry.backing.resolve();
         drop(inner);
         assert!(
@@ -1446,16 +1584,28 @@ mod tests {
         // referencing shadows and must not collapse.
         let (m, phys) = setup(64);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.access_write(addr, &[1]).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .access_write(addr, &[1])
+            .expect("invariant: page is mapped writable after the fault");
         let child = parent.fork();
-        parent.access_write(addr, &[2]).unwrap();
-        child.access_write(addr, &[3]).unwrap();
+        parent
+            .access_write(addr, &[2])
+            .expect("invariant: page is mapped writable after the fault");
+        child
+            .access_write(addr, &[3])
+            .expect("invariant: page is mapped writable after the fault");
         let collapses = m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES);
         let mut b = [0u8; 1];
-        parent.access_read(addr, &mut b).unwrap();
+        parent
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 2);
-        child.access_read(addr, &mut b).unwrap();
+        child
+            .access_read(addr, &mut b)
+            .expect("invariant: page is mapped readable after the fault");
         assert_eq!(b[0], 3);
         assert_eq!(
             m.stats.get(machsim::stats::keys::VM_SHADOW_COLLAPSES),
@@ -1469,10 +1619,21 @@ mod tests {
         // one task takes place in the sharing map all tasks reference.
         let (_m, phys) = setup(32);
         let parent = VmMap::new(&phys);
-        let addr = parent.allocate(None, PS).unwrap();
-        parent.inherit(addr, PS, Inheritance::Share).unwrap();
+        let addr = parent
+            .allocate(None, PS)
+            .expect("allocation inside an empty test map succeeds");
+        parent
+            .inherit(addr, PS, Inheritance::Share)
+            .expect("setting inheritance on a mapped range succeeds");
         let child = parent.fork();
-        parent.write(addr, b"shared!").unwrap();
-        assert_eq!(child.read(addr, 7).unwrap(), b"shared!");
+        parent
+            .write(addr, b"shared!")
+            .expect("vm_write to a mapped range succeeds");
+        assert_eq!(
+            child
+                .read(addr, 7)
+                .expect("vm_read of a mapped range succeeds"),
+            b"shared!"
+        );
     }
 }

@@ -60,6 +60,7 @@
 //! replicated pages are only written through the policy-aware paths
 //! ([`PhysicalMemory::numa_write_if`], [`PhysicalMemory::copy_to_resident`]).
 
+use crate::lockdep::{ClassMutex, ClassRwLock, LockClass};
 use crate::numa::NumaConfig;
 use crate::object::{ObjectId, PagerBackend, VmObject};
 use crate::pmap::Pmap;
@@ -67,13 +68,14 @@ use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
 use machsim::stats::keys as stat_keys;
 use machsim::trace::keys as trace_keys;
+use machsim::wall;
 use machsim::{Machine, MemoryKind};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Callback invoked when a temporary object first adopts the default
 /// pager (see [`PhysicalMemory::set_adoption_hook`]).
@@ -131,8 +133,8 @@ struct NodeAccess {
 
 /// One physical frame: page data plus its resident page structure.
 struct Frame {
-    data: RwLock<Box<[u8]>>,
-    meta: Mutex<FrameMeta>,
+    data: ClassRwLock<Box<[u8]>>,
+    meta: ClassMutex<FrameMeta>,
     /// Memory node this frame's storage is attached to (fixed at boot).
     home: usize,
     /// Accesses per node since the page was installed (or last migrated):
@@ -159,8 +161,11 @@ struct Frame {
 impl Frame {
     fn new(page_size: usize, home: usize, nodes: usize) -> Self {
         Frame {
-            data: RwLock::new(vec![0u8; page_size].into_boxed_slice()),
-            meta: Mutex::new(FrameMeta::empty()),
+            data: ClassRwLock::new(
+                LockClass::FrameData,
+                vec![0u8; page_size].into_boxed_slice(),
+            ),
+            meta: ClassMutex::new(LockClass::FrameMeta, FrameMeta::empty()),
             home,
             node_stats: (0..nodes).map(|_| NodeAccess::default()).collect(),
             busy: AtomicBool::new(false),
@@ -222,7 +227,7 @@ struct ResidentShard {
 }
 
 struct Shard {
-    state: Mutex<ResidentShard>,
+    state: ClassMutex<ResidentShard>,
     /// Signaled on supply, fill cancellation, unlock or eviction of any
     /// page in this shard.
     event: Condvar,
@@ -323,7 +328,7 @@ pub struct PhysicalMemory {
     alloc_cursor: AtomicUsize,
     frames: Vec<Frame>,
     shards: Vec<Shard>,
-    queues: Mutex<Queues>,
+    queues: ClassMutex<Queues>,
     /// Signaled when frames return to the free queue.
     free_event: Condvar,
     /// Lazy backing store for temporary objects (the default pager).
@@ -400,20 +405,26 @@ impl PhysicalMemory {
                 .collect(),
             shards: (0..SHARD_COUNT)
                 .map(|_| Shard {
-                    state: Mutex::new(ResidentShard {
-                        resident: HashMap::new(),
-                        pending: HashMap::new(),
-                        replicas: HashMap::new(),
-                    }),
+                    state: ClassMutex::new(
+                        LockClass::Shard,
+                        ResidentShard {
+                            resident: HashMap::new(),
+                            pending: HashMap::new(),
+                            replicas: HashMap::new(),
+                        },
+                    ),
                     event: Condvar::new(),
                 })
                 .collect(),
-            queues: Mutex::new(Queues {
-                free,
-                active: VecDeque::new(),
-                inactive: VecDeque::new(),
-                membership: vec![PageQueue::Free; n],
-            }),
+            queues: ClassMutex::new(
+                LockClass::Queues,
+                Queues {
+                    free,
+                    active: VecDeque::new(),
+                    inactive: VecDeque::new(),
+                    membership: vec![PageQueue::Free; n],
+                },
+            ),
             free_event: Condvar::new(),
             default_pager: RwLock::new(None),
             adoption_hook: RwLock::new(None),
@@ -743,7 +754,7 @@ impl PhysicalMemory {
         offset: u64,
         timeout: Option<Duration>,
     ) -> Result<Option<usize>, VmError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(wall::Deadline::after);
         let shard = self.shard(object, offset);
         let mut st = shard.state.lock();
         loop {
@@ -756,15 +767,14 @@ impl PhysicalMemory {
             }
             match deadline {
                 Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
+                    let Some(left) = d.remaining() else {
                         return Err(VmError::Timeout);
-                    }
-                    if shard.event.wait_for(&mut st, d - now).timed_out() {
+                    };
+                    if shard.event.wait_for(st.inner_mut(), left).timed_out() {
                         return Err(VmError::Timeout);
                     }
                 }
-                None => shard.event.wait(&mut st),
+                None => shard.event.wait(st.inner_mut()),
             }
         }
     }
@@ -778,7 +788,7 @@ impl PhysicalMemory {
         want: VmProt,
         timeout: Option<Duration>,
     ) -> Result<usize, VmError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(wall::Deadline::after);
         let shard = self.shard(object, offset);
         let mut st = shard.state.lock();
         loop {
@@ -795,15 +805,14 @@ impl PhysicalMemory {
             }
             match deadline {
                 Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
+                    let Some(left) = d.remaining() else {
                         return Err(VmError::Timeout);
-                    }
-                    if shard.event.wait_for(&mut st, d - now).timed_out() {
+                    };
+                    if shard.event.wait_for(st.inner_mut(), left).timed_out() {
                         return Err(VmError::Timeout);
                     }
                 }
-                None => shard.event.wait(&mut st),
+                None => shard.event.wait(st.inner_mut()),
             }
         }
     }
@@ -880,7 +889,9 @@ impl PhysicalMemory {
             }
             // Wait briefly for frames to return to the free queue.
             let mut q = self.queues.lock();
-            let _ = self.free_event.wait_for(&mut q, Duration::from_millis(5));
+            let _ = self
+                .free_event
+                .wait_for(q.inner_mut(), Duration::from_millis(5));
         }
     }
 
@@ -2229,7 +2240,7 @@ mod tests {
         let p2 = phys.clone();
         let o2 = obj.clone();
         let h = std::thread::spawn(move || p2.await_page(o2.id(), 0, Some(Duration::from_secs(5))));
-        std::thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         phys.supply_page(&obj, 0, &vec![1u8; 4096], VmProt::NONE)
             .unwrap();
         let frame = h.join().unwrap().unwrap().expect("page resident");
@@ -2377,7 +2388,7 @@ mod tests {
         let h = std::thread::spawn(move || {
             p2.await_unlock(o2.id(), 0, VmProt::WRITE, Some(Duration::from_secs(5)))
         });
-        std::thread::sleep(Duration::from_millis(20));
+        machsim::wall::sleep(Duration::from_millis(20));
         phys.lock_range(&obj, 0, 4096, VmProt::NONE);
         h.join().unwrap().unwrap();
     }

@@ -54,7 +54,7 @@ fn main() {
     // and the disk manager forces the log before each page write.
     drop(client);
     drop(task);
-    std::thread::sleep(std::time::Duration::from_millis(200));
+    machsim::wall::sleep(std::time::Duration::from_millis(200));
     println!(
         "WAL forced before data pages: {} times",
         server.forced_before_data()

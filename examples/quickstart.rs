@@ -86,7 +86,7 @@ fn main() {
     task.write_memory(addr, b"hello, external pager!").unwrap();
     task.vm_deallocate(addr, 16 * 4096).unwrap();
     // Give the asynchronous write-back a moment, then report.
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    machsim::wall::sleep(std::time::Duration::from_millis(100));
     let stats = task.vm_statistics();
     println!(
         "vm_statistics: faults={} pageins={} pageouts={} cache hits={}",

@@ -53,15 +53,15 @@ fn main() {
     );
 
     // B rereads: the server demotes A and serves B the fresh data.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let deadline = machsim::wall::Deadline::after(Duration::from_secs(5));
     let mut b = [0u8; 10];
     loop {
         task_b.read_memory(addr_b, &mut b).unwrap();
         if &b == b"A was here" {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "coherence stalled");
-        std::thread::sleep(Duration::from_millis(5));
+        assert!(!deadline.expired(), "coherence stalled");
+        machsim::wall::sleep(Duration::from_millis(5));
     }
     println!("B reads: {:?}", std::str::from_utf8(&b).unwrap());
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Repo-wide lint gate: clippy with warnings denied, plus rustfmt drift.
-# Run before sending a change; CI runs the same two commands.
+# Repo-wide lint gate: clippy with warnings denied, rustfmt drift, bench
+# smoke runs, the lockdep runtime witness, and machlint's static
+# invariants. Run before sending a change; CI runs the same commands.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,4 +21,10 @@ cargo bench -p machbench --bench numa_placement -- --smoke
 echo "==> export smoke (chrome-trace + prometheus round-trip)"
 cargo run -q -p machbench --bin report export-smoke
 
-echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement and export smoke passed."
+echo "==> lockdep witness (stress + NUMA tests model-check the lock hierarchy)"
+cargo test -q --features lockdep --test stress --test numa
+
+echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover)"
+cargo run -q -p machlint -- --workspace
+
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, export smoke, lockdep witness and machlint passed."

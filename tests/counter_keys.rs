@@ -1,78 +1,48 @@
-//! Counter-name drift audit: every counter a real workload produces must
-//! be declared in `machsim::stats::keys::ALL`, so exporters, dashboards
-//! and the introspection protocol never silently miss a renamed key.
+//! Counter-key drift is now prevented statically: machlint's L3 lint
+//! forbids string-literal keys at registry call sites, so every
+//! production counter must flow through a `stats::keys` const. What
+//! remains here is the one regression test tying the two worlds
+//! together: the const table machlint reads out of the keys file must
+//! be exactly the `keys::ALL` table the exporters and the introspection
+//! protocol serve. If they ever disagree, a key exists that one half of
+//! the tooling cannot see.
 
-use machcore::{spawn_manager, DataManager, Kernel, KernelConfig, KernelConn, Task};
-use machipc::OolBuffer;
-use machnet::Fabric;
 use machsim::stats::keys;
-use machvm::VmProt;
-
-const PAGE: u64 = 4096;
-
-struct StampPager;
-
-impl DataManager for StampPager {
-    fn data_request(&mut self, k: &KernelConn, object: u64, offset: u64, length: u64, _a: VmProt) {
-        let data: Vec<u8> = (offset..offset + length)
-            .map(|i| (i / PAGE) as u8)
-            .collect();
-        k.data_provided(object, offset, OolBuffer::from_vec(data), VmProt::NONE);
-    }
-}
+use std::collections::BTreeSet;
+use std::path::Path;
 
 #[test]
-fn all_is_free_of_duplicates() {
-    let mut sorted: Vec<&str> = keys::ALL.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    assert_eq!(sorted.len(), keys::ALL.len(), "duplicate key in keys::ALL");
-}
+fn machlint_and_keys_all_agree_on_the_canonical_key_set() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg_src = std::fs::read_to_string(root.join("machlint.toml"))
+        .expect("machlint.toml exists at the workspace root");
+    let cfg = machlint::config::Config::from_doc(
+        &machlint::toml::parse(&cfg_src).expect("machlint.toml parses"),
+    )
+    .expect("machlint.toml is a valid config");
 
-#[test]
-fn every_live_counter_is_a_declared_key() {
-    // A workload broad enough to touch every subsystem that counts:
-    // external paging, copy-on-write forks under memory pressure (pageout,
-    // default pager), and cross-host messaging.
-    let fabric = Fabric::new();
-    let ha = fabric.add_host("a");
-    let hb = fabric.add_host("b");
-    let kernel = Kernel::boot_on(
-        ha.machine().clone(),
-        KernelConfig {
-            memory_bytes: 24 * 4096,
-            reserve_pages: 4,
-            ..KernelConfig::default()
-        },
+    let keys_src = std::fs::read_to_string(root.join(&cfg.counter_keys.keys_file))
+        .expect("the configured keys_file exists");
+    let extracted: BTreeSet<String> = machlint::extract_key_consts(&keys_src)
+        .into_iter()
+        .map(|(_name, value)| value)
+        .collect();
+    assert!(
+        !extracted.is_empty(),
+        "machlint found no key consts in {} — the extractor or the keys \
+         module changed shape",
+        cfg.counter_keys.keys_file
     );
-    let kernel_b = Kernel::boot_on(hb.machine().clone(), KernelConfig::default());
 
-    let task = Task::create(&kernel, "audit");
-    let mgr = spawn_manager(kernel.machine(), "stamp", StampPager);
-    let pages = 16u64;
-    let addr = task
-        .vm_allocate_with_pager(None, pages * PAGE, mgr.port(), 0)
-        .unwrap();
-    let mut b = [0u8; 1];
-    for p in 0..pages {
-        task.read_memory(addr + p * PAGE, &mut b).unwrap();
-    }
-    // Fork + writes: copy-on-write, shadow chains, pressure, pageout.
-    let child = task.fork("audit-child");
-    for p in 0..pages {
-        child.write_memory(addr + p * PAGE, &[0xEE]).unwrap();
-    }
-    // Cross-host query traffic so net.* counters appear on both hosts.
-    let proxy = fabric.proxy_right(&ha, &hb, kernel_b.host_port().clone());
-    machcore::introspect::query_host_statistics(&proxy).unwrap();
-
-    for machine in [kernel.machine(), kernel_b.machine()] {
-        for (name, _) in machine.stats.snapshot().iter() {
-            assert!(
-                keys::ALL.contains(&name),
-                "counter '{name}' on host {} is not declared in stats::keys::ALL",
-                machine.host()
-            );
-        }
-    }
+    let declared: BTreeSet<String> = keys::ALL.iter().map(|k| k.to_string()).collect();
+    assert_eq!(
+        declared.len(),
+        keys::ALL.len(),
+        "duplicate key in keys::ALL"
+    );
+    assert_eq!(
+        extracted, declared,
+        "machlint's view of the key consts and stats::keys::ALL disagree; \
+         a key was added to one without the other"
+    );
 }

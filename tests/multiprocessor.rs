@@ -27,15 +27,15 @@ fn three_hosts_share_and_migrate() {
     let aa = shm.attach(&ta, &ha).unwrap();
     let ab = shm.attach(&tb, &hb).unwrap();
     ta.write_memory(aa, b"state").unwrap();
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let deadline = machsim::wall::Deadline::after(Duration::from_secs(5));
     let mut buf = [0u8; 5];
     loop {
         tb.read_memory(ab, &mut buf).unwrap();
         if &buf == b"state" {
             break;
         }
-        assert!(std::time::Instant::now() < deadline);
-        std::thread::sleep(Duration::from_millis(5));
+        assert!(!deadline.expired());
+        machsim::wall::sleep(Duration::from_millis(5));
     }
 
     // The worker also has private memory; migrate it to beta.

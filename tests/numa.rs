@@ -213,6 +213,14 @@ fn multithreaded_numa_stress_keeps_data_coherent() {
     phys.check_invariants();
     assert!(m.stats.get(keys::NUMA_REPLICATIONS) > 0);
     assert!(m.stats.get(keys::NUMA_SHOOTDOWNS) > 0);
+    // Under `--features lockdep` the storm doubles as a model check of the
+    // lock hierarchy: any forbidden nesting panics, and the witness must
+    // have order-checked real nested traffic.
+    #[cfg(feature = "lockdep")]
+    assert!(
+        machvm::lockdep::nested_acquisitions() > 0,
+        "lockdep witness saw no nested acquisitions in the NUMA stress"
+    );
 }
 
 struct OffsetPager;

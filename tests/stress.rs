@@ -69,6 +69,15 @@ fn many_threads_fault_one_object_concurrently() {
         0,
         "healthy run flagged by the stall watchdog"
     );
+    // With `--features lockdep` every classified lock acquisition above was
+    // order-checked against the declared hierarchy (panicking on violation);
+    // assert the witness actually saw nested traffic so a silent no-op
+    // build cannot masquerade as a clean run.
+    #[cfg(feature = "lockdep")]
+    assert!(
+        machvm::lockdep::nested_acquisitions() > 0,
+        "lockdep witness saw no nested acquisitions in an 8-thread fault storm"
+    );
 }
 
 #[test]
@@ -156,7 +165,7 @@ fn netshm_random_schedule_converges() {
     // Convergence: every client eventually reads the expected final state.
     for (ci, (t, &a)) in tasks.iter().zip(addrs.iter()).enumerate() {
         for p in 0..pages {
-            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            let deadline = machsim::wall::Deadline::after(Duration::from_secs(10));
             loop {
                 let mut b = [0u8; 1];
                 t.read_memory(a + p * PAGE, &mut b).unwrap();
@@ -164,12 +173,12 @@ fn netshm_random_schedule_converges() {
                     break;
                 }
                 assert!(
-                    std::time::Instant::now() < deadline,
+                    !deadline.expired(),
                     "client {ci} page {p}: saw {} expected {}",
                     b[0],
                     expected[p as usize]
                 );
-                std::thread::sleep(Duration::from_millis(5));
+                machsim::wall::sleep(Duration::from_millis(5));
             }
         }
     }

@@ -82,7 +82,7 @@ fn durable_contents_match_after_sync() {
     let (_k, server, u) = mach();
     run_script(&u, seed);
     // The mapped path flushes asynchronously; poll for convergence.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let deadline = machsim::wall::Deadline::after(std::time::Duration::from_secs(5));
     loop {
         let mut all_equal = true;
         for i in 0..3 {
@@ -100,11 +100,11 @@ fn durable_contents_match_after_sync() {
             break;
         }
         assert!(
-            std::time::Instant::now() < deadline,
+            !deadline.expired(),
             "mapped writes never reached the server filesystem"
         );
         u.sync_all().unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        machsim::wall::sleep(std::time::Duration::from_millis(20));
     }
 }
 

@@ -8,7 +8,7 @@ use machipc::OolBuffer;
 use machsim::stats::keys;
 use machsim::EventKind;
 use machvm::{FaultPolicy, VmProt};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const PAGE: u64 = 4096;
 
@@ -99,9 +99,9 @@ fn healthy_pager_is_never_flagged_even_with_aggressive_threshold() {
         .unwrap();
 
     // Keep faults in flight across many watchdog scan periods.
-    let deadline = Instant::now() + Duration::from_millis(400);
+    let deadline = machsim::wall::Deadline::after(Duration::from_millis(400));
     let mut b = [0u8; 1];
-    while Instant::now() < deadline {
+    while !deadline.expired() {
         for p in 0..pages {
             task.read_memory(addr + p * PAGE, &mut b).unwrap();
             assert_eq!(b[0], 0x5A);
