@@ -156,7 +156,7 @@ impl PagerBackend for IpcPagerBackend {
 
     fn data_request(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt) {
         self.manager.send_notification(
-            Message::new(proto::PAGER_DATA_REQUEST)
+            machipc::slab::message(proto::PAGER_DATA_REQUEST)
                 .with(self.ids(&[object.0, offset, length, desired_access.0 as u64]))
                 .with(MsgItem::SendRights(vec![self.request.clone()])),
         );
@@ -177,7 +177,7 @@ impl PagerBackend for IpcPagerBackend {
         }
         self.laundry.charge(bytes);
         self.manager.send_notification(
-            Message::new(proto::PAGER_DATA_WRITE)
+            machipc::slab::message(proto::PAGER_DATA_WRITE)
                 .with(self.ids(&[object.0, offset]))
                 .with(MsgItem::OutOfLine(data))
                 .with(MsgItem::SendRights(vec![self.request.clone()])),
@@ -186,7 +186,7 @@ impl PagerBackend for IpcPagerBackend {
 
     fn data_unlock(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt) {
         self.manager.send_notification(
-            Message::new(proto::PAGER_DATA_UNLOCK)
+            machipc::slab::message(proto::PAGER_DATA_UNLOCK)
                 .with(self.ids(&[object.0, offset, length, desired_access.0 as u64]))
                 .with(MsgItem::SendRights(vec![self.request.clone()])),
         );

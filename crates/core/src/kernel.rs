@@ -28,6 +28,9 @@ use std::fmt;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
+/// Messages the kernel service and host loops drain per batched receive.
+const KERNEL_SERVICE_BATCH: usize = 32;
+
 /// Boot-time kernel parameters.
 #[derive(Clone, Debug)]
 pub struct KernelConfig {
@@ -360,82 +363,89 @@ impl Kernel {
         registry: Arc<Mutex<Registry>>,
         phys: Arc<PhysicalMemory>,
     ) {
-        loop {
-            let Ok((_from, msg)) = space.receive_default(None) else {
+        // Drain pager traffic in batches: under load a kernel supply
+        // storm queues many small control messages, and one batched
+        // dequeue amortizes the port lock and the receive charge over
+        // all of them.
+        'service: loop {
+            let Ok((_from, batch)) = space.receive_default_many(KERNEL_SERVICE_BATCH, None) else {
                 break;
             };
-            let ids: Vec<u64> = msg
-                .body
-                .iter()
-                .find_map(|i| i.as_u64s())
-                .unwrap_or_default();
-            let object_of = |id: u64| -> Option<Arc<VmObject>> {
-                registry.lock().by_id.get(&id).map(|r| r.object.clone())
-            };
-            match msg.id {
-                proto::PAGER_DATA_PROVIDED => {
-                    if let (Some(obj), Some(data)) =
-                        (object_of(ids[0]), msg.body.iter().find_map(|i| i.as_ool()))
-                    {
-                        // The dequeue above adopted the message's
-                        // correlation id, so the supply (and the
-                        // `data_provided` event it emits) joins the
-                        // originating fault's chain.
-                        phys.machine().trace_event(
-                            "kernel.service",
-                            machsim::EventKind::Mark("kernel_supply"),
-                        );
-                        let lock = VmProt(ids[2] as u8);
-                        let _ = phys.supply_page(&obj, ids[1], data.as_slice(), lock);
-                    }
-                }
-                proto::PAGER_DATA_UNAVAILABLE => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        let ps = phys.page_size() as u64;
-                        let mut page = ids[1];
-                        while page < ids[1] + ids[2] {
-                            let _ = phys.data_unavailable(&obj, page);
-                            page += ps;
+            for msg in batch {
+                let ids: Vec<u64> = msg
+                    .body
+                    .iter()
+                    .find_map(|i| i.as_u64s())
+                    .unwrap_or_default();
+                let object_of = |id: u64| -> Option<Arc<VmObject>> {
+                    registry.lock().by_id.get(&id).map(|r| r.object.clone())
+                };
+                match msg.id {
+                    proto::PAGER_DATA_PROVIDED => {
+                        if let (Some(obj), Some(data)) =
+                            (object_of(ids[0]), msg.body.iter().find_map(|i| i.as_ool()))
+                        {
+                            // The dequeue above adopted the message's
+                            // correlation id, so the supply (and the
+                            // `data_provided` event it emits) joins the
+                            // originating fault's chain.
+                            phys.machine().trace_event(
+                                "kernel.service",
+                                machsim::EventKind::Mark("kernel_supply"),
+                            );
+                            let lock = VmProt(ids[2] as u8);
+                            let _ = phys.supply_page(&obj, ids[1], data.as_slice(), lock);
                         }
                     }
-                }
-                proto::PAGER_DATA_LOCK => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        phys.lock_range(&obj, ids[1], ids[2], VmProt(ids[3] as u8));
+                    proto::PAGER_DATA_UNAVAILABLE => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            let ps = phys.page_size() as u64;
+                            let mut page = ids[1];
+                            while page < ids[1] + ids[2] {
+                                let _ = phys.data_unavailable(&obj, page);
+                                page += ps;
+                            }
+                        }
                     }
-                }
-                proto::PAGER_FLUSH_REQUEST => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        phys.flush_range(&obj, ids[1], ids[2]);
+                    proto::PAGER_DATA_LOCK => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            phys.lock_range(&obj, ids[1], ids[2], VmProt(ids[3] as u8));
+                        }
                     }
-                }
-                proto::PAGER_CLEAN_REQUEST => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        phys.clean_range(&obj, ids[1], ids[2]);
+                    proto::PAGER_FLUSH_REQUEST => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            phys.flush_range(&obj, ids[1], ids[2]);
+                        }
                     }
-                }
-                proto::PAGER_CACHE => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        obj.set_can_persist(ids[1] != 0);
+                    proto::PAGER_CLEAN_REQUEST => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            phys.clean_range(&obj, ids[1], ids[2]);
+                        }
                     }
-                }
-                proto::PAGER_SET_CLUSTER => {
-                    if let Some(obj) = object_of(ids[0]) {
-                        obj.set_cluster_hint(ids[1] as usize);
+                    proto::PAGER_CACHE => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            obj.set_can_persist(ids[1] != 0);
+                        }
                     }
-                }
-                proto::PAGER_RELEASE_LAUNDRY => {
-                    let backend = registry
-                        .lock()
-                        .by_id
-                        .get(&ids[0])
-                        .map(|r| r.backend.clone());
-                    if let Some(b) = backend {
-                        b.laundry().release(ids[1]);
+                    proto::PAGER_SET_CLUSTER => {
+                        if let Some(obj) = object_of(ids[0]) {
+                            obj.set_cluster_hint(ids[1] as usize);
+                        }
                     }
+                    proto::PAGER_RELEASE_LAUNDRY => {
+                        let backend = registry
+                            .lock()
+                            .by_id
+                            .get(&ids[0])
+                            .map(|r| r.backend.clone());
+                        if let Some(b) = backend {
+                            b.laundry().release(ids[1]);
+                        }
+                    }
+                    proto::KERNEL_SHUTDOWN => break 'service,
+                    _ => {}
                 }
-                proto::KERNEL_SHUTDOWN => break,
-                _ => {}
+                machipc::slab::recycle(msg);
             }
         }
     }
@@ -448,32 +458,37 @@ impl Kernel {
         phys: Arc<PhysicalMemory>,
         tasks: TaskRegistry,
     ) {
-        loop {
-            let Ok((_from, msg)) = space.receive_default(None) else {
+        'host: loop {
+            let Ok((_from, batch)) = space.receive_default_many(KERNEL_SERVICE_BATCH, None) else {
                 break;
             };
-            let reply = match msg.id {
-                proto::HOST_STATISTICS => HostStatistics::capture(&machine).encode(),
-                proto::HOST_VM_STATISTICS => {
-                    VmStatisticsSnapshot::capture(&machine, &phys).encode()
+            for msg in batch {
+                let reply = match msg.id {
+                    proto::HOST_STATISTICS => HostStatistics::capture(&machine).encode(),
+                    proto::HOST_VM_STATISTICS => {
+                        VmStatisticsSnapshot::capture(&machine, &phys).encode()
+                    }
+                    proto::HOST_TASK_INFO => {
+                        Self::capture_task_info(&machine, &phys, &tasks).encode()
+                    }
+                    proto::HOST_TRACE_QUERY => {
+                        let args = msg
+                            .body
+                            .iter()
+                            .find_map(|i| i.as_u64s())
+                            .unwrap_or_default();
+                        let correlation = args.first().copied().unwrap_or(0);
+                        let max_events = args.get(1).copied().unwrap_or(256);
+                        TraceQueryReply::capture(&machine, correlation, max_events).encode()
+                    }
+                    proto::KERNEL_SHUTDOWN => break 'host,
+                    _ => continue,
+                };
+                if let Some(reply_to) = &msg.reply {
+                    // Backlog-exempt: a slow client must not wedge the kernel.
+                    reply_to.send_notification(reply);
                 }
-                proto::HOST_TASK_INFO => Self::capture_task_info(&machine, &phys, &tasks).encode(),
-                proto::HOST_TRACE_QUERY => {
-                    let args = msg
-                        .body
-                        .iter()
-                        .find_map(|i| i.as_u64s())
-                        .unwrap_or_default();
-                    let correlation = args.first().copied().unwrap_or(0);
-                    let max_events = args.get(1).copied().unwrap_or(256);
-                    TraceQueryReply::capture(&machine, correlation, max_events).encode()
-                }
-                proto::KERNEL_SHUTDOWN => break,
-                _ => continue,
-            };
-            if let Some(reply_to) = &msg.reply {
-                // Backlog-exempt: a slow client must not wedge the kernel.
-                reply_to.send_notification(reply);
+                machipc::slab::recycle(msg);
             }
         }
     }

@@ -64,7 +64,7 @@ impl KernelConn {
     /// `pager_data_provided`: supplies the kernel with object data.
     pub fn data_provided(&self, object: u64, offset: u64, data: OolBuffer, lock: VmProt) {
         self.send(
-            Message::new(proto::PAGER_DATA_PROVIDED)
+            machipc::slab::message(proto::PAGER_DATA_PROVIDED)
                 .with(MsgItem::u64s(&[object, offset, lock.0 as u64]))
                 .with(MsgItem::OutOfLine(data)),
         );
@@ -72,25 +72,29 @@ impl KernelConn {
 
     /// `pager_data_lock`: restricts access to cached data.
     pub fn data_lock(&self, object: u64, offset: u64, length: u64, lock: VmProt) {
-        self.send(Message::new(proto::PAGER_DATA_LOCK).with(MsgItem::u64s(&[
-            object,
-            offset,
-            length,
-            lock.0 as u64,
-        ])));
+        self.send(
+            machipc::slab::message(proto::PAGER_DATA_LOCK).with(MsgItem::u64s(&[
+                object,
+                offset,
+                length,
+                lock.0 as u64,
+            ])),
+        );
     }
 
     /// `pager_flush_request`: invalidates cached data.
     pub fn flush_request(&self, object: u64, offset: u64, length: u64) {
         self.send(
-            Message::new(proto::PAGER_FLUSH_REQUEST).with(MsgItem::u64s(&[object, offset, length])),
+            machipc::slab::message(proto::PAGER_FLUSH_REQUEST)
+                .with(MsgItem::u64s(&[object, offset, length])),
         );
     }
 
     /// `pager_clean_request`: forces cached data to be written back.
     pub fn clean_request(&self, object: u64, offset: u64, length: u64) {
         self.send(
-            Message::new(proto::PAGER_CLEAN_REQUEST).with(MsgItem::u64s(&[object, offset, length])),
+            machipc::slab::message(proto::PAGER_CLEAN_REQUEST)
+                .with(MsgItem::u64s(&[object, offset, length])),
         );
     }
 
@@ -98,14 +102,15 @@ impl KernelConn {
     /// reference is gone.
     pub fn cache(&self, object: u64, may_cache: bool) {
         self.send(
-            Message::new(proto::PAGER_CACHE).with(MsgItem::u64s(&[object, may_cache as u64])),
+            machipc::slab::message(proto::PAGER_CACHE)
+                .with(MsgItem::u64s(&[object, may_cache as u64])),
         );
     }
 
     /// `pager_data_unavailable`: no data exists for the region.
     pub fn data_unavailable(&self, object: u64, offset: u64, size: u64) {
         self.send(
-            Message::new(proto::PAGER_DATA_UNAVAILABLE)
+            machipc::slab::message(proto::PAGER_DATA_UNAVAILABLE)
                 .with(MsgItem::u64s(&[object, offset, size])),
         );
     }
@@ -113,7 +118,10 @@ impl KernelConn {
     /// Tells the kernel the manager has secured written-back data (the
     /// `vm_deallocate` the protocol expects after `pager_data_write`).
     pub fn release_laundry(&self, object: u64, bytes: u64) {
-        self.send(Message::new(proto::PAGER_RELEASE_LAUNDRY).with(MsgItem::u64s(&[object, bytes])));
+        self.send(
+            machipc::slab::message(proto::PAGER_RELEASE_LAUNDRY)
+                .with(MsgItem::u64s(&[object, bytes])),
+        );
     }
 
     /// Advises the kernel to request at most `pages` pages of this object
@@ -121,7 +129,9 @@ impl KernelConn {
     /// `memory_object_set_attributes`. Managers that track caching per
     /// page per client (coherent shared memory) advise 1.
     pub fn set_cluster(&self, object: u64, pages: u64) {
-        self.send(Message::new(proto::PAGER_SET_CLUSTER).with(MsgItem::u64s(&[object, pages])));
+        self.send(
+            machipc::slab::message(proto::PAGER_SET_CLUSTER).with(MsgItem::u64s(&[object, pages])),
+        );
     }
 
     /// The machine (host) the manager runs on.
@@ -249,6 +259,9 @@ fn u64s_of(msg: &Message) -> Vec<u64> {
         .unwrap_or_default()
 }
 
+/// Messages a pager thread drains from its request port per batch.
+const PAGER_BATCH: usize = 32;
+
 /// Runs one dispatch step; returns `false` on shutdown.
 fn dispatch<M: DataManager>(
     machine: &Machine,
@@ -315,6 +328,9 @@ fn dispatch<M: DataManager>(
         proto::KERNEL_SHUTDOWN => return false,
         _ => {}
     }
+    // Retire the drained message's buffers to the slab so the next
+    // request in the storm allocates nothing.
+    machipc::slab::recycle(msg);
     true
 }
 
@@ -328,11 +344,15 @@ pub fn spawn_manager<M: DataManager>(machine: &Machine, label: &str, mut mgr: M)
     let label = label.to_string();
     let thread = std::thread::Builder::new()
         .name(format!("pager-{label}"))
-        .spawn(move || loop {
-            match rx.receive(None) {
-                Ok(msg) => {
-                    if !dispatch(&machine, &label, &self_port, &mut mgr, msg) {
-                        break;
+        .spawn(move || 'serve: loop {
+            // Batched drain: a paging storm delivers bursts of small
+            // control messages, and one dequeue covers the whole burst.
+            match rx.receive_many(PAGER_BATCH, None) {
+                Ok(batch) => {
+                    for msg in batch {
+                        if !dispatch(&machine, &label, &self_port, &mut mgr, msg) {
+                            break 'serve;
+                        }
                     }
                 }
                 Err(IpcError::PortDied) => break,

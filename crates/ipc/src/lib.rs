@@ -26,6 +26,7 @@
 pub mod error;
 pub mod message;
 pub mod port;
+pub mod slab;
 pub mod space;
 
 pub use error::IpcError;

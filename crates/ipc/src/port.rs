@@ -12,21 +12,76 @@
 //!   receivers are woken with [`IpcError::PortDied`], and death
 //!   notifications are posted to subscribed ports ("tasks holding send
 //!   rights are notified").
+//!
+//! # Concurrency
+//!
+//! A port under heavy multi-core traffic must not serialize every sender
+//! and the receiver behind one mutex, so the queue is *sharded*: each
+//! sending thread hashes to one of [`SHARD_COUNT`] sub-queues and appends
+//! under that shard's lock only; the receiver drains shards round-robin.
+//! Messages from one sender always land in one shard in order, so
+//! per-sender FIFO is preserved; no total order across senders is promised
+//! (none ever was — concurrent senders race to the queue).
+//!
+//! Two lock classes from the declared hierarchy (see `machsim::lockdep`)
+//! cover the port:
+//!
+//! * `port-control` (`PortCore::control`) — death state, death
+//!   subscriptions, port-set wakers, the RPC handoff slot, and the mutex
+//!   both condvars wait on. Blocking paths hold it; fast paths do not.
+//! * `port-shard` (`PortShard::ring`) — one sub-queue. Innermost: may be
+//!   taken while `control` is held (receiver re-scan, destroy drain),
+//!   never the other way around.
+//!
+//! Counters (`depth`, `recv_waiters`, `send_waiters`) are SeqCst atomics
+//! forming a Dekker-style protocol: a sender bumps `depth` *then* reads
+//! `recv_waiters`; a receiver registers as a waiter *then* re-reads
+//! `depth`. Sequential consistency guarantees at least one side observes
+//! the other, so a wakeup is never lost even though the send fast path
+//! takes no lock but its shard. Simulated cost accounting (`charge_send`)
+//! runs outside every queue lock.
 
 use crate::error::IpcError;
 use crate::message::{Message, MsgItem, MSG_ID_PORT_DEATH};
 use crate::IpcContext;
+use machsim::lockdep::{ClassMutex, ClassMutexGuard, LockClass};
 use machsim::stats::keys;
 use machsim::trace::{self, EventKind};
+use machsim::wall::Deadline;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Default queue backlog, matching historical Mach's `PORT_BACKLOG_DEFAULT`.
 pub const DEFAULT_BACKLOG: usize = 5;
+
+/// Sub-queues per port. Senders hash to a shard by thread; the receiver
+/// drains round-robin. Power of two so the hash is a mask.
+pub const SHARD_COUNT: usize = 8;
+const SHARD_MASK: usize = SHARD_COUNT - 1;
+
+/// How long the receiver naps before rescanning when `depth` says a
+/// message exists but no shard has it yet (a sender holds a reservation
+/// it has not pushed). The window is the sender's push critical section,
+/// so one nap almost always suffices.
+const IN_FLIGHT_RESCAN: Duration = Duration::from_micros(100);
+
+static NEXT_SENDER_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Small dense per-thread id assigned on first send: gives each
+    /// sending thread a stable home shard without hashing `ThreadId`
+    /// (whose integer form is not stable API).
+    static SENDER_SLOT: usize = NEXT_SENDER_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's home shard index.
+fn sender_shard() -> usize {
+    SENDER_SLOT.with(|s| *s) & SHARD_MASK
+}
 
 /// Globally unique port identity (kernel-internal; tasks use local names).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,14 +130,20 @@ impl SetWaker {
 
     /// Waits until the generation moves past `seen` or `timeout` expires.
     /// Returns `false` on timeout.
+    ///
+    /// The deadline is computed once up front: a spurious wakeup (or a
+    /// ping for a port that turns out to be empty) resumes waiting for
+    /// the *remainder*, never a fresh full timeout.
     pub(crate) fn wait(&self, seen: u64, timeout: Option<Duration>) -> bool {
+        let deadline = timeout.map(Deadline::after);
         let mut g = self.generation.lock();
         while *g == seen {
-            match timeout {
-                Some(t) => {
-                    if self.cv.wait_for(&mut g, t).timed_out() {
+            match &deadline {
+                Some(d) => {
+                    let Some(left) = d.remaining() else {
                         return *g != seen;
-                    }
+                    };
+                    self.cv.wait_for(&mut g, left);
                 }
                 None => self.cv.wait(&mut g),
             }
@@ -91,24 +152,61 @@ impl SetWaker {
     }
 }
 
-/// Shared state of one port.
-struct PortState {
-    queue: VecDeque<Message>,
-    backlog: usize,
+/// One sub-queue of a port's sharded message queue.
+struct PortShard {
+    ring: ClassMutex<VecDeque<Message>>,
+}
+
+impl PortShard {
+    fn new() -> Self {
+        PortShard {
+            ring: ClassMutex::new(LockClass::PortShard, VecDeque::new()),
+        }
+    }
+}
+
+/// Slow-path state of one port, under the `port-control` lock.
+struct Control {
     dead: bool,
     /// Ports to which a death notification should be posted on destruction.
     death_subs: Vec<Weak<PortCore>>,
-    /// Port-set wakers to ping on message arrival.
-    wakers: Vec<Weak<SetWaker>>,
+    /// Port-set wakers to ping on message arrival. Behind an `Arc` so the
+    /// notify path snapshots the list with a refcount bump, not a clone
+    /// of the vector; dead weaks are pruned on every rebuild.
+    wakers: Arc<Vec<Weak<SetWaker>>>,
+    /// The RPC handoff slot: a message donated directly to a waiting
+    /// receiver, bypassing the shards. Only filled while `depth` was
+    /// zero, so it can never overtake queued messages.
+    handoff: Option<Message>,
 }
 
 /// The kernel object behind both kinds of rights.
 pub(crate) struct PortCore {
     id: PortId,
     ctx: IpcContext,
-    state: Mutex<PortState>,
+    shards: Box<[PortShard]>,
+    /// Queued messages plus senders' transient backlog reservations plus
+    /// an occupied handoff slot. The backlog gate and the receiver's
+    /// "anything in flight?" check both read this.
+    depth: AtomicUsize,
+    backlog: AtomicUsize,
+    control: ClassMutex<Control>,
+    /// Mirror of `control.handoff.is_some()`, so pop paths skip the
+    /// control lock when the slot is empty (the common case).
+    handoff_set: AtomicBool,
+    /// Whether senders may use the handoff fast path at all.
+    handoff_enabled: AtomicBool,
     recv_cv: Condvar,
     send_cv: Condvar,
+    /// Receivers blocked (or about to block) on `recv_cv`.
+    recv_waiters: AtomicUsize,
+    /// Senders blocked (or about to block) on `send_cv`.
+    send_waiters: AtomicUsize,
+    /// Live entries in `control.wakers`; lock-free skip for the common
+    /// no-port-set case.
+    waker_count: AtomicUsize,
+    /// Next shard the receiver's round-robin scan starts from.
+    cursor: AtomicUsize,
     senders: AtomicUsize,
     receiver_alive: AtomicUsize,
 }
@@ -121,22 +219,36 @@ impl fmt::Debug for PortCore {
 
 impl PortCore {
     fn new(ctx: IpcContext) -> Arc<Self> {
+        let shards: Vec<PortShard> = (0..SHARD_COUNT).map(|_| PortShard::new()).collect();
         Arc::new(PortCore {
             id: PortId(NEXT_PORT_ID.fetch_add(1, Ordering::Relaxed)),
             ctx,
-            state: Mutex::new(PortState {
-                queue: VecDeque::new(),
-                backlog: DEFAULT_BACKLOG,
-                dead: false,
-                death_subs: Vec::new(),
-                wakers: Vec::new(),
-            }),
+            shards: shards.into_boxed_slice(),
+            depth: AtomicUsize::new(0),
+            backlog: AtomicUsize::new(DEFAULT_BACKLOG),
+            control: ClassMutex::new(
+                LockClass::PortControl,
+                Control {
+                    dead: false,
+                    death_subs: Vec::new(),
+                    wakers: Arc::new(Vec::new()),
+                    handoff: None,
+                },
+            ),
+            handoff_set: AtomicBool::new(false),
+            handoff_enabled: AtomicBool::new(true),
             recv_cv: Condvar::new(),
             send_cv: Condvar::new(),
+            recv_waiters: AtomicUsize::new(0),
+            send_waiters: AtomicUsize::new(0),
+            waker_count: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
             senders: AtomicUsize::new(0),
             receiver_alive: AtomicUsize::new(1),
         })
     }
+
+    // ----- cost accounting (always outside queue locks) -----
 
     /// Charges simulated cost of moving `msg`, bumps counters, and stamps
     /// the message's trace context (correlation id from the sending
@@ -164,6 +276,75 @@ impl PortCore {
         );
     }
 
+    /// Charges the reduced thread-handoff cost: the payload still moves
+    /// (copy for inline, remap for out-of-line), but queue insertion and
+    /// the scheduler wakeup are replaced by a direct donation to the
+    /// waiting receiver.
+    fn charge_handoff(&self, msg: &mut Message) {
+        let cost = &self.ctx.cost;
+        let inline = msg.inline_len() as u64;
+        let ool_pages = msg.ool_len().div_ceil(4096) as u64;
+        self.ctx
+            .clock
+            .charge(cost.handoff_ns + cost.copy_cost_ns(inline) + cost.remap_cost_ns(ool_pages));
+        self.ctx.hot.msg_sent.incr();
+        self.ctx.hot.ipc_handoffs.incr();
+        self.ctx.hot.bytes_copied.add(inline);
+        self.ctx.stats.add(keys::PAGES_REMAPPED, ool_pages);
+        if msg.correlation == 0 {
+            if let Some(cid) = trace::current_correlation() {
+                msg.correlation = cid.raw();
+            }
+        }
+        msg.sent_at_ns = self.ctx.clock.now_ns();
+        self.ctx.trace_event_with(
+            &self.id.to_string(),
+            EventKind::MsgSend,
+            trace::CorrelationId::from_raw(msg.correlation),
+        );
+    }
+
+    /// Batch variant of [`PortCore::charge_send`]: one clock charge, one
+    /// counter add and one trace event amortized over the whole batch.
+    fn charge_send_batch(&self, msgs: &mut [Message]) {
+        if msgs.is_empty() {
+            return;
+        }
+        let cost = &self.ctx.cost;
+        let mut total_ns = 0u64;
+        let mut bytes = 0u64;
+        let mut pages = 0u64;
+        for m in msgs.iter() {
+            let inline = m.inline_len() as u64;
+            let ool_pages = m.ool_len().div_ceil(4096) as u64;
+            total_ns += cost.message_ns + cost.copy_cost_ns(inline) + cost.remap_cost_ns(ool_pages);
+            bytes += inline;
+            pages += ool_pages;
+        }
+        self.ctx.clock.charge(total_ns);
+        self.ctx.hot.msg_sent.add(msgs.len() as u64);
+        self.ctx.hot.bytes_copied.add(bytes);
+        self.ctx.stats.add(keys::PAGES_REMAPPED, pages);
+        if msgs.len() > 1 {
+            self.ctx.hot.ipc_batches.incr();
+        }
+        let now = self.ctx.clock.now_ns();
+        let ambient = trace::current_correlation();
+        for m in msgs.iter_mut() {
+            if m.correlation == 0 {
+                if let Some(cid) = ambient {
+                    m.correlation = cid.raw();
+                }
+            }
+            m.sent_at_ns = now;
+        }
+        self.ctx.trace_event_with(
+            &self.id.to_string(),
+            EventKind::MsgSend,
+            trace::CorrelationId::from_raw(msgs[0].correlation),
+        );
+    }
+
     /// Receive-side bookkeeping shared by all dequeue paths: counters,
     /// the send-to-receive latency sample, the `MsgRecv` trace event, and
     /// adoption of the message's correlation id by the receiving thread.
@@ -182,81 +363,486 @@ impl PortCore {
         trace::set_current_correlation(cid);
     }
 
-    fn enqueue(&self, mut msg: Message, timeout: Option<Duration>) -> Result<(), IpcError> {
-        let mut st = self.state.lock();
-        if st.dead {
+    /// Batch variant of [`PortCore::finish_recv`]: per-message latency
+    /// samples (they are the data the histograms exist for) but a single
+    /// counter add and a single trace event for the whole batch.
+    fn finish_recv_batch(&self, msgs: &[Message]) {
+        let Some(last) = msgs.last() else { return };
+        self.ctx.hot.msg_received.add(msgs.len() as u64);
+        if msgs.len() > 1 {
+            self.ctx.hot.ipc_batches.incr();
+        }
+        let now = self.ctx.clock.now_ns();
+        for m in msgs {
+            if m.sent_at_ns != 0 {
+                self.ctx.latency.record(
+                    trace::keys::SEND_TO_RECEIVE,
+                    now.saturating_sub(m.sent_at_ns),
+                );
+            }
+        }
+        let cid = trace::CorrelationId::from_raw(last.correlation);
+        self.ctx
+            .trace_event_with(&self.id.to_string(), EventKind::MsgRecv, cid);
+        trace::set_current_correlation(cid);
+    }
+
+    // ----- wakeup plumbing -----
+
+    /// Wakes one blocked receiver, if any. The empty `control` critical
+    /// section is the classic bridge: it serializes with a receiver that
+    /// is between its last queue scan and its condvar enqueue, so the
+    /// notify cannot slip into that window and be lost.
+    fn notify_recv(&self) {
+        if self.recv_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.control.lock());
+            self.recv_cv.notify_one();
+        }
+    }
+
+    /// Wakes one blocked sender, if any (one queue slot freed).
+    fn notify_send(&self) {
+        if self.send_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.control.lock());
+            self.send_cv.notify_one();
+        }
+    }
+
+    /// Wakes every blocked sender (several queue slots freed at once).
+    fn notify_send_all(&self) {
+        if self.send_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.control.lock());
+            self.send_cv.notify_all();
+        }
+    }
+
+    /// Pings registered port-set wakers. Snapshots the list by bumping
+    /// the `Arc` refcount (no per-send `Vec` clone) and prunes dead weak
+    /// entries whenever an upgrade fails, so a port outliving its port
+    /// sets keeps a bounded list.
+    fn notify_wakers(&self) {
+        if self.waker_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let list = {
+            let ctrl = self.control.lock();
+            Arc::clone(&ctrl.wakers)
+        };
+        let mut saw_dead = false;
+        for w in list.iter() {
+            match w.upgrade() {
+                Some(w) => w.ping(),
+                None => saw_dead = true,
+            }
+        }
+        if saw_dead {
+            let mut ctrl = self.control.lock();
+            let pruned: Vec<Weak<SetWaker>> = ctrl
+                .wakers
+                .iter()
+                .filter(|w| w.strong_count() > 0)
+                .cloned()
+                .collect();
+            self.waker_count.store(pruned.len(), Ordering::SeqCst);
+            ctrl.wakers = Arc::new(pruned);
+        }
+    }
+
+    // ----- send path -----
+
+    /// Reserves up to `want` queue slots against the backlog. Returns the
+    /// number granted (possibly zero). Each granted slot is owned by the
+    /// caller until it either pushes a message or undoes the reservation.
+    fn reserve(&self, want: usize) -> usize {
+        let cap = self.backlog.load(Ordering::SeqCst);
+        let prev = self.depth.fetch_add(want, Ordering::SeqCst);
+        if prev >= cap {
+            self.depth.fetch_sub(want, Ordering::SeqCst);
+            return 0;
+        }
+        let granted = want.min(cap - prev);
+        if granted < want {
+            self.depth.fetch_sub(want - granted, Ordering::SeqCst);
+        }
+        granted
+    }
+
+    /// Blocks until a queue slot looks free, the port dies, or the
+    /// deadline passes (`None` deadline = wait forever). `Ok(())` means
+    /// "retry the reservation", not "a slot is guaranteed".
+    fn block_until_room(&self, deadline: Option<&Deadline>) -> Result<(), IpcError> {
+        let mut ctrl = self.control.lock();
+        loop {
+            if ctrl.dead {
+                return Err(IpcError::PortDied);
+            }
+            if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            self.send_waiters.fetch_add(1, Ordering::SeqCst);
+            // Dekker re-check: the receiver decrements `depth` *before*
+            // reading `send_waiters`; we increment `send_waiters` before
+            // re-reading `depth`. One side must see the other, so a pop
+            // concurrent with this registration cannot strand us.
+            if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+                self.send_waiters.fetch_sub(1, Ordering::SeqCst);
+                return Ok(());
+            }
+            let timed_out = match deadline {
+                None => {
+                    self.send_cv.wait(ctrl.inner_mut());
+                    false
+                }
+                Some(d) => match d.remaining() {
+                    None => true,
+                    Some(left) => self.send_cv.wait_for(ctrl.inner_mut(), left).timed_out(),
+                },
+            };
+            self.send_waiters.fetch_sub(1, Ordering::SeqCst);
+            if timed_out {
+                // The deadline passed while we slept, but a death wakeup
+                // may have raced the timeout: prefer the death error (the
+                // port is gone for good, a retry can never succeed), then
+                // room discovered late, then the timeout.
+                if ctrl.dead {
+                    return Err(IpcError::PortDied);
+                }
+                if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                return Err(IpcError::Timeout);
+            }
+        }
+    }
+
+    /// Appends one reserved message to the calling thread's home shard.
+    /// Gives the message back if the port died first (the reservation is
+    /// undone; the caller surfaces `PortDied` and drops the message).
+    fn push(&self, msg: Message) -> Result<(), Message> {
+        let shard = &self.shards[sender_shard()];
+        let mut ring = shard.ring.lock();
+        // Checked *inside* the shard critical section: destroy marks the
+        // port dead before draining each shard, so either we observe the
+        // death here, or destroy's drain (which locks this shard after
+        // us) collects our message. Nothing can be stranded.
+        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+            drop(ring);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(msg);
+        }
+        ring.push_back(msg);
+        Ok(())
+    }
+
+    /// Appends a whole reserved batch under one shard lock acquisition.
+    fn push_batch(&self, batch: Vec<Message>) -> Result<(), IpcError> {
+        let n = batch.len();
+        let shard = &self.shards[sender_shard()];
+        let mut ring = shard.ring.lock();
+        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+            drop(ring);
+            self.depth.fetch_sub(n, Ordering::SeqCst);
+            // `batch` drops here, outside the shard lock; dropping
+            // undelivered messages may recursively destroy carried ports.
             return Err(IpcError::PortDied);
         }
-        while st.queue.len() >= st.backlog {
-            if let Some(t) = timeout {
-                if t.is_zero() {
-                    return Err(IpcError::WouldBlock);
-                }
-                if self.send_cv.wait_for(&mut st, t).timed_out() {
-                    return Err(IpcError::Timeout);
-                }
-            } else {
-                self.send_cv.wait(&mut st);
+        ring.extend(batch);
+        Ok(())
+    }
+
+    /// The handoff fast path: donate `msg` directly to a receiver that is
+    /// already committed to waiting, skipping queue insertion and paying
+    /// the cheaper `handoff_ns` cost. Only legal while the queue is
+    /// completely empty (`depth == 0`), which preserves FIFO: nothing can
+    /// be overtaken. Gives the message back if conditions do not hold.
+    fn try_handoff(&self, msg: Message) -> Result<(), Message> {
+        if !self.handoff_enabled.load(Ordering::Relaxed)
+            || self.recv_waiters.load(Ordering::SeqCst) == 0
+            || self.depth.load(Ordering::SeqCst) != 0
+            || self.handoff_set.load(Ordering::SeqCst)
+        {
+            return Err(msg);
+        }
+        let mut msg = msg;
+        {
+            let mut ctrl = self.control.lock();
+            if ctrl.dead
+                || ctrl.handoff.is_some()
+                || self.recv_waiters.load(Ordering::SeqCst) == 0
+                || self.depth.load(Ordering::SeqCst) != 0
+            {
+                return Err(msg);
             }
-            if st.dead {
-                return Err(IpcError::PortDied);
+            self.depth.fetch_add(1, Ordering::SeqCst);
+            self.charge_handoff(&mut msg);
+            ctrl.handoff = Some(msg);
+            self.handoff_set.store(true, Ordering::SeqCst);
+        }
+        self.recv_cv.notify_one();
+        self.notify_wakers();
+        Ok(())
+    }
+
+    fn enqueue(&self, mut msg: Message, timeout: Option<Duration>) -> Result<(), IpcError> {
+        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+            return Err(IpcError::PortDied);
+        }
+        match self.try_handoff(msg) {
+            Ok(()) => return Ok(()),
+            Err(back) => msg = back,
+        }
+        if self.reserve(1) == 0 {
+            if matches!(timeout, Some(t) if t.is_zero()) {
+                return Err(IpcError::WouldBlock);
+            }
+            // The deadline is computed once, here; every wakeup below
+            // waits only for the remainder. (Computed lazily so the
+            // uncontended fast path never reads the wall clock.)
+            let deadline = timeout.map(Deadline::after);
+            loop {
+                self.block_until_room(deadline.as_ref())?;
+                if self.reserve(1) > 0 {
+                    break;
+                }
             }
         }
         self.charge_send(&mut msg);
-        st.queue.push_back(msg);
-        let wakers = st.wakers.clone();
-        drop(st);
-        self.recv_cv.notify_one();
-        for w in wakers {
-            if let Some(w) = w.upgrade() {
-                w.ping();
-            }
+        if self.push(msg).is_err() {
+            return Err(IpcError::PortDied);
         }
+        self.notify_recv();
+        self.notify_wakers();
         Ok(())
+    }
+
+    /// Batched send: reserves as many backlog slots as fit, pushes that
+    /// many messages under a single shard lock acquisition with a single
+    /// amortized charge, and repeats until everything is sent or the
+    /// port dies / the deadline passes. Returns the number delivered;
+    /// timeout with partial progress reports the partial count rather
+    /// than an error.
+    fn enqueue_many(
+        &self,
+        msgs: Vec<Message>,
+        timeout: Option<Duration>,
+    ) -> Result<usize, IpcError> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+            return Err(IpcError::PortDied);
+        }
+        let deadline = match timeout {
+            Some(t) if !t.is_zero() => Some(Deadline::after(t)),
+            _ => None,
+        };
+        let total = msgs.len();
+        let mut sent = 0usize;
+        let mut iter = msgs.into_iter();
+        while sent < total {
+            let granted = loop {
+                let g = self.reserve(total - sent);
+                if g > 0 {
+                    break g;
+                }
+                if matches!(timeout, Some(t) if t.is_zero()) {
+                    return if sent > 0 {
+                        Ok(sent)
+                    } else {
+                        Err(IpcError::WouldBlock)
+                    };
+                }
+                match self.block_until_room(deadline.as_ref()) {
+                    Ok(()) => {}
+                    Err(IpcError::Timeout) if sent > 0 => return Ok(sent),
+                    Err(e) => return Err(e),
+                }
+            };
+            let mut batch: Vec<Message> = iter.by_ref().take(granted).collect();
+            self.charge_send_batch(&mut batch);
+            self.push_batch(batch)?;
+            sent += granted;
+            self.notify_recv();
+            self.notify_wakers();
+        }
+        Ok(sent)
     }
 
     /// Enqueues a kernel notification, ignoring the backlog limit so the
     /// kernel never blocks on a user queue.
     fn enqueue_notification(&self, mut msg: Message) {
-        let mut st = self.state.lock();
-        if st.dead {
+        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
             return;
         }
+        self.depth.fetch_add(1, Ordering::SeqCst);
         self.charge_send(&mut msg);
-        st.queue.push_back(msg);
-        let wakers = st.wakers.clone();
-        drop(st);
-        self.recv_cv.notify_one();
-        for w in wakers {
-            if let Some(w) = w.upgrade() {
-                w.ping();
+        if self.push(msg).is_err() {
+            return; // Died underneath us; notifications to the dead drop.
+        }
+        self.notify_recv();
+        self.notify_wakers();
+    }
+
+    // ----- receive path -----
+
+    /// Takes the handoff slot if occupied (and within `max_size`).
+    fn take_handoff(
+        &self,
+        ctrl: &mut ClassMutexGuard<'_, Control>,
+        max_size: Option<usize>,
+    ) -> Result<Option<Message>, IpcError> {
+        let Some(m) = ctrl.handoff.as_ref() else {
+            return Ok(None);
+        };
+        if let Some(limit) = max_size {
+            if m.inline_len() + m.ool_len() > limit {
+                return Err(IpcError::MsgTooLarge);
+            }
+        }
+        let taken = ctrl.handoff.take();
+        self.handoff_set.store(false, Ordering::SeqCst);
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        Ok(taken)
+    }
+
+    /// Pops the front of the first non-empty shard, scanning round-robin
+    /// from the cursor. An oversized front (under `max_size`) stays
+    /// queued and reports `MsgTooLarge`, as `msg_receive` specifies.
+    fn pop_shards(&self, max_size: Option<usize>) -> Result<Option<Message>, IpcError> {
+        let start = self.cursor.load(Ordering::Relaxed);
+        for i in 0..SHARD_COUNT {
+            let idx = (start + i) & SHARD_MASK;
+            let mut ring = self.shards[idx].ring.lock();
+            let Some(front) = ring.front() else { continue };
+            if let Some(limit) = max_size {
+                if front.inline_len() + front.ool_len() > limit {
+                    return Err(IpcError::MsgTooLarge);
+                }
+            }
+            let Some(msg) = ring.pop_front() else {
+                continue;
+            };
+            drop(ring);
+            self.cursor.store((idx + 1) & SHARD_MASK, Ordering::Relaxed);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Ok(Some(msg));
+        }
+        Ok(None)
+    }
+
+    /// Non-blocking pop: handoff slot first (it is always the oldest
+    /// in-flight message when occupied), then the shards. Decrements
+    /// `depth` for a popped message; the caller wakes senders and runs
+    /// receive bookkeeping.
+    fn try_pop(&self, max_size: Option<usize>) -> Result<Option<Message>, IpcError> {
+        if self.handoff_set.load(Ordering::SeqCst) {
+            let mut ctrl = self.control.lock();
+            let taken = self.take_handoff(&mut ctrl, max_size)?;
+            drop(ctrl);
+            if taken.is_some() {
+                return Ok(taken);
+            }
+        }
+        self.pop_shards(max_size)
+    }
+
+    /// Pop while already holding the control lock (blocking receive loop).
+    fn pop_ctl(
+        &self,
+        ctrl: &mut ClassMutexGuard<'_, Control>,
+        max_size: Option<usize>,
+    ) -> Result<Option<Message>, IpcError> {
+        if let Some(m) = self.take_handoff(ctrl, max_size)? {
+            return Ok(Some(m));
+        }
+        self.pop_shards(max_size)
+    }
+
+    /// Dequeues one message without receive bookkeeping (callers batch
+    /// or wrap it). The single timed-wait loop serving `receive`,
+    /// `receive_limited` and `receive_many`'s first message:
+    ///
+    /// * the deadline is computed once; wakeups wait for the remainder;
+    /// * on expiry the order of preference is message (it raced in),
+    ///   then `PortDied`, then `Timeout`.
+    fn dequeue_raw(
+        &self,
+        max_size: Option<usize>,
+        timeout: Option<Duration>,
+    ) -> Result<Message, IpcError> {
+        if let Some(m) = self.try_pop(max_size)? {
+            self.notify_send();
+            return Ok(m);
+        }
+        if let Some(t) = timeout {
+            if t.is_zero() {
+                return Err(if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+                    IpcError::PortDied
+                } else {
+                    IpcError::WouldBlock
+                });
+            }
+        }
+        let deadline = timeout.map(Deadline::after);
+        let mut ctrl = self.control.lock();
+        loop {
+            if let Some(m) = self.pop_ctl(&mut ctrl, max_size)? {
+                drop(ctrl);
+                self.notify_send();
+                return Ok(m);
+            }
+            if ctrl.dead {
+                return Err(IpcError::PortDied);
+            }
+            self.recv_waiters.fetch_add(1, Ordering::SeqCst);
+            // Dekker re-check against the lock-free send path: a sender
+            // bumps `depth` before reading `recv_waiters`; we registered
+            // before reading `depth`. If a sender slipped past our scan,
+            // one of us is guaranteed to see the other.
+            let in_flight = self.depth.load(Ordering::SeqCst) > 0;
+            let timed_out = if in_flight {
+                // Something is reserved or queued but our scan missed it
+                // (the sender may not have pushed yet, and may already
+                // have skipped its notify). Nap briefly and rescan rather
+                // than committing to a wait nobody will cut short.
+                match &deadline {
+                    Some(d) if d.remaining().is_none() => true,
+                    _ => {
+                        self.recv_cv.wait_for(ctrl.inner_mut(), IN_FLIGHT_RESCAN);
+                        false
+                    }
+                }
+            } else {
+                match &deadline {
+                    None => {
+                        self.recv_cv.wait(ctrl.inner_mut());
+                        false
+                    }
+                    Some(d) => match d.remaining() {
+                        None => true,
+                        Some(left) => self.recv_cv.wait_for(ctrl.inner_mut(), left).timed_out(),
+                    },
+                }
+            };
+            self.recv_waiters.fetch_sub(1, Ordering::SeqCst);
+            if timed_out {
+                if let Some(m) = self.pop_ctl(&mut ctrl, max_size)? {
+                    drop(ctrl);
+                    self.notify_send();
+                    return Ok(m);
+                }
+                if ctrl.dead {
+                    return Err(IpcError::PortDied);
+                }
+                return Err(IpcError::Timeout);
             }
         }
     }
 
     fn dequeue(&self, timeout: Option<Duration>) -> Result<Message, IpcError> {
-        let mut st = self.state.lock();
-        loop {
-            if let Some(msg) = st.queue.pop_front() {
-                drop(st);
-                self.send_cv.notify_one();
-                self.finish_recv(&msg);
-                return Ok(msg);
-            }
-            if st.dead {
-                return Err(IpcError::PortDied);
-            }
-            if let Some(t) = timeout {
-                if t.is_zero() {
-                    return Err(IpcError::WouldBlock);
-                }
-                if self.recv_cv.wait_for(&mut st, t).timed_out() {
-                    return Err(IpcError::Timeout);
-                }
-            } else {
-                self.recv_cv.wait(&mut st);
-            }
-        }
+        let m = self.dequeue_raw(None, timeout)?;
+        self.finish_recv(&m);
+        Ok(m)
     }
 
     /// Dequeues only if the next message's payload fits `max_size` bytes;
@@ -266,61 +852,75 @@ impl PortCore {
         max_size: usize,
         timeout: Option<Duration>,
     ) -> Result<Message, IpcError> {
-        let mut st = self.state.lock();
-        loop {
-            if let Some(front) = st.queue.front() {
-                if front.inline_len() + front.ool_len() > max_size {
-                    return Err(IpcError::MsgTooLarge);
-                }
-            }
-            // Panic-free pop: `None` simply falls through to the wait
-            // below (the queue cannot shrink while we hold the lock, but
-            // the control flow shouldn't have to rely on that).
-            if let Some(msg) = st.queue.pop_front() {
-                drop(st);
-                self.send_cv.notify_one();
-                self.finish_recv(&msg);
-                return Ok(msg);
-            }
-            if st.dead {
-                return Err(IpcError::PortDied);
-            }
-            if let Some(t) = timeout {
-                if t.is_zero() {
-                    return Err(IpcError::WouldBlock);
-                }
-                if self.recv_cv.wait_for(&mut st, t).timed_out() {
-                    return Err(IpcError::Timeout);
-                }
-            } else {
-                self.recv_cv.wait(&mut st);
+        let m = self.dequeue_raw(Some(max_size), timeout)?;
+        self.finish_recv(&m);
+        Ok(m)
+    }
+
+    /// Batched receive: blocks for the first message like `dequeue`, then
+    /// greedily drains up to `max` more without blocking, with one
+    /// amortized receive charge for the whole batch.
+    fn dequeue_many(
+        &self,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<Message>, IpcError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.dequeue_raw(None, timeout)?;
+        let mut out = Vec::with_capacity(max.min(32));
+        out.push(first);
+        while out.len() < max {
+            match self.try_pop(None) {
+                Ok(Some(m)) => out.push(m),
+                _ => break,
             }
         }
+        self.notify_send_all();
+        self.finish_recv_batch(&out);
+        Ok(out)
     }
 
     fn try_dequeue(&self) -> Option<Message> {
-        let mut st = self.state.lock();
-        let msg = st.queue.pop_front();
-        if let Some(msg) = &msg {
-            drop(st);
-            self.send_cv.notify_one();
-            self.finish_recv(msg);
+        match self.try_pop(None) {
+            Ok(Some(m)) => {
+                self.notify_send();
+                self.finish_recv(&m);
+                Some(m)
+            }
+            _ => None,
         }
-        msg
     }
+
+    // ----- lifecycle -----
 
     fn destroy(&self) {
         let (subs, dropped) = {
-            let mut st = self.state.lock();
-            if st.dead {
+            let mut ctrl = self.control.lock();
+            if ctrl.dead {
                 return;
             }
-            st.dead = true;
-            let subs = std::mem::take(&mut st.death_subs);
-            let dropped: Vec<Message> = st.queue.drain(..).collect();
+            ctrl.dead = true;
+            // Lock-free paths key off this store. It happens before the
+            // drain below, so a sender still inside its shard critical
+            // section either observes the death and backs out, or its
+            // message is collected by the drain (mutex ordering) — never
+            // stranded in a dead port's queue.
+            self.receiver_alive.store(0, Ordering::SeqCst);
+            let subs = std::mem::take(&mut ctrl.death_subs);
+            let mut dropped: Vec<Message> = Vec::new();
+            if let Some(m) = ctrl.handoff.take() {
+                self.handoff_set.store(false, Ordering::SeqCst);
+                dropped.push(m);
+            }
+            for sh in self.shards.iter() {
+                let mut ring = sh.ring.lock();
+                dropped.append(&mut ring.drain(..).collect());
+            }
+            self.depth.fetch_sub(dropped.len(), Ordering::SeqCst);
             (subs, dropped)
         };
-        self.receiver_alive.store(0, Ordering::Release);
         self.recv_cv.notify_all();
         self.send_cv.notify_all();
         // Dropping undelivered messages may destroy rights they carried,
@@ -336,11 +936,10 @@ impl PortCore {
     }
 
     fn status(&self) -> PortStatus {
-        let st = self.state.lock();
         PortStatus {
-            num_msgs: st.queue.len(),
-            backlog: st.backlog,
-            has_receiver: !st.dead,
+            num_msgs: self.depth.load(Ordering::SeqCst),
+            backlog: self.backlog.load(Ordering::SeqCst),
+            has_receiver: self.receiver_alive.load(Ordering::SeqCst) == 1,
             senders: self.senders.load(Ordering::Relaxed),
         }
     }
@@ -381,9 +980,26 @@ impl SendRight {
     /// `msg_send`: queues a message, blocking while the queue is full.
     ///
     /// `timeout = None` waits indefinitely; `Some(0)` never blocks
-    /// (returning [`IpcError::WouldBlock`] when full).
+    /// (returning [`IpcError::WouldBlock`] when full). When a receiver is
+    /// already committed to waiting and the queue is empty, the message
+    /// is donated directly (the handoff fast path) at reduced simulated
+    /// cost.
     pub fn send(&self, msg: Message, timeout: Option<Duration>) -> Result<(), IpcError> {
         self.core.enqueue(msg, timeout)
+    }
+
+    /// Batched `msg_send`: delivers `msgs` in order (they share this
+    /// thread's queue shard), amortizing one lock acquisition and one
+    /// cost charge over each backlog-sized run. Returns how many were
+    /// delivered: all of them, barring port death (`Err(PortDied)`
+    /// with none-or-some delivered) or a timeout (`Err(Timeout)` if
+    /// nothing was sent, `Ok(n < msgs.len())` after partial progress).
+    pub fn send_many(
+        &self,
+        msgs: Vec<Message>,
+        timeout: Option<Duration>,
+    ) -> Result<usize, IpcError> {
+        self.core.enqueue_many(msgs, timeout)
     }
 
     /// Sends a kernel-generated notification, exempt from the backlog.
@@ -397,6 +1013,11 @@ impl SendRight {
 
     /// `msg_rpc`: sends `msg` with a freshly allocated reply port, then
     /// awaits the reply on it.
+    ///
+    /// Both hops ride the handoff fast path when the peer is already
+    /// waiting: the request is donated to a blocked server, and the reply
+    /// is donated back to this (by then blocked) client — the thread
+    ///-donation RPC shape, without a queue transit in either direction.
     pub fn rpc(
         &self,
         msg: Message,
@@ -429,15 +1050,15 @@ impl SendRight {
     /// Registers `notify` to receive a [`MSG_ID_PORT_DEATH`] message when
     /// this port's receive right is destroyed.
     pub fn subscribe_death(&self, notify: &SendRight) {
-        let mut st = self.core.state.lock();
-        if st.dead {
-            drop(st);
+        let mut ctrl = self.core.control.lock();
+        if ctrl.dead {
+            drop(ctrl);
             notify.send_notification(
                 Message::new(MSG_ID_PORT_DEATH).with(MsgItem::u64s(&[self.core.id.0])),
             );
             return;
         }
-        st.death_subs.push(Arc::downgrade(&notify.core));
+        ctrl.death_subs.push(Arc::downgrade(&notify.core));
     }
 
     /// `port_status` fields for this port.
@@ -506,6 +1127,18 @@ impl ReceiveRight {
         self.core.dequeue_limited(max_size, timeout)
     }
 
+    /// Batched `msg_receive`: blocks (up to `timeout`) for the first
+    /// message, then drains up to `max - 1` more that are already
+    /// queued, amortizing the receive bookkeeping over the batch.
+    /// Returns at least one message on success.
+    pub fn receive_many(
+        &self,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<Message>, IpcError> {
+        self.core.dequeue_many(max, timeout)
+    }
+
     /// Non-blocking receive.
     pub fn try_receive(&self) -> Option<Message> {
         self.core.try_dequeue()
@@ -513,11 +1146,17 @@ impl ReceiveRight {
 
     /// `port_set_backlog`: limits queued messages before senders block.
     pub fn set_backlog(&self, backlog: usize) {
-        let mut st = self.core.state.lock();
-        st.backlog = backlog.max(1);
-        drop(st);
-        // A larger backlog may unblock senders.
+        self.core.backlog.store(backlog.max(1), Ordering::SeqCst);
+        // A larger backlog may unblock senders; the empty critical
+        // section pairs with their registration (see `notify_send`).
+        drop(self.core.control.lock());
         self.core.send_cv.notify_all();
+    }
+
+    /// Enables or disables the sender→receiver handoff fast path
+    /// (enabled by default; benchmarks toggle it to measure the gain).
+    pub fn set_handoff(&self, enabled: bool) {
+        self.core.handoff_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// `port_status` fields for this port.
@@ -527,21 +1166,44 @@ impl ReceiveRight {
 
     /// Number of queued messages.
     pub fn queued(&self) -> usize {
-        self.core.state.lock().queue.len()
+        self.core.depth.load(Ordering::SeqCst)
     }
 
-    /// Registers a port-set waker pinged on message arrival.
+    /// Registers a port-set waker pinged on message arrival. Dead weak
+    /// entries are pruned on every rebuild, so the list stays bounded by
+    /// the number of *live* port sets no matter how many have died.
     pub(crate) fn register_waker(&self, waker: &Arc<SetWaker>) {
-        self.core.state.lock().wakers.push(Arc::downgrade(waker));
+        let mut ctrl = self.core.control.lock();
+        let mut v: Vec<Weak<SetWaker>> = ctrl
+            .wakers
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .cloned()
+            .collect();
+        v.push(Arc::downgrade(waker));
+        self.core.waker_count.store(v.len(), Ordering::SeqCst);
+        ctrl.wakers = Arc::new(v);
     }
 
-    /// Removes a previously registered waker.
+    /// Removes a previously registered waker (and any dead entries).
     pub(crate) fn unregister_waker(&self, waker: &Arc<SetWaker>) {
-        self.core
-            .state
-            .lock()
+        let target = Arc::downgrade(waker);
+        let mut ctrl = self.core.control.lock();
+        let v: Vec<Weak<SetWaker>> = ctrl
             .wakers
-            .retain(|w| !w.ptr_eq(&Arc::downgrade(waker)));
+            .iter()
+            .filter(|w| w.strong_count() > 0 && !w.ptr_eq(&target))
+            .cloned()
+            .collect();
+        self.core.waker_count.store(v.len(), Ordering::SeqCst);
+        ctrl.wakers = Arc::new(v);
+    }
+
+    /// Current length of the waker list (test instrumentation for the
+    /// bounded-waker-list guarantee).
+    #[cfg(test)]
+    fn waker_list_len(&self) -> usize {
+        self.core.control.lock().wakers.len()
     }
 }
 
@@ -549,6 +1211,7 @@ impl ReceiveRight {
 mod tests {
     use super::*;
     use crate::message::MsgItem;
+    use machsim::wall;
     use std::thread;
 
     fn ctx() -> IpcContext {
@@ -610,7 +1273,7 @@ mod tests {
         );
         let tx2 = tx.clone();
         let h = thread::spawn(move || tx2.send(Message::new(1), None));
-        machsim::wall::sleep(Duration::from_millis(20));
+        wall::sleep(Duration::from_millis(20));
         assert_eq!(
             rx.receive(None)
                 .expect("invariant: a queued message is receivable")
@@ -645,23 +1308,24 @@ mod tests {
     fn death_wakes_blocked_receiver() {
         let c = ctx();
         let (rx, tx) = ReceiveRight::allocate(&c);
-        let h = thread::spawn(move || rx.receive(None));
-        machsim::wall::sleep(Duration::from_millis(20));
-        drop(tx); // Dropping send right alone must not kill the port.
-        machsim::wall::sleep(Duration::from_millis(20));
-        // Receiver still blocked; now nothing can wake it but death, which
-        // requires dropping rx — owned by the thread. Instead check that a
-        // fresh port's sender sees death when the receive right drops.
-        let (rx2, tx2) = ReceiveRight::allocate(&c);
-        drop(rx2);
+        let core = Arc::clone(&rx.core);
+        let h = thread::spawn(move || {
+            let r = rx.receive(None);
+            drop(rx); // second destroy is a no-op
+            r
+        });
+        wall::sleep(Duration::from_millis(20));
+        drop(tx); // Dropping send rights alone must not kill the port.
+        wall::sleep(Duration::from_millis(20));
+        // Destroying the port must wake the blocked receiver with a death
+        // error, and the thread must actually exit (no leaked waiter).
+        core.destroy();
         assert_eq!(
-            tx2.send(Message::new(0), None).unwrap_err(),
+            h.join()
+                .expect("receiver thread exits cleanly")
+                .unwrap_err(),
             IpcError::PortDied
         );
-        assert!(!tx2.is_alive());
-        // Unblock the first thread by dying: we cannot reach rx here, so
-        // just detach it. (Covered properly in space tests.)
-        drop(h);
     }
 
     #[test]
@@ -673,7 +1337,7 @@ mod tests {
             .expect("send to a live port succeeds");
         let tx2 = tx.clone();
         let h = thread::spawn(move || tx2.send(Message::new(1), None));
-        machsim::wall::sleep(Duration::from_millis(20));
+        wall::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(
             h.join().expect("sender thread exits cleanly").unwrap_err(),
@@ -929,10 +1593,6 @@ mod tests {
 
     // ----- unwrap-audit regression tests -----
     //
-    // Audit result for the non-test code in this module: the only
-    // unwrap-family call was `pop_front().expect("front checked")` in
-    // `dequeue_limited` (provably safe — the front was inspected under
-    // the same lock — but rewritten to a panic-free `if let` anyway).
     // Every user-reachable failure (port death, backlog overflow,
     // timeout, oversized receive) must surface as an `IpcError`, never a
     // panic. The tests below pin each of those paths.
@@ -1002,7 +1662,7 @@ mod tests {
         tx.send(Message::new(0), None)
             .expect("send to a live port succeeds");
         let t = thread::spawn(move || tx.send(Message::new(1), None));
-        machsim::wall::sleep(Duration::from_millis(20));
+        wall::sleep(Duration::from_millis(20));
         drop(rx); // kill the port under the blocked sender
         assert_eq!(
             t.join().expect("sender thread exits cleanly").unwrap_err(),
@@ -1032,5 +1692,325 @@ mod tests {
                 .id,
             7
         );
+    }
+
+    // ----- timeout/deadline regression tests -----
+
+    #[test]
+    fn timed_waits_survive_waker_storm() {
+        // Regression: the old wait loops re-armed the *full* timeout on
+        // every condvar wakeup, so a steady stream of spurious wakeups
+        // (here: deliberate notify_all storms faster than the timeout)
+        // postponed expiry indefinitely. With a deadline computed once,
+        // the waits below must expire on schedule despite the storm.
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        rx.set_backlog(1);
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
+        let core = Arc::clone(&rx.core);
+        let stop = Arc::new(AtomicBool::new(false));
+        let storm = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    drop(core.control.lock());
+                    core.recv_cv.notify_all();
+                    core.send_cv.notify_all();
+                    wall::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        // The storm pings every 5 ms; both timed waits use 60 ms. With
+        // the re-arm bug neither would expire until the storm ends, so a
+        // 1 s watchdog distinguishes the behaviors cleanly.
+        let watchdog = Deadline::after(Duration::from_secs(1));
+        assert_eq!(
+            tx.send(Message::new(1), Some(Duration::from_millis(60)))
+                .unwrap_err(),
+            IpcError::Timeout
+        );
+        rx.receive(None)
+            .expect("invariant: a queued message is receivable");
+        assert_eq!(
+            rx.receive(Some(Duration::from_millis(60))).unwrap_err(),
+            IpcError::Timeout
+        );
+        assert!(
+            !watchdog.expired(),
+            "timed waits kept re-arming under the waker storm"
+        );
+        stop.store(true, Ordering::Relaxed);
+        storm.join().expect("storm thread exits cleanly");
+    }
+
+    #[test]
+    fn death_beats_timeout_on_blocked_receive() {
+        // A receiver whose timed wait expires after the port died must
+        // report PortDied, not Timeout — even when death arrived without
+        // a wakeup (simulated here by flipping the flag directly).
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        let core = Arc::clone(&rx.core);
+        let h = thread::spawn(move || {
+            let r = rx.receive(Some(Duration::from_millis(100)));
+            drop(rx); // destroy is a no-op on the already-dead port
+            r
+        });
+        wall::sleep(Duration::from_millis(20));
+        core.control.lock().dead = true; // silent death: no notify
+        core.receiver_alive.store(0, Ordering::SeqCst);
+        assert_eq!(
+            h.join()
+                .expect("receiver thread exits cleanly")
+                .unwrap_err(),
+            IpcError::PortDied
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn death_beats_timeout_on_blocked_send() {
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        rx.set_backlog(1);
+        tx.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
+        let core = Arc::clone(&rx.core);
+        let tx2 = tx.clone();
+        let h = thread::spawn(move || tx2.send(Message::new(1), Some(Duration::from_millis(100))));
+        wall::sleep(Duration::from_millis(20));
+        core.control.lock().dead = true; // silent death: no notify
+        core.receiver_alive.store(0, Ordering::SeqCst);
+        assert_eq!(
+            h.join().expect("sender thread exits cleanly").unwrap_err(),
+            IpcError::PortDied
+        );
+        // Ordering (b): a timeout on a port that is still alive at expiry
+        // stays a Timeout...
+        let (rx2, tx2) = ReceiveRight::allocate(&c);
+        rx2.set_backlog(1);
+        tx2.send(Message::new(0), None)
+            .expect("send to a live port succeeds");
+        assert_eq!(
+            tx2.send(Message::new(1), Some(Duration::from_millis(10)))
+                .unwrap_err(),
+            IpcError::Timeout
+        );
+        // ...and death after that reports PortDied on the next attempt.
+        drop(rx2);
+        assert_eq!(
+            tx2.send(Message::new(1), Some(Duration::from_millis(10)))
+                .unwrap_err(),
+            IpcError::PortDied
+        );
+    }
+
+    // ----- port-set waker hygiene -----
+
+    #[test]
+    fn dropped_port_sets_keep_waker_list_bounded() {
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        let keeper = Arc::new(SetWaker::default());
+        rx.register_waker(&keeper);
+        for _ in 0..1000 {
+            let w = Arc::new(SetWaker::default());
+            rx.register_waker(&w);
+            drop(w); // the port outlives the port set
+        }
+        // Registration prunes dead entries, so 1000 dead port sets leave
+        // at most the live keeper plus the most recent corpse.
+        assert!(
+            rx.waker_list_len() <= 2,
+            "waker list grew to {}",
+            rx.waker_list_len()
+        );
+        let gen = keeper.generation();
+        tx.send(Message::new(1), None)
+            .expect("send to a live port succeeds");
+        assert!(
+            keeper.wait(gen, Some(Duration::from_secs(1))),
+            "live waker still pinged after mass pruning"
+        );
+        assert!(rx.waker_list_len() <= 2);
+    }
+
+    // ----- sharded queue semantics -----
+
+    #[test]
+    fn sharded_port_preserves_per_sender_fifo_without_loss() {
+        const SENDERS: u32 = 8;
+        const PER_SENDER: u32 = 500;
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        rx.set_backlog(64);
+        thread::scope(|s| {
+            for t in 0..SENDERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER_SENDER {
+                        tx.send(Message::new(t * 10_000 + i), None)
+                            .expect("send to a live port succeeds");
+                    }
+                });
+            }
+            let mut last = [None::<u32>; SENDERS as usize];
+            let mut counts = [0u32; SENDERS as usize];
+            for _ in 0..SENDERS * PER_SENDER {
+                let id = rx
+                    .receive(Some(Duration::from_secs(30)))
+                    .expect("a stormed message arrives within the timeout")
+                    .id;
+                let sender = (id / 10_000) as usize;
+                let seq = id % 10_000;
+                if let Some(prev) = last[sender] {
+                    assert!(
+                        seq > prev,
+                        "sender {sender} delivered {seq} after {prev}: FIFO broken"
+                    );
+                }
+                last[sender] = Some(seq);
+                counts[sender] += 1;
+            }
+            assert_eq!(counts, [PER_SENDER; SENDERS as usize], "messages lost");
+        });
+    }
+
+    // ----- batched send/receive -----
+
+    #[test]
+    fn send_many_receive_many_roundtrip() {
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        rx.set_backlog(128);
+        let batch: Vec<Message> = (0..100).map(Message::new).collect();
+        assert_eq!(
+            tx.send_many(batch, None)
+                .expect("batched send to a roomy queue succeeds"),
+            100
+        );
+        assert_eq!(c.stats.get(machsim::stats::keys::MSG_SENT), 100);
+        let first = rx
+            .receive_many(64, None)
+            .expect("invariant: queued messages are receivable");
+        assert_eq!(first.len(), 64);
+        for (i, m) in first.iter().enumerate() {
+            assert_eq!(m.id, i as u32, "single-sender batch arrives in order");
+        }
+        let rest = rx
+            .receive_many(64, None)
+            .expect("invariant: queued messages are receivable");
+        assert_eq!(rest.len(), 36);
+        assert_eq!(rest[0].id, 64);
+        assert_eq!(c.stats.get(machsim::stats::keys::MSG_RECEIVED), 100);
+        // One batch charge for the send, one per receive_many drain.
+        assert_eq!(c.stats.get(machsim::stats::keys::IPC_BATCHES), 3);
+    }
+
+    #[test]
+    fn send_many_reports_partial_progress_on_full_queue() {
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        rx.set_backlog(4);
+        let batch: Vec<Message> = (0..10).map(Message::new).collect();
+        // Non-blocking batched send delivers what fits and reports it.
+        assert_eq!(
+            tx.send_many(batch, Some(Duration::ZERO))
+                .expect("partial batched send reports progress, not error"),
+            4
+        );
+        assert_eq!(rx.queued(), 4);
+        // An empty batch is trivially complete.
+        assert_eq!(
+            tx.send_many(Vec::new(), None)
+                .expect("empty batch is a no-op"),
+            0
+        );
+    }
+
+    #[test]
+    fn receive_many_empty_port_times_out() {
+        let c = ctx();
+        let (rx, _tx) = ReceiveRight::allocate(&c);
+        assert_eq!(
+            rx.receive_many(8, Some(Duration::from_millis(10)))
+                .unwrap_err(),
+            IpcError::Timeout
+        );
+        assert!(rx
+            .receive_many(0, None)
+            .expect("zero-max receive is a no-op")
+            .is_empty());
+    }
+
+    // ----- handoff fast path -----
+
+    #[test]
+    fn handoff_delivers_to_waiting_receiver() {
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        let core = Arc::clone(&rx.core);
+        let h = thread::spawn(move || {
+            let m = rx.receive(Some(Duration::from_secs(10)));
+            (rx, m)
+        });
+        assert!(
+            wall::poll_until(Duration::from_secs(5), Duration::from_millis(1), || {
+                core.recv_waiters.load(Ordering::SeqCst) > 0
+            }),
+            "receiver never registered as a waiter"
+        );
+        let before = c.clock.now_ns();
+        tx.send(Message::new(7), None)
+            .expect("send to a live port succeeds");
+        let handoff_cost = c.clock.now_ns() - before;
+        let (rx, m) = h.join().expect("receiver thread exits cleanly");
+        assert_eq!(m.expect("handed-off message arrives").id, 7);
+        assert_eq!(c.stats.get(machsim::stats::keys::IPC_HANDOFFS), 1);
+        // The donation must charge less than a full queue transit.
+        assert!(
+            handoff_cost < c.cost.message_ns,
+            "handoff charged {handoff_cost} ns, full message is {} ns",
+            c.cost.message_ns
+        );
+        // Ablation: with handoff disabled the same shape takes the queue
+        // path — message still arrives, but no handoff is counted.
+        rx.set_handoff(false);
+        let core = Arc::clone(&rx.core);
+        let h = thread::spawn(move || {
+            let m = rx.receive(Some(Duration::from_secs(10)));
+            (rx, m)
+        });
+        assert!(
+            wall::poll_until(Duration::from_secs(5), Duration::from_millis(1), || {
+                core.recv_waiters.load(Ordering::SeqCst) > 0
+            }),
+            "receiver never registered as a waiter"
+        );
+        let before = c.clock.now_ns();
+        tx.send(Message::new(8), None)
+            .expect("send to a live port succeeds");
+        let queued_cost = c.clock.now_ns() - before;
+        let (_rx, m) = h.join().expect("receiver thread exits cleanly");
+        assert_eq!(m.expect("queued message arrives").id, 8);
+        assert_eq!(c.stats.get(machsim::stats::keys::IPC_HANDOFFS), 1);
+        assert!(handoff_cost < queued_cost);
+    }
+
+    #[test]
+    fn handoff_never_overtakes_queued_messages() {
+        // A receiver parked behind a non-empty queue must get the queued
+        // messages first: the handoff slot is only used at depth zero, so
+        // FIFO cannot be violated by the fast path.
+        let c = ctx();
+        let (rx, tx) = ReceiveRight::allocate(&c);
+        tx.send(Message::new(1), None)
+            .expect("send to a live port succeeds");
+        tx.send(Message::new(2), None)
+            .expect("send to a live port succeeds");
+        assert_eq!(rx.receive(None).expect("queued message").id, 1);
+        assert_eq!(rx.receive(None).expect("queued message").id, 2);
+        assert_eq!(c.stats.get(machsim::stats::keys::IPC_HANDOFFS), 0);
     }
 }

@@ -344,6 +344,9 @@ impl Drop for ProxyHandle {
 /// Message id used internally to stop a proxy forwarder.
 const PROXY_SHUTDOWN_MSG: u32 = 0x7D1E;
 
+/// Messages a proxy forwarder drains from its local queue per batch.
+const PROXY_BATCH: usize = 32;
+
 impl Fabric {
     /// Creates a proxy on `on` for `target`, whose receiver lives on
     /// `remote`. Every message sent to the returned local port is charged
@@ -361,17 +364,24 @@ impl Fabric {
         let remote = remote.clone();
         let thread = std::thread::Builder::new()
             .name(format!("netmsg-{}-{}", on.name(), remote.name()))
-            .spawn(move || loop {
-                match rx.receive(None) {
-                    Ok(msg) if msg.id == PROXY_SHUTDOWN_MSG => break,
-                    Ok(msg) => {
-                        if fabric.send(&on, &remote, &target, msg, None).is_err() {
-                            // Partitioned or dead target: message dropped,
-                            // exactly like a lost datagram.
-                            on.machine().stats.incr(machsim::stats::keys::NET_DROPPED);
-                        }
-                    }
+            .spawn(move || 'forward: loop {
+                // Drain the local queue in batches: one lock acquisition
+                // and one receive charge cover the whole burst, so a
+                // flood of small messages does not serialize the
+                // forwarder behind per-message queue overhead.
+                let batch = match rx.receive_many(PROXY_BATCH, None) {
+                    Ok(batch) => batch,
                     Err(_) => break,
+                };
+                for msg in batch {
+                    if msg.id == PROXY_SHUTDOWN_MSG {
+                        break 'forward;
+                    }
+                    if fabric.send(&on, &remote, &target, msg, None).is_err() {
+                        // Partitioned or dead target: message dropped,
+                        // exactly like a lost datagram.
+                        on.machine().stats.incr(machsim::stats::keys::NET_DROPPED);
+                    }
                 }
             })
             .expect("spawn proxy forwarder");

@@ -20,6 +20,7 @@ pub mod clock;
 pub mod cost;
 pub mod export;
 pub mod flight;
+pub mod lockdep;
 pub mod machine;
 pub mod rng;
 pub mod stats;

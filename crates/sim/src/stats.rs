@@ -54,6 +54,12 @@ pub mod keys {
     pub const MSG_SENT: &str = "ipc.messages_sent";
     /// IPC messages received.
     pub const MSG_RECEIVED: &str = "ipc.messages_received";
+    /// Messages delivered by direct sender-to-receiver handoff (the RPC
+    /// fast path), skipping the queue entirely.
+    pub const IPC_HANDOFFS: &str = "ipc.handoffs";
+    /// Batched send/receive operations (one `send_many`/`receive_many`
+    /// call moving two or more messages under a single charge).
+    pub const IPC_BATCHES: &str = "ipc.batches";
     /// Network messages between hosts.
     pub const NET_MESSAGES: &str = "net.messages";
     /// Bytes carried over the network fabric.
@@ -122,6 +128,8 @@ pub mod keys {
         DISK_BYTES,
         MSG_SENT,
         MSG_RECEIVED,
+        IPC_HANDOFFS,
+        IPC_BATCHES,
         NET_MESSAGES,
         NET_BYTES,
         VM_FAULTS,
@@ -180,6 +188,10 @@ pub struct HotCounters {
     pub msg_sent: Counter,
     /// [`keys::MSG_RECEIVED`]
     pub msg_received: Counter,
+    /// [`keys::IPC_HANDOFFS`]
+    pub ipc_handoffs: Counter,
+    /// [`keys::IPC_BATCHES`]
+    pub ipc_batches: Counter,
     /// [`keys::DISK_READS`]
     pub disk_reads: Counter,
     /// [`keys::DISK_WRITES`]
@@ -205,6 +217,8 @@ impl HotCounters {
             bytes_copied: registry.counter(keys::BYTES_COPIED),
             msg_sent: registry.counter(keys::MSG_SENT),
             msg_received: registry.counter(keys::MSG_RECEIVED),
+            ipc_handoffs: registry.counter(keys::IPC_HANDOFFS),
+            ipc_batches: registry.counter(keys::IPC_BATCHES),
             disk_reads: registry.counter(keys::DISK_READS),
             disk_writes: registry.counter(keys::DISK_WRITES),
             disk_bytes: registry.counter(keys::DISK_BYTES),

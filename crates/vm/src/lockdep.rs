@@ -1,336 +1,15 @@
-//! Runtime witness for the resident-memory lock hierarchy.
+//! Re-export of the runtime lock-order witness, which lives in
+//! [`machsim::lockdep`] so that `machipc` (which `machvm` depends on) can
+//! classify its port locks against the same hierarchy without a crate
+//! cycle. Everything `machvm` historically exported from this module —
+//! [`LockClass`], [`ClassMutex`], [`ClassRwLock`], [`acquire`],
+//! [`nested_acquisitions`] — resolves to the shared implementation; the
+//! `lockdep` cargo feature forwards to `machsim/lockdep`.
 //!
-//! The fault hot path may nest locks only in the documented order (see the
-//! Concurrency section of [`crate::resident`]):
-//!
-//! ```text
-//! shard table → frame meta → frame data → queues/free-list → NUMA pool
-//! ```
-//!
-//! `machlint`'s L1 lint checks that order *statically* against every
-//! function that nests acquisitions. This module is the dynamic half: with
-//! `--features lockdep`, every classified lock records its acquisition on
-//! a thread-local stack and panics the moment any thread acquires a class
-//! while holding a later-ranked one — so the existing 8-thread fault and
-//! NUMA stress tests double as a model checker for the static hierarchy.
-//! Same-rank nesting is permitted, mirroring the static allowlist's
-//! deliberate bypasses (two shards locked in index order in `rekey_page`,
-//! src→dst frame pairs in `copy_page`/`maybe_migrate`).
-//!
-//! Without the feature, [`acquire`] is a no-op returning a zero-sized
-//! token and the wrappers compile down to the raw `parking_lot` types plus
-//! one dead `u8`, so default builds pay nothing.
+//! [`LockClass`]: machsim::lockdep::LockClass
+//! [`ClassMutex`]: machsim::lockdep::ClassMutex
+//! [`ClassRwLock`]: machsim::lockdep::ClassRwLock
+//! [`acquire`]: machsim::lockdep::acquire
+//! [`nested_acquisitions`]: machsim::lockdep::nested_acquisitions
 
-use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::ops::{Deref, DerefMut};
-
-/// The classes of the declared hierarchy, outermost first.
-///
-/// Keep ranks in sync with the `[lock]` hierarchy in `machlint.toml`; the
-/// static and dynamic checkers must agree on what "later" means.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LockClass {
-    /// A resident-table shard (`Shard::state`).
-    Shard = 0,
-    /// A frame's slow-path metadata (`Frame::meta`).
-    FrameMeta = 1,
-    /// A frame's page bytes (`Frame::data`).
-    FrameData = 2,
-    /// The pageout queues and per-node free lists (`PhysicalMemory::queues`).
-    Queues = 3,
-    /// Reserved for a dedicated per-node pool lock; today the per-node
-    /// free lists live under [`LockClass::Queues`], so nothing acquires
-    /// this rank yet.
-    NumaPool = 4,
-}
-
-impl LockClass {
-    /// Position in the hierarchy; lower ranks must be taken first.
-    pub fn rank(self) -> u8 {
-        self as u8
-    }
-
-    /// The class's name as `machlint.toml` spells it.
-    pub fn name(self) -> &'static str {
-        match self {
-            LockClass::Shard => "shard",
-            LockClass::FrameMeta => "frame-meta",
-            LockClass::FrameData => "frame-data",
-            LockClass::Queues => "queues",
-            LockClass::NumaPool => "numa-pool",
-        }
-    }
-}
-
-#[cfg(feature = "lockdep")]
-mod witness {
-    use super::LockClass;
-    use std::cell::RefCell;
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    thread_local! {
-        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
-    }
-
-    /// Nested (order-checked) acquisitions observed process-wide; lets
-    /// tests assert the witness actually saw traffic.
-    static NESTED_CHECKED: AtomicU64 = AtomicU64::new(0);
-
-    /// RAII record of one classified acquisition.
-    pub struct Held {
-        class: LockClass,
-    }
-
-    /// Validates `class` against everything this thread already holds and
-    /// pushes it onto the thread's held stack.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a held class ranks *after* `class` — an order the
-    /// static hierarchy forbids.
-    pub fn acquire(class: LockClass) -> Held {
-        HELD.with(|h| {
-            let mut held = h.borrow_mut();
-            for &earlier in held.iter() {
-                if earlier.rank() > class.rank() {
-                    panic!(
-                        "lockdep: acquired '{}' (rank {}) while holding '{}' (rank {}); \
-                         the hierarchy is shard → frame-meta → frame-data → queues → numa-pool",
-                        class.name(),
-                        class.rank(),
-                        earlier.name(),
-                        earlier.rank(),
-                    );
-                }
-            }
-            if !held.is_empty() {
-                NESTED_CHECKED.fetch_add(1, Ordering::Relaxed);
-            }
-            held.push(class);
-        });
-        Held { class }
-    }
-
-    impl Drop for Held {
-        fn drop(&mut self) {
-            HELD.with(|h| {
-                let mut held = h.borrow_mut();
-                if let Some(pos) = held.iter().rposition(|&c| c == self.class) {
-                    held.remove(pos);
-                }
-            });
-        }
-    }
-
-    /// Total nested acquisitions the witness has order-checked.
-    pub fn nested_acquisitions() -> u64 {
-        NESTED_CHECKED.load(Ordering::Relaxed)
-    }
-}
-
-#[cfg(feature = "lockdep")]
-pub use witness::{acquire, nested_acquisitions, Held};
-
-#[cfg(not(feature = "lockdep"))]
-mod witness_off {
-    use super::LockClass;
-
-    /// Zero-sized stand-in for the witness token.
-    pub struct Held;
-
-    /// No-op when the `lockdep` feature is disabled.
-    #[inline(always)]
-    pub fn acquire(_class: LockClass) -> Held {
-        Held
-    }
-
-    /// Always zero when the `lockdep` feature is disabled.
-    #[inline(always)]
-    pub fn nested_acquisitions() -> u64 {
-        0
-    }
-}
-
-#[cfg(not(feature = "lockdep"))]
-pub use witness_off::{acquire, nested_acquisitions, Held};
-
-/// A [`Mutex`] tagged with its place in the lock hierarchy.
-pub struct ClassMutex<T: ?Sized> {
-    class: LockClass,
-    inner: Mutex<T>,
-}
-
-/// RAII guard for [`ClassMutex`]; releases the witness record with the lock.
-pub struct ClassMutexGuard<'a, T: ?Sized> {
-    // Field order matters: the real guard must drop before the witness
-    // token so the stack never claims a lock released while still held.
-    guard: MutexGuard<'a, T>,
-    _held: Held,
-}
-
-impl<T> ClassMutex<T> {
-    /// Wraps `value` in a mutex belonging to `class`.
-    pub fn new(class: LockClass, value: T) -> Self {
-        Self {
-            class,
-            inner: Mutex::new(value),
-        }
-    }
-}
-
-impl<T: ?Sized> ClassMutex<T> {
-    /// Acquires the lock, recording the acquisition with the witness.
-    pub fn lock(&self) -> ClassMutexGuard<'_, T> {
-        let held = acquire(self.class);
-        ClassMutexGuard {
-            guard: self.inner.lock(),
-            _held: held,
-        }
-    }
-}
-
-impl<'a, T: ?Sized> ClassMutexGuard<'a, T> {
-    /// The underlying `parking_lot` guard, for `Condvar::wait` and
-    /// friends. The witness keeps the class on the held stack across the
-    /// wait: re-acquisition is same-class, which the hierarchy permits.
-    pub fn inner_mut(&mut self) -> &mut MutexGuard<'a, T> {
-        &mut self.guard
-    }
-}
-
-impl<T: ?Sized> Deref for ClassMutexGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.guard
-    }
-}
-
-impl<T: ?Sized> DerefMut for ClassMutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.guard
-    }
-}
-
-/// An [`RwLock`] tagged with its place in the lock hierarchy.
-pub struct ClassRwLock<T: ?Sized> {
-    class: LockClass,
-    inner: RwLock<T>,
-}
-
-/// RAII read guard for [`ClassRwLock`].
-pub struct ClassReadGuard<'a, T: ?Sized> {
-    guard: RwLockReadGuard<'a, T>,
-    _held: Held,
-}
-
-/// RAII write guard for [`ClassRwLock`].
-pub struct ClassWriteGuard<'a, T: ?Sized> {
-    guard: RwLockWriteGuard<'a, T>,
-    _held: Held,
-}
-
-impl<T> ClassRwLock<T> {
-    /// Wraps `value` in a reader-writer lock belonging to `class`.
-    pub fn new(class: LockClass, value: T) -> Self {
-        Self {
-            class,
-            inner: RwLock::new(value),
-        }
-    }
-}
-
-impl<T: ?Sized> ClassRwLock<T> {
-    /// Acquires shared read access, recording it with the witness.
-    pub fn read(&self) -> ClassReadGuard<'_, T> {
-        let held = acquire(self.class);
-        ClassReadGuard {
-            guard: self.inner.read(),
-            _held: held,
-        }
-    }
-
-    /// Acquires exclusive write access, recording it with the witness.
-    pub fn write(&self) -> ClassWriteGuard<'_, T> {
-        let held = acquire(self.class);
-        ClassWriteGuard {
-            guard: self.inner.write(),
-            _held: held,
-        }
-    }
-}
-
-impl<T: ?Sized> Deref for ClassReadGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.guard
-    }
-}
-
-impl<T: ?Sized> Deref for ClassWriteGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.guard
-    }
-}
-
-impl<T: ?Sized> DerefMut for ClassWriteGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.guard
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn in_order_nesting_is_silent() {
-        let a = ClassMutex::new(LockClass::Shard, 1u32);
-        let b = ClassMutex::new(LockClass::Queues, 2u32);
-        let ga = a.lock();
-        let gb = b.lock();
-        assert_eq!(*ga + *gb, 3);
-    }
-
-    #[test]
-    fn same_class_nesting_is_permitted() {
-        // rekey_page locks two shards (in index order); the witness must
-        // accept same-rank pairs or every deliberate bypass would trip it.
-        let a = ClassMutex::new(LockClass::Shard, ());
-        let b = ClassMutex::new(LockClass::Shard, ());
-        let _ga = a.lock();
-        let _gb = b.lock();
-    }
-
-    #[cfg(feature = "lockdep")]
-    #[test]
-    fn out_of_order_nesting_panics() {
-        let result = std::thread::spawn(|| {
-            let q = ClassMutex::new(LockClass::Queues, ());
-            let s = ClassMutex::new(LockClass::Shard, ());
-            let _gq = q.lock();
-            let _gs = s.lock(); // queues → shard: forbidden
-        })
-        .join();
-        assert!(result.is_err(), "queues → shard must trip the witness");
-    }
-
-    #[cfg(feature = "lockdep")]
-    #[test]
-    fn witness_counts_nested_checks() {
-        let before = nested_acquisitions();
-        let a = ClassMutex::new(LockClass::FrameMeta, ());
-        let b = ClassMutex::new(LockClass::Queues, ());
-        let _ga = a.lock();
-        let _gb = b.lock();
-        assert!(nested_acquisitions() > before);
-    }
-
-    #[test]
-    fn rwlock_guards_deref() {
-        let l = ClassRwLock::new(LockClass::FrameData, vec![1u8, 2]);
-        assert_eq!(l.read()[0], 1);
-        l.write()[1] = 9;
-        assert_eq!(l.read()[1], 9);
-    }
-}
+pub use machsim::lockdep::*;

@@ -18,6 +18,9 @@ cargo bench -p machbench --bench fault_scaling -- --smoke
 echo "==> numa_placement bench (smoke)"
 cargo bench -p machbench --bench numa_placement -- --smoke
 
+echo "==> ipc_scaling bench (smoke: batched vs unbatched, handoff vs enqueue)"
+cargo bench -p machbench --bench ipc_scaling -- --smoke
+
 echo "==> export smoke (chrome-trace + prometheus round-trip)"
 cargo run -q -p machbench --bin report export-smoke
 

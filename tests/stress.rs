@@ -214,3 +214,68 @@ fn port_churn_with_live_traffic() {
         }
     });
 }
+
+#[test]
+fn ipc_storm_exercises_sharded_batched_and_handoff_paths() {
+    // Model-checks the port lock hierarchy (port-control -> port-shard)
+    // under the lockdep witness: mixed batched and single sends from many
+    // threads, batched receives, RPC handoffs and port death all racing.
+    let kernel = Kernel::boot(KernelConfig::default());
+    let machine = kernel.machine().clone();
+    let (rx, tx) = machipc::ReceiveRight::allocate(&machine);
+    rx.set_backlog(256);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(t + 31);
+                for round in 0..200u32 {
+                    if rng.chance(1, 2) {
+                        let batch: Vec<machipc::Message> = (0..8)
+                            .map(|i| machipc::Message::new(round * 8 + i))
+                            .collect();
+                        tx.send_many(batch, None).expect("batched send succeeds");
+                    } else {
+                        for i in 0..8 {
+                            tx.send(machipc::Message::new(round * 8 + i), None)
+                                .expect("send to a live port succeeds");
+                        }
+                    }
+                }
+            });
+        }
+        // An RPC pair on the side keeps the handoff slot hot while the
+        // main port churns.
+        let (srv_rx, srv_tx) = machipc::ReceiveRight::allocate(&machine);
+        s.spawn(move || {
+            while let Ok(req) = srv_rx.receive(None) {
+                if req.id == u32::MAX {
+                    break;
+                }
+                if let Some(reply) = req.reply {
+                    let _ = reply.send(machipc::Message::new(req.id + 1), None);
+                }
+            }
+        });
+        let mut got = 0usize;
+        while got < 4 * 200 * 8 {
+            got += rx
+                .receive_many(32, Some(Duration::from_secs(30)))
+                .expect("stormed messages arrive within the timeout")
+                .len();
+        }
+        for i in 0..50u32 {
+            let resp = srv_tx
+                .rpc(
+                    machipc::Message::new(i),
+                    None,
+                    Some(Duration::from_secs(30)),
+                )
+                .expect("rpc to a live server succeeds");
+            assert_eq!(resp.id, i + 1);
+        }
+        srv_tx
+            .send(machipc::Message::new(u32::MAX), None)
+            .expect("shutdown message reaches the server");
+    });
+}
