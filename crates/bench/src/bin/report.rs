@@ -16,13 +16,90 @@
 //! `chrome-trace` writes the same run as catapult JSON for Perfetto /
 //! `chrome://tracing`, `prom` prints Prometheus text exposition, and
 //! `export-smoke` validates both formats end to end (nonzero exit on
-//! failure; run from `scripts/check.sh`).
+//! failure; run from `scripts/check.sh`). `bench-diff` compares the
+//! freshly written `BENCH_fault.json` against the committed ratchet
+//! baseline (`bench-baseline.toml`) on host-independent metrics only —
+//! scaling ratios and concurrency reach, never absolute ops/sec — and
+//! exits nonzero on regression (also run from `scripts/check.sh`).
 
 use machbench::{
     ablation, camelot_bench, compile, cow_msg, export_report, failure, ipc_bench, migration,
     netshm_bench, numa_placement, pageout, pager_rt, remote_cow, shared_array, topology_bench,
     trace_report,
 };
+
+/// Scans `text` for `"key": <number>` after byte offset `from` and
+/// returns (value, offset past the match). Tiny on-purpose: the bench
+/// JSON is written by our own benches, not arbitrary input.
+fn json_num(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    let value: f64 = rest[..end].parse().ok()?;
+    Some((value, at))
+}
+
+/// Reads `key = <number>` from a flat TOML section body.
+fn toml_num(section: &str, key: &str) -> Option<f64> {
+    for line in section.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix(key) {
+            if let Some(v) = rest.trim_start().strip_prefix('=') {
+                return v.split('#').next()?.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// The ratchet gate: every smoke-measured metric listed in the committed
+/// baseline must still clear its floor. Floors are host-independent
+/// (ratios, concurrency reach), so a slow CI box cannot fail the gate and
+/// a fast one cannot mask a regression.
+fn bench_diff() -> Result<(), String> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let json = std::fs::read_to_string(format!("{root}/BENCH_fault.json"))
+        .map_err(|e| format!("BENCH_fault.json not found (run the bench first): {e}"))?;
+    let baseline = std::fs::read_to_string(format!("{root}/bench-baseline.toml"))
+        .map_err(|e| format!("bench-baseline.toml missing: {e}"))?;
+    let section = baseline
+        .split("[fault_concurrency]")
+        .nth(1)
+        .ok_or("baseline has no [fault_concurrency] section")?;
+
+    let (scaling, _) = json_num(&json, "scaling_64_to_4096", 0)
+        .ok_or("BENCH_fault.json has no scaling_64_to_4096")?;
+    let min_scaling = toml_num(section, "min_scaling_64_to_4096")
+        .ok_or("baseline has no min_scaling_64_to_4096")?;
+
+    // max_outstanding of the sweep level whose budget is 4096.
+    let at = json
+        .find("\"outstanding_budget\": 4096")
+        .ok_or("BENCH_fault.json has no 4096-budget sweep level")?;
+    let (reach, _) =
+        json_num(&json, "max_outstanding", at).ok_or("4096 level has no max_outstanding")?;
+    let min_reach = toml_num(section, "min_outstanding_at_4096")
+        .ok_or("baseline has no min_outstanding_at_4096")?;
+
+    println!("bench-diff: fault_concurrency vs committed baseline");
+    println!("  scaling 64->4096:      {scaling:.2}x  (floor {min_scaling:.2}x)");
+    println!("  outstanding @4096:     {reach:.0}  (floor {min_reach:.0})");
+    if scaling < min_scaling {
+        return Err(format!(
+            "faults/sec scaling regressed: {scaling:.2}x < baseline floor {min_scaling:.2}x"
+        ));
+    }
+    if reach < min_reach {
+        return Err(format!(
+            "outstanding-fault reach regressed: {reach:.0} < baseline floor {min_reach:.0}"
+        ));
+    }
+    println!("bench-diff OK");
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +127,13 @@ fn main() {
                 "{}",
                 numa_placement::table(&numa_placement::run_default()).render()
             );
+            return;
+        }
+        Some("bench-diff") => {
+            if let Err(e) = bench_diff() {
+                eprintln!("bench-diff FAILED: {e}");
+                std::process::exit(1);
+            }
             return;
         }
         Some("export-smoke") => match export_report::smoke() {

@@ -15,7 +15,7 @@
 use crate::proto;
 use machipc::{Message, MsgItem, OolBuffer, SendRight};
 use machsim::Machine;
-use machvm::{ObjectId, PagerBackend, VmProt};
+use machvm::{ObjectId, PagerBackend, PagerRequest, VmProt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, Weak};
 
@@ -160,6 +160,29 @@ impl PagerBackend for IpcPagerBackend {
                 .with(self.ids(&[object.0, offset, length, desired_access.0 as u64]))
                 .with(MsgItem::SendRights(vec![self.request.clone()])),
         );
+    }
+
+    fn data_request_many(&self, object: ObjectId, runs: &[PagerRequest]) {
+        // The deep batch: every queued run for this (pager, object) pair
+        // travels in one `send_many` — one port lock round, one receiver
+        // wakeup — instead of a message per faulting page. Each message
+        // still carries its own fault's correlation id, so per-fault
+        // causal chains survive the coalescing.
+        let msgs: Vec<Message> = runs
+            .iter()
+            .map(|r| {
+                let mut m = machipc::slab::message(proto::PAGER_DATA_REQUEST)
+                    .with(self.ids(&[object.0, r.offset, r.length, r.access.0 as u64]))
+                    .with(MsgItem::SendRights(vec![self.request.clone()]));
+                m.correlation = r.correlation;
+                m
+            })
+            .collect();
+        self.manager.send_many_notification(msgs);
+    }
+
+    fn is_alive(&self) -> bool {
+        self.manager.is_alive()
     }
 
     fn data_write(&self, object: ObjectId, offset: u64, data: OolBuffer) {

@@ -20,7 +20,8 @@ use machsim::stats::keys as stat_keys;
 use machsim::{CorrelationId, CostModel, EventKind, Machine};
 use machstorage::{BlockDevice, BLOCK_SIZE};
 use machvm::{
-    FaultPolicy, NumaConfig, ObjectId, PagerBackend, PhysicalMemory, VmMap, VmObject, VmProt,
+    FaultEngine, FaultEngineConfig, FaultPolicy, NumaConfig, ObjectId, PagerBackend,
+    PhysicalMemory, VmMap, VmObject, VmProt,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -62,6 +63,16 @@ pub struct KernelConfig {
     /// NUMA memory placement: node count and policies (single node, no
     /// policies by default).
     pub numa: NumaConfig,
+    /// Whether to run the continuation-based asynchronous fault engine:
+    /// faults that miss park their state in a bounded table instead of
+    /// blocking a thread, and pager requests batch per (pager, object).
+    pub async_faults: bool,
+    /// Bound on simultaneously parked fault continuations (the
+    /// outstanding-fault budget); submitters briefly block when full.
+    pub fault_table_capacity: usize,
+    /// Per-pager cap on requested-but-unanswered pages; request runs
+    /// beyond it are deferred inside the kernel until completions drain.
+    pub pager_inflight_pages: usize,
 }
 
 /// Default read-fault cluster size, in pages: one `pager_data_request`
@@ -105,6 +116,9 @@ impl Default for KernelConfig {
             watchdog: true,
             watchdog_stall_ns: DEFAULT_WATCHDOG_STALL_NS,
             numa: NumaConfig::single(),
+            async_faults: true,
+            fault_table_capacity: 4096,
+            pager_inflight_pages: 1024,
         }
     }
 }
@@ -157,6 +171,8 @@ pub struct Kernel {
     host_service: Mutex<Option<JoinHandle<()>>>,
     watchdog: Mutex<Option<JoinHandle<()>>>,
     watchdog_stop: Arc<std::sync::atomic::AtomicBool>,
+    /// The continuation-based async fault engine, when enabled.
+    fault_engine: Option<Arc<FaultEngine>>,
     tasks: TaskRegistry,
     /// Round-robin cursor handing each new task a home memory node.
     next_node: std::sync::atomic::AtomicUsize,
@@ -256,6 +272,24 @@ impl Kernel {
         let (_host_name, host_port) = Self::register_request_port(&host_space, &machine);
         let tasks: TaskRegistry = Arc::new(Mutex::new(Vec::new()));
 
+        // The continuation-based fault engine: once attached, every
+        // `resolve_page` miss parks in its bounded table instead of
+        // blocking the faulting thread, and pager requests batch per
+        // (pager, object) over `send_many`.
+        let fault_engine = if config.async_faults {
+            let engine = FaultEngine::start(
+                phys.clone(),
+                FaultEngineConfig {
+                    capacity: config.fault_table_capacity.max(1),
+                    pager_inflight_pages: config.pager_inflight_pages.max(1),
+                },
+            );
+            phys.set_fault_engine(&engine);
+            Some(engine)
+        } else {
+            None
+        };
+
         let kernel = Arc::new(Kernel {
             machine: machine.clone(),
             phys: phys.clone(),
@@ -274,6 +308,7 @@ impl Kernel {
             host_service: Mutex::new(None),
             watchdog: Mutex::new(None),
             watchdog_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            fault_engine,
             tasks: tasks.clone(),
             next_node: std::sync::atomic::AtomicUsize::new(0),
         });
@@ -674,6 +709,11 @@ impl Kernel {
         self.fault_policy
     }
 
+    /// The continuation-based async fault engine, when enabled.
+    pub fn fault_engine(&self) -> Option<&Arc<FaultEngine>> {
+        self.fault_engine.as_ref()
+    }
+
     /// The default pager backend (for laundry-overflow fallbacks).
     pub fn default_backend(&self) -> Arc<dyn PagerBackend> {
         self.default_backend.clone()
@@ -768,6 +808,12 @@ impl Drop for Kernel {
             .store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.watchdog.lock().take() {
             let _ = t.join();
+        }
+        // Stop the fault engine before the service loop: its drain errors
+        // every parked fault (waking their tickets), and late submissions
+        // fall back to the synchronous driver.
+        if let Some(engine) = &self.fault_engine {
+            engine.shutdown();
         }
         self.daemon_stop
             .store(true, std::sync::atomic::Ordering::Relaxed);

@@ -47,6 +47,13 @@
 /// Kernel → manager: initialize a memory object (Table 3-5).
 pub const PAGER_INIT: u32 = 0x2200;
 /// Kernel → manager: request data (Table 3-5).
+///
+/// The async fault engine batches these: runs coalesced per (pager,
+/// object) ship as *many messages in one `send_many` enqueue* — one lock
+/// round and one manager wakeup for a whole wave of faults. Each message
+/// in the batch still carries its own faulting thread's correlation id,
+/// so per-fault causal chains survive the batching (see
+/// `machvm::continuation` and `IpcPagerBackend::data_request_many`).
 pub const PAGER_DATA_REQUEST: u32 = 0x2201;
 /// Kernel → manager: write back dirty data (Table 3-5).
 pub const PAGER_DATA_WRITE: u32 = 0x2202;

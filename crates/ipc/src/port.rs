@@ -668,6 +668,24 @@ impl PortCore {
         Ok(sent)
     }
 
+    /// Batch variant of [`PortCore::enqueue_notification`]: a whole run
+    /// of kernel notifications pushed under one shard lock acquisition
+    /// with one amortized charge, still exempt from the backlog limit.
+    /// The async fault engine's deep pager batching sends coalesced
+    /// `pager_data_request` runs through here.
+    fn enqueue_many_notification(&self, mut msgs: Vec<Message>) {
+        if msgs.is_empty() || self.receiver_alive.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.depth.fetch_add(msgs.len(), Ordering::SeqCst);
+        self.charge_send_batch(&mut msgs);
+        if self.push_batch(msgs).is_err() {
+            return; // Died underneath us; notifications to the dead drop.
+        }
+        self.notify_recv();
+        self.notify_wakers();
+    }
+
     /// Enqueues a kernel notification, ignoring the backlog limit so the
     /// kernel never blocks on a user queue.
     fn enqueue_notification(&self, mut msg: Message) {
@@ -1009,6 +1027,15 @@ impl SendRight {
     /// never afford to wait on a data manager.
     pub fn send_notification(&self, msg: Message) {
         self.core.enqueue_notification(msg)
+    }
+
+    /// Batched [`SendRight::send_notification`]: every message in `msgs`
+    /// is delivered in order under one lock acquisition and one
+    /// amortized charge, exempt from the backlog. Used by kernel
+    /// components that ship coalesced runs (the async fault engine's
+    /// batched `pager_data_request`s above all).
+    pub fn send_many_notification(&self, msgs: Vec<Message>) {
+        self.core.enqueue_many_notification(msgs)
     }
 
     /// `msg_rpc`: sends `msg` with a freshly allocated reply port, then

@@ -5,8 +5,8 @@
 //! `machvm::resident` and `machipc::port`):
 //!
 //! ```text
-//! shard table → frame meta → frame data → queues/free-list → NUMA pool
-//!             → port control → port shard
+//! fault table → shard table → frame meta → frame data → queues/free-list
+//!             → NUMA pool → port control → port shard
 //! ```
 //!
 //! `machlint`'s L1 lint checks that order *statically* against every
@@ -36,28 +36,35 @@ use std::ops::{Deref, DerefMut};
 /// static and dynamic checkers must agree on what "later" means.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockClass {
+    /// The async fault engine's outstanding-continuation table
+    /// (`FaultEngine::table`). Outermost of all: the completion loop
+    /// steps parked faults — which take every VM lock and send pager
+    /// messages — while holding it, and nothing inside the VM or IPC
+    /// layers ever calls back into the engine with its locks held (the
+    /// completion hook runs strictly after shard locks are dropped).
+    FaultTable = 0,
     /// A resident-table shard (`Shard::state`).
-    Shard = 0,
+    Shard = 1,
     /// A frame's slow-path metadata (`Frame::meta`).
-    FrameMeta = 1,
+    FrameMeta = 2,
     /// A frame's page bytes (`Frame::data`).
-    FrameData = 2,
+    FrameData = 3,
     /// The pageout queues and per-node free lists (`PhysicalMemory::queues`).
-    Queues = 3,
+    Queues = 4,
     /// Reserved for a dedicated per-node pool lock; today the per-node
     /// free lists live under [`LockClass::Queues`], so nothing acquires
     /// this rank yet.
-    NumaPool = 4,
+    NumaPool = 5,
     /// An IPC port's control plane (`PortCore::control`): death state,
     /// subscriptions, port-set wakers and the RPC handoff slot. Ranked
     /// after every VM class because pager paths send messages while the
     /// fault path's locks are (transitively) pinned, never vice versa.
-    PortControl = 5,
+    PortControl = 6,
     /// One sub-queue of an IPC port's sharded message queue
     /// (`PortShard::ring`). Innermost: a shard is locked only to push or
     /// pop messages, sometimes while the port's control lock is held
     /// (receiver re-scan), never the other way around.
-    PortShard = 6,
+    PortShard = 7,
 }
 
 impl LockClass {
@@ -69,6 +76,7 @@ impl LockClass {
     /// The class's name as `machlint.toml` spells it.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::FaultTable => "fault-table",
             LockClass::Shard => "shard",
             LockClass::FrameMeta => "frame-meta",
             LockClass::FrameData => "frame-data",
@@ -113,8 +121,8 @@ mod witness {
                 if earlier.rank() > class.rank() {
                     panic!(
                         "lockdep: acquired '{}' (rank {}) while holding '{}' (rank {}); \
-                         the hierarchy is shard → frame-meta → frame-data → queues → \
-                         numa-pool → port-control → port-shard",
+                         the hierarchy is fault-table → shard → frame-meta → frame-data → \
+                         queues → numa-pool → port-control → port-shard",
                         class.name(),
                         class.rank(),
                         earlier.name(),

@@ -116,6 +116,27 @@ pub mod keys {
     /// Trace events overwritten by ring overflow (exported, not counted
     /// in the registry — see `TraceBuffer::dropped`).
     pub const TRACE_DROPPED_EVENTS: &str = "trace.dropped_events";
+    /// Faults parked as continuations by the async fault engine (the
+    /// submitting thread was released while the pager works).
+    pub const VM_ASYNC_PARKS: &str = "vm.async.parks";
+    /// Parked continuations resumed by a completion (install, cancel,
+    /// lock change) and re-stepped by the engine's completion loop.
+    pub const VM_ASYNC_RESUMES: &str = "vm.async.resumes";
+    /// Submissions that had to wait because the outstanding-fault table
+    /// was at capacity (backpressure).
+    pub const VM_ASYNC_BACKPRESSURE: &str = "vm.async.backpressure";
+    /// Continuations resolved by their pager timeout (cleanly: the chain
+    /// is ended, so the watchdog never counts these as stalls).
+    pub const VM_ASYNC_TIMEOUTS: &str = "vm.async.timeouts";
+    /// Continuations errored out because their pager's port died while
+    /// the fault was parked.
+    pub const VM_ASYNC_PAGER_DEAD: &str = "vm.async.pager_dead";
+    /// Multi-run `pager_data_request` batches shipped by the engine (two
+    /// or more coalesced runs to one pager in one batched send).
+    pub const VM_PAGER_BATCHES: &str = "vm.pager_batches";
+    /// Pager request runs deferred by a per-pager in-flight cap and
+    /// released later as completions drained.
+    pub const VM_PAGER_DEFERRED_RUNS: &str = "vm.pager_deferred_runs";
 
     /// Every counter key the workspace may create in a [`super::StatsRegistry`].
     ///
@@ -157,6 +178,13 @@ pub mod keys {
         NUMA_MIGRATIONS,
         NUMA_SHOOTDOWNS,
         TRACE_DROPPED_EVENTS,
+        VM_ASYNC_PARKS,
+        VM_ASYNC_RESUMES,
+        VM_ASYNC_BACKPRESSURE,
+        VM_ASYNC_TIMEOUTS,
+        VM_ASYNC_PAGER_DEAD,
+        VM_PAGER_BATCHES,
+        VM_PAGER_DEFERRED_RUNS,
     ];
 }
 

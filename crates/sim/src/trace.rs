@@ -40,6 +40,9 @@ pub mod keys {
     /// `pager_data_request` issued to the page becoming resident
     /// (`pager_data_provided` installed).
     pub const REQUEST_TO_FILL: &str = "vm.request_to_fill";
+    /// A fault continuation parked by the async engine to its resume by
+    /// the completion loop (the thread-free span of an async fault).
+    pub const PARK_TO_RESUME: &str = "vm.park_to_resume";
 }
 
 static NEXT_CORRELATION: AtomicU64 = AtomicU64::new(1);

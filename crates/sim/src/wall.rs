@@ -70,6 +70,12 @@ impl Deadline {
         now() >= self.at
     }
 
+    /// Whether the deadline had passed as of `now` — for sweeps that
+    /// check many deadlines against one clock read.
+    pub fn expired_by(&self, now: Instant) -> bool {
+        now >= self.at
+    }
+
     /// Real time left before the deadline, or `None` once expired.
     ///
     /// The `None` case doubles as the timeout signal in wait loops:

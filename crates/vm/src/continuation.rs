@@ -1,0 +1,892 @@
+//! The continuation-based asynchronous fault engine.
+//!
+//! The synchronous fault path ties one kernel thread to every outstanding
+//! fault: the thread blocks in `await_page` until `pager_data_provided`
+//! arrives, so the number of faults a host can have in flight is capped by
+//! the number of threads it is willing to park — and every fault pays one
+//! `pager_data_request` message, no matter how many of its neighbors are
+//! also missing. Real Mach attacked the first problem with *continuations*
+//! (Draves et al.): capture the small amount of state the blocked
+//! operation actually needs, release the thread, and resume from the
+//! captured state when the event arrives. This module is that design,
+//! io_uring-flavored:
+//!
+//! * [`FaultEngine::submit`] runs the fault state machine
+//!   ([`crate::fault::fault_step`]) until it must wait, then *parks* the
+//!   [`FaultState`] in a bounded continuation table and returns a
+//!   [`FaultTicket`] — the submitting thread is free immediately.
+//! * Page events (fill installed or cancelled, manager lock changed, page
+//!   reclaimed) fire the completion hook
+//!   ([`PhysicalMemory::set_completion_hook`]); a single completion-loop
+//!   thread pops the woken continuations and re-steps them, completing
+//!   tickets or re-parking.
+//! * `pager_data_request`s produced while stepping are not sent inline:
+//!   they accumulate as *runs* and are flushed per (pager, object) through
+//!   [`PagerBackend::data_request_many`] — one batched IPC send carrying
+//!   many faults' worth of requests (deep pager batching over
+//!   `send_many`).
+//! * Backpressure is explicit at both ends: the table is bounded
+//!   (submitters wait for space — `vm.async.backpressure`), and each pager
+//!   has an in-flight page cap (excess runs are deferred until completions
+//!   drain — `vm.pager_deferred_runs`).
+//!
+//! # Observability through the hop
+//!
+//! Parking must not break the causal chain. Each fault's
+//! [`CorrelationId`] is allocated at submit, stamped into every batched
+//! request run (so the manager's reply still correlates), carried on the
+//! parked continuation, and re-entered as the trace scope whenever the
+//! completion loop steps it. The flight recorder `begin`s at submit and
+//! `end`s at completion — a fault that times out *cleanly* (its policy
+//! deadline fires) ends its chain without being counted as a watchdog
+//! stall, while a genuinely wedged fault is still caught and flagged.
+//!
+//! # Locking
+//!
+//! The continuation table is `LockClass::FaultTable`, ranked *outermost*
+//! (above `Shard`): the engine may lock the table and then probe the
+//! resident table for the park/recheck race, never the reverse. The
+//! completion hook therefore fires only after every shard lock is
+//! dropped. Stepping a continuation — which takes shard, frame and queue
+//! locks freely — always happens with the table unlocked.
+//!
+//! # Timeouts, death and the stale sweep
+//!
+//! The completion loop doubles as the timer wheel. Every parked
+//! continuation re-arms its policy deadline at each park (matching the
+//! per-wait timeout of the synchronous driver); the loop's periodic
+//! sweep — rate-limited to once per tick, since it is O(parked) —
+//! expires deadlines (cancelling any claimed fill window, then applying
+//! the policy action — fail or zero-fill), and probes continuations
+//! parked suspiciously long: a dead pager port errors the fault
+//! (`vm.async.pager_dead`), a wait that is no longer blocked resumes it
+//! (missed-wakeup insurance), and a still-blocked wait is simply
+//! re-armed. Every missed-wakeup race is a bounded delay, not a hang,
+//! and a deep backlog costs one probe per interval, not a re-step.
+
+use crate::fault::{
+    fault_step, handle_timeout, resolve_page_sync, FaultPolicy, FaultResult, FaultState, FaultStep,
+    FaultWait, RequestSink, WaitKind,
+};
+use crate::lockdep::{ClassMutex, ClassMutexGuard, LockClass};
+use crate::object::{ObjectId, PagerBackend, PagerRequest, VmObject};
+use crate::resident::{PageLookup, PhysicalMemory};
+use crate::types::{VmError, VmProt};
+use machsim::stats::keys as stat_keys;
+use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope};
+use machsim::{wall, EventKind, Machine};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the completion loop sleeps when no event arrives — the timer
+/// resolution for deadlines, death detection and the stale sweep.
+const TICK: Duration = Duration::from_millis(1);
+
+/// A continuation parked longer than this gets a defensive in-place
+/// probe (pager liveness + is-the-wait-really-still-blocked) even
+/// without an observed page event — missed-wakeup insurance. Probes cost
+/// a shard lookup per continuation, so the interval is deliberately lazy;
+/// the event hook is the fast path, this is only the safety net.
+const STALE_RECHECK: Duration = Duration::from_millis(20);
+
+/// Tuning knobs for the [`FaultEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEngineConfig {
+    /// Bound on simultaneously parked continuations; submitters block
+    /// (briefly, with `vm.async.backpressure` counted) when the table is
+    /// full. This is the "thousands of outstanding faults" budget.
+    pub capacity: usize,
+    /// Per-pager cap on requested-but-unanswered pages; runs beyond it
+    /// are deferred until completions drain, so one slow pager queues
+    /// inside the kernel instead of flooding its port.
+    pub pager_inflight_pages: usize,
+}
+
+impl Default for FaultEngineConfig {
+    fn default() -> Self {
+        FaultEngineConfig {
+            capacity: 4096,
+            pager_inflight_pages: 1024,
+        }
+    }
+}
+
+/// The caller's handle to a submitted fault: a one-shot completion slot.
+#[derive(Clone)]
+pub struct FaultTicket {
+    inner: Arc<TicketInner>,
+}
+
+struct TicketInner {
+    slot: Mutex<Option<Result<FaultResult, VmError>>>,
+    done: Condvar,
+    cid: CorrelationId,
+}
+
+impl FaultTicket {
+    fn new(cid: CorrelationId) -> Self {
+        FaultTicket {
+            inner: Arc::new(TicketInner {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+                cid,
+            }),
+        }
+    }
+
+    /// The correlation id tying this fault's trace events, pager requests
+    /// and resolution into one chain.
+    pub fn correlation(&self) -> CorrelationId {
+        self.inner.cid
+    }
+
+    /// Whether the fault has completed (without blocking).
+    pub fn is_done(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+
+    /// Blocks until the fault completes and returns its result. The
+    /// engine guarantees completion: every parked continuation either
+    /// resumes, times out by policy, or is errored at engine shutdown.
+    pub fn wait(&self) -> Result<FaultResult, VmError> {
+        let mut slot = self.inner.slot.lock();
+        while slot.is_none() {
+            self.inner.done.wait(&mut slot);
+        }
+        slot.clone()
+            .expect("invariant: the wait loop exits only once the slot is filled")
+    }
+
+    fn fulfill(&self, result: Result<FaultResult, VmError>) {
+        let mut slot = self.inner.slot.lock();
+        *slot = Some(result);
+        self.inner.done.notify_all();
+    }
+}
+
+/// One batched `pager_data_request` not yet sent: a contiguous claimed
+/// run plus the claiming fault's correlation id.
+struct PendingRun {
+    pager: Arc<dyn PagerBackend>,
+    object: ObjectId,
+    offset: u64,
+    length: u64,
+    access: VmProt,
+    /// Raw correlation of the claiming fault (stamped on the message, so
+    /// the manager-side work still joins the fault's trace chain).
+    correlation: u64,
+    /// Pages in the run (the unit of in-flight accounting).
+    pages: usize,
+}
+
+impl PendingRun {
+    fn pager_key(&self) -> usize {
+        Arc::as_ptr(&self.pager) as *const () as usize
+    }
+}
+
+/// A parked fault: the captured state machine plus resume bookkeeping.
+struct Continuation {
+    state: FaultState,
+    wait: FaultWait,
+    cid: CorrelationId,
+    started_ns: u64,
+    parked_ns: u64,
+    /// Fires when the park has lasted long enough for a defensive
+    /// recheck.
+    stale_at: wall::Deadline,
+    /// Policy deadline, re-armed at every park (per-wait timeout, exactly
+    /// like the synchronous driver's `await_page` timeout).
+    deadline: Option<wall::Deadline>,
+    ticket: FaultTicket,
+    /// In-flight pages this fault's outstanding run holds against its
+    /// pager: `(pager key, pages)`. Returned when the run resolves.
+    inflight: Option<(usize, usize)>,
+}
+
+/// Why a continuation is being taken off the table for processing.
+enum Wake {
+    /// A page event (or stale recheck): re-step the state machine.
+    Event,
+    /// The policy deadline fired.
+    Timeout,
+    /// The backing pager's port died.
+    PagerDead,
+}
+
+#[derive(Default)]
+struct Table {
+    /// Parked continuations by raw correlation id.
+    conts: HashMap<u64, Continuation>,
+    /// Park index: page key → raw cids waiting on it.
+    waiters: HashMap<(ObjectId, u64), Vec<u64>>,
+    /// Cids with an observed page event, pending processing.
+    ready: Vec<u64>,
+    /// Request runs ready to flush in the next batch.
+    runs: Vec<PendingRun>,
+    /// Runs held back by a pager's in-flight cap.
+    deferred: VecDeque<PendingRun>,
+    /// Cids with a queued-but-unsent run (in `runs` or `deferred`). Lets
+    /// `finish` skip the purge scan in O(1) for the overwhelmingly common
+    /// case — a fault whose request was sent long ago — instead of
+    /// rebuilding the run queues on every completion (quadratic under a
+    /// deep backlog).
+    queued: std::collections::HashSet<u64>,
+    /// Requested-but-unanswered pages per pager key.
+    inflight: HashMap<usize, usize>,
+    /// Most continuations ever parked at once (bench: max outstanding).
+    high_water: usize,
+    /// Next time the periodic sweep may run (`None` = due now). The
+    /// sweep is O(parked continuations), so it is rate-limited to once
+    /// per [`TICK`] no matter how often events wake the loop.
+    next_sweep: Option<wall::Deadline>,
+}
+
+impl Table {
+    fn discharge(&mut self, key: usize, pages: usize) {
+        if let Some(used) = self.inflight.get_mut(&key) {
+            *used = used.saturating_sub(pages);
+            if *used == 0 {
+                self.inflight.remove(&key);
+            }
+        }
+    }
+
+    fn unindex(&mut self, cid: u64, wait: FaultWait) {
+        if let Some(v) = self.waiters.get_mut(&(wait.object, wait.offset)) {
+            v.retain(|&x| x != cid);
+            if v.is_empty() {
+                self.waiters.remove(&(wait.object, wait.offset));
+            }
+        }
+    }
+}
+
+/// The continuation-based asynchronous fault engine. Construct with
+/// [`FaultEngine::start`], attach with
+/// [`PhysicalMemory::set_fault_engine`], and shut down explicitly with
+/// [`FaultEngine::shutdown`] (the kernel does all three).
+pub struct FaultEngine {
+    phys: Arc<PhysicalMemory>,
+    machine: Machine,
+    cfg: FaultEngineConfig,
+    table: ClassMutex<Table>,
+    /// Signals the completion loop: events queued or shutdown.
+    work: Condvar,
+    /// Signals submitters blocked on a full table.
+    space: Condvar,
+    stop: AtomicBool,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The engine's [`RequestSink`]: records runs instead of sending them, so
+/// the engine can batch, cap and correlate them under the table lock.
+struct BatchSink {
+    cid: u64,
+    page_size: usize,
+    runs: Vec<PendingRun>,
+}
+
+impl RequestSink for BatchSink {
+    fn data_request(
+        &mut self,
+        pager: &Arc<dyn PagerBackend>,
+        object: ObjectId,
+        offset: u64,
+        length: u64,
+        access: VmProt,
+    ) {
+        self.runs.push(PendingRun {
+            pager: pager.clone(),
+            object,
+            offset,
+            length,
+            access,
+            correlation: self.cid,
+            pages: (length as usize).div_ceil(self.page_size).max(1),
+        });
+    }
+}
+
+impl FaultEngine {
+    /// Creates the engine, spawns its completion loop, and registers the
+    /// completion hook on `phys`. Call
+    /// [`PhysicalMemory::set_fault_engine`] to route `resolve_page`
+    /// through it.
+    pub fn start(phys: Arc<PhysicalMemory>, cfg: FaultEngineConfig) -> Arc<Self> {
+        let machine = phys.machine().clone();
+        let engine = Arc::new(FaultEngine {
+            phys: phys.clone(),
+            machine,
+            cfg,
+            table: ClassMutex::new(LockClass::FaultTable, Table::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            stop: AtomicBool::new(false),
+            worker: Mutex::new(None),
+        });
+        let hook_engine = Arc::downgrade(&engine);
+        phys.set_completion_hook(move |object, offset| {
+            if let Some(e) = hook_engine.upgrade() {
+                e.on_page_event(object, offset);
+            }
+        });
+        // The loop holds only a weak reference: if every strong owner
+        // drops the engine without calling `shutdown`, the thread exits
+        // on its next tick instead of keeping the engine alive forever.
+        let loop_engine = Arc::downgrade(&engine);
+        let handle = std::thread::Builder::new()
+            .name("fault-engine".into())
+            .spawn(move || loop {
+                let Some(e) = loop_engine.upgrade() else {
+                    return;
+                };
+                if !e.run_once() {
+                    return;
+                }
+            })
+            .expect("spawn fault-engine thread");
+        *engine.worker.lock() = Some(handle);
+        engine
+    }
+
+    /// Outstanding parked continuations right now.
+    pub fn outstanding(&self) -> usize {
+        self.table.lock().conts.len()
+    }
+
+    /// Most continuations ever parked at once.
+    pub fn max_outstanding(&self) -> usize {
+        self.table.lock().high_water
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> FaultEngineConfig {
+        self.cfg
+    }
+
+    /// Stops the completion loop: every still-parked fault errors with
+    /// [`VmError::ObjectDestroyed`], claimed fill windows are cancelled,
+    /// and the loop thread is joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.work.notify_all();
+        self.space.notify_all();
+        let handle = self.worker.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Submits a fault: runs the state machine to its first wait, parks
+    /// it, and returns the ticket. When the engine is stopped, falls back
+    /// to the synchronous driver so faults still resolve during shutdown.
+    pub fn submit(
+        self: &Arc<Self>,
+        top: &Arc<VmObject>,
+        offset: u64,
+        access: VmProt,
+        policy: FaultPolicy,
+    ) -> FaultTicket {
+        self.machine
+            .clock
+            .charge(self.machine.cost.fault_overhead_ns);
+        self.machine.hot.vm_faults.incr();
+        let cid = CorrelationId::allocate();
+        let ticket = FaultTicket::new(cid);
+        let _scope = CorrelationScope::enter(cid);
+        self.machine.trace_event("vm.fault", EventKind::Fault);
+        let started_ns = self.machine.clock.now_ns();
+        self.machine.flight.begin(cid.raw(), "vm.fault", started_ns);
+
+        if self.stop.load(Ordering::Acquire) {
+            let result = resolve_page_sync(&self.phys, top, offset, access, policy);
+            self.finish(cid, started_ns, &ticket, result);
+            return ticket;
+        }
+
+        // Backpressure: wait for table space before stepping, so a full
+        // engine slows admission instead of growing without bound.
+        {
+            let mut t = self.table.lock();
+            while t.conts.len() >= self.cfg.capacity && !self.stop.load(Ordering::Acquire) {
+                self.machine.stats.incr(stat_keys::VM_ASYNC_BACKPRESSURE);
+                self.work.notify_all();
+                self.space.wait_for(t.inner_mut(), TICK);
+            }
+        }
+
+        let cont = Continuation {
+            state: FaultState::new(top, offset, access, policy),
+            wait: FaultWait {
+                object: top.id(),
+                offset,
+                kind: WaitKind::Fill,
+            },
+            cid,
+            started_ns,
+            parked_ns: started_ns,
+            stale_at: wall::Deadline::after(STALE_RECHECK),
+            deadline: None,
+            ticket: ticket.clone(),
+            inflight: None,
+        };
+        if let Some(result) = self.step_and_park(cont) {
+            self.finish(cid, started_ns, &ticket, result);
+        }
+        ticket
+    }
+
+    /// A page event on `(object, offset)`: move its waiters to the ready
+    /// queue and kick the completion loop. Called with no shard lock held
+    /// (the table ranks above the shards).
+    fn on_page_event(&self, object: ObjectId, offset: u64) {
+        let mut t = self.table.lock();
+        if let Some(cids) = t.waiters.remove(&(object, offset)) {
+            if !cids.is_empty() {
+                t.ready.extend(cids);
+                self.work.notify_all();
+            }
+        }
+    }
+
+    /// Steps `cont` until done or parked. On park, registers it in the
+    /// table — and re-checks the wait condition *under the table lock*
+    /// (table → shard is the sanctioned order), so an event that fired
+    /// between the step and the registration re-steps instead of sleeping
+    /// on a wakeup that already happened.
+    ///
+    /// Returns `Some(result)` if the fault completed, `None` if parked.
+    fn step_and_park(
+        self: &Arc<Self>,
+        mut cont: Continuation,
+    ) -> Option<Result<FaultResult, VmError>> {
+        let _scope = CorrelationScope::enter(cont.cid);
+        // The charge for the run `cont` had outstanding when it parked
+        // last. It is returned to the pager's budget unless the fault
+        // re-parks on the *same* pending fill without issuing a new
+        // request (the stale-recheck no-op).
+        let prev_wait = cont.wait;
+        let mut prev_charge = cont.inflight.take();
+        loop {
+            let mut sink = BatchSink {
+                cid: cont.cid.raw(),
+                page_size: self.phys.page_size(),
+                runs: Vec::new(),
+            };
+            let step = fault_step(&self.phys, &mut cont.state, &mut sink);
+            let wait = match step {
+                FaultStep::Done(result) => {
+                    self.settle(&mut cont, sink.runs, prev_charge.take());
+                    return Some(result);
+                }
+                FaultStep::Park(wait) => wait,
+            };
+            let same_fill = sink.runs.is_empty()
+                && wait.kind == WaitKind::Fill
+                && prev_wait.kind == WaitKind::Fill
+                && wait.object == prev_wait.object
+                && wait.offset == prev_wait.offset;
+            if same_fill {
+                cont.inflight = prev_charge.take();
+            } else {
+                self.settle(&mut cont, sink.runs, prev_charge.take());
+            }
+            cont.wait = wait;
+            let mut t = self.table.lock();
+            if !self.wait_blocked(wait, cont.state.access) {
+                // Keep the (possibly restored) charge for the next
+                // iteration's reconciliation.
+                prev_charge = cont.inflight.take();
+                continue;
+            }
+            cont.parked_ns = self.machine.clock.now_ns();
+            cont.stale_at = wall::Deadline::after(STALE_RECHECK);
+            cont.deadline = cont.state.policy.pager_timeout.map(wall::Deadline::after);
+            self.machine.stats.incr(stat_keys::VM_ASYNC_PARKS);
+            let raw = cont.cid.raw();
+            t.waiters
+                .entry((wait.object, wait.offset))
+                .or_default()
+                .push(raw);
+            t.conts.insert(raw, cont);
+            let outstanding = t.conts.len();
+            if outstanding > t.high_water {
+                t.high_water = outstanding;
+            }
+            self.work.notify_all();
+            return None;
+        }
+    }
+
+    /// Whether `wait` still blocks a fault wanting `access`. Probes the
+    /// resident table — legal while holding the continuation table lock
+    /// (the table ranks above every shard). A `Fill` wait is live only
+    /// while the page is `Pending`; an `Unlock` wait only while the
+    /// manager lock still intersects the access (a vanished page means
+    /// re-step and re-probe).
+    fn wait_blocked(&self, wait: FaultWait, access: VmProt) -> bool {
+        match wait.kind {
+            WaitKind::Fill => matches!(
+                self.phys.lookup(wait.object, wait.offset),
+                PageLookup::Pending
+            ),
+            WaitKind::Unlock => match self.phys.page_lock(wait.object, wait.offset) {
+                Some(lock) => lock.intersects(access),
+                None => false,
+            },
+        }
+    }
+
+    /// Books a step's produced runs into the batch queue — charging the
+    /// pager's in-flight budget or deferring past-cap runs — and returns
+    /// the continuation's previous charge to the budget.
+    fn settle(
+        &self,
+        cont: &mut Continuation,
+        runs: Vec<PendingRun>,
+        prev_charge: Option<(usize, usize)>,
+    ) {
+        if runs.is_empty() && prev_charge.is_none() {
+            return;
+        }
+        let mut t = self.table.lock();
+        if let Some((key, pages)) = prev_charge {
+            t.discharge(key, pages);
+        }
+        for run in runs {
+            let key = run.pager_key();
+            let used = *t.inflight.get(&key).unwrap_or(&0);
+            t.queued.insert(run.correlation);
+            if used == 0 || used + run.pages <= self.cfg.pager_inflight_pages {
+                *t.inflight.entry(key).or_insert(0) += run.pages;
+                cont.inflight = Some((key, run.pages));
+                t.runs.push(run);
+            } else {
+                self.machine.stats.incr(stat_keys::VM_PAGER_DEFERRED_RUNS);
+                t.deferred.push_back(run);
+            }
+        }
+        if !t.runs.is_empty() {
+            self.work.notify_all();
+        }
+    }
+
+    /// Moves deferred runs whose pager has headroom into the flush queue,
+    /// charging their claiming continuation. A run whose claimer already
+    /// completed is dropped: its claim windows were cancelled, so sending
+    /// it would fill pages nobody waits for. Caller holds the table lock.
+    fn promote_deferred(&self, t: &mut Table) {
+        if t.deferred.is_empty() {
+            return;
+        }
+        let cap = self.cfg.pager_inflight_pages;
+        let mut still = VecDeque::new();
+        while let Some(run) = t.deferred.pop_front() {
+            if !t.conts.contains_key(&run.correlation) {
+                // The claimer is mid-registration (submit settles runs
+                // before parking): hold the run for the next tick.
+                // Completed claimers never appear here — `finish` purges
+                // their unsent runs.
+                still.push_back(run);
+                continue;
+            }
+            let key = run.pager_key();
+            let used = *t.inflight.get(&key).unwrap_or(&0);
+            if used == 0 || used + run.pages <= cap {
+                *t.inflight.entry(key).or_insert(0) += run.pages;
+                if let Some(c) = t.conts.get_mut(&run.correlation) {
+                    c.inflight = Some((key, run.pages));
+                }
+                t.runs.push(run);
+            } else {
+                still.push_back(run);
+            }
+        }
+        t.deferred = still;
+    }
+
+    /// Drains the engine at shutdown: errors every parked fault and
+    /// releases the fill windows of never-sent runs. Returns `false` to
+    /// stop the loop.
+    fn drain(self: &Arc<Self>, mut t: ClassMutexGuard<'_, Table>) -> bool {
+        let cids: Vec<u64> = t.conts.keys().copied().collect();
+        let mut orphans = Vec::with_capacity(cids.len());
+        for cid in cids {
+            if let Some(c) = t.conts.remove(&cid) {
+                orphans.push(c);
+            }
+        }
+        t.waiters.clear();
+        t.ready.clear();
+        let mut unsent: Vec<PendingRun> = t.runs.drain(..).collect();
+        unsent.extend(t.deferred.drain(..));
+        t.queued.clear();
+        t.inflight.clear();
+        drop(t);
+        for run in unsent {
+            self.cancel_run(&run);
+        }
+        for mut c in orphans {
+            if c.wait.kind == WaitKind::Fill {
+                c.state.cancel_claims(&self.phys, c.wait);
+            }
+            self.finish(
+                c.cid,
+                c.started_ns,
+                &c.ticket,
+                Err(VmError::ObjectDestroyed),
+            );
+        }
+        self.space.notify_all();
+        false
+    }
+
+    /// One completion-loop iteration: wait for work, pop woken/expired/
+    /// orphaned continuations, flush the request batch, then process each
+    /// continuation outside the table lock. Returns `false` when the
+    /// engine has stopped and drained.
+    fn run_once(self: &Arc<Self>) -> bool {
+        let mut woken: Vec<(Continuation, Wake)> = Vec::new();
+        let flush: Vec<PendingRun>;
+        {
+            let mut t = self.table.lock();
+            if t.ready.is_empty() && t.runs.is_empty() && !self.stop.load(Ordering::Acquire) {
+                self.work.wait_for(t.inner_mut(), TICK);
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return self.drain(t);
+            }
+            let ready = std::mem::take(&mut t.ready);
+            for cid in ready {
+                if let Some(c) = t.conts.remove(&cid) {
+                    woken.push((c, Wake::Event));
+                }
+            }
+            // Periodic sweep, rate-limited to once per TICK (it is
+            // O(parked) and the loop may wake far more often than that):
+            // policy deadlines against a single clock read, and — only
+            // for continuations parked past STALE_RECHECK — a liveness +
+            // missed-wakeup probe. A still-blocked stale continuation is
+            // re-armed in place rather than re-stepped, so a deep
+            // backlog costs one shard lookup per interval instead of a
+            // full park/re-park cycle through the table.
+            let now_wall = wall::now();
+            if t.next_sweep.map(|d| d.expired_by(now_wall)).unwrap_or(true) {
+                t.next_sweep = Some(wall::Deadline::after(TICK));
+                let mut swept: Vec<(u64, Wake)> = Vec::new();
+                for (&cid, c) in t.conts.iter_mut() {
+                    if c.deadline.map(|d| d.expired_by(now_wall)).unwrap_or(false) {
+                        swept.push((cid, Wake::Timeout));
+                    } else if c.stale_at.expired_by(now_wall) {
+                        if !c
+                            .state
+                            .current_object()
+                            .pager()
+                            .map(|p| p.is_alive())
+                            .unwrap_or(true)
+                        {
+                            swept.push((cid, Wake::PagerDead));
+                        } else if !self.wait_blocked(c.wait, c.state.access) {
+                            // The wakeup was missed: resume it.
+                            swept.push((cid, Wake::Event));
+                        } else {
+                            c.stale_at = wall::Deadline::after(STALE_RECHECK);
+                        }
+                    }
+                }
+                for (cid, wake) in swept {
+                    if let Some(c) = t.conts.remove(&cid) {
+                        // Drop the park-index entry so a later page event
+                        // cannot push the departed cid into `ready`.
+                        t.unindex(cid, c.wait);
+                        woken.push((c, wake));
+                    }
+                }
+            }
+            self.promote_deferred(&mut t);
+            flush = std::mem::take(&mut t.runs);
+            for run in &flush {
+                t.queued.remove(&run.correlation);
+            }
+            if !woken.is_empty() {
+                self.space.notify_all();
+            }
+        }
+
+        self.flush_runs(flush);
+
+        for (mut cont, wake) in woken {
+            let now = self.machine.clock.now_ns();
+            self.machine.latency.record(
+                trace_keys::PARK_TO_RESUME,
+                now.saturating_sub(cont.parked_ns),
+            );
+            match wake {
+                Wake::Event => {
+                    self.machine.stats.incr(stat_keys::VM_ASYNC_RESUMES);
+                    let (cid, started_ns, ticket) =
+                        (cont.cid, cont.started_ns, cont.ticket.clone());
+                    if let Some(result) = self.step_and_park(cont) {
+                        self.finish(cid, started_ns, &ticket, result);
+                    }
+                }
+                Wake::Timeout => {
+                    self.machine.stats.incr(stat_keys::VM_ASYNC_TIMEOUTS);
+                    self.return_charge(&mut cont);
+                    if cont.wait.kind == WaitKind::Fill {
+                        cont.state.cancel_claims(&self.phys, cont.wait);
+                    }
+                    let _scope = CorrelationScope::enter(cont.cid);
+                    let result = handle_timeout(
+                        &self.phys,
+                        &cont.state.top,
+                        cont.state.offset,
+                        cont.state.policy,
+                    );
+                    self.finish(cont.cid, cont.started_ns, &cont.ticket, result);
+                }
+                Wake::PagerDead => {
+                    self.machine.stats.incr(stat_keys::VM_ASYNC_PAGER_DEAD);
+                    self.return_charge(&mut cont);
+                    if cont.wait.kind == WaitKind::Fill {
+                        cont.state.cancel_claims(&self.phys, cont.wait);
+                    }
+                    self.finish(
+                        cont.cid,
+                        cont.started_ns,
+                        &cont.ticket,
+                        Err(VmError::ObjectDestroyed),
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns a terminally-completing continuation's in-flight charge
+    /// (`step_and_park` reconciles the non-terminal paths itself).
+    fn return_charge(&self, cont: &mut Continuation) {
+        if let Some((key, pages)) = cont.inflight.take() {
+            let mut t = self.table.lock();
+            t.discharge(key, pages);
+        }
+    }
+
+    /// Sends queued request runs, grouped per (pager, object) through
+    /// `data_request_many` — the deep batch: one IPC send carries every
+    /// run that accumulated since the last flush.
+    fn flush_runs(&self, runs: Vec<PendingRun>) {
+        if runs.is_empty() {
+            return;
+        }
+        type Group = (Arc<dyn PagerBackend>, Vec<PagerRequest>);
+        let mut groups: HashMap<(usize, ObjectId), Group> = HashMap::new();
+        for run in runs {
+            let key = (run.pager_key(), run.object);
+            groups
+                .entry(key)
+                .or_insert_with(|| (run.pager.clone(), Vec::new()))
+                .1
+                .push(PagerRequest {
+                    offset: run.offset,
+                    length: run.length,
+                    access: run.access,
+                    correlation: run.correlation,
+                });
+        }
+        for ((_, object), (pager, reqs)) in groups {
+            if reqs.len() > 1 {
+                self.machine.stats.incr(stat_keys::VM_PAGER_BATCHES);
+            }
+            pager.data_request_many(object, &reqs);
+        }
+    }
+
+    /// Completes a fault: ends its flight-recorder chain, fulfills the
+    /// ticket, and emits the resolution trace/latency with the fault's
+    /// own correlation (the completion loop is not in the fault's scope).
+    /// Releases the fill window of a run that was never sent to its
+    /// pager: the pending entries would otherwise strand later faults.
+    /// Cancelling is idempotent, so racing an install is safe.
+    fn cancel_run(&self, run: &PendingRun) {
+        let page = self.phys.page_size() as u64;
+        for i in 0..run.pages as u64 {
+            self.phys.cancel_fill(run.object, run.offset + i * page);
+        }
+    }
+
+    fn finish(
+        &self,
+        cid: CorrelationId,
+        started_ns: u64,
+        ticket: &FaultTicket,
+        result: Result<FaultResult, VmError>,
+    ) {
+        // A completing fault may still have queued-but-unsent runs (it
+        // resolved by another route, or timed out while deferred): pull
+        // them out of the batch queues and release their fill windows.
+        let unsent: Vec<PendingRun> = {
+            let mut t = self.table.lock();
+            let raw = cid.raw();
+            if !t.queued.remove(&raw) {
+                drop(t);
+                return self.finish_tail(cid, started_ns, ticket, result);
+            }
+            let mut purged: Vec<PendingRun> = Vec::new();
+            let mut keep = Vec::with_capacity(t.runs.len());
+            for run in t.runs.drain(..) {
+                if run.correlation == raw {
+                    purged.push(run);
+                } else {
+                    keep.push(run);
+                }
+            }
+            t.runs = keep;
+            let mut keep_d = VecDeque::with_capacity(t.deferred.len());
+            for run in t.deferred.drain(..) {
+                if run.correlation == raw {
+                    purged.push(run);
+                } else {
+                    keep_d.push_back(run);
+                }
+            }
+            t.deferred = keep_d;
+            purged
+        };
+        for run in &unsent {
+            self.cancel_run(run);
+        }
+        self.finish_tail(cid, started_ns, ticket, result);
+    }
+
+    fn finish_tail(
+        &self,
+        cid: CorrelationId,
+        started_ns: u64,
+        ticket: &FaultTicket,
+        result: Result<FaultResult, VmError>,
+    ) {
+        self.machine.flight.end(cid.raw());
+        if result.is_ok() {
+            self.machine
+                .trace_event_with("vm.fault", EventKind::Resume, Some(cid));
+            self.machine.latency.record(
+                trace_keys::FAULT_TO_RESOLUTION,
+                self.machine.clock.now_ns().saturating_sub(started_ns),
+            );
+        }
+        ticket.fulfill(result);
+        self.space.notify_all();
+    }
+}
+
+impl Drop for FaultEngine {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.work.notify_all();
+    }
+}

@@ -22,7 +22,7 @@
 //! The caller (the address map layer) performs the remaining two steps:
 //! validity/protection lookup before, hardware validation (pmap) after.
 
-use crate::object::VmObject;
+use crate::object::{ObjectId, VmObject};
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
 use machsim::stats::keys as stat_keys;
@@ -117,6 +117,298 @@ pub struct FaultResult {
     pub prot_limit: VmProt,
 }
 
+/// What a fault continuation is waiting for while parked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitKind {
+    /// A pending fill: the page must become resident (or the fill be
+    /// cancelled) before the fault can make progress.
+    Fill,
+    /// A lock negotiation: the manager's `pager_data_lock` must stop
+    /// prohibiting the wanted access (or the page must go away).
+    Unlock,
+}
+
+/// The park point of a fault: the page event that will resume it.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultWait {
+    /// Object whose page the fault is waiting on.
+    pub object: ObjectId,
+    /// Page-aligned offset within that object.
+    pub offset: u64,
+    /// What kind of event resumes the fault.
+    pub kind: WaitKind,
+}
+
+/// One step of the fault state machine: either the fault resolved (or
+/// failed), or it must wait for a page event.
+#[derive(Debug)]
+pub enum FaultStep {
+    /// The fault is finished; this is `resolve_page`'s result.
+    Done(Result<FaultResult, VmError>),
+    /// The fault cannot progress until the described page event.
+    Park(FaultWait),
+}
+
+/// Where a stepped fault sends its `pager_data_request`s. The synchronous
+/// driver issues them immediately; the async engine collects them into
+/// per-(pager, object) batches and flushes whole runs through
+/// [`crate::object::PagerBackend::data_request_many`].
+pub trait RequestSink {
+    /// Queues (or sends) one claimed run.
+    fn data_request(
+        &mut self,
+        pager: &Arc<dyn crate::object::PagerBackend>,
+        object: ObjectId,
+        offset: u64,
+        length: u64,
+        access: VmProt,
+    );
+}
+
+/// Sends each request inline on the faulting thread (the classic path).
+pub struct ImmediateSink;
+
+impl RequestSink for ImmediateSink {
+    fn data_request(
+        &mut self,
+        pager: &Arc<dyn crate::object::PagerBackend>,
+        object: ObjectId,
+        offset: u64,
+        length: u64,
+        access: VmProt,
+    ) {
+        pager.data_request(object, offset, length, access);
+    }
+}
+
+/// The captured state of one in-progress fault — everything `fault_step`
+/// needs to resume after a park: the faulting (top) object and offset,
+/// the shadow-chain cursor, the cache-hit probe flag, and the pager
+/// window the fault has claimed (for cancellation on timeout).
+///
+/// This is the heart of the continuation refactor: the old blocking loop
+/// kept all of this in stack locals across `await_page`; parking it in a
+/// struct lets the async engine release the thread instead.
+#[derive(Debug)]
+pub struct FaultState {
+    /// The faulting object (top of the shadow chain).
+    pub top: Arc<VmObject>,
+    /// Fault offset within `top`.
+    pub offset: u64,
+    /// What the faulting thread is trying to do.
+    pub access: VmProt,
+    /// The fault-time policy (timeout, timeout action, cluster size).
+    pub policy: FaultPolicy,
+    /// Shadow-chain cursor: the object currently being probed.
+    object: Arc<VmObject>,
+    /// Offset within the cursor object.
+    obj_offset: u64,
+    /// True until the fault first sees an absent page — a resident hit
+    /// while still true counts as a cache hit.
+    first_probe: bool,
+    /// The most recent pager window this fault claimed via `begin_fill`
+    /// (object, start offset, pages): on timeout every claimed page must
+    /// be released or later faults would strand on stale pending entries.
+    pub claimed: Option<(ObjectId, u64, usize)>,
+}
+
+impl FaultState {
+    /// Captures a fresh fault against `top` at `offset`.
+    pub fn new(top: &Arc<VmObject>, offset: u64, access: VmProt, policy: FaultPolicy) -> Self {
+        FaultState {
+            top: top.clone(),
+            offset,
+            access,
+            policy,
+            object: top.clone(),
+            obj_offset: offset,
+            first_probe: true,
+            claimed: None,
+        }
+    }
+
+    /// The object currently being probed (the shadow-chain cursor) — the
+    /// async engine reads its pager to police in-flight caps and detect
+    /// pager death.
+    pub fn current_object(&self) -> &Arc<VmObject> {
+        &self.object
+    }
+
+    /// Releases every page this fault has claimed (timeout/death path):
+    /// the read-ahead pages have no other waiter, so a stale pending
+    /// entry would block later faults until their own timeouts.
+    pub fn cancel_claims(&mut self, phys: &PhysicalMemory, wait: FaultWait) {
+        let page = phys.page_size() as u64;
+        let (object, start, pages) = self.claimed.take().unwrap_or((wait.object, wait.offset, 1));
+        for i in 0..pages as u64 {
+            phys.cancel_fill(object, start + i * page);
+        }
+    }
+}
+
+/// Advances a fault as far as it can go without blocking.
+///
+/// Runs the machine-independent fault transitions — shadow-chain walk,
+/// copy-on-write, lock negotiation, pager request, zero fill — until the
+/// fault either resolves ([`FaultStep::Done`]) or must wait for a page
+/// event ([`FaultStep::Park`]). On a park the caller decides how to wait:
+/// the synchronous driver blocks on the shard condvar exactly like the
+/// old loop; the async engine files the state as a continuation and
+/// releases the thread. Re-stepping after the event re-probes from the
+/// current shadow-chain cursor, which is exactly what the old loop's
+/// `continue` did after a wakeup.
+pub fn fault_step(
+    phys: &PhysicalMemory,
+    st: &mut FaultState,
+    sink: &mut dyn RequestSink,
+) -> FaultStep {
+    let machine = phys.machine().clone();
+    // The offset is page-granular relative to the mapping's own alignment;
+    // it need not be page aligned within the object (Section 3.4.1).
+    let page = phys.page_size() as u64;
+    let wants_write = st.access.allows(VmProt::WRITE);
+
+    loop {
+        if st.object.is_terminated() {
+            return FaultStep::Done(Err(VmError::ObjectDestroyed));
+        }
+        match phys.lookup(st.object.id(), st.obj_offset) {
+            PageLookup::Resident { frame, lock } => {
+                // Negotiate any manager lock prohibiting this access: ask
+                // for the unlock, then park until the lock changes (or
+                // the page goes away, which re-probes from here).
+                if lock.intersects(st.access) {
+                    if let Some(pager) = st.object.pager() {
+                        pager.data_unlock(st.object.id(), st.obj_offset, page, st.access);
+                    }
+                    return FaultStep::Park(FaultWait {
+                        object: st.object.id(),
+                        offset: st.obj_offset,
+                        kind: WaitKind::Unlock,
+                    });
+                }
+                if st.first_probe {
+                    machine.hot.vm_cache_hits.incr();
+                }
+                let residual_lock = phys
+                    .page_lock(st.object.id(), st.obj_offset)
+                    .unwrap_or(VmProt::NONE);
+                if Arc::ptr_eq(&st.object, &st.top) {
+                    if wants_write {
+                        phys.set_modified(frame);
+                    }
+                    return FaultStep::Done(Ok(FaultResult {
+                        frame,
+                        object: st.object.clone(),
+                        offset: st.obj_offset,
+                        prot_limit: !residual_lock,
+                    }));
+                }
+                // Page found down the shadow chain.
+                if wants_write {
+                    // Copy-on-write: copy the ancestor's page into the
+                    // faulting object ("a new page is created as a copy of
+                    // the original"). Pin the source page by key so the
+                    // frame cannot be reclaimed — and recycled for another
+                    // page — while its bytes are being copied; on a lost
+                    // race the fault restarts and refills the ancestor.
+                    let Some(src) = phys.pin_resident(st.object.id(), st.obj_offset) else {
+                        continue;
+                    };
+                    let copied = phys.copy_page(src, &st.top, st.offset);
+                    phys.unpin(src);
+                    return FaultStep::Done(copied.map(|frame| FaultResult {
+                        frame,
+                        object: st.top.clone(),
+                        offset: st.offset,
+                        prot_limit: VmProt::ALL,
+                    }));
+                }
+                // Read fault: map the ancestor's page without write
+                // permission so a later write triggers the copy.
+                return FaultStep::Done(Ok(FaultResult {
+                    frame,
+                    object: st.object.clone(),
+                    offset: st.obj_offset,
+                    prot_limit: !(VmProt::WRITE | residual_lock),
+                }));
+            }
+            PageLookup::Pending => {
+                // Someone (possibly this fault, one step ago) asked the
+                // pager already; wait for the fill.
+                return FaultStep::Park(FaultWait {
+                    object: st.object.id(),
+                    offset: st.obj_offset,
+                    kind: WaitKind::Fill,
+                });
+            }
+            PageLookup::Absent => {
+                st.first_probe = false;
+                if let Some((below, shadow_off)) = st.object.shadow() {
+                    st.obj_offset += shadow_off;
+                    st.object = below;
+                    continue;
+                }
+                if let Some(pager) = st.object.pager() {
+                    // Claim the faulting page, plus — for cluster-capable
+                    // pagers — as many absent neighbors as fit in the
+                    // cluster window, so one message fills the whole run.
+                    // The pager's per-object attribute caps the policy's
+                    // cluster (coherence pagers advise 1: prefetching a
+                    // page they track per client would corrupt their view
+                    // of who caches what).
+                    let cluster = match st.object.cluster_hint() {
+                        0 => st.policy.cluster_pages.max(1),
+                        hint => st.policy.cluster_pages.max(1).min(hint),
+                    };
+                    let claimed = if cluster > 1 && pager.supports_cluster() {
+                        phys.begin_fill_cluster(
+                            st.object.id(),
+                            st.obj_offset,
+                            cluster,
+                            st.object.size(),
+                        )
+                    } else if phys.begin_fill(st.object.id(), st.obj_offset) {
+                        Some((st.obj_offset, 1))
+                    } else {
+                        None
+                    };
+                    if let Some((start, pages)) = claimed {
+                        machine.hot.vm_pager_fills.incr();
+                        st.claimed = Some((st.object.id(), start, pages));
+                        sink.data_request(
+                            &pager,
+                            st.object.id(),
+                            start,
+                            pages as u64 * page,
+                            st.access,
+                        );
+                    }
+                    return FaultStep::Park(FaultWait {
+                        object: st.object.id(),
+                        offset: st.obj_offset,
+                        kind: WaitKind::Fill,
+                    });
+                }
+                // Bottom of the chain with no pager: zero-fill memory. The
+                // page is created in the *faulting* object: it is private
+                // memory that has simply never been touched.
+                return FaultStep::Done(phys.zero_fill(&st.top, st.offset).map(|frame| {
+                    if wants_write {
+                        phys.set_modified(frame);
+                    }
+                    FaultResult {
+                        frame,
+                        object: st.top.clone(),
+                        offset: st.offset,
+                        prot_limit: VmProt::ALL,
+                    }
+                }));
+            }
+        }
+    }
+}
+
 /// Resolves a page fault against `top` at page-aligned `offset`.
 ///
 /// `access` is what the faulting thread is trying to do (already validated
@@ -127,6 +419,12 @@ pub struct FaultResult {
 /// all downstream work — the `pager_data_request` message, the manager's
 /// disk reads, the `pager_data_provided` reply — carries the same id and
 /// forms one inspectable chain in the machine's trace buffer.
+///
+/// When a [`crate::continuation::FaultEngine`] is attached to `phys`, the
+/// fault is submitted there instead: the state machine still runs, but
+/// parked waits live in the engine's continuation table (batched pager
+/// requests, bounded outstanding faults) rather than blocking a kernel
+/// wait primitive, and this thread merely waits on the fault's ticket.
 pub fn resolve_page(
     phys: &PhysicalMemory,
     top: &Arc<VmObject>,
@@ -134,6 +432,9 @@ pub fn resolve_page(
     access: VmProt,
     policy: FaultPolicy,
 ) -> Result<FaultResult, VmError> {
+    if let Some(engine) = phys.fault_engine() {
+        return engine.submit(top, offset, access, policy).wait();
+    }
     let machine = phys.machine().clone();
     machine.clock.charge(machine.cost.fault_overhead_ns);
     machine.hot.vm_faults.incr();
@@ -142,7 +443,7 @@ pub fn resolve_page(
     machine.trace_event("vm.fault", EventKind::Fault);
     let started_ns = machine.clock.now_ns();
     machine.flight.begin(cid.raw(), "vm.fault", started_ns);
-    let result = resolve_page_inner(phys, top, offset, access, policy);
+    let result = resolve_page_sync(phys, top, offset, access, policy);
     // Success *or* failure resolves the chain: only a still-waiting fault
     // may be flagged by the stall watchdog.
     machine.flight.end(cid.raw());
@@ -156,167 +457,52 @@ pub fn resolve_page(
     result
 }
 
-/// The fault loop proper, separated so the wrapper above can emit the
-/// `resume` event and fault-to-resolution sample at every success exit.
-fn resolve_page_inner(
+/// The synchronous driver: steps the state machine on the calling thread,
+/// blocking on the shard condvars at every park — byte-for-byte the
+/// behavior of the old monolithic fault loop, now expressed over
+/// [`fault_step`] so the async engine shares every transition.
+pub(crate) fn resolve_page_sync(
     phys: &PhysicalMemory,
     top: &Arc<VmObject>,
     offset: u64,
     access: VmProt,
     policy: FaultPolicy,
 ) -> Result<FaultResult, VmError> {
-    let machine = phys.machine().clone();
-    // The offset is page-granular relative to the mapping's own alignment;
-    // it need not be page aligned within the object (Section 3.4.1).
-    let page = phys.page_size() as u64;
-
-    let wants_write = access.allows(VmProt::WRITE);
-    let mut object = top.clone();
-    let mut obj_offset = offset;
-    let mut first_probe = true;
-
+    let mut st = FaultState::new(top, offset, access, policy);
+    let mut sink = ImmediateSink;
     loop {
-        if object.is_terminated() {
-            return Err(VmError::ObjectDestroyed);
-        }
-        match phys.lookup(object.id(), obj_offset) {
-            PageLookup::Resident { frame, lock } => {
-                // Negotiate any manager lock prohibiting this access.
-                let frame = if lock.intersects(access) {
-                    if let Some(pager) = object.pager() {
-                        pager.data_unlock(object.id(), obj_offset, page, access);
-                    }
-                    match phys.await_unlock(object.id(), obj_offset, access, policy.pager_timeout) {
-                        Ok(f) => f,
-                        // Flushed while waiting: start over.
-                        Err(VmError::ObjectDestroyed) => continue,
-                        Err(VmError::Timeout) => return handle_timeout(phys, top, offset, policy),
-                        Err(e) => return Err(e),
-                    }
-                } else {
-                    frame
-                };
-                if first_probe {
-                    machine.hot.vm_cache_hits.incr();
-                }
-                let residual_lock = phys
-                    .page_lock(object.id(), obj_offset)
-                    .unwrap_or(VmProt::NONE);
-                if Arc::ptr_eq(&object, top) {
-                    if wants_write {
-                        phys.set_modified(frame);
-                    }
-                    return Ok(FaultResult {
-                        frame,
-                        object,
-                        offset: obj_offset,
-                        prot_limit: !residual_lock,
-                    });
-                }
-                // Page found down the shadow chain.
-                if wants_write {
-                    // Copy-on-write: copy the ancestor's page into the
-                    // faulting object ("a new page is created as a copy of
-                    // the original"). Pin the source page by key so the
-                    // frame cannot be reclaimed — and recycled for another
-                    // page — while its bytes are being copied; on a lost
-                    // race the fault restarts and refills the ancestor.
-                    let Some(src) = phys.pin_resident(object.id(), obj_offset) else {
-                        continue;
-                    };
-                    let copied = phys.copy_page(src, top, offset);
-                    phys.unpin(src);
-                    return Ok(FaultResult {
-                        frame: copied?,
-                        object: top.clone(),
-                        offset,
-                        prot_limit: VmProt::ALL,
-                    });
-                }
-                // Read fault: map the ancestor's page without write
-                // permission so a later write triggers the copy.
-                return Ok(FaultResult {
-                    frame,
-                    object,
-                    offset: obj_offset,
-                    prot_limit: !(VmProt::WRITE | residual_lock),
-                });
-            }
-            PageLookup::Pending => {
-                match phys.await_page(object.id(), obj_offset, policy.pager_timeout) {
-                    // Re-evaluate from the top of this object so lock and
-                    // residency checks run on the fresh page.
-                    Ok(_) => continue,
-                    Err(VmError::Timeout) => return handle_timeout(phys, top, offset, policy),
-                    Err(e) => return Err(e),
+        let wait = match fault_step(phys, &mut st, &mut sink) {
+            FaultStep::Done(result) => return result,
+            FaultStep::Park(wait) => wait,
+        };
+        let waited = match wait.kind {
+            WaitKind::Fill => phys
+                .await_page(wait.object, wait.offset, policy.pager_timeout)
+                .map(|_| ()),
+            WaitKind::Unlock => {
+                match phys.await_unlock(wait.object, wait.offset, access, policy.pager_timeout) {
+                    Ok(_) => Ok(()),
+                    // Flushed while waiting: re-step, which re-probes.
+                    Err(VmError::ObjectDestroyed) => Ok(()),
+                    Err(e) => Err(e),
                 }
             }
-            PageLookup::Absent => {
-                first_probe = false;
-                if let Some((below, shadow_off)) = object.shadow() {
-                    obj_offset += shadow_off;
-                    object = below;
-                    continue;
+        };
+        match waited {
+            Ok(()) => continue,
+            Err(VmError::Timeout) => {
+                if wait.kind == WaitKind::Fill {
+                    st.cancel_claims(phys, wait);
                 }
-                if let Some(pager) = object.pager() {
-                    // Claim the faulting page, plus — for cluster-capable
-                    // pagers — as many absent neighbors as fit in the
-                    // cluster window, so one message fills the whole run.
-                    // The pager's per-object attribute caps the policy's
-                    // cluster (coherence pagers advise 1: prefetching a
-                    // page they track per client would corrupt their view
-                    // of who caches what).
-                    let cluster = match object.cluster_hint() {
-                        0 => policy.cluster_pages.max(1),
-                        hint => policy.cluster_pages.max(1).min(hint),
-                    };
-                    let claimed = if cluster > 1 && pager.supports_cluster() {
-                        phys.begin_fill_cluster(object.id(), obj_offset, cluster, object.size())
-                    } else if phys.begin_fill(object.id(), obj_offset) {
-                        Some((obj_offset, 1))
-                    } else {
-                        None
-                    };
-                    if let Some((start, pages)) = claimed {
-                        machine.hot.vm_pager_fills.incr();
-                        pager.data_request(object.id(), start, pages as u64 * page, access);
-                    }
-                    match phys.await_page(object.id(), obj_offset, policy.pager_timeout) {
-                        Ok(_) => continue,
-                        Err(VmError::Timeout) => {
-                            // Abandon every page this fault claimed: the
-                            // read-ahead pages have no other waiter, so a
-                            // stale pending entry would block later faults
-                            // until their own timeouts.
-                            let (start, pages) = claimed.unwrap_or((obj_offset, 1));
-                            for i in 0..pages as u64 {
-                                phys.cancel_fill(object.id(), start + i * page);
-                            }
-                            return handle_timeout(phys, top, offset, policy);
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                // Bottom of the chain with no pager: zero-fill memory. The
-                // page is created in the *faulting* object: it is private
-                // memory that has simply never been touched.
-                let frame = phys.zero_fill(top, offset)?;
-                if wants_write {
-                    phys.set_modified(frame);
-                }
-                return Ok(FaultResult {
-                    frame,
-                    object: top.clone(),
-                    offset,
-                    prot_limit: VmProt::ALL,
-                });
+                return handle_timeout(phys, top, offset, policy);
             }
+            Err(e) => return Err(e),
         }
     }
 }
 
 /// Applies the policy's timeout action.
-fn handle_timeout(
+pub(crate) fn handle_timeout(
     phys: &PhysicalMemory,
     top: &Arc<VmObject>,
     offset: u64,

@@ -25,6 +25,7 @@
 //!   pmap::Pmap          hardware validation (machine-dependent boundary)
 //! ```
 
+pub mod continuation;
 pub mod fault;
 pub mod lockdep;
 pub mod map;
@@ -34,9 +35,11 @@ pub mod pmap;
 pub mod resident;
 pub mod types;
 
+pub use continuation::{FaultEngine, FaultEngineConfig, FaultTicket};
 pub use fault::{FaultPolicy, FaultResult};
 pub use map::{RegionInfo, VmMap, VmStatistics};
 pub use numa::NumaConfig;
+pub use object::PagerRequest;
 pub use object::{ObjectId, PagerBackend, VmObject};
 pub use pmap::Pmap;
 pub use resident::{FrameCensus, NodeCensus, PageLookup, PageQueue, PhysicalMemory};

@@ -32,6 +32,23 @@ impl fmt::Display for ObjectId {
 
 static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// One run of a batched `pager_data_request` — the unit the async fault
+/// engine coalesces per (pager, object) before shipping a whole batch in
+/// one backlog-exempt `send_many`.
+#[derive(Clone, Copy, Debug)]
+pub struct PagerRequest {
+    /// Start of the run within the object (page aligned).
+    pub offset: u64,
+    /// Length of the run in bytes (whole pages).
+    pub length: u64,
+    /// The access the faulting thread wanted.
+    pub access: VmProt,
+    /// Raw correlation id of the fault that claimed the run (`0` = none);
+    /// stamped on the outgoing message so the causal chain survives the
+    /// batching hop.
+    pub correlation: u64,
+}
+
 /// The kernel's outbound half of the external pager protocol (Table 3-5).
 ///
 /// "These remote procedure calls made by the Mach kernel are asynchronous;
@@ -50,6 +67,27 @@ pub trait PagerBackend: Send + Sync {
 
     /// `pager_data_unlock`: ask the manager to relax the lock on cached data.
     fn data_unlock(&self, object: ObjectId, offset: u64, length: u64, desired_access: VmProt);
+
+    /// Batched `pager_data_request`: every run in `runs` asked for at
+    /// once. The default forwards run by run (correct for any pager);
+    /// IPC-attached backends override it to ship the whole batch in one
+    /// backlog-exempt `send_many`, amortizing the per-message charge —
+    /// the deep pager batching the async fault engine feeds.
+    fn data_request_many(&self, object: ObjectId, runs: &[PagerRequest]) {
+        for r in runs {
+            let _scope = machsim::trace::CorrelationId::from_raw(r.correlation)
+                .map(machsim::trace::CorrelationScope::enter);
+            self.data_request(object, r.offset, r.length, r.access);
+        }
+    }
+
+    /// Whether the manager behind this backend is still reachable. The
+    /// async fault engine polls this for parked continuations so a dead
+    /// pager errors its faults out instead of wedging them forever; the
+    /// in-process default has no port to lose.
+    fn is_alive(&self) -> bool {
+        true
+    }
 
     /// Termination notice: the kernel dropped its last reference.
     fn terminate(&self, object: ObjectId) {

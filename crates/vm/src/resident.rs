@@ -81,6 +81,11 @@ use std::time::Duration;
 /// pager (see [`PhysicalMemory::set_adoption_hook`]).
 type AdoptionHook = Box<dyn Fn(&Arc<VmObject>) + Send + Sync>;
 
+/// Callback invoked after a page event (fill installed/cancelled, lock
+/// changed, page removed) that may unblock a parked fault continuation
+/// (see [`PhysicalMemory::set_completion_hook`]).
+type CompletionHook = Box<dyn Fn(ObjectId, u64) + Send + Sync>;
+
 /// log2 of the number of resident-table shards.
 const SHARD_BITS: u32 = 4;
 /// Number of resident-table shards (power of two for cheap masking).
@@ -337,6 +342,15 @@ pub struct PhysicalMemory {
     /// kernel uses this to register the object for supply routing —
     /// the `pager_create` handshake).
     adoption_hook: RwLock<Option<AdoptionHook>>,
+    /// Called after any page event that can unblock a parked fault — a
+    /// fill installed or cancelled, a lock changed, a page removed. The
+    /// async fault engine registers itself here so continuations resume
+    /// without polling. Always invoked with no shard lock held.
+    completion_hook: RwLock<Option<CompletionHook>>,
+    /// The continuation-based fault engine, when one is attached (see
+    /// [`crate::continuation::FaultEngine`]). Weak: the engine owns an
+    /// `Arc<PhysicalMemory>`, so a strong reference here would leak both.
+    fault_engine: RwLock<Weak<crate::continuation::FaultEngine>>,
 }
 
 impl fmt::Debug for PhysicalMemory {
@@ -428,6 +442,8 @@ impl PhysicalMemory {
             free_event: Condvar::new(),
             default_pager: RwLock::new(None),
             adoption_hook: RwLock::new(None),
+            completion_hook: RwLock::new(None),
+            fault_engine: RwLock::new(Weak::new()),
         })
     }
 
@@ -549,6 +565,35 @@ impl PhysicalMemory {
     /// default pager during pageout (`pager_create`).
     pub fn set_adoption_hook(&self, hook: impl Fn(&Arc<VmObject>) + Send + Sync + 'static) {
         *self.adoption_hook.write() = Some(Box::new(hook));
+    }
+
+    /// Registers a callback invoked — with no shard lock held — after any
+    /// page event that can unblock a parked fault: a fill installed or
+    /// cancelled, a manager lock changed, a page removed. The async fault
+    /// engine uses this to resume continuations without polling.
+    pub fn set_completion_hook(&self, hook: impl Fn(ObjectId, u64) + Send + Sync + 'static) {
+        *self.completion_hook.write() = Some(Box::new(hook));
+    }
+
+    /// Attaches the continuation-based fault engine: from now on
+    /// [`crate::fault::resolve_page`] submits faults to it instead of
+    /// blocking the faulting thread through a miss.
+    pub fn set_fault_engine(&self, engine: &Arc<crate::continuation::FaultEngine>) {
+        *self.fault_engine.write() = Arc::downgrade(engine);
+    }
+
+    /// The attached fault engine, if one is installed and still alive.
+    pub fn fault_engine(&self) -> Option<Arc<crate::continuation::FaultEngine>> {
+        self.fault_engine.read().upgrade()
+    }
+
+    /// Fires the completion hook for a page event on `(object, offset)`.
+    /// Must be called with no shard lock held: the hook re-enters the
+    /// engine's continuation table, which ranks *above* the shard class.
+    fn page_event(&self, object: ObjectId, offset: u64) {
+        if let Some(hook) = self.completion_hook.read().as_ref() {
+            hook(object, offset);
+        }
     }
 
     // ----- queue maintenance (callers hold the queues lock) -----
@@ -739,6 +784,7 @@ impl PhysicalMemory {
         let shard = self.shard(object, offset);
         shard.state.lock().pending.remove(&(object, offset));
         shard.event.notify_all();
+        self.page_event(object, offset);
     }
 
     /// Waits until `(object, offset)` is resident; returns its frame.
@@ -1229,6 +1275,7 @@ impl PhysicalMemory {
             drop(st);
             self.free_frame(frame);
             shard.event.notify_all();
+            self.page_event(key.0, key.1);
             return existing;
         }
         st.resident.insert(key, frame);
@@ -1251,6 +1298,7 @@ impl PhysicalMemory {
         fr.release();
         drop(st);
         shard.event.notify_all();
+        self.page_event(key.0, key.1);
         frame
     }
 
@@ -1315,6 +1363,7 @@ impl PhysicalMemory {
                 st.pending.remove(&key);
                 drop(st);
                 shard.event.notify_all();
+                self.page_event(key.0, key.1);
                 return Ok(frame);
             }
         }
@@ -1862,6 +1911,7 @@ impl PhysicalMemory {
         let first = offset - offset % ps;
         let end = offset.saturating_add(length);
         let mut writebacks: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut removed: Vec<u64> = Vec::new();
         for shard in &self.shards {
             let mut st = shard.state.lock();
             // Enumerate the object's resident pages in range rather than
@@ -1895,6 +1945,7 @@ impl PhysicalMemory {
                         );
                     }
                     st.resident.remove(&(object.id(), page));
+                    removed.push(page);
                     self.drop_replicas_locked(&mut st, (object.id(), page));
                     let mappings = {
                         let mut meta = fr.meta.lock();
@@ -1919,6 +1970,9 @@ impl PhysicalMemory {
             }
             drop(st);
             shard.event.notify_all();
+            for page in removed.drain(..) {
+                self.page_event(object.id(), page);
+            }
         }
         for (page, data) in writebacks {
             self.pageout_data(object, page, data);
@@ -1934,13 +1988,13 @@ impl PhysicalMemory {
         let end = offset.saturating_add(length);
         for shard in &self.shards {
             let st = shard.state.lock();
-            let frames: Vec<usize> = st
+            let pages: Vec<(u64, usize)> = st
                 .resident
                 .iter()
                 .filter(|((id, off), _)| *id == object.id() && *off >= first && *off < end)
-                .map(|(_, &frame)| frame)
+                .map(|((_, off), &frame)| (*off, frame))
                 .collect();
-            for frame in frames {
+            for &(_, frame) in &pages {
                 let mappings = {
                     let mut meta = self.frames[frame].meta.lock();
                     meta.lock = lock;
@@ -1955,6 +2009,9 @@ impl PhysicalMemory {
             }
             drop(st);
             shard.event.notify_all();
+            for (page, _) in pages {
+                self.page_event(object.id(), page);
+            }
         }
     }
 

@@ -21,6 +21,12 @@ cargo bench -p machbench --bench numa_placement -- --smoke
 echo "==> ipc_scaling bench (smoke: batched vs unbatched, handoff vs enqueue)"
 cargo bench -p machbench --bench ipc_scaling -- --smoke
 
+echo "==> fault_concurrency bench (smoke: continuation engine outstanding-fault sweep)"
+cargo bench -p machbench --bench fault_concurrency -- --smoke
+
+echo "==> bench baseline diff (ratchet: BENCH_fault.json vs bench-baseline.toml)"
+cargo run -q -p machbench --bin report bench-diff
+
 echo "==> export smoke (chrome-trace + prometheus round-trip)"
 cargo run -q -p machbench --bin report export-smoke
 
@@ -30,4 +36,4 @@ cargo test -q --features lockdep --test stress --test numa
 echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover)"
 cargo run -q -p machlint -- --workspace
 
-echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, export smoke, lockdep witness and machlint passed."
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency + baseline diff, export smoke, lockdep witness and machlint passed."
