@@ -279,6 +279,12 @@ fn main() {
         println!(
             "   budget={budget:>5}: {fps:>9.0} faults/s | p99 {p99:>9} sim-ns | max outstanding {max_out:>5} | {requests:>5} pager reqs | {batches:>4} batches",
         );
+        // The budget is a hard cap at every level: admission accounting
+        // must never let the table overshoot (the 1025/4097 off-by-one).
+        assert!(
+            max_out <= budget,
+            "budget {budget}: max outstanding {max_out} exceeded the admission cap"
+        );
         rows.push((budget, fps, p99, max_out, requests, batches));
     }
 

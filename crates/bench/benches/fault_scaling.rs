@@ -104,6 +104,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("A. parallel zero-fill faults, disjoint objects ({cores} cores):");
     let mut base = 0.0f64;
+    let mut thread_rows: Vec<(usize, f64)> = Vec::new();
     for &k in &[1usize, 2, 4, 8] {
         let tput = fault_throughput(k, pages_per_thread, 16);
         if k == 1 {
@@ -115,6 +116,7 @@ fn main() {
             tput / base,
             k.min(cores)
         );
+        thread_rows.push((k, tput));
     }
     // The wall-clock speedup above is bounded by the host's cores; the
     // sharding contrast below isolates lock contention itself and shows
@@ -129,6 +131,7 @@ fn main() {
 
     println!("B. sequential demand paging, pager_data_request messages:");
     let mut single = 0u64;
+    let mut cluster_rows: Vec<(usize, u64)> = Vec::new();
     for &c in &[1usize, 8] {
         let reqs = cluster_requests(c, seq_pages);
         if c == 1 {
@@ -138,5 +141,39 @@ fn main() {
             "   cluster={c}: {reqs:>5} messages for {seq_pages} pages  ({:.2}x fewer)",
             single as f64 / reqs as f64
         );
+        cluster_rows.push((c, reqs));
     }
+    let clustered = cluster_rows.last().expect("cluster sweep ran").1.max(1);
+    let cluster_ratio = single as f64 / clustered as f64;
+
+    // Machine-readable trajectory entry at the repository root; `report
+    // bench-diff` ratchets the host-independent cluster message ratio.
+    let mut json = String::from("{\n  \"bench\": \"fault_scaling\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"pages_per_thread\": {pages_per_thread},\n  \"sequential_pages\": {seq_pages},\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str("  \"threads\": [\n");
+    for (i, (k, tput)) in thread_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {k}, \"faults_per_sec\": {tput:.0}}}{}\n",
+            if i + 1 < thread_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"shard_speedup_8t\": {:.2},\n", sharded / one));
+    json.push_str("  \"cluster\": [\n");
+    for (i, (c, reqs)) in cluster_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cluster\": {c}, \"messages\": {reqs}}}{}\n",
+            if i + 1 < cluster_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cluster_message_ratio\": {cluster_ratio:.2}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    std::fs::write(path, &json).expect("write BENCH_scaling.json at the repo root");
+    println!("wrote {path}");
 }

@@ -13,6 +13,39 @@
 use machbench::numa_placement::{self, NumaRow};
 use machsim::Topology;
 
+/// Writes the NUMA ladder as a machine-readable trajectory entry at the
+/// repository root; `report bench-diff` ratchets the (sim-deterministic)
+/// remote-hit and total-time reductions of the full ladder vs the
+/// placement-blind baseline.
+fn write_json(rows: &[NumaRow], mode: &str) {
+    let first = rows.first().expect("ladder has rows");
+    let last = rows.last().expect("ladder has rows");
+    let remote_reduction = first.remote_hits as f64 / last.remote_hits.max(1) as f64;
+    let time_reduction = first.total_ns as f64 / last.total_ns.max(1) as f64;
+    let mut json = String::from("{\n  \"bench\": \"numa_placement\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n  \"ladder\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"remote_hits\": {}, \"local_hits\": {}, \"replications\": {}, \"migrations\": {}, \"shootdowns\": {}, \"total_ns\": {}}}{}\n",
+            r.policy,
+            r.remote_hits,
+            r.local_hits,
+            r.replications,
+            r.migrations,
+            r.shootdowns,
+            r.total_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"remote_hit_reduction\": {remote_reduction:.2},\n  \"time_reduction\": {time_reduction:.2}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_numa.json");
+    std::fs::write(path, &json).expect("write BENCH_numa.json at the repo root");
+    println!("wrote {path}");
+}
+
 fn smoke() {
     let rows: Vec<NumaRow> = numa_placement::policy_ladder()
         .into_iter()
@@ -52,6 +85,7 @@ fn smoke() {
         uma.windows(2).all(|w| w[0] == w[1]),
         "UMA times vary across policies: {uma:?}"
     );
+    write_json(&rows, "smoke");
     println!("numa_placement smoke OK: remote hits and total ns strictly decrease across the NUMA policy ladder; UMA is flat");
 }
 
@@ -60,8 +94,11 @@ fn main() {
         smoke();
         return;
     }
-    println!(
-        "{}",
-        numa_placement::table(&numa_placement::run_default()).render()
-    );
+    let rows = numa_placement::run_default();
+    println!("{}", numa_placement::table(&rows).render());
+    let numa_rows: Vec<NumaRow> = rows
+        .into_iter()
+        .filter(|r| r.topology == Topology::Numa)
+        .collect();
+    write_json(&numa_rows, "full");
 }

@@ -7,6 +7,7 @@
 //! cargo run -p machbench --bin report chrome-trace <out.json>
 //! cargo run -p machbench --bin report prom
 //! cargo run -p machbench --bin report export-smoke
+//! cargo run -p machbench --bin report critical-path [--smoke]
 //! ```
 //!
 //! `--quick` skips the slowest sweeps (compilation, migration) for smoke
@@ -17,15 +18,20 @@
 //! `chrome://tracing`, `prom` prints Prometheus text exposition, and
 //! `export-smoke` validates both formats end to end (nonzero exit on
 //! failure; run from `scripts/check.sh`). `bench-diff` compares the
-//! freshly written `BENCH_fault.json` against the committed ratchet
+//! freshly written bench trajectories (`BENCH_fault.json`,
+//! `BENCH_scaling.json`, `BENCH_numa.json`) against the committed ratchet
 //! baseline (`bench-baseline.toml`) on host-independent metrics only —
-//! scaling ratios and concurrency reach, never absolute ops/sec — and
-//! exits nonzero on regression (also run from `scripts/check.sh`).
+//! scaling ratios, concurrency reach, message counts, never absolute
+//! ops/sec — and exits nonzero on regression (also run from
+//! `scripts/check.sh`). `critical-path` profiles a fault storm with the
+//! span analyzer and prints per-budget phase attribution tables (the E22
+//! data); `--smoke` asserts connected span trees, >= 95% attribution and
+//! live contention/gauge telemetry.
 
 use machbench::{
-    ablation, camelot_bench, compile, cow_msg, export_report, failure, ipc_bench, migration,
-    netshm_bench, numa_placement, pageout, pager_rt, remote_cow, shared_array, topology_bench,
-    trace_report,
+    ablation, camelot_bench, compile, cow_msg, critical_path, export_report, failure, ipc_bench,
+    migration, netshm_bench, numa_placement, pageout, pager_rt, remote_cow, shared_array,
+    topology_bench, trace_report,
 };
 
 /// Scans `text` for `"key": <number>` after byte offset `from` and
@@ -55,47 +61,109 @@ fn toml_num(section: &str, key: &str) -> Option<f64> {
     None
 }
 
+/// One host-independent floor of the ratchet: `json_key` read from the
+/// bench's JSON (after `anchor` when set, for per-sweep-level metrics)
+/// must be at least `floor_key` from the baseline section.
+struct Floor {
+    label: &'static str,
+    json_key: &'static str,
+    floor_key: &'static str,
+    anchor: Option<&'static str>,
+}
+
+/// One bench's ratchet: its JSON trajectory file, its baseline section,
+/// and the floors it must clear.
+struct Ratchet {
+    json_file: &'static str,
+    section: &'static str,
+    floors: &'static [Floor],
+}
+
+/// Every ratcheted bench. Floors are host-independent on purpose
+/// (ratios, concurrency reach, message counts), so a slow CI box cannot
+/// fail the gate and a fast one cannot mask a regression.
+const RATCHETS: &[Ratchet] = &[
+    Ratchet {
+        json_file: "BENCH_fault.json",
+        section: "[fault_concurrency]",
+        floors: &[
+            Floor {
+                label: "scaling 64->4096",
+                json_key: "scaling_64_to_4096",
+                floor_key: "min_scaling_64_to_4096",
+                anchor: None,
+            },
+            Floor {
+                label: "outstanding @4096",
+                json_key: "max_outstanding",
+                floor_key: "min_outstanding_at_4096",
+                anchor: Some("\"outstanding_budget\": 4096"),
+            },
+        ],
+    },
+    Ratchet {
+        json_file: "BENCH_scaling.json",
+        section: "[fault_scaling]",
+        floors: &[Floor {
+            label: "cluster-8 message cut",
+            json_key: "cluster_message_ratio",
+            floor_key: "min_cluster_message_ratio",
+            anchor: None,
+        }],
+    },
+    Ratchet {
+        json_file: "BENCH_numa.json",
+        section: "[numa_placement]",
+        floors: &[
+            Floor {
+                label: "remote-hit reduction",
+                json_key: "remote_hit_reduction",
+                floor_key: "min_remote_hit_reduction",
+                anchor: None,
+            },
+            Floor {
+                label: "sim-time reduction",
+                json_key: "time_reduction",
+                floor_key: "min_time_reduction",
+                anchor: None,
+            },
+        ],
+    },
+];
+
 /// The ratchet gate: every smoke-measured metric listed in the committed
-/// baseline must still clear its floor. Floors are host-independent
-/// (ratios, concurrency reach), so a slow CI box cannot fail the gate and
-/// a fast one cannot mask a regression.
+/// baseline must still clear its floor, across every bench JSON.
 fn bench_diff() -> Result<(), String> {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let json = std::fs::read_to_string(format!("{root}/BENCH_fault.json"))
-        .map_err(|e| format!("BENCH_fault.json not found (run the bench first): {e}"))?;
     let baseline = std::fs::read_to_string(format!("{root}/bench-baseline.toml"))
         .map_err(|e| format!("bench-baseline.toml missing: {e}"))?;
-    let section = baseline
-        .split("[fault_concurrency]")
-        .nth(1)
-        .ok_or("baseline has no [fault_concurrency] section")?;
-
-    let (scaling, _) = json_num(&json, "scaling_64_to_4096", 0)
-        .ok_or("BENCH_fault.json has no scaling_64_to_4096")?;
-    let min_scaling = toml_num(section, "min_scaling_64_to_4096")
-        .ok_or("baseline has no min_scaling_64_to_4096")?;
-
-    // max_outstanding of the sweep level whose budget is 4096.
-    let at = json
-        .find("\"outstanding_budget\": 4096")
-        .ok_or("BENCH_fault.json has no 4096-budget sweep level")?;
-    let (reach, _) =
-        json_num(&json, "max_outstanding", at).ok_or("4096 level has no max_outstanding")?;
-    let min_reach = toml_num(section, "min_outstanding_at_4096")
-        .ok_or("baseline has no min_outstanding_at_4096")?;
-
-    println!("bench-diff: fault_concurrency vs committed baseline");
-    println!("  scaling 64->4096:      {scaling:.2}x  (floor {min_scaling:.2}x)");
-    println!("  outstanding @4096:     {reach:.0}  (floor {min_reach:.0})");
-    if scaling < min_scaling {
-        return Err(format!(
-            "faults/sec scaling regressed: {scaling:.2}x < baseline floor {min_scaling:.2}x"
-        ));
-    }
-    if reach < min_reach {
-        return Err(format!(
-            "outstanding-fault reach regressed: {reach:.0} < baseline floor {min_reach:.0}"
-        ));
+    for r in RATCHETS {
+        let json = std::fs::read_to_string(format!("{root}/{}", r.json_file))
+            .map_err(|e| format!("{} not found (run the bench first): {e}", r.json_file))?;
+        let section = baseline
+            .split(r.section)
+            .nth(1)
+            .ok_or_else(|| format!("baseline has no {} section", r.section))?;
+        println!("bench-diff: {} vs committed baseline", r.section);
+        for f in r.floors {
+            let from = match f.anchor {
+                Some(a) => json
+                    .find(a)
+                    .ok_or_else(|| format!("{} has no `{a}` entry", r.json_file))?,
+                None => 0,
+            };
+            let (value, _) = json_num(&json, f.json_key, from)
+                .ok_or_else(|| format!("{} has no {}", r.json_file, f.json_key))?;
+            let floor = toml_num(section, f.floor_key)
+                .ok_or_else(|| format!("baseline has no {}", f.floor_key))?;
+            println!("  {:<22} {value:.2}  (floor {floor:.2})", f.label);
+            if value < floor {
+                return Err(format!(
+                    "{} regressed: {} = {value:.2} < baseline floor {floor:.2}",
+                    r.section, f.json_key
+                ));
+            }
+        }
     }
     println!("bench-diff OK");
     Ok(())
@@ -133,6 +201,20 @@ fn main() {
             if let Err(e) = bench_diff() {
                 eprintln!("bench-diff FAILED: {e}");
                 std::process::exit(1);
+            }
+            return;
+        }
+        Some("critical-path") => {
+            if args.iter().any(|a| a == "--smoke") {
+                match critical_path::smoke() {
+                    Ok(summary) => println!("{summary}"),
+                    Err(e) => {
+                        eprintln!("critical-path smoke FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                print!("{}", critical_path::sweep());
             }
             return;
         }

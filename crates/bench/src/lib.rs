@@ -13,6 +13,7 @@ pub mod ablation;
 pub mod camelot_bench;
 pub mod compile;
 pub mod cow_msg;
+pub mod critical_path;
 pub mod export_report;
 pub mod failure;
 pub mod ipc_bench;

@@ -175,6 +175,7 @@ impl PagerBackend for IpcPagerBackend {
                     .with(self.ids(&[object.0, r.offset, r.length, r.access.0 as u64]))
                     .with(MsgItem::SendRights(vec![self.request.clone()]));
                 m.correlation = r.correlation;
+                m.parent_span = r.parent_span;
                 m
             })
             .collect();

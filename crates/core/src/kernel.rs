@@ -222,6 +222,9 @@ impl Kernel {
         let dp = DefaultPager::new(paging_dev, config.page_size);
         let dp_handle = spawn_manager(&machine, "default", dp);
         let (_dp_request_name, dp_request) = Self::register_request_port(&service_space, &machine);
+        // Sender-side depth view of the kernel's EMM request port, for the
+        // queue-depth gauge below.
+        let dp_request_depth = dp_request.clone();
         let default_backend = IpcPagerBackend::new(
             &machine,
             dp_handle.port().clone(),
@@ -289,6 +292,56 @@ impl Kernel {
         } else {
             None
         };
+
+        // Queue-depth and occupancy gauges, sampled once per fault-engine
+        // tick and ring-buffered for the Chrome-trace and Prometheus
+        // exporters. Closures hold weak references: the registry lives
+        // inside the machine, which the physical memory itself references,
+        // so a strong capture would leak the whole kernel.
+        {
+            let weak = Arc::downgrade(&phys);
+            machine.gauges.register("gauge.vm.free_frames", move || {
+                weak.upgrade().map_or(0, |p| p.free_frames() as u64)
+            });
+            let weak = Arc::downgrade(&phys);
+            machine.gauges.register("gauge.vm.pending_fills", move || {
+                weak.upgrade().map_or(0, |p| {
+                    p.shard_occupancy()
+                        .iter()
+                        .map(|&(_, pending)| pending as u64)
+                        .sum()
+                })
+            });
+            machine
+                .gauges
+                .register("gauge.ipc.kernel_port_depth", move || {
+                    dp_request_depth.queued() as u64
+                });
+            if let Some(engine) = &fault_engine {
+                let weak = Arc::downgrade(engine);
+                machine.gauges.register("gauge.fault.outstanding", move || {
+                    weak.upgrade().map_or(0, |e| e.outstanding() as u64)
+                });
+                let weak = Arc::downgrade(engine);
+                machine
+                    .gauges
+                    .register("gauge.pager.inflight_pages", move || {
+                        weak.upgrade().map_or(0, |e| e.inflight_pages() as u64)
+                    });
+            }
+            if phys.nodes() > 1 {
+                for node in 0..phys.nodes() {
+                    let weak = Arc::downgrade(&phys);
+                    machine.gauges.register(
+                        &format!("gauge.vm.node{node}.free_frames"),
+                        move || {
+                            weak.upgrade()
+                                .map_or(0, |p| p.node_census().get(node).map_or(0, |nc| nc.free))
+                        },
+                    );
+                }
+            }
+        }
 
         let kernel = Arc::new(Kernel {
             machine: machine.clone(),
@@ -407,6 +460,11 @@ impl Kernel {
                 break;
             };
             for msg in batch {
+                // Batched dequeue adopts only the last message's context;
+                // re-adopt per message so every supply joins (and nests
+                // under) its own originating fault's chain.
+                machsim::trace::set_current_correlation(CorrelationId::from_raw(msg.correlation));
+                machsim::trace::set_current_span(msg.span_context());
                 let ids: Vec<u64> = msg
                     .body
                     .iter()
@@ -424,12 +482,16 @@ impl Kernel {
                             // correlation id, so the supply (and the
                             // `data_provided` event it emits) joins the
                             // originating fault's chain.
-                            phys.machine().trace_event(
+                            let machine = phys.machine();
+                            let sp = machine.span_open("pager.reply");
+                            let _inside = machsim::trace::SpanScope::enter(sp);
+                            machine.trace_event(
                                 "kernel.service",
                                 machsim::EventKind::Mark("kernel_supply"),
                             );
                             let lock = VmProt(ids[2] as u8);
                             let _ = phys.supply_page(&obj, ids[1], data.as_slice(), lock);
+                            machine.span_close("pager.reply", sp);
                         }
                     }
                     proto::PAGER_DATA_UNAVAILABLE => {

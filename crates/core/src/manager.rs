@@ -298,8 +298,14 @@ fn dispatch<M: DataManager>(
                 // when it dequeued this message, so the event (and any
                 // disk reads the manager performs) lands in the chain.
                 machine.trace_event(&format!("pager.{label}"), machsim::EventKind::DataRequest);
+                // The service span covers the manager's whole handling of
+                // one request, and becomes the thread's current span so
+                // the reply send (inside `data_request`) nests under it.
+                let sp = machine.span_open("pager.service");
+                let _inside = machsim::trace::SpanScope::enter(sp);
                 let conn = KernelConn::new(machine, rights.remove(0));
                 mgr.data_request(&conn, ids[0], ids[1], ids[2], VmProt(ids[3] as u8));
+                machine.span_close("pager.service", sp);
             }
         }
         proto::PAGER_DATA_UNLOCK => {
@@ -350,6 +356,13 @@ pub fn spawn_manager<M: DataManager>(machine: &Machine, label: &str, mut mgr: M)
             match rx.receive_many(PAGER_BATCH, None) {
                 Ok(batch) => {
                     for msg in batch {
+                        // Adopt each message's own chain context: batch
+                        // dequeue installed only the last message's, and
+                        // a burst mixes many faults' chains.
+                        machsim::trace::set_current_correlation(machsim::CorrelationId::from_raw(
+                            msg.correlation,
+                        ));
+                        machsim::trace::set_current_span(msg.span_context());
                         if !dispatch(&machine, &label, &self_port, &mut mgr, msg) {
                             break 'serve;
                         }

@@ -246,6 +246,13 @@ pub struct Message {
     /// Simulated send timestamp on the sender's clock (0 = unset), used
     /// to record the `ipc.send_to_receive` latency histogram.
     pub sent_at_ns: u64,
+    /// Span id the message's downstream work should nest under (0 = none):
+    /// the sender's current span, or whatever chain context the sending
+    /// subsystem stamped explicitly.
+    pub parent_span: u64,
+    /// The open `ipc.queued` span covering this message's time in the
+    /// queue (0 = none); closed at dequeue.
+    pub queue_span: u64,
 }
 
 impl Message {
@@ -257,6 +264,18 @@ impl Message {
             body: Vec::new(),
             correlation: 0,
             sent_at_ns: 0,
+            parent_span: 0,
+            queue_span: 0,
+        }
+    }
+
+    /// The span a receiver's work should nest under: the queue span when
+    /// the message sat in a queue, else the sender's stamped parent.
+    pub fn span_context(&self) -> u64 {
+        if self.queue_span != 0 {
+            self.queue_span
+        } else {
+            self.parent_span
         }
     }
 

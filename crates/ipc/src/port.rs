@@ -268,6 +268,18 @@ impl PortCore {
                 msg.correlation = cid.raw();
             }
         }
+        if msg.correlation != 0 {
+            if msg.parent_span == 0 {
+                msg.parent_span = trace::ambient_span_for(msg.correlation);
+            }
+            // The queue span covers the message's time between enqueue
+            // and dequeue — the profiler's per-hop queueing delay.
+            msg.queue_span = self.ctx.span_open_with(
+                "ipc.queued",
+                msg.parent_span,
+                trace::CorrelationId::from_raw(msg.correlation),
+            );
+        }
         msg.sent_at_ns = self.ctx.clock.now_ns();
         self.ctx.trace_event_with(
             &self.id.to_string(),
@@ -295,6 +307,18 @@ impl PortCore {
             if let Some(cid) = trace::current_correlation() {
                 msg.correlation = cid.raw();
             }
+        }
+        if msg.correlation != 0 {
+            if msg.parent_span == 0 {
+                msg.parent_span = trace::ambient_span_for(msg.correlation);
+            }
+            // A handoff never queues: emit a zero-duration span (queueing
+            // delay really is zero) and re-parent the message under it so
+            // the receiver's work shows up below the handoff in the tree.
+            let cid = trace::CorrelationId::from_raw(msg.correlation);
+            let hs = self.ctx.span_open_with("ipc.handoff", msg.parent_span, cid);
+            self.ctx.span_close_with("ipc.handoff", hs, cid);
+            msg.parent_span = hs;
         }
         msg.sent_at_ns = self.ctx.clock.now_ns();
         self.ctx.trace_event_with(
@@ -336,6 +360,11 @@ impl PortCore {
                     m.correlation = cid.raw();
                 }
             }
+            // Batch sends stay cheap: stamp the parent for downstream
+            // nesting but skip per-message queue spans.
+            if m.parent_span == 0 {
+                m.parent_span = trace::ambient_span_for(m.correlation);
+            }
             m.sent_at_ns = now;
         }
         self.ctx.trace_event_with(
@@ -358,9 +387,13 @@ impl PortCore {
                 now.saturating_sub(msg.sent_at_ns),
             );
         }
+        if msg.queue_span != 0 {
+            self.ctx.span_close_with("ipc.queued", msg.queue_span, cid);
+        }
         self.ctx
             .trace_event_with(&self.id.to_string(), EventKind::MsgRecv, cid);
         trace::set_current_correlation(cid);
+        trace::set_current_span(msg.span_context());
     }
 
     /// Batch variant of [`PortCore::finish_recv`]: per-message latency
@@ -380,11 +413,19 @@ impl PortCore {
                     now.saturating_sub(m.sent_at_ns),
                 );
             }
+            if m.queue_span != 0 {
+                self.ctx.span_close_with(
+                    "ipc.queued",
+                    m.queue_span,
+                    trace::CorrelationId::from_raw(m.correlation),
+                );
+            }
         }
         let cid = trace::CorrelationId::from_raw(last.correlation);
         self.ctx
             .trace_event_with(&self.id.to_string(), EventKind::MsgRecv, cid);
         trace::set_current_correlation(cid);
+        trace::set_current_span(last.span_context());
     }
 
     // ----- wakeup plumbing -----
@@ -993,6 +1034,12 @@ impl SendRight {
     /// The identity of the port this right names.
     pub fn id(&self) -> PortId {
         self.core.id
+    }
+
+    /// Number of messages currently queued on the target port — the
+    /// sender-side view of queue depth, for backlog gauges.
+    pub fn queued(&self) -> usize {
+        self.core.depth.load(Ordering::SeqCst)
     }
 
     /// `msg_send`: queues a message, blocking while the queue is full.

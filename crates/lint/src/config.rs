@@ -78,10 +78,14 @@ pub struct CounterKeysConfig {
 }
 
 /// L5: sim-time-charging entry points must emit trace events.
+/// L6: span-instrumented files must pair every phase open with a close.
 #[derive(Debug)]
 pub struct TraceConfig {
     /// Files (workspace-relative) holding the charged entry points.
     pub files: Vec<String>,
+    /// Files (workspace-relative) instrumented with phase spans; each
+    /// must open and close the same set of span-name literals (L6).
+    pub span_files: Vec<String>,
     /// Methods that charge the simulated clock.
     pub charge_methods: Vec<String>,
     /// Identifiers that count as emitting observability.
@@ -177,6 +181,7 @@ impl Config {
 
         let trace = TraceConfig {
             files: doc.get_str_array("trace", "files"),
+            span_files: doc.get_str_array("trace", "span_files"),
             charge_methods: doc.get_str_array("trace", "charge_methods"),
             emitters: doc.get_str_array("trace", "emitters"),
             allow: fn_allows(doc, "trace.allow")?,

@@ -16,6 +16,9 @@
 //!   against `lint-baseline.toml`.
 //! - **L5 trace-cover** — public entry points that charge the simulated
 //!   clock must emit trace events.
+//! - **L6 span-pair** — files instrumented with phase spans must open
+//!   and close the same set of span-name literals, so no phase leaks
+//!   unclosed spans into critical-path reports.
 //!
 //! Configuration lives in `machlint.toml` at the workspace root; every
 //! allowlist bypass carries a written justification. `scripts/check.sh`
@@ -99,6 +102,9 @@ pub fn run(root: &Path, update_baseline: bool) -> Result<Report, String> {
         lints::counter_keys::check(m, &cfg.counter_keys, &mut findings);
         if cfg.trace.files.iter().any(|f| f == &m.path) {
             lints::trace_cover::check(m, &cfg.trace, &mut findings);
+        }
+        if cfg.trace.span_files.iter().any(|f| f == &m.path) {
+            lints::span_pair::check(m, &cfg.trace, &mut findings);
         }
     }
 

@@ -1,4 +1,4 @@
-//! The five lint passes. Each is a pure function from a [`FileModel`]
+//! The six lint passes. Each is a pure function from a [`FileModel`]
 //! (plus its slice of the config) to findings; `crate::run` owns file
 //! scoping and sequencing.
 //!
@@ -8,4 +8,5 @@ pub mod counter_keys;
 pub mod lock_order;
 pub mod panic_budget;
 pub mod sim_time;
+pub mod span_pair;
 pub mod trace_cover;

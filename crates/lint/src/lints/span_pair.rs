@@ -1,0 +1,161 @@
+//! L6 — span pairing: in files instrumented with structured phase spans,
+//! the set of phase names opened (`span_open` / `span_open_under` /
+//! `span_open_with`) must equal the set closed (`span_close` /
+//! `span_close_with`) within the same file. An open with no close leaks
+//! unclosed spans into every critical-path report; a close with no open
+//! is a stale call site for a phase that no longer exists. The close
+//! methods take the phase-name literal precisely so this check can be
+//! static.
+//!
+//! `span_enter` (the RAII guard) is exempt by construction: its guard
+//! closes the span with the same literal, so it cannot unpair.
+//!
+//! The check is per-file on purpose. Cross-host spans (`net.hop`) open on
+//! one machine's ring and close on another's, but both call sites live in
+//! the same function — the invariant the profiler needs is that every
+//! phase name has both ends *somewhere the lint can see them together*.
+
+use crate::config::TraceConfig;
+use crate::lexer::Tok;
+use crate::model::FileModel;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+const OPENERS: [&str; 3] = ["span_open", "span_open_under", "span_open_with"];
+const CLOSERS: [&str; 2] = ["span_close", "span_close_with"];
+
+/// The phase-name literal of a `method("name", …)` call at token `i`,
+/// tolerating a newline between `(` and the literal.
+fn phase_arg(model: &FileModel, i: usize) -> Option<(String, u32)> {
+    let toks = &model.tokens;
+    if !toks.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    match &toks.get(i + 2)?.tok {
+        Tok::Str(name) => Some((name.clone(), toks[i].line)),
+        _ => None,
+    }
+}
+
+/// Runs the lint over one file (already confirmed to be in scope).
+pub fn check(model: &FileModel, _cfg: &TraceConfig, findings: &mut Vec<Finding>) {
+    let mut opened: BTreeMap<String, u32> = BTreeMap::new();
+    let mut closed: BTreeMap<String, u32> = BTreeMap::new();
+    for (i, t) in model.tokens.iter().enumerate() {
+        if model.is_test[i] {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        let bucket = if OPENERS.contains(&id) {
+            &mut opened
+        } else if CLOSERS.contains(&id) {
+            &mut closed
+        } else {
+            continue;
+        };
+        if let Some((name, line)) = phase_arg(model, i) {
+            bucket.entry(name).or_insert(line);
+        }
+    }
+    for (name, &line) in &opened {
+        if !closed.contains_key(name) {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line,
+                lint: "span-pair",
+                msg: format!(
+                    "span \"{name}\" is opened here but never closed in this \
+                     file; every phase span must pair its open and close (or \
+                     use the span_enter RAII guard)"
+                ),
+            });
+        }
+    }
+    for (name, &line) in &closed {
+        if !opened.contains_key(name) {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line,
+                lint: "span-pair",
+                msg: format!(
+                    "span \"{name}\" is closed here but never opened in this \
+                     file; stale close for a phase that no longer exists?"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            files: vec![],
+            span_files: vec!["fault.rs".into()],
+            charge_methods: vec!["charge".into()],
+            emitters: vec!["trace_event".into()],
+            allow: vec![],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = FileModel::new("fault.rs".into(), src);
+        let mut out = Vec::new();
+        check(&model, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn paired_open_close_is_clean() {
+        let f = run(r#"fn f(m: &Machine) {
+                let s = m.span_open("fault.submit");
+                m.span_close("fault.submit", s);
+            }"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn multiline_call_and_variant_methods_pair() {
+        let f = run(r#"fn f(m: &Machine) {
+                let s = m.span_open_with(
+                    "ipc.queued",
+                    parent,
+                    cid,
+                );
+                m.span_close_with("ipc.queued", s, cid);
+            }"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unclosed_open_fires() {
+        let f = run(r#"fn f(m: &Machine) { let _s = m.span_open("fault.parked"); }"#);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("never closed"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn stale_close_fires() {
+        let f = run(r#"fn f(m: &Machine) { m.span_close("gone.phase", s); }"#);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("never opened"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn span_enter_guard_is_exempt() {
+        let f = run(r#"fn f(m: &Machine) { let _g = m.span_enter("fault.fast"); }"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let f = run(r#"#[cfg(test)]
+            mod tests {
+                fn f(m: &Machine) { let _s = m.span_open("only.in.test"); }
+            }"#);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

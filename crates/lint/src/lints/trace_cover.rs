@@ -66,6 +66,7 @@ mod tests {
     fn cfg(allow: Vec<FnAllow>) -> TraceConfig {
         TraceConfig {
             files: vec!["fault.rs".into()],
+            span_files: vec![],
             charge_methods: vec!["charge".into(), "charge_us".into(), "charge_ms".into()],
             emitters: vec![
                 "trace_event".into(),

@@ -57,8 +57,8 @@ fn main() -> ExitCode {
     }
     if report.findings.is_empty() {
         println!(
-            "machlint: clean ({} files, 5 lints: lock-order sim-time counter-key \
-             panic-budget trace-cover)",
+            "machlint: clean ({} files, 6 lints: lock-order sim-time counter-key \
+             panic-budget trace-cover span-pair)",
             report.files_scanned
         );
         ExitCode::SUCCESS

@@ -233,9 +233,32 @@ impl Fabric {
         a == b || !self.inner.lock().partitions.contains(&pair(a, b))
     }
 
-    fn charge_transfer(&self, from: &Host, to: &Host, bytes: u64, correlation: u64) {
+    /// Charges both ends of one hop and emits the cross-host `net.hop`
+    /// span: opened on the sender's trace ring, closed — with the *same*
+    /// span id — on the receiver's, so merged traces stay one connected
+    /// tree across the fabric. Returns the hop span id (0 when the
+    /// message carries no correlation).
+    fn charge_transfer(
+        &self,
+        from: &Host,
+        to: &Host,
+        bytes: u64,
+        correlation: u64,
+        parent_span: u64,
+    ) -> u64 {
         let cid = machsim::CorrelationId::from_raw(correlation)
             .or_else(machsim::trace::current_correlation);
+        let hop = match cid {
+            Some(c) => {
+                let parent = if parent_span != 0 {
+                    parent_span
+                } else {
+                    machsim::trace::ambient_span_for(c.raw())
+                };
+                from.machine().span_open_with("net.hop", parent, cid)
+            }
+            None => 0,
+        };
         for (end, kind) in [
             (from, machsim::EventKind::NetSend),
             (to, machsim::EventKind::NetRecv),
@@ -246,6 +269,10 @@ impl Fabric {
             m.stats.add(keys::NET_BYTES, bytes);
             m.trace_event_with("net.fabric", kind, cid);
         }
+        if hop != 0 {
+            to.machine().span_close_with("net.hop", hop, cid);
+        }
+        hop
     }
 
     /// Sends `msg` from `from` to a port whose receiver lives on `to`.
@@ -266,10 +293,14 @@ impl Fabric {
         // Out-of-line data crosses the wire: it is physically transmitted,
         // unlike the local case where it is remapped.
         let bytes = (msg.inline_len() + msg.ool_len()) as u64;
-        self.charge_transfer(from, to, bytes, msg.correlation);
+        let mut msg = msg;
+        let hop = self.charge_transfer(from, to, bytes, msg.correlation, msg.parent_span);
+        if hop != 0 {
+            // Remote-side spans nest under the network hop.
+            msg.parent_span = hop;
+        }
         // Rights in the message now live on `to`'s side of the network:
         // rewrite them so replies cross back through the fabric.
-        let mut msg = msg;
         self.rewrite_rights(to, from, &mut msg);
         port.send(msg, timeout)?;
         Ok(())
@@ -289,10 +320,18 @@ impl Fabric {
             return Err(NetError::Partitioned);
         }
         let bytes = (msg.inline_len() + msg.ool_len()) as u64;
-        self.charge_transfer(from, to, bytes, msg.correlation);
+        let mut msg = msg;
+        let hop = self.charge_transfer(from, to, bytes, msg.correlation, msg.parent_span);
+        if hop != 0 {
+            msg.parent_span = hop;
+        }
         let mut reply = port.rpc(msg, timeout, timeout)?;
         let reply_bytes = (reply.inline_len() + reply.ool_len()) as u64;
-        self.charge_transfer(to, from, reply_bytes, reply.correlation);
+        let back =
+            self.charge_transfer(to, from, reply_bytes, reply.correlation, reply.parent_span);
+        if back != 0 {
+            reply.parent_span = back;
+        }
         self.rewrite_rights(from, to, &mut reply);
         Ok(reply)
     }

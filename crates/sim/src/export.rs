@@ -18,6 +18,7 @@
 //! [`parse_prometheus`]) used by the export smoke test to round-trip the
 //! rendered output — no external JSON/metrics crates exist in this tree.
 
+use crate::gauge::GaugeSeries;
 use crate::machine::Machine;
 use crate::stats::StatsSnapshot;
 use crate::trace::{Histogram, TraceEvent};
@@ -62,6 +63,20 @@ fn ts_us(ts_ns: u64) -> String {
 /// instants. `dropped` (from `TraceBuffer::dropped`) is recorded under
 /// `otherData` so silent ring overflow is visible in the artifact itself.
 pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
+    chrome_trace_with(events, dropped, &[])
+}
+
+/// The JSON args fragment carrying span identity, or "" for plain events.
+fn span_args(e: &TraceEvent) -> String {
+    e.span.map_or_else(String::new, |s| {
+        format!(",\"span\":{},\"span_parent\":{}", s.id, s.parent)
+    })
+}
+
+/// [`chrome_trace`] plus `ph:"C"` counter tracks, one per sampled gauge
+/// series — Perfetto renders each as a little area chart above the event
+/// tracks, so queue depths line up visually with the chains they slowed.
+pub fn chrome_trace_with(events: &[TraceEvent], dropped: u64, gauges: &[GaugeSeries]) -> String {
     // Stable pid per host, in order of first appearance.
     let mut hosts: Vec<Arc<str>> = Vec::new();
     for e in events {
@@ -91,12 +106,13 @@ pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
             // Uncorrelated: a plain thread-scoped instant event.
             records.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
-                 \"pid\":{},\"tid\":0,\"args\":{{\"actor\":\"{}\",\"seq\":{}}}}}",
+                 \"pid\":{},\"tid\":0,\"args\":{{\"actor\":\"{}\",\"seq\":{}{}}}}}",
                 json_escape(&e.kind.to_string()),
                 ts_us(e.ts_ns),
                 pid_of(&e.host),
                 json_escape(&e.actor),
-                e.seq
+                e.seq,
+                span_args(e)
             ));
         }
     }
@@ -117,12 +133,13 @@ pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
             records.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"chain\",\"ph\":\"n\",\"id\":{cid},\"ts\":{},\
                  \"pid\":{pid},\"tid\":{cid},\
-                 \"args\":{{\"actor\":\"{}\",\"host\":\"{}\",\"seq\":{}}}}}",
+                 \"args\":{{\"actor\":\"{}\",\"host\":\"{}\",\"seq\":{}{}}}}}",
                 json_escape(&e.kind.to_string()),
                 ts_us(e.ts_ns),
                 json_escape(&e.actor),
                 json_escape(&e.host),
-                e.seq
+                e.seq,
+                span_args(e)
             ));
         }
         records.push(format!(
@@ -130,6 +147,17 @@ pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
              \"ts\":{},\"pid\":{pid},\"tid\":{cid}}}",
             ts_us(last.ts_ns)
         ));
+    }
+
+    for g in gauges {
+        for &(ts_ns, value) in &g.samples {
+            records.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"tid\":0,\"args\":{{\"value\":{value}}}}}",
+                json_escape(&g.name),
+                ts_us(ts_ns)
+            ));
+        }
     }
 
     let mut out = String::new();
@@ -144,9 +172,14 @@ pub fn chrome_trace(events: &[TraceEvent], dropped: u64) -> String {
     out
 }
 
-/// Renders `machine`'s trace ring as catapult JSON (see [`chrome_trace`]).
+/// Renders `machine`'s trace ring (plus its sampled gauge series) as
+/// catapult JSON (see [`chrome_trace_with`]).
 pub fn chrome_trace_for(machine: &Machine) -> String {
-    chrome_trace(&machine.trace.snapshot(), machine.trace.dropped())
+    chrome_trace_with(
+        &machine.trace.snapshot(),
+        machine.trace.dropped(),
+        &machine.gauges.snapshot(),
+    )
 }
 
 // ----- Prometheus text exposition -----
@@ -246,13 +279,55 @@ pub fn prometheus(
     prometheus_from(&counters, &histograms, dropped)
 }
 
-/// Renders `machine`'s registries in Prometheus text format.
+/// The process-wide lock-contention profile as exporter material:
+/// per-class `lock.contended.<class>` counters plus `lock.wait.<class>` /
+/// `lock.hold.<class>` histograms (wall-ns — host diagnostics, kept apart
+/// from any sim-time latency registry; see [`crate::lockdep`]).
+pub fn lock_contention_data() -> (Vec<(String, u64)>, Vec<HistogramData>) {
+    let mut counters = Vec::new();
+    let mut histograms = Vec::new();
+    for c in crate::lockdep::contention_snapshot() {
+        let class = c.class.name();
+        counters.push((format!("lock.contended.{class}"), c.contended));
+        histograms.push(HistogramData::of(&format!("lock.wait.{class}"), c.wait_ns));
+        histograms.push(HistogramData::of(&format!("lock.hold.{class}"), c.hold_ns));
+    }
+    (counters, histograms)
+}
+
+/// Renders gauges' most recent sampled values as Prometheus gauges.
+pub fn prometheus_gauges(latest: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (name, value) in latest {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# HELP {metric} {name}");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
+/// Renders `machine`'s registries in Prometheus text format, including
+/// the per-LockClass contention profile and the latest gauge samples.
 pub fn prometheus_for(machine: &Machine) -> String {
-    prometheus(
-        &machine.stats.snapshot(),
-        &machine.latency.snapshot(),
-        machine.trace.dropped(),
-    )
+    let (lock_counters, lock_histograms) = lock_contention_data();
+    let mut counters: Vec<(String, u64)> = machine
+        .stats
+        .snapshot()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counters.extend(lock_counters);
+    let mut histograms: Vec<HistogramData> = machine
+        .latency
+        .snapshot()
+        .iter()
+        .map(|(name, h)| HistogramData::of(name, h))
+        .collect();
+    histograms.extend(lock_histograms);
+    let mut out = prometheus_from(&counters, &histograms, machine.trace.dropped());
+    out.push_str(&prometheus_gauges(&machine.gauges.latest()));
+    out
 }
 
 // ----- minimal JSON parser (for export validation) -----
@@ -705,6 +780,58 @@ mod tests {
             "cumulative counts never decrease: {bucket_values:?}"
         );
         assert_eq!(*bucket_values.last().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn chrome_trace_carries_span_args_and_gauge_tracks() {
+        let m = Machine::default_machine();
+        let cid = CorrelationId::allocate();
+        let _scope = crate::trace::CorrelationScope::enter(cid);
+        let root = m.span_open_under("fault.submit", 0);
+        m.clock.charge(1_000);
+        m.span_close("fault.submit", root);
+        m.gauges.register("gauge.test.depth", || 5);
+        m.sample_gauges();
+        let json = chrome_trace_for(&m);
+        validate_chrome_trace(&json).expect("valid with spans and gauges");
+        let doc = parse_json(&json).expect("export parses");
+        let te = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let opens: Vec<_> = te
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("fault.submit:open"))
+            .collect();
+        assert_eq!(opens.len(), 1);
+        assert_eq!(
+            opens[0].get("args").and_then(|a| a.get("span")),
+            Some(&JsonValue::Num(root as f64))
+        );
+        assert!(te.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                && e.get("name").and_then(JsonValue::as_str) == Some("gauge.test.depth")
+        }));
+    }
+
+    #[test]
+    fn prometheus_includes_lock_contention_and_gauges() {
+        let m = Machine::default_machine();
+        // Touch a classified lock so at least one class has traffic.
+        let lock = crate::lockdep::ClassMutex::new(crate::lockdep::LockClass::Queues, ());
+        drop(lock.lock());
+        m.gauges.register("gauge.vm.free_frames", || 128);
+        m.sample_gauges();
+        let text = prometheus_for(&m);
+        assert!(
+            text.contains("# TYPE lock_hold_queues_ns histogram"),
+            "per-class hold histogram exported"
+        );
+        assert!(text.contains("lock_contended_queues"));
+        assert!(text.contains("# TYPE gauge_vm_free_frames gauge"));
+        let parsed = parse_prometheus(&text).expect("parsable");
+        assert_eq!(parsed.get("gauge_vm_free_frames"), Some(&128.0));
+        assert!(parsed.contains_key("lock_hold_queues_ns_count"));
     }
 
     #[test]

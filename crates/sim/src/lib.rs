@@ -20,9 +20,11 @@ pub mod clock;
 pub mod cost;
 pub mod export;
 pub mod flight;
+pub mod gauge;
 pub mod lockdep;
 pub mod machine;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -31,10 +33,13 @@ pub mod wall;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use flight::{FlightRecorder, InFlightChain};
-pub use machine::Machine;
+pub use gauge::{GaugeRegistry, GaugeSeries};
+pub use machine::{Machine, SpanGuard};
 pub use rng::SplitMix64;
+pub use span::{ChainAttribution, CriticalPathReport, SpanRecord};
 pub use stats::{Counter, HotCounters, StatsRegistry, StatsSnapshot};
 pub use topology::{MemoryKind, Topology};
 pub use trace::{
-    CorrelationId, CorrelationScope, EventKind, Histogram, LatencyRegistry, TraceBuffer, TraceEvent,
+    CorrelationId, CorrelationScope, EventKind, Histogram, LatencyRegistry, SpanInfo, SpanScope,
+    TraceBuffer, TraceEvent,
 };

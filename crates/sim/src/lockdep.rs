@@ -26,9 +26,25 @@
 //! Without the feature, [`acquire`] is a no-op returning a zero-sized
 //! token and the wrappers compile down to the raw `parking_lot` types plus
 //! one dead `u8`, so default builds pay nothing.
+//!
+//! Independently of the witness feature, every classified lock feeds an
+//! **always-on contention profile**: per-class acquisition/contention
+//! counters plus wait- and hold-time histograms (see
+//! [`contention_snapshot`]). The profile times *wall* nanoseconds via the
+//! [`crate::wall`] airlock — lock contention is a property of the host
+//! executing the simulation, not of simulated time — so these histograms
+//! are diagnostic only and must never be mixed into a machine's sim-time
+//! [`LatencyRegistry`](crate::trace::LatencyRegistry). Hold times include
+//! any condvar waits performed through [`ClassMutexGuard::inner_mut`]
+//! (the fault table's idle ticks show up as ~1 ms holds by design).
 
+use crate::trace::Histogram;
+use crate::wall;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// The classes of the declared hierarchy, outermost first.
 ///
@@ -68,6 +84,18 @@ pub enum LockClass {
 }
 
 impl LockClass {
+    /// Every class, in rank order (indexable by [`LockClass::rank`]).
+    pub const ALL: [LockClass; 8] = [
+        LockClass::FaultTable,
+        LockClass::Shard,
+        LockClass::FrameMeta,
+        LockClass::FrameData,
+        LockClass::Queues,
+        LockClass::NumaPool,
+        LockClass::PortControl,
+        LockClass::PortShard,
+    ];
+
     /// Position in the hierarchy; lower ranks must be taken first.
     pub fn rank(self) -> u8 {
         self as u8
@@ -86,6 +114,92 @@ impl LockClass {
             LockClass::PortShard => "port-shard",
         }
     }
+}
+
+/// Per-class contention statistics (process-wide, like the witness: one
+/// simulated host's locks are not distinguishable from another's here,
+/// which is fine for a host-level diagnostic).
+struct ClassStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: Histogram,
+    hold_ns: Histogram,
+}
+
+fn class_stats() -> &'static [ClassStats; 8] {
+    static STATS: OnceLock<[ClassStats; 8]> = OnceLock::new();
+    STATS.get_or_init(|| {
+        std::array::from_fn(|_| ClassStats {
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_ns: Histogram::new(),
+            hold_ns: Histogram::new(),
+        })
+    })
+}
+
+fn stats_of(class: LockClass) -> &'static ClassStats {
+    &class_stats()[class.rank() as usize]
+}
+
+/// One class's slice of the contention profile (see
+/// [`contention_snapshot`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ClassContention {
+    /// The lock class profiled.
+    pub class: LockClass,
+    /// Total classified acquisitions (lock/read/write calls).
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+    /// Wall-ns spent blocked, one sample per contended acquisition.
+    pub wait_ns: &'static Histogram,
+    /// Wall-ns each guard was held (includes condvar waits under it).
+    pub hold_ns: &'static Histogram,
+}
+
+/// The contention profile of every class that saw traffic, in rank order.
+pub fn contention_snapshot() -> Vec<ClassContention> {
+    LockClass::ALL
+        .iter()
+        .map(|&class| {
+            let s = stats_of(class);
+            ClassContention {
+                class,
+                acquisitions: s.acquisitions.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+                wait_ns: &s.wait_ns,
+                hold_ns: &s.hold_ns,
+            }
+        })
+        .filter(|c| c.acquisitions > 0)
+        .collect()
+}
+
+/// Total contended acquisitions across every class (the process-wide
+/// `lock.contended` feed; machines fold deltas into their stats when
+/// sampling gauges).
+pub fn contention_total() -> u64 {
+    class_stats()
+        .iter()
+        .map(|s| s.contended.load(Ordering::Relaxed))
+        .sum()
+}
+
+fn record_wait(class: LockClass, blocked_from: Instant) {
+    stats_of(class).wait_ns.record(
+        wall::now()
+            .saturating_duration_since(blocked_from)
+            .as_nanos() as u64,
+    );
+}
+
+fn record_hold(class: LockClass, acquired_at: Instant) {
+    stats_of(class).hold_ns.record(
+        wall::now()
+            .saturating_duration_since(acquired_at)
+            .as_nanos() as u64,
+    );
 }
 
 #[cfg(feature = "lockdep")]
@@ -187,12 +301,17 @@ pub struct ClassMutex<T: ?Sized> {
     inner: Mutex<T>,
 }
 
-/// RAII guard for [`ClassMutex`]; releases the witness record with the lock.
+/// RAII guard for [`ClassMutex`]; releases the witness record with the
+/// lock and records the hold time on drop.
 pub struct ClassMutexGuard<'a, T: ?Sized> {
     // Field order matters: the real guard must drop before the witness
     // token so the stack never claims a lock released while still held.
+    // (The custom `Drop` body runs before either field drops, so the
+    // hold-time sample is taken while the lock is still held.)
     guard: MutexGuard<'a, T>,
     _held: Held,
+    class: LockClass,
+    acquired_at: Instant,
 }
 
 impl<T> ClassMutex<T> {
@@ -206,13 +325,34 @@ impl<T> ClassMutex<T> {
 }
 
 impl<T: ?Sized> ClassMutex<T> {
-    /// Acquires the lock, recording the acquisition with the witness.
+    /// Acquires the lock, recording the acquisition with the witness and
+    /// the contention profile.
     pub fn lock(&self) -> ClassMutexGuard<'_, T> {
         let held = acquire(self.class);
+        let stats = stats_of(self.class);
+        stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let guard = match self.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                stats.contended.fetch_add(1, Ordering::Relaxed);
+                let blocked_from = wall::now();
+                let g = self.inner.lock();
+                record_wait(self.class, blocked_from);
+                g
+            }
+        };
         ClassMutexGuard {
-            guard: self.inner.lock(),
+            guard,
             _held: held,
+            class: self.class,
+            acquired_at: wall::now(),
         }
+    }
+}
+
+impl<T: ?Sized> Drop for ClassMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        record_hold(self.class, self.acquired_at);
     }
 }
 
@@ -248,12 +388,16 @@ pub struct ClassRwLock<T: ?Sized> {
 pub struct ClassReadGuard<'a, T: ?Sized> {
     guard: RwLockReadGuard<'a, T>,
     _held: Held,
+    class: LockClass,
+    acquired_at: Instant,
 }
 
 /// RAII write guard for [`ClassRwLock`].
 pub struct ClassWriteGuard<'a, T: ?Sized> {
     guard: RwLockWriteGuard<'a, T>,
     _held: Held,
+    class: LockClass,
+    acquired_at: Instant,
 }
 
 impl<T> ClassRwLock<T> {
@@ -267,22 +411,64 @@ impl<T> ClassRwLock<T> {
 }
 
 impl<T: ?Sized> ClassRwLock<T> {
-    /// Acquires shared read access, recording it with the witness.
+    /// Acquires shared read access, recording it with the witness and the
+    /// contention profile.
     pub fn read(&self) -> ClassReadGuard<'_, T> {
         let held = acquire(self.class);
+        let stats = stats_of(self.class);
+        stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let guard = match self.inner.try_read() {
+            Some(g) => g,
+            None => {
+                stats.contended.fetch_add(1, Ordering::Relaxed);
+                let blocked_from = wall::now();
+                let g = self.inner.read();
+                record_wait(self.class, blocked_from);
+                g
+            }
+        };
         ClassReadGuard {
-            guard: self.inner.read(),
+            guard,
             _held: held,
+            class: self.class,
+            acquired_at: wall::now(),
         }
     }
 
-    /// Acquires exclusive write access, recording it with the witness.
+    /// Acquires exclusive write access, recording it with the witness and
+    /// the contention profile.
     pub fn write(&self) -> ClassWriteGuard<'_, T> {
         let held = acquire(self.class);
+        let stats = stats_of(self.class);
+        stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let guard = match self.inner.try_write() {
+            Some(g) => g,
+            None => {
+                stats.contended.fetch_add(1, Ordering::Relaxed);
+                let blocked_from = wall::now();
+                let g = self.inner.write();
+                record_wait(self.class, blocked_from);
+                g
+            }
+        };
         ClassWriteGuard {
-            guard: self.inner.write(),
+            guard,
             _held: held,
+            class: self.class,
+            acquired_at: wall::now(),
         }
+    }
+}
+
+impl<T: ?Sized> Drop for ClassReadGuard<'_, T> {
+    fn drop(&mut self) {
+        record_hold(self.class, self.acquired_at);
+    }
+}
+
+impl<T: ?Sized> Drop for ClassWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        record_hold(self.class, self.acquired_at);
     }
 }
 
@@ -351,6 +537,32 @@ mod tests {
         let _ga = a.lock();
         let _gb = b.lock();
         assert!(nested_acquisitions() > before);
+    }
+
+    #[test]
+    fn contention_profile_counts_blocked_acquisitions() {
+        use std::sync::Arc;
+        let before: u64 = contention_snapshot()
+            .iter()
+            .find(|c| c.class == LockClass::FrameData)
+            .map_or(0, |c| c.contended);
+        let m = Arc::new(ClassMutex::new(LockClass::FrameData, ()));
+        let m2 = m.clone();
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock(); // blocks until the main thread releases
+        });
+        wall::sleep(std::time::Duration::from_millis(5));
+        drop(g);
+        t.join().expect("contender thread exits");
+        let after = contention_snapshot()
+            .into_iter()
+            .find(|c| c.class == LockClass::FrameData)
+            .expect("class saw traffic");
+        assert!(after.contended > before, "blocked lock() must count");
+        assert!(after.wait_ns.count() > 0, "wait histogram fed");
+        assert!(after.hold_ns.count() > 0, "hold histogram fed");
+        assert!(contention_total() >= after.contended);
     }
 
     #[test]

@@ -137,6 +137,15 @@ pub mod keys {
     /// Pager request runs deferred by a per-pager in-flight cap and
     /// released later as completions drained.
     pub const VM_PAGER_DEFERRED_RUNS: &str = "vm.pager_deferred_runs";
+    /// Phase spans opened into the trace ring (see `machsim::span`).
+    pub const TRACE_SPANS: &str = "trace.spans";
+    /// Gauge sampling sweeps folded into this machine's registry (each
+    /// sweep reads every registered gauge source once).
+    pub const GAUGE_SAMPLES: &str = "trace.gauge_samples";
+    /// Classified lock acquisitions that had to block (process-wide
+    /// contention folded in as deltas when gauges are sampled — see
+    /// `machsim::lockdep::contention_snapshot`).
+    pub const LOCK_CONTENDED: &str = "lock.contended";
 
     /// Every counter key the workspace may create in a [`super::StatsRegistry`].
     ///
@@ -185,6 +194,9 @@ pub mod keys {
         VM_ASYNC_PAGER_DEAD,
         VM_PAGER_BATCHES,
         VM_PAGER_DEFERRED_RUNS,
+        TRACE_SPANS,
+        GAUGE_SAMPLES,
+        LOCK_CONTENDED,
     ];
 }
 
@@ -230,6 +242,8 @@ pub struct HotCounters {
     pub numa_local_hits: Counter,
     /// [`keys::NUMA_REMOTE_HITS`]
     pub numa_remote_hits: Counter,
+    /// [`keys::TRACE_SPANS`]
+    pub trace_spans: Counter,
 }
 
 impl HotCounters {
@@ -252,6 +266,7 @@ impl HotCounters {
             disk_bytes: registry.counter(keys::DISK_BYTES),
             numa_local_hits: registry.counter(keys::NUMA_LOCAL_HITS),
             numa_remote_hits: registry.counter(keys::NUMA_REMOTE_HITS),
+            trace_spans: registry.counter(keys::TRACE_SPANS),
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod keys {
 
 static NEXT_CORRELATION: AtomicU64 = AtomicU64::new(1);
 static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 
 /// Identity of one causal chain (one page fault, one RPC, ...).
 ///
@@ -116,6 +117,81 @@ impl Drop for CorrelationScope {
     }
 }
 
+/// Parent/identity annotation carried by span-boundary trace events
+/// ([`EventKind::SpanOpen`] / [`EventKind::SpanClose`]).
+///
+/// Span ids are process-unique like correlation ids; `parent == 0` marks a
+/// chain root. The span tree is the *structural* half of causality — which
+/// phase contains which — while the correlation id remains the *identity*
+/// half (which fault this all belongs to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanInfo {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a chain root.
+    pub parent: u64,
+}
+
+/// Allocates a fresh, process-unique span id (never 0).
+pub fn allocate_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+std::thread_local! {
+    static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The raw span id the current thread is working under (0 = none).
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Sets (or clears with 0) the current thread's span id.
+///
+/// Receive and resume paths call this together with
+/// [`set_current_correlation`] so the (correlation, span) pair stays
+/// consistent — a thread's ambient span is only meaningful for the chain
+/// it is currently working on.
+pub fn set_current_span(raw: u64) {
+    CURRENT_SPAN.with(|c| c.set(raw));
+}
+
+/// The current thread's span id, but only if the thread is working under
+/// correlation `cid_raw` — otherwise 0.
+///
+/// Span parents must stay chain-consistent: adopting the ambient span
+/// while stamping a *different* chain's message would graft that chain's
+/// subtree onto a foreign parent (an orphan in its own tree). Callers
+/// stamping a message whose correlation is already decided use this
+/// instead of [`current_span`].
+pub fn ambient_span_for(cid_raw: u64) -> u64 {
+    if cid_raw != 0 && CURRENT_CORRELATION.with(|c| c.get()) == cid_raw {
+        current_span()
+    } else {
+        0
+    }
+}
+
+/// RAII guard installing a span id on the current thread and restoring
+/// the previous one on drop (mirrors [`CorrelationScope`]).
+pub struct SpanScope {
+    previous: u64,
+}
+
+impl SpanScope {
+    /// Enters span `raw` for the lifetime of the returned guard.
+    pub fn enter(raw: u64) -> Self {
+        let previous = CURRENT_SPAN.with(|c| c.replace(raw));
+        SpanScope { previous }
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.previous));
+    }
+}
+
 /// What kind of step a trace event records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -143,6 +219,10 @@ pub enum EventKind {
     WatchdogStall,
     /// A free-form annotation from a component (pager internals etc.).
     Mark(&'static str),
+    /// A named phase span opened (the event carries [`SpanInfo`]).
+    SpanOpen(&'static str),
+    /// A named phase span closed (the event carries [`SpanInfo`]).
+    SpanClose(&'static str),
 }
 
 impl EventKind {
@@ -177,6 +257,10 @@ impl fmt::Display for EventKind {
             EventKind::NetRecv => "net_recv",
             EventKind::WatchdogStall => "watchdog_stall",
             EventKind::Mark(s) => s,
+            // No tabs or newlines: these strings travel through the
+            // line-oriented introspection wire format.
+            EventKind::SpanOpen(s) => return write!(f, "{s}:open"),
+            EventKind::SpanClose(s) => return write!(f, "{s}:close"),
         };
         f.write_str(s)
     }
@@ -199,6 +283,8 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// The causal chain this event belongs to, if any.
     pub correlation_id: Option<CorrelationId>,
+    /// Span identity/parent, present only on span-boundary events.
+    pub span: Option<SpanInfo>,
 }
 
 impl TraceEvent {
@@ -217,7 +303,14 @@ impl TraceEvent {
             actor: actor.into(),
             kind,
             correlation_id,
+            span: None,
         }
+    }
+
+    /// Attaches span identity to a span-boundary event.
+    pub fn with_span(mut self, span: SpanInfo) -> Self {
+        self.span = Some(span);
+        self
     }
 }
 
@@ -760,6 +853,37 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn span_scope_nests_and_restores() {
+        assert_eq!(current_span(), 0);
+        let outer = allocate_span_id();
+        let inner = allocate_span_id();
+        assert_ne!(outer, 0);
+        assert_ne!(outer, inner);
+        {
+            let _a = SpanScope::enter(outer);
+            assert_eq!(current_span(), outer);
+            {
+                let _b = SpanScope::enter(inner);
+                assert_eq!(current_span(), inner);
+            }
+            assert_eq!(current_span(), outer);
+        }
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn ambient_span_requires_matching_correlation() {
+        let cid = CorrelationId::allocate();
+        let other = CorrelationId::allocate();
+        let span = allocate_span_id();
+        let _c = CorrelationScope::enter(cid);
+        let _s = SpanScope::enter(span);
+        assert_eq!(ambient_span_for(cid.raw()), span);
+        assert_eq!(ambient_span_for(other.raw()), 0, "foreign chain");
+        assert_eq!(ambient_span_for(0), 0, "uncorrelated message");
     }
 
     #[test]

@@ -73,7 +73,7 @@ use crate::object::{ObjectId, PagerBackend, PagerRequest, VmObject};
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
 use machsim::stats::keys as stat_keys;
-use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope};
+use machsim::trace::{keys as trace_keys, CorrelationId, CorrelationScope, SpanScope};
 use machsim::{wall, EventKind, Machine};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -124,15 +124,17 @@ struct TicketInner {
     slot: Mutex<Option<Result<FaultResult, VmError>>>,
     done: Condvar,
     cid: CorrelationId,
+    root_span: u64,
 }
 
 impl FaultTicket {
-    fn new(cid: CorrelationId) -> Self {
+    fn new(cid: CorrelationId, root_span: u64) -> Self {
         FaultTicket {
             inner: Arc::new(TicketInner {
                 slot: Mutex::new(None),
                 done: Condvar::new(),
                 cid,
+                root_span,
             }),
         }
     }
@@ -141,6 +143,12 @@ impl FaultTicket {
     /// and resolution into one chain.
     pub fn correlation(&self) -> CorrelationId {
         self.inner.cid
+    }
+
+    /// The root span id of this fault's chain (the `fault.submit` span),
+    /// for adopting the chain context after [`FaultTicket::wait`].
+    pub fn span(&self) -> u64 {
+        self.inner.root_span
     }
 
     /// Whether the fault has completed (without blocking).
@@ -178,6 +186,9 @@ struct PendingRun {
     /// Raw correlation of the claiming fault (stamped on the message, so
     /// the manager-side work still joins the fault's trace chain).
     correlation: u64,
+    /// The claiming fault's root span, carried on the request so the
+    /// manager's `pager.service` span nests under the fault chain.
+    parent_span: u64,
     /// Pages in the run (the unit of in-flight accounting).
     pages: usize,
 }
@@ -205,6 +216,13 @@ struct Continuation {
     /// In-flight pages this fault's outstanding run holds against its
     /// pager: `(pager key, pages)`. Returned when the run resolves.
     inflight: Option<(usize, usize)>,
+    /// The fault's root span (`fault.submit`), parent of every phase span
+    /// the chain opens — on this host and, via the stamped requests, on
+    /// the pager side.
+    root_span: u64,
+    /// The currently open `fault.parked` span, 0 while running. Closed by
+    /// the completion loop when the continuation is taken off the table.
+    parked_span: u64,
 }
 
 /// Why a continuation is being taken off the table for processing.
@@ -237,6 +255,14 @@ struct Table {
     queued: std::collections::HashSet<u64>,
     /// Requested-but-unanswered pages per pager key.
     inflight: HashMap<usize, usize>,
+    /// Admitted-but-not-finished faults: incremented when a submitter
+    /// clears backpressure, decremented when its fault completes. Parked
+    /// *and* mid-step faults count, so `conts.len() <= admitted <=
+    /// capacity` and the table can never exceed its budget — the old
+    /// `conts.len()`-based gate admitted while woken continuations were
+    /// being stepped, letting `high_water` overshoot `capacity` by the
+    /// completion batch (the +1/+... off-by-one the scaling bench saw).
+    admitted: usize,
     /// Most continuations ever parked at once (bench: max outstanding).
     high_water: usize,
     /// Next time the periodic sweep may run (`None` = due now). The
@@ -286,6 +312,7 @@ pub struct FaultEngine {
 /// the engine can batch, cap and correlate them under the table lock.
 struct BatchSink {
     cid: u64,
+    root_span: u64,
     page_size: usize,
     runs: Vec<PendingRun>,
 }
@@ -306,6 +333,7 @@ impl RequestSink for BatchSink {
             length,
             access,
             correlation: self.cid,
+            parent_span: self.root_span,
             pages: (length as usize).div_ceil(self.page_size).max(1),
         });
     }
@@ -363,6 +391,12 @@ impl FaultEngine {
         self.table.lock().high_water
     }
 
+    /// Requested-but-unanswered pages summed over every pager — the
+    /// `gauge.pager.inflight_pages` telemetry source.
+    pub fn inflight_pages(&self) -> usize {
+        self.table.lock().inflight.values().sum()
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> FaultEngineConfig {
         self.cfg
@@ -396,9 +430,12 @@ impl FaultEngine {
             .charge(self.machine.cost.fault_overhead_ns);
         self.machine.hot.vm_faults.incr();
         let cid = CorrelationId::allocate();
-        let ticket = FaultTicket::new(cid);
         let _scope = CorrelationScope::enter(cid);
         self.machine.trace_event("vm.fault", EventKind::Fault);
+        // The chain root: explicitly parent 0 (the submitting thread may
+        // still carry a previous fault's span context).
+        let root_span = self.machine.span_open_under("fault.submit", 0);
+        let ticket = FaultTicket::new(cid, root_span);
         let started_ns = self.machine.clock.now_ns();
         self.machine.flight.begin(cid.raw(), "vm.fault", started_ns);
 
@@ -408,15 +445,26 @@ impl FaultEngine {
             return ticket;
         }
 
-        // Backpressure: wait for table space before stepping, so a full
-        // engine slows admission instead of growing without bound.
+        // Backpressure: take an admission slot before stepping, so a full
+        // engine slows admission instead of growing without bound. Gating
+        // on `admitted` (not `conts.len()`) means mid-step faults still
+        // hold their slot and `max_outstanding <= capacity` exactly.
         {
             let mut t = self.table.lock();
-            while t.conts.len() >= self.cfg.capacity && !self.stop.load(Ordering::Acquire) {
+            while t.admitted >= self.cfg.capacity && !self.stop.load(Ordering::Acquire) {
                 self.machine.stats.incr(stat_keys::VM_ASYNC_BACKPRESSURE);
                 self.work.notify_all();
                 self.space.wait_for(t.inner_mut(), TICK);
             }
+            if self.stop.load(Ordering::Acquire) {
+                drop(t);
+                // Shutdown observed while waiting: resolve synchronously
+                // without taking an admission slot (nobody would return it).
+                let result = resolve_page_sync(&self.phys, top, offset, access, policy);
+                self.finish(cid, started_ns, &ticket, result);
+                return ticket;
+            }
+            t.admitted += 1;
         }
 
         let cont = Continuation {
@@ -433,11 +481,24 @@ impl FaultEngine {
             deadline: None,
             ticket: ticket.clone(),
             inflight: None,
+            root_span,
+            parked_span: 0,
         };
         if let Some(result) = self.step_and_park(cont) {
             self.finish(cid, started_ns, &ticket, result);
+            self.release_admission();
         }
         ticket
+    }
+
+    /// Returns one admission slot and wakes blocked submitters. Called
+    /// exactly once per admitted fault, when it completes.
+    fn release_admission(&self) {
+        {
+            let mut t = self.table.lock();
+            t.admitted = t.admitted.saturating_sub(1);
+        }
+        self.space.notify_all();
     }
 
     /// A page event on `(object, offset)`: move its waiters to the ready
@@ -465,6 +526,7 @@ impl FaultEngine {
         mut cont: Continuation,
     ) -> Option<Result<FaultResult, VmError>> {
         let _scope = CorrelationScope::enter(cont.cid);
+        let _span = SpanScope::enter(cont.root_span);
         // The charge for the run `cont` had outstanding when it parked
         // last. It is returned to the pager's budget unless the fault
         // re-parks on the *same* pending fill without issuing a new
@@ -474,6 +536,7 @@ impl FaultEngine {
         loop {
             let mut sink = BatchSink {
                 cid: cont.cid.raw(),
+                root_span: cont.root_span,
                 page_size: self.phys.page_size(),
                 runs: Vec::new(),
             };
@@ -507,6 +570,7 @@ impl FaultEngine {
             cont.stale_at = wall::Deadline::after(STALE_RECHECK);
             cont.deadline = cont.state.policy.pager_timeout.map(wall::Deadline::after);
             self.machine.stats.incr(stat_keys::VM_ASYNC_PARKS);
+            cont.parked_span = self.machine.span_open_under("fault.parked", cont.root_span);
             let raw = cont.cid.raw();
             t.waiters
                 .entry((wait.object, wait.offset))
@@ -626,6 +690,7 @@ impl FaultEngine {
         unsent.extend(t.deferred.drain(..));
         t.queued.clear();
         t.inflight.clear();
+        t.admitted = t.admitted.saturating_sub(orphans.len());
         drop(t);
         for run in unsent {
             self.cancel_run(&run);
@@ -651,6 +716,7 @@ impl FaultEngine {
     /// engine has stopped and drained.
     fn run_once(self: &Arc<Self>) -> bool {
         let mut woken: Vec<(Continuation, Wake)> = Vec::new();
+        let mut tick_elapsed = false;
         let flush: Vec<PendingRun>;
         {
             let mut t = self.table.lock();
@@ -677,6 +743,7 @@ impl FaultEngine {
             let now_wall = wall::now();
             if t.next_sweep.map(|d| d.expired_by(now_wall)).unwrap_or(true) {
                 t.next_sweep = Some(wall::Deadline::after(TICK));
+                tick_elapsed = true;
                 let mut swept: Vec<(u64, Wake)> = Vec::new();
                 for (&cid, c) in t.conts.iter_mut() {
                     if c.deadline.map(|d| d.expired_by(now_wall)).unwrap_or(false) {
@@ -719,19 +786,42 @@ impl FaultEngine {
 
         self.flush_runs(flush);
 
+        // Gauge sampling rides the same once-per-TICK gate as the sweep.
+        // It must run with the table unlocked: gauge read closures may
+        // call back into [`FaultEngine::outstanding`]/[`inflight_pages`].
+        if tick_elapsed {
+            self.machine.sample_gauges();
+        }
+
         for (mut cont, wake) in woken {
             let now = self.machine.clock.now_ns();
             self.machine.latency.record(
                 trace_keys::PARK_TO_RESUME,
                 now.saturating_sub(cont.parked_ns),
             );
+            if cont.parked_span != 0 {
+                self.machine
+                    .span_close_with("fault.parked", cont.parked_span, Some(cont.cid));
+                cont.parked_span = 0;
+            }
             match wake {
                 Wake::Event => {
                     self.machine.stats.incr(stat_keys::VM_ASYNC_RESUMES);
-                    let (cid, started_ns, ticket) =
-                        (cont.cid, cont.started_ns, cont.ticket.clone());
-                    if let Some(result) = self.step_and_park(cont) {
+                    let (cid, started_ns, ticket, root_span) = (
+                        cont.cid,
+                        cont.started_ns,
+                        cont.ticket.clone(),
+                        cont.root_span,
+                    );
+                    let resume = self
+                        .machine
+                        .span_open_with("fault.resume", root_span, Some(cid));
+                    let done = self.step_and_park(cont);
+                    self.machine
+                        .span_close_with("fault.resume", resume, Some(cid));
+                    if let Some(result) = done {
                         self.finish(cid, started_ns, &ticket, result);
+                        self.release_admission();
                     }
                 }
                 Wake::Timeout => {
@@ -748,6 +838,7 @@ impl FaultEngine {
                         cont.state.policy,
                     );
                     self.finish(cont.cid, cont.started_ns, &cont.ticket, result);
+                    self.release_admission();
                 }
                 Wake::PagerDead => {
                     self.machine.stats.incr(stat_keys::VM_ASYNC_PAGER_DEAD);
@@ -761,6 +852,7 @@ impl FaultEngine {
                         &cont.ticket,
                         Err(VmError::ObjectDestroyed),
                     );
+                    self.release_admission();
                 }
             }
         }
@@ -783,6 +875,10 @@ impl FaultEngine {
         if runs.is_empty() {
             return;
         }
+        // One uncorrelated span per flush: the batch serves many chains,
+        // so it cannot belong to any one of them, but its width (in sim
+        // time) is exactly the deep-batching win the profiler should see.
+        let flush_span = self.machine.span_open_with("pager.flush", 0, None);
         type Group = (Arc<dyn PagerBackend>, Vec<PagerRequest>);
         let mut groups: HashMap<(usize, ObjectId), Group> = HashMap::new();
         for run in runs {
@@ -796,6 +892,7 @@ impl FaultEngine {
                     length: run.length,
                     access: run.access,
                     correlation: run.correlation,
+                    parent_span: run.parent_span,
                 });
         }
         for ((_, object), (pager, reqs)) in groups {
@@ -804,6 +901,8 @@ impl FaultEngine {
             }
             pager.data_request_many(object, &reqs);
         }
+        self.machine
+            .span_close_with("pager.flush", flush_span, None);
     }
 
     /// Completes a fault: ends its flight-recorder chain, fulfills the
@@ -879,6 +978,10 @@ impl FaultEngine {
                 self.machine.clock.now_ns().saturating_sub(started_ns),
             );
         }
+        // Close the chain root on every exit — Ok, Err, timeout, drain —
+        // so the critical-path analyzer never sees an unclosed root.
+        self.machine
+            .span_close_with("fault.submit", ticket.span(), Some(cid));
         ticket.fulfill(result);
         self.space.notify_all();
     }

@@ -433,7 +433,14 @@ pub fn resolve_page(
     policy: FaultPolicy,
 ) -> Result<FaultResult, VmError> {
     if let Some(engine) = phys.fault_engine() {
-        return engine.submit(top, offset, access, policy).wait();
+        let ticket = engine.submit(top, offset, access, policy);
+        let result = ticket.wait();
+        // Adopt the fault's chain as this thread's context so follow-on
+        // work (the pmap update in the map layer) joins the same span
+        // tree even though the engine resolved the fault elsewhere.
+        machsim::trace::set_current_correlation(Some(ticket.correlation()));
+        machsim::trace::set_current_span(ticket.span());
+        return result;
     }
     let machine = phys.machine().clone();
     machine.clock.charge(machine.cost.fault_overhead_ns);
@@ -441,6 +448,10 @@ pub fn resolve_page(
     let cid = CorrelationId::allocate();
     let _scope = CorrelationScope::enter(cid);
     machine.trace_event("vm.fault", EventKind::Fault);
+    // Chain root span (explicit parent 0 — the thread may carry a stale
+    // span from a previous fault).
+    let root_span = machine.span_open_under("fault.submit", 0);
+    let _span = machsim::trace::SpanScope::enter(root_span);
     let started_ns = machine.clock.now_ns();
     machine.flight.begin(cid.raw(), "vm.fault", started_ns);
     let result = resolve_page_sync(phys, top, offset, access, policy);
@@ -454,6 +465,7 @@ pub fn resolve_page(
             machine.clock.now_ns().saturating_sub(started_ns),
         );
     }
+    machine.span_close("fault.submit", root_span);
     result
 }
 

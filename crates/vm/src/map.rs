@@ -637,9 +637,12 @@ impl VmMap {
                 // Reads of a not-yet-copied region must not map writable.
                 prot = prot & !VmProt::WRITE;
             }
+            let machine = self.phys.machine();
+            let pmap_span = machine.span_open("vm.pmap_enter");
             self.pmap.enter(vpn, frame, prot);
             self.phys.add_mapping(frame, &self.pmap, vpn);
             self.phys.unpin(frame);
+            machine.span_close("vm.pmap_enter", pmap_span);
             return Ok(frame);
         }
     }

@@ -47,6 +47,9 @@ pub struct PagerRequest {
     /// stamped on the outgoing message so the causal chain survives the
     /// batching hop.
     pub correlation: u64,
+    /// Span id of the claiming fault's chain root (`0` = none); stamped on
+    /// the outgoing message so manager-side spans nest under the fault.
+    pub parent_span: u64,
 }
 
 /// The kernel's outbound half of the external pager protocol (Table 3-5).

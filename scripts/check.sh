@@ -24,16 +24,19 @@ cargo bench -p machbench --bench ipc_scaling -- --smoke
 echo "==> fault_concurrency bench (smoke: continuation engine outstanding-fault sweep)"
 cargo bench -p machbench --bench fault_concurrency -- --smoke
 
-echo "==> bench baseline diff (ratchet: BENCH_fault.json vs bench-baseline.toml)"
+echo "==> bench baseline diff (ratchet: BENCH_*.json vs bench-baseline.toml)"
 cargo run -q -p machbench --bin report bench-diff
 
 echo "==> export smoke (chrome-trace + prometheus round-trip)"
 cargo run -q -p machbench --bin report export-smoke
 
+echo "==> critical-path smoke (span profiler: chain coverage, lock contention, gauges)"
+cargo run -q --release -p machbench --bin report critical-path --smoke
+
 echo "==> lockdep witness (stress + NUMA tests model-check the lock hierarchy)"
 cargo test -q --features lockdep --test stress --test numa
 
-echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover)"
+echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover, span-pair)"
 cargo run -q -p machlint -- --workspace
 
-echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency + baseline diff, export smoke, lockdep witness and machlint passed."
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency + baseline diff, export smoke, critical-path smoke, lockdep witness and machlint passed."

@@ -95,6 +95,69 @@ fn fault_storm_thousands_outstanding_all_resolve_zero_stalls() {
     );
 }
 
+/// The backpressure regression: a storm submitting more faults than the
+/// table's budget must never park past the budget — the old
+/// `conts.len()`-based admission gate let woken-but-mid-step faults free
+/// their table slot while still holding their claim, so `max_outstanding`
+/// crept to budget+1 and beyond (BENCH_fault.json recorded 1025/4097
+/// against budgets of 1024/4096).
+#[test]
+fn storm_past_the_budget_never_exceeds_it() {
+    const BUDGET: usize = 256;
+    const FAULTS: u64 = 1024; // 4x the budget: backpressure must engage.
+    let kernel = Kernel::boot(KernelConfig {
+        memory_bytes: 16 << 20,
+        fault_table_capacity: BUDGET,
+        ..KernelConfig::default()
+    });
+    let mgr = spawn_manager(
+        kernel.machine(),
+        "slow",
+        SlowManager {
+            delay: Duration::from_micros(50),
+        },
+    );
+    let object = kernel.object_for_port(mgr.port(), FAULTS * PAGE);
+    let engine = kernel
+        .fault_engine()
+        .expect("async faults are on by default")
+        .clone();
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let engine = engine.clone();
+            let object = object.clone();
+            s.spawn(move || {
+                let per = FAULTS / 4;
+                let tickets: Vec<_> = (0..per)
+                    .map(|i| {
+                        engine.submit(
+                            &object,
+                            (t * per + i) * PAGE,
+                            VmProt::READ,
+                            FaultPolicy::trusting(),
+                        )
+                    })
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait().expect("slow pager answers every fault");
+                }
+            });
+        }
+    });
+
+    let stats = &kernel.machine().stats;
+    assert!(
+        stats.get(keys::VM_ASYNC_BACKPRESSURE) > 0,
+        "a 4x-budget storm must actually hit the admission gate"
+    );
+    assert!(
+        engine.max_outstanding() <= BUDGET,
+        "max outstanding {} exceeded the budget {BUDGET}",
+        engine.max_outstanding()
+    );
+}
+
 /// A silent pager cannot wedge anything: the continuation's policy
 /// deadline fires in the completion loop, the fault errors back to its
 /// submitter promptly, and a *cleanly* timed-out fault is not a watchdog
