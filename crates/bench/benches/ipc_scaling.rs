@@ -160,7 +160,18 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"rpc\": {{\"enqueue_sim_ns\": {enqueue_ns:.0}, \"handoff_sim_ns\": {handoff_ns:.0}}}\n}}\n"
+        "  \"rpc\": {{\"enqueue_sim_ns\": {enqueue_ns:.0}, \"handoff_sim_ns\": {handoff_ns:.0}}},\n"
+    ));
+    // Host-independent ratios for `report bench-diff` ([ipc_scaling] in
+    // bench-baseline.toml): the batching and handoff gains, not the raw
+    // msgs/s numbers, are what must not regress.
+    let batched_over_unbatched_best = rows
+        .iter()
+        .map(|(_, unbatched, batched)| batched / unbatched)
+        .fold(0.0f64, f64::max);
+    let enqueue_over_handoff = enqueue_ns / handoff_ns;
+    json.push_str(&format!(
+        "  \"batched_over_unbatched_best\": {batched_over_unbatched_best:.3},\n  \"enqueue_over_handoff\": {enqueue_over_handoff:.3}\n}}\n"
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ipc.json");
     std::fs::write(path, &json).expect("write BENCH_ipc.json at the repo root");

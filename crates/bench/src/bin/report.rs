@@ -19,7 +19,8 @@
 //! `export-smoke` validates both formats end to end (nonzero exit on
 //! failure; run from `scripts/check.sh`). `bench-diff` compares the
 //! freshly written bench trajectories (`BENCH_fault.json`,
-//! `BENCH_scaling.json`, `BENCH_numa.json`) against the committed ratchet
+//! `BENCH_ipc.json`, `BENCH_build.json`, `BENCH_scaling.json`,
+//! `BENCH_numa.json`) against the committed ratchet
 //! baseline (`bench-baseline.toml`) on host-independent metrics only —
 //! scaling ratios, concurrency reach, message counts, never absolute
 //! ops/sec — and exits nonzero on regression (also run from
@@ -110,6 +111,42 @@ const RATCHETS: &[Ratchet] = &[
             floor_key: "min_cluster_message_ratio",
             anchor: None,
         }],
+    },
+    Ratchet {
+        json_file: "BENCH_ipc.json",
+        section: "[ipc_scaling]",
+        floors: &[
+            Floor {
+                label: "batching gain",
+                json_key: "batched_over_unbatched_best",
+                floor_key: "min_batched_over_unbatched",
+                anchor: None,
+            },
+            Floor {
+                label: "handoff vs enqueue",
+                json_key: "enqueue_over_handoff",
+                floor_key: "min_enqueue_over_handoff",
+                anchor: None,
+            },
+        ],
+    },
+    Ratchet {
+        json_file: "BENCH_build.json",
+        section: "[parallel_build]",
+        floors: &[
+            Floor {
+                label: "P1 warm speedup",
+                json_key: "warm_speedup_min",
+                floor_key: "min_warm_speedup",
+                anchor: None,
+            },
+            Floor {
+                label: "P2 I/O reduction",
+                json_key: "io_reduction",
+                floor_key: "min_io_reduction",
+                anchor: None,
+            },
+        ],
     },
     Ratchet {
         json_file: "BENCH_numa.json",

@@ -73,6 +73,12 @@ pub struct KernelConfig {
     /// Per-pager cap on requested-but-unanswered pages; request runs
     /// beyond it are deferred inside the kernel until completions drain.
     pub pager_inflight_pages: usize,
+    /// Simulated CPU count for the `machsched` scheduler: per-CPU run
+    /// queues with randomized work stealing and NUMA-affine placement.
+    pub sched_cpus: usize,
+    /// Sim-time slice after which a yielding unit is preempted and
+    /// re-queued (charged the syscall cost as the context-switch price).
+    pub sched_time_slice_ns: u64,
 }
 
 /// Default read-fault cluster size, in pages: one `pager_data_request`
@@ -85,6 +91,10 @@ pub const DEFAULT_CLUSTER_PAGES: usize = 8;
 /// orders of magnitude beyond a disk-backed fault chain in the default
 /// cost model).
 pub const DEFAULT_WATCHDOG_STALL_NS: u64 = 200_000_000;
+
+/// Default scheduler time slice (2 ms of simulated time — two orders of
+/// magnitude above the syscall cost, well under a disk access).
+pub const DEFAULT_TIME_SLICE_NS: u64 = 2_000_000;
 
 /// Watchdog poll interval (wall clock).
 const WATCHDOG_POLL: std::time::Duration = std::time::Duration::from_millis(5);
@@ -119,6 +129,8 @@ impl Default for KernelConfig {
             async_faults: true,
             fault_table_capacity: 4096,
             pager_inflight_pages: 1024,
+            sched_cpus: 4,
+            sched_time_slice_ns: DEFAULT_TIME_SLICE_NS,
         }
     }
 }
@@ -173,6 +185,8 @@ pub struct Kernel {
     watchdog_stop: Arc<std::sync::atomic::AtomicBool>,
     /// The continuation-based async fault engine, when enabled.
     fault_engine: Option<Arc<FaultEngine>>,
+    /// The per-CPU run-queue scheduler every task thread runs under.
+    scheduler: Arc<machsched::Scheduler>,
     tasks: TaskRegistry,
     /// Round-robin cursor handing each new task a home memory node.
     next_node: std::sync::atomic::AtomicUsize,
@@ -343,6 +357,21 @@ impl Kernel {
             }
         }
 
+        // The scheduler: one worker thread per simulated CPU, each pinned
+        // to its node so a task's faults first-touch local memory. Started
+        // after the fault engine so dispatched task bodies can park faults
+        // from their first instruction.
+        let scheduler = machsched::Scheduler::start(
+            &machine,
+            machsched::SchedConfig {
+                cpus: config.sched_cpus.max(1),
+                nodes: phys.nodes(),
+                time_slice_ns: config.sched_time_slice_ns.max(1),
+                pin_node: Some(|node| machvm::numa::set_current_node(Some(node))),
+                ..machsched::SchedConfig::default()
+            },
+        );
+
         let kernel = Arc::new(Kernel {
             machine: machine.clone(),
             phys: phys.clone(),
@@ -362,6 +391,7 @@ impl Kernel {
             watchdog: Mutex::new(None),
             watchdog_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             fault_engine,
+            scheduler,
             tasks: tasks.clone(),
             next_node: std::sync::atomic::AtomicUsize::new(0),
         });
@@ -776,6 +806,11 @@ impl Kernel {
         self.fault_engine.as_ref()
     }
 
+    /// The per-CPU run-queue scheduler task threads run under.
+    pub fn scheduler(&self) -> &Arc<machsched::Scheduler> {
+        &self.scheduler
+    }
+
     /// The default pager backend (for laundry-overflow fallbacks).
     pub fn default_backend(&self) -> Arc<dyn PagerBackend> {
         self.default_backend.clone()
@@ -866,6 +901,10 @@ impl Kernel {
 
 impl Drop for Kernel {
     fn drop(&mut self) {
+        // Stop the scheduler first: dispatched task bodies may be waiting
+        // on fault tickets, so the fault engine and the EMM service loop
+        // must outlive every worker.
+        self.scheduler.shutdown();
         self.watchdog_stop
             .store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.watchdog.lock().take() {

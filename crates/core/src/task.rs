@@ -14,12 +14,11 @@
 
 use crate::kernel::Kernel;
 use machipc::{PortSpace, SendRight};
-use machsim::Machine;
+use machsim::{EventKind, Machine};
 use machvm::{Inheritance, RegionInfo, VmError, VmMap, VmProt, VmStatistics};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A Mach task: an address space plus a port name space on one kernel.
 pub struct Task {
@@ -29,7 +28,8 @@ pub struct Task {
     space: Arc<PortSpace>,
     suspend_count: Mutex<u32>,
     resume_cv: Condvar,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Join handles of this task's scheduled threads.
+    threads: Mutex<Vec<machsched::JoinHandle>>,
 }
 
 impl fmt::Debug for Task {
@@ -231,21 +231,28 @@ impl Task {
     /// Spawns a thread in this task.
     ///
     /// The closure receives the task, mirroring how all Mach threads in a
-    /// task share its address space and capabilities.
+    /// task share its address space and capabilities. The thread is a
+    /// scheduler unit homed on the task's memory node: it runs on one of
+    /// the kernel's simulated CPUs, preferring the node where the task's
+    /// pages first-touch.
     pub fn spawn(self: &Arc<Task>, name: &str, f: impl FnOnce(Arc<Task>) + Send + 'static) {
         let task = self.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("{}::{}", self.name, name))
-            .spawn(move || f(task))
-            .expect("spawn task thread");
+        self.machine().trace_event(
+            &format!("{}::{}", self.name, name),
+            EventKind::Mark("thread_spawn"),
+        );
+        let handle = self
+            .kernel
+            .scheduler()
+            .spawn(self.map.home_node(), move || f(task));
         self.threads.lock().push(handle);
     }
 
     /// Waits for every spawned thread to finish.
     pub fn join_threads(&self) {
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        let handles: Vec<machsched::JoinHandle> = std::mem::take(&mut *self.threads.lock());
         for h in handles {
-            let _ = h.join();
+            h.join();
         }
     }
 

@@ -5,8 +5,8 @@
 //! `machvm::resident` and `machipc::port`):
 //!
 //! ```text
-//! fault table → shard table → frame meta → frame data → queues/free-list
-//!             → NUMA pool → port control → port shard
+//! run queue → fault table → shard table → frame meta → frame data
+//!           → queues/free-list → NUMA pool → port control → port shard
 //! ```
 //!
 //! `machlint`'s L1 lint checks that order *statically* against every
@@ -52,40 +52,47 @@ use std::time::Instant;
 /// static and dynamic checkers must agree on what "later" means.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockClass {
+    /// One CPU's run queue (`Cpu::rq` in `machsched`). Outermost of all:
+    /// scheduling happens strictly before the dispatched task touches
+    /// memory or IPC, workers drop the queue lock before running a task
+    /// body, and nothing below the scheduler ever calls back into it with
+    /// locks held (task code submits new work holding no VM/IPC locks).
+    RunQueue = 0,
     /// The async fault engine's outstanding-continuation table
-    /// (`FaultEngine::table`). Outermost of all: the completion loop
-    /// steps parked faults — which take every VM lock and send pager
-    /// messages — while holding it, and nothing inside the VM or IPC
-    /// layers ever calls back into the engine with its locks held (the
-    /// completion hook runs strictly after shard locks are dropped).
-    FaultTable = 0,
+    /// (`FaultEngine::table`). Outermost of the VM/IPC hierarchy: the
+    /// completion loop steps parked faults — which take every VM lock and
+    /// send pager messages — while holding it, and nothing inside the VM
+    /// or IPC layers ever calls back into the engine with its locks held
+    /// (the completion hook runs strictly after shard locks are dropped).
+    FaultTable = 1,
     /// A resident-table shard (`Shard::state`).
-    Shard = 1,
+    Shard = 2,
     /// A frame's slow-path metadata (`Frame::meta`).
-    FrameMeta = 2,
+    FrameMeta = 3,
     /// A frame's page bytes (`Frame::data`).
-    FrameData = 3,
+    FrameData = 4,
     /// The pageout queues and per-node free lists (`PhysicalMemory::queues`).
-    Queues = 4,
+    Queues = 5,
     /// Reserved for a dedicated per-node pool lock; today the per-node
     /// free lists live under [`LockClass::Queues`], so nothing acquires
     /// this rank yet.
-    NumaPool = 5,
+    NumaPool = 6,
     /// An IPC port's control plane (`PortCore::control`): death state,
     /// subscriptions, port-set wakers and the RPC handoff slot. Ranked
     /// after every VM class because pager paths send messages while the
     /// fault path's locks are (transitively) pinned, never vice versa.
-    PortControl = 6,
+    PortControl = 7,
     /// One sub-queue of an IPC port's sharded message queue
     /// (`PortShard::ring`). Innermost: a shard is locked only to push or
     /// pop messages, sometimes while the port's control lock is held
     /// (receiver re-scan), never the other way around.
-    PortShard = 7,
+    PortShard = 8,
 }
 
 impl LockClass {
     /// Every class, in rank order (indexable by [`LockClass::rank`]).
-    pub const ALL: [LockClass; 8] = [
+    pub const ALL: [LockClass; 9] = [
+        LockClass::RunQueue,
         LockClass::FaultTable,
         LockClass::Shard,
         LockClass::FrameMeta,
@@ -104,6 +111,7 @@ impl LockClass {
     /// The class's name as `machlint.toml` spells it.
     pub fn name(self) -> &'static str {
         match self {
+            LockClass::RunQueue => "run-queue",
             LockClass::FaultTable => "fault-table",
             LockClass::Shard => "shard",
             LockClass::FrameMeta => "frame-meta",
@@ -126,8 +134,8 @@ struct ClassStats {
     hold_ns: Histogram,
 }
 
-fn class_stats() -> &'static [ClassStats; 8] {
-    static STATS: OnceLock<[ClassStats; 8]> = OnceLock::new();
+fn class_stats() -> &'static [ClassStats; 9] {
+    static STATS: OnceLock<[ClassStats; 9]> = OnceLock::new();
     STATS.get_or_init(|| {
         std::array::from_fn(|_| ClassStats {
             acquisitions: AtomicU64::new(0),
@@ -235,8 +243,8 @@ mod witness {
                 if earlier.rank() > class.rank() {
                     panic!(
                         "lockdep: acquired '{}' (rank {}) while holding '{}' (rank {}); \
-                         the hierarchy is fault-table → shard → frame-meta → frame-data → \
-                         queues → numa-pool → port-control → port-shard",
+                         the hierarchy is run-queue → fault-table → shard → frame-meta → \
+                         frame-data → queues → numa-pool → port-control → port-shard",
                         class.name(),
                         class.rank(),
                         earlier.name(),

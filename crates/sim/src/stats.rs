@@ -146,6 +146,19 @@ pub mod keys {
     /// contention folded in as deltas when gauges are sampled — see
     /// `machsim::lockdep::contention_snapshot`).
     pub const LOCK_CONTENDED: &str = "lock.contended";
+    /// Task units dispatched onto a simulated CPU by `machsched`.
+    pub const SCHED_DISPATCHES: &str = "sched.dispatches";
+    /// Units pulled from another CPU's run queue by an idle CPU.
+    pub const SCHED_STEALS: &str = "sched.steals";
+    /// Dispatches that ran a unit on a different CPU than its last run.
+    pub const SCHED_MIGRATIONS: &str = "sched.migrations";
+    /// Dispatches on the unit's preferred CPU (same CPU as last run, or
+    /// first run on its home node).
+    pub const SCHED_AFFINITY_HITS: &str = "sched.affinity_hits";
+    /// Dispatches that missed both same-CPU and same-node preference.
+    pub const SCHED_AFFINITY_MISSES: &str = "sched.affinity_misses";
+    /// Units whose sim-time slice expired and were re-queued mid-run.
+    pub const SCHED_PREEMPTIONS: &str = "sched.preemptions";
 
     /// Every counter key the workspace may create in a [`super::StatsRegistry`].
     ///
@@ -197,6 +210,12 @@ pub mod keys {
         TRACE_SPANS,
         GAUGE_SAMPLES,
         LOCK_CONTENDED,
+        SCHED_DISPATCHES,
+        SCHED_STEALS,
+        SCHED_MIGRATIONS,
+        SCHED_AFFINITY_HITS,
+        SCHED_AFFINITY_MISSES,
+        SCHED_PREEMPTIONS,
     ];
 }
 

@@ -127,26 +127,31 @@ impl CompileWorkload {
         Ok(size)
     }
 
-    fn compile_unit(
-        &self,
-        io: &dyn UnixIo,
-        machine: &Machine,
-        unit: usize,
-    ) -> Result<(), UnixError> {
-        let mut bytes_processed = 0usize;
-        // The preprocessor reads every shared header...
-        for h in 0..self.headers {
-            bytes_processed += self.read_whole(io, &self.hdr_name(h))?;
-        }
-        // ... and the source, which the code generator then re-reads.
-        bytes_processed += self.read_whole(io, &self.src_name(unit))?;
-        bytes_processed += self.read_whole(io, &self.src_name(unit))?;
-        // CPU work proportional to what was read.
-        machine.clock.charge(
-            bytes_processed as u64 * self.instructions_per_byte * machine.cost.instruction_ns,
-        );
-        // Emit the object file.
-        let obj = self.obj_name(unit);
+    /// One preprocessor step: reads shared header `h`. Returns bytes read.
+    ///
+    /// The phase methods (`read_header`, `read_source`, `charge_codegen`,
+    /// `emit_object`) expose the stages of [`CompileWorkload::compile_unit`]
+    /// individually so a scheduler-driven build can yield between them —
+    /// each phase is one step of a preemptible compile job.
+    pub fn read_header(&self, io: &dyn UnixIo, h: usize) -> Result<usize, UnixError> {
+        self.read_whole(io, &self.hdr_name(h % self.headers.max(1)))
+    }
+
+    /// One compiler pass over unit `unit`'s source. Returns bytes read.
+    pub fn read_source(&self, io: &dyn UnixIo, unit: usize) -> Result<usize, UnixError> {
+        self.read_whole(io, &self.src_name(unit % self.source_files.max(1)))
+    }
+
+    /// Charges the CPU work of compiling `bytes` of input.
+    pub fn charge_codegen(&self, machine: &Machine, bytes: usize) {
+        machine
+            .clock
+            .charge(bytes as u64 * self.instructions_per_byte * machine.cost.instruction_ns);
+    }
+
+    /// Emits unit `unit`'s object file.
+    pub fn emit_object(&self, io: &dyn UnixIo, unit: usize) -> Result<(), UnixError> {
+        let obj = self.obj_name(unit % self.source_files.max(1));
         let fd = io.open(&obj)?;
         let out = vec![0xB1u8; self.chunk];
         let obj_size = self.obj_bytes();
@@ -156,8 +161,28 @@ impl CompileWorkload {
             io.write(fd, pos, &out[..n])?;
             pos += n;
         }
-        io.close(fd)?;
-        Ok(())
+        io.close(fd)
+    }
+
+    /// Compiles one unit end to end: headers, two source passes, CPU work,
+    /// object file.
+    pub fn compile_unit(
+        &self,
+        io: &dyn UnixIo,
+        machine: &Machine,
+        unit: usize,
+    ) -> Result<(), UnixError> {
+        let mut bytes_processed = 0usize;
+        // The preprocessor reads every shared header...
+        for h in 0..self.headers {
+            bytes_processed += self.read_header(io, h)?;
+        }
+        // ... and the source, which the code generator then re-reads.
+        bytes_processed += self.read_source(io, unit)?;
+        bytes_processed += self.read_source(io, unit)?;
+        // CPU work proportional to what was read.
+        self.charge_codegen(machine, bytes_processed);
+        self.emit_object(io, unit)
     }
 
     /// Runs one full build; returns per-build simulated time and I/O.

@@ -12,6 +12,7 @@
 use crate::{Fd, UnixError, UnixIo};
 use machcore::Task;
 use machpagers::{FsClient, FsClientError};
+use machvm::VmProt;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -60,6 +61,16 @@ impl MachUnix {
         let f = st.open.get(&fd).ok_or(UnixError::BadFd)?;
         Ok((f.addr, f.size))
     }
+
+    /// Fans the range's absent pages out through the continuation-based
+    /// fault engine before the copy loop touches them: a cold sequential
+    /// read parks one continuation per missing page instead of faulting
+    /// page-at-a-time, and a warm range costs only residency probes.
+    /// Errors are deliberately dropped: the copy loop right behind this
+    /// call faults the same pages synchronously and reports them properly.
+    fn fault_ahead(&self, addr: u64, len: usize, access: VmProt) {
+        let _ = self.task.map().fault_ahead(addr, len as u64, access);
+    }
 }
 
 impl UnixIo for MachUnix {
@@ -105,6 +116,7 @@ impl UnixIo for MachUnix {
         }
         // "Subsequent read and write calls would operate directly on
         // virtual memory": no system call, no kernel/user copy.
+        self.fault_ahead(addr + offset as u64, buf.len(), VmProt::READ);
         self.task
             .read_memory(addr + offset as u64, buf)
             .map_err(|e| UnixError::Substrate(e.to_string()))
@@ -115,6 +127,7 @@ impl UnixIo for MachUnix {
         if offset + data.len() > size {
             return Err(UnixError::OutOfRange);
         }
+        self.fault_ahead(addr + offset as u64, data.len(), VmProt::WRITE);
         self.task
             .write_memory(addr + offset as u64, data)
             .map_err(|e| UnixError::Substrate(e.to_string()))

@@ -24,6 +24,9 @@ cargo bench -p machbench --bench ipc_scaling -- --smoke
 echo "==> fault_concurrency bench (smoke: continuation engine outstanding-fault sweep)"
 cargo bench -p machbench --bench fault_concurrency -- --smoke
 
+echo "==> parallel_build bench (smoke: scheduler-driven build, P1 warm speedup + P2 I/O cut)"
+cargo bench -p machbench --bench parallel_build -- --smoke
+
 echo "==> bench baseline diff (ratchet: BENCH_*.json vs bench-baseline.toml)"
 cargo run -q -p machbench --bin report bench-diff
 
@@ -39,4 +42,4 @@ cargo test -q --features lockdep --test stress --test numa
 echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover, span-pair)"
 cargo run -q -p machlint -- --workspace
 
-echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency + baseline diff, export smoke, critical-path smoke, lockdep witness and machlint passed."
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency, parallel_build + baseline diff, export smoke, critical-path smoke, lockdep witness and machlint passed."
