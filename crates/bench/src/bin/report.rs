@@ -20,7 +20,8 @@
 //! failure; run from `scripts/check.sh`). `bench-diff` compares the
 //! freshly written bench trajectories (`BENCH_fault.json`,
 //! `BENCH_ipc.json`, `BENCH_build.json`, `BENCH_scaling.json`,
-//! `BENCH_numa.json`) against the committed ratchet
+//! `BENCH_numa.json`, plus the model checker's `BENCH_mc.json`) against
+//! the committed ratchet
 //! baseline (`bench-baseline.toml`) on host-independent metrics only —
 //! scaling ratios, concurrency reach, message counts, never absolute
 //! ops/sec — and exits nonzero on regression (also run from
@@ -145,6 +146,48 @@ const RATCHETS: &[Ratchet] = &[
                 json_key: "io_reduction",
                 floor_key: "min_io_reduction",
                 anchor: None,
+            },
+        ],
+    },
+    Ratchet {
+        json_file: "BENCH_mc.json",
+        section: "[machmc]",
+        floors: &[
+            Floor {
+                label: "models checked",
+                json_key: "models_checked",
+                floor_key: "min_models_checked",
+                anchor: None,
+            },
+            Floor {
+                label: "lost_wakeup asserts",
+                json_key: "assertions",
+                floor_key: "min_assertions_lost_wakeup",
+                anchor: Some("\"model\": \"lost_wakeup\""),
+            },
+            Floor {
+                label: "handoff asserts",
+                json_key: "assertions",
+                floor_key: "min_assertions_handoff",
+                anchor: Some("\"model\": \"handoff\""),
+            },
+            Floor {
+                label: "park_resume asserts",
+                json_key: "assertions",
+                floor_key: "min_assertions_park_resume",
+                anchor: Some("\"model\": \"park_resume\""),
+            },
+            Floor {
+                label: "shootdown asserts",
+                json_key: "assertions",
+                floor_key: "min_assertions_shootdown",
+                anchor: Some("\"model\": \"shootdown\""),
+            },
+            Floor {
+                label: "sched_shutdown asserts",
+                json_key: "assertions",
+                floor_key: "min_assertions_sched_shutdown",
+                anchor: Some("\"model\": \"sched_shutdown\""),
             },
         ],
     },

@@ -899,12 +899,47 @@ impl Kernel {
     }
 }
 
+/// How long `Kernel::Drop` waits for the scheduler's workers before
+/// concluding one is wedged on a fault ticket that will never resolve.
+const SHUTDOWN_QUIESCE: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Re-check window after each parked-fault drain during teardown.
+const SHUTDOWN_RETRY: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Drain attempts before giving up and detaching the wedged worker (a
+/// task body can submit at most a handful of back-to-back faults between
+/// drains; anything still stuck after this is not a fault-ticket wait).
+const SHUTDOWN_DRAIN_ROUNDS: usize = 4;
+
 impl Drop for Kernel {
     fn drop(&mut self) {
         // Stop the scheduler first: dispatched task bodies may be waiting
         // on fault tickets, so the fault engine and the EMM service loop
-        // must outlive every worker.
-        self.scheduler.shutdown();
+        // must outlive every worker. The wait is bounded — a body blocked
+        // on a fault whose pager never answers (and whose policy carries
+        // no timeout) would wedge the join forever, so after the quiesce
+        // window the engine errors every parked fault (each ticket
+        // fulfills with ObjectDestroyed, unblocking its worker) and the
+        // join proceeds.
+        let mut quiesced = self.scheduler.quiesce(SHUTDOWN_QUIESCE);
+        if !quiesced {
+            if let Some(engine) = &self.fault_engine {
+                for _ in 0..SHUTDOWN_DRAIN_ROUNDS {
+                    engine.drain_parked();
+                    quiesced = self.scheduler.quiesce(SHUTDOWN_RETRY);
+                    if quiesced {
+                        break;
+                    }
+                }
+            }
+        }
+        if quiesced {
+            self.scheduler.shutdown();
+        } else {
+            // Not a fault-ticket wait, or one the drain could not break:
+            // leaking the wedged worker beats wedging the whole teardown.
+            self.scheduler.detach_workers();
+        }
         self.watchdog_stop
             .store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.watchdog.lock().take() {
@@ -915,6 +950,11 @@ impl Drop for Kernel {
         // fall back to the synchronous driver.
         if let Some(engine) = &self.fault_engine {
             engine.shutdown();
+            debug_assert_eq!(
+                engine.outstanding(),
+                0,
+                "fault engine still holds parked continuations after its shutdown drain"
+            );
         }
         self.daemon_stop
             .store(true, std::sync::atomic::Ordering::Relaxed);
@@ -969,6 +1009,59 @@ mod tests {
         let k = Kernel::boot(KernelConfig::default());
         assert_eq!(k.page_size(), 4096);
         drop(k); // Must not hang.
+    }
+
+    #[test]
+    fn drop_unwedges_worker_blocked_on_silent_pager() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // A pager that never answers: with the default trusting policy
+        // (pager_timeout: None) the fault parks forever, and the worker
+        // dispatching the task body blocks forever in FaultTicket::wait.
+        // Kernel::Drop used to join that worker before stopping the fault
+        // engine — a permanent wedge; now the bounded quiesce times out,
+        // drain_parked errors the ticket, and teardown completes.
+        struct SilentPager;
+        impl DataManager for SilentPager {
+            fn data_request(&mut self, _k: &KernelConn, _o: u64, _off: u64, _l: u64, _a: VmProt) {}
+        }
+
+        let k = Kernel::boot(KernelConfig::default());
+        let mgr = spawn_manager(k.machine(), "silent", SilentPager);
+        let object = k.object_for_port(mgr.port(), 1 << 20);
+        let map = Arc::new(VmMap::new(k.phys()));
+        let addr = map
+            .allocate_with_object(None, 1 << 20, object, 0, false)
+            .expect("allocate against the silent pager");
+
+        let body_map = map.clone();
+        let _task = k.scheduler().spawn(0, move || {
+            let mut buf = [0u8; 8];
+            // Errors with ObjectDestroyed once the teardown drain runs.
+            let _ = body_map.access_read(addr, &mut buf);
+        });
+
+        // The fault must actually park before we start tearing down.
+        let engine = k.fault_engine().expect("async faults on").clone();
+        assert!(
+            machsim::wall::poll_until(Duration::from_secs(5), Duration::from_millis(1), || engine
+                .outstanding()
+                > 0),
+            "fault against the silent pager never parked"
+        );
+
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let dropper = std::thread::spawn(move || {
+            drop(k);
+            done2.store(true, Ordering::Release);
+        });
+        assert!(
+            machsim::wall::poll_until(Duration::from_secs(10), Duration::from_millis(5), || done
+                .load(Ordering::Acquire)),
+            "Kernel::drop wedged behind the silent-pager fault"
+        );
+        dropper.join().expect("dropper thread");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 use crate::error::IpcError;
 use crate::message::{Message, MsgItem, MSG_ID_PORT_DEATH};
+use crate::protocol;
 use crate::IpcContext;
 use machsim::lockdep::{ClassMutex, ClassMutexGuard, LockClass};
 use machsim::stats::keys;
@@ -435,7 +436,7 @@ impl PortCore {
     /// is between its last queue scan and its condvar enqueue, so the
     /// notify cannot slip into that window and be lost.
     fn notify_recv(&self) {
-        if self.recv_waiters.load(Ordering::SeqCst) > 0 {
+        if protocol::must_wake(self.recv_waiters.load(Ordering::SeqCst)) {
             drop(self.control.lock());
             self.recv_cv.notify_one();
         }
@@ -443,7 +444,7 @@ impl PortCore {
 
     /// Wakes one blocked sender, if any (one queue slot freed).
     fn notify_send(&self) {
-        if self.send_waiters.load(Ordering::SeqCst) > 0 {
+        if protocol::must_wake(self.send_waiters.load(Ordering::SeqCst)) {
             drop(self.control.lock());
             self.send_cv.notify_one();
         }
@@ -451,7 +452,7 @@ impl PortCore {
 
     /// Wakes every blocked sender (several queue slots freed at once).
     fn notify_send_all(&self) {
-        if self.send_waiters.load(Ordering::SeqCst) > 0 {
+        if protocol::must_wake(self.send_waiters.load(Ordering::SeqCst)) {
             drop(self.control.lock());
             self.send_cv.notify_all();
         }
@@ -517,7 +518,10 @@ impl PortCore {
             if ctrl.dead {
                 return Err(IpcError::PortDied);
             }
-            if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+            if protocol::room_available(
+                self.depth.load(Ordering::SeqCst),
+                self.backlog.load(Ordering::SeqCst),
+            ) {
                 return Ok(());
             }
             self.send_waiters.fetch_add(1, Ordering::SeqCst);
@@ -525,7 +529,10 @@ impl PortCore {
             // reading `send_waiters`; we increment `send_waiters` before
             // re-reading `depth`. One side must see the other, so a pop
             // concurrent with this registration cannot strand us.
-            if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+            if protocol::room_available(
+                self.depth.load(Ordering::SeqCst),
+                self.backlog.load(Ordering::SeqCst),
+            ) {
                 self.send_waiters.fetch_sub(1, Ordering::SeqCst);
                 return Ok(());
             }
@@ -548,7 +555,10 @@ impl PortCore {
                 if ctrl.dead {
                     return Err(IpcError::PortDied);
                 }
-                if self.depth.load(Ordering::SeqCst) < self.backlog.load(Ordering::SeqCst) {
+                if protocol::room_available(
+                    self.depth.load(Ordering::SeqCst),
+                    self.backlog.load(Ordering::SeqCst),
+                ) {
                     return Ok(());
                 }
                 return Err(IpcError::Timeout);
@@ -598,9 +608,12 @@ impl PortCore {
     /// be overtaken. Gives the message back if conditions do not hold.
     fn try_handoff(&self, msg: Message) -> Result<(), Message> {
         if !self.handoff_enabled.load(Ordering::Relaxed)
-            || self.recv_waiters.load(Ordering::SeqCst) == 0
-            || self.depth.load(Ordering::SeqCst) != 0
-            || self.handoff_set.load(Ordering::SeqCst)
+            || !protocol::handoff_admissible(
+                true,
+                self.recv_waiters.load(Ordering::SeqCst),
+                self.depth.load(Ordering::SeqCst),
+                self.handoff_set.load(Ordering::Acquire),
+            )
         {
             return Err(msg);
         }
@@ -608,9 +621,12 @@ impl PortCore {
         {
             let mut ctrl = self.control.lock();
             if ctrl.dead
-                || ctrl.handoff.is_some()
-                || self.recv_waiters.load(Ordering::SeqCst) == 0
-                || self.depth.load(Ordering::SeqCst) != 0
+                || !protocol::handoff_admissible(
+                    true,
+                    self.recv_waiters.load(Ordering::SeqCst),
+                    self.depth.load(Ordering::SeqCst),
+                    ctrl.handoff.is_some(),
+                )
             {
                 return Err(msg);
             }
@@ -625,7 +641,9 @@ impl PortCore {
     }
 
     fn enqueue(&self, mut msg: Message, timeout: Option<Duration>) -> Result<(), IpcError> {
-        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+        // Advisory early-out; the authoritative death check is inside
+        // the shard critical section (`push`), so Acquire suffices here.
+        if self.receiver_alive.load(Ordering::Acquire) == 0 {
             return Err(IpcError::PortDied);
         }
         match self.try_handoff(msg) {
@@ -670,7 +688,8 @@ impl PortCore {
         if msgs.is_empty() {
             return Ok(0);
         }
-        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+        // Advisory early-out; `push_batch` re-checks under the shard lock.
+        if self.receiver_alive.load(Ordering::Acquire) == 0 {
             return Err(IpcError::PortDied);
         }
         let deadline = match timeout {
@@ -715,7 +734,8 @@ impl PortCore {
     /// The async fault engine's deep pager batching sends coalesced
     /// `pager_data_request` runs through here.
     fn enqueue_many_notification(&self, mut msgs: Vec<Message>) {
-        if msgs.is_empty() || self.receiver_alive.load(Ordering::SeqCst) == 0 {
+        // Advisory early-out; `push_batch` re-checks under the shard lock.
+        if msgs.is_empty() || self.receiver_alive.load(Ordering::Acquire) == 0 {
             return;
         }
         self.depth.fetch_add(msgs.len(), Ordering::SeqCst);
@@ -730,7 +750,8 @@ impl PortCore {
     /// Enqueues a kernel notification, ignoring the backlog limit so the
     /// kernel never blocks on a user queue.
     fn enqueue_notification(&self, mut msg: Message) {
-        if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+        // Advisory early-out; `push` re-checks under the shard lock.
+        if self.receiver_alive.load(Ordering::Acquire) == 0 {
             return;
         }
         self.depth.fetch_add(1, Ordering::SeqCst);
@@ -794,7 +815,10 @@ impl PortCore {
     /// `depth` for a popped message; the caller wakes senders and runs
     /// receive bookkeeping.
     fn try_pop(&self, max_size: Option<usize>) -> Result<Option<Message>, IpcError> {
-        if self.handoff_set.load(Ordering::SeqCst) {
+        // Acquire suffices: the flag is a fast-path hint; the message
+        // itself is published by the control lock taken right below, and
+        // a stale `false` only defers the slot to the next scan.
+        if self.handoff_set.load(Ordering::Acquire) {
             let mut ctrl = self.control.lock();
             let taken = self.take_handoff(&mut ctrl, max_size)?;
             drop(ctrl);
@@ -835,7 +859,8 @@ impl PortCore {
         }
         if let Some(t) = timeout {
             if t.is_zero() {
-                return Err(if self.receiver_alive.load(Ordering::SeqCst) == 0 {
+                // Only picks which error to report; Acquire suffices.
+                return Err(if self.receiver_alive.load(Ordering::Acquire) == 0 {
                     IpcError::PortDied
                 } else {
                     IpcError::WouldBlock
@@ -858,7 +883,7 @@ impl PortCore {
             // bumps `depth` before reading `recv_waiters`; we registered
             // before reading `depth`. If a sender slipped past our scan,
             // one of us is guaranteed to see the other.
-            let in_flight = self.depth.load(Ordering::SeqCst) > 0;
+            let in_flight = protocol::receiver_saw_in_flight(self.depth.load(Ordering::SeqCst));
             let timed_out = if in_flight {
                 // Something is reserved or queued but our scan missed it
                 // (the sender may not have pushed yet, and may already
@@ -995,10 +1020,12 @@ impl PortCore {
     }
 
     fn status(&self) -> PortStatus {
+        // Diagnostic snapshot: none of these loads order anything, so
+        // Relaxed is enough (the Dekker sites keep their own SeqCst).
         PortStatus {
-            num_msgs: self.depth.load(Ordering::SeqCst),
-            backlog: self.backlog.load(Ordering::SeqCst),
-            has_receiver: self.receiver_alive.load(Ordering::SeqCst) == 1,
+            num_msgs: self.depth.load(Ordering::Relaxed),
+            backlog: self.backlog.load(Ordering::Relaxed),
+            has_receiver: self.receiver_alive.load(Ordering::Relaxed) == 1,
             senders: self.senders.load(Ordering::Relaxed),
         }
     }
@@ -1039,7 +1066,8 @@ impl SendRight {
     /// Number of messages currently queued on the target port — the
     /// sender-side view of queue depth, for backlog gauges.
     pub fn queued(&self) -> usize {
-        self.core.depth.load(Ordering::SeqCst)
+        // Gauge read; orders nothing.
+        self.core.depth.load(Ordering::Relaxed)
     }
 
     /// `msg_send`: queues a message, blocking while the queue is full.
@@ -1240,7 +1268,8 @@ impl ReceiveRight {
 
     /// Number of queued messages.
     pub fn queued(&self) -> usize {
-        self.core.depth.load(Ordering::SeqCst)
+        // Gauge read; orders nothing.
+        self.core.depth.load(Ordering::Relaxed)
     }
 
     /// Registers a port-set waker pinged on message arrival. Dead weak

@@ -1,0 +1,91 @@
+//! The port wakeup and handoff protocol, distilled into the predicates
+//! both the production paths in [`crate::port`] and the machmc models
+//! (`crates/mc/src/models/`) call.
+//!
+//! Keeping each *decision* in one function means the checked model and
+//! the kernel cannot silently diverge: a change here changes both, and
+//! `machmc --all` re-verifies the protocol it lands in.
+//!
+//! The protocol is the paper's send/receive duality at its smallest.
+//! `depth` and the waiter registrations are published lock-free, and
+//! each side re-checks the other's counter *after* publishing its own —
+//! Dekker's store-then-check — so whichever side moves second is
+//! guaranteed to see the first:
+//!
+//! * sender: bump `depth`, push, then read `recv_waiters` ([`must_wake`]);
+//! * receiver: register in `recv_waiters`, then re-read `depth`
+//!   ([`receiver_saw_in_flight`]) before committing to an uncuttable wait.
+
+/// Sender-side wakeup decision, made *after* the message is visible
+/// (depth bumped, shard push done): a notify is owed iff a receiver has
+/// registered. Skipping it when `waiters == 0` is safe only because a
+/// receiver registers *before* its own depth re-check — one of the two
+/// sides must see the other.
+#[must_use]
+pub fn must_wake(waiters: usize) -> bool {
+    waiters > 0
+}
+
+/// Receiver-side Dekker re-check, made *after* registering as a waiter:
+/// a non-zero depth means a send is reserved or queued and its notify
+/// decision may already have sampled `recv_waiters` before we
+/// registered. The receiver must then rescan (a cuttable nap) instead
+/// of committing to a wait nobody will interrupt.
+#[must_use]
+pub fn receiver_saw_in_flight(depth: usize) -> bool {
+    depth > 0
+}
+
+/// Sender-side backpressure re-check, made *after* registering in
+/// `send_waiters`: the receiver decrements `depth` before reading
+/// `send_waiters`, so if room appeared concurrently with registration
+/// one side sees the other and the sender never strands.
+#[must_use]
+pub fn room_available(depth: usize, backlog: usize) -> bool {
+    depth < backlog
+}
+
+/// Whether the one-deep RPC handoff may commit: a receiver must already
+/// be committed to waiting, the queue must be completely empty (a
+/// handoff with `depth != 0` would overtake queued messages — the FIFO
+/// invariant machmc's `handoff` model checks), and the slot unoccupied.
+/// Checked twice: an unlocked precheck, then again under the control
+/// lock before the commit.
+#[must_use]
+pub fn handoff_admissible(
+    enabled: bool,
+    recv_waiters: usize,
+    depth: usize,
+    slot_occupied: bool,
+) -> bool {
+    enabled && recv_waiters > 0 && depth == 0 && !slot_occupied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_dekker_edges() {
+        assert!(!must_wake(0));
+        assert!(must_wake(1));
+        assert!(!receiver_saw_in_flight(0));
+        assert!(receiver_saw_in_flight(1));
+    }
+
+    #[test]
+    fn room_is_strict() {
+        assert!(room_available(0, 1));
+        assert!(!room_available(1, 1));
+        assert!(!room_available(2, 1));
+    }
+
+    #[test]
+    fn handoff_requires_empty_queue_and_waiter() {
+        assert!(handoff_admissible(true, 1, 0, false));
+        assert!(!handoff_admissible(false, 1, 0, false));
+        assert!(!handoff_admissible(true, 0, 0, false));
+        assert!(!handoff_admissible(true, 1, 1, false));
+        assert!(!handoff_admissible(true, 1, 0, true));
+    }
+}

@@ -23,6 +23,12 @@ pub struct Config {
     pub counter_keys: CounterKeysConfig,
     /// L5 trace-coverage configuration.
     pub trace: TraceConfig,
+    /// L7 atomic-ordering audit configuration.
+    pub atomics: AtomicsConfig,
+    /// L8 condvar wait-loop configuration.
+    pub condvar: CondvarConfig,
+    /// L9 unchecked-send configuration.
+    pub send: SendConfig,
 }
 
 /// L1: the declared lock hierarchy and where it applies.
@@ -95,6 +101,81 @@ pub struct TraceConfig {
 }
 
 impl TraceConfig {
+    /// Whether (file, function) carries a justified exemption.
+    pub fn allowed(&self, file: &str, function: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.file == file && a.function == function)
+    }
+}
+
+/// L7: where `Ordering::` literals are audited and which are justified.
+#[derive(Debug)]
+pub struct AtomicsConfig {
+    /// Path prefixes exempt from the audit (the simulator's wall-clock
+    /// airlock and the model checker's shims define orderings, they
+    /// don't consume them).
+    pub exempt: Vec<String>,
+    /// Per-file justified ordering sets.
+    pub allow: Vec<OrderingAllow>,
+}
+
+impl AtomicsConfig {
+    /// Whether `file` sits under an exempt prefix.
+    pub fn exempt(&self, file: &str) -> bool {
+        self.exempt
+            .iter()
+            .any(|p| file == p || file.starts_with(&format!("{p}/")))
+    }
+
+    /// Whether `file` carries a justified entry covering `ordering`.
+    pub fn allowed(&self, file: &str, ordering: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.file == file && a.orderings.iter().any(|o| o == ordering))
+    }
+}
+
+/// One file's justified atomic-ordering set; `reason` is mandatory.
+#[derive(Debug)]
+pub struct OrderingAllow {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The orderings this file may use (`Relaxed` … `SeqCst`).
+    pub orderings: Vec<String>,
+    /// The protocol argument justifying them. Never empty.
+    pub reason: String,
+}
+
+/// L8: which files' condvar waits must loop on their predicate.
+#[derive(Debug)]
+pub struct CondvarConfig {
+    /// Files (workspace-relative) the lint analyzes.
+    pub files: Vec<String>,
+    /// Functions whose caller owns the re-check loop, with justification.
+    pub allow: Vec<FnAllow>,
+}
+
+impl CondvarConfig {
+    /// Whether (file, function) carries a justified exemption.
+    pub fn allowed(&self, file: &str, function: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.file == file && a.function == function)
+    }
+}
+
+/// L9: delivery methods whose discarded Results need justification.
+#[derive(Debug)]
+pub struct SendConfig {
+    /// Method names whose `Result` may not be `let _ =`-discarded
+    /// without an allowlist entry.
+    pub methods: Vec<String>,
+    /// Functions with a justified discard, with reason.
+    pub allow: Vec<FnAllow>,
+}
+
+impl SendConfig {
     /// Whether (file, function) carries a justified exemption.
     pub fn allowed(&self, file: &str, function: &str) -> bool {
         self.allow
@@ -191,6 +272,22 @@ impl Config {
             return Err("[trace] files without charge_methods/emitters checks nothing".into());
         }
 
+        let atomics = AtomicsConfig {
+            exempt: doc.get_str_array("atomics", "exempt"),
+            allow: ordering_allows(doc, "atomics.allow")?,
+        };
+        let condvar = CondvarConfig {
+            files: doc.get_str_array("condvar", "files"),
+            allow: fn_allows(doc, "condvar.allow")?,
+        };
+        let send = SendConfig {
+            methods: doc.get_str_array("send", "methods"),
+            allow: fn_allows(doc, "send.allow")?,
+        };
+        if !send.allow.is_empty() && send.methods.is_empty() {
+            return Err("[[send.allow]] entries without [send] methods check nothing".into());
+        }
+
         Ok(Config {
             include,
             exclude,
@@ -198,8 +295,42 @@ impl Config {
             sim_time,
             counter_keys,
             trace,
+            atomics,
+            condvar,
+            send,
         })
     }
+}
+
+/// Reads `[[path]]` entries with mandatory file/orderings/reason,
+/// validating each ordering name.
+fn ordering_allows(doc: &Doc, path: &str) -> Result<Vec<OrderingAllow>, String> {
+    doc.table_array(path)
+        .iter()
+        .map(|t| {
+            let orderings: Vec<String> = t
+                .get("orderings")
+                .and_then(|v| v.as_str_array())
+                .ok_or_else(|| format!("every [[{path}]] entry needs an `orderings` array"))?
+                .to_vec();
+            if orderings.is_empty() {
+                return Err(format!("[[{path}]] `orderings` must not be empty"));
+            }
+            for o in &orderings {
+                if !crate::lints::atomics::ORDERINGS.contains(&o.as_str()) {
+                    return Err(format!(
+                        "[[{path}]] names unknown ordering `{o}` (valid: {})",
+                        crate::lints::atomics::ORDERINGS.join(", ")
+                    ));
+                }
+            }
+            Ok(OrderingAllow {
+                file: require_str(t, path, "file")?,
+                orderings,
+                reason: require_str(t, path, "reason")?,
+            })
+        })
+        .collect()
 }
 
 /// Reads `[[path]]` entries with mandatory file/function/reason.
@@ -317,6 +448,34 @@ emitters = ["trace_event"]
         let doc = toml::parse(&src).unwrap();
         let err = Config::from_doc(&doc).unwrap_err();
         assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn ordering_allows_parse_and_validate_names() {
+        let src = format!(
+            "{}\n[atomics]\nexempt = [\"crates/sim\"]\n\n[[atomics.allow]]\n\
+             file = \"crates/ipc/src/port.rs\"\norderings = [\"Acquire\", \"Relaxed\"]\n\
+             reason = \"depth protocol\"\n",
+            minimal()
+        );
+        let cfg = Config::from_doc(&toml::parse(&src).expect("parses")).expect("validates");
+        assert!(cfg.atomics.exempt("crates/sim/src/wall.rs"));
+        assert!(cfg.atomics.allowed("crates/ipc/src/port.rs", "Acquire"));
+        assert!(!cfg.atomics.allowed("crates/ipc/src/port.rs", "SeqCst"));
+
+        let bad = src.replace("\"Relaxed\"", "\"Relaxd\"");
+        let err = Config::from_doc(&toml::parse(&bad).expect("parses")).unwrap_err();
+        assert!(err.contains("unknown ordering"), "{err}");
+    }
+
+    #[test]
+    fn send_allow_without_methods_is_rejected() {
+        let src = format!(
+            "{}\n[[send.allow]]\nfile = \"a.rs\"\nfunction = \"f\"\nreason = \"r\"\n",
+            minimal()
+        );
+        let err = Config::from_doc(&toml::parse(&src).expect("parses")).unwrap_err();
+        assert!(err.contains("[send] methods"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,17 @@
 //! - **L6 span-pair** — files instrumented with phase spans must open
 //!   and close the same set of span-name literals, so no phase leaks
 //!   unclosed spans into critical-path reports.
+//! - **L7 atomic-ordering** — every `Ordering::` literal outside the
+//!   simulator/model-checker airlocks must appear in a justified
+//!   `[[atomics.allow]]` entry; the ordering choice is a protocol claim
+//!   and claims get written down.
+//! - **L8 condvar-wait** — `.wait`/`.wait_for` in the protocol files
+//!   must sit inside a `while`/`loop` predicate re-check, never a bare
+//!   `if` (the static half of what `machmc`'s lost-wakeup models check
+//!   dynamically).
+//! - **L9 unchecked-send** — `let _ =` discards of delivery Results
+//!   (`send`, `send_many`, `notify`) carry a justified `[[send.allow]]`
+//!   entry or they are findings.
 //!
 //! Configuration lives in `machlint.toml` at the workspace root; every
 //! allowlist bypass carries a written justification. `scripts/check.sh`
@@ -68,7 +79,7 @@ pub struct Report {
     pub files_scanned: usize,
 }
 
-/// Runs all five lints over the workspace rooted at `root`.
+/// Runs all nine lints over the workspace rooted at `root`.
 ///
 /// With `update_baseline`, rewrites `lint-baseline.toml` to the observed
 /// unwrap counts instead of reporting panic-budget findings.
@@ -106,6 +117,11 @@ pub fn run(root: &Path, update_baseline: bool) -> Result<Report, String> {
         if cfg.trace.span_files.iter().any(|f| f == &m.path) {
             lints::span_pair::check(m, &cfg.trace, &mut findings);
         }
+        lints::atomics::check(m, &cfg.atomics, &mut findings);
+        if cfg.condvar.files.iter().any(|f| f == &m.path) {
+            lints::condvar_wait::check(m, &cfg.condvar, &mut findings);
+        }
+        lints::unchecked_send::check(m, &cfg.send, &mut findings);
     }
 
     let counts = lints::panic_budget::count(&models);

@@ -1,0 +1,162 @@
+//! L7 — atomic-ordering audit: every `Ordering::` literal in production
+//! code must be covered by a justified `[[atomics.allow]]` entry naming
+//! the file and the orderings it may use. The point is not that weak
+//! orderings are wrong — it is that every choice of ordering is a claim
+//! about the protocol, and claims belong in a reviewed allowlist next to
+//! a written reason, where `machmc` models can be pointed at them.
+//!
+//! Scope:
+//!
+//! - `[atomics] exempt` path prefixes (the simulator's airlock and the
+//!   model checker's shims) are skipped entirely.
+//! - Test code is skipped: tests may use `SeqCst` freely to pin a
+//!   scenario without arguing about fences.
+//! - `std::cmp::Ordering` never triggers — only the five atomic
+//!   ordering names are matched.
+//! - Brace-importing orderings (`use …::Ordering::{Acquire, …}`) is
+//!   itself a finding: bare `Acquire` at a call site is invisible to
+//!   this audit, so the import style is part of the contract.
+
+use crate::config::AtomicsConfig;
+use crate::model::FileModel;
+use crate::Finding;
+
+/// The five memory orderings, the only valid `orderings` entries.
+pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the lint over one file.
+pub fn check(model: &FileModel, cfg: &AtomicsConfig, findings: &mut Vec<Finding>) {
+    if cfg.exempt(&model.path) {
+        return;
+    }
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        if model.is_test[i]
+            || !toks[i].is_ident("Ordering")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        let Some(next) = toks.get(i + 3) else {
+            continue;
+        };
+        if next.is_punct('{') {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line: next.line,
+                lint: "atomic-ordering",
+                msg: "brace-importing orderings hides the use sites from the \
+                      audit; spell `Ordering::<ord>` at each call site"
+                    .into(),
+            });
+            continue;
+        }
+        let Some(ord) = next.ident().filter(|s| ORDERINGS.contains(s)) else {
+            // `std::cmp::Ordering::Less` and friends.
+            continue;
+        };
+        if !cfg.allowed(&model.path, ord) {
+            findings.push(Finding {
+                file: model.path.clone(),
+                line: next.line,
+                lint: "atomic-ordering",
+                msg: format!(
+                    "Ordering::{ord} is not covered by a [[atomics.allow]] \
+                     entry for this file — add one with the protocol argument \
+                     that justifies it"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AtomicsConfig, OrderingAllow};
+
+    fn cfg() -> AtomicsConfig {
+        AtomicsConfig {
+            exempt: vec!["crates/sim".into(), "crates/mc".into()],
+            allow: vec![OrderingAllow {
+                file: "crates/ipc/src/port.rs".into(),
+                orderings: vec!["Acquire".into(), "Relaxed".into()],
+                reason: "depth/waiter protocol".into(),
+            }],
+        }
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let model = FileModel::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&model, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unlisted_ordering_fires_with_line() {
+        let f = run(
+            "crates/ipc/src/port.rs",
+            "fn f(x: &AtomicUsize) {\n x.load(Ordering::SeqCst);\n}",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].msg.contains("SeqCst"), "{f:?}");
+    }
+
+    #[test]
+    fn listed_orderings_are_quiet() {
+        let f = run(
+            "crates/ipc/src/port.rs",
+            "fn f(x: &AtomicUsize) { x.fetch_add(1, Ordering::Relaxed); x.load(Ordering::Acquire); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unlisted_file_fires_on_any_ordering() {
+        let f = run(
+            "crates/vm/src/new.rs",
+            "fn f() { a.load(Ordering::Relaxed); }",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn exempt_prefixes_are_skipped() {
+        let f = run(
+            "crates/mc/src/sync.rs",
+            "fn f() { a.load(Ordering::SeqCst); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic() {
+        let f = run(
+            "crates/vm/src/new.rs",
+            "fn f() { if c == Ordering::Less { x(); } m.cmp(&n) == Ordering::Equal; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_may_use_any_ordering() {
+        let f = run(
+            "crates/vm/src/new.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { a.store(1, Ordering::SeqCst); }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn brace_imports_are_flagged() {
+        let f = run(
+            "crates/vm/src/new.rs",
+            "use std::sync::atomic::Ordering::{Acquire, Release};\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("brace-importing"), "{f:?}");
+    }
+}

@@ -1,12 +1,15 @@
-//! The six lint passes. Each is a pure function from a [`FileModel`]
+//! The nine lint passes. Each is a pure function from a [`FileModel`]
 //! (plus its slice of the config) to findings; `crate::run` owns file
 //! scoping and sequencing.
 //!
 //! [`FileModel`]: crate::model::FileModel
 
+pub mod atomics;
+pub mod condvar_wait;
 pub mod counter_keys;
 pub mod lock_order;
 pub mod panic_budget;
 pub mod sim_time;
 pub mod span_pair;
 pub mod trace_cover;
+pub mod unchecked_send;

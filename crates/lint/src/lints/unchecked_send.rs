@@ -1,0 +1,151 @@
+//! L9 — unchecked send: a `let _ = …` that discards the `Result` of a
+//! message-delivery call (`send`, `send_many`, `notify`, …) must carry a
+//! justified `[[send.allow]]` entry. The compiler's `#[must_use]` already
+//! forbids silently dropping these Results; `let _ =` is the sanctioned
+//! override, and this lint makes the override itself reviewable — every
+//! swallowed delivery failure is either argued sound in the allowlist
+//! (reply ports may die first; that is the client's problem) or it is a
+//! finding.
+//!
+//! Only non-test code is checked: tests discard sends freely while
+//! arranging scenarios.
+
+use crate::config::SendConfig;
+use crate::model::FileModel;
+use crate::Finding;
+
+/// Runs the lint over one file.
+pub fn check(model: &FileModel, cfg: &SendConfig, findings: &mut Vec<Finding>) {
+    if cfg.methods.is_empty() {
+        return;
+    }
+    let toks = &model.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if model.is_test[i]
+            || !toks[i].is_ident("let")
+            || !toks.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the initializer to its terminating `;`, looking for a
+        // `.method(` of one of the configured delivery calls.
+        let mut j = i + 3;
+        let mut depth = 0usize;
+        let mut hit: Option<(u32, String)> = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            } else if hit.is_none()
+                && toks[j - 1].is_punct('.')
+                && toks.get(j + 1).is_some_and(|x| x.is_punct('('))
+            {
+                if let Some(m) = t.ident().filter(|m| cfg.methods.iter().any(|c| c == m)) {
+                    hit = Some((t.line, m.to_string()));
+                }
+            }
+            j += 1;
+        }
+        if let Some((line, method)) = hit {
+            let function = model
+                .enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
+            if !cfg.allowed(&model.path, &function) {
+                findings.push(Finding {
+                    file: model.path.clone(),
+                    line,
+                    lint: "unchecked-send",
+                    msg: format!(
+                        "`let _ =` discards the Result of `{method}` in \
+                         `{function}` — add a [[send.allow]] entry saying why \
+                         this delivery failure is ignorable, or handle it"
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FnAllow, SendConfig};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = SendConfig {
+            methods: vec!["send".into(), "send_many".into(), "notify".into()],
+            allow: vec![FnAllow {
+                file: "a.rs".into(),
+                function: "reply_to".into(),
+                reason: "reply ports may die first".into(),
+            }],
+        };
+        let model = FileModel::new("a.rs".into(), src);
+        let mut out = Vec::new();
+        check(&model, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn discarded_send_fires_with_line() {
+        let f = run("fn f() {\n let _ = port.send(msg);\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(
+            f[0].msg.contains("`send`") && f[0].msg.contains("`f`"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn handled_send_is_quiet() {
+        let f = run("fn f() { port.send(msg)?; let ok = port.send(m2).is_ok(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allowlisted_function_is_quiet() {
+        let f = run("fn reply_to() { let _ = reply.send(msg); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn discarded_notify_on_chained_receiver_fires() {
+        let f = run("fn f() { let _ = self.kernel.port(id).notify(EVENT); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("`notify`"), "{f:?}");
+    }
+
+    #[test]
+    fn let_underscore_of_unrelated_calls_is_quiet() {
+        let f = run("fn f() { let _ = map.remove(&k); let _ = guard.sender(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn named_bindings_are_not_discards() {
+        let f = run("fn f() { let _res = port.send(msg); drop(_res); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let f = run("#[test]\nfn t() { let _ = port.send(msg); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn send_inside_closure_argument_still_fires() {
+        let f = run("fn f() { let _ = with(|p| p.send(m)); }");
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -57,8 +57,9 @@ fn main() -> ExitCode {
     }
     if report.findings.is_empty() {
         println!(
-            "machlint: clean ({} files, 6 lints: lock-order sim-time counter-key \
-             panic-budget trace-cover span-pair)",
+            "machlint: clean ({} files, 9 lints: lock-order sim-time counter-key \
+             panic-budget trace-cover span-pair atomic-ordering condvar-wait \
+             unchecked-send)",
             report.files_scanned
         );
         ExitCode::SUCCESS

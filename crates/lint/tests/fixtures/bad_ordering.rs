@@ -1,0 +1,30 @@
+//! L7 fixture: unlisted orderings must fire; the allowlisted ones, the
+//! cmp::Ordering red herring, and test code must stay quiet. The
+//! fixture config allowlists only {Acquire, Relaxed} for this file.
+
+pub fn unlisted_seqcst(x: &AtomicUsize) {
+    x.store(1, Ordering::SeqCst); // fires: SeqCst not in the allow set
+}
+
+pub fn unlisted_release(x: &AtomicUsize) {
+    x.store(1, Ordering::Release); // fires
+}
+
+pub fn listed_pair(x: &AtomicUsize) -> usize {
+    x.fetch_add(1, Ordering::Relaxed);
+    x.load(Ordering::Acquire) // quiet: both allowlisted
+}
+
+pub fn cmp_is_not_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == Ordering::Less // quiet: std::cmp::Ordering
+}
+
+use std::sync::atomic::Ordering::{Acquire, Release}; // fires: brace import
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pin_with_seqcst() {
+        X.store(1, Ordering::SeqCst); // quiet: test code
+    }
+}

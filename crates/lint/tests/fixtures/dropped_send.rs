@@ -1,0 +1,36 @@
+//! L9 fixture: `let _ =` discards of delivery Results must fire unless
+//! the enclosing function carries an allowlist entry; handled Results,
+//! named bindings, unrelated discards, and test code stay quiet.
+
+pub fn fire_and_forget(&self, msg: Message) {
+    let _ = self.port.send(msg); // fires: unjustified discard
+}
+
+pub fn broadcast(&self, msgs: Vec<Message>) {
+    let _ = self.port.send_many(msgs); // fires
+}
+
+pub fn reply_to(msg: &Message, reply: Message) {
+    let _ = msg.reply_port.send(reply); // quiet: allowlisted function
+}
+
+pub fn handled(&self, msg: Message) -> Result<(), SendError> {
+    self.port.send(msg) // quiet: Result propagated
+}
+
+pub fn named_binding(&self, msg: Message) {
+    let outcome = self.port.send(msg); // quiet: bound, not discarded
+    log(outcome);
+}
+
+pub fn unrelated_discard(&self, k: Key) {
+    let _ = self.map.remove(&k); // quiet: not a delivery method
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scenario() {
+        let _ = port.send(msg); // quiet: test code
+    }
+}

@@ -1,0 +1,54 @@
+//! L8 fixture: waits guarded only by an `if` must fire; loop-guarded
+//! waits (including inside match arms), the allowlisted step function,
+//! and test code must stay quiet.
+
+pub fn wait_under_if(&self) {
+    let mut g = self.state.lock().unwrap();
+    if g.queue.is_empty() {
+        g = self.cv.wait(g).unwrap(); // fires: no re-check on wakeup
+    }
+}
+
+pub fn timed_wait_under_if(&self) {
+    let mut g = self.state.lock().unwrap();
+    if g.idle {
+        self.cv.wait_for(&mut g, TICK); // fires
+    }
+}
+
+pub fn wait_in_while(&self) {
+    let mut g = self.state.lock().unwrap();
+    while g.queue.is_empty() {
+        g = self.cv.wait(g).unwrap(); // quiet: predicate loop
+    }
+}
+
+pub fn wait_in_match_arm_inside_loop(&self) {
+    loop {
+        let mut g = self.state.lock().unwrap();
+        match g.phase {
+            Phase::Drained => break,
+            Phase::Filling => {
+                g = self.cv.wait(g).unwrap(); // quiet: the loop re-checks
+            }
+        }
+    }
+}
+
+pub fn step_once(&self) -> bool {
+    let mut g = self.state.lock().unwrap();
+    if g.may_sleep() {
+        self.cv.wait_for(&mut g, TICK); // quiet: allowlisted, caller loops
+    }
+    g.progressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scenario() {
+        if x {
+            cv.wait(g); // quiet: test code
+        }
+    }
+}

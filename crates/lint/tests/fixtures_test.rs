@@ -32,6 +32,30 @@ keys_file = "crates/sim/src/stats.rs"
 files = ["tests/fixtures/uncovered_entry.rs"]
 charge_methods = ["charge", "charge_us", "charge_ms"]
 emitters = ["trace_event", "trace_event_with", "record", "enter"]
+
+[atomics]
+exempt = ["crates/sim", "crates/mc"]
+
+[[atomics.allow]]
+file = "tests/fixtures/bad_ordering.rs"
+orderings = ["Acquire", "Relaxed"]
+reason = "fixture: pretend an acquire/release protocol is documented"
+
+[condvar]
+files = ["tests/fixtures/wait_in_if.rs"]
+
+[[condvar.allow]]
+file = "tests/fixtures/wait_in_if.rs"
+function = "step_once"
+reason = "fixture: the caller owns the re-check loop"
+
+[send]
+methods = ["send", "send_many", "notify"]
+
+[[send.allow]]
+file = "tests/fixtures/dropped_send.rs"
+function = "reply_to"
+reason = "fixture: reply ports may die before the reply lands"
 "#;
     Config::from_doc(&toml::parse(src).expect("fixture config parses"))
         .expect("fixture config validates")
@@ -149,6 +173,88 @@ fn trace_cover_fires_on_uncharted_pub_entry_points() {
     lints::trace_cover::check(&model, &cfg.trace, &mut findings);
     assert_eq!(spans(&findings, "trace-cover"), vec![5], "{findings:#?}");
     assert!(findings[0].msg.contains("pub fn send"));
+}
+
+#[test]
+fn atomic_ordering_fires_on_unlisted_orderings_with_spans() {
+    let cfg = fixture_config();
+    let model = FileModel::new(
+        "tests/fixtures/bad_ordering.rs".into(),
+        include_str!("fixtures/bad_ordering.rs"),
+    );
+    let mut findings = Vec::new();
+    lints::atomics::check(&model, &cfg.atomics, &mut findings);
+    // 6: SeqCst store; 10: Release store; 22: brace import. The
+    // allowlisted pair, cmp::Ordering, and test code stay quiet.
+    assert_eq!(
+        spans(&findings, "atomic-ordering"),
+        vec![6, 10, 22],
+        "{findings:#?}"
+    );
+    assert!(findings[0].msg.contains("SeqCst"));
+    assert!(findings[2].msg.contains("brace-importing"));
+}
+
+#[test]
+fn atomic_ordering_allowlist_covers_the_orderings() {
+    let mut cfg = fixture_config();
+    cfg.atomics.allow[0]
+        .orderings
+        .extend(["SeqCst".to_string(), "Release".to_string()]);
+    let model = FileModel::new(
+        "tests/fixtures/bad_ordering.rs".into(),
+        include_str!("fixtures/bad_ordering.rs"),
+    );
+    let mut findings = Vec::new();
+    lints::atomics::check(&model, &cfg.atomics, &mut findings);
+    // Only the brace import is left: it hides use sites regardless of
+    // how generous the allow set is.
+    assert_eq!(
+        spans(&findings, "atomic-ordering"),
+        vec![22],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn condvar_wait_fires_on_if_guarded_waits_with_spans() {
+    let cfg = fixture_config();
+    let model = FileModel::new(
+        "tests/fixtures/wait_in_if.rs".into(),
+        include_str!("fixtures/wait_in_if.rs"),
+    );
+    let mut findings = Vec::new();
+    lints::condvar_wait::check(&model, &cfg.condvar, &mut findings);
+    // 8: wait under if; 15: wait_for under if. The while loop, the
+    // match-arm-inside-loop, the allowlisted step, and test code stay
+    // quiet.
+    assert_eq!(
+        spans(&findings, "condvar-wait"),
+        vec![8, 15],
+        "{findings:#?}"
+    );
+    assert!(findings[0].msg.contains("wait_under_if"));
+}
+
+#[test]
+fn unchecked_send_fires_on_unjustified_discards_with_spans() {
+    let cfg = fixture_config();
+    let model = FileModel::new(
+        "tests/fixtures/dropped_send.rs".into(),
+        include_str!("fixtures/dropped_send.rs"),
+    );
+    let mut findings = Vec::new();
+    lints::unchecked_send::check(&model, &cfg.send, &mut findings);
+    // 6: send; 10: send_many. The allowlisted reply_to, the propagated
+    // Result, the named binding, the unrelated discard, and test code
+    // stay quiet.
+    assert_eq!(
+        spans(&findings, "unchecked-send"),
+        vec![6, 10],
+        "{findings:#?}"
+    );
+    assert!(findings[0].msg.contains("fire_and_forget"));
+    assert!(findings[1].msg.contains("send_many"));
 }
 
 #[test]

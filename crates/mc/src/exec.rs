@@ -1,0 +1,687 @@
+//! The controlled-scheduler execution engine.
+//!
+//! One *execution* is one complete interleaving of a model's virtual
+//! threads. Every virtual thread is a real OS thread, but only one is
+//! ever runnable: each `mc::` primitive call parks the thread at a
+//! *schedule point* where it declares the operation it is about to
+//! perform, and the engine picks which parked thread advances by one
+//! operation. Because the decision sequence fully determines the
+//! interleaving, an execution is replayable from its recorded schedule
+//! (the dot-separated thread-id string printed with counterexamples).
+//!
+//! Exploration is a depth-first search over those decisions, pruned by
+//! *sleep sets* (after exploring thread `t` from a state, sibling
+//! branches need not re-explore `t` until a dependent operation occurs
+//! — Godefroid's reduction, sound for safety properties) and optionally
+//! capped by a *preemption bound* (switching away from a still-enabled
+//! thread costs one preemption; schedules exceeding the bound are
+//! skipped, the Chess-style heuristic).
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A virtual thread id. Thread 0 is the model's main body.
+pub type Tid = usize;
+
+/// One schedulable operation, declared by a thread at its schedule
+/// point. Object ids come from a per-execution registry shared by all
+/// primitive kinds, so ids never collide across kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Thread begins running its closure.
+    Start,
+    /// Atomic load of object `.0`.
+    Read(usize),
+    /// Atomic store/RMW of object `.0`.
+    Write(usize),
+    /// Acquire mutex `.0` (enabled only while unheld).
+    Lock(usize),
+    /// Atomically release `mutex` and block on condvar `cv`.
+    CvWait {
+        /// The condvar being waited on.
+        cv: usize,
+        /// The mutex released for the duration of the wait.
+        mutex: usize,
+    },
+    /// Wake waiters of condvar `.0` (`true` = all, `false` = first).
+    CvNotify(usize, bool),
+    /// Wait for thread `.0` to finish (enabled once it has).
+    Join(Tid),
+}
+
+impl Op {
+    /// The object id this operation touches, if any.
+    fn object(&self) -> Option<usize> {
+        match self {
+            Op::Start | Op::Join(_) => None,
+            Op::Read(o) | Op::Write(o) | Op::Lock(o) => Some(*o),
+            Op::CvWait { cv, .. } | Op::CvNotify(cv, _) => Some(*cv),
+        }
+    }
+
+    /// Whether two co-enabled operations may not commute. Conservative:
+    /// anything touching the same object is dependent except two pure
+    /// reads; `CvWait` additionally conflicts with locks of the mutex it
+    /// releases. Independent transitions are what sleep sets prune.
+    pub fn dependent(&self, other: &Op) -> bool {
+        if let (Op::Read(_), Op::Read(_)) = (self, other) {
+            return false;
+        }
+        // CvWait releases its mutex, so it both conflicts with the
+        // condvar's other users and with acquirers of that mutex.
+        if let Op::CvWait { mutex, .. } = self {
+            if other.object() == Some(*mutex) {
+                return true;
+            }
+        }
+        if let Op::CvWait { mutex, .. } = other {
+            if self.object() == Some(*mutex) {
+                return true;
+            }
+        }
+        match (self.object(), other.object()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Scheduling state of one shared object.
+enum ObjState {
+    /// Value lives in the shim; the engine only orders accesses.
+    Atomic,
+    /// Holder, if any. Enabledness of `Op::Lock` derives from this.
+    Mutex { holder: Option<Tid> },
+    /// FIFO list of blocked waiters.
+    Condvar { waiters: VecDeque<Tid> },
+}
+
+/// Lifecycle of one virtual thread.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TStatus {
+    /// Parked at a schedule point with a declared pending op.
+    Ready,
+    /// Inside a condvar wait; not schedulable until notified.
+    CvBlocked,
+    /// Closure returned.
+    Finished,
+}
+
+struct TState {
+    status: TStatus,
+    /// The operation this thread performs when next scheduled.
+    pending: Option<Op>,
+}
+
+/// A decision the DFS can revisit: the enabled set seen at that depth,
+/// what was chosen, and the sleep set inherited from the parent.
+pub struct Node {
+    /// Enabled (thread, op) pairs at this decision, in thread order.
+    pub enabled: Vec<(Tid, Op)>,
+    /// The branch taken by the execution that created this node.
+    pub chosen: Tid,
+    /// Threads (with their then-pending ops) provably redundant here.
+    pub sleep: Vec<(Tid, Op)>,
+    /// Branches already fully explored from this node.
+    pub explored: Vec<Tid>,
+    /// Preemptions accumulated strictly before this decision.
+    pub preempt_before: usize,
+    /// The thread that executed the previous transition, if any.
+    pub prev: Option<Tid>,
+}
+
+impl Node {
+    /// The op `t` had pending at this node.
+    fn op_of(&self, t: Tid) -> Option<&Op> {
+        self.enabled.iter().find(|(u, _)| *u == t).map(|(_, o)| o)
+    }
+
+    /// Whether scheduling `t` here costs a preemption.
+    fn costs_preemption(&self, t: Tid) -> bool {
+        match self.prev {
+            Some(p) => t != p && self.enabled.iter().any(|(u, _)| *u == p),
+            None => false,
+        }
+    }
+
+    /// The next unexplored, sleep-admissible, bound-admissible branch.
+    pub fn next_branch(&self, bound: Option<usize>) -> Option<Tid> {
+        self.enabled
+            .iter()
+            .map(|(t, _)| *t)
+            .find(|t| self.admissible(*t, bound))
+    }
+
+    fn admissible(&self, t: Tid, bound: Option<usize>) -> bool {
+        if self.explored.contains(&t) || self.sleep.iter().any(|(u, _)| *u == t) {
+            return false;
+        }
+        match bound {
+            Some(b) => self.preempt_before + usize::from(self.costs_preemption(t)) <= b,
+            None => true,
+        }
+    }
+
+    /// The sleep set a child reached by scheduling `chosen` inherits:
+    /// everything slept or explored here that is independent of the
+    /// chosen op.
+    pub fn child_sleep(&self, chosen: Tid) -> Vec<(Tid, Op)> {
+        let Some(chosen_op) = self.op_of(chosen) else {
+            return Vec::new();
+        };
+        self.sleep
+            .iter()
+            .cloned()
+            .chain(
+                self.explored
+                    .iter()
+                    .filter_map(|e| self.op_of(*e).map(|o| (*e, o.clone()))),
+            )
+            .filter(|(u, o)| *u != chosen && !o.dependent(chosen_op))
+            .collect()
+    }
+}
+
+/// How one execution ended.
+pub enum Outcome {
+    /// All threads ran to completion.
+    Complete,
+    /// Every remaining branch was sleep-set redundant or over budget.
+    Pruned,
+    /// A counterexample: assertion failure, panic, deadlock, or replay
+    /// divergence, with the schedule that reaches it.
+    Failed {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+/// Shared mutable state of one execution.
+pub struct CtlState {
+    threads: Vec<TState>,
+    objects: Vec<ObjState>,
+    labels: Vec<String>,
+    /// The thread currently allowed to run user code.
+    current: Option<Tid>,
+    /// Decisions made so far (one Tid per transition).
+    pub schedule: Vec<Tid>,
+    /// Human-readable transition log mirroring `schedule`.
+    pub trace: Vec<String>,
+    /// Forced decision prefix (DFS replay or user `--replay`).
+    forced: Vec<Tid>,
+    /// Sleep set for the first decision past the forced prefix.
+    init_sleep: Vec<(Tid, Op)>,
+    /// Nodes created past the forced prefix, for the driver to adopt.
+    pub fresh: Vec<Node>,
+    /// Preemptions along the current schedule.
+    preemptions: usize,
+    prev: Option<Tid>,
+    /// `mc::assert` checks performed this execution.
+    pub assertions: usize,
+    outcome: Option<Outcome>,
+    /// Set when parked threads must unwind (execution over).
+    abort: bool,
+    bound: Option<usize>,
+    /// Replaying a user-provided schedule: forced choices need not be
+    /// DFS-consistent, and running past the prefix picks thread order.
+    user_replay: bool,
+}
+
+/// Sentinel panic payload used to unwind parked threads at abort.
+pub(crate) struct AbortUnwind;
+
+/// The per-execution controller shared by driver and virtual threads.
+pub struct Ctl {
+    mx: Mutex<CtlState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Ctl>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's controller and virtual id.
+pub fn ctx() -> (Arc<Ctl>, Tid) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("mc primitives may only be used inside Checker::check")
+    })
+}
+
+fn lock_ignore_poison(m: &Mutex<CtlState>) -> MutexGuard<'_, CtlState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Ctl {
+    /// A fresh execution with the given forced prefix.
+    pub fn new(
+        forced: Vec<Tid>,
+        init_sleep: Vec<(Tid, Op)>,
+        bound: Option<usize>,
+        user_replay: bool,
+    ) -> Arc<Ctl> {
+        Arc::new(Ctl {
+            mx: Mutex::new(CtlState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                labels: Vec::new(),
+                current: None,
+                schedule: Vec::new(),
+                trace: Vec::new(),
+                forced,
+                init_sleep,
+                fresh: Vec::new(),
+                preemptions: 0,
+                prev: None,
+                assertions: 0,
+                outcome: None,
+                abort: false,
+                bound,
+                user_replay,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a new virtual thread (parked, pending `Start`).
+    pub fn register_thread(&self) -> Tid {
+        let mut st = lock_ignore_poison(&self.mx);
+        st.threads.push(TState {
+            status: TStatus::Ready,
+            pending: Some(Op::Start),
+        });
+        st.threads.len() - 1
+    }
+
+    /// Registers a shared object and returns its id.
+    pub fn register_object(&self, kind: &str, label: &str) -> usize {
+        let mut st = lock_ignore_poison(&self.mx);
+        let state = match kind {
+            "mutex" => ObjState::Mutex { holder: None },
+            "condvar" => ObjState::Condvar {
+                waiters: VecDeque::new(),
+            },
+            _ => ObjState::Atomic,
+        };
+        st.objects.push(state);
+        st.labels.push(label.to_string());
+        st.objects.len() - 1
+    }
+
+    /// Records an OS thread handle for end-of-execution join.
+    pub fn adopt_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Counts one `mc::assert` check.
+    pub fn count_assertion(&self) {
+        lock_ignore_poison(&self.mx).assertions += 1;
+    }
+
+    /// Kicks off the execution: makes decisions until a thread runs.
+    pub fn start(&self) {
+        let mut st = lock_ignore_poison(&self.mx);
+        self.drive(&mut st);
+    }
+
+    /// Releases mutex `id` (guard drop). Not a schedule point: a release
+    /// never blocks and commutes with everything up to the releaser's
+    /// next operation, so fusing it with the preceding transition loses
+    /// no interleavings.
+    pub fn unlock(&self, id: usize) {
+        let mut st = lock_ignore_poison(&self.mx);
+        if let ObjState::Mutex { holder } = &mut st.objects[id] {
+            *holder = None;
+        }
+    }
+
+    /// The schedule point: declare `op`, let the engine decide who runs,
+    /// and return once this thread is scheduled to perform it.
+    pub fn point(&self, op: Op) {
+        let me = ctx().1;
+        let mut st = lock_ignore_poison(&self.mx);
+        st.threads[me].pending = Some(op);
+        self.drive(&mut st);
+        self.await_token(st, me);
+    }
+
+    /// Parks the calling OS thread until it holds the run token. The
+    /// abort check comes first: when the execution ends, `current` may
+    /// still name this thread, and running on would turn its blocking
+    /// ops into no-ops (an instant-return `wait` livelocks a poll loop).
+    fn await_token(&self, mut st: MutexGuard<'_, CtlState>, me: Tid) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortUnwind);
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the calling thread finished and schedules a successor.
+    pub fn finish(&self, me: Tid) {
+        let mut st = lock_ignore_poison(&self.mx);
+        st.threads[me].status = TStatus::Finished;
+        st.threads[me].pending = None;
+        st.current = None;
+        self.drive(&mut st);
+    }
+
+    /// Ends the execution as `Pruned`: a model thread's spin loop passed
+    /// its bound without the shared state changing, so every deeper
+    /// continuation of this schedule is bisimilar to one already reached
+    /// with fewer spins — an unfair schedule, not a counterexample.
+    pub fn prune_exec(&self) {
+        let mut st = lock_ignore_poison(&self.mx);
+        if st.outcome.is_none() {
+            st.outcome = Some(Outcome::Pruned);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Records a failure (panic/assertion) from thread `me` and aborts.
+    pub fn fail(&self, me: Tid, message: String) {
+        let mut st = lock_ignore_poison(&self.mx);
+        if st.outcome.is_none() {
+            let message = format!("t{me}: {message}");
+            st.outcome = Some(Outcome::Failed { message });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the driver until the execution ends, then unwinds any
+    /// still-parked threads and joins every OS thread.
+    pub fn wait_done(&self) -> (Outcome, ExecStats) {
+        let mut st = lock_ignore_poison(&self.mx);
+        while st.outcome.is_none() {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        let outcome = st.outcome.take().expect("outcome checked above");
+        let stats = ExecStats {
+            schedule: st.schedule.clone(),
+            trace: st.trace.clone(),
+            fresh: std::mem::take(&mut st.fresh),
+            forced_len: st.forced.len(),
+            assertions: st.assertions,
+        };
+        drop(st);
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join(); // panics already routed through fail()
+        }
+        (outcome, stats)
+    }
+
+    /// Whether `op` can execute right now.
+    fn op_enabled(st: &CtlState, op: &Op) -> bool {
+        match op {
+            Op::Lock(m) => matches!(&st.objects[*m], ObjState::Mutex { holder: None }),
+            Op::Join(t) => st.threads[*t].status == TStatus::Finished,
+            _ => true,
+        }
+    }
+
+    /// Applies the scheduling side effects of `t` executing its pending
+    /// op. Returns `true` if `t` should now run user code.
+    fn apply(st: &mut CtlState, t: Tid) -> bool {
+        let op = st.threads[t].pending.take().expect("scheduled without op");
+        match op {
+            Op::Lock(m) => {
+                if let ObjState::Mutex { holder } = &mut st.objects[m] {
+                    *holder = Some(t);
+                }
+                true
+            }
+            Op::CvWait { cv, mutex } => {
+                if let ObjState::Mutex { holder } = &mut st.objects[mutex] {
+                    *holder = None;
+                }
+                if let ObjState::Condvar { waiters } = &mut st.objects[cv] {
+                    waiters.push_back(t);
+                }
+                st.threads[t].status = TStatus::CvBlocked;
+                // On wake the thread re-acquires the mutex before its
+                // `wait` call returns.
+                st.threads[t].pending = Some(Op::Lock(mutex));
+                false
+            }
+            Op::CvNotify(cv, all) => {
+                let woken: Vec<Tid> = if let ObjState::Condvar { waiters } = &mut st.objects[cv] {
+                    if all {
+                        waiters.drain(..).collect()
+                    } else {
+                        waiters.pop_front().into_iter().collect()
+                    }
+                } else {
+                    Vec::new()
+                };
+                for w in woken {
+                    st.threads[w].status = TStatus::Ready;
+                }
+                true
+            }
+            Op::Start | Op::Read(_) | Op::Write(_) | Op::Join(_) => true,
+        }
+    }
+
+    fn describe(st: &CtlState, t: Tid, op: &Op) -> String {
+        let label = |o: usize| st.labels[o].clone();
+        match op {
+            Op::Start => format!("t{t}: start"),
+            Op::Read(o) => format!("t{t}: read {}", label(*o)),
+            Op::Write(o) => format!("t{t}: write {}", label(*o)),
+            Op::Lock(o) => format!("t{t}: lock {}", label(*o)),
+            Op::CvWait { cv, mutex } => {
+                format!("t{t}: wait {} (releases {})", label(*cv), label(*mutex))
+            }
+            Op::CvNotify(o, true) => format!("t{t}: notify_all {}", label(*o)),
+            Op::CvNotify(o, false) => format!("t{t}: notify_one {}", label(*o)),
+            Op::Join(u) => format!("t{t}: join t{u}"),
+        }
+    }
+
+    /// The decision loop: executes transitions until a thread is handed
+    /// the token to run user code, or the execution ends.
+    fn drive(&self, st: &mut CtlState) {
+        loop {
+            if st.abort || st.outcome.is_some() {
+                self.cv.notify_all();
+                return;
+            }
+            let enabled: Vec<(Tid, Op)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == TStatus::Ready)
+                .filter_map(|(i, t)| t.pending.clone().map(|op| (i, op)))
+                .filter(|(_, op)| Self::op_enabled(st, op))
+                .collect();
+            if enabled.is_empty() {
+                let all_done = st.threads.iter().all(|t| t.status == TStatus::Finished);
+                st.outcome = Some(if all_done {
+                    Outcome::Complete
+                } else {
+                    let stuck: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.status != TStatus::Finished)
+                        .map(|(i, t)| match (&t.pending, t.status) {
+                            (_, TStatus::CvBlocked) => format!("t{i} blocked in condvar wait"),
+                            (Some(op), _) => {
+                                format!("t{i} stuck at `{}`", Self::describe(st, i, op))
+                            }
+                            (None, _) => format!("t{i} stuck"),
+                        })
+                        .collect();
+                    Outcome::Failed {
+                        message: format!("deadlock: {}", stuck.join("; ")),
+                    }
+                });
+                st.abort = true;
+                self.cv.notify_all();
+                return;
+            }
+
+            let depth = st.schedule.len();
+            let chosen = if depth < st.forced.len() {
+                let want = st.forced[depth];
+                if !enabled.iter().any(|(t, _)| *t == want) {
+                    st.outcome = Some(Outcome::Failed {
+                        message: format!(
+                            "replay diverged at step {depth}: t{want} is not enabled \
+                             (enabled: {})",
+                            enabled
+                                .iter()
+                                .map(|(t, _)| format!("t{t}"))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        ),
+                    });
+                    st.abort = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                want
+            } else if st.user_replay {
+                // Past a user prefix: fall back to lowest-id scheduling.
+                enabled[0].0
+            } else {
+                // A fresh DFS node. Inherit the sleep set from the last
+                // fresh node (or the driver-supplied seed for the first).
+                let sleep = match st.fresh.last() {
+                    Some(n) => n.child_sleep(n.chosen),
+                    None => st.init_sleep.clone(),
+                };
+                let node = Node {
+                    enabled: enabled.clone(),
+                    chosen: 0, // patched below
+                    sleep,
+                    explored: Vec::new(),
+                    preempt_before: st.preemptions,
+                    prev: st.prev,
+                };
+                // Prefer continuing the previous thread (no preemption),
+                // else the first admissible candidate. `admissible` only
+                // filters explored/sleep/bound, so enabledness must be
+                // checked separately here.
+                let pick = st
+                    .prev
+                    .filter(|p| node.op_of(*p).is_some() && node.admissible(*p, st.bound))
+                    .or_else(|| node.next_branch(st.bound));
+                let Some(pick) = pick else {
+                    // Everything enabled is sleep-redundant or over the
+                    // preemption budget: this execution adds nothing.
+                    st.outcome = Some(Outcome::Pruned);
+                    st.abort = true;
+                    self.cv.notify_all();
+                    return;
+                };
+                let mut node = node;
+                node.chosen = pick;
+                st.fresh.push(node);
+                pick
+            };
+
+            // Account the preemption and log the transition.
+            let chosen_op = st.threads[chosen]
+                .pending
+                .clone()
+                .expect("enabled thread without op");
+            if let Some(p) = st.prev {
+                if chosen != p
+                    && st.threads[p].status == TStatus::Ready
+                    && st.threads[p]
+                        .pending
+                        .as_ref()
+                        .is_some_and(|op| Self::op_enabled(st, op))
+                {
+                    st.preemptions += 1;
+                }
+            }
+            let line = Self::describe(st, chosen, &chosen_op);
+            st.schedule.push(chosen);
+            st.trace.push(line);
+            st.prev = Some(chosen);
+
+            if Self::apply(st, chosen) {
+                st.current = Some(chosen);
+                self.cv.notify_all();
+                return;
+            }
+            // A CvWait transition blocked its own thread; decide again.
+        }
+    }
+}
+
+/// What the driver collects from one finished execution.
+pub struct ExecStats {
+    /// The full decision sequence.
+    pub schedule: Vec<Tid>,
+    /// Human-readable transition log.
+    pub trace: Vec<String>,
+    /// DFS nodes created past the forced prefix.
+    pub fresh: Vec<Node>,
+    /// Length of the forced prefix (transitions not newly explored).
+    pub forced_len: usize,
+    /// `mc::assert` checks performed.
+    pub assertions: usize,
+}
+
+/// Runs `f` as virtual thread `tid` of `ctl` on the current OS thread.
+pub fn run_virtual_thread(ctl: Arc<Ctl>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((ctl.clone(), tid)));
+    // Park until scheduled: registration already declared the pending
+    // `Start`, whose execution hands this thread the token.
+    {
+        let st = lock_ignore_poison(&ctl.mx);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| ctl.await_token(st, tid)));
+        if result.is_err() {
+            CTX.with(|c| *c.borrow_mut() = None);
+            return; // aborted before ever starting
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(()) => ctl.finish(tid),
+        Err(payload) => {
+            if payload.is::<AbortUnwind>() {
+                return; // engine-initiated unwind, not a model failure
+            }
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            ctl.fail(tid, msg);
+        }
+    }
+}

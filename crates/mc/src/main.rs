@@ -1,0 +1,155 @@
+//! machmc — the schedule-exploration model checker's CLI.
+//!
+//! ```text
+//! machmc --all [--bound N] [--json PATH]    check every protocol model
+//! machmc --model NAME [--bound N]           check one model
+//! machmc --model NAME --replay 0.1.0.2      replay a counterexample
+//! machmc --list                             list model names
+//! ```
+//!
+//! Exit code 0 = every model clean, 1 = counterexample (the full
+//! interleaving and a replayable schedule string are printed), 2 =
+//! usage error. `--json` writes `BENCH_mc.json` for the bench ratchet
+//! (`report bench-diff` floors models-checked and per-model assertion
+//! counts).
+
+use machmc::{models, parse_schedule, Report};
+use std::process::ExitCode;
+
+struct Args {
+    all: bool,
+    list: bool,
+    model: Option<String>,
+    bound: Option<usize>,
+    replay: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        all: false,
+        list: false,
+        model: None,
+        bound: None,
+        replay: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match a.as_str() {
+            "--all" => args.all = true,
+            "--list" => args.list = true,
+            "--model" => args.model = Some(value("--model")?),
+            "--bound" => {
+                let v = value("--bound")?;
+                args.bound = Some(v.parse().map_err(|e| format!("bad --bound `{v}`: {e}"))?);
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--json" => args.json = Some(value("--json")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.all && !args.list && args.model.is_none() {
+        return Err("nothing to do: pass --all, --model NAME, or --list".into());
+    }
+    if args.replay.is_some() && args.model.is_none() {
+        return Err("--replay requires --model".into());
+    }
+    Ok(args)
+}
+
+/// Renders `BENCH_mc.json`: host-independent coverage fields first in
+/// each object (`model`, then `assertions`) so the bench ratchet's
+/// anchored floors find them.
+fn render_json(reports: &[Report]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"models_checked\": {},\n", reports.len()));
+    out.push_str("  \"models\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"assertions\": {}, \"states\": {}, \
+             \"max_depth\": {}, \"executions\": {}, \"pruned\": {}, \"wall_ms\": {}}}{}\n",
+            r.model,
+            r.assertions,
+            r.states,
+            r.max_depth,
+            r.executions,
+            r.pruned,
+            r.wall_ms,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list {
+        for name in models::ALL {
+            println!("{name}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let names: Vec<&str> = match &args.model {
+        Some(m) => {
+            if !models::ALL.contains(&m.as_str()) {
+                return Err(format!(
+                    "unknown model `{m}` (known: {})",
+                    models::ALL.join(", ")
+                ));
+            }
+            vec![m.as_str()]
+        }
+        None => models::ALL.to_vec(),
+    };
+
+    if let Some(sched) = &args.replay {
+        let name = names[0];
+        let schedule = parse_schedule(sched)?;
+        let report = models::replay(name, &schedule).expect("name validated above");
+        println!("{}", report.summary());
+        if let Some(rendered) = report.render_failure() {
+            print!("{rendered}");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("replay completed cleanly (no violation on this schedule)");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for name in names {
+        let report = models::check(name, args.bound).expect("names validated above");
+        println!("{}", report.summary());
+        if let Some(rendered) = report.render_failure() {
+            print!("{rendered}");
+            failed = true;
+        }
+        if report.incomplete {
+            failed = true; // an unfinished search is not a proof
+        }
+        reports.push(report);
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, render_json(&reports)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("machmc: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The one-deep RPC handoff slot (`machipc::port::try_handoff`).
+//!
+//! A sender may donate a message directly to a committed receiver,
+//! skipping the queue — but only while the queue is *completely empty*
+//! ([`protocol::handoff_admissible`] with `depth == 0`), because the
+//! receiver always takes the slot first: a handoff committed with
+//! messages still queued would overtake them.
+//!
+//! Invariant: the receiver observes messages in send order — the
+//! handoff never overtakes queued messages.
+
+use crate::exec::Tid;
+use crate::{spin, AtomicBool, AtomicUsize, Checker, Mutex, Report};
+use machipc::protocol;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// Deliberate protocol breakages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Admission ignores `depth` in both the precheck and the locked
+    /// re-check: a handoff can commit while the queue holds messages.
+    IgnoreDepth,
+}
+
+/// Spin bound for the polling receiver (see [`crate::spin`]).
+const SPIN_BOUND: usize = 3;
+
+fn body(mutation: Option<Mutation>) {
+    let depth = Arc::new(AtomicUsize::new("depth", 0));
+    let waiters = Arc::new(AtomicUsize::new("recv_waiters", 0));
+    let slot_set = Arc::new(AtomicBool::new("handoff_set", false));
+    let slot = Arc::new(Mutex::new("control", Option::<u32>::None));
+    let ring = Arc::new(Mutex::new("ring", Vec::<u32>::new()));
+
+    // Receiver: registers as committed-to-waiting, then polls in
+    // `try_pop` order — handoff slot first, then the queue.
+    let receiver = {
+        let (depth, waiters, slot_set, slot, ring) = (
+            depth.clone(),
+            waiters.clone(),
+            slot_set.clone(),
+            slot.clone(),
+            ring.clone(),
+        );
+        crate::spawn(move || {
+            waiters.fetch_add(1, SeqCst);
+            let mut got: Vec<u32> = Vec::new();
+            let mut spins = 0;
+            while got.len() < 2 {
+                if slot_set.load(SeqCst) {
+                    let mut s = slot.lock();
+                    let taken = s.take();
+                    if let Some(m) = taken {
+                        // Cleared inside the critical section, like
+                        // `take_handoff`.
+                        slot_set.store(false, SeqCst);
+                        drop(s);
+                        depth.fetch_sub(1, SeqCst);
+                        got.push(m);
+                        spins = 0;
+                        continue;
+                    }
+                }
+                let popped = {
+                    let mut r = ring.lock();
+                    if r.is_empty() {
+                        None
+                    } else {
+                        Some(r.remove(0))
+                    }
+                };
+                if let Some(m) = popped {
+                    depth.fetch_sub(1, SeqCst);
+                    got.push(m);
+                    spins = 0;
+                    continue;
+                }
+                spin(&mut spins, SPIN_BOUND);
+            }
+            waiters.fetch_sub(1, SeqCst);
+            crate::assert(got == [1, 2], "handoff never overtakes queued messages");
+        })
+    };
+
+    // Sender runs on the main thread: message 1 queued normally, then
+    // message 2 tries the handoff fast path with fallback to the queue.
+    let masked = |d: usize| {
+        if mutation == Some(Mutation::IgnoreDepth) {
+            0
+        } else {
+            d
+        }
+    };
+    depth.fetch_add(1, SeqCst);
+    ring.lock().push(1);
+
+    let mut committed = false;
+    if protocol::handoff_admissible(
+        true,
+        waiters.load(SeqCst),
+        masked(depth.load(SeqCst)),
+        slot_set.load(SeqCst),
+    ) {
+        let mut s = slot.lock();
+        if protocol::handoff_admissible(
+            true,
+            waiters.load(SeqCst),
+            masked(depth.load(SeqCst)),
+            s.is_some(),
+        ) {
+            depth.fetch_add(1, SeqCst);
+            *s = Some(2);
+            // Published inside the critical section, like `try_handoff`.
+            slot_set.store(true, SeqCst);
+            drop(s);
+            committed = true;
+        }
+    }
+    if !committed {
+        depth.fetch_add(1, SeqCst);
+        ring.lock().push(2);
+    }
+
+    receiver.join();
+    crate::assert(depth.load(SeqCst) == 0, "queue drained");
+}
+
+/// Explores the model; `mutation = None` is the genuine protocol.
+pub fn check(bound: Option<usize>, mutation: Option<Mutation>) -> Report {
+    Checker::new()
+        .bound(bound)
+        .check("handoff", move || body(mutation))
+}
+
+/// Replays one recorded schedule against the genuine model.
+pub fn replay(schedule: &[Tid]) -> Report {
+    Checker::new().replay("handoff", schedule, || body(None))
+}

@@ -1,0 +1,121 @@
+//! The port's Dekker store-then-check wakeup (`machipc::port`).
+//!
+//! A sender publishes a message lock-free (bump `depth`, push under the
+//! shard lock) and only notifies when a receiver has registered
+//! ([`protocol::must_wake`]); a receiver registers *before* re-reading
+//! `depth` ([`protocol::receiver_saw_in_flight`]) and commits to an
+//! untimed wait only when nothing is in flight. The sender's notify
+//! additionally bridges through an empty `control` critical section so
+//! it cannot land in the receiver's window between its depth re-check
+//! and its condvar enqueue.
+//!
+//! Invariant: no lost wakeup — every schedule delivers the message and
+//! terminates (a lost wakeup shows up as a deadlock counterexample,
+//! since the model condvar has no timeout rescue).
+
+use crate::exec::Tid;
+use crate::{spin, AtomicUsize, Checker, Condvar, Mutex, Report};
+use machipc::protocol;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// Deliberate protocol breakages, each reverting one guarding line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Receiver skips the post-registration depth re-check and commits
+    /// to an untimed wait — missing the sender that already sampled
+    /// `recv_waiters` as zero.
+    NoInFlightRecheck,
+    /// Sender samples `recv_waiters` *before* bumping `depth`
+    /// (check-then-store): both sides can miss each other.
+    CheckBeforeStore,
+    /// Sender's notify skips the empty `control` critical section, so
+    /// it can fire inside the receiver's re-check→wait window.
+    NoControlBridge,
+}
+
+/// Spin iterations a rescanning receiver tolerates before the schedule
+/// is abandoned as unfair (see [`crate::spin`]).
+const SPIN_BOUND: usize = 3;
+
+fn body(mutation: Option<Mutation>) {
+    let depth = Arc::new(AtomicUsize::new("depth", 0));
+    let waiters = Arc::new(AtomicUsize::new("recv_waiters", 0));
+    let control = Arc::new(Mutex::new("control", ()));
+    let ring = Arc::new(Mutex::new("ring", Vec::<u32>::new()));
+    let cv = Arc::new(Condvar::new("recv_cv"));
+
+    // Receiver: the `dequeue_raw` shape — scan, register, re-check
+    // depth, then either rescan (in flight) or wait.
+    let receiver = {
+        let (depth, waiters, control, ring, cv) = (
+            depth.clone(),
+            waiters.clone(),
+            control.clone(),
+            ring.clone(),
+            cv.clone(),
+        );
+        crate::spawn(move || {
+            let mut ctrl = control.lock();
+            let mut spins = 0;
+            loop {
+                let popped = ring.lock().pop();
+                if let Some(m) = popped {
+                    depth.fetch_sub(1, SeqCst);
+                    crate::assert(m == 7, "received the message that was sent");
+                    break;
+                }
+                waiters.fetch_add(1, SeqCst);
+                let in_flight = mutation != Some(Mutation::NoInFlightRecheck)
+                    && protocol::receiver_saw_in_flight(depth.load(SeqCst));
+                if in_flight {
+                    // A send is reserved or queued and may already have
+                    // sampled `recv_waiters` as zero: rescan, don't wait.
+                    waiters.fetch_sub(1, SeqCst);
+                    spin(&mut spins, SPIN_BOUND);
+                    continue;
+                }
+                cv.wait(&mut ctrl);
+                waiters.fetch_sub(1, SeqCst);
+            }
+            drop(ctrl);
+        })
+    };
+
+    // Sender runs on the model's main thread: reserve, push, notify.
+    if mutation == Some(Mutation::CheckBeforeStore) {
+        let owed = protocol::must_wake(waiters.load(SeqCst));
+        depth.fetch_add(1, SeqCst);
+        ring.lock().push(7);
+        if owed {
+            drop(control.lock());
+            cv.notify_one();
+        }
+    } else {
+        depth.fetch_add(1, SeqCst);
+        ring.lock().push(7);
+        if protocol::must_wake(waiters.load(SeqCst)) {
+            if mutation != Some(Mutation::NoControlBridge) {
+                // The bridge: serialize with a receiver between its
+                // re-check and its condvar enqueue.
+                drop(control.lock());
+            }
+            cv.notify_one();
+        }
+    }
+
+    receiver.join();
+    crate::assert(depth.load(SeqCst) == 0, "queue drained");
+}
+
+/// Explores the model; `mutation = None` is the genuine protocol.
+pub fn check(bound: Option<usize>, mutation: Option<Mutation>) -> Report {
+    Checker::new()
+        .bound(bound)
+        .check("lost_wakeup", move || body(mutation))
+}
+
+/// Replays one recorded schedule against the genuine model.
+pub fn replay(schedule: &[Tid]) -> Report {
+    Checker::new().replay("lost_wakeup", schedule, || body(None))
+}

@@ -1,0 +1,95 @@
+//! The continuation table's park/recheck race
+//! (`machvm::continuation::step_and_park`).
+//!
+//! A fault that must wait parks its continuation in the table — but the
+//! page event that would resume it may fire between the fault's step
+//! and its park. The production code re-probes the wait under the table
+//! lock ([`protocol::must_park`]); the pager's completion path takes
+//! the same lock before moving a parked continuation to the ready list,
+//! so the re-check and the wakeup serialize.
+//!
+//! Invariant: park/resume never drops a page event — every schedule
+//! resumes the fault and the resumed fault observes the filled page.
+
+use crate::exec::Tid;
+use crate::{AtomicBool, Checker, Condvar, Mutex, Report};
+use machvm::protocol;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// Deliberate protocol breakages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// The fault parks without re-probing the wait under the table
+    /// lock: a fill completed between step and park is dropped.
+    SkipRecheck,
+}
+
+/// The continuation table, reduced to one parkable fault.
+struct Table {
+    parked: bool,
+    ready: bool,
+}
+
+fn body(mutation: Option<Mutation>) {
+    // `pending` is the resident-table state the wait probes: true while
+    // the page fill is outstanding (production `PageLookup::Pending`).
+    let pending = Arc::new(AtomicBool::new("page_pending", true));
+    let table = Arc::new(Mutex::new(
+        "cont_table",
+        Table {
+            parked: false,
+            ready: false,
+        },
+    ));
+    let work = Arc::new(Condvar::new("work"));
+
+    // The faulting thread: its step saw the pending fill, so it wants
+    // to park; the re-check under the table lock decides.
+    let fault = {
+        let (pending, table, work) = (pending.clone(), table.clone(), work.clone());
+        crate::spawn(move || {
+            let mut t = table.lock();
+            let park = mutation == Some(Mutation::SkipRecheck)
+                || protocol::must_park(pending.load(SeqCst));
+            if park {
+                t.parked = true;
+                while !t.ready {
+                    work.wait(&mut t);
+                }
+            }
+            drop(t);
+            crate::assert(
+                !pending.load(SeqCst),
+                "resumed fault observes the filled page",
+            );
+        })
+    };
+
+    // The pager's completion path runs on the main thread: finish the
+    // fill, then wake any parked continuation under the table lock
+    // (production `on_page_event`).
+    pending.store(false, SeqCst);
+    {
+        let mut t = table.lock();
+        if t.parked {
+            t.parked = false;
+            t.ready = true;
+            work.notify_all();
+        }
+    }
+
+    fault.join();
+}
+
+/// Explores the model; `mutation = None` is the genuine protocol.
+pub fn check(bound: Option<usize>, mutation: Option<Mutation>) -> Report {
+    Checker::new()
+        .bound(bound)
+        .check("park_resume", move || body(mutation))
+}
+
+/// Replays one recorded schedule against the genuine model.
+pub fn replay(schedule: &[Tid]) -> Report {
+    Checker::new().replay("park_resume", schedule, || body(None))
+}

@@ -1,0 +1,269 @@
+//! Model-checked stand-ins for the sync primitives the kernel's
+//! protocols are written against.
+//!
+//! Each shim registers itself with the active execution and declares a
+//! schedule point at every access, so the engine observes (and explores)
+//! every ordering the primitive admits. Atomics take a real
+//! [`std::sync::atomic::Ordering`] so a model reads exactly like the
+//! production code it mirrors; the recorded interleavings are the
+//! sequentially-consistent ones (the conservative end: a protocol that
+//! is wrong under SC is wrong everywhere — see DESIGN.md §6.6 for what
+//! the weaker orderings are still allowed to reorder).
+//!
+//! Values live in `Cell`/`UnsafeCell` guarded by the engine's one-
+//! runner-at-a-time discipline: only the thread holding the run token
+//! touches them, so the `Sync` impls below are sound despite the
+//! unsynchronized interior.
+
+use crate::exec::{ctx, run_virtual_thread, Op, Tid};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::Ordering;
+
+/// A model-checked `AtomicUsize`.
+pub struct AtomicUsize {
+    id: usize,
+    v: Cell<usize>,
+}
+
+// SAFETY: the engine schedules exactly one virtual thread at a time and
+// every access goes through a schedule point, so the interior cell is
+// never touched concurrently.
+unsafe impl Send for AtomicUsize {}
+unsafe impl Sync for AtomicUsize {}
+
+impl AtomicUsize {
+    /// A new atomic labeled `label` (labels make traces readable).
+    pub fn new(label: &str, v: usize) -> AtomicUsize {
+        let (ctl, _) = ctx();
+        AtomicUsize {
+            id: ctl.register_object("atomic", label),
+            v: Cell::new(v),
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, _order: Ordering) -> usize {
+        ctx().0.point(Op::Read(self.id));
+        self.v.get()
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: usize, _order: Ordering) {
+        ctx().0.point(Op::Write(self.id));
+        self.v.set(v);
+    }
+
+    /// Atomic add; returns the previous value.
+    pub fn fetch_add(&self, n: usize, _order: Ordering) -> usize {
+        ctx().0.point(Op::Write(self.id));
+        let old = self.v.get();
+        self.v.set(old.wrapping_add(n));
+        old
+    }
+
+    /// Atomic subtract; returns the previous value.
+    pub fn fetch_sub(&self, n: usize, _order: Ordering) -> usize {
+        ctx().0.point(Op::Write(self.id));
+        let old = self.v.get();
+        self.v.set(old.wrapping_sub(n));
+        old
+    }
+
+    /// Compare-and-exchange, strong.
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        ctx().0.point(Op::Write(self.id));
+        let old = self.v.get();
+        if old == current {
+            self.v.set(new);
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+}
+
+/// A model-checked `AtomicBool` (same discipline as [`AtomicUsize`]).
+pub struct AtomicBool {
+    inner: AtomicUsize,
+}
+
+impl AtomicBool {
+    /// A new atomic bool labeled `label`.
+    pub fn new(label: &str, v: bool) -> AtomicBool {
+        AtomicBool {
+            inner: AtomicUsize::new(label, usize::from(v)),
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.inner.load(order) != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: bool, order: Ordering) {
+        self.inner.store(usize::from(v), order);
+    }
+}
+
+/// A model-checked mutex.
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: see AtomicUsize — single-runner discipline; `lock` is a
+// schedule point and the engine enforces mutual exclusion.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new mutex labeled `label`.
+    pub fn new(label: &str, data: T) -> Mutex<T> {
+        let (ctl, _) = ctx();
+        Mutex {
+            id: ctl.register_object("mutex", label),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquires the mutex, blocking (in model time) while held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        ctx().0.point(Op::Lock(self.id));
+        MutexGuard { mutex: self }
+    }
+}
+
+/// RAII guard; dropping releases the mutex (not a schedule point — a
+/// release commutes with everything up to the releaser's next op).
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves this thread holds the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, plus &mut self.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        ctx().0.unlock(self.mutex.id);
+    }
+}
+
+/// A model-checked condition variable.
+///
+/// Deliberately *without* spurious wakeups or timeouts: a waiter sleeps
+/// until some notify reaches it, so a protocol relying on timeout-
+/// papered re-checks shows up as a deadlock counterexample instead of
+/// being silently rescued — exactly the bug class the checker exists to
+/// find.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// A new condvar labeled `label`.
+    pub fn new(label: &str) -> Condvar {
+        let (ctl, _) = ctx();
+        Condvar {
+            id: ctl.register_object("condvar", label),
+        }
+    }
+
+    /// Releases the guard's mutex and blocks until notified; the mutex
+    /// is re-acquired before this returns (one atomic transition for
+    /// the release+sleep, like the real primitive).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        ctx().0.point(Op::CvWait {
+            cv: self.id,
+            mutex: guard.mutex.id,
+        });
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        ctx().0.point(Op::CvNotify(self.id, true));
+    }
+
+    /// Wakes the longest-waiting waiter (FIFO, deterministic).
+    pub fn notify_one(&self) {
+        ctx().0.point(Op::CvNotify(self.id, false));
+    }
+}
+
+/// Handle to a spawned virtual thread.
+pub struct JoinHandle {
+    tid: Tid,
+}
+
+impl JoinHandle {
+    /// Blocks (in model time) until the thread finishes.
+    pub fn join(self) {
+        ctx().0.point(Op::Join(self.tid));
+    }
+}
+
+/// Spawns a new virtual thread running `f`.
+///
+/// The child becomes schedulable immediately (any interleaving with the
+/// parent after the spawn point is explored); spawning itself is not a
+/// schedule point, matching the intuition that thread creation commutes
+/// with everything until the child's first shared access.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    let (ctl, _) = ctx();
+    let tid = ctl.register_thread();
+    let ctl2 = ctl.clone();
+    let h = std::thread::Builder::new()
+        .name(format!("mc-t{tid}"))
+        .stack_size(128 * 1024)
+        .spawn(move || run_virtual_thread(ctl2, tid, Box::new(f)))
+        .expect("spawn mc virtual thread");
+    ctl.adopt_handle(h);
+    JoinHandle { tid }
+}
+
+/// Records an invariant check; panics (producing a counterexample trace)
+/// when `cond` is false. The per-model check counts feed `BENCH_mc.json`
+/// so the bench ratchet can insist every model still reaches its
+/// assertions.
+pub fn assert(cond: bool, msg: &str) {
+    let (ctl, _) = ctx();
+    ctl.count_assertion();
+    if !cond {
+        panic!("invariant violated: {msg}");
+    }
+}
+
+/// Bounds a model's polling loop: bumps `spins` and, past `bound`,
+/// abandons the execution as redundant (never as a counterexample).
+///
+/// Production spin-then-rescan paths are bounded by a timed nap; under
+/// the controlled scheduler the equivalent is a schedule that keeps
+/// starving the other thread, and every iteration past the bound leaves
+/// the shared state untouched — continuing explores nothing new. Reset
+/// `spins` to zero whenever the loop makes real progress.
+pub fn spin(spins: &mut usize, bound: usize) {
+    *spins += 1;
+    if *spins > bound {
+        let (ctl, _) = ctx();
+        ctl.prune_exec();
+        std::panic::panic_any(crate::exec::AbortUnwind);
+    }
+}

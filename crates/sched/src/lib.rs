@@ -23,9 +23,11 @@
 //! All decisions are driven by sim-time and a seeded [`SplitMix64`], so a
 //! run's counters are reproducible in distribution.
 
+pub mod protocol;
+
 use machsim::lockdep::{ClassMutex, LockClass};
 use machsim::stats::{keys, Counter};
-use machsim::{Machine, SplitMix64};
+use machsim::{wall, Machine, SplitMix64};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -210,6 +212,9 @@ pub struct Scheduler {
     idle: Mutex<()>,
     wake: Condvar,
     stop: AtomicBool,
+    /// Workers that have not yet run their drain loop to completion;
+    /// `quiesce` polls this toward zero.
+    active: AtomicUsize,
     counters: SchedCounters,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -235,6 +240,7 @@ impl Scheduler {
             idle: Mutex::new(()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
+            active: AtomicUsize::new(cfg.cpus),
             counters: SchedCounters::new(machine),
             workers: Mutex::new(Vec::new()),
         });
@@ -296,7 +302,7 @@ impl Scheduler {
             done: Arc::clone(&done),
         };
         let mut body = body;
-        if self.stop.load(Ordering::Acquire) {
+        if !protocol::accepts_units(self.stop.load(Ordering::Acquire)) {
             while body() != Run::Done {}
             *done.flag.lock() = true;
             done.cv.notify_all();
@@ -331,18 +337,49 @@ impl Scheduler {
         })
     }
 
-    /// Stops every worker, draining all queued units first, and joins the
-    /// worker threads. Idempotent.
-    pub fn shutdown(&self) {
+    /// Requests shutdown without blocking: new submissions run inline,
+    /// parked workers wake, and each worker drains its local queue and
+    /// exits. Idempotent; pair with [`Scheduler::quiesce`] /
+    /// [`Scheduler::shutdown`] to wait for the workers.
+    pub fn begin_shutdown(&self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Serialize with the idle re-check so the wakeup is never missed.
         drop(self.idle.lock());
         self.wake.notify_all();
+    }
+
+    /// Requests shutdown and waits (bounded, real time) for every worker
+    /// to finish its current unit and drain its queue. Returns whether
+    /// the workers quiesced within `timeout` — `false` means some unit's
+    /// body is blocked on something the scheduler cannot unblock (a
+    /// fault ticket whose pager never answers), and the caller owns
+    /// breaking that wait before joining.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        self.begin_shutdown();
+        wall::poll_until(timeout, IDLE_TICK, || {
+            self.active.load(Ordering::Acquire) == 0
+        })
+    }
+
+    /// Stops every worker, draining all queued units first, and joins the
+    /// worker threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
         let workers = std::mem::take(&mut *self.workers.lock());
         for w in workers {
             let _ = w.join();
         }
+    }
+
+    /// Abandons the worker threads without joining them: the teardown
+    /// path's last resort when [`Scheduler::quiesce`] timed out even
+    /// after the fault engine drained every parked ticket. Leaking a
+    /// wedged thread beats wedging the whole process exit.
+    pub fn detach_workers(&self) {
+        self.begin_shutdown();
+        drop(std::mem::take(&mut *self.workers.lock()));
     }
 
     /// Picks the queue a non-worker submission should land on.
@@ -437,14 +474,14 @@ impl Scheduler {
 
     /// Whether `cpu` could find a unit right now without blocking.
     fn has_work(&self, cpu: usize) -> bool {
-        if self.cpus[cpu].depth.load(Ordering::Relaxed) > 0 {
+        if protocol::queue_nonempty(self.cpus[cpu].depth.load(Ordering::Relaxed)) {
             return true;
         }
         self.cfg.steal
             && self
                 .cpus
                 .iter()
-                .any(|c| c.depth.load(Ordering::Relaxed) > 0)
+                .any(|c| protocol::queue_nonempty(c.depth.load(Ordering::Relaxed)))
     }
 
     /// Runs one unit on `cpu` until it finishes or its slice expires.
@@ -520,16 +557,23 @@ impl Scheduler {
                 break;
             }
             let mut guard = self.idle.lock();
-            if self.has_work(cpu) || self.stop.load(Ordering::Acquire) {
+            if !protocol::worker_may_park(self.has_work(cpu), self.stop.load(Ordering::Acquire)) {
                 continue;
             }
             self.wake.wait_for(&mut guard, IDLE_TICK);
         }
         // Stop was requested: drain whatever is still queued locally so no
         // submitted unit is lost (preempted units re-queue here too).
-        while let Some(unit) = self.take_local(cpu) {
-            self.dispatch(cpu, unit);
+        loop {
+            let unit = self.take_local(cpu);
+            if !protocol::drain_after_stop(unit.is_some()) {
+                break;
+            }
+            if let Some(unit) = unit {
+                self.dispatch(cpu, unit);
+            }
         }
+        self.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

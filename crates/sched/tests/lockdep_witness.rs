@@ -1,0 +1,70 @@
+//! Runtime lock-order witness for the scheduler's rank: the RunQueue
+//! class was added as the outermost rank of the hierarchy, and this test
+//! pins the claim dynamically — task bodies that take the fault-engine's
+//! table class under a held run-queue-class lock are order-checked by
+//! the witness with zero violations, and the inverted order panics.
+//!
+//! Runs only under `--features lockdep` (scripts/check.sh and CI do);
+//! without the feature the witness is compiled out and this file is too.
+#![cfg(feature = "lockdep")]
+
+use machsched::{SchedConfig, Scheduler};
+use machsim::lockdep::{self, ClassMutex, LockClass};
+use machsim::{CostModel, Machine};
+use std::sync::Arc;
+
+#[test]
+fn witness_sees_runqueue_faulttable_nesting_with_zero_violations() {
+    let machine = Machine::new(CostModel::default());
+    let sched = Scheduler::start(
+        &machine,
+        SchedConfig {
+            cpus: 4,
+            nodes: 2,
+            ..SchedConfig::default()
+        },
+    );
+
+    // The declared order: run-queue strictly before fault-table. Every
+    // dispatched body nests the pair the legal way; a violation anywhere
+    // panics the worker and fails the join below.
+    let rq_class = Arc::new(ClassMutex::new(LockClass::RunQueue, ()));
+    let ft_class = Arc::new(ClassMutex::new(LockClass::FaultTable, ()));
+
+    let before = lockdep::nested_acquisitions();
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let rq = rq_class.clone();
+            let ft = ft_class.clone();
+            sched.spawn(i % 2, move || {
+                let outer = rq.lock();
+                let inner = ft.lock();
+                drop(inner);
+                drop(outer);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    sched.shutdown();
+
+    let nested = lockdep::nested_acquisitions() - before;
+    assert!(
+        nested >= 64,
+        "witness order-checked only {nested} nested acquisitions; \
+         the run-queue→fault-table pairs never reached it"
+    );
+}
+
+#[test]
+#[should_panic(expected = "lockdep")]
+fn witness_rejects_the_inverted_order() {
+    // fault-table then run-queue is the inversion the hierarchy forbids
+    // (rank 1 held while acquiring rank 0).
+    let ft = ClassMutex::new(LockClass::FaultTable, ());
+    let rq = ClassMutex::new(LockClass::RunQueue, ());
+    let outer = ft.lock();
+    let _inner = rq.lock();
+    drop(outer);
+}

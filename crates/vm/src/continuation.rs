@@ -70,6 +70,7 @@ use crate::fault::{
 };
 use crate::lockdep::{ClassMutex, ClassMutexGuard, LockClass};
 use crate::object::{ObjectId, PagerBackend, PagerRequest, VmObject};
+use crate::protocol;
 use crate::resident::{PageLookup, PhysicalMemory};
 use crate::types::{VmError, VmProt};
 use machsim::stats::keys as stat_keys;
@@ -560,7 +561,7 @@ impl FaultEngine {
             }
             cont.wait = wait;
             let mut t = self.table.lock();
-            if !self.wait_blocked(wait, cont.state.access) {
+            if !protocol::must_park(self.wait_blocked(wait, cont.state.access)) {
                 // Keep the (possibly restored) charge for the next
                 // iteration's reconciliation.
                 prev_charge = cont.inflight.take();
@@ -673,10 +674,29 @@ impl FaultEngine {
         t.deferred = still;
     }
 
+    /// Errors every currently-parked fault without stopping the engine:
+    /// tickets fulfill with [`VmError::ObjectDestroyed`], so a thread
+    /// blocked in [`FaultTicket::wait`] is guaranteed to return. The
+    /// kernel's teardown path calls this when the scheduler's bounded
+    /// quiesce times out — a worker is wedged on a fault whose pager
+    /// never answered, and only the engine can break that wait. Faults
+    /// submitted afterwards park (and resolve) normally.
+    pub fn drain_parked(self: &Arc<Self>) {
+        let t = self.table.lock();
+        self.drain_locked(t);
+    }
+
     /// Drains the engine at shutdown: errors every parked fault and
     /// releases the fill windows of never-sent runs. Returns `false` to
     /// stop the loop.
-    fn drain(self: &Arc<Self>, mut t: ClassMutexGuard<'_, Table>) -> bool {
+    fn drain(self: &Arc<Self>, t: ClassMutexGuard<'_, Table>) -> bool {
+        self.drain_locked(t);
+        false
+    }
+
+    /// The drain body, shared by the loop's terminal drain and the
+    /// teardown path's keep-running [`FaultEngine::drain_parked`].
+    fn drain_locked(self: &Arc<Self>, mut t: ClassMutexGuard<'_, Table>) {
         let cids: Vec<u64> = t.conts.keys().copied().collect();
         let mut orphans = Vec::with_capacity(cids.len());
         for cid in cids {
@@ -707,7 +727,6 @@ impl FaultEngine {
             );
         }
         self.space.notify_all();
-        false
     }
 
     /// One completion-loop iteration: wait for work, pop woken/expired/
@@ -720,7 +739,11 @@ impl FaultEngine {
         let flush: Vec<PendingRun>;
         {
             let mut t = self.table.lock();
-            if t.ready.is_empty() && t.runs.is_empty() && !self.stop.load(Ordering::Acquire) {
+            if protocol::engine_may_sleep(
+                t.ready.is_empty(),
+                t.runs.is_empty(),
+                self.stop.load(Ordering::Acquire),
+            ) {
                 self.work.wait_for(t.inner_mut(), TICK);
             }
             if self.stop.load(Ordering::Acquire) {

@@ -32,6 +32,7 @@ pub mod map;
 pub mod numa;
 pub mod object;
 pub mod pmap;
+pub mod protocol;
 pub mod resident;
 pub mod types;
 

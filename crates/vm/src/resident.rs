@@ -64,6 +64,7 @@ use crate::lockdep::{ClassMutex, ClassRwLock, LockClass};
 use crate::numa::NumaConfig;
 use crate::object::{ObjectId, PagerBackend, VmObject};
 use crate::pmap::Pmap;
+use crate::protocol;
 use crate::types::{VmError, VmProt};
 use machipc::OolBuffer;
 use machsim::stats::keys as stat_keys;
@@ -1507,6 +1508,10 @@ impl PhysicalMemory {
     /// Write shootdown: invalidates `key`'s replicas because the primary
     /// is about to be written. Counted and traced.
     fn shoot_down_locked(&self, st: &mut ResidentShard, key: (ObjectId, u64)) {
+        let count = st.replicas.get(&key).map_or(0, Vec::len);
+        if !protocol::write_requires_shootdown(count) {
+            return;
+        }
         if let Some(reps) = st.replicas.remove(&key) {
             let n = reps.len() as u64;
             for (_, frame) in reps {
@@ -1602,11 +1607,12 @@ impl PhysicalMemory {
             drop(st);
             return self.with_frame_if(frame, valid, f).map(|r| (r, kind));
         }
-        if let Some(&(_, rf)) = st
+        let replica = st
             .replicas
             .get(&key)
             .and_then(|reps| reps.iter().find(|&&(n, _)| n == node))
-        {
+            .map(|&(_, rf)| rf);
+        if let Some(rf) = replica.filter(|_| protocol::replica_serves_read(true)) {
             // Local replica hit. `valid` is still consulted: the pmap
             // entry could have been shot down by a concurrent lock_range.
             let d = self.frames[rf].data.read();

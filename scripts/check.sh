@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Repo-wide lint gate: clippy with warnings denied, rustfmt drift, bench
-# smoke runs, the lockdep runtime witness, and machlint's static
-# invariants. Run before sending a change; CI runs the same commands.
+# smoke runs, the machmc schedule-exploration models, the lockdep
+# runtime witnesses, and machlint's static invariants. Run before
+# sending a change; CI runs the same commands.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +28,9 @@ cargo bench -p machbench --bench fault_concurrency -- --smoke
 echo "==> parallel_build bench (smoke: scheduler-driven build, P1 warm speedup + P2 I/O cut)"
 cargo bench -p machbench --bench parallel_build -- --smoke
 
+echo "==> machmc (schedule exploration: every concurrency-protocol model, full bound)"
+cargo run -q --release -p machmc -- --all --json BENCH_mc.json
+
 echo "==> bench baseline diff (ratchet: BENCH_*.json vs bench-baseline.toml)"
 cargo run -q -p machbench --bin report bench-diff
 
@@ -39,7 +43,10 @@ cargo run -q --release -p machbench --bin report critical-path --smoke
 echo "==> lockdep witness (stress + NUMA tests model-check the lock hierarchy)"
 cargo test -q --features lockdep --test stress --test numa
 
-echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover, span-pair)"
+echo "==> lockdep witness (scheduler: run-queue -> fault-table nesting is order-checked)"
+cargo test -q -p machsched --features lockdep --test lockdep_witness
+
+echo "==> machlint (static invariants: lock-order, sim-time, counter-key, panic-budget, trace-cover, span-pair, atomic-ordering, condvar-wait, unchecked-send)"
 cargo run -q -p machlint -- --workspace
 
-echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency, parallel_build + baseline diff, export smoke, critical-path smoke, lockdep witness and machlint passed."
+echo "OK: clippy clean, formatting clean, fault_scaling, numa_placement, fault_concurrency, parallel_build, machmc + baseline diff, export smoke, critical-path smoke, lockdep witnesses and machlint passed."
